@@ -1,0 +1,53 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every benchmark file reproduces one of the paper's tables/figures at the
+full (scaled-down) dataset size.  Tables are printed to stdout and saved
+under ``benchmarks/results/`` for EXPERIMENTS.md; loose *shape* assertions
+encode the qualitative findings of the paper (who wins, crossovers), since
+absolute numbers depend on the synthetic substitute collections.
+
+Datasets, statistics catalogs, and per-(method, k) measurements are shared
+process-wide through :func:`repro.bench.harness.shared_harness`, so one
+``pytest benchmarks/ --benchmark-only`` session builds everything once.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.bench.harness import ExperimentTable, shared_harness
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def harness():
+    # The shared harness memoizes every (dataset, method, k, ratio) cell,
+    # so tables that share cells (Fig. 3 / Fig. 6) measure them once.
+    return shared_harness()
+
+
+def publish(table: ExperimentTable) -> None:
+    """Print a table and persist it under benchmarks/results/."""
+    text = table.render()
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = table.experiment_id.split()[0].lower()
+    path = RESULTS_DIR / ("%s.txt" % slug)
+    existing = path.read_text() if path.exists() else ""
+    if table.experiment_id not in existing:
+        with path.open("a") as handle:
+            handle.write(text + "\n\n")
+
+
+def table_cost(table: ExperimentTable, method: str, column: str) -> float:
+    """Read one numeric cell from a rendered experiment table."""
+    column_index = table.columns.index(column)
+    for row in table.rows:
+        if row[0] == method:
+            return float(str(row[column_index]).split()[0])
+    raise KeyError("method %r not in table %s" % (method, table.experiment_id))

@@ -1,0 +1,31 @@
+"""E10 — Sec. 6.4 ablation: Uniform vs Zipf artificial distributions.
+
+Paper shape: on uniform scores the knapsack schedulers converge toward
+round-robin; on skewed (Zipf) scores they match or beat it.  Our KSR keeps
+a residual uniform-data penalty at very small k (its myopic
+score-reduction objective oscillates between equally attractive lists —
+see EXPERIMENTS.md); the assertions bound that known deviation.
+"""
+
+from conftest import publish, table_cost
+from repro.bench.experiments import e10_uniform_zipf
+
+
+def test_e10_uniform_zipf(benchmark, harness):
+    table = benchmark.pedantic(
+        lambda: e10_uniform_zipf(harness), rounds=1, iterations=1
+    )
+    publish(table)
+
+    # Zipf: knapsacks never lose against round-robin.
+    for column in ("zipf k=10", "zipf k=100"):
+        rr = table_cost(table, "RR-Last-Best", column)
+        assert table_cost(table, "KSR-Last-Best", column) <= rr * 1.05
+        assert table_cost(table, "KBA-Last-Best", column) <= rr * 1.10
+
+    # Uniform: KBA stays within noise of round-robin; KSR's known
+    # small-k oscillation is bounded.
+    for column in ("uniform k=10", "uniform k=100"):
+        rr = table_cost(table, "RR-Last-Best", column)
+        assert table_cost(table, "KBA-Last-Best", column) <= rr * 1.35
+        assert table_cost(table, "KSR-Last-Best", column) <= rr * 2.2

@@ -1,0 +1,26 @@
+"""E11 (extension) — approximate pruning: cost vs precision trade-off.
+
+Implements the paper's Sec. 7 future-work proposal: combine the scheduling
+framework with probabilistic candidate pruning (their reference [29]) and
+measure what result quality buys in access cost.
+"""
+
+from conftest import publish, table_cost
+from repro.bench.extensions import e11_approximate_pruning
+
+
+def test_e11_approximate(benchmark, harness):
+    table = benchmark.pedantic(
+        lambda: e11_approximate_pruning(harness), rounds=1, iterations=1
+    )
+    publish(table)
+
+    exact_cost = table_cost(table, "epsilon=0.00", "avg cost")
+    exact_precision = table_cost(table, "epsilon=0.00", "precision@k")
+    assert exact_precision == 1.0
+
+    mild_precision = table_cost(table, "epsilon=0.01", "precision@k")
+    assert mild_precision >= 0.9
+
+    aggressive_cost = table_cost(table, "epsilon=0.20", "avg cost")
+    assert aggressive_cost <= exact_cost

@@ -1,0 +1,36 @@
+"""E12 (extension) — ablations over the design choices in DESIGN.md:
+
+scan batch size, histogram resolution, and the Sec. 3.4 correlation
+statistics.
+"""
+
+from conftest import publish, table_cost
+from repro.bench.extensions import e12_design_ablations
+
+
+def test_e12_ablations(benchmark, harness):
+    batch, buckets, correlations = benchmark.pedantic(
+        lambda: e12_design_ablations(harness), rounds=1, iterations=1
+    )
+    publish(batch)
+    publish(buckets)
+    publish(correlations)
+
+    # Batch size: all settings must stay in the same cost regime (no
+    # pathological blow-up from coarser scheduling).
+    costs = [table_cost(batch, "batch=%dm" % m, "avg cost")
+             for m in (1, 2, 4)]
+    assert max(costs) <= min(costs) * 1.5
+
+    # Histogram resolution: 100 buckets (the default) must not lose
+    # against the very coarse setting.
+    assert (
+        table_cost(buckets, "buckets=100", "avg cost")
+        <= table_cost(buckets, "buckets=10", "avg cost") * 1.25
+    )
+
+    # Correlations: switching them off must not change the cost regime
+    # (they refine, not carry, the estimators).
+    on = table_cost(correlations, "correlations=on", "avg cost")
+    off = table_cost(correlations, "correlations=off", "avg cost")
+    assert on <= off * 1.5 and off <= on * 1.5

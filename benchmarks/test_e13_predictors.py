@@ -1,0 +1,33 @@
+"""E13 (extension) — histogram convolutions vs the Normal approximation.
+
+The paper rejects RankSQL's Normal-distribution assumption in favour of
+explicit histograms (Sec. 1.3).  The unit tests show the Normal predictor
+is measurably worse *as an estimator* on skewed lists; this benchmark
+records how much of that difference survives into end-to-end cost (in our
+setup the occurrence probabilities dominate the predictors, so the
+scheduling outcome is robust — an honest negative result worth charting).
+"""
+
+from conftest import publish, table_cost
+from repro.bench.extensions import e13_histograms_vs_normal
+
+
+def test_e13_predictors(benchmark, harness):
+    table = benchmark.pedantic(
+        lambda: e13_histograms_vs_normal(harness), rounds=1, iterations=1
+    )
+    publish(table)
+
+    for dataset in ("terabyte-bm25", "terabyte-tfidf"):
+        for algorithm in ("RR-Last-Ben", "KBA-Last-Ben"):
+            hist = table_cost(
+                table, "%s / %s / histogram" % (dataset, algorithm),
+                "avg cost",
+            )
+            normal = table_cost(
+                table, "%s / %s / normal" % (dataset, algorithm),
+                "avg cost",
+            )
+            # The histogram predictor never loses to the Normal
+            # approximation by more than noise.
+            assert hist <= normal * 1.05

@@ -1,0 +1,29 @@
+"""E1 — Sec. 6.1 cost comparison of the RA-heavy baselines (k=10).
+
+Paper numbers (Terabyte-BM25, k=10, cR/cS=1000): TA 72,389,140 > Upper
+31,496,440 > Pick 3,798,549 > FullMerge 2,890,768 > NRA 788,511 >
+KSR-Last-Ben 386,847.
+"""
+
+from conftest import publish, table_cost
+from repro.bench.experiments import e1_ra_heavy_table
+
+
+def test_e1_table(benchmark, harness):
+    table = benchmark.pedantic(
+        lambda: e1_ra_heavy_table(harness), rounds=1, iterations=1
+    )
+    publish(table)
+
+    cost = {m: table_cost(table, m, "k=10") for m in (
+        "RR-All", "RR-Top-Best", "RR-Pick-Best", "FullMerge", "RR-Never",
+        "KSR-Last-Ben",
+    )}
+    # TA's eager probing is catastrophically expensive.
+    assert cost["RR-All"] > 5 * cost["FullMerge"]
+    # Upper and Pick are far worse than the scan-based baselines.
+    assert cost["RR-Top-Best"] > cost["FullMerge"]
+    assert cost["RR-Pick-Best"] > cost["FullMerge"]
+    # NRA beats the full merge at k=10; the new method beats NRA.
+    assert cost["RR-Never"] < cost["FullMerge"]
+    assert cost["KSR-Last-Ben"] < cost["RR-Never"]

@@ -1,0 +1,41 @@
+"""E2 — Fig. 3: average cost vs k on Terabyte-BM25 (cR/cS=1000).
+
+Paper shape: KSR-Last-Ben beats FullMerge/NRA/CA by up to ~3x, stays
+closest to the lower bound; CA crosses above FullMerge at large k; NRA
+degrades toward FullMerge with growing k.
+"""
+
+from conftest import publish, table_cost
+from repro.bench.experiments import FIG3_KS, e2_fig3_cost_vs_k
+
+
+def test_e2_fig3(benchmark, harness):
+    table = benchmark.pedantic(
+        lambda: e2_fig3_cost_vs_k(harness), rounds=1, iterations=1
+    )
+    publish(table)
+
+    for k in FIG3_KS:
+        column = "k=%d" % k
+        best = table_cost(table, "KSR-Last-Ben", column)
+        bound = table_cost(table, "LowerBound", column)
+        # The new method wins at every k, and the bound holds.
+        assert best <= table_cost(table, "RR-Never", column) * 1.001
+        assert best <= table_cost(table, "RR-Each-Best", column)
+        assert best <= table_cost(table, "FullMerge", column)
+        assert bound <= best + 1e-6
+
+    # NRA degrades with k; CA eventually exceeds FullMerge.
+    assert (
+        table_cost(table, "RR-Never", "k=500")
+        > table_cost(table, "RR-Never", "k=10")
+    )
+    assert (
+        table_cost(table, "RR-Each-Best", "k=500")
+        > table_cost(table, "FullMerge", "k=500")
+    )
+    # Factor over CA at k=10 is substantial (paper: up to ~3x at large k).
+    assert (
+        table_cost(table, "RR-Each-Best", "k=500")
+        > 1.5 * table_cost(table, "KSR-Last-Ben", "k=500")
+    )

@@ -1,0 +1,46 @@
+"""E3 — Fig. 4: average runtime vs k on Terabyte-BM25.
+
+The paper reports 30-60ms for its best methods, up to 5x faster than NRA
+and FullMerge.  We publish two views: raw Python wall-clock (bookkeeping
+only — numpy FullMerge pays no I/O, so the paper's FullMerge relation
+cannot show) and CPU + modeled disk time, which reproduces the paper's
+shape.  We additionally benchmark single queries per algorithm so
+pytest-benchmark captures real latency distributions.
+"""
+
+import pytest
+
+from conftest import publish, table_cost
+from repro.bench.experiments import e3_fig4_runtime
+
+
+def test_e3_fig4_table(benchmark, harness):
+    cpu, total = benchmark.pedantic(
+        lambda: e3_fig4_runtime(harness), rounds=1, iterations=1
+    )
+    publish(cpu)
+    publish(total)
+    for table in (cpu, total):
+        for method in ("FullMerge", "RR-Never", "RR-Last-Best"):
+            for k in (10, 500):
+                assert table_cost(table, method, "k=%d" % k) > 0.0
+    # With disk time modeled, the paper's runtime relation holds at k=10:
+    # the scheduling method beats both NRA and FullMerge.
+    best = table_cost(total, "RR-Last-Best", "k=10")
+    assert best < table_cost(total, "RR-Never", "k=10") * 1.001
+    assert best < table_cost(total, "FullMerge", "k=10")
+
+
+@pytest.mark.parametrize("algorithm", [
+    "FullMerge", "RR-Never", "RR-Last-Best", "KSR-Last-Ben",
+])
+def test_single_query_latency(benchmark, harness, algorithm):
+    processor = harness.processor("terabyte-bm25", 1000.0)
+    query = harness.queries("terabyte-bm25")[0]
+
+    if algorithm == "FullMerge":
+        run = lambda: processor.full_merge(query, 100)
+    else:
+        run = lambda: processor.query(query, 100, algorithm=algorithm)
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result.items) == 100

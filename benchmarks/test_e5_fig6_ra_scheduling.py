@@ -1,0 +1,34 @@
+"""E5 — Fig. 6: RA scheduling (SA fixed to round-robin).
+
+Paper shape: CA -> RR-Last-Best captures ~90% of the gain; RR-Last-Ben
+adds the remainder; overall about 2.3x below CA at large k.
+"""
+
+from conftest import publish, table_cost
+from repro.bench.experiments import FIG3_KS, e5_fig6_ra_scheduling
+
+
+def test_e5_fig6(benchmark, harness):
+    table = benchmark.pedantic(
+        lambda: e5_fig6_ra_scheduling(harness), rounds=1, iterations=1
+    )
+    publish(table)
+
+    for k in FIG3_KS:
+        column = "k=%d" % k
+        ca = table_cost(table, "RR-Each-Best", column)
+        last_best = table_cost(table, "RR-Last-Best", column)
+        last_ben = table_cost(table, "RR-Last-Ben", column)
+        bound = table_cost(table, "LowerBound", column)
+        # Deferring random accesses to the final phase always helps.
+        assert last_best <= ca
+        # Ben-probing stays in the same range as Last-Best (the paper's
+        # extra ~10%; we allow noise either way).
+        assert last_ben <= last_best * 1.15
+        assert bound <= min(last_best, last_ben) + 1e-6
+
+    # The overall factor vs CA is substantial at large k.
+    assert (
+        table_cost(table, "RR-Each-Best", "k=500")
+        >= 1.5 * table_cost(table, "RR-Last-Best", "k=500")
+    )

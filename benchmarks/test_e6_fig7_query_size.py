@@ -1,0 +1,34 @@
+"""E6 — Fig. 7: short (m~3) vs expanded (m~8) queries at k=100.
+
+Paper shape: with large m, NRA essentially costs as much as FullMerge and
+CA roughly doubles it, while KSR-Last-Ben gains even more than at m~3.
+"""
+
+from conftest import publish, table_cost
+from repro.bench.experiments import e6_fig7_query_size
+
+
+def test_e6_fig7(benchmark, harness):
+    table = benchmark.pedantic(
+        lambda: e6_fig7_query_size(harness), rounds=1, iterations=1
+    )
+    publish(table)
+
+    for column in ("m~3", "m~8"):
+        best = table_cost(table, "KSR-Last-Ben", column)
+        assert best <= table_cost(table, "RR-Never", column)
+        assert best <= table_cost(table, "RR-Each-Best", column)
+
+    # Expanded queries: NRA approaches FullMerge, CA exceeds it.
+    nra = table_cost(table, "RR-Never", "m~8")
+    full = table_cost(table, "FullMerge", "m~8")
+    assert nra >= 0.75 * full
+    assert table_cost(table, "RR-Each-Best", "m~8") > full
+
+    # The scheduling gain grows with m (paper: up to 2.3x over NRA).
+    gain_small = (
+        table_cost(table, "RR-Never", "m~3")
+        / table_cost(table, "KSR-Last-Ben", "m~3")
+    )
+    gain_large = nra / table_cost(table, "KSR-Last-Ben", "m~8")
+    assert gain_large > gain_small

@@ -1,0 +1,34 @@
+"""E7 — Fig. 8: sweeping cR/cS over {100, 1000, 10000} at k=100.
+
+Paper shape: the combined scheduling saves the most at low ratios (>2x);
+at cR/cS=10,000 random accesses are nearly prohibitive, yet scheduling
+still beats NRA and FullMerge.
+"""
+
+from conftest import publish, table_cost
+from repro.bench.experiments import e7_fig8_cost_ratio
+
+
+def test_e7_fig8(benchmark, harness):
+    table = benchmark.pedantic(
+        lambda: e7_fig8_cost_ratio(harness), rounds=1, iterations=1
+    )
+    publish(table)
+
+    for ratio in (100, 1000, 10_000):
+        column = "cR/cS=%d" % ratio
+        best = table_cost(table, "KSR-Last-Ben", column)
+        assert best <= table_cost(table, "RR-Never", column) * 1.001
+        assert best <= table_cost(table, "FullMerge", column)
+
+    # Low ratios allow the biggest wins over NRA.
+    gain_low = (
+        table_cost(table, "RR-Never", "cR/cS=100")
+        / table_cost(table, "KSR-Last-Ben", "cR/cS=100")
+    )
+    gain_high = (
+        table_cost(table, "RR-Never", "cR/cS=10000")
+        / table_cost(table, "KSR-Last-Ben", "cR/cS=10000")
+    )
+    assert gain_low > 1.5
+    assert gain_low > gain_high

@@ -1,0 +1,31 @@
+"""E8 — Fig. 9: the IMDB-like catalog (long low-skew categorical lists).
+
+Paper shape: every TA-family method beats FullMerge over a wide k range;
+the new methods gain ~1.5-1.8x against CA; costs stay near the bound.
+"""
+
+from conftest import publish, table_cost
+from repro.bench.experiments import e8_fig9_imdb
+
+
+def test_e8_fig9(benchmark, harness):
+    table = benchmark.pedantic(
+        lambda: e8_fig9_imdb(harness), rounds=1, iterations=1
+    )
+    publish(table)
+
+    for k in (10, 20, 50):
+        column = "k=%d" % k
+        full = table_cost(table, "FullMerge", column)
+        bound = table_cost(table, "LowerBound", column)
+        for method in ("RR-Never", "KSR-Last-Ben", "KBA-Last-Ben"):
+            cost = table_cost(table, method, column)
+            assert cost < full
+            assert bound <= cost + 1e-6
+
+    # The characteristic CA gain of Fig. 9 (~1.5-1.8x).
+    ratio = (
+        table_cost(table, "RR-Each-Best", "k=50")
+        / table_cost(table, "KBA-Last-Ben", "k=50")
+    )
+    assert ratio > 1.3

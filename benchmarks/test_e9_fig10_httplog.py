@@ -1,0 +1,34 @@
+"""E9 — Fig. 10: the WorldCup-like HTTP log (extreme score skew).
+
+Paper shape: skew makes the bounds converge fast; KBA-Last-Ben almost
+touches the lower bound; NRA degenerates to a full scan already at
+moderate k.
+"""
+
+from conftest import publish, table_cost
+from repro.bench.experiments import e9_fig10_httplog
+
+
+def test_e9_fig10(benchmark, harness):
+    table = benchmark.pedantic(
+        lambda: e9_fig10_httplog(harness), rounds=1, iterations=1
+    )
+    publish(table)
+
+    for k in (10, 50, 100, 200):
+        column = "k=%d" % k
+        best = table_cost(table, "KBA-Last-Ben", column)
+        assert best <= table_cost(table, "RR-Never", column) * 1.001
+        assert best <= table_cost(table, "FullMerge", column)
+        assert table_cost(table, "LowerBound", column) <= best + 1e-6
+
+    # NRA hits the full-scan wall at k=200 (paper: "for relatively small k").
+    assert (
+        table_cost(table, "RR-Never", "k=200")
+        >= 0.95 * table_cost(table, "FullMerge", "k=200")
+    )
+    # At small k the best method sits close above the bound.
+    assert (
+        table_cost(table, "KBA-Last-Ben", "k=10")
+        <= 4.0 * table_cost(table, "LowerBound", "k=10")
+    )

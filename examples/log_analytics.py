@@ -1,0 +1,64 @@
+"""Log-analytics scenario: top-k heaviest users over a date interval.
+
+Mirrors the paper's WorldCup-98 workload: per-user daily traffic is
+aggregated into one index list per day, and a query asks for the k users
+with the highest total traffic in an interval like "June 1 to June 10"
+(Sec. 6.1, 6.3.2).  The extreme skew of web traffic makes the score
+bounds converge very fast — exactly the regime where a few well-placed
+random accesses finish the query after scanning only the list heads.
+
+Run with::
+
+    python examples/log_analytics.py
+"""
+
+import numpy as np
+
+from repro import TopKProcessor
+from repro.data import load_dataset
+
+
+def main() -> None:
+    dataset = load_dataset("httplog", scale=1.0)
+    processor = TopKProcessor(dataset.index, cost_ratio=1000)
+
+    query = dataset.queries[0]
+    days = sorted(int(t.split(":")[1]) for t in query)
+    print("interval query: top users from day %02d to day %02d" % (
+        days[0], days[-1]
+    ))
+
+    result = processor.query(query, k=10, algorithm="KBA-Last-Ben")
+    print("\ntop-10 users by aggregated (normalized) traffic:")
+    for rank, item in enumerate(result.items, start=1):
+        print("  %2d. user %-7d traffic score %.4f" % (
+            rank, item.doc_id, item.worstscore
+        ))
+    print("cost: %.0f (#SA=%d, #RA=%d) — the full merge would cost %.0f" % (
+        result.stats.cost,
+        result.stats.sorted_accesses,
+        result.stats.random_accesses,
+        processor.full_merge(query, 10).stats.cost,
+    ))
+
+    print("\nhow the skew shifts the trade-offs (avg over %d queries):"
+          % len(dataset.queries))
+    print("%-15s %10s %10s %10s" % ("algorithm", "k=10", "k=100", "k=200"))
+    for algorithm in ["NRA", "CA", "KBA-Last-Ben"]:
+        row = [algorithm]
+        for k in (10, 100, 200):
+            costs = [
+                processor.query(q, k, algorithm=algorithm).stats.cost
+                for q in dataset.queries
+            ]
+            row.append("%.0f" % np.mean(costs))
+        print("%-15s %10s %10s %10s" % tuple(row))
+    print(
+        "\nNRA degenerates to a full scan as k grows (its bounds cannot"
+        "\nseparate the long tail of small users), while the Last/Ben"
+        "\nprobing strategies stay near the optimum."
+    )
+
+
+if __name__ == "__main__":
+    main()

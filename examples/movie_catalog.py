@@ -1,0 +1,78 @@
+"""Movie-catalog scenario: structured similarity queries (IMDB-style).
+
+The catalog indexes four attributes — Genre and Actors (categorical, with
+Dice-coefficient similarity expansion) plus Title and Description keywords
+— and answers queries like the paper's
+
+    Title="War" Genre=SciFi Actors="Tom Cruise"
+    Description="alien, earth, destroy"
+
+where a movie matching a *similar* genre or a frequently co-starring actor
+still scores, weighted by similarity (Sec. 6.1, 6.3.1).
+
+Run with::
+
+    python examples/movie_catalog.py
+"""
+
+import numpy as np
+
+from repro import TopKProcessor
+from repro.data import load_dataset
+
+
+def describe(term: str, index) -> str:
+    kind, _, value = term.partition(":")
+    length = len(index.list_for(term))
+    labels = {
+        "genre": "Genre=%s (similarity-expanded, %d movies)",
+        "actor": "Actors=#%s (co-star expanded, %d movies)",
+        "title": "Title~%s (%d movies)",
+        "desc": "Description~%s (%d movies)",
+    }
+    return labels[kind] % (value, length)
+
+
+def main() -> None:
+    print("building the movie catalog (~20s at scale 0.3)...")
+    dataset = load_dataset("imdb", scale=0.3)
+    processor = TopKProcessor(dataset.index, cost_ratio=1000)
+
+    query = dataset.queries[0]
+    print("\nstructured query:")
+    for term in query:
+        print("  - %s" % describe(term, dataset.index))
+
+    result = processor.query(query, k=5, algorithm="KBA-Last-Ben")
+    print("\ntop-5 movies (aggregated attribute similarity):")
+    for rank, item in enumerate(result.items, start=1):
+        print("  %d. movie %-7d score >= %.3f" % (
+            rank, item.doc_id, item.worstscore
+        ))
+    print("cost: %.0f (#SA=%d, #RA=%d)" % (
+        result.stats.cost,
+        result.stats.sorted_accesses,
+        result.stats.random_accesses,
+    ))
+
+    print("\naverage over %d queries, k=10:" % len(dataset.queries))
+    print("%-15s %10s" % ("algorithm", "COST"))
+    for algorithm in ["NRA", "CA", "KSR-Last-Ben", "KBA-Last-Ben"]:
+        costs = [
+            processor.query(q, 10, algorithm=algorithm).stats.cost
+            for q in dataset.queries
+        ]
+        print("%-15s %10.0f" % (algorithm, np.mean(costs)))
+    merged = [
+        processor.full_merge(q, 10).stats.cost for q in dataset.queries
+    ]
+    print("%-15s %10.0f" % ("FullMerge", np.mean(merged)))
+    print(
+        "\nThe long, tie-heavy genre/actor lists make scanning expensive;"
+        "\nthe threshold methods resolve the short text lists first and"
+        "\nprune the categorical tails without reading them."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All metadata lives in ``pyproject.toml``; this file only enables legacy
+(non-PEP-660) editable installs: ``pip install -e . --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""IO-Top-k: index-access optimized top-k query processing.
+
+A from-scratch reproduction of Bast, Majumdar, Schenkel, Theobald, Weikum:
+"IO-Top-k: Index-access Optimized Top-k Query Processing" (VLDB 2006).
+
+Quick start::
+
+    from repro import TopKProcessor, build_index
+
+    index = build_index({"a": [(1, 0.9), (2, 0.3)], "b": [(2, 0.8)]})
+    processor = TopKProcessor(index, cost_ratio=1000)
+    result = processor.query(["a", "b"], k=1, algorithm="KSR-Last-Ben")
+    print(result.doc_ids, result.stats.cost)
+
+Packages:
+
+* :mod:`repro.storage` — simulated disk cost model + inverted block-index
+* :mod:`repro.stats` — histograms, convolutions, selectivity/correlation
+  estimators, the Poisson RA-count estimator
+* :mod:`repro.scoring` — BM25 and TF-IDF scoring models
+* :mod:`repro.data` — synthetic dataset and workload generators
+* :mod:`repro.core` — the TA-family engine, SA/RA scheduling policies,
+  FullMerge baseline, and the per-query lower bound
+* :mod:`repro.bench` — the experiment harness reproducing the paper's
+  tables and figures
+"""
+
+from .core.algorithms import (
+    TopKProcessor,
+    available_algorithms,
+    canonical_name,
+    run_query,
+)
+from .core.full_merge import full_merge
+from .core.lower_bound import LowerBoundComputer
+from .core.results import QueryStats, RankedItem, TopKResult
+from .stats.catalog import StatsCatalog
+from .storage.block_index import IndexList, InvertedBlockIndex
+from .storage.diskmodel import AccessMeter, CostModel
+from .storage.index_builder import (
+    build_index,
+    build_index_from_documents,
+    build_index_list,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessMeter",
+    "CostModel",
+    "IndexList",
+    "InvertedBlockIndex",
+    "LowerBoundComputer",
+    "QueryStats",
+    "RankedItem",
+    "StatsCatalog",
+    "TopKProcessor",
+    "TopKResult",
+    "available_algorithms",
+    "build_index",
+    "build_index_from_documents",
+    "build_index_list",
+    "canonical_name",
+    "full_merge",
+    "run_query",
+    "__version__",
+]

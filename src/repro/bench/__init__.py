@@ -1,0 +1,13 @@
+"""Experiment harness reproducing the paper's tables and figures."""
+
+from .experiments import ALL_EXPERIMENTS, run_experiment
+from .harness import Aggregate, ExperimentTable, Harness, shared_harness
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "Aggregate",
+    "ExperimentTable",
+    "Harness",
+    "run_experiment",
+    "shared_harness",
+]

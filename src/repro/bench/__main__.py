@@ -1,0 +1,53 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.bench            # run every experiment
+    python -m repro.bench e2 e5      # run selected experiments
+    python -m repro.bench --queries 4 --scale 0.5 e2   # faster variants
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import ALL_EXPERIMENTS, run_experiment
+from .harness import Harness
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the IO-Top-k evaluation tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=[],
+        help="experiment ids (e1..e10); default: all",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=8,
+        help="queries per workload (default 8)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="dataset scale factor (default 1.0)",
+    )
+    args = parser.parse_args(argv)
+
+    names = [e.lower() for e in args.experiments] or list(ALL_EXPERIMENTS)
+    harness = Harness(scale=args.scale, num_queries=args.queries)
+    for name in names:
+        started = time.time()
+        for table in run_experiment(name, harness):
+            print()
+            print(table.render())
+        print("[%s finished in %.1fs]" % (name, time.time() - started))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

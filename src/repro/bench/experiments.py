@@ -1,0 +1,339 @@
+"""Every table and figure of the paper's evaluation as a runnable experiment.
+
+Each ``eN`` function regenerates one result of Sec. 6 on the synthetic
+substitute datasets and returns an :class:`ExperimentTable`.  Absolute
+numbers are smaller than the paper's (the collections are scaled down); the
+*shapes* — who wins, by what factor, where the crossovers sit — are the
+reproduction target, and EXPERIMENTS.md records paper-vs-measured for each.
+
+Run everything with ``python -m repro.bench``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .harness import ExperimentTable, Harness, shared_harness
+
+#: Paper figure 3 / 6 k values.
+FIG3_KS = [10, 50, 100, 200, 500]
+#: Paper figure 5 k values.
+FIG5_KS = [10, 20, 50, 100, 200]
+
+
+def _harness(harness: Optional[Harness]) -> Harness:
+    return harness if harness is not None else shared_harness()
+
+
+def e1_ra_heavy_table(harness: Optional[Harness] = None) -> ExperimentTable:
+    """Sec. 6.1 (text): RA-heavy baselines vs. everything else, k=10.
+
+    Paper (Terabyte-BM25, k=10, cR/cS=1000): TA 72,389,140; Upper
+    31,496,440; Pick 3,798,549; FullMerge 2,890,768; NRA 788,511; best
+    (KSR-Last-Ben) 386,847.  Expected shape: TA >> Upper >> Pick >
+    FullMerge > NRA > KSR-Last-Ben.
+    """
+    h = _harness(harness)
+    return h.cost_table(
+        "E1",
+        "RA-heavy baselines, Terabyte-BM25, k=10, cR/cS=1000",
+        "terabyte-bm25",
+        ["RR-All", "RR-Top-Best", "RR-Pick-Best", "FullMerge", "RR-Never",
+         "KSR-Last-Ben"],
+        [10],
+        ratio=1000.0,
+        notes="paper: TA 72.4M > Upper 31.5M > Pick 3.80M > FullMerge "
+              "2.89M > NRA 0.79M > KSR-Last-Ben 0.39M",
+    )
+
+
+def e2_fig3_cost_vs_k(harness: Optional[Harness] = None) -> ExperimentTable:
+    """Fig. 3: average cost vs. k on Terabyte-BM25.
+
+    Expected shape: KSR-Last-Ben beats FullMerge/NRA/CA by up to ~3x and
+    stays within ~20% of the lower bound; CA crosses above FullMerge for
+    k > 200; NRA degrades toward FullMerge as k grows.
+    """
+    h = _harness(harness)
+    return h.cost_table(
+        "E2 (Fig 3)",
+        "Average cost vs k, Terabyte-BM25, cR/cS=1000",
+        "terabyte-bm25",
+        ["FullMerge", "RR-Never", "RR-Each-Best", "KSR-Last-Ben",
+         "LowerBound"],
+        FIG3_KS,
+        ratio=1000.0,
+        notes="paper shape: new method up to 3x below baselines, ~1.2x of "
+              "the lower bound; CA exceeds FullMerge for k > 200",
+    )
+
+
+def e3_fig4_runtime(
+    harness: Optional[Harness] = None,
+) -> List[ExperimentTable]:
+    """Fig. 4: average runtime vs. k on Terabyte-BM25, two views.
+
+    The paper measures 30-60ms for the new methods (10 <= k <= 100),
+    beating NRA and FullMerge by up to 5x — on hardware where every access
+    pays real disk time.  We report (a) raw Python wall-clock (bookkeeping
+    only; numpy makes FullMerge unrealistically fast) and (b) modeled I/O
+    time on ratio-matched hardware (cR/cS = 1000), the quantity that
+    dominates the paper's runtime at its data scale.
+    """
+    from ..storage.latency import DiskLatencyModel, DiskParameters
+
+    h = _harness(harness)
+    disk = DiskLatencyModel(DiskParameters.for_cost_ratio(1000.0))
+    columns = ["method"] + ["k=%d" % k for k in FIG3_KS]
+    cpu_rows = []
+    io_rows = []
+    for method in ["FullMerge", "RR-Never", "RR-Last-Best"]:
+        cpu_row = [method]
+        io_row = [method]
+        for k in FIG3_KS:
+            agg = h.run("terabyte-bm25", method, k, 1000.0)
+            io_ms = disk.estimate_ms(
+                agg.sorted_accesses, agg.random_accesses
+            )
+            cpu_row.append("%.1f ms" % agg.wall_time_ms)
+            io_row.append("%.2f ms" % io_ms)
+        cpu_rows.append(cpu_row)
+        io_rows.append(io_row)
+    cpu_table = ExperimentTable(
+        "E3a (Fig 4, CPU only)",
+        "Average Python wall-clock vs k, Terabyte-BM25",
+        columns,
+        cpu_rows,
+        notes="bookkeeping only: numpy FullMerge pays no I/O here, so the "
+              "paper's FullMerge relation cannot show (see EXPERIMENTS.md)",
+    )
+    io_table = ExperimentTable(
+        "E3b (Fig 4, modeled I/O)",
+        "Average modeled disk time vs k, Terabyte-BM25 (hardware with "
+        "cR/cS = 1000)",
+        columns,
+        io_rows,
+        notes="paper: new methods 30-60ms, up to 5x faster than NRA and "
+              "FullMerge — at the paper's data scale this I/O component "
+              "dominates the total runtime",
+    )
+    return [cpu_table, io_table]
+
+
+def e4_fig5_sa_scheduling(
+    harness: Optional[Harness] = None,
+) -> List[ExperimentTable]:
+    """Fig. 5: SA scheduling (RR vs KSR vs KBA), RA fixed to Last-Best.
+
+    Left: BM25 (cR/cS=10,000) — knapsack gains are small (2-5%).
+    Right: TF-IDF (cR/cS=100) — skewed scores reward the knapsacks by up
+    to ~15%, KBA best overall.
+    """
+    h = _harness(harness)
+    methods = ["RR-Last-Best", "KSR-Last-Best", "KBA-Last-Best"]
+    left = h.cost_table(
+        "E4a (Fig 5 left)",
+        "SA scheduling, Terabyte-BM25, cR/cS=10000",
+        "terabyte-bm25",
+        methods,
+        FIG5_KS,
+        ratio=10_000.0,
+        notes="paper: 2-5% knapsack gains for BM25",
+    )
+    right = h.cost_table(
+        "E4b (Fig 5 right)",
+        "SA scheduling, Terabyte-TFIDF, cR/cS=100",
+        "terabyte-tfidf",
+        methods,
+        FIG5_KS,
+        ratio=100.0,
+        notes="paper: up to ~15% knapsack gains for skewed TF-IDF, "
+              "KBA best overall",
+    )
+    return [left, right]
+
+
+def e5_fig6_ra_scheduling(harness: Optional[Harness] = None) -> ExperimentTable:
+    """Fig. 6: RA scheduling with SA fixed to round-robin.
+
+    Expected: the step CA -> RR-Last-Best captures ~90% of the total gain;
+    RR-Last-Ben adds ~10% more, reaching ~2.3x below CA.
+    """
+    h = _harness(harness)
+    return h.cost_table(
+        "E5 (Fig 6)",
+        "RA scheduling, Terabyte-BM25, cR/cS=1000",
+        "terabyte-bm25",
+        ["RR-Each-Best", "RR-Last-Best", "RR-Last-Ben", "LowerBound"],
+        FIG3_KS,
+        ratio=1000.0,
+        notes="paper: Last-Best yields ~90% of the gain over CA, Last-Ben "
+              "the remaining ~10% (overall ~2.3x vs CA)",
+    )
+
+
+def e6_fig7_query_size(harness: Optional[Harness] = None) -> ExperimentTable:
+    """Fig. 7: short (m~3) vs expanded (m~8) queries, k=100.
+
+    Expected: larger m amplifies the gains (up to ~2.3x over NRA and ~4x
+    over CA); NRA approaches FullMerge cost, CA roughly doubles it.
+    """
+    h = _harness(harness)
+    methods = ["FullMerge", "RR-Never", "RR-Each-Best", "KSR-Last-Ben"]
+    columns = ["method", "m~3", "m~8"]
+    rows = []
+    for method in methods:
+        rows.append([
+            method,
+            "%.0f" % h.run("terabyte-bm25", method, 100, 1000.0).cost,
+            "%.0f" % h.run("terabyte-expanded", method, 100, 1000.0).cost,
+        ])
+    return ExperimentTable(
+        "E6 (Fig 7)",
+        "Query size m~3 vs m~8, Terabyte-BM25, k=100, cR/cS=1000",
+        columns,
+        rows,
+        notes="paper: for m~8 NRA approaches FullMerge, CA ~2x FullMerge, "
+              "KSR-Last-Ben up to 2.3x below NRA / 4x below CA",
+    )
+
+
+def e7_fig8_cost_ratio(harness: Optional[Harness] = None) -> ExperimentTable:
+    """Fig. 8: varying cR/cS in {100, 1000, 10000}, k=100.
+
+    Expected: low ratios give combined scheduling the largest wins (>2x);
+    very high ratios push everyone toward NRA/FullMerge but scheduling
+    still helps.
+    """
+    h = _harness(harness)
+    methods = ["FullMerge", "RR-Never", "RR-Each-Best", "KSR-Last-Ben"]
+    ratios = [100.0, 1000.0, 10_000.0]
+    columns = ["method"] + ["cR/cS=%d" % int(r) for r in ratios]
+    rows = []
+    for method in methods:
+        row = [method]
+        for ratio in ratios:
+            row.append(
+                "%.0f" % h.run("terabyte-bm25", method, 100, ratio).cost
+            )
+        rows.append(row)
+    return ExperimentTable(
+        "E7 (Fig 8)",
+        "Cost-ratio sweep, Terabyte-BM25, k=100",
+        columns,
+        rows,
+        notes="paper: savings factor >2 at cR/cS in {100, 1000}; at 10000 "
+              "RAs are nearly prohibitive yet scheduling still wins",
+    )
+
+
+def e8_fig9_imdb(harness: Optional[Harness] = None) -> ExperimentTable:
+    """Fig. 9: IMDB — long low-skew categorical lists + short text lists.
+
+    Expected: every TA-family method clearly below FullMerge over a wide
+    k range; gains of ~1.5-1.8x vs CA; our best method near the bound.
+    """
+    h = _harness(harness)
+    return h.cost_table(
+        "E8 (Fig 9)",
+        "Average cost vs k, IMDB, cR/cS=1000",
+        "imdb",
+        ["FullMerge", "RR-Never", "RR-Each-Best", "KSR-Last-Ben",
+         "KBA-Last-Ben", "LowerBound"],
+        [10, 20, 50, 100],
+        ratio=1000.0,
+        notes="paper: gains ~1.5-1.8x vs CA for 10<=k<=200; all TA-family "
+              "methods beat FullMerge by a large margin",
+    )
+
+
+def e9_fig10_httplog(harness: Optional[Harness] = None) -> ExperimentTable:
+    """Fig. 10: HTTP WorldCup-like log — extremely skewed scores.
+
+    Expected: skew makes bounds converge fast; KBA-Last-Ben nearly touches
+    the lower bound; NRA ends up scanning the full lists already for
+    relatively small k.
+    """
+    h = _harness(harness)
+    return h.cost_table(
+        "E9 (Fig 10)",
+        "Average cost vs k, HTTP log, cR/cS=1000",
+        "httplog",
+        ["FullMerge", "RR-Never", "RR-Each-Best", "KBA-Last-Ben",
+         "LowerBound"],
+        [10, 50, 100, 200],
+        ratio=1000.0,
+        notes="paper: KBA-Last-Ben almost touches the lower bound; NRA "
+              "degenerates to a full scan at small k; CA stays within "
+              "~1.2x for k<=100 (our CA pays more for its eager probes)",
+    )
+
+
+def e10_uniform_zipf(harness: Optional[Harness] = None) -> ExperimentTable:
+    """Sec. 6.4 ablation: Uniform vs Zipf artificial score distributions.
+
+    Expected: with uniform scores the knapsacks converge to round-robin
+    (no degeneration, no gain); with Zipf skew they win clearly.
+    """
+    h = _harness(harness)
+    methods = ["RR-Last-Best", "KSR-Last-Best", "KBA-Last-Best"]
+    columns = ["method", "uniform k=10", "uniform k=100", "zipf k=10",
+               "zipf k=100"]
+    rows = []
+    for method in methods:
+        rows.append([
+            method,
+            "%.0f" % h.run("uniform", method, 10, 1000.0).cost,
+            "%.0f" % h.run("uniform", method, 100, 1000.0).cost,
+            "%.0f" % h.run("zipf", method, 10, 1000.0).cost,
+            "%.0f" % h.run("zipf", method, 100, 1000.0).cost,
+        ])
+    return ExperimentTable(
+        "E10 (Sec 6.4)",
+        "Uniform vs Zipf artificial distributions, cR/cS=1000",
+        columns,
+        rows,
+        notes="paper: knapsacks converge to round-robin on uniform scores "
+              "and win on skewed ones",
+    )
+
+
+def _extension(name: str) -> Callable:
+    def runner(harness: Optional[Harness] = None):
+        from . import extensions
+
+        return getattr(extensions, name)(harness)
+
+    return runner
+
+
+#: Registry of all experiments: the paper's evaluation (e1-e10, ordered as
+#: in Sec. 6) plus the extensions (e11: Sec. 7 approximate pruning; e12:
+#: design ablations).
+ALL_EXPERIMENTS: Dict[str, Callable] = {
+    "e1": e1_ra_heavy_table,
+    "e2": e2_fig3_cost_vs_k,
+    "e3": e3_fig4_runtime,
+    "e4": e4_fig5_sa_scheduling,
+    "e5": e5_fig6_ra_scheduling,
+    "e6": e6_fig7_query_size,
+    "e7": e7_fig8_cost_ratio,
+    "e8": e8_fig9_imdb,
+    "e9": e9_fig10_httplog,
+    "e10": e10_uniform_zipf,
+    "e11": _extension("e11_approximate_pruning"),
+    "e12": _extension("e12_design_ablations"),
+    "e13": _extension("e13_histograms_vs_normal"),
+}
+
+
+def run_experiment(name: str, harness: Optional[Harness] = None):
+    """Run one experiment by id ('e1'..'e10'); returns its table(s)."""
+    try:
+        func = ALL_EXPERIMENTS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            "unknown experiment %r; valid: %s" % (name, sorted(ALL_EXPERIMENTS))
+        ) from None
+    result = func(harness)
+    return result if isinstance(result, list) else [result]

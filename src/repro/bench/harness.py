@@ -1,0 +1,206 @@
+"""Shared experiment harness: run algorithm batteries over workloads.
+
+Each experiment in :mod:`repro.bench.experiments` is a thin declaration on
+top of this harness.  The harness caches per-(dataset, ratio) processors,
+per-dataset statistics catalogs, and per-query lower-bound computers so that
+a full benchmark session builds each expensive structure once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.algorithms import TopKProcessor
+from ..core.lower_bound import LowerBoundComputer
+from ..data.workloads import Dataset, load_dataset
+
+
+@dataclass
+class Aggregate:
+    """Workload-averaged measurements for one (method, k) cell."""
+
+    method: str
+    k: int
+    cost: float
+    sorted_accesses: float
+    random_accesses: float
+    wall_time_ms: float
+    queries: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return "%s@k=%d: cost=%.0f" % (self.method, self.k, self.cost)
+
+
+@dataclass
+class ExperimentTable:
+    """One reproduced table/figure: labeled rows of per-method costs."""
+
+    experiment_id: str
+    title: str
+    columns: List[str]
+    rows: List[List[str]]
+    notes: str = ""
+
+    def render(self) -> str:
+        """Plain-text table in the style of the paper's figures."""
+        widths = [
+            max(len(str(row[i])) for row in [self.columns] + self.rows)
+            for i in range(len(self.columns))
+        ]
+        lines = [
+            "%s — %s" % (self.experiment_id, self.title),
+            "  ".join(c.ljust(w) for c, w in zip(self.columns, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in self.rows:
+            lines.append(
+                "  ".join(str(c).ljust(w) for c, w in zip(row, widths))
+            )
+        if self.notes:
+            lines.append("note: %s" % self.notes)
+        return "\n".join(lines)
+
+
+class Harness:
+    """Cached runner for algorithm batteries over named datasets."""
+
+    def __init__(self, scale: float = 1.0, num_queries: int = 8,
+                 seed: int = 7) -> None:
+        self.scale = scale
+        self.num_queries = num_queries
+        self.seed = seed
+        self._processors: Dict[Tuple[str, float], TopKProcessor] = {}
+        self._bounds: Dict[Tuple[str, Tuple[str, ...]], LowerBoundComputer] = {}
+        self._memo: Dict[Tuple[str, str, int, float], Aggregate] = {}
+
+    # ------------------------------------------------------------------
+    # Building blocks
+    # ------------------------------------------------------------------
+    def dataset(self, name: str) -> Dataset:
+        return load_dataset(name, scale=self.scale, seed=self.seed)
+
+    def queries(self, name: str) -> List[List[str]]:
+        return self.dataset(name).queries[: self.num_queries]
+
+    def processor(self, name: str, ratio: float) -> TopKProcessor:
+        key = (name, float(ratio))
+        proc = self._processors.get(key)
+        if proc is None:
+            proc = TopKProcessor(self.dataset(name).index, cost_ratio=ratio)
+            # Share one statistics catalog across ratios for the dataset.
+            for (other_name, _), other in self._processors.items():
+                if other_name == name:
+                    proc.stats = other.stats
+                    proc.engine.stats = other.stats
+                    break
+            self._processors[key] = proc
+        return proc
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+    def run(
+        self, name: str, method: str, k: int, ratio: float = 1000.0
+    ) -> Aggregate:
+        """Average one method over the dataset's query workload.
+
+        ``method`` is an algorithm name (see
+        :func:`repro.core.algorithms.available_algorithms`), ``FullMerge``,
+        or ``LowerBound``.  Results are memoized: experiments sharing cells
+        (e.g. Fig. 3 and Fig. 6 both need CA on Terabyte-BM25) measure each
+        cell once per session.
+        """
+        key = (name, method, int(k), float(ratio))
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        if method == "LowerBound":
+            result = self.lower_bound(name, k, ratio)
+            self._memo[key] = result
+            return result
+        proc = self.processor(name, ratio)
+        stats = []
+        for query in self.queries(name):
+            if method == "FullMerge":
+                result = proc.full_merge(query, k)
+            else:
+                result = proc.query(query, k, algorithm=method)
+            stats.append(result.stats)
+        aggregate = Aggregate(
+            method=method,
+            k=k,
+            cost=float(np.mean([s.cost for s in stats])),
+            sorted_accesses=float(np.mean([s.sorted_accesses for s in stats])),
+            random_accesses=float(np.mean([s.random_accesses for s in stats])),
+            wall_time_ms=float(
+                np.mean([s.wall_time_seconds for s in stats]) * 1000.0
+            ),
+            queries=len(stats),
+        )
+        self._memo[key] = aggregate
+        return aggregate
+
+    def lower_bound(self, name: str, k: int, ratio: float = 1000.0) -> Aggregate:
+        """Average the Sec. 2.5 lower bound over the workload."""
+        dataset = self.dataset(name)
+        bounds = []
+        for query in self.queries(name):
+            key = (name, tuple(query))
+            computer = self._bounds.get(key)
+            if computer is None:
+                computer = LowerBoundComputer(dataset.index, query)
+                self._bounds[key] = computer
+            bounds.append(computer.cost_for_k(k, ratio))
+        return Aggregate(
+            method="LowerBound",
+            k=k,
+            cost=float(np.mean(bounds)),
+            sorted_accesses=0.0,
+            random_accesses=0.0,
+            wall_time_ms=0.0,
+            queries=len(bounds),
+        )
+
+    # ------------------------------------------------------------------
+    # Table helpers
+    # ------------------------------------------------------------------
+    def cost_table(
+        self,
+        experiment_id: str,
+        title: str,
+        dataset: str,
+        methods: Sequence[str],
+        k_values: Sequence[int],
+        ratio: float = 1000.0,
+        notes: str = "",
+    ) -> ExperimentTable:
+        """The common layout: one row per method, one column per k."""
+        columns = ["method"] + ["k=%d" % k for k in k_values]
+        rows = []
+        for method in methods:
+            row = [method]
+            for k in k_values:
+                row.append("%.0f" % self.run(dataset, method, k, ratio).cost)
+            rows.append(row)
+        return ExperimentTable(
+            experiment_id=experiment_id,
+            title=title,
+            columns=columns,
+            rows=rows,
+            notes=notes,
+        )
+
+
+#: Default shared harness used by the benchmark suite.
+_SHARED: Optional[Harness] = None
+
+
+def shared_harness() -> Harness:
+    """Process-wide harness so pytest-benchmark files share caches."""
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = Harness()
+    return _SHARED

@@ -1,0 +1,33 @@
+"""Core: the TA-family engine, scheduling policies, baselines, and bounds."""
+
+from .algorithms import (
+    TopKProcessor,
+    available_algorithms,
+    canonical_name,
+    make_policies,
+    run_query,
+)
+from .bookkeeping import Candidate, CandidatePool
+from .engine import QueryState, RAPolicy, SAPolicy, TopKEngine
+from .full_merge import full_merge
+from .lower_bound import LowerBoundComputer
+from .results import QueryStats, RankedItem, TopKResult
+
+__all__ = [
+    "Candidate",
+    "CandidatePool",
+    "LowerBoundComputer",
+    "QueryState",
+    "QueryStats",
+    "RAPolicy",
+    "RankedItem",
+    "SAPolicy",
+    "TopKEngine",
+    "TopKProcessor",
+    "TopKResult",
+    "available_algorithms",
+    "canonical_name",
+    "full_merge",
+    "make_policies",
+    "run_query",
+]

@@ -1,0 +1,216 @@
+"""Algorithm registry: every TA-family method as a named policy triple.
+
+The paper's taxonomy (Sec. 2.4) identifies an algorithm by how it schedules
+sorted accesses, when it schedules random accesses, and in which order it
+performs them.  Names follow the paper:
+
+=====================  =============================================
+Name                   Meaning
+=====================  =============================================
+``RR-Never``           NRA — round-robin scans, no random accesses
+``RR-All``             TA — resolve every new document immediately
+``RR-Each-Best``       CA — one RA per cR/cS SAs, on the best candidate
+``RR-Top-Best``        Upper — probe while a candidate beats all unseen
+``RR-Pick-Best``       Pick — naive SA phase, then probe everything
+``RR-Last-Best``       Last-Probing, bestscore-ordered probes
+``RR-Last-Ben``        Ben-Probing (EWC switch + EWC-ordered probes)
+``KSR-...`` ``KBA-...``  same RA schemes with knapsack SA scheduling
+=====================  =============================================
+
+Aliases ``NRA``, ``TA``, ``CA``, ``Upper`` and ``Pick`` map to the canonical
+triples.  Policy instances carry per-query state, so the factory functions
+build fresh objects for every query execution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..stats.catalog import StatsCatalog
+from ..storage.block_index import InvertedBlockIndex
+from ..storage.diskmodel import CostModel
+from .engine import RAPolicy, SAPolicy, TopKEngine
+from .ra.ben import BenProbe
+from .ra.last import LastProbe, PickProbe
+from .ra.ordering import BenOrdering, BestOrdering
+from .ra.simple import AllProbe, EachProbe, NeverProbe, TopProbe
+from .results import TopKResult
+from .sa.kba import KnapsackBenefitAggregation
+from .sa.ksr import KnapsackScoreReduction
+from .sa.round_robin import RoundRobin
+
+_SA_FACTORIES: Dict[str, Callable[[], SAPolicy]] = {
+    "RR": RoundRobin,
+    "KSR": KnapsackScoreReduction,
+    "KBA": KnapsackBenefitAggregation,
+}
+
+_RA_FACTORIES: Dict[str, Callable[[], RAPolicy]] = {
+    "Never": NeverProbe,
+    "All": AllProbe,
+    "Each-Best": EachProbe,
+    "Top-Best": TopProbe,
+    "Pick-Best": lambda: PickProbe(BestOrdering()),
+    "Pick-Ben": lambda: PickProbe(BenOrdering()),
+    "Last-Best": lambda: LastProbe(BestOrdering()),
+    "Last-Ben": BenProbe,
+}
+
+_ALIASES: Dict[str, str] = {
+    "NRA": "RR-Never",
+    "TA": "RR-All",
+    "CA": "RR-Each-Best",
+    "UPPER": "RR-Top-Best",
+    "PICK": "RR-Pick-Best",
+}
+
+
+def canonical_name(name: str) -> str:
+    """Resolve aliases and validate an algorithm name."""
+    resolved = _ALIASES.get(name.upper(), name)
+    sa_name, _, ra_name = resolved.partition("-")
+    if sa_name not in _SA_FACTORIES or ra_name not in _RA_FACTORIES:
+        raise ValueError(
+            "unknown algorithm %r; valid: %s plus aliases %s"
+            % (name, sorted(available_algorithms()), sorted(_ALIASES))
+        )
+    return resolved
+
+
+def available_algorithms() -> List[str]:
+    """All canonical algorithm names."""
+    return [
+        "%s-%s" % (sa, ra) for sa in _SA_FACTORIES for ra in _RA_FACTORIES
+    ]
+
+
+def make_policies(name: str) -> Tuple[SAPolicy, RAPolicy, str]:
+    """Fresh per-query policy instances for a (possibly aliased) name."""
+    resolved = canonical_name(name)
+    sa_name, _, ra_name = resolved.partition("-")
+    return _SA_FACTORIES[sa_name](), _RA_FACTORIES[ra_name](), resolved
+
+
+class TopKProcessor:
+    """High-level query façade: index + statistics + engine in one object.
+
+    This is the library's main entry point::
+
+        processor = TopKProcessor(index, cost_ratio=1000)
+        result = processor.query(["kyrgyzstan", "united", "states"], k=10)
+        print(result.doc_ids, result.stats.cost)
+    """
+
+    def __init__(
+        self,
+        index: InvertedBlockIndex,
+        cost_ratio: float = 1000.0,
+        batch_blocks: Optional[int] = None,
+        num_buckets: int = 100,
+        use_correlations: bool = True,
+        predictor: str = "histogram",
+    ) -> None:
+        """``predictor`` selects the probabilistic machinery: "histogram"
+        (the paper's convolution-based predictor) or "normal" (the
+        RankSQL-style Normal approximation, for comparison)."""
+        from ..stats.normal_predictor import NormalScorePredictor
+        from ..stats.score_predictor import ScorePredictor
+
+        predictor_classes = {
+            "histogram": ScorePredictor,
+            "normal": NormalScorePredictor,
+        }
+        if predictor not in predictor_classes:
+            raise ValueError(
+                "unknown predictor %r; valid: %s"
+                % (predictor, sorted(predictor_classes))
+            )
+        self.index = index
+        self.cost_model = CostModel.from_ratio(cost_ratio)
+        self.stats = StatsCatalog(
+            index, num_buckets=num_buckets, use_correlations=use_correlations
+        )
+        self.engine = TopKEngine(
+            index=index,
+            stats=self.stats,
+            cost_model=self.cost_model,
+            batch_blocks=batch_blocks,
+            predictor_cls=predictor_classes[predictor],
+        )
+
+    def query(
+        self,
+        terms: Sequence[str],
+        k: int,
+        algorithm: str = "KSR-Last-Ben",
+        weights: Optional[Sequence[float]] = None,
+        trace: bool = False,
+        prune_epsilon: float = 0.0,
+    ) -> TopKResult:
+        """Run one top-k query with the named TA-family algorithm.
+
+        ``weights`` (one positive factor per term, default all 1.0) turn
+        the aggregation into the paper's monotone *weighted* summation;
+        ``trace=True`` attaches per-round engine snapshots to the result;
+        ``prune_epsilon > 0`` switches to approximate processing with
+        probabilistic candidate pruning (exact when 0).
+        """
+        sa_policy, ra_policy, resolved = make_policies(algorithm)
+        return self.engine.run(
+            terms, k, sa_policy, ra_policy, algorithm_name=resolved,
+            weights=weights, trace=trace, prune_epsilon=prune_epsilon,
+        )
+
+    def full_merge(
+        self,
+        terms: Sequence[str],
+        k: int,
+        weights: Optional[Sequence[float]] = None,
+    ) -> TopKResult:
+        """The DBMS-style FullMerge baseline (scan everything, sort)."""
+        from .full_merge import full_merge
+
+        return full_merge(
+            self.index, terms, k, self.cost_model, weights=weights
+        )
+
+    def lower_bound(
+        self,
+        terms: Sequence[str],
+        k: int,
+        weights: Optional[Sequence[float]] = None,
+    ) -> float:
+        """Sec. 2.5 per-query lower bound on any TA-family method's cost."""
+        from .lower_bound import LowerBoundComputer
+
+        computer = LowerBoundComputer(self.index, terms, weights=weights)
+        return computer.cost_for_k(k, self.cost_model.ratio)
+
+
+def run_query(
+    index: InvertedBlockIndex,
+    terms: Sequence[str],
+    k: int,
+    algorithm: str = "KSR-Last-Ben",
+    cost_ratio: float = 1000.0,
+    batch_blocks: Optional[int] = None,
+    stats: Optional[StatsCatalog] = None,
+    weights: Optional[Sequence[float]] = None,
+) -> TopKResult:
+    """One-shot convenience wrapper around :class:`TopKProcessor`.
+
+    Prefer :class:`TopKProcessor` (or sharing a :class:`StatsCatalog`) when
+    running many queries against the same index, so histograms and
+    covariance tables are computed once.
+    """
+    sa_policy, ra_policy, resolved = make_policies(algorithm)
+    engine = TopKEngine(
+        index=index,
+        stats=stats,
+        cost_model=CostModel.from_ratio(cost_ratio),
+        batch_blocks=batch_blocks,
+    )
+    return engine.run(
+        terms, k, sa_policy, ra_policy, algorithm_name=resolved,
+        weights=weights,
+    )

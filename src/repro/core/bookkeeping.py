@@ -1,0 +1,224 @@
+"""Candidate bookkeeping for TA-style processing (paper Sec. 2.3).
+
+For every encountered document the engine tracks the set of evaluated
+dimensions ``E(d)`` (a bitmask) and the lower bound ``worstscore(d)`` (sum of
+known scores).  The matching upper bound is derived on demand:
+
+    bestscore(d) = worstscore(d) + sum of high_i over unevaluated dimensions
+
+The pool maintains the two conceptual priority queues of the paper — the
+current top-k (by worstscore) and the candidate queue (everything else whose
+bestscore still beats the threshold ``min-k``) — and prunes candidates whose
+bestscore can no longer exceed ``min-k``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Slack used when comparing floating-point score bounds.  Pruning uses
+#: ``bestscore <= min_k + EPSILON`` — a candidate that can at most *tie* the
+#: current rank-k item is never needed for a correct top-k set.  This also
+#: defines the library's precision contract: score differences below
+#: EPSILON are treated as ties, and aggregated scores below EPSILON are
+#: indistinguishable from zero (scores are assumed normalized to a range
+#: around [0, 1], paper Sec. 2.1).
+EPSILON = 1e-9
+
+
+class Candidate:
+    """Mutable per-document state: lower bound and evaluated-dimension mask."""
+
+    __slots__ = ("doc_id", "worstscore", "seen_mask")
+
+    def __init__(self, doc_id: int) -> None:
+        self.doc_id = doc_id
+        self.worstscore = 0.0
+        self.seen_mask = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Candidate(doc=%d, worst=%.4f, seen=%s)" % (
+            self.doc_id,
+            self.worstscore,
+            bin(self.seen_mask),
+        )
+
+
+class CandidatePool:
+    """All alive candidates of one query, with threshold-based pruning."""
+
+    def __init__(self, num_lists: int, k: int) -> None:
+        if not 1 <= num_lists <= 60:
+            raise ValueError("num_lists must be between 1 and 60")
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.num_lists = num_lists
+        self.k = k
+        self.full_mask = (1 << num_lists) - 1
+        self.candidates: Dict[int, Candidate] = {}
+        self.min_k = 0.0
+        self.topk_ids: set = set()
+        self._miss_sums: Dict[int, float] = {0: 0.0}
+        self._highs: Tuple[float, ...] = tuple([float("inf")] * num_lists)
+        self.peak_size = 0
+
+    # ------------------------------------------------------------------
+    # Updates from index accesses
+    # ------------------------------------------------------------------
+    def absorb_postings(
+        self, dim: int, doc_ids: Sequence[int], scores: Sequence[float]
+    ) -> List[int]:
+        """Merge one list's batch of postings; returns newly seen doc ids."""
+        bit = 1 << dim
+        new_docs: List[int] = []
+        candidates = self.candidates
+        for doc_id, score in zip(doc_ids, scores):
+            doc_id = int(doc_id)
+            cand = candidates.get(doc_id)
+            if cand is None:
+                cand = Candidate(doc_id)
+                candidates[doc_id] = cand
+                new_docs.append(doc_id)
+            if cand.seen_mask & bit:
+                continue  # already resolved by an earlier random access
+            cand.seen_mask |= bit
+            cand.worstscore += float(score)
+        self.peak_size = max(self.peak_size, len(candidates))
+        return new_docs
+
+    def resolve_dimension(self, doc_id: int, dim: int, score: float) -> Candidate:
+        """Record a random-access lookup result for one dimension."""
+        bit = 1 << dim
+        cand = self.candidates.get(doc_id)
+        if cand is None:
+            cand = Candidate(doc_id)
+            self.candidates[doc_id] = cand
+        if not cand.seen_mask & bit:
+            cand.seen_mask |= bit
+            cand.worstscore += float(score)
+        return cand
+
+    # ------------------------------------------------------------------
+    # Derived bounds
+    # ------------------------------------------------------------------
+    def set_highs(self, highs: Sequence[float]) -> None:
+        """Install the current ``high_i`` vector and reset the mask cache."""
+        self._highs = tuple(float(h) for h in highs)
+        self._miss_sums = {self.full_mask: 0.0}
+
+    def missing_high_sum(self, seen_mask: int) -> float:
+        """Sum of ``high_i`` over the dimensions *not* in ``seen_mask``."""
+        cached = self._miss_sums.get(seen_mask)
+        if cached is None:
+            cached = sum(
+                self._highs[i]
+                for i in range(self.num_lists)
+                if not seen_mask >> i & 1
+            )
+            self._miss_sums[seen_mask] = cached
+        return cached
+
+    def bestscore(self, cand: Candidate) -> float:
+        """Upper bound for the candidate's final aggregated score."""
+        return cand.worstscore + self.missing_high_sum(cand.seen_mask)
+
+    @property
+    def unseen_bestscore(self) -> float:
+        """Upper bound for any document never encountered: sum of highs."""
+        return self.missing_high_sum(0)
+
+    def missing_dims(self, cand: Candidate) -> List[int]:
+        """Unevaluated dimensions ``E(d)`` of the candidate."""
+        return [
+            i for i in range(self.num_lists) if not cand.seen_mask >> i & 1
+        ]
+
+    # ------------------------------------------------------------------
+    # Threshold maintenance and pruning
+    # ------------------------------------------------------------------
+    def recompute(self) -> None:
+        """Recompute the top-k / min-k split and prune dead candidates.
+
+        Must be called after :meth:`set_highs` whenever scan positions or
+        candidate states changed.  Pruning removes every candidate outside
+        the current top-k whose bestscore cannot exceed ``min-k``.
+        """
+        candidates = self.candidates
+        if not candidates:
+            self.topk_ids = set()
+            self.min_k = 0.0
+            return
+        top = heapq.nlargest(
+            self.k,
+            candidates.values(),
+            key=lambda c: (c.worstscore, -c.doc_id),
+        )
+        self.topk_ids = {c.doc_id for c in top}
+        self.min_k = top[-1].worstscore if len(top) >= self.k else 0.0
+        threshold = self.min_k + EPSILON
+        if self.min_k <= 0.0:
+            return
+        dead = [
+            doc_id
+            for doc_id, cand in candidates.items()
+            if doc_id not in self.topk_ids and self.bestscore(cand) <= threshold
+        ]
+        for doc_id in dead:
+            del candidates[doc_id]
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def queue(self) -> List[Candidate]:
+        """Candidates outside the current top-k (the paper's queue ``Q``)."""
+        return [
+            cand
+            for doc_id, cand in self.candidates.items()
+            if doc_id not in self.topk_ids
+        ]
+
+    def unresolved(self) -> List[Candidate]:
+        """All candidates (queue and top-k) with at least one missing dim."""
+        return [
+            cand
+            for cand in self.candidates.values()
+            if cand.seen_mask != self.full_mask
+        ]
+
+    def topk_candidates(self) -> List[Candidate]:
+        """The current top-k candidates in descending worstscore order."""
+        top = [self.candidates[d] for d in self.topk_ids]
+        top.sort(key=lambda c: (-c.worstscore, c.doc_id))
+        return top
+
+    def topk_worstscores(self) -> np.ndarray:
+        """Worstscores of the current top-k items (unordered)."""
+        return np.array(
+            [self.candidates[d].worstscore for d in self.topk_ids],
+            dtype=np.float64,
+        )
+
+    @property
+    def is_terminated(self) -> bool:
+        """Paper Sec. 2.3 stop rule: no candidate (queued or unseen) can
+        still exceed ``min-k``, and the top-k is fully populated (or fewer
+        than k scored documents exist and nothing relevant remains unseen)."""
+        if len(self.candidates) < self.k:
+            # Fewer than k docs encountered: done only once no unseen doc
+            # can carry any positive score at all.
+            return self.unseen_bestscore <= EPSILON
+        threshold = self.min_k + EPSILON
+        if self.unseen_bestscore > threshold:
+            return False
+        for doc_id, cand in self.candidates.items():
+            if doc_id in self.topk_ids:
+                continue
+            if self.bestscore(cand) > threshold:
+                return False
+        return True
+
+    def __len__(self) -> int:
+        return len(self.candidates)

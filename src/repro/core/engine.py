@@ -1,0 +1,396 @@
+"""The batched TA-family query driver (paper Sec. 2.3 and 4).
+
+The engine processes a query in rounds.  Each round:
+
+1. the **SA policy** splits a batch of ``b`` sorted accesses (whole blocks of
+   the inverted block-index) across the ``m`` query lists,
+2. the delivered postings are merged into the candidate pool and the
+   threshold bookkeeping is refreshed,
+3. the **RA policy** gets a hook to issue random-access probes — a few
+   (TA/CA/Upper), none (NRA), or the entire final probing phase
+   (Last-/Ben-Probing),
+4. the engine stops as soon as the Sec. 2.3 termination condition holds:
+   neither a queued candidate nor any unseen document can still exceed the
+   ``min-k`` threshold.
+
+All index data flows through charged cursors/accessors, so the meter's COST
+is exactly the paper's ``#SA + (cR/cS) * #RA``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Sequence
+
+from ..stats.catalog import StatsCatalog
+from ..stats.score_predictor import ScorePredictor
+from ..storage.accessors import RandomAccessor, SortedCursor
+from ..storage.block_index import InvertedBlockIndex
+from ..storage.diskmodel import AccessMeter, CostModel
+from .bookkeeping import EPSILON, Candidate, CandidatePool
+from .results import QueryStats, RankedItem, RoundTrace, TopKResult
+
+
+class QueryState:
+    """Everything one in-flight query knows, shared with the policies.
+
+    The policies read scan positions, ``high_i`` bounds, candidate bounds
+    and the probabilistic predictor from here, and mutate the query only
+    through :meth:`perform_sorted_round` and the probe methods — which keeps
+    every index access charged and every decision statistics-driven.
+    """
+
+    def __init__(
+        self,
+        index: InvertedBlockIndex,
+        stats: StatsCatalog,
+        terms: Sequence[str],
+        k: int,
+        cost_model: CostModel,
+        batch_blocks: Optional[int] = None,
+        weights: Optional[Sequence[float]] = None,
+        predictor_cls: type = ScorePredictor,
+    ) -> None:
+        if not terms:
+            raise ValueError("a query needs at least one term")
+        self.predictor_cls = predictor_cls
+        self.index = index
+        self.stats = stats
+        self.terms = list(terms)
+        self.k = int(k)
+        self.num_lists = len(self.terms)
+        self.cost_model = cost_model
+        if weights is None:
+            weights = [1.0] * self.num_lists
+        if len(weights) != self.num_lists:
+            raise ValueError("weights must match the number of query terms")
+        if any(w <= 0 for w in weights):
+            raise ValueError("weights must be positive (monotonicity)")
+        #: per-dimension aggregation weights (monotone weighted summation)
+        self.weights = [float(w) for w in weights]
+        self.meter = AccessMeter(cost_model=cost_model)
+        lists = index.lists_for(self.terms)
+        self.cursors: List[SortedCursor] = [
+            SortedCursor(lst, self.meter) for lst in lists
+        ]
+        self.randoms: List[RandomAccessor] = [
+            RandomAccessor(lst, self.meter) for lst in lists
+        ]
+        self.list_lengths = [len(lst) for lst in lists]
+        self.block_size = lists[0].block_size if lists else 1
+        #: sorted accesses per round; defaults to one block per query list
+        self.batch_blocks = batch_blocks if batch_blocks else self.num_lists
+        self.histograms = [
+            stats.histogram(t).scaled(w)
+            for t, w in zip(self.terms, self.weights)
+        ]
+        self.pool = CandidatePool(self.num_lists, self.k)
+        self.round_no = 0
+        self.last_allocation: List[int] = [0] * self.num_lists
+        self.last_new_docs: List[int] = []
+        self._predictor: Optional[ScorePredictor] = None
+        self._predictor_round = -1
+        self.pool.set_highs(self.highs)
+        self.pool.recompute()
+
+    # ------------------------------------------------------------------
+    # Scan geometry
+    # ------------------------------------------------------------------
+    @property
+    def highs(self) -> List[float]:
+        """Current weighted ``high_i`` bounds at the scan positions."""
+        return [
+            cursor.high * w for cursor, w in zip(self.cursors, self.weights)
+        ]
+
+    @property
+    def positions(self) -> List[int]:
+        """Current scan positions ``pos_i`` (entries read per list)."""
+        return [cursor.position for cursor in self.cursors]
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every list has been fully scanned."""
+        return all(cursor.exhausted for cursor in self.cursors)
+
+    @property
+    def min_k(self) -> float:
+        return self.pool.min_k
+
+    @property
+    def unseen_bestscore(self) -> float:
+        return self.pool.unseen_bestscore
+
+    @property
+    def predictor(self) -> ScorePredictor:
+        """The probabilistic predictor, refreshed at most once per round.
+
+        Built on the query's (weight-scaled) histograms so that score
+        predictions live on the same scale as the candidate bounds.
+        """
+        if self._predictor is None:
+            self._predictor = self.predictor_cls(
+                histograms=self.histograms,
+                list_lengths=self.list_lengths,
+                num_docs=self.index.num_docs,
+                covariance=self.stats.covariance(self.terms),
+            )
+            self._predictor.refresh(self.positions)
+            self._predictor_round = self.round_no
+        elif self._predictor_round != self.round_no:
+            self._predictor.refresh(self.positions)
+            self._predictor_round = self.round_no
+        return self._predictor
+
+    # ------------------------------------------------------------------
+    # Sorted access
+    # ------------------------------------------------------------------
+    def perform_sorted_round(self, blocks_per_list: Sequence[int]) -> None:
+        """Execute one batch of sorted accesses and refresh bookkeeping."""
+        if len(blocks_per_list) != self.num_lists:
+            raise ValueError("allocation must cover every query list")
+        self.round_no += 1
+        self.last_new_docs = []
+        allocation = [0] * self.num_lists
+        for dim, blocks in enumerate(blocks_per_list):
+            if blocks <= 0:
+                continue
+            doc_ids, scores = self.cursors[dim].read_next_blocks(int(blocks))
+            allocation[dim] = int(doc_ids.size)
+            if doc_ids.size:
+                if self.weights[dim] != 1.0:
+                    scores = scores * self.weights[dim]
+                self.last_new_docs.extend(
+                    self.pool.absorb_postings(dim, doc_ids, scores)
+                )
+        self.last_allocation = allocation
+        self.recompute()
+
+    def recompute(self) -> None:
+        """Refresh highs, the top-k/min-k split, and prune the queue."""
+        self.pool.set_highs(self.highs)
+        self.pool.recompute()
+
+    def probabilistic_prune(self, epsilon: float) -> int:
+        """Approximate pruning (paper Sec. 7 / its reference [29]).
+
+        Drops every queued candidate whose probability of still reaching
+        the top-k — the combined predictor ``p(d)`` of Sec. 3.3 — falls
+        below ``epsilon``.  This trades a bounded chance of missing a true
+        result for earlier threshold termination; ``epsilon = 0`` keeps
+        the processing exact.  Returns the number of dropped candidates.
+        """
+        if epsilon <= 0.0 or self.min_k <= 0.0:
+            return 0
+        predictor = self.predictor
+        pool = self.pool
+        doomed = [
+            doc_id
+            for doc_id, cand in pool.candidates.items()
+            if doc_id not in pool.topk_ids
+            and predictor.qualify_probability(
+                cand.seen_mask, cand.worstscore, self.min_k
+            ) < epsilon
+        ]
+        for doc_id in doomed:
+            del pool.candidates[doc_id]
+        return len(doomed)
+
+    # ------------------------------------------------------------------
+    # Random access
+    # ------------------------------------------------------------------
+    def probe(self, doc_id: int, dim: int) -> float:
+        """One random access: resolve ``dim`` for ``doc_id``."""
+        score = self.randoms[dim].probe(doc_id) * self.weights[dim]
+        self.pool.resolve_dimension(doc_id, dim, score)
+        return score
+
+    def probe_candidate(
+        self,
+        cand: Candidate,
+        dims: Optional[Sequence[int]] = None,
+        stop_when_pruned: bool = True,
+    ) -> None:
+        """Probe a candidate's missing dimensions one random access at a time.
+
+        Dimensions default to ascending list selectivity ``l_i / n``
+        (Sec. 5.2) — the most selective (shortest) lists first, since those
+        are most likely to disqualify the candidate cheaply.  When
+        ``stop_when_pruned`` is set, the probe sequence is broken off as
+        soon as the candidate's bestscore drops to ``min-k`` or below.
+        """
+        if dims is None:
+            dims = sorted(
+                self.pool.missing_dims(cand), key=lambda i: self.list_lengths[i]
+            )
+        for dim in dims:
+            if cand.seen_mask >> dim & 1:
+                continue
+            if (
+                stop_when_pruned
+                and self.pool.bestscore(cand) <= self.min_k + EPSILON
+            ):
+                return
+            self.probe(cand.doc_id, dim)
+
+    # ------------------------------------------------------------------
+    # Termination
+    # ------------------------------------------------------------------
+    @property
+    def is_terminated(self) -> bool:
+        if self.pool.is_terminated:
+            return True
+        # A fully scanned index cannot deliver new information by sorted
+        # access; if candidates still need resolution the RA policy must act,
+        # but with all highs at 0 every candidate is already resolved
+        # (missing dimensions contribute exactly 0).
+        return self.exhausted and self.pool.unseen_bestscore <= 0.0
+
+    def build_result(self, algorithm: str, wall_time: float) -> TopKResult:
+        # Documents whose aggregated lower bound is 0 carry no evidence of
+        # a match and are indistinguishable from unseen documents — they
+        # are never returned (FullMerge applies the same rule).
+        top = self.pool.topk_candidates()
+        items = [
+            RankedItem(
+                doc_id=c.doc_id,
+                worstscore=c.worstscore,
+                bestscore=self.pool.bestscore(c),
+            )
+            for c in top
+            if c.worstscore > 0.0
+        ]
+        stats = QueryStats.from_meter(
+            self.meter,
+            rounds=self.round_no,
+            peak_queue_size=self.pool.peak_size,
+            wall_time_seconds=wall_time,
+        )
+        return TopKResult(items=items, stats=stats, algorithm=algorithm)
+
+
+class SAPolicy:
+    """Base class for sorted-access scheduling policies (Sec. 4)."""
+
+    name = "sa"
+
+    def allocate(self, state: QueryState, batch_blocks: int) -> List[int]:
+        """Split ``batch_blocks`` whole blocks across the query lists."""
+        raise NotImplementedError
+
+
+class RAPolicy:
+    """Base class for random-access scheduling policies (Sec. 5)."""
+
+    name = "ra"
+
+    def wants_sorted_access(self, state: QueryState) -> bool:
+        """Whether the engine should run another SA round first."""
+        return True
+
+    def after_round(self, state: QueryState) -> None:
+        """Hook to issue random accesses after an SA round."""
+
+
+class TopKEngine:
+    """Runs one TA-family algorithm — an (SA policy, RA policy) pair."""
+
+    def __init__(
+        self,
+        index: InvertedBlockIndex,
+        stats: Optional[StatsCatalog] = None,
+        cost_model: Optional[CostModel] = None,
+        batch_blocks: Optional[int] = None,
+        max_rounds: int = 1_000_000,
+        predictor_cls: type = ScorePredictor,
+    ) -> None:
+        self.index = index
+        self.stats = stats if stats is not None else StatsCatalog(index)
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.batch_blocks = batch_blocks
+        self.max_rounds = max_rounds
+        self.predictor_cls = predictor_cls
+
+    def run(
+        self,
+        terms: Sequence[str],
+        k: int,
+        sa_policy: SAPolicy,
+        ra_policy: RAPolicy,
+        algorithm_name: str = "",
+        weights: Optional[Sequence[float]] = None,
+        trace: bool = False,
+        prune_epsilon: float = 0.0,
+    ) -> TopKResult:
+        """Execute one top-k query and return results plus access stats.
+
+        With ``trace=True`` the result carries one :class:`RoundTrace`
+        snapshot per processing round (scan positions, bounds, threshold,
+        queue size) — the programmatic version of the paper's Fig. 1.
+
+        ``prune_epsilon > 0`` enables *approximate* processing: candidates
+        whose estimated qualification probability drops below the epsilon
+        are discarded early (the paper's Sec. 7 suggestion of combining
+        the scheduling framework with probabilistic pruning).
+        """
+        started = time.perf_counter()
+        state = QueryState(
+            index=self.index,
+            stats=self.stats,
+            terms=terms,
+            k=k,
+            cost_model=self.cost_model,
+            batch_blocks=self.batch_blocks,
+            weights=weights,
+            predictor_cls=self.predictor_cls,
+        )
+        traces: List[RoundTrace] = []
+        while not state.is_terminated:
+            progressed = False
+            if not state.exhausted and ra_policy.wants_sorted_access(state):
+                allocation = sa_policy.allocate(state, state.batch_blocks)
+                if any(b > 0 for b in allocation):
+                    state.perform_sorted_round(allocation)
+                    progressed = True
+            ra_before = state.meter.random_accesses
+            ra_policy.after_round(state)
+            if state.meter.random_accesses != ra_before:
+                state.recompute()
+                progressed = True
+            if prune_epsilon > 0.0 and state.probabilistic_prune(
+                prune_epsilon
+            ):
+                state.recompute()
+            if not progressed:
+                # Policy refused both access kinds while work remains; fall
+                # back to a round-robin SA round to guarantee progress.
+                if state.exhausted:
+                    break
+                fallback = _round_robin_fallback(state)
+                state.perform_sorted_round(fallback)
+            if trace:
+                traces.append(
+                    RoundTrace(
+                        round_no=state.round_no,
+                        allocation=tuple(state.last_allocation),
+                        positions=tuple(state.positions),
+                        highs=tuple(state.highs),
+                        min_k=state.min_k,
+                        unseen_bestscore=state.pool.unseen_bestscore,
+                        queue_size=len(state.pool.queue()),
+                        sorted_accesses=state.meter.sorted_accesses,
+                        random_accesses=state.meter.random_accesses,
+                    )
+                )
+            if state.round_no > self.max_rounds:  # pragma: no cover - guard
+                raise RuntimeError("engine exceeded max_rounds; likely a bug")
+        elapsed = time.perf_counter() - started
+        name = algorithm_name or "%s-%s" % (sa_policy.name, ra_policy.name)
+        result = state.build_result(name, elapsed)
+        result.trace = traces
+        return result
+
+
+def _round_robin_fallback(state: QueryState) -> List[int]:
+    """One block for each non-exhausted list (progress guarantee)."""
+    return [0 if cursor.exhausted else 1 for cursor in state.cursors]

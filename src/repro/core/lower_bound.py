@@ -1,0 +1,311 @@
+"""Per-query lower bound for TA-family algorithms (paper Sec. 2.5).
+
+Any correct top-k method that stops its sorted accesses at depths
+``(d_1, ..., d_m)`` must (a) have encountered every definitive top-k
+document, (b) have pushed the unseen-document bound ``sum_i high_i(d_i)``
+down to the final ``min-k`` (otherwise an adversary could hide a better
+document below the scan positions), and (c) perform at least one random
+access for every *seen but unresolved* document whose bestscore at those
+depths still exceeds the final ``min-k`` — such a document can never be
+pruned by the threshold test alone.  The method's cost is therefore at
+least
+
+    min over (d_1..d_m)  of  [ sum_i d_i  +  (cR/cS) * |X(d_1..d_m)| ]
+
+with ``X`` the set from (c) and, like the paper, depths restricted to block
+boundaries.
+
+Enumerating every block-boundary combination is infeasible in Python for
+long lists, so we enumerate *cells* of a coarsened per-list depth grid and
+lower-bound the cost over each whole cell, exploiting monotonicity:
+
+* the SA cost of any depth in cell ``[g_t, g_{t+1})`` is at least ``g_t``
+  (shallow corner);
+* a document counts toward the cell's RA bound only if it is in ``X`` for
+  *every* depth combination in the cell — it must be seen already at the
+  shallow corner (seen-sets grow with depth), still unresolved at the deep
+  corner, and its bestscore at the deep corner (bestscores shrink with
+  depth) must still exceed ``min-k``;
+* the cell is feasible if its deep corner can satisfy the unseen-bound and
+  top-k-seen constraints (the easiest point of the cell).
+
+The minimum of these cell bounds is a valid lower bound for *all*
+block-boundary schedules; coarsening can only make it smaller (safer), and
+with the grid at full block granularity it is exact.  Because the bound's
+tightness depends on where the (geometric) grid boundaries happen to fall,
+the computer evaluates several grid resolutions and reports the **maximum**
+of their bounds — each is valid on its own, so the maximum is too.
+
+The computation is an offline analysis tool, not a query algorithm: it may
+read exact scores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+_TOL = 1e-9
+
+
+class _GridBound:
+    """Cell data and enumeration for one per-list depth-grid resolution."""
+
+    def __init__(
+        self,
+        lists,
+        ranks: np.ndarray,
+        scores: np.ndarray,
+        weights: Sequence[float],
+        max_depths_per_list: int,
+        max_combinations: int,
+    ) -> None:
+        self.m = len(lists)
+        self.max_combinations = max_combinations
+        self._num_docs = ranks.shape[1]
+        # Per-list cells: cell t spans block-boundary depths
+        # [shallow[t], deep[t]] with deep[t] the last boundary before the
+        # next grid point (for the final cell, the full list).
+        self.shallow_depths: List[np.ndarray] = []
+        self.deep_depths: List[np.ndarray] = []
+        self.deep_highs: List[np.ndarray] = []
+        self._seen_shallow: List[np.ndarray] = []
+        self._seen_deep: List[np.ndarray] = []
+        self._best_deep: List[np.ndarray] = []
+        for i, lst in enumerate(lists):
+            boundaries = _depth_grid(lst, max_depths_per_list)
+            shallow = boundaries[:-1]
+            deep = np.maximum(boundaries[1:] - lst.block_size, shallow)
+            deep[-1] = boundaries[-1]  # final cell: exactly the full scan
+            highs = np.array(
+                [lst.score_at_rank(int(d)) * weights[i] for d in deep]
+            )
+            seen_shallow = ranks[i][None, :] < shallow[:, None]
+            seen_deep = ranks[i][None, :] < deep[:, None]
+            best_deep = np.where(
+                seen_deep, scores[i][None, :], highs[:, None]
+            )
+            self.shallow_depths.append(shallow)
+            self.deep_depths.append(deep)
+            self.deep_highs.append(highs)
+            self._seen_shallow.append(seen_shallow)
+            self._seen_deep.append(seen_deep)
+            self._best_deep.append(best_deep.astype(np.float32))
+
+    # ------------------------------------------------------------------
+    def _cell_groups(self) -> List[List[Tuple[int, int]]]:
+        """Per-list cell groupings whose combination count fits the cap.
+
+        Merging adjacent cells keeps the bound valid (a merged cell's
+        shallow corner under-counts SA, its deep corner under-counts X for
+        every depth inside), it only loosens it.  The budget of cells goes
+        to the longest lists first — the ones whose scan depth actually
+        moves the optimum.
+        """
+        sizes = [len(s) for s in self.shallow_depths]
+        counts = [1] * self.m
+        order = sorted(
+            range(self.m), key=lambda i: -int(self.deep_depths[i][-1])
+        )
+        # Greedily grant one more cell to the longest list whose increment
+        # keeps the total combination count within budget.
+        progressed = True
+        while progressed:
+            progressed = False
+            for i in order:
+                if counts[i] >= sizes[i]:
+                    continue
+                product = 1
+                for j in range(self.m):
+                    product *= counts[j] + (1 if j == i else 0)
+                if product <= self.max_combinations:
+                    counts[i] += 1
+                    progressed = True
+        groups: List[List[Tuple[int, int]]] = []
+        for i in range(self.m):
+            edges = np.unique(
+                np.linspace(0, sizes[i], counts[i] + 1).astype(int)
+            )
+            groups.append(
+                [(int(edges[g]), int(edges[g + 1] - 1))
+                 for g in range(len(edges) - 1)]
+            )
+        return groups
+
+    # ------------------------------------------------------------------
+    def enumerate_bound(
+        self,
+        min_k: float,
+        required: np.ndarray,
+        not_topk: np.ndarray,
+        ratio: float,
+    ) -> float:
+        """Exact minimum of the cell bounds over this grid."""
+        groups = self._cell_groups()
+        m = self.m
+        # Minimal achievable high-sum from lists i.. onward, to prune
+        # subtrees that can never satisfy the unseen-bound constraint.
+        min_high_suffix = np.zeros(m + 1)
+        for i in range(m - 1, -1, -1):
+            min_high_suffix[i] = min_high_suffix[i + 1] + float(
+                self.deep_highs[i].min()
+            )
+        best = [float("inf")]
+        num_docs = self._num_docs
+        zeros_f = np.zeros(num_docs, dtype=np.float32)
+        false_b = np.zeros(num_docs, dtype=bool)
+
+        def recurse(i, best_vec, seen_shallow, seen_deep_all, req_seen,
+                    high_sum, sa_cost):
+            if high_sum + min_high_suffix[i] > min_k + _TOL:
+                return
+            if sa_cost >= best[0]:
+                return
+            if i == m:
+                if required.size and not req_seen.all():
+                    return
+                in_x = (
+                    seen_shallow
+                    & ~seen_deep_all
+                    & not_topk
+                    & (best_vec > min_k + _TOL)
+                )
+                cost = sa_cost + ratio * int(np.count_nonzero(in_x))
+                if cost < best[0]:
+                    best[0] = cost
+                return
+            for lo, hi in groups[i]:
+                recurse(
+                    i + 1,
+                    best_vec + self._best_deep[i][hi],
+                    seen_shallow | self._seen_shallow[i][lo],
+                    seen_deep_all & self._seen_deep[i][hi],
+                    req_seen | self._seen_deep[i][hi][required],
+                    high_sum + float(self.deep_highs[i][hi]),
+                    sa_cost + int(self.shallow_depths[i][lo]),
+                )
+
+        recurse(
+            0, zeros_f, false_b.copy(), ~false_b,
+            np.zeros(required.size, dtype=bool), 0.0, 0,
+        )
+        return best[0]
+
+
+class LowerBoundComputer:
+    """Reusable lower-bound evaluator for one (index, query) pair.
+
+    Building the rank/score matrices is the expensive part and is shared
+    across different values of ``k``, different cost ratios, and the
+    several grid resolutions whose bounds are combined.
+    """
+
+    def __init__(
+        self,
+        index,
+        terms: Sequence[str],
+        max_depths_per_list: int = 12,
+        max_combinations: int = 6000,
+        weights: Sequence[float] = None,
+        grid_resolutions: Sequence[int] = None,
+    ) -> None:
+        if max_depths_per_list < 2:
+            raise ValueError("need at least the empty and the full depth")
+        self.terms = list(terms)
+        lists = index.lists_for(self.terms)
+        self.m = len(lists)
+        self.max_combinations = max_combinations
+        if weights is None:
+            weights = [1.0] * self.m
+        if len(weights) != self.m:
+            raise ValueError("weights must match the number of query terms")
+        self.weights = [float(w) for w in weights]
+
+        union = np.unique(
+            np.concatenate([lst.doc_ids_by_rank for lst in lists])
+        )
+        self._num_docs = union.size
+        ranks = np.empty((self.m, union.size), dtype=np.int64)
+        scores = np.zeros((self.m, union.size), dtype=np.float64)
+        for i, lst in enumerate(lists):
+            ranks[i, :] = len(lst)  # "absent": never reached by any depth
+            idx = np.searchsorted(union, lst.doc_ids_by_rank)
+            ranks[i, idx] = np.arange(len(lst))
+            scores[i, idx] = lst.scores_by_rank * self.weights[i]
+        self.totals = scores.sum(axis=0)
+
+        if grid_resolutions is None:
+            grid_resolutions = (max_depths_per_list,
+                                max_depths_per_list * 2 - 4)
+        self._grids = [
+            _GridBound(lists, ranks, scores, self.weights, resolution,
+                       max_combinations)
+            for resolution in sorted(set(grid_resolutions))
+        ]
+        self._cache: Dict[Tuple[int, float], float] = {}
+
+    # Backwards-compatible views onto the primary grid.
+    @property
+    def shallow_depths(self) -> List[np.ndarray]:
+        return self._grids[0].shallow_depths
+
+    @property
+    def deep_depths(self) -> List[np.ndarray]:
+        return self._grids[0].deep_depths
+
+    def _cell_groups(self) -> List[List[Tuple[int, int]]]:
+        return self._grids[0]._cell_groups()
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def cost_for_k(self, k: int, cost_ratio: float) -> float:
+        """Lower bound on COST = #SA + ratio * #RA for a top-``k`` query.
+
+        Reports the maximum over the configured grid resolutions: every
+        grid's cell bound is valid on its own, so the maximum is the
+        tightest statement this computer can make.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        key = (int(k), float(cost_ratio))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        take = min(k, self._num_docs)
+        if take == 0:
+            return 0.0
+        min_k = float(np.partition(self.totals, -take)[-take])
+        # Docs that *must* be found by sorted access (definitive top-k) and
+        # docs excluded from X because they may legitimately end up in the
+        # returned top-k (score >= min-k, ties included, conservatively).
+        required = np.flatnonzero(self.totals > min_k + _TOL)
+        not_topk = self.totals < min_k - _TOL
+
+        cost = max(
+            grid.enumerate_bound(min_k, required, not_topk, cost_ratio)
+            for grid in self._grids
+        )
+        self._cache[key] = cost
+        return cost
+
+
+def _depth_grid(index_list, max_depths: int) -> np.ndarray:
+    """Block-boundary scan depths, geometrically subsampled.
+
+    Always contains depth 0 and the full list; intermediate boundaries are
+    geometrically spaced because shallow depths matter most (SA cost grows
+    linearly while |X| shrinks fastest near the top of the lists).
+    """
+    blocks = index_list.num_blocks
+    size = index_list.block_size
+    length = len(index_list)
+    if blocks <= max_depths - 1:
+        boundaries = list(range(blocks))
+    else:
+        raw = np.geomspace(1, blocks, max_depths - 1)
+        boundaries = sorted({0} | {int(round(b)) for b in raw} - {blocks})
+    depths = [min(b * size, length) for b in boundaries]
+    depths.append(length)
+    return np.array(sorted(set(depths)), dtype=np.int64)

@@ -1,0 +1,27 @@
+"""Random-access scheduling policies and orderings (paper Sec. 5)."""
+
+from .ben import BenProbe
+from .last import LastProbe, PickProbe
+from .ordering import (
+    BenOrdering,
+    BestOrdering,
+    RAOrdering,
+    expected_wasted_ra_cost,
+    final_probe_phase,
+)
+from .simple import AllProbe, EachProbe, NeverProbe, TopProbe
+
+__all__ = [
+    "AllProbe",
+    "BenOrdering",
+    "BenProbe",
+    "BestOrdering",
+    "EachProbe",
+    "LastProbe",
+    "NeverProbe",
+    "PickProbe",
+    "RAOrdering",
+    "TopProbe",
+    "expected_wasted_ra_cost",
+    "final_probe_phase",
+]

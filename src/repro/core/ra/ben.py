@@ -1,0 +1,101 @@
+"""Ben-Probing (paper Sec. 5.2): cost-model-driven switch and ordering.
+
+Ben-Probing replaces Last-Probing's balanced-cost switch with *expected
+wasted costs* (EWC) — the expected cost of accesses an optimal schedule
+would not have made:
+
+* ``EWC_RA(d) = |E(d)| * (1 - p(d)) * cR/cS`` — probing candidate ``d`` is
+  wasted unless it ends up in the top-k (probability ``p(d)``, combining the
+  score predictor, selectivities and correlations of Sec. 3).
+* ``EWC_SA(batch) = (b/|Q|) * sum_{d in Q} (1 - q_b(d) * p_s(d))`` — a
+  sorted-access batch is wasted for ``d`` if it neither encounters ``d``
+  (probability ``q_b(d)``) nor ``d`` makes the top-k.
+
+The policy performs SA batches while the cumulated ``EWC_SA`` is still below
+the total ``EWC_RA`` of the queue; once random accesses become the less
+wasteful option it probes the whole queue in ascending ``EWC_RA`` order
+(most promising candidates first), each candidate's lists in ascending
+selectivity, stopping early whenever a candidate drops under the threshold.
+"""
+
+from __future__ import annotations
+
+from ..bookkeeping import EPSILON
+from ..engine import QueryState, RAPolicy
+from .last import LastProbe, _all_results_seen, _residual_scan_volume
+from .ordering import BenOrdering, expected_wasted_ra_cost, final_probe_phase
+
+
+class BenProbe(RAPolicy):
+    """Last-style probing governed by the EWC cost model."""
+
+    name = "Ben"
+
+    def __init__(self) -> None:
+        self.ordering = BenOrdering()
+        self._switched = False
+        self._cumulative_sa_ewc = 0.0
+
+    def wants_sorted_access(self, state: QueryState) -> bool:
+        return not self._switched
+
+    def after_round(self, state: QueryState) -> None:
+        if self._switched:
+            return
+        self._cumulative_sa_ewc += self._batch_sa_ewc(state)
+        if not _all_results_seen(state):
+            return
+        total_ra_ewc = sum(
+            expected_wasted_ra_cost(state, cand)
+            for cand in state.pool.queue()
+        )
+        if total_ra_ewc > self._cumulative_sa_ewc:
+            return
+        # Same rationality guard as Last-Probing: a probe phase costlier
+        # than scanning the remaining list volume cannot pay off.
+        estimated = LastProbe.estimate_remaining_probes(state)
+        if estimated * state.cost_model.ratio > _residual_scan_volume(state):
+            return
+        self._switched = True
+        final_probe_phase(state, self.ordering)
+
+    # ------------------------------------------------------------------
+    # EWC of the sorted-access batch just performed
+    # ------------------------------------------------------------------
+    def _batch_sa_ewc(self, state: QueryState) -> float:
+        batch = sum(state.last_allocation)
+        if batch <= 0:
+            return 0.0
+        queue = state.pool.queue()
+        if not queue:
+            # No candidates to benefit: the whole batch counts as wasted.
+            return float(batch)
+        predictor = state.predictor
+        min_k = state.min_k
+        full_mask = state.pool.full_mask
+        positions = state.positions
+        wasted = 0.0
+        for cand in queue:
+            remainder = full_mask & ~cand.seen_mask
+            # q_b(d): chance of meeting d in at least one list of this batch.
+            miss_all = 1.0
+            for dim in range(state.num_lists):
+                if not remainder >> dim & 1:
+                    continue
+                entries = state.last_allocation[dim]
+                if entries <= 0:
+                    continue
+                before = max(
+                    state.list_lengths[dim] - (positions[dim] - entries), 1
+                )
+                reach = min(entries / before, 1.0)
+                occurrence = predictor.remainder_occurrence(
+                    dim, cand.seen_mask
+                )
+                miss_all *= 1.0 - reach * occurrence
+            q_batch = 1.0 - miss_all
+            p_score = predictor.score_exceedance(
+                remainder, min_k - cand.worstscore
+            )
+            wasted += 1.0 - q_batch * p_score
+        return batch * wasted / len(queue)

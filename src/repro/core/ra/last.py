@@ -1,0 +1,131 @@
+"""Last-Probing (paper Sec. 5.1) and the Pick baseline.
+
+Both run a pure-SA phase followed by a pure-RA phase; they differ in the
+switch criterion:
+
+* **Pick** [Bruno et al.] switches as soon as every potential result has
+  been *seen*, i.e. when the bestscore of an unseen document drops to the
+  ``min-k`` threshold.  That tends to switch far too early and probe huge
+  queues.
+* **Last-Probing** additionally requires that the *estimated* number of
+  remaining random accesses is cheap enough to balance the sorted-access
+  cost spent so far (``est_RA * cR <= #SA * cS``).  The estimate is the
+  Poisson/incomplete-gamma estimator of Sec. 5.1, which is dramatically
+  sharper than "every queued candidate needs a lookup" for flat score
+  distributions like BM25.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...stats.poisson import estimate_remaining_random_accesses
+from ..bookkeeping import EPSILON
+from ..engine import QueryState, RAPolicy
+from .ordering import BestOrdering, RAOrdering, final_probe_phase
+
+
+class PickProbe(RAPolicy):
+    """Pick: switch to the RA phase once nothing relevant remains unseen."""
+
+    name = "Pick"
+
+    def __init__(self, ordering: RAOrdering = None) -> None:
+        self.ordering = ordering if ordering is not None else BestOrdering()
+        self._switched = False
+
+    def wants_sorted_access(self, state: QueryState) -> bool:
+        return not self._switched
+
+    def after_round(self, state: QueryState) -> None:
+        if self._switched:
+            return
+        if not _all_results_seen(state):
+            return
+        self._switched = True
+        final_probe_phase(state, self.ordering)
+
+
+class LastProbe(RAPolicy):
+    """Last-Probing with the Poisson estimate of remaining lookups."""
+
+    name = "Last"
+
+    def __init__(self, ordering: RAOrdering = None) -> None:
+        self.ordering = ordering if ordering is not None else BestOrdering()
+        self._switched = False
+
+    def wants_sorted_access(self, state: QueryState) -> bool:
+        return not self._switched
+
+    def after_round(self, state: QueryState) -> None:
+        if self._switched:
+            return
+        # First criterion: all potential top-k items have been encountered.
+        # (The paper notes this is typically satisfied long before the cost
+        # criterion.)
+        if not _all_results_seen(state):
+            return
+        # Second criterion: estimated RA cost balances the SA cost so far.
+        estimated = self.estimate_remaining_probes(state)
+        ratio = state.cost_model.ratio
+        if estimated * ratio > state.meter.sorted_accesses:
+            return
+        # Rationality guard: stopping the scans can save at most the cost
+        # of the unscanned remainder, so a probe phase more expensive than
+        # that residual volume can never pay off (bites at very high
+        # cR/cS, where the paper also finds NRA-like behaviour optimal).
+        if estimated * ratio > _residual_scan_volume(state):
+            return
+        self._switched = True
+        final_probe_phase(state, self.ordering)
+
+    @staticmethod
+    def estimate_remaining_probes(state: QueryState) -> float:
+        """Sec. 5.1 estimate of the random accesses a stop-now would need."""
+        queue = state.pool.queue()
+        if not queue:
+            return 0.0
+        predictor = state.predictor
+        min_k = state.min_k
+        full_mask = state.pool.full_mask
+        bestscores = np.empty(len(queue))
+        exceed_probs = np.empty(len(queue))
+        missing_counts = np.empty(len(queue))
+        for idx, cand in enumerate(queue):
+            bestscores[idx] = state.pool.bestscore(cand)
+            remainder = full_mask & ~cand.seen_mask
+            # Combined probability P[F_d > min-k] of Sec. 3.3: the pure
+            # score predictor assumes the document occurs in all remainder
+            # lists and grossly overestimates competitors on long lists,
+            # which would inflate the Poisson means and cause premature
+            # switching; weighting by the occurrence probability q(d) fixes
+            # the estimate.
+            exceed_probs[idx] = predictor.qualify_probability(
+                cand.seen_mask, cand.worstscore, min_k
+            )
+            missing_counts[idx] = bin(remainder).count("1")
+        return estimate_remaining_random_accesses(
+            bestscores,
+            exceed_probs,
+            missing_counts,
+            state.pool.topk_worstscores(),
+            min_k,
+        )
+
+
+def _all_results_seen(state: QueryState) -> bool:
+    """True when no unseen document can still reach the top-k."""
+    if len(state.pool.topk_ids) < state.pool.k:
+        return False
+    return state.pool.unseen_bestscore <= state.min_k + EPSILON
+
+
+def _residual_scan_volume(state: QueryState) -> float:
+    """Sorted accesses left if the scans simply ran to exhaustion."""
+    return float(
+        sum(
+            cursor.list_length - cursor.position
+            for cursor in state.cursors
+        )
+    )

@@ -1,0 +1,129 @@
+"""Random-access orderings and the shared final probing phase (Sec. 5).
+
+Two orderings from the paper's taxonomy (Sec. 2.4.3):
+
+* **Best** — probe candidates in descending bestscore order (used by CA,
+  Upper, and Last-Best).
+* **Ben** — probe candidates in ascending order of their expected wasted RA
+  cost ``EWC_RA(d) = |E(d)| * (1 - p(d)) * cR/cS`` (Sec. 5.2), i.e. most
+  promising candidates first.
+
+The *final probing phase* shared by the Last-style policies resolves every
+remaining candidate with random accesses: per candidate the missing
+dimensions are probed in ascending list selectivity ``l_i / n``, the probe
+sequence is broken off as soon as the candidate falls under the threshold,
+and candidates promoted into the top-k evict the previous rank-k item (which
+may in turn need further probes).  The threshold is maintained incrementally
+with a min-heap, so the whole phase is linear in the number of probes plus
+O(q log k) bookkeeping.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence
+
+from ..bookkeeping import EPSILON, Candidate
+from ..engine import QueryState
+
+
+class RAOrdering:
+    """Base class: permute the probe order of a batch of candidates."""
+
+    name = "order"
+
+    def order(self, state: QueryState, candidates: Sequence[Candidate]) -> List[Candidate]:
+        raise NotImplementedError
+
+
+class BestOrdering(RAOrdering):
+    """Descending bestscore (the paper's *Best*)."""
+
+    name = "Best"
+
+    def order(self, state: QueryState, candidates: Sequence[Candidate]) -> List[Candidate]:
+        pool = state.pool
+        return sorted(
+            candidates, key=lambda c: (-pool.bestscore(c), c.doc_id)
+        )
+
+
+class BenOrdering(RAOrdering):
+    """Ascending expected wasted RA cost (the paper's *Ben*)."""
+
+    name = "Ben"
+
+    def order(self, state: QueryState, candidates: Sequence[Candidate]) -> List[Candidate]:
+        keyed = [
+            (expected_wasted_ra_cost(state, cand), cand.doc_id, cand)
+            for cand in candidates
+        ]
+        keyed.sort(key=lambda item: (item[0], item[1]))
+        return [cand for _, _, cand in keyed]
+
+
+def expected_wasted_ra_cost(state: QueryState, cand: Candidate) -> float:
+    """``EWC_RA(d) = |E(d)| * (1 - p(d)) * cR/cS`` (Sec. 5.2)."""
+    missing = state.pool.missing_dims(cand)
+    if not missing:
+        return 0.0
+    p_qualify = state.predictor.qualify_probability(
+        cand.seen_mask, cand.worstscore, state.min_k
+    )
+    return len(missing) * (1.0 - p_qualify) * state.cost_model.ratio
+
+
+def final_probe_phase(state: QueryState, ordering: RAOrdering) -> None:
+    """Resolve all remaining candidates by random accesses (Last phase)."""
+    pool = state.pool
+    state.recompute()
+    if len(pool.topk_ids) < pool.k:
+        return  # cannot have a threshold yet; nothing sensible to probe
+
+    # Incremental threshold: min-heap over the current top-k worstscores.
+    heap = [
+        (pool.candidates[d].worstscore, d) for d in pool.topk_ids
+    ]
+    heapq.heapify(heap)
+
+    def current_min_k() -> float:
+        return heap[0][0]
+
+    pending = [
+        cand
+        for doc_id, cand in pool.candidates.items()
+        if doc_id not in pool.topk_ids
+    ]
+    while pending:
+        batch = ordering.order(state, pending)
+        pending = []
+        for cand in batch:
+            min_k = current_min_k()
+            if pool.bestscore(cand) <= min_k + EPSILON:
+                pool.candidates.pop(cand.doc_id, None)
+                continue
+            dims = sorted(
+                pool.missing_dims(cand), key=lambda i: state.list_lengths[i]
+            )
+            for dim in dims:
+                state.probe(cand.doc_id, dim)
+                if pool.bestscore(cand) <= current_min_k() + EPSILON:
+                    break
+            if pool.bestscore(cand) <= current_min_k() + EPSILON:
+                pool.candidates.pop(cand.doc_id, None)
+                continue
+            # Fully resolved and above the threshold: promote into the
+            # top-k; the evicted rank-k item may need probes of its own.
+            evicted_worst, evicted_doc = heapq.heappushpop(
+                heap, (cand.worstscore, cand.doc_id)
+            )
+            if evicted_doc == cand.doc_id:
+                continue
+            evicted = pool.candidates.get(evicted_doc)
+            if evicted is None:
+                continue
+            if pool.bestscore(evicted) > current_min_k() + EPSILON:
+                pending.append(evicted)
+            else:
+                pool.candidates.pop(evicted_doc, None)
+    state.recompute()

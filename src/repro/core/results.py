@@ -1,0 +1,110 @@
+"""Result and statistics containers returned by every query algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..storage.diskmodel import AccessMeter
+
+
+@dataclass(frozen=True)
+class RankedItem:
+    """One result item with its score bounds at termination.
+
+    TA-family algorithms may terminate with partially evaluated winners:
+    ``worstscore`` (the guaranteed lower bound) is the ranking key, and
+    ``bestscore`` the matching upper bound.  For fully evaluated items the
+    two coincide and equal the item's exact aggregated score.
+    """
+
+    doc_id: int
+    worstscore: float
+    bestscore: float
+
+    @property
+    def resolved(self) -> bool:
+        """True when the exact aggregated score is known."""
+        return self.worstscore >= self.bestscore - 1e-12
+
+
+@dataclass
+class QueryStats:
+    """Access counts and bookkeeping totals for one query execution."""
+
+    sorted_accesses: int = 0
+    random_accesses: int = 0
+    cost: float = 0.0
+    rounds: int = 0
+    peak_queue_size: int = 0
+    wall_time_seconds: float = 0.0
+
+    @classmethod
+    def from_meter(
+        cls,
+        meter: AccessMeter,
+        rounds: int = 0,
+        peak_queue_size: int = 0,
+        wall_time_seconds: float = 0.0,
+    ) -> "QueryStats":
+        return cls(
+            sorted_accesses=meter.sorted_accesses,
+            random_accesses=meter.random_accesses,
+            cost=meter.cost,
+            rounds=rounds,
+            peak_queue_size=peak_queue_size,
+            wall_time_seconds=wall_time_seconds,
+        )
+
+
+@dataclass(frozen=True)
+class RoundTrace:
+    """Snapshot of the engine state after one processing round.
+
+    Collected when a query runs with ``trace=True`` — the programmatic
+    equivalent of the paper's Fig. 1 walkthrough: scan positions, bounds,
+    threshold, and queue pressure, round by round.
+    """
+
+    round_no: int
+    allocation: Tuple[int, ...]          # sorted accesses per list
+    positions: Tuple[int, ...]           # pos_i after the round
+    highs: Tuple[float, ...]             # high_i after the round
+    min_k: float                         # current threshold
+    unseen_bestscore: float              # bound for never-seen documents
+    queue_size: int                      # candidates outside the top-k
+    sorted_accesses: int                 # cumulative #SA
+    random_accesses: int                 # cumulative #RA
+
+    def __str__(self) -> str:
+        return (
+            "round %d: SA+%s pos=%s min-k=%.3f unseen<=%.3f queue=%d "
+            "(#SA=%d #RA=%d)" % (
+                self.round_no, list(self.allocation), list(self.positions),
+                self.min_k, self.unseen_bestscore, self.queue_size,
+                self.sorted_accesses, self.random_accesses,
+            )
+        )
+
+
+@dataclass
+class TopKResult:
+    """Top-k answer plus the execution statistics that produced it."""
+
+    items: List[RankedItem] = field(default_factory=list)
+    stats: QueryStats = field(default_factory=QueryStats)
+    algorithm: str = ""
+    trace: List[RoundTrace] = field(default_factory=list)
+
+    @property
+    def doc_ids(self) -> List[int]:
+        """Result doc ids in rank order."""
+        return [item.doc_id for item in self.items]
+
+    @property
+    def min_k(self) -> float:
+        """The final threshold (worstscore of the rank-k item); 0 if empty."""
+        return self.items[-1].worstscore if self.items else 0.0
+
+    def __len__(self) -> int:
+        return len(self.items)

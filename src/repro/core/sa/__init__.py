@@ -1,0 +1,14 @@
+"""Sorted-access scheduling policies (paper Sec. 4)."""
+
+from .kba import KnapsackBenefitAggregation
+from .knapsack import allocate_budget, delta_table
+from .ksr import KnapsackScoreReduction
+from .round_robin import RoundRobin
+
+__all__ = [
+    "KnapsackBenefitAggregation",
+    "KnapsackScoreReduction",
+    "RoundRobin",
+    "allocate_budget",
+    "delta_table",
+]

@@ -1,0 +1,144 @@
+"""Shared optimizer for the Knapsack-style SA schedulers (Sec. 4).
+
+Both KSR and KBA maximize a *separable* objective: the benefit of scanning
+``b_i`` further blocks into list ``i`` depends only on ``b_i``, and the total
+benefit is the sum over lists, subject to ``sum b_i = B`` (the batch, in
+blocks).  The paper notes the relation to the NP-hard knapsack problem and
+solves small instances by exhaustive enumeration; for a separable objective
+with an integral budget the textbook resource-allocation dynamic program is
+exact and polynomial, so we use it — it checks the same space of
+combinations implicitly, for any m.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+
+def allocate_budget(
+    gains: Sequence[Sequence[float]], budget: int
+) -> List[int]:
+    """Maximize ``sum_i gains[i][b_i]`` subject to ``sum_i b_i = budget``.
+
+    ``gains[i][x]`` is the benefit of giving ``x`` blocks to list ``i``;
+    each row may be shorter than ``budget + 1`` when the list has fewer
+    blocks remaining (its allocation is then capped at ``len(row) - 1``).
+    Returns the optimal per-list allocation.  If the total capacity is below
+    the budget, all capacity is allocated.
+
+    Gains need not be monotone or concave; the DP is exact regardless.
+
+    Ties are broken toward the *balanced* (round-robin-like) allocation:
+    with flat or uninformative gains — uniform score distributions, or a
+    depleted head where every marginal block looks alike — the knapsack
+    schedulers then converge to round-robin instead of arbitrarily piling
+    the whole batch onto one list (the convergence the paper observes in
+    Sec. 6.4).
+    """
+    num_lists = len(gains)
+    if num_lists == 0 or budget <= 0:
+        return [0] * num_lists
+    capacity = sum(len(row) - 1 for row in gains)
+    budget = min(budget, capacity)
+    if budget <= 0:
+        return [0] * num_lists
+
+    fair_share = budget / num_lists
+    neg_inf = float("-inf")
+    # dp[b] = best total gain using the lists processed so far with exactly
+    # b blocks spent; choice[i][b] = blocks given to list i in that optimum.
+    dp = [neg_inf] * (budget + 1)
+    dp[0] = 0.0
+    choices: List[List[int]] = []
+    for row in gains:
+        max_here = min(len(row) - 1, budget)
+        new_dp = [neg_inf] * (budget + 1)
+        choice = [0] * (budget + 1)
+        for spent in range(budget + 1):
+            best = neg_inf
+            best_x = 0
+            for x in range(min(max_here, spent) + 1):
+                prev = dp[spent - x]
+                if prev == neg_inf:
+                    continue
+                value = prev + row[x]
+                better = value > best + 1e-12
+                tied = abs(value - best) <= 1e-12 and abs(
+                    x - fair_share
+                ) < abs(best_x - fair_share)
+                if better or tied:
+                    best = max(value, best)
+                    best_x = x
+            new_dp[spent] = best
+            choice[spent] = best_x
+        dp = new_dp
+        choices.append(choice)
+
+    allocation = [0] * num_lists
+    spent = budget
+    for i in range(num_lists - 1, -1, -1):
+        x = choices[i][spent]
+        allocation[i] = x
+        spent -= x
+    return allocation
+
+
+def allocation_value(
+    gains: Sequence[Sequence[float]], allocation: Sequence[int]
+) -> float:
+    """Total gain of an allocation under the same gain tables."""
+    return sum(
+        row[min(b, len(row) - 1)] for row, b in zip(gains, allocation)
+    )
+
+
+def prefer_round_robin(
+    gains: Sequence[Sequence[float]],
+    optimal: List[int],
+    round_robin: List[int],
+    slack: float = 0.02,
+) -> List[int]:
+    """Fall back to the round-robin split when it is essentially as good.
+
+    The gain tables come from histogram estimates; when the knapsack
+    optimum beats the balanced split by less than ``slack`` the difference
+    is estimation noise, and the balanced schedule is the safer choice —
+    this is the "knapsacks converge to round-robin on uniform data"
+    behaviour the paper reports in Sec. 6.4.
+    """
+    best_value = allocation_value(gains, optimal)
+    rr_value = allocation_value(gains, round_robin)
+    if best_value <= rr_value * (1.0 + slack) + 1e-12:
+        return round_robin
+    return optimal
+
+
+def delta_table(
+    state, dim: int, max_blocks: int
+) -> List[float]:
+    """``Delta_i(x)`` for ``x = 0..max_blocks``: estimated drop of ``high_i``.
+
+    Both endpoints come from the list's precomputed histogram
+    (uniform-within-bucket): ``Delta(x) = est(pos) - est(pos + x)``.
+    Anchoring both ends on the estimate cancels the histogram's offset at
+    the current position — mixing the exact ``high_i`` with an estimated
+    future score would systematically bend a linear score curve into a
+    convex one and mislead the knapsack toward degenerate one-list
+    allocations.  The table is clamped to ``[0, high_i]`` and forced
+    non-decreasing (the true score sequence is non-increasing, so any
+    non-monotonicity is histogram noise).
+    """
+    cursor = state.cursors[dim]
+    hist = state.histograms[dim]
+    high = cursor.high
+    position = cursor.position
+    anchor = hist.score_at_rank(position) if high > 0 else 0.0
+    table = [0.0]
+    previous = 0.0
+    for x in range(1, max_blocks + 1):
+        depth = position + x * state.block_size
+        estimated = hist.score_at_rank(depth)
+        drop = min(max(anchor - estimated, previous), high)
+        table.append(drop)
+        previous = drop
+    return table

@@ -1,0 +1,61 @@
+"""KSR — Knapsack for Score Reduction (paper Sec. 4.1).
+
+KSR chooses the batch split ``(b_1, ..., b_m)`` that maximizes the total
+expected reduction in candidate bestscores:
+
+    SR(b_1, ..., b_m) = sum_i w_i * Delta_i(b_i)
+
+where ``Delta_i(b_i) = high_i - score_i(pos_i + b_i)`` is the estimated drop
+of the scan-position bound (from the precomputed histogram) and
+``w_i = |{d in Q : i not in E(d)}|`` counts the queued candidates whose
+bestscore that drop actually reduces.  Scanning a list deeply only pays off
+if both the scores drop quickly *and* many open candidates depend on that
+list's bound.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..engine import QueryState, SAPolicy
+from .knapsack import allocate_budget, delta_table, prefer_round_robin
+from .round_robin import RoundRobin
+
+
+class KnapsackScoreReduction(SAPolicy):
+    """The paper's KSR scheduler."""
+
+    name = "KSR"
+
+    def __init__(self) -> None:
+        self._round_robin = RoundRobin()
+
+    def allocate(self, state: QueryState, batch_blocks: int) -> List[int]:
+        weights = _unseen_candidate_counts(state)
+        if not any(weights):
+            # No candidate information yet (first round) or every candidate
+            # fully evaluated: nothing to optimize, behave like round-robin.
+            return self._round_robin.allocate(state, batch_blocks)
+        gains = []
+        for dim in range(state.num_lists):
+            max_blocks = min(state.cursors[dim].blocks_remaining, batch_blocks)
+            deltas = delta_table(state, dim, max_blocks)
+            gains.append([weights[dim] * d for d in deltas])
+        allocation = allocate_budget(gains, batch_blocks)
+        fallback = self._round_robin.allocate(state, batch_blocks)
+        if not any(allocation):
+            return fallback
+        return prefer_round_robin(gains, allocation, fallback)
+
+
+def _unseen_candidate_counts(state: QueryState) -> List[int]:
+    """``w_i``: candidates not yet evaluated in list ``i``."""
+    counts = [0] * state.num_lists
+    for cand in state.pool.candidates.values():
+        missing = state.pool.full_mask & ~cand.seen_mask
+        if not missing:
+            continue
+        for dim in range(state.num_lists):
+            if missing >> dim & 1:
+                counts[dim] += 1
+    return counts

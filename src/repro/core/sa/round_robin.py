@@ -1,0 +1,65 @@
+"""Round-robin sorted-access scheduling (the classic TA/NRA/CA baseline)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..engine import QueryState, SAPolicy
+
+
+class RoundRobin(SAPolicy):
+    """Distribute each batch evenly across the non-exhausted lists.
+
+    With ``batch_blocks = m`` this is exactly one block per list and round —
+    the scheduling used by TA, NRA, CA, Upper, and Pick.  When the batch does
+    not divide evenly, the surplus blocks rotate across rounds so no list is
+    systematically favoured.
+    """
+
+    name = "RR"
+
+    def __init__(self) -> None:
+        self._offset = 0
+
+    def allocate(self, state: QueryState, batch_blocks: int) -> List[int]:
+        active = [
+            i for i, cursor in enumerate(state.cursors) if not cursor.exhausted
+        ]
+        allocation = [0] * state.num_lists
+        if not active or batch_blocks <= 0:
+            return allocation
+        base, surplus = divmod(batch_blocks, len(active))
+        for slot, dim in enumerate(active):
+            allocation[dim] = base
+        for extra in range(surplus):
+            dim = active[(self._offset + extra) % len(active)]
+            allocation[dim] += 1
+        self._offset += surplus
+        # Do not schedule more blocks than a list still has; hand the excess
+        # to the deepest remaining lists to keep the batch size constant.
+        self._clamp_to_remaining(state, allocation, active)
+        return allocation
+
+    @staticmethod
+    def _clamp_to_remaining(
+        state: QueryState, allocation: List[int], active: List[int]
+    ) -> None:
+        spare = 0
+        for dim in active:
+            remaining = state.cursors[dim].blocks_remaining
+            if allocation[dim] > remaining:
+                spare += allocation[dim] - remaining
+                allocation[dim] = remaining
+        if spare <= 0:
+            return
+        for dim in sorted(
+            active, key=lambda d: -state.cursors[d].blocks_remaining
+        ):
+            room = state.cursors[dim].blocks_remaining - allocation[dim]
+            if room <= 0:
+                continue
+            grant = min(room, spare)
+            allocation[dim] += grant
+            spare -= grant
+            if spare == 0:
+                break

@@ -1,0 +1,35 @@
+"""Synthetic datasets and query workloads (paper-dataset substitutes)."""
+
+from .httplog import LogWorkload
+from .imdb import ImdbWorkload, MovieCatalog, dice_coefficient
+from .padding import pad_posting_lists
+from .relaxation import numeric_similarity, relax_value_lists, relaxed_term
+from .synthetic import synthetic_index, uniform_scores, zipf_scores
+from .text_corpus import (
+    TextWorkload,
+    generate_corpus,
+    generate_queries,
+    generate_workload,
+)
+from .workloads import Dataset, available_datasets, load_dataset
+
+__all__ = [
+    "Dataset",
+    "ImdbWorkload",
+    "LogWorkload",
+    "MovieCatalog",
+    "TextWorkload",
+    "available_datasets",
+    "dice_coefficient",
+    "generate_corpus",
+    "generate_queries",
+    "generate_workload",
+    "load_dataset",
+    "numeric_similarity",
+    "pad_posting_lists",
+    "relax_value_lists",
+    "relaxed_term",
+    "synthetic_index",
+    "uniform_scores",
+    "zipf_scores",
+]

@@ -1,0 +1,72 @@
+"""Attribute-value relaxation: similarity-expanded index lists.
+
+Paper Sec. 2.3: for numerical or categorical conditions that need not match
+exactly (``year = 1999``), the query processor conceptually extends the
+value's index list with "neighboring" lists (1998, 2000, ...) whose entries
+are weighted by their similarity to the queried value, preserving the
+global descending-score scan order.
+
+This module materializes that conceptual extension: it merges a family of
+per-value posting lists into a single scored list where each item carries
+``max over matching values of similarity(target, value) * score``.  The
+IMDB dataset builds its genre/actor lists through the same mechanism using
+Dice-coefficient similarities; here the similarity function is pluggable,
+with the paper's numeric-neighborhood case built in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Tuple
+
+Posting = Tuple[int, float]
+Similarity = Callable[[float, float], float]
+
+
+def numeric_similarity(decay: float = 0.5) -> Similarity:
+    """Similarity for numeric values: ``1 / (1 + decay * |target - v|)``.
+
+    ``decay`` controls how quickly neighboring values lose weight; the
+    queried value itself always has similarity 1.
+    """
+    if decay < 0:
+        raise ValueError("decay must be non-negative")
+
+    def similarity(target: float, value: float) -> float:
+        return 1.0 / (1.0 + decay * abs(target - value))
+
+    return similarity
+
+
+def relax_value_lists(
+    lists_by_value: Mapping[float, Iterable[Posting]],
+    target: float,
+    similarity: Similarity,
+    min_similarity: float = 0.05,
+) -> List[Posting]:
+    """Merge per-value posting lists into one similarity-weighted list.
+
+    Every item's score becomes the maximum of
+    ``similarity(target, value) * score`` over all values in which it
+    appears; values with similarity below ``min_similarity`` are skipped
+    entirely (the paper stops relaxing once neighbors contribute too
+    little to matter).
+    """
+    if not 0.0 <= min_similarity <= 1.0:
+        raise ValueError("min_similarity must be within [0, 1]")
+    best: Dict[int, float] = {}
+    for value, postings in lists_by_value.items():
+        weight = similarity(target, value)
+        if weight < min_similarity:
+            continue
+        if weight < 0:
+            raise ValueError("similarity must be non-negative")
+        for doc_id, score in postings:
+            weighted = weight * score
+            if best.get(doc_id, 0.0) < weighted:
+                best[int(doc_id)] = weighted
+    return sorted(best.items(), key=lambda item: (-item[1], item[0]))
+
+
+def relaxed_term(attribute: str, target) -> str:
+    """Canonical term name for a relaxed attribute condition."""
+    return "%s~%s" % (attribute, target)

@@ -1,0 +1,248 @@
+"""Synthetic TREC-Terabyte-like text collection (substitute dataset).
+
+The real TREC Terabyte collection (25M .gov pages, 426GB) is unavailable
+offline; this generator reproduces the statistical properties that drive the
+paper's scheduling results at laptop scale:
+
+* Zipfian vocabulary — realistic, strongly varying list lengths;
+* log-normal document lengths — the spread behind BM25's per-list score
+  distribution;
+* topic structure — documents draw a fraction of their tokens from a
+  topic-specific sub-vocabulary, so terms of the same topic *co-occur* far
+  more than independence predicts (the correlations that Sec. 3.4 exploits);
+* keyword queries built from mid-frequency terms of a shared topic, like
+  the TREC title queries (avg m = 2.9), plus expanded variants drawn from
+  the same topic pool, like the TREC description fields (avg m = 8.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..scoring.base import Corpus
+
+
+@dataclass
+class TextWorkload:
+    """A synthetic corpus plus its keyword-query workloads."""
+
+    corpus: Corpus
+    queries: List[List[str]]
+    expanded_queries: List[List[str]]
+    name: str = "terabyte-like"
+
+
+def _zipf_weights(size: int, exponent: float, shift: float = 2.7) -> np.ndarray:
+    """Normalized Zipf-Mandelbrot weights over ``size`` items."""
+    ranks = np.arange(size, dtype=np.float64)
+    weights = 1.0 / np.power(ranks + shift, exponent)
+    return weights / weights.sum()
+
+
+def _sample_from_weights(
+    rng: np.random.Generator, weights: np.ndarray, count: int
+) -> np.ndarray:
+    """Draw ``count`` indices i.i.d. from a categorical distribution."""
+    cumulative = np.cumsum(weights)
+    cumulative[-1] = 1.0
+    return np.searchsorted(cumulative, rng.random(count), side="right")
+
+
+def _generate(
+    num_docs: int,
+    vocab_size: int,
+    num_topics: int,
+    topic_vocab: int,
+    topic_mix: float,
+    avg_doc_length: float,
+    zipf_exponent: float,
+    seed: int,
+) -> Tuple[Corpus, np.ndarray]:
+    # Defaults below (50 topics of ~2,000 docs, 60-term topic vocabularies,
+    # ~200-token docs) were calibrated so that a multi-keyword query's true
+    # top-k are topically focused docs that head *all* query lists
+    # simultaneously — the geometry on which threshold algorithms save work.
+    """Build the corpus; also return the topic -> term-pool matrix."""
+    rng = np.random.default_rng(seed)
+
+    # Document lengths: log-normal around the requested mean, floor 20.
+    # The moderate sigma matters: length normalization spreads the tf = 1
+    # bulk of a BM25 list into a decaying tail, but a too-wide spread would
+    # flood every list head with uncorrelated short-document noise and
+    # destroy the cross-list score correlation of the true top-k.
+    sigma = 0.35
+    mu = np.log(avg_doc_length) - 0.5 * sigma * sigma
+    lengths = np.maximum(
+        rng.lognormal(mu, sigma, size=num_docs).astype(np.int64), 20
+    )
+    doc_topics = rng.integers(0, num_topics, size=num_docs)
+
+    # Topic sub-vocabularies: biased toward mid-frequency terms so that
+    # topical terms produce the medium-length lists real queries hit.
+    mid_lo, mid_hi = vocab_size // 200, vocab_size // 2
+    topic_terms = np.stack(
+        [
+            rng.choice(
+                np.arange(mid_lo, mid_hi), size=topic_vocab, replace=False
+            )
+            for _ in range(num_topics)
+        ]
+    )
+
+    # Per-document topical intensity: most documents mention their topic in
+    # passing, a heavy lognormal tail is *focused* on it.  The intensity
+    # scales the term frequencies of ALL the topic's head terms at once,
+    # which correlates a document's scores ACROSS the lists of same-topic
+    # query terms — the top-k of a multi-keyword query are documents that
+    # score high in every list simultaneously, exactly as in real
+    # relevance data, and the continuous tail makes min-k decay smoothly
+    # with k.
+    quality = rng.lognormal(0.0, 1.1, size=num_docs)
+    doc_mix = np.clip(topic_mix * 0.6 * quality, 0.02, 0.95)
+
+    # Token stream (vectorized): per token, a doc, a source (topic vs
+    # background), and a term.
+    doc_of_token = np.repeat(np.arange(num_docs), lengths)
+    total_tokens = int(lengths.sum())
+    from_topic = rng.random(total_tokens) < doc_mix[doc_of_token]
+
+    background_weights = _zipf_weights(vocab_size, zipf_exponent)
+    terms = _sample_from_weights(rng, background_weights, total_tokens)
+
+    # Concentrated topical distribution: a topical document repeats its
+    # topic's head terms several times (tf 2-5), which puts genuinely
+    # top-heavy heads on the topical posting lists.
+    topical_weights = _zipf_weights(topic_vocab, 1.15)
+    topical_slots = _sample_from_weights(
+        rng, topical_weights, int(from_topic.sum())
+    )
+    token_topics = doc_topics[doc_of_token[from_topic]]
+    terms[from_topic] = topic_terms[token_topics, topical_slots]
+
+    # Aggregate the token stream into (doc, term, tf) postings.
+    keys = doc_of_token * vocab_size + terms
+    unique_keys, tfs = np.unique(keys, return_counts=True)
+    posting_docs = unique_keys // vocab_size
+    posting_terms = unique_keys % vocab_size
+
+
+    vocabulary = ["term%05d" % v for v in range(vocab_size)]
+    corpus = Corpus(posting_docs, posting_terms, tfs, lengths, vocabulary)
+    return corpus, topic_terms
+
+
+def generate_corpus(
+    num_docs: int = 100_000,
+    vocab_size: int = 20_000,
+    num_topics: int = 50,
+    topic_vocab: int = 60,
+    topic_mix: float = 0.45,
+    avg_doc_length: float = 200.0,
+    zipf_exponent: float = 1.05,
+    seed: int = 7,
+) -> Corpus:
+    """Generate the topical Zipfian corpus.
+
+    ``topic_mix`` is the fraction of each document's tokens drawn from its
+    topic's sub-vocabulary instead of the global Zipf background — it
+    controls how correlated same-topic posting lists are.
+    """
+    corpus, _ = _generate(
+        num_docs, vocab_size, num_topics, topic_vocab, topic_mix,
+        avg_doc_length, zipf_exponent, seed,
+    )
+    return corpus
+
+
+def generate_queries(
+    corpus: Corpus,
+    num_queries: int = 20,
+    mean_terms: float = 2.9,
+    max_terms: int = 5,
+    df_fraction_band: Tuple[float, float] = (0.03, 0.55),
+    topic_pools: Optional[np.ndarray] = None,
+    topic_share: float = 0.6,
+    seed: int = 17,
+) -> List[List[str]]:
+    """Keyword queries over mid-frequency, topically-correlated terms.
+
+    Terms are restricted to a document-frequency band (as a fraction of the
+    collection) so every list spans multiple index blocks.  When
+    ``topic_pools`` is given (topic id -> term-id pool), about
+    ``topic_share`` of each query's terms come from one randomly chosen
+    topic's pool — reproducing the term correlations of real query logs.
+    """
+    rng = np.random.default_rng(seed)
+    n = max(corpus.num_docs, 1)
+    fractions = corpus.doc_freq / n
+    lo, hi = df_fraction_band
+    eligible = np.flatnonzero((fractions >= lo) & (fractions <= hi))
+    if eligible.size < max_terms:
+        raise ValueError("df band too narrow for this corpus")
+    eligible_set = set(eligible.tolist())
+    # Sample terms proportionally to their document frequency: real query
+    # terms skew toward frequent words, and long lists are what makes the
+    # scheduling problem non-trivial.
+    weights = fractions[eligible]
+    weights = weights / weights.sum()
+
+    queries: List[List[str]] = []
+    for _ in range(num_queries):
+        m = int(np.clip(round(rng.normal(mean_terms, 1.0)), 2, max_terms))
+        chosen: List[int] = []
+        if topic_pools is not None:
+            topic = int(rng.integers(0, topic_pools.shape[0]))
+            # Keep the pool's slot order: slot 0 is the topic's most
+            # characteristic term (highest topical weight).  Queries built
+            # from the head slots hit the terms that topical documents
+            # actually repeat — that cross-list correlation is what makes
+            # the true top-k stand out, as in real relevance queries.
+            pool = [t for t in topic_pools[topic] if t in eligible_set]
+            wanted = min(int(round(topic_share * m)), len(pool))
+            head = pool[: max(wanted * 2, wanted)]
+            rng.shuffle(head)
+            chosen.extend(head[:wanted])
+        while len(chosen) < m:
+            term = int(eligible[_pick_weighted(rng, weights)])
+            if term not in chosen:
+                chosen.append(term)
+        queries.append([corpus.vocabulary[t] for t in chosen])
+    return queries
+
+
+def _pick_weighted(rng: np.random.Generator, weights: np.ndarray) -> int:
+    cumulative = np.cumsum(weights)
+    return int(np.searchsorted(cumulative / cumulative[-1], rng.random()))
+
+
+def generate_workload(
+    num_docs: int = 100_000,
+    num_queries: int = 20,
+    seed: int = 7,
+    vocab_size: int = 20_000,
+    num_topics: int = 50,
+    topic_vocab: int = 60,
+    topic_mix: float = 0.45,
+    avg_doc_length: float = 200.0,
+    zipf_exponent: float = 1.05,
+) -> TextWorkload:
+    """Corpus + short (m~3) and expanded (m~8) query workloads."""
+    corpus, topic_terms = _generate(
+        num_docs, vocab_size, num_topics, topic_vocab, topic_mix,
+        avg_doc_length, zipf_exponent, seed,
+    )
+    queries = generate_queries(
+        corpus, num_queries=num_queries, mean_terms=2.9, max_terms=5,
+        topic_pools=topic_terms, topic_share=1.0, seed=seed + 10,
+    )
+    expanded = generate_queries(
+        corpus, num_queries=num_queries, mean_terms=8.3, max_terms=15,
+        df_fraction_band=(0.02, 0.6), topic_pools=topic_terms,
+        topic_share=1.0, seed=seed + 20,
+    )
+    return TextWorkload(
+        corpus=corpus, queries=queries, expanded_queries=expanded
+    )

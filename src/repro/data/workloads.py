@@ -1,0 +1,222 @@
+"""Named dataset bundles used by examples, tests, and benchmarks.
+
+Each bundle pairs an inverted block-index with a query workload, mirroring
+the paper's three collections (plus the Sec. 6.4 synthetic distributions):
+
+* ``terabyte-bm25`` / ``terabyte-tfidf`` — synthetic TREC-Terabyte-like
+  topical text corpus, scored with BM25 or TF-IDF;
+* ``terabyte-expanded`` — same BM25 index, long queries (avg m ~ 8.3);
+* ``imdb`` — similarity-expanded movie catalog;
+* ``httplog`` — heavy-tailed per-day traffic log with interval queries;
+* ``uniform`` / ``zipf`` — controlled artificial score distributions.
+
+Bundles are cached per (name, scale, seed): every benchmark and test that
+asks for the same configuration shares one in-memory build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..scoring.bm25 import BM25
+from ..scoring.tfidf import TfIdf
+from ..storage.block_index import InvertedBlockIndex
+from ..storage.index_builder import build_index
+from . import httplog, imdb, synthetic, text_corpus
+from .padding import pad_posting_lists
+
+#: Block size for the scaled-down collections.  The paper uses 32,768 for
+#: lists with millions of entries; 1,024 keeps the same
+#: lists-span-many-blocks geometry at our synthetic scale.
+DEFAULT_BLOCK = 1024
+
+#: Background padding factor for the text collections (see
+#: :mod:`repro.data.padding` for why the tails must be stretched).
+PAD_FACTOR = 6.0
+
+
+@dataclass
+class Dataset:
+    """An index plus the query workload that runs against it."""
+
+    name: str
+    index: InvertedBlockIndex
+    queries: List[List[str]]
+    description: str = ""
+
+    @property
+    def num_docs(self) -> int:
+        return self.index.num_docs
+
+
+_CACHE: Dict[Tuple[str, float, int], Dataset] = {}
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int = 7) -> Dataset:
+    """Build (or fetch from cache) a named dataset bundle.
+
+    ``scale`` multiplies the collection size; benchmarks use 1.0, tests use
+    small fractions for speed.
+    """
+    key = (name, float(scale), int(seed))
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    builder = _BUILDERS.get(name)
+    if builder is None:
+        raise ValueError(
+            "unknown dataset %r; available: %s" % (name, sorted(_BUILDERS))
+        )
+    dataset = builder(scale, seed)
+    _CACHE[key] = dataset
+    return dataset
+
+
+def available_datasets() -> List[str]:
+    """All dataset names accepted by :func:`load_dataset`."""
+    return sorted(_BUILDERS)
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+def _text_workload(scale: float, seed: int) -> text_corpus.TextWorkload:
+    return text_corpus.generate_workload(
+        num_docs=max(int(100_000 * scale), 2_000),
+        vocab_size=max(int(20_000 * scale), 1_000),
+        num_topics=max(int(50 * min(scale, 1.0)), 8),
+        seed=seed,
+    )
+
+
+_TEXT_CACHE: Dict[Tuple[float, int], text_corpus.TextWorkload] = {}
+
+
+def _shared_text_workload(scale: float, seed: int) -> text_corpus.TextWorkload:
+    key = (float(scale), int(seed))
+    workload = _TEXT_CACHE.get(key)
+    if workload is None:
+        workload = _text_workload(scale, seed)
+        _TEXT_CACHE[key] = workload
+    return workload
+
+
+def _query_terms(*query_sets: List[List[str]]) -> List[str]:
+    terms = []
+    seen = set()
+    for queries in query_sets:
+        for query in queries:
+            for term in query:
+                if term not in seen:
+                    seen.add(term)
+                    terms.append(term)
+    return terms
+
+
+def _build_terabyte(scale: float, seed: int, model, suffix: str) -> Dataset:
+    workload = _shared_text_workload(scale, seed)
+    terms = _query_terms(workload.queries, workload.expanded_queries)
+    postings = model.scored_postings(workload.corpus, terms=terms)
+    # Stretch the list tails with statistically modeled background postings
+    # — the documented substitute for the paper's million-entry lists.
+    postings, num_docs = pad_posting_lists(
+        postings, workload.corpus.num_docs, factor=PAD_FACTOR, seed=seed + 90
+    )
+    index = build_index(
+        postings, num_docs=num_docs, block_size=DEFAULT_BLOCK
+    )
+    return Dataset(
+        name="terabyte-%s" % suffix,
+        index=index,
+        queries=workload.queries,
+        description="synthetic Terabyte-like corpus, %s scores" % suffix,
+    )
+
+
+def _terabyte_bm25(scale: float, seed: int) -> Dataset:
+    # k1 = 5 widens BM25's effective tf dynamic range to match the synthetic
+    # corpus (whose idf variation is weaker than real web text); the score
+    # *shape* per list is what the scheduling experiments depend on.
+    return _build_terabyte(scale, seed, BM25(k1=5.0, b=0.75), "bm25")
+
+
+def _terabyte_tfidf(scale: float, seed: int) -> Dataset:
+    return _build_terabyte(scale, seed, TfIdf(), "tfidf")
+
+
+def _terabyte_expanded(scale: float, seed: int) -> Dataset:
+    base = load_dataset("terabyte-bm25", scale=scale, seed=seed)
+    workload = _shared_text_workload(scale, seed)
+    return Dataset(
+        name="terabyte-expanded",
+        index=base.index,
+        queries=workload.expanded_queries,
+        description="Terabyte-like BM25 index, expanded queries (m ~ 8.3)",
+    )
+
+
+def _imdb(scale: float, seed: int) -> Dataset:
+    workload = imdb.generate_workload(
+        num_movies=max(int(25_000 * scale), 500),
+        block_size=DEFAULT_BLOCK,
+        seed=seed + 4,
+    )
+    return Dataset(
+        name="imdb",
+        index=workload.index,
+        queries=workload.queries,
+        description="synthetic IMDB-like catalog with Dice-expanded lists",
+    )
+
+
+def _httplog(scale: float, seed: int) -> Dataset:
+    workload = httplog.generate_workload(
+        num_users=max(int(25_000 * scale), 300),
+        block_size=DEFAULT_BLOCK,
+        seed=seed + 16,
+    )
+    return Dataset(
+        name="httplog",
+        index=workload.index,
+        queries=workload.queries,
+        description="synthetic WorldCup-like HTTP log, interval queries",
+    )
+
+
+def _synthetic(distribution: str):
+    def build(scale: float, seed: int) -> Dataset:
+        # Five independent 3-list draws in one index; each query covers one
+        # triple, so workload averages are over five instances.
+        groups = 5
+        per_query = 3
+        index, terms = synthetic.synthetic_index(
+            num_lists=groups * per_query,
+            list_length=max(int(10_000 * scale), 200),
+            num_docs=max(int(50_000 * scale), 1000),
+            distribution=distribution,
+            block_size=DEFAULT_BLOCK,
+            seed=seed + 32,
+        )
+        queries = [
+            terms[g * per_query:(g + 1) * per_query] for g in range(groups)
+        ]
+        return Dataset(
+            name=distribution,
+            index=index,
+            queries=queries,
+            description="artificial %s score distribution" % distribution,
+        )
+
+    return build
+
+
+_BUILDERS = {
+    "terabyte-bm25": _terabyte_bm25,
+    "terabyte-tfidf": _terabyte_tfidf,
+    "terabyte-expanded": _terabyte_expanded,
+    "imdb": _imdb,
+    "httplog": _httplog,
+    "uniform": _synthetic("uniform"),
+    "zipf": _synthetic("zipf"),
+}

@@ -1,0 +1,8 @@
+"""Scoring models: BM25, TF-IDF, and Dirichlet LM over a columnar corpus."""
+
+from .base import Corpus, ScoringModel
+from .bm25 import BM25
+from .language_model import DirichletLM
+from .tfidf import TfIdf
+
+__all__ = ["BM25", "Corpus", "DirichletLM", "ScoringModel", "TfIdf"]

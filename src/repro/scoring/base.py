@@ -1,0 +1,170 @@
+"""Corpus representation and the scoring-model interface.
+
+A :class:`Corpus` is a columnar bag-of-words collection: parallel posting
+arrays ``(doc, term, tf)`` plus per-document lengths and per-term document
+frequencies.  Scoring models turn a corpus into scored posting lists and,
+via :meth:`ScoringModel.build_index`, into the inverted block-index the
+query engine operates on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..storage.block_index import DEFAULT_BLOCK_SIZE, InvertedBlockIndex
+from ..storage.index_builder import build_index
+
+
+class Corpus:
+    """Columnar term-frequency corpus.
+
+    Parameters
+    ----------
+    posting_docs, posting_terms, posting_tfs:
+        Parallel arrays: one entry per distinct (document, term) pair.
+    doc_lengths:
+        Token count per document (indexed by doc id, 0-based and dense).
+    vocabulary:
+        Term id -> term string.
+    """
+
+    def __init__(
+        self,
+        posting_docs: np.ndarray,
+        posting_terms: np.ndarray,
+        posting_tfs: np.ndarray,
+        doc_lengths: np.ndarray,
+        vocabulary: Sequence[str],
+    ) -> None:
+        posting_docs = np.asarray(posting_docs, dtype=np.int64)
+        posting_terms = np.asarray(posting_terms, dtype=np.int64)
+        posting_tfs = np.asarray(posting_tfs, dtype=np.int64)
+        if not (
+            posting_docs.shape == posting_terms.shape == posting_tfs.shape
+        ):
+            raise ValueError("posting arrays must be parallel")
+        self.doc_lengths = np.asarray(doc_lengths, dtype=np.int64)
+        self.vocabulary = list(vocabulary)
+        self.term_ids: Dict[str, int] = {
+            term: idx for idx, term in enumerate(self.vocabulary)
+        }
+        self.num_docs = int(self.doc_lengths.size)
+        self.num_terms = len(self.vocabulary)
+        if posting_terms.size and int(posting_terms.max()) >= self.num_terms:
+            raise ValueError("posting term id outside the vocabulary")
+        if posting_docs.size and int(posting_docs.max()) >= self.num_docs:
+            raise ValueError("posting doc id outside doc_lengths")
+
+        # CSR layout by term for fast per-term posting access.
+        order = np.argsort(posting_terms, kind="stable")
+        self._docs = posting_docs[order]
+        self._tfs = posting_tfs[order]
+        sorted_terms = posting_terms[order]
+        self._offsets = np.searchsorted(
+            sorted_terms, np.arange(self.num_terms + 1)
+        )
+        self.doc_freq = np.diff(self._offsets)
+        total_tokens = float(self.doc_lengths.sum())
+        self.avg_doc_length = (
+            total_tokens / self.num_docs if self.num_docs else 0.0
+        )
+
+    @classmethod
+    def from_documents(
+        cls, documents: Sequence[Mapping[str, int]]
+    ) -> "Corpus":
+        """Build a corpus from per-document ``{term: tf}`` mappings."""
+        vocabulary: List[str] = []
+        term_ids: Dict[str, int] = {}
+        docs: List[int] = []
+        terms: List[int] = []
+        tfs: List[int] = []
+        lengths: List[int] = []
+        for doc_id, doc in enumerate(documents):
+            length = 0
+            for term, tf in doc.items():
+                term_id = term_ids.get(term)
+                if term_id is None:
+                    term_id = len(vocabulary)
+                    term_ids[term] = term_id
+                    vocabulary.append(term)
+                docs.append(doc_id)
+                terms.append(term_id)
+                tfs.append(int(tf))
+                length += int(tf)
+            lengths.append(length)
+        return cls(
+            np.array(docs, dtype=np.int64),
+            np.array(terms, dtype=np.int64),
+            np.array(tfs, dtype=np.int64),
+            np.array(lengths, dtype=np.int64),
+            vocabulary,
+        )
+
+    def postings_for(self, term: str) -> Tuple[np.ndarray, np.ndarray]:
+        """``(doc_ids, tfs)`` of one term; empty arrays for unknown terms."""
+        term_id = self.term_ids.get(term)
+        if term_id is None:
+            return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        start, stop = self._offsets[term_id], self._offsets[term_id + 1]
+        return self._docs[start:stop], self._tfs[start:stop]
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing ``term``."""
+        term_id = self.term_ids.get(term)
+        return int(self.doc_freq[term_id]) if term_id is not None else 0
+
+
+class ScoringModel:
+    """Base class for per-term relevance scoring models."""
+
+    name = "scoring"
+
+    def score_postings(
+        self, corpus: Corpus, term: str
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(doc_ids, scores)`` for one term's posting list."""
+        raise NotImplementedError
+
+    def normalize(self, scores: np.ndarray) -> np.ndarray:
+        """Normalize one list's scores into (0, 1] (paper Sec. 2.1)."""
+        if scores.size == 0:
+            return scores
+        top = float(scores.max())
+        return scores / top if top > 0 else scores
+
+    def scored_postings(
+        self,
+        corpus: Corpus,
+        terms: Optional[Iterable[str]] = None,
+    ) -> dict:
+        """Normalized scored posting lists per term.
+
+        ``terms`` restricts the result to the given terms (e.g. the union
+        of a query workload); by default every vocabulary term is scored.
+        """
+        if terms is None:
+            terms = corpus.vocabulary
+        postings = {}
+        for term in terms:
+            doc_ids, scores = self.score_postings(corpus, term)
+            if doc_ids.size == 0:
+                continue
+            postings[term] = list(
+                zip(doc_ids.tolist(), self.normalize(scores).tolist())
+            )
+        return postings
+
+    def build_index(
+        self,
+        corpus: Corpus,
+        terms: Optional[Iterable[str]] = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> InvertedBlockIndex:
+        """Score the corpus and build the inverted block-index."""
+        postings = self.scored_postings(corpus, terms)
+        return build_index(
+            postings, num_docs=corpus.num_docs, block_size=block_size
+        )

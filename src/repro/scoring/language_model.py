@@ -1,0 +1,64 @@
+"""Dirichlet-smoothed query-likelihood scoring (language-model IR).
+
+A third scoring model alongside BM25 and TF-IDF, completing the usual IR
+trio.  Scores are the (shifted) log-likelihood of generating the term from
+the document's smoothed language model:
+
+    score(t, d) = ln( 1 + (tf / (mu * P(t|C))) ) + ln( mu / (|d| + mu) )
+
+shifted per list so the minimum posting score is positive (TA-family
+processing needs non-negative, descending scores; monotone shifts do not
+change the per-list ranking, and the final per-list normalization maps the
+scores into (0, 1] like the other models).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .base import Corpus, ScoringModel
+
+
+class DirichletLM(ScoringModel):
+    """Query likelihood with Dirichlet prior smoothing (mu ~ 2000)."""
+
+    name = "dirichlet-lm"
+
+    def __init__(self, mu: float = 2000.0) -> None:
+        if mu <= 0:
+            raise ValueError("mu must be positive")
+        self.mu = mu
+
+    def collection_probability(self, corpus: Corpus, term: str) -> float:
+        """``P(t|C)``: the term's relative frequency in the collection."""
+        term_id = corpus.term_ids.get(term)
+        if term_id is None:
+            return 0.0
+        start, stop = (
+            corpus._offsets[term_id], corpus._offsets[term_id + 1]
+        )
+        term_tokens = float(corpus._tfs[start:stop].sum())
+        total_tokens = float(corpus.doc_lengths.sum())
+        return term_tokens / total_tokens if total_tokens else 0.0
+
+    def score_postings(
+        self, corpus: Corpus, term: str
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        doc_ids, tfs = corpus.postings_for(term)
+        if doc_ids.size == 0:
+            return doc_ids, np.empty(0, dtype=np.float64)
+        p_collection = self.collection_probability(corpus, term)
+        if p_collection <= 0.0:
+            return doc_ids, np.zeros(doc_ids.size)
+        lengths = corpus.doc_lengths[doc_ids].astype(np.float64)
+        scores = (
+            np.log1p(tfs.astype(np.float64) / (self.mu * p_collection))
+            + np.log(self.mu / (lengths + self.mu))
+        )
+        # Shift the list into positive territory (monotone, rank-safe).
+        low = float(scores.min())
+        if low <= 0.0:
+            scores = scores - low + 1e-6
+        return doc_ids, scores

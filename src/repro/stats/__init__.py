@@ -1,0 +1,39 @@
+"""Statistics substrate: histograms, convolutions, and estimators."""
+
+from .catalog import StatsCatalog
+from .normal_predictor import NormalScorePredictor
+from .convolution import (
+    DEFAULT_GRID_CELLS,
+    convolution_width,
+    convolve_grids,
+    exceedance,
+    pmf_to_grid,
+)
+from .correlation import CovarianceTable
+from .histogram import DEFAULT_NUM_BUCKETS, ScoreHistogram
+from .poisson import (
+    estimate_remaining_random_accesses,
+    expected_lookup_documents,
+    poisson_cdf,
+)
+from .score_predictor import ScorePredictor
+from .selectivity import any_occurrence_probability, remainder_selectivity
+
+__all__ = [
+    "CovarianceTable",
+    "DEFAULT_GRID_CELLS",
+    "DEFAULT_NUM_BUCKETS",
+    "NormalScorePredictor",
+    "ScoreHistogram",
+    "ScorePredictor",
+    "StatsCatalog",
+    "any_occurrence_probability",
+    "convolution_width",
+    "convolve_grids",
+    "estimate_remaining_random_accesses",
+    "exceedance",
+    "expected_lookup_documents",
+    "pmf_to_grid",
+    "poisson_cdf",
+    "remainder_selectivity",
+]

@@ -1,0 +1,98 @@
+"""Feature correlations via pairwise contingency statistics (paper Sec. 3.4).
+
+Query terms are frequently correlated, which makes the independence-based
+selectivity estimator uselessly crude.  The paper precomputes pairwise term
+covariances from co-occurrence counts: with ``l_i`` the length of list
+``L_i``, ``l_ij`` the number of documents in both ``L_i`` and ``L_j``, and
+``n`` the collection size,
+
+    cov(X_i, X_j) = l_ij / n - (l_i * l_j) / n^2
+    P[X_i = 1 | X_j = 1] = l_ij / l_j
+
+and the correlation-aware occurrence probability given an evaluated set
+``E(d)`` is approximated by ``max_{j in E(d)} l_ij / l_j``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..storage.block_index import IndexList
+
+
+class CovarianceTable:
+    """Pairwise co-occurrence statistics for the lists of one query.
+
+    The paper precomputes these for frequent query terms from query logs;
+    building them once per (term pair) at index time is statistically
+    identical, so we compute them from the index lists on construction and
+    treat the table as precomputed thereafter.
+    """
+
+    def __init__(
+        self,
+        list_lengths: Sequence[int],
+        pair_counts: np.ndarray,
+        num_docs: int,
+    ) -> None:
+        lengths = np.asarray(list_lengths, dtype=np.float64)
+        pair_counts = np.asarray(pair_counts, dtype=np.float64)
+        m = lengths.size
+        if pair_counts.shape != (m, m):
+            raise ValueError("pair_counts must be an m x m matrix")
+        if num_docs <= 0:
+            raise ValueError("num_docs must be positive")
+        self.num_docs = int(num_docs)
+        self.list_lengths = lengths
+        self.pair_counts = pair_counts
+
+    @classmethod
+    def from_index_lists(
+        cls, lists: Sequence[IndexList], num_docs: int
+    ) -> "CovarianceTable":
+        """Count pairwise co-occurrences with sorted-array intersections."""
+        doc_sets = [np.sort(lst.doc_ids_by_rank) for lst in lists]
+        m = len(lists)
+        pair_counts = np.zeros((m, m), dtype=np.float64)
+        for i in range(m):
+            pair_counts[i, i] = doc_sets[i].size
+            for j in range(i + 1, m):
+                common = np.intersect1d(
+                    doc_sets[i], doc_sets[j], assume_unique=True
+                ).size
+                pair_counts[i, j] = common
+                pair_counts[j, i] = common
+        lengths = [len(lst) for lst in lists]
+        return cls(lengths, pair_counts, num_docs)
+
+    def covariance(self, i: int, j: int) -> float:
+        """``cov(X_i, X_j)`` of the Bernoulli occurrence indicators."""
+        n = float(self.num_docs)
+        return float(
+            self.pair_counts[i, j] / n
+            - self.list_lengths[i] * self.list_lengths[j] / (n * n)
+        )
+
+    def conditional_probability(self, i: int, j: int) -> float:
+        """``P[X_i = 1 | X_j = 1] = l_ij / l_j``."""
+        lj = self.list_lengths[j]
+        if lj <= 0:
+            return 0.0
+        return float(min(self.pair_counts[i, j] / lj, 1.0))
+
+    def occurrence_given_seen(self, i: int, seen_dims: Sequence[int]) -> float:
+        """``P[X_i = 1 | E(d)] ~= max_{j in E(d)} l_ij / l_j`` (Sec. 3.4).
+
+        Falls back to the marginal ``l_i / n`` when nothing has been seen
+        yet (no conditioning information).
+        """
+        best = 0.0
+        for j in seen_dims:
+            if j == i:
+                continue
+            best = max(best, self.conditional_probability(i, j))
+        if not seen_dims:
+            return float(min(self.list_lengths[i] / self.num_docs, 1.0))
+        return best

@@ -1,0 +1,189 @@
+"""Equi-width score histograms (paper Sec. 3.1).
+
+For each index list we precompute a histogram of its score distribution:
+the score domain is discretized into ``H`` buckets and we store per-bucket
+document frequencies plus cumulated frequencies.  All scheduling-time score
+estimates — the score at a future scan position (KSR, Sec. 4.1), the mean
+score of a scan range (KBA, Sec. 4.2), and the per-list score distributions
+that feed the run-time convolutions (Sec. 3.1) — are answered from the
+histogram, never from the raw list, so the engine's decisions only use
+information a real system would have precomputed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: Default number of histogram buckets per index list.
+DEFAULT_NUM_BUCKETS = 100
+
+
+class ScoreHistogram:
+    """Equi-width histogram over one list's descending score distribution.
+
+    Buckets are indexed from the *top* of the score range downward so that
+    cumulative counts align with descending-score ranks: bucket 0 holds the
+    highest scores.  Bucket ``h`` covers the half-open score interval
+    ``(upper - (h+1)*width, upper - h*width]``.
+    """
+
+    def __init__(self, scores: np.ndarray, num_buckets: int = DEFAULT_NUM_BUCKETS,
+                 upper: float = None) -> None:
+        scores = np.asarray(scores, dtype=np.float64)
+        if num_buckets <= 0:
+            raise ValueError("num_buckets must be positive")
+        if scores.size and float(scores.min()) < 0.0:
+            raise ValueError("scores must be non-negative")
+        if upper is None:
+            upper = float(scores.max()) if scores.size else 1.0
+        if upper <= 0.0:
+            upper = 1.0
+        self.upper = float(upper)
+        self.num_buckets = int(num_buckets)
+        self.width = self.upper / self.num_buckets
+
+        # Bucket index 0 = top of the range.  Scores above ``upper`` (should
+        # not happen when upper = max) clamp into bucket 0; score 0 lands in
+        # the bottom bucket.
+        if scores.size:
+            idx = np.floor((self.upper - scores) / self.width).astype(np.int64)
+            idx = np.clip(idx, 0, self.num_buckets - 1)
+            self.counts = np.bincount(idx, minlength=self.num_buckets).astype(
+                np.float64
+            )
+        else:
+            self.counts = np.zeros(self.num_buckets, dtype=np.float64)
+        #: cumulative count of entries from the top of the range through the
+        #: end of each bucket (descending-rank cumulative frequency).
+        self.cum_counts = np.cumsum(self.counts)
+        self.total = float(self.cum_counts[-1]) if scores.size else 0.0
+
+    def scaled(self, factor: float) -> "ScoreHistogram":
+        """A view of this histogram with all scores multiplied by ``factor``.
+
+        Used for weighted aggregation (paper Sec. 2.1: monotone *weighted*
+        summation): a query weight scales a list's score contribution, and
+        therefore every statistic derived from its histogram.  Bucket
+        counts are shared with the original (they are read-only).
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        if factor == 1.0:
+            return self
+        clone = object.__new__(ScoreHistogram)
+        clone.upper = self.upper * factor
+        clone.num_buckets = self.num_buckets
+        clone.width = self.width * factor
+        clone.counts = self.counts
+        clone.cum_counts = self.cum_counts
+        clone.total = self.total
+        return clone
+
+    # ------------------------------------------------------------------
+    # Bucket geometry
+    # ------------------------------------------------------------------
+    def bucket_upper(self, bucket: int) -> float:
+        """Upper score edge of ``bucket``."""
+        return self.upper - bucket * self.width
+
+    def bucket_lower(self, bucket: int) -> float:
+        """Lower score edge of ``bucket``."""
+        return self.upper - (bucket + 1) * self.width
+
+    def bucket_of(self, score: float) -> int:
+        """Bucket index containing ``score`` (clamped to range)."""
+        bucket = int(np.floor((self.upper - score) / self.width))
+        return min(max(bucket, 0), self.num_buckets - 1)
+
+    # ------------------------------------------------------------------
+    # Rank <-> score estimates (uniform-within-bucket assumption)
+    # ------------------------------------------------------------------
+    def score_at_rank(self, rank: float) -> float:
+        """Estimated score of the entry at 0-based descending ``rank``.
+
+        Ranks at or beyond the list length return 0.0, matching the
+        exhausted-list convention of the engine.
+        """
+        if rank < 0:
+            raise ValueError("rank must be non-negative")
+        if rank >= self.total:
+            return 0.0
+        bucket = int(np.searchsorted(self.cum_counts, rank, side="right"))
+        before = self.cum_counts[bucket - 1] if bucket else 0.0
+        count = self.counts[bucket]
+        fraction = (rank - before) / count if count else 0.0
+        return max(self.bucket_upper(bucket) - fraction * self.width, 0.0)
+
+    def rank_at_score(self, score: float) -> float:
+        """Estimated number of entries with score strictly above ``score``."""
+        if score >= self.upper:
+            return 0.0
+        if score <= 0.0:
+            return self.total
+        bucket = self.bucket_of(score)
+        before = self.cum_counts[bucket - 1] if bucket else 0.0
+        count = self.counts[bucket]
+        fraction = (self.bucket_upper(bucket) - score) / self.width
+        return before + count * min(max(fraction, 0.0), 1.0)
+
+    def mean_score_between(self, rank_a: float, rank_b: float) -> float:
+        """Estimated mean score of entries with ranks in ``[rank_a, rank_b)``.
+
+        This is the ``mu(pos_i, b_i)`` of the KBA benefit function
+        (Sec. 4.2).  Empty or out-of-range intervals return 0.0.
+        """
+        rank_a = max(rank_a, 0.0)
+        rank_b = min(rank_b, self.total)
+        if rank_b <= rank_a:
+            return 0.0
+        # Integrate the uniform-within-bucket score model over the rank range.
+        total_mass = 0.0
+        total_count = 0.0
+        for bucket in range(self.num_buckets):
+            before = self.cum_counts[bucket - 1] if bucket else 0.0
+            after = self.cum_counts[bucket]
+            lo = max(rank_a, before)
+            hi = min(rank_b, after)
+            if hi <= lo:
+                if before >= rank_b:
+                    break
+                continue
+            count = self.counts[bucket]
+            # ranks lo..hi map linearly onto scores within the bucket
+            f_lo = (lo - before) / count
+            f_hi = (hi - before) / count
+            s_hi = self.bucket_upper(bucket) - f_lo * self.width
+            s_lo = self.bucket_upper(bucket) - f_hi * self.width
+            total_mass += (hi - lo) * 0.5 * (s_hi + s_lo)
+            total_count += hi - lo
+        return total_mass / total_count if total_count else 0.0
+
+    # ------------------------------------------------------------------
+    # Tail distributions for the run-time convolutions
+    # ------------------------------------------------------------------
+    def tail_pmf(self, consumed: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Probability mass over bucket midpoints for the list's tail.
+
+        ``consumed`` is the current scan position ``pos_i``; the returned
+        PMF approximates the conditional score distribution
+        ``S_i | S_i <= high_i`` over the not-yet-scanned part of the list
+        (Sec. 3.1).  Returns ``(midpoints, probabilities)`` where midpoints
+        run from high scores to low; probabilities sum to 1 (or an all-zero
+        array if the tail is empty).
+        """
+        consumed = min(max(consumed, 0.0), self.total)
+        remaining = self.counts.copy()
+        if consumed > 0:
+            before = np.concatenate(([0.0], self.cum_counts[:-1]))
+            eaten = np.clip(consumed - before, 0.0, self.counts)
+            remaining = self.counts - eaten
+        midpoints = np.array(
+            [0.5 * (self.bucket_upper(h) + max(self.bucket_lower(h), 0.0))
+             for h in range(self.num_buckets)]
+        )
+        total = remaining.sum()
+        if total <= 0:
+            return midpoints, np.zeros_like(remaining)
+        return midpoints, remaining / total

@@ -1,0 +1,66 @@
+"""Normal-approximation score predictor (the RankSQL-style baseline).
+
+The RankSQL line of work (paper Sec. 1.3, refs [16, 20]) assumes per-list
+scores follow a Normal distribution "for tractability, to simplify
+convolutions".  The paper argues that real score distributions are very
+different from Normal and uses explicit histograms with run-time
+convolutions instead.
+
+This module implements the Normal-assumption predictor with the same
+interface as :class:`~repro.stats.score_predictor.ScorePredictor`, so the
+two can be swapped under any scheduling policy — experiment E13 measures
+what the histogram machinery actually buys.
+
+Each list's conditional tail distribution is summarized by its mean and
+variance (estimated from the histogram tail, so both predictors see the
+same raw statistics); a sum of independent per-list scores is then treated
+as Normal with the summed moments, and exceedance probabilities come from
+the Gaussian CDF instead of a convolution.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from .score_predictor import ScorePredictor
+
+
+def _normal_sf(x: float) -> float:
+    """Survival function ``P[Z > x]`` of the standard Normal."""
+    return 0.5 * math.erfc(x / math.sqrt(2.0))
+
+
+class NormalScorePredictor(ScorePredictor):
+    """Drop-in predictor that replaces convolutions by Normal moments."""
+
+    def refresh(self, positions: Sequence[int]) -> None:
+        super().refresh(positions)
+        self._tail_means: List[float] = []
+        self._tail_variances: List[float] = []
+        for hist, pos in zip(self.histograms, self._positions):
+            midpoints, probs = hist.tail_pmf(pos)
+            total = float(probs.sum())
+            if total <= 0.0:
+                self._tail_means.append(0.0)
+                self._tail_variances.append(0.0)
+                continue
+            mean = float((midpoints * probs).sum()) / total
+            second = float((midpoints * midpoints * probs).sum()) / total
+            self._tail_means.append(mean)
+            self._tail_variances.append(max(second - mean * mean, 0.0))
+
+    def score_exceedance(self, remainder_mask: int, delta: float) -> float:
+        if delta < 0:
+            return 1.0
+        if remainder_mask == 0:
+            return 0.0
+        mean = 0.0
+        variance = 0.0
+        for i in range(self.num_lists):
+            if remainder_mask >> i & 1:
+                mean += self._tail_means[i]
+                variance += self._tail_variances[i]
+        if variance <= 0.0:
+            return 1.0 if mean > delta else 0.0
+        return _normal_sf((delta - mean) / math.sqrt(variance))

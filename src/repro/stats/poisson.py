@@ -1,0 +1,118 @@
+"""Poisson estimate of the number of remaining random lookups (Sec. 5.1).
+
+Last-Probing switches from the SA phase to the RA phase when the *estimated*
+cost of the remaining random accesses balances the sorted-access cost spent
+so far.  The trivial estimate — every queued candidate needs a lookup — is a
+good one only for very skewed distributions; for flatter distributions
+(BM25) the paper derives a much sharper estimate:
+
+Sort the queued documents by descending bestscore ``B_l``.  Document ``l``
+will need a random lookup iff at most ``k'_l`` of the ``l-1`` documents
+ranked above it end up with a final score above ``B_l``, where ``k'_l`` is
+the number of current top-k items with worstscore below ``B_l``.  The count
+of predecessors exceeding ``B_l`` is approximated by a Poisson variable with
+mean ``p_{1,l} + ... + p_{l-1,l}``, where
+
+    p_{i,l} = P[F_i > B_l] ~= P[F_i > min-k] * (B_l - min-k) / (B_i - min-k)
+
+so that each per-document exceedance probability ``P[F_i > min-k]`` is
+computed once and prefix sums give every mean in overall linear time.  The
+Poisson CDF is evaluated through the regularized incomplete gamma function,
+as the paper suggests (their reference [27]).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.special import gammaincc
+
+
+def poisson_cdf(k: int, mean: float) -> float:
+    """``P[X <= k]`` for ``X ~ Poisson(mean)`` via the incomplete gamma.
+
+    ``P[X <= k] = Q(k + 1, mean)`` with ``Q`` the regularized upper
+    incomplete gamma function.  ``k < 0`` yields 0.0.
+    """
+    if k < 0:
+        return 0.0
+    if mean <= 0.0:
+        return 1.0
+    return float(gammaincc(k + 1, mean))
+
+
+def expected_lookup_documents(
+    bestscores: np.ndarray,
+    exceed_mink_probs: np.ndarray,
+    topk_worstscores: np.ndarray,
+    min_k: float,
+) -> np.ndarray:
+    """Per-document probabilities ``E(R_l)`` that a lookup is needed.
+
+    Parameters
+    ----------
+    bestscores:
+        Bestscores of the queued documents (any order; sorted internally).
+    exceed_mink_probs:
+        ``P[F_i > min-k]`` for the same documents (parallel array).
+    topk_worstscores:
+        Worstscores of the current top-k items.
+    min_k:
+        Current threshold (rank-k worstscore).
+
+    Returns
+    -------
+    Array of ``E(R_l)`` aligned with the *input* order of the documents.
+    """
+    bestscores = np.asarray(bestscores, dtype=np.float64)
+    probs = np.asarray(exceed_mink_probs, dtype=np.float64)
+    if bestscores.shape != probs.shape:
+        raise ValueError("bestscores and probabilities must be parallel")
+    q = bestscores.size
+    if q == 0:
+        return np.zeros(0)
+
+    order = np.argsort(-bestscores, kind="stable")
+    b_sorted = bestscores[order]
+    p_sorted = probs[order]
+
+    # Terms of the prefix sums: P[F_i > min-k] / (B_i - min-k), guarded for
+    # candidates sitting exactly on the threshold.
+    margins = np.maximum(b_sorted - min_k, 1e-12)
+    terms = p_sorted / margins
+    prefix = np.concatenate(([0.0], np.cumsum(terms)[:-1]))
+    means = np.maximum(b_sorted - min_k, 0.0) * prefix
+
+    topk_sorted = np.sort(np.asarray(topk_worstscores, dtype=np.float64))
+    # k'_l: number of top-k items with worstscore strictly below B_l.
+    k_prime = np.searchsorted(topk_sorted, b_sorted, side="left")
+
+    expectations = np.empty(q)
+    for idx in range(q):
+        expectations[idx] = poisson_cdf(int(k_prime[idx]), float(means[idx]))
+
+    result = np.empty(q)
+    result[order] = expectations
+    return result
+
+
+def estimate_remaining_random_accesses(
+    bestscores: np.ndarray,
+    exceed_mink_probs: np.ndarray,
+    missing_dims: np.ndarray,
+    topk_worstscores: np.ndarray,
+    min_k: float,
+) -> float:
+    """Estimated number of individual RAs still needed if SAs stopped now.
+
+    Weighs each document's lookup probability by its number of unresolved
+    dimensions (each missing dimension costs one random access).
+    """
+    expectations = expected_lookup_documents(
+        bestscores, exceed_mink_probs, topk_worstscores, min_k
+    )
+    missing = np.asarray(missing_dims, dtype=np.float64)
+    if missing.shape != expectations.shape:
+        raise ValueError("missing_dims must be parallel to bestscores")
+    return float(np.dot(expectations, missing))

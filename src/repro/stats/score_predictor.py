@@ -1,0 +1,184 @@
+"""Probabilistic score and qualification prediction (paper Sec. 3.1-3.4).
+
+The :class:`ScorePredictor` ties the statistics substrate together for one
+query: per-list histograms provide conditional tail distributions, the
+convolution module combines them into sum distributions, and selectivity /
+covariance statistics estimate occurrence probabilities.  The resulting
+quantities are exactly those of the paper:
+
+* ``p_s(d) = P[sum of missing scores > delta | S_i <= high_i]`` (Sec. 3.1),
+* ``q(d) = P[d occurs in at least one remainder list]`` (Sec. 3.2/3.4),
+* ``p(d) = p_s(d) * q(d)`` — the probability that candidate ``d`` still
+  qualifies for the top-k (Sec. 3.3).
+
+The predictor is refreshed once per batch of sorted accesses; sum
+distributions are convolved lazily per distinct remainder set and cached as
+suffix-sum arrays so that per-candidate queries are O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .convolution import convolution_width, convolve_grids, pmf_to_grid
+from .correlation import CovarianceTable
+from .histogram import ScoreHistogram
+from .selectivity import any_occurrence_probability, remainder_selectivity
+
+
+class _SumDistribution:
+    """A convolved sum PMF with O(1) exceedance queries."""
+
+    def __init__(self, grid: np.ndarray, width: float) -> None:
+        self.grid = grid
+        self.width = width
+        total = float(grid.sum())
+        if total > 0:
+            suffix = np.cumsum(grid[::-1])[::-1] / total
+        else:
+            suffix = np.zeros_like(grid)
+        # suffix[j] = P[sum cell index >= j]
+        self._suffix = suffix
+
+    def exceedance(self, threshold: float) -> float:
+        """``P[sum > threshold]`` with cell value = midpoint convention."""
+        if self._suffix.size == 0:
+            return 0.0
+        # cell j has midpoint (j + 0.5) * width; it exceeds the threshold
+        # iff j > threshold / width - 0.5.
+        first = int(np.floor(threshold / self.width - 0.5)) + 1
+        if first <= 0:
+            return float(self._suffix[0])
+        if first >= self._suffix.size:
+            return 0.0
+        return float(self._suffix[first])
+
+
+class ScorePredictor:
+    """Per-query probabilistic estimator over the query's m index lists.
+
+    Parameters
+    ----------
+    histograms:
+        Precomputed :class:`ScoreHistogram` per query list (query order).
+    list_lengths:
+        Length ``l_i`` of each list.
+    num_docs:
+        Collection size ``n``.
+    covariance:
+        Optional :class:`CovarianceTable` over the same lists; enables the
+        correlation-aware occurrence estimates of Sec. 3.4.
+    """
+
+    def __init__(
+        self,
+        histograms: Sequence[ScoreHistogram],
+        list_lengths: Sequence[int],
+        num_docs: int,
+        covariance: Optional[CovarianceTable] = None,
+    ) -> None:
+        if len(histograms) != len(list_lengths):
+            raise ValueError("histograms and list_lengths must be parallel")
+        self.histograms = list(histograms)
+        self.list_lengths = [int(l) for l in list_lengths]
+        self.num_docs = int(num_docs)
+        self.covariance = covariance
+        self.width = convolution_width(h.upper for h in self.histograms)
+        self._positions = [0] * len(histograms)
+        self._list_grids: list = []
+        self._mask_cache: Dict[int, _SumDistribution] = {}
+        self.refresh([0] * len(histograms))
+
+    @property
+    def num_lists(self) -> int:
+        return len(self.histograms)
+
+    # ------------------------------------------------------------------
+    # Round lifecycle
+    # ------------------------------------------------------------------
+    def refresh(self, positions: Sequence[int]) -> None:
+        """Recompute per-list tail distributions for new scan positions."""
+        if len(positions) != self.num_lists:
+            raise ValueError("positions must have one entry per list")
+        self._positions = [int(p) for p in positions]
+        self._list_grids = []
+        for hist, pos in zip(self.histograms, self._positions):
+            midpoints, probs = hist.tail_pmf(pos)
+            if probs.sum() <= 0:
+                # Exhausted list: the missing score is deterministically 0.
+                grid = np.array([1.0])
+            else:
+                grid = pmf_to_grid(midpoints, probs, self.width)
+            self._list_grids.append(grid)
+        self._mask_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Score predictor p_s(d)
+    # ------------------------------------------------------------------
+    def _distribution_for_mask(self, remainder_mask: int) -> _SumDistribution:
+        dist = self._mask_cache.get(remainder_mask)
+        if dist is None:
+            grids = [
+                self._list_grids[i]
+                for i in range(self.num_lists)
+                if remainder_mask >> i & 1
+            ]
+            dist = _SumDistribution(convolve_grids(grids), self.width)
+            self._mask_cache[remainder_mask] = dist
+        return dist
+
+    def score_exceedance(self, remainder_mask: int, delta: float) -> float:
+        """``p_s(d)``: probability the missing score mass exceeds ``delta``.
+
+        ``remainder_mask`` is the bitmask of unevaluated dimensions
+        ``E(d)``; ``delta`` the score deficit ``min-k - worstscore(d)``.
+        """
+        if delta < 0:
+            return 1.0
+        if remainder_mask == 0:
+            return 0.0
+        return self._distribution_for_mask(remainder_mask).exceedance(delta)
+
+    # ------------------------------------------------------------------
+    # Selectivity q_i(d) and q(d)
+    # ------------------------------------------------------------------
+    def remainder_occurrence(self, i: int, seen_mask: int) -> float:
+        """``q_i(d)``: probability d occurs in the remainder of list i.
+
+        Uses the covariance-based conditional ``max_j l_ij / l_j`` when a
+        covariance table is available and at least one dimension has been
+        seen (Sec. 3.4); otherwise falls back to the independence-based
+        remainder selectivity of Sec. 3.2.
+        """
+        if self.covariance is not None:
+            seen_dims = [j for j in range(self.num_lists) if seen_mask >> j & 1]
+            if seen_dims:
+                return self.covariance.occurrence_given_seen(i, seen_dims)
+        return remainder_selectivity(
+            self.list_lengths[i], self._positions[i], self.num_docs
+        )
+
+    def any_occurrence(self, seen_mask: int) -> float:
+        """``q(d)``: probability d occurs in at least one remainder list."""
+        remainder = [
+            self.remainder_occurrence(i, seen_mask)
+            for i in range(self.num_lists)
+            if not seen_mask >> i & 1
+        ]
+        return any_occurrence_probability(remainder)
+
+    # ------------------------------------------------------------------
+    # Combined predictor p(d)
+    # ------------------------------------------------------------------
+    def qualify_probability(
+        self, seen_mask: int, worstscore: float, min_k: float
+    ) -> float:
+        """``p(d) = p_s(d) * q(d)`` (Sec. 3.3): chance d reaches the top-k."""
+        full_mask = (1 << self.num_lists) - 1
+        remainder_mask = full_mask & ~seen_mask
+        if remainder_mask == 0:
+            return 1.0 if worstscore > min_k else 0.0
+        p_score = self.score_exceedance(remainder_mask, min_k - worstscore)
+        return p_score * self.any_occurrence(seen_mask)

@@ -1,0 +1,42 @@
+"""Selectivity estimation (paper Sec. 3.2).
+
+The score predictor implicitly assumes a candidate occurs in all of its
+missing lists and therefore over-estimates its chance to reach the top-k.
+The selectivity estimator corrects this with the probability that a document
+occurs in the *remainder* of a list at all.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def remainder_selectivity(list_length: int, position: int, num_docs: int) -> float:
+    """``q_i(d) = (l_i - pos_i) / (n - pos_i)``.
+
+    The probability that a document not yet seen in list ``i`` occurs in the
+    unscanned remainder of that list, assuming the scanned prefix already
+    excluded ``pos_i`` of the ``n`` documents.  Clamped into ``[0, 1]``.
+    """
+    if num_docs <= 0:
+        raise ValueError("num_docs must be positive")
+    position = min(max(position, 0), list_length)
+    denominator = num_docs - position
+    if denominator <= 0:
+        return 0.0
+    value = (list_length - position) / denominator
+    return min(max(value, 0.0), 1.0)
+
+
+def any_occurrence_probability(selectivities: Iterable[float]) -> float:
+    """``q(d) = 1 - prod_i (1 - q_i(d))``.
+
+    Probability that the document occurs in at least one of its remainder
+    dimensions (independence assumption; Sec. 3.4 refines the per-list
+    factors with covariances before they are combined here).
+    """
+    miss_all = 1.0
+    for q in selectivities:
+        q = min(max(q, 0.0), 1.0)
+        miss_all *= 1.0 - q
+    return 1.0 - miss_all

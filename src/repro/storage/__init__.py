@@ -1,0 +1,30 @@
+"""Storage substrate: simulated disk costs and the inverted block-index."""
+
+from .accessors import RandomAccessor, SortedCursor
+from .block_index import DEFAULT_BLOCK_SIZE, IndexList, InvertedBlockIndex
+from .diskmodel import DEFAULT_COST_RATIO, AccessMeter, CostModel
+from .index_builder import (
+    build_index,
+    build_index_from_documents,
+    build_index_list,
+)
+from .latency import DiskLatencyModel, DiskParameters
+from .serialization import load_index, save_index
+
+__all__ = [
+    "AccessMeter",
+    "CostModel",
+    "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_COST_RATIO",
+    "DiskLatencyModel",
+    "DiskParameters",
+    "IndexList",
+    "InvertedBlockIndex",
+    "RandomAccessor",
+    "SortedCursor",
+    "build_index",
+    "build_index_from_documents",
+    "build_index_list",
+    "load_index",
+    "save_index",
+]

@@ -1,0 +1,129 @@
+"""Charged access paths over the inverted block-index.
+
+All query-time access to index data goes through these two classes so that
+every sorted access and every random access is charged to an
+:class:`~repro.storage.diskmodel.AccessMeter`.  The TA-family engine never
+touches :class:`~repro.storage.block_index.IndexList` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .block_index import IndexList
+from .diskmodel import AccessMeter
+
+
+class SortedCursor:
+    """Forward-only sorted-access cursor over one index list.
+
+    Reads whole blocks (the scheduling unit of the paper's block-organized
+    index, Sec. 4) and charges one sorted access per index entry delivered.
+    """
+
+    def __init__(self, index_list: IndexList, meter: AccessMeter) -> None:
+        self._list = index_list
+        self._meter = meter
+        self._next_block = 0
+        self._position = 0  # number of entries delivered so far (pos_i)
+
+    @property
+    def term(self) -> str:
+        """The indexed dimension this cursor scans."""
+        return self._list.term
+
+    @property
+    def list_length(self) -> int:
+        """Total number of postings in the underlying list (l_i)."""
+        return len(self._list)
+
+    @property
+    def block_size(self) -> int:
+        return self._list.block_size
+
+    @property
+    def position(self) -> int:
+        """Current scan position ``pos_i`` (entries already read)."""
+        return self._position
+
+    @property
+    def blocks_read(self) -> int:
+        return self._next_block
+
+    @property
+    def blocks_remaining(self) -> int:
+        return self._list.num_blocks - self._next_block
+
+    @property
+    def exhausted(self) -> bool:
+        return self._position >= self.list_length
+
+    @property
+    def high(self) -> float:
+        """Upper bound ``high_i`` for all scores below the scan position."""
+        return self._list.score_at_rank(self._position)
+
+    def peek_high_after(self, extra_entries: int) -> float:
+        """``high_i`` if the scan were ``extra_entries`` further along.
+
+        Used only by *oracle* tooling and tests; scheduling policies must use
+        histogram estimates instead (the engine does not cheat).
+        """
+        return self._list.score_at_rank(self._position + extra_entries)
+
+    def read_next_blocks(self, num_blocks: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Read up to ``num_blocks`` further blocks.
+
+        Returns ``(doc_ids, scores)`` concatenated over the blocks read,
+        doc-id-sorted per block (callers merge block-wise).  Reading past the
+        end of the list silently truncates; reading zero blocks returns empty
+        arrays.  Charges one SA per entry actually delivered.
+        """
+        if num_blocks < 0:
+            raise ValueError("num_blocks must be non-negative")
+        stop_block = min(self._next_block + num_blocks, self._list.num_blocks)
+        if stop_block == self._next_block:
+            return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+        doc_parts = []
+        score_parts = []
+        for block in range(self._next_block, stop_block):
+            doc_ids, scores = self._list.read_block(block)
+            doc_parts.append(doc_ids)
+            score_parts.append(scores)
+        self._next_block = stop_block
+        doc_ids = np.concatenate(doc_parts)
+        scores = np.concatenate(score_parts)
+        self._position += int(doc_ids.size)
+        self._meter.charge_sorted(int(doc_ids.size))
+        return doc_ids, scores
+
+
+class RandomAccessor:
+    """Random score lookups ("probes") into one index list.
+
+    A probe resolves the dimension for the document regardless of presence:
+    an absent document has score 0 for this dimension.  Each call charges one
+    random access.
+    """
+
+    def __init__(self, index_list: IndexList, meter: AccessMeter) -> None:
+        self._list = index_list
+        self._meter = meter
+        self.probes = 0
+
+    @property
+    def term(self) -> str:
+        return self._list.term
+
+    @property
+    def list_length(self) -> int:
+        return len(self._list)
+
+    def probe(self, doc_id: int) -> float:
+        """Look up ``doc_id``; returns its score, or 0.0 if absent."""
+        self._meter.charge_random(1)
+        self.probes += 1
+        score = self._list.lookup(doc_id)
+        return 0.0 if score is None else score

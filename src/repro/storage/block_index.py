@@ -1,0 +1,210 @@
+"""The Inverted Block-Index (paper Sec. 2.2).
+
+Each index list stores ``<doc_id, score>`` pairs for one dimension (term or
+attribute value).  The list is partitioned into fixed-size *blocks* that are
+kept in **score-descending order among blocks**, while the entries **within
+each block are kept in doc-id order**.  Score-descending block order preserves
+the TA-style sorted-access semantics (the score at the current scan position
+is an upper bound for everything below); doc-id order within blocks makes the
+per-round candidate bookkeeping a cheap merge join.
+
+This module holds the passive data structures only.  Access *charging*
+(sorted vs. random cost) lives in :mod:`repro.storage.accessors` so that
+statistics building and the lower-bound computation can inspect lists without
+polluting query cost counters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Default number of entries per block.  The paper uses 32,768 for
+#: multi-terabyte data; our scaled-down synthetic collections default to a
+#: proportionally smaller block so queries still span many blocks.
+DEFAULT_BLOCK_SIZE = 1024
+
+
+class IndexList:
+    """One inverted list: postings sorted by descending score, blocked.
+
+    Parameters
+    ----------
+    term:
+        The dimension this list indexes (keyword, attribute value, ...).
+    doc_ids, scores:
+        Parallel arrays of postings in *any* order; the constructor sorts
+        them by descending score (ties broken by ascending doc id, matching
+        the paper's ``<score, itemID>`` tie-break) and derives the blocked
+        layout.
+    block_size:
+        Entries per block; the last block may be shorter.
+    """
+
+    def __init__(
+        self,
+        term: str,
+        doc_ids: Sequence[int],
+        scores: Sequence[float],
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        doc_arr = np.asarray(doc_ids, dtype=np.int64)
+        score_arr = np.asarray(scores, dtype=np.float64)
+        if doc_arr.shape != score_arr.shape or doc_arr.ndim != 1:
+            raise ValueError("doc_ids and scores must be parallel 1-d arrays")
+        if score_arr.size and float(score_arr.min()) < 0.0:
+            raise ValueError("scores must be non-negative")
+        if np.unique(doc_arr).size != doc_arr.size:
+            raise ValueError("duplicate doc id in index list %r" % term)
+
+        # Canonical rank order: descending score, ascending doc id on ties.
+        order = np.lexsort((doc_arr, -score_arr))
+        self.term = term
+        self.block_size = int(block_size)
+        self._doc_ids_by_rank = doc_arr[order]
+        self._scores_by_rank = score_arr[order]
+
+        # Blocked layout: same rank partition, but doc-id order inside each
+        # block.  Because the rank order is globally score-descending, every
+        # score in block j dominates every score in block j+1.
+        self._block_doc_ids = self._doc_ids_by_rank.copy()
+        self._block_scores = self._scores_by_rank.copy()
+        for start in range(0, len(self), self.block_size):
+            stop = min(start + self.block_size, len(self))
+            inner = np.argsort(self._block_doc_ids[start:stop], kind="stable")
+            self._block_doc_ids[start:stop] = self._block_doc_ids[start:stop][inner]
+            self._block_scores[start:stop] = self._block_scores[start:stop][inner]
+
+        self._score_by_doc: Dict[int, float] = dict(
+            zip(self._doc_ids_by_rank.tolist(), self._scores_by_rank.tolist())
+        )
+
+    # ------------------------------------------------------------------
+    # Basic geometry
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self._doc_ids_by_rank.size)
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks (the last one may be partial)."""
+        return -(-len(self) // self.block_size) if len(self) else 0
+
+    def block_bounds(self, block: int) -> Tuple[int, int]:
+        """Return the ``[start, stop)`` rank range of ``block``."""
+        if not 0 <= block < self.num_blocks:
+            raise IndexError("block %d out of range" % block)
+        start = block * self.block_size
+        return start, min(start + self.block_size, len(self))
+
+    # ------------------------------------------------------------------
+    # Sorted-order views
+    # ------------------------------------------------------------------
+    def score_at_rank(self, rank: int) -> float:
+        """Score of the posting at 0-based ``rank`` in descending order.
+
+        Ranks at or past the end return 0.0 — the natural ``high_i`` bound
+        once a list is exhausted (absent documents contribute score 0).
+        """
+        if rank < 0:
+            raise IndexError("rank must be non-negative")
+        if rank >= len(self):
+            return 0.0
+        return float(self._scores_by_rank[rank])
+
+    @property
+    def scores_by_rank(self) -> np.ndarray:
+        """Read-only descending score array (used by stats builders)."""
+        return self._scores_by_rank
+
+    @property
+    def doc_ids_by_rank(self) -> np.ndarray:
+        """Doc ids in descending-score rank order."""
+        return self._doc_ids_by_rank
+
+    def read_block(self, block: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(doc_ids, scores)`` of one block, doc-id sorted."""
+        start, stop = self.block_bounds(block)
+        return self._block_doc_ids[start:stop], self._block_scores[start:stop]
+
+    # ------------------------------------------------------------------
+    # Random access
+    # ------------------------------------------------------------------
+    def lookup(self, doc_id: int) -> Optional[float]:
+        """Score of ``doc_id`` in this list, or None if absent."""
+        return self._score_by_doc.get(int(doc_id))
+
+    def __contains__(self, doc_id: int) -> bool:
+        return int(doc_id) in self._score_by_doc
+
+    def rank_of(self, doc_id: int) -> Optional[int]:
+        """0-based rank of ``doc_id`` in descending-score order.
+
+        Linear in the worst case is avoided by binary search on the score
+        then a short scan among equal scores.
+        """
+        score = self.lookup(doc_id)
+        if score is None:
+            return None
+        # scores are descending; find the equal-score run via searchsorted
+        # on the negated (ascending) array.
+        neg = -self._scores_by_rank
+        lo = int(np.searchsorted(neg, -score, side="left"))
+        hi = int(np.searchsorted(neg, -score, side="right"))
+        for rank in range(lo, hi):
+            if int(self._doc_ids_by_rank[rank]) == int(doc_id):
+                return rank
+        raise RuntimeError("inconsistent index list state")  # pragma: no cover
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "IndexList(term=%r, len=%d, blocks=%d)" % (
+            self.term,
+            len(self),
+            self.num_blocks,
+        )
+
+
+class InvertedBlockIndex:
+    """A collection of :class:`IndexList` objects keyed by term.
+
+    ``num_docs`` is the total collection size ``n`` used by the selectivity
+    estimator (Sec. 3.2); it must be at least the number of distinct doc ids.
+    """
+
+    def __init__(
+        self,
+        lists: Mapping[str, IndexList],
+        num_docs: int,
+    ) -> None:
+        if num_docs <= 0:
+            raise ValueError("num_docs must be positive")
+        self._lists: Dict[str, IndexList] = dict(lists)
+        self.num_docs = int(num_docs)
+
+    @property
+    def terms(self) -> List[str]:
+        """All indexed terms."""
+        return list(self._lists)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._lists
+
+    def __len__(self) -> int:
+        return len(self._lists)
+
+    def list_for(self, term: str) -> IndexList:
+        """The index list of ``term``; raises KeyError for unknown terms."""
+        try:
+            return self._lists[term]
+        except KeyError:
+            raise KeyError("no index list for term %r" % term) from None
+
+    def lists_for(self, terms: Iterable[str]) -> List[IndexList]:
+        """Index lists for a query's terms, in query order."""
+        return [self.list_for(t) for t in terms]
+
+    def __iter__(self) -> Iterator[IndexList]:
+        return iter(self._lists.values())

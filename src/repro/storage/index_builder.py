@@ -1,0 +1,70 @@
+"""Builders that turn scored postings into an inverted block-index."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from .block_index import DEFAULT_BLOCK_SIZE, IndexList, InvertedBlockIndex
+
+Posting = Tuple[int, float]
+
+
+def build_index_list(
+    term: str,
+    postings: Iterable[Posting],
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> IndexList:
+    """Build one :class:`IndexList` from ``(doc_id, score)`` postings."""
+    doc_ids = []
+    scores = []
+    for doc_id, score in postings:
+        doc_ids.append(int(doc_id))
+        scores.append(float(score))
+    return IndexList(term, doc_ids, scores, block_size=block_size)
+
+
+def build_index(
+    postings_by_term: Mapping[str, Iterable[Posting]],
+    num_docs: Optional[int] = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> InvertedBlockIndex:
+    """Build an :class:`InvertedBlockIndex` from per-term posting lists.
+
+    ``num_docs`` defaults to the number of distinct doc ids across all lists;
+    pass the true collection size when some documents match no indexed term
+    (it feeds the selectivity estimator's ``n``).
+    """
+    lists: Dict[str, IndexList] = {}
+    seen_docs = set()
+    for term, postings in postings_by_term.items():
+        index_list = build_index_list(term, postings, block_size=block_size)
+        lists[term] = index_list
+        seen_docs.update(index_list.doc_ids_by_rank.tolist())
+    if num_docs is None:
+        num_docs = max(len(seen_docs), 1)
+    if seen_docs and num_docs < len(seen_docs):
+        raise ValueError(
+            "num_docs=%d is smaller than the %d distinct documents indexed"
+            % (num_docs, len(seen_docs))
+        )
+    return InvertedBlockIndex(lists, num_docs=num_docs)
+
+
+def build_index_from_documents(
+    documents: Mapping[int, Mapping[str, float]],
+    num_docs: Optional[int] = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> InvertedBlockIndex:
+    """Build an index from the *forward* view ``doc_id -> {term: score}``.
+
+    Convenient for small structured datasets (e.g. the IMDB-style catalog)
+    where per-document attribute scores are the natural representation.
+    """
+    postings: Dict[str, list] = defaultdict(list)
+    for doc_id, term_scores in documents.items():
+        for term, score in term_scores.items():
+            postings[term].append((doc_id, score))
+    if num_docs is None:
+        num_docs = max(len(documents), 1)
+    return build_index(postings, num_docs=num_docs, block_size=block_size)

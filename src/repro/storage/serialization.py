@@ -1,0 +1,68 @@
+"""Persist and reload inverted block-indexes (compressed .npz).
+
+A production index lives on disk; this module gives the library a simple,
+dependency-free on-disk format so collections can be built once and reused
+across sessions.  The format stores each list's postings plus the global
+metadata; block layout is rebuilt deterministically on load (the layout is
+a pure function of the postings and the block size).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from .block_index import IndexList, InvertedBlockIndex
+
+#: Format version written into every file; bump on incompatible changes.
+FORMAT_VERSION = 1
+
+
+def save_index(
+    index: InvertedBlockIndex, path: Union[str, pathlib.Path]
+) -> None:
+    """Write the index to ``path`` as a compressed numpy archive."""
+    path = pathlib.Path(path)
+    terms = index.terms
+    metadata = {
+        "format_version": FORMAT_VERSION,
+        "num_docs": index.num_docs,
+        "terms": terms,
+        "block_sizes": [index.list_for(t).block_size for t in terms],
+    }
+    arrays = {
+        "metadata": np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+        )
+    }
+    for position, term in enumerate(terms):
+        index_list = index.list_for(term)
+        arrays["docs_%d" % position] = index_list.doc_ids_by_rank
+        arrays["scores_%d" % position] = index_list.scores_by_rank
+    with path.open("wb") as handle:
+        np.savez_compressed(handle, **arrays)
+
+
+def load_index(path: Union[str, pathlib.Path]) -> InvertedBlockIndex:
+    """Load an index previously written by :func:`save_index`."""
+    path = pathlib.Path(path)
+    with np.load(path) as archive:
+        metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
+        version = metadata.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                "unsupported index format version %r (expected %d)"
+                % (version, FORMAT_VERSION)
+            )
+        lists = {}
+        for position, term in enumerate(metadata["terms"]):
+            lists[term] = IndexList(
+                term,
+                archive["docs_%d" % position],
+                archive["scores_%d" % position],
+                block_size=metadata["block_sizes"][position],
+            )
+    return InvertedBlockIndex(lists, num_docs=metadata["num_docs"])

@@ -1,0 +1,11 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from tests.helpers import make_random_index
+
+
+@pytest.fixture
+def small_index():
+    """Deterministic 3-list uniform index for reuse across tests."""
+    return make_random_index(seed=42)

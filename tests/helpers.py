@@ -1,0 +1,72 @@
+"""Shared helper functions for the test suite."""
+
+from __future__ import annotations
+
+import collections
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.storage.block_index import InvertedBlockIndex
+from repro.storage.index_builder import build_index
+
+
+def make_random_index(
+    num_lists: int = 3,
+    list_length: int = 600,
+    num_docs: int = 2000,
+    block_size: int = 64,
+    distribution: str = "uniform",
+    seed: int = 0,
+) -> Tuple[InvertedBlockIndex, List[str]]:
+    """A small random index plus the list of its terms."""
+    rng = np.random.default_rng(seed)
+    postings: Dict[str, list] = {}
+    terms = []
+    for i in range(num_lists):
+        term = "t%d" % i
+        terms.append(term)
+        docs = rng.choice(num_docs, size=list_length, replace=False)
+        if distribution == "uniform":
+            scores = rng.random(list_length)
+        elif distribution == "zipf":
+            scores = np.power(np.arange(1, list_length + 1, dtype=float), -0.9)
+            rng.shuffle(scores)
+        elif distribution == "ties":
+            scores = rng.choice([0.2, 0.5, 0.8, 1.0], size=list_length)
+        else:
+            raise ValueError(distribution)
+        postings[term] = list(zip(docs.tolist(), scores.tolist()))
+    index = build_index(postings, num_docs=num_docs, block_size=block_size)
+    return index, terms
+
+
+def oracle_scores(
+    index: InvertedBlockIndex, terms: Sequence[str], k: int
+) -> List[float]:
+    """Brute-force top-k aggregated scores (descending).
+
+    Zero-total documents are excluded, matching the library's semantics
+    (a document with no positive score is indistinguishable from an
+    unseen one and is never returned).
+    """
+    totals = collections.defaultdict(float)
+    for term in terms:
+        index_list = index.list_for(term)
+        for doc, score in zip(
+            index_list.doc_ids_by_rank, index_list.scores_by_rank
+        ):
+            totals[int(doc)] += float(score)
+    ranked = sorted((t for t in totals.values() if t > 0.0), reverse=True)
+    return ranked[:k]
+
+
+def true_score(index: InvertedBlockIndex, terms: Sequence[str], doc_id: int) -> float:
+    """Exact aggregated score of one document."""
+    total = 0.0
+    for term in terms:
+        score = index.list_for(term).lookup(doc_id)
+        total += score if score is not None else 0.0
+    return total
+
+

@@ -1,0 +1,103 @@
+"""Unit tests for the charged access paths (cursors and probes)."""
+
+import numpy as np
+import pytest
+
+from repro.storage.accessors import RandomAccessor, SortedCursor
+from repro.storage.block_index import IndexList
+from repro.storage.diskmodel import AccessMeter, CostModel
+
+
+@pytest.fixture
+def setup():
+    docs = np.arange(10)
+    scores = np.linspace(1.0, 0.1, 10)
+    index_list = IndexList("t", docs, scores, block_size=4)
+    meter = AccessMeter(cost_model=CostModel.from_ratio(100))
+    return index_list, meter
+
+
+class TestSortedCursor:
+    def test_initial_state(self, setup):
+        index_list, meter = setup
+        cursor = SortedCursor(index_list, meter)
+        assert cursor.position == 0
+        assert cursor.high == 1.0
+        assert not cursor.exhausted
+        assert cursor.blocks_remaining == 3
+        assert cursor.list_length == 10
+
+    def test_read_charges_per_entry(self, setup):
+        index_list, meter = setup
+        cursor = SortedCursor(index_list, meter)
+        docs, scores = cursor.read_next_blocks(1)
+        assert docs.size == 4
+        assert meter.sorted_accesses == 4
+        assert cursor.position == 4
+
+    def test_high_tracks_position(self, setup):
+        index_list, meter = setup
+        cursor = SortedCursor(index_list, meter)
+        cursor.read_next_blocks(1)
+        assert cursor.high == pytest.approx(index_list.score_at_rank(4))
+
+    def test_read_past_end_truncates(self, setup):
+        index_list, meter = setup
+        cursor = SortedCursor(index_list, meter)
+        docs, _ = cursor.read_next_blocks(10)
+        assert docs.size == 10
+        assert cursor.exhausted
+        assert cursor.high == 0.0
+        # Further reads deliver nothing and charge nothing.
+        docs, _ = cursor.read_next_blocks(1)
+        assert docs.size == 0
+        assert meter.sorted_accesses == 10
+
+    def test_read_zero_blocks(self, setup):
+        index_list, meter = setup
+        cursor = SortedCursor(index_list, meter)
+        docs, scores = cursor.read_next_blocks(0)
+        assert docs.size == 0 and scores.size == 0
+        assert meter.sorted_accesses == 0
+
+    def test_negative_blocks_rejected(self, setup):
+        index_list, meter = setup
+        cursor = SortedCursor(index_list, meter)
+        with pytest.raises(ValueError):
+            cursor.read_next_blocks(-1)
+
+    def test_blocks_docid_sorted_per_block(self, setup):
+        index_list, meter = setup
+        cursor = SortedCursor(index_list, meter)
+        docs, _ = cursor.read_next_blocks(1)
+        assert list(docs) == sorted(docs)
+
+    def test_peek_does_not_charge(self, setup):
+        index_list, meter = setup
+        cursor = SortedCursor(index_list, meter)
+        value = cursor.peek_high_after(4)
+        assert value == pytest.approx(index_list.score_at_rank(4))
+        assert meter.sorted_accesses == 0
+
+
+class TestRandomAccessor:
+    def test_probe_present(self, setup):
+        index_list, meter = setup
+        accessor = RandomAccessor(index_list, meter)
+        assert accessor.probe(0) == pytest.approx(1.0)
+        assert meter.random_accesses == 1
+        assert accessor.probes == 1
+
+    def test_probe_absent_returns_zero_and_charges(self, setup):
+        index_list, meter = setup
+        accessor = RandomAccessor(index_list, meter)
+        assert accessor.probe(999) == 0.0
+        assert meter.random_accesses == 1
+
+    def test_cost_combines_both_access_kinds(self, setup):
+        index_list, meter = setup
+        cursor = SortedCursor(index_list, meter)
+        accessor = RandomAccessor(index_list, meter)
+        cursor.read_next_blocks(1)
+        accessor.probe(0)
+        assert meter.cost == 4 + 100.0

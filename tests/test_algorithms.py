@@ -1,0 +1,104 @@
+"""Unit tests for the algorithm registry and the processor facade."""
+
+import pytest
+
+from repro.core.algorithms import (
+    TopKProcessor,
+    available_algorithms,
+    canonical_name,
+    make_policies,
+    run_query,
+)
+from repro.core.sa.kba import KnapsackBenefitAggregation
+from repro.core.sa.ksr import KnapsackScoreReduction
+from repro.core.sa.round_robin import RoundRobin
+
+from tests.helpers import make_random_index
+
+
+class TestCanonicalName:
+    @pytest.mark.parametrize("alias,expected", [
+        ("NRA", "RR-Never"),
+        ("nra", "RR-Never"),
+        ("TA", "RR-All"),
+        ("CA", "RR-Each-Best"),
+        ("Upper", "RR-Top-Best"),
+        ("Pick", "RR-Pick-Best"),
+    ])
+    def test_aliases(self, alias, expected):
+        assert canonical_name(alias) == expected
+
+    def test_canonical_passthrough(self):
+        assert canonical_name("KSR-Last-Ben") == "KSR-Last-Ben"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_name("FooBar")
+        with pytest.raises(ValueError):
+            canonical_name("RR-Quux")
+
+    def test_registry_is_consistent(self):
+        for name in available_algorithms():
+            assert canonical_name(name) == name
+
+    def test_paper_triples_present(self):
+        names = set(available_algorithms())
+        for required in [
+            "RR-Never", "RR-All", "RR-Each-Best", "RR-Top-Best",
+            "RR-Pick-Best", "RR-Last-Best", "RR-Last-Ben",
+            "KSR-Last-Best", "KSR-Last-Ben",
+            "KBA-Last-Best", "KBA-Last-Ben",
+        ]:
+            assert required in names
+
+
+class TestMakePolicies:
+    def test_sa_policy_classes(self):
+        assert isinstance(make_policies("RR-Never")[0], RoundRobin)
+        assert isinstance(
+            make_policies("KSR-Last-Ben")[0], KnapsackScoreReduction
+        )
+        assert isinstance(
+            make_policies("KBA-Last-Ben")[0], KnapsackBenefitAggregation
+        )
+
+    def test_fresh_instances_per_call(self):
+        first = make_policies("KSR-Last-Ben")
+        second = make_policies("KSR-Last-Ben")
+        assert first[0] is not second[0]
+        assert first[1] is not second[1]
+
+    def test_returns_canonical_name(self):
+        assert make_policies("TA")[2] == "RR-All"
+
+
+class TestTopKProcessor:
+    def test_query_and_full_merge(self, small_index):
+        index, terms = small_index
+        processor = TopKProcessor(index, cost_ratio=100)
+        result = processor.query(terms, 5)
+        merged = processor.full_merge(terms, 5)
+        assert len(result.items) == 5
+        assert len(merged.items) == 5
+        assert merged.stats.sorted_accesses == sum(
+            len(index.list_for(t)) for t in terms
+        )
+
+    def test_lower_bound_below_everything(self, small_index):
+        index, terms = small_index
+        processor = TopKProcessor(index, cost_ratio=100)
+        bound = processor.lower_bound(terms, 5)
+        for algorithm in ("NRA", "CA", "KSR-Last-Ben"):
+            cost = processor.query(terms, 5, algorithm=algorithm).stats.cost
+            assert bound <= cost + 1e-6
+
+    def test_algorithm_name_recorded(self, small_index):
+        index, terms = small_index
+        processor = TopKProcessor(index)
+        assert processor.query(terms, 3, algorithm="TA").algorithm == "RR-All"
+
+    def test_run_query_one_shot(self, small_index):
+        index, terms = small_index
+        result = run_query(index, terms, 4, algorithm="NRA", cost_ratio=10)
+        assert len(result.items) == 4
+        assert result.stats.cost > 0

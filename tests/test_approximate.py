@@ -1,0 +1,97 @@
+"""Tests for approximate processing with probabilistic pruning (Sec. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import TopKProcessor
+
+from tests.helpers import make_random_index, oracle_scores, true_score
+
+
+def precision_at_k(index, terms, k, result):
+    """Fraction of returned docs whose true score makes the exact top-k."""
+    expected = oracle_scores(index, terms, k)
+    if not expected:
+        return 1.0
+    cut = expected[-1]
+    hits = sum(
+        1 for doc in result.doc_ids
+        if true_score(index, terms, doc) >= cut - 1e-9
+    )
+    return hits / len(expected)
+
+
+class TestApproximatePruning:
+    def test_epsilon_zero_is_exact(self, small_index):
+        index, terms = small_index
+        processor = TopKProcessor(index, cost_ratio=100)
+        exact = processor.query(terms, 10, algorithm="NRA")
+        also_exact = processor.query(
+            terms, 10, algorithm="NRA", prune_epsilon=0.0
+        )
+        assert exact.doc_ids == also_exact.doc_ids
+        assert exact.stats.cost == also_exact.stats.cost
+
+    @pytest.mark.parametrize("algorithm", ["NRA", "RR-Last-Best",
+                                           "KSR-Last-Ben"])
+    def test_pruning_cost_stays_in_range(self, algorithm, small_index):
+        # Pruning usually reduces cost, but dropping a future top-k member
+        # can lower min-k and delay termination slightly; costs must stay
+        # within a modest factor of the exact run either way.
+        index, terms = small_index
+        processor = TopKProcessor(index, cost_ratio=100)
+        exact = processor.query(terms, 10, algorithm=algorithm)
+        approx = processor.query(
+            terms, 10, algorithm=algorithm, prune_epsilon=0.2
+        )
+        assert approx.stats.cost <= exact.stats.cost * 1.5 + 1e-9
+
+    def test_small_epsilon_keeps_high_precision(self):
+        index, terms = make_random_index(
+            num_lists=3, list_length=800, num_docs=2500, seed=51
+        )
+        processor = TopKProcessor(index, cost_ratio=100)
+        precisions = []
+        for seed_k in (5, 10, 20):
+            result = processor.query(
+                terms, seed_k, algorithm="NRA", prune_epsilon=0.01
+            )
+            precisions.append(
+                precision_at_k(index, terms, seed_k, result)
+            )
+        assert np.mean(precisions) >= 0.8
+
+    def test_aggressive_epsilon_cuts_cost(self):
+        index, terms = make_random_index(
+            num_lists=3, list_length=800, num_docs=2500, seed=51
+        )
+        processor = TopKProcessor(index, cost_ratio=100)
+        exact = processor.query(terms, 20, algorithm="NRA")
+        approx = processor.query(
+            terms, 20, algorithm="NRA", prune_epsilon=0.6
+        )
+        assert approx.stats.cost < exact.stats.cost
+
+    def test_returns_k_items(self, small_index):
+        index, terms = small_index
+        processor = TopKProcessor(index, cost_ratio=100)
+        result = processor.query(
+            terms, 10, algorithm="NRA", prune_epsilon=0.1
+        )
+        assert len(result.items) == 10
+
+    def test_prune_counts_reported(self, small_index):
+        index, terms = small_index
+        from repro.core.engine import QueryState
+        from repro.stats.catalog import StatsCatalog
+        from repro.storage.diskmodel import CostModel
+
+        state = QueryState(
+            index, StatsCatalog(index), terms, 5, CostModel.from_ratio(100)
+        )
+        # No min-k yet: nothing can be pruned probabilistically.
+        assert state.probabilistic_prune(0.5) == 0
+        state.perform_sorted_round([2, 2, 2])
+        dropped = state.probabilistic_prune(0.9)
+        assert dropped >= 0
+        assert state.probabilistic_prune(0.0) == 0

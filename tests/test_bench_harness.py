@@ -1,0 +1,83 @@
+"""Unit tests for the experiment harness (small scales only)."""
+
+import pytest
+
+from repro.bench.experiments import ALL_EXPERIMENTS, run_experiment
+from repro.bench.harness import Aggregate, ExperimentTable, Harness
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return Harness(scale=0.05, num_queries=2)
+
+
+class TestHarness:
+    def test_run_algorithm(self, harness):
+        agg = harness.run("uniform", "NRA", 5, 100.0)
+        assert isinstance(agg, Aggregate)
+        assert agg.cost > 0
+        assert agg.random_accesses == 0
+        assert agg.queries == 2
+
+    def test_run_full_merge(self, harness):
+        agg = harness.run("uniform", "FullMerge", 5, 100.0)
+        dataset = harness.dataset("uniform")
+        expected = sum(
+            len(dataset.index.list_for(t)) for t in dataset.queries[0]
+        )
+        # Both queries have equal-length lists by construction.
+        assert agg.cost == pytest.approx(expected, rel=0.1)
+
+    def test_run_lower_bound(self, harness):
+        bound = harness.run("uniform", "LowerBound", 5, 100.0)
+        nra = harness.run("uniform", "NRA", 5, 100.0)
+        # At this tiny scale every list fits in one block, so the cell
+        # relaxation may legitimately bottom out at 0.
+        assert 0 <= bound.cost <= nra.cost + 1e-6
+
+    def test_processor_cached_per_ratio(self, harness):
+        a = harness.processor("uniform", 100.0)
+        b = harness.processor("uniform", 100.0)
+        c = harness.processor("uniform", 1000.0)
+        assert a is b
+        assert a is not c
+        assert a.stats is c.stats  # statistics shared across ratios
+
+    def test_cost_table_layout(self, harness):
+        table = harness.cost_table(
+            "T", "test", "uniform", ["NRA", "FullMerge"], [2, 5], 100.0
+        )
+        assert table.columns == ["method", "k=2", "k=5"]
+        assert len(table.rows) == 2
+        assert table.rows[0][0] == "NRA"
+        float(table.rows[0][1])  # parseable numbers
+
+
+class TestExperimentTable:
+    def test_render_contains_everything(self):
+        table = ExperimentTable(
+            "E0", "demo", ["method", "k=1"], [["NRA", "42"]], notes="hello"
+        )
+        text = table.render()
+        assert "E0" in text and "demo" in text
+        assert "NRA" in text and "42" in text
+        assert "hello" in text
+
+
+class TestExperiments:
+    def test_registry_covers_the_paper(self):
+        paper = {"e%d" % n for n in range(1, 11)}
+        extensions = {"e11", "e12", "e13"}
+        assert set(ALL_EXPERIMENTS) == paper | extensions
+
+    def test_unknown_experiment(self, harness):
+        with pytest.raises(ValueError):
+            run_experiment("e99", harness)
+
+    @pytest.mark.parametrize("name", ["e6", "e10"])
+    def test_experiments_run_at_small_scale(self, harness, name):
+        tables = run_experiment(name, harness)
+        assert tables
+        for table in tables:
+            assert table.rows
+            assert table.render()

@@ -1,0 +1,190 @@
+"""Unit and property tests for the inverted block-index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.block_index import IndexList, InvertedBlockIndex
+from repro.storage.index_builder import build_index
+
+
+def make_list(scores_by_doc, block_size=4, term="t"):
+    docs = list(scores_by_doc)
+    scores = [scores_by_doc[d] for d in docs]
+    return IndexList(term, docs, scores, block_size=block_size)
+
+
+class TestIndexListConstruction:
+    def test_basic_length_and_blocks(self):
+        lst = make_list({1: 0.5, 2: 0.9, 3: 0.1}, block_size=2)
+        assert len(lst) == 3
+        assert lst.num_blocks == 2
+        assert lst.block_bounds(0) == (0, 2)
+        assert lst.block_bounds(1) == (2, 3)
+
+    def test_empty_list(self):
+        lst = make_list({})
+        assert len(lst) == 0
+        assert lst.num_blocks == 0
+        assert lst.score_at_rank(0) == 0.0
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            IndexList("t", [1, 1], [0.5, 0.6])
+
+    def test_rejects_negative_scores(self):
+        with pytest.raises(ValueError):
+            IndexList("t", [1, 2], [0.5, -0.1])
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            IndexList("t", [1], [0.5], block_size=0)
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            IndexList("t", [1, 2], [0.5])
+
+    def test_rank_order_is_score_descending(self):
+        lst = make_list({1: 0.5, 2: 0.9, 3: 0.1, 4: 0.7})
+        assert list(lst.scores_by_rank) == [0.9, 0.7, 0.5, 0.1]
+        assert list(lst.doc_ids_by_rank) == [2, 4, 1, 3]
+
+    def test_score_ties_break_by_doc_id(self):
+        lst = make_list({5: 0.5, 2: 0.5, 9: 0.5})
+        assert list(lst.doc_ids_by_rank) == [2, 5, 9]
+
+
+class TestBlockLayout:
+    def test_blocks_docid_sorted_within(self):
+        lst = make_list(
+            {i: s for i, s in zip(range(10), [0.9, 0.1, 0.8, 0.2, 0.7,
+                                              0.3, 0.6, 0.4, 0.5, 0.05])},
+            block_size=4,
+        )
+        for block in range(lst.num_blocks):
+            docs, _ = lst.read_block(block)
+            assert list(docs) == sorted(docs)
+
+    def test_blocks_score_descending_across(self):
+        rng = np.random.default_rng(1)
+        lst = IndexList("t", np.arange(100), rng.random(100), block_size=8)
+        previous_min = float("inf")
+        for block in range(lst.num_blocks):
+            _, scores = lst.read_block(block)
+            assert scores.max() <= previous_min + 1e-12
+            previous_min = scores.min()
+
+    def test_block_read_pairs_scores_with_docs(self):
+        mapping = {7: 0.9, 3: 0.8, 11: 0.7, 5: 0.6}
+        lst = make_list(mapping, block_size=2)
+        for block in range(lst.num_blocks):
+            docs, scores = lst.read_block(block)
+            for d, s in zip(docs, scores):
+                assert mapping[int(d)] == pytest.approx(float(s))
+
+    def test_block_bounds_out_of_range(self):
+        lst = make_list({1: 0.5})
+        with pytest.raises(IndexError):
+            lst.block_bounds(1)
+        with pytest.raises(IndexError):
+            lst.block_bounds(-1)
+
+
+class TestScoreAtRank:
+    def test_exact_values(self):
+        lst = make_list({1: 0.9, 2: 0.5, 3: 0.1})
+        assert lst.score_at_rank(0) == 0.9
+        assert lst.score_at_rank(1) == 0.5
+        assert lst.score_at_rank(2) == 0.1
+
+    def test_past_end_is_zero(self):
+        lst = make_list({1: 0.9})
+        assert lst.score_at_rank(1) == 0.0
+        assert lst.score_at_rank(10_000) == 0.0
+
+    def test_negative_rank_rejected(self):
+        lst = make_list({1: 0.9})
+        with pytest.raises(IndexError):
+            lst.score_at_rank(-1)
+
+
+class TestLookup:
+    def test_lookup_present_and_absent(self):
+        lst = make_list({1: 0.9, 2: 0.5})
+        assert lst.lookup(1) == 0.9
+        assert lst.lookup(99) is None
+        assert 1 in lst
+        assert 99 not in lst
+
+    def test_rank_of(self):
+        lst = make_list({1: 0.9, 2: 0.5, 3: 0.7})
+        assert lst.rank_of(1) == 0
+        assert lst.rank_of(3) == 1
+        assert lst.rank_of(2) == 2
+        assert lst.rank_of(99) is None
+
+    def test_rank_of_with_ties(self):
+        lst = make_list({4: 0.5, 1: 0.5, 9: 0.5, 2: 0.8})
+        for doc in (1, 2, 4, 9):
+            rank = lst.rank_of(doc)
+            assert int(lst.doc_ids_by_rank[rank]) == doc
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.dictionaries(
+        st.integers(min_value=0, max_value=500),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=60,
+    ),
+    st.integers(min_value=1, max_value=16),
+)
+def test_index_list_invariants(scores_by_doc, block_size):
+    """Property: blocked layout preserves the posting multiset and order."""
+    lst = IndexList(
+        "t", list(scores_by_doc), list(scores_by_doc.values()),
+        block_size=block_size,
+    )
+    # Rank order is non-increasing.
+    assert all(
+        lst.scores_by_rank[i] >= lst.scores_by_rank[i + 1]
+        for i in range(len(lst) - 1)
+    )
+    # Reading all blocks returns exactly the original postings.
+    seen = {}
+    for block in range(lst.num_blocks):
+        docs, scores = lst.read_block(block)
+        assert list(docs) == sorted(docs)
+        for d, s in zip(docs, scores):
+            seen[int(d)] = float(s)
+    assert seen == {
+        d: pytest.approx(s) for d, s in scores_by_doc.items()
+    }
+    # score_at_rank matches the rank array inside the list.
+    for rank in range(len(lst)):
+        assert lst.score_at_rank(rank) == lst.scores_by_rank[rank]
+
+
+class TestInvertedBlockIndex:
+    def test_basic_access(self):
+        index = build_index({"a": [(1, 0.5)], "b": [(2, 0.8)]}, num_docs=10)
+        assert set(index.terms) == {"a", "b"}
+        assert len(index) == 2
+        assert "a" in index
+        assert index.list_for("a").lookup(1) == 0.5
+        assert [lst.term for lst in index.lists_for(["b", "a"])] == ["b", "a"]
+
+    def test_unknown_term(self):
+        index = build_index({"a": [(1, 0.5)]})
+        with pytest.raises(KeyError):
+            index.list_for("zzz")
+
+    def test_rejects_bad_num_docs(self):
+        with pytest.raises(ValueError):
+            InvertedBlockIndex({}, num_docs=0)
+
+    def test_iteration(self):
+        index = build_index({"a": [(1, 0.5)], "b": [(2, 0.8)]})
+        assert {lst.term for lst in index} == {"a", "b"}

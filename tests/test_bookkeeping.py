@@ -1,0 +1,210 @@
+"""Unit and property tests for the candidate bookkeeping (Sec. 2.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bookkeeping import CandidatePool
+
+
+def make_pool(num_lists=3, k=2, highs=(1.0, 1.0, 1.0)):
+    pool = CandidatePool(num_lists, k)
+    pool.set_highs(highs)
+    return pool
+
+
+class TestAbsorbAndResolve:
+    def test_absorb_creates_candidates(self):
+        pool = make_pool()
+        new = pool.absorb_postings(0, [1, 2], [0.9, 0.8])
+        assert new == [1, 2]
+        assert pool.candidates[1].worstscore == 0.9
+        assert pool.candidates[1].seen_mask == 0b1
+
+    def test_absorb_existing_does_not_report_new(self):
+        pool = make_pool()
+        pool.absorb_postings(0, [1], [0.9])
+        new = pool.absorb_postings(1, [1], [0.5])
+        assert new == []
+        assert pool.candidates[1].worstscore == pytest.approx(1.4)
+        assert pool.candidates[1].seen_mask == 0b11
+
+    def test_absorb_skips_already_resolved_dimension(self):
+        pool = make_pool()
+        pool.resolve_dimension(1, 0, 0.7)
+        pool.absorb_postings(0, [1], [0.7])
+        assert pool.candidates[1].worstscore == pytest.approx(0.7)
+
+    def test_resolve_dimension_idempotent(self):
+        pool = make_pool()
+        pool.resolve_dimension(5, 2, 0.3)
+        pool.resolve_dimension(5, 2, 0.3)
+        assert pool.candidates[5].worstscore == pytest.approx(0.3)
+
+    def test_peak_size_tracked(self):
+        pool = make_pool()
+        pool.absorb_postings(0, [1, 2, 3], [0.9, 0.8, 0.7])
+        assert pool.peak_size == 3
+
+
+class TestBounds:
+    def test_bestscore_adds_missing_highs(self):
+        pool = make_pool(highs=(0.5, 0.4, 0.3))
+        pool.absorb_postings(0, [1], [0.9])
+        cand = pool.candidates[1]
+        assert pool.bestscore(cand) == pytest.approx(0.9 + 0.4 + 0.3)
+
+    def test_unseen_bestscore_is_sum_of_highs(self):
+        pool = make_pool(highs=(0.5, 0.4, 0.3))
+        assert pool.unseen_bestscore == pytest.approx(1.2)
+
+    def test_missing_dims(self):
+        pool = make_pool()
+        pool.absorb_postings(1, [7], [0.5])
+        assert pool.missing_dims(pool.candidates[7]) == [0, 2]
+
+    def test_mask_cache_reset_on_new_highs(self):
+        pool = make_pool(highs=(0.5, 0.4, 0.3))
+        pool.absorb_postings(0, [1], [0.9])
+        cand = pool.candidates[1]
+        before = pool.bestscore(cand)
+        pool.set_highs((0.1, 0.1, 0.1))
+        after = pool.bestscore(cand)
+        assert after == pytest.approx(0.9 + 0.2)
+        assert after < before
+
+
+class TestRecomputeAndPrune:
+    def test_min_k_is_rank_k_worstscore(self):
+        pool = make_pool(k=2)
+        pool.absorb_postings(0, [1, 2, 3], [0.9, 0.8, 0.7])
+        pool.recompute()
+        assert pool.min_k == pytest.approx(0.8)
+        assert pool.topk_ids == {1, 2}
+
+    def test_min_k_zero_until_k_candidates(self):
+        pool = make_pool(k=5)
+        pool.absorb_postings(0, [1], [0.9])
+        pool.recompute()
+        assert pool.min_k == 0.0
+
+    def test_prunes_hopeless_candidates(self):
+        pool = make_pool(k=1, highs=(0.0, 0.05, 0.05))
+        pool.absorb_postings(0, [1, 2], [0.9, 0.2])
+        pool.recompute()
+        # Candidate 2's bestscore 0.2 + 0.1 < min-k 0.9.
+        assert 2 not in pool.candidates
+        assert 1 in pool.candidates
+
+    def test_keeps_candidates_that_could_still_win(self):
+        pool = make_pool(k=1, highs=(0.0, 0.5, 0.5))
+        pool.absorb_postings(0, [1, 2], [0.9, 0.2])
+        pool.recompute()
+        assert 2 in pool.candidates  # 0.2 + 1.0 > 0.9
+
+    def test_queue_excludes_topk(self):
+        pool = make_pool(k=1, highs=(0.0, 0.5, 0.5))
+        pool.absorb_postings(0, [1, 2], [0.9, 0.2])
+        pool.recompute()
+        queue_ids = {c.doc_id for c in pool.queue()}
+        assert queue_ids == {2}
+
+    def test_topk_candidates_sorted(self):
+        pool = make_pool(k=3)
+        pool.absorb_postings(0, [1, 2, 3], [0.5, 0.9, 0.7])
+        pool.recompute()
+        assert [c.doc_id for c in pool.topk_candidates()] == [2, 3, 1]
+
+
+class TestTermination:
+    def test_not_terminated_with_unseen_potential(self):
+        pool = make_pool(k=1, highs=(0.5, 0.5, 0.5))
+        pool.absorb_postings(0, [1], [0.9])
+        pool.recompute()
+        assert not pool.is_terminated
+
+    def test_terminated_when_unseen_and_queue_beaten(self):
+        pool = make_pool(k=1, highs=(0.1, 0.1, 0.1))
+        pool.absorb_postings(0, [1], [0.9])
+        pool.recompute()
+        assert pool.is_terminated
+
+    def test_fewer_than_k_requires_exhaustion(self):
+        pool = make_pool(k=5, highs=(0.2, 0.0, 0.0))
+        pool.absorb_postings(0, [1], [0.9])
+        pool.recompute()
+        assert not pool.is_terminated
+        pool.set_highs((0.0, 0.0, 0.0))
+        assert pool.is_terminated
+
+
+class TestValidation:
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            CandidatePool(0, 5)
+        with pytest.raises(ValueError):
+            CandidatePool(61, 5)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            CandidatePool(3, 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),       # dim
+            st.integers(min_value=0, max_value=30),      # doc
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        ),
+        min_size=1, max_size=60,
+    ),
+    st.integers(min_value=1, max_value=5),
+)
+def test_pruning_never_loses_the_true_topk(events, k):
+    """Property: with exact highs, pruning keeps every final top-k doc.
+
+    We replay a random stream of per-dimension observations in descending
+    per-dimension score order (as real scans would) and verify that docs
+    belonging to the true top-k are never pruned.
+    """
+    # Group by dim and sort descending to emulate sorted access order.
+    streams = {dim: [] for dim in range(3)}
+    seen_pairs = set()
+    for dim, doc, score in events:
+        if (dim, doc) in seen_pairs:
+            continue
+        seen_pairs.add((dim, doc))
+        streams[dim].append((doc, score))
+    for dim in streams:
+        streams[dim].sort(key=lambda pair: -pair[1])
+
+    totals = {}
+    for dim, postings in streams.items():
+        for doc, score in postings:
+            totals[doc] = totals.get(doc, 0.0) + score
+    true_topk_cut = sorted(totals.values(), reverse=True)[:k]
+    threshold = true_topk_cut[-1] if len(true_topk_cut) >= k else 0.0
+
+    pool = CandidatePool(3, k)
+    positions = {dim: 0 for dim in range(3)}
+    while any(positions[d] < len(streams[d]) for d in range(3)):
+        for dim in range(3):
+            if positions[dim] < len(streams[dim]):
+                doc, score = streams[dim][positions[dim]]
+                pool.absorb_postings(dim, [doc], [score])
+                positions[dim] += 1
+        highs = []
+        for dim in range(3):
+            pos = positions[dim]
+            highs.append(
+                streams[dim][pos][1] if pos < len(streams[dim]) else 0.0
+            )
+        pool.set_highs(highs)
+        pool.recompute()
+    # Every doc strictly above the cut must still be alive.
+    for doc, total in totals.items():
+        if total > threshold + 1e-9:
+            assert doc in pool.candidates

@@ -1,0 +1,52 @@
+"""Smoke tests for the CLI entry point and the example scripts."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench.__main__ import main
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestBenchCli:
+    def test_runs_one_experiment_at_tiny_scale(self, capsys):
+        exit_code = main(["--scale", "0.05", "--queries", "2", "e10"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "E10" in captured.out
+        assert "RR-Last-Best" in captured.out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ValueError):
+            main(["--scale", "0.05", "--queries", "1", "e99"])
+
+
+class TestExamples:
+    def test_quickstart_runs(self):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES / "quickstart.py")],
+            capture_output=True, text=True, timeout=240,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "FullMerge oracle" in completed.stdout
+        assert "doc17" in completed.stdout
+
+    def test_explain_trace_runs(self):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES / "explain_trace.py")],
+            capture_output=True, text=True, timeout=240,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "round 1" in completed.stdout
+        assert "winner" in completed.stdout
+
+    def test_all_examples_importable(self):
+        # Full dataset examples are too slow for unit tests; at least
+        # verify they compile.
+        import py_compile
+
+        for script in EXAMPLES.glob("*.py"):
+            py_compile.compile(str(script), doraise=True)

@@ -1,0 +1,145 @@
+"""Unit and property tests for run-time histogram convolutions."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.convolution import (
+    convolution_width,
+    convolve_grids,
+    exceedance,
+    pmf_to_grid,
+)
+
+
+class TestPmfToGrid:
+    def test_preserves_mass(self):
+        values = np.array([0.05, 0.15, 0.25])
+        probs = np.array([0.2, 0.3, 0.5])
+        grid = pmf_to_grid(values, probs, width=0.1)
+        assert grid.sum() == pytest.approx(1.0)
+
+    def test_binning_by_floor(self):
+        grid = pmf_to_grid(np.array([0.05, 0.19]), np.array([0.4, 0.6]), 0.1)
+        assert grid[0] == pytest.approx(0.4)
+        assert grid[1] == pytest.approx(0.6)
+
+    def test_empty_pmf(self):
+        grid = pmf_to_grid(np.empty(0), np.empty(0), 0.1)
+        assert grid.tolist() == [0.0]
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            pmf_to_grid(np.array([0.1]), np.array([1.0]), 0.0)
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            pmf_to_grid(np.array([0.1, 0.2]), np.array([1.0]), 0.1)
+
+
+class TestConvolveGrids:
+    def test_empty_sequence_is_point_mass(self):
+        assert convolve_grids([]).tolist() == [1.0]
+
+    def test_single_grid_unchanged(self):
+        grid = np.array([0.25, 0.75])
+        assert convolve_grids([grid]).tolist() == [0.25, 0.75]
+
+    def test_two_dice(self):
+        die = np.full(6, 1 / 6)
+        total = convolve_grids([die, die])
+        # P[sum of two cell indices = 7th cell] etc. — compare with direct
+        # enumeration.
+        expected = np.zeros(11)
+        for a, b in itertools.product(range(6), repeat=2):
+            expected[a + b] += 1 / 36
+        assert np.allclose(total, expected)
+
+    def test_mass_multiplies(self):
+        g1 = np.array([0.5, 0.25])  # mass 0.75
+        g2 = np.array([0.2, 0.2])   # mass 0.4
+        total = convolve_grids([g1, g2])
+        assert total.sum() == pytest.approx(0.75 * 0.4)
+
+
+class TestExceedance:
+    def test_midpoint_convention(self):
+        grid = np.array([0.5, 0.5])  # values 0.05 and 0.15 at width 0.1
+        assert exceedance(grid, 0.1, 0.0) == pytest.approx(1.0)
+        assert exceedance(grid, 0.1, 0.10) == pytest.approx(0.5)
+        assert exceedance(grid, 0.1, 0.20) == pytest.approx(0.0)
+
+    def test_normalizes_by_grid_mass(self):
+        grid = np.array([0.2, 0.2])  # mass 0.4
+        assert exceedance(grid, 0.1, 0.10) == pytest.approx(0.5)
+
+    def test_empty_grid(self):
+        assert exceedance(np.zeros(3), 0.1, 0.0) == 0.0
+
+    def test_monotone_in_threshold(self):
+        rng = np.random.default_rng(2)
+        grid = rng.random(20)
+        values = [exceedance(grid, 0.05, t) for t in np.linspace(0, 1.2, 30)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestConvolutionWidth:
+    def test_uses_finest_requirement(self):
+        width = convolution_width([1.0, 0.5], cells_per_dim=10)
+        assert width == pytest.approx(0.05)
+
+    def test_handles_empty(self):
+        assert convolution_width([]) > 0
+        assert convolution_width([0.0]) > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+                st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+            ),
+            min_size=1, max_size=4,
+        ),
+        min_size=1, max_size=3,
+    ),
+    st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+)
+def test_exceedance_against_enumeration(dists, threshold):
+    """Property: grid convolution approximates exact sum exceedance.
+
+    Error is bounded by the total grid discretization (one cell per
+    dimension on each side).
+    """
+    width = 0.05
+    grids = []
+    normalized = []
+    for dist in dists:
+        values = np.array([v for v, _ in dist])
+        probs = np.array([p for _, p in dist])
+        probs = probs / probs.sum()
+        grids.append(pmf_to_grid(values, probs, width))
+        normalized.append(list(zip(values, probs)))
+    total = convolve_grids(grids)
+    approx = exceedance(total, width, threshold)
+
+    exact = 0.0
+    for combo in itertools.product(*normalized):
+        total_value = sum(v for v, _ in combo)
+        prob = np.prod([p for _, p in combo])
+        if total_value > threshold:
+            exact += prob
+    slack = len(dists) * width
+    # Exceedance computed on the grid can differ only for combinations
+    # whose sum lies within the discretization slack of the threshold.
+    near_boundary = 0.0
+    for combo in itertools.product(*normalized):
+        total_value = sum(v for v, _ in combo)
+        if abs(total_value - threshold) <= slack:
+            near_boundary += np.prod([p for _, p in combo])
+    assert abs(approx - exact) <= near_boundary + 1e-9

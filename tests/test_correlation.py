@@ -1,0 +1,87 @@
+"""Unit tests for the covariance / correlation statistics (Sec. 3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.stats.correlation import CovarianceTable
+from repro.storage.index_builder import build_index_list
+
+
+def make_lists():
+    # List A: docs 0..9; list B: docs 5..14 (overlap 5); list C: docs 0..4
+    # (subset of A).
+    a = build_index_list("a", [(d, 0.5) for d in range(10)])
+    b = build_index_list("b", [(d, 0.5) for d in range(5, 15)])
+    c = build_index_list("c", [(d, 0.5) for d in range(5)])
+    return [a, b, c]
+
+
+class TestFromIndexLists:
+    def test_pair_counts(self):
+        table = CovarianceTable.from_index_lists(make_lists(), num_docs=100)
+        assert table.pair_counts[0, 0] == 10
+        assert table.pair_counts[0, 1] == 5
+        assert table.pair_counts[1, 0] == 5
+        assert table.pair_counts[0, 2] == 5
+        assert table.pair_counts[1, 2] == 0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            CovarianceTable([10, 10], np.zeros((3, 3)), num_docs=100)
+        with pytest.raises(ValueError):
+            CovarianceTable([10], np.zeros((1, 1)), num_docs=0)
+
+
+class TestCovariance:
+    def test_formula(self):
+        table = CovarianceTable.from_index_lists(make_lists(), num_docs=100)
+        # cov = l_ab/n - l_a*l_b/n^2 = 5/100 - 100/10000
+        assert table.covariance(0, 1) == pytest.approx(0.05 - 0.01)
+
+    def test_independent_lists_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = build_index_list(
+            "a", [(int(d), 0.5) for d in rng.choice(10_000, 2000,
+                                                    replace=False)]
+        )
+        b = build_index_list(
+            "b", [(int(d), 0.5) for d in rng.choice(10_000, 2000,
+                                                    replace=False)]
+        )
+        table = CovarianceTable.from_index_lists([a, b], num_docs=10_000)
+        assert abs(table.covariance(0, 1)) < 0.01
+
+    def test_perfect_containment_positive(self):
+        table = CovarianceTable.from_index_lists(make_lists(), num_docs=100)
+        assert table.covariance(0, 2) > 0
+
+
+class TestConditionalProbability:
+    def test_formula(self):
+        table = CovarianceTable.from_index_lists(make_lists(), num_docs=100)
+        # P[A | B] = l_ab / l_b = 5/10
+        assert table.conditional_probability(0, 1) == pytest.approx(0.5)
+        # P[A | C] = 5/5 = 1 (C is contained in A)
+        assert table.conditional_probability(0, 2) == pytest.approx(1.0)
+
+    def test_empty_list_conditioning(self):
+        table = CovarianceTable([10, 0], np.zeros((2, 2)), num_docs=100)
+        assert table.conditional_probability(0, 1) == 0.0
+
+
+class TestOccurrenceGivenSeen:
+    def test_max_over_seen_dims(self):
+        table = CovarianceTable.from_index_lists(make_lists(), num_docs=100)
+        # P[A | {B, C}] >= max(P[A|B], P[A|C]) = 1.0
+        assert table.occurrence_given_seen(0, [1, 2]) == pytest.approx(1.0)
+        assert table.occurrence_given_seen(0, [1]) == pytest.approx(0.5)
+
+    def test_marginal_fallback_when_nothing_seen(self):
+        table = CovarianceTable.from_index_lists(make_lists(), num_docs=100)
+        assert table.occurrence_given_seen(0, []) == pytest.approx(0.1)
+
+    def test_self_dimension_ignored(self):
+        table = CovarianceTable.from_index_lists(make_lists(), num_docs=100)
+        # Conditioning on itself is excluded; with only itself seen, there
+        # is no usable evidence.
+        assert table.occurrence_given_seen(0, [0]) == 0.0

@@ -1,0 +1,229 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import httplog, imdb, padding, synthetic, text_corpus
+
+
+class TestTextCorpus:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return text_corpus.generate_workload(
+            num_docs=3000, vocab_size=1500, num_topics=10, num_queries=6,
+            seed=5,
+        )
+
+    def test_deterministic_per_seed(self):
+        a = text_corpus.generate_corpus(
+            num_docs=500, vocab_size=300, num_topics=5, seed=9
+        )
+        b = text_corpus.generate_corpus(
+            num_docs=500, vocab_size=300, num_topics=5, seed=9
+        )
+        assert np.array_equal(a.doc_freq, b.doc_freq)
+        assert np.array_equal(a.doc_lengths, b.doc_lengths)
+
+    def test_corpus_shape(self, workload):
+        corpus = workload.corpus
+        assert corpus.num_docs == 3000
+        assert corpus.num_terms == 1500
+        assert corpus.doc_lengths.min() >= 20
+
+    def test_zipfian_frequencies(self, workload):
+        df = np.sort(workload.corpus.doc_freq)[::-1]
+        # Head terms dominate the tail by a large factor.
+        assert df[0] > 20 * max(df[len(df) // 2], 1)
+
+    def test_query_sizes(self, workload):
+        sizes = [len(q) for q in workload.queries]
+        assert all(2 <= s <= 5 for s in sizes)
+        expanded = [len(q) for q in workload.expanded_queries]
+        assert all(2 <= s <= 15 for s in expanded)
+        assert np.mean(expanded) > np.mean(sizes)
+
+    def test_query_terms_within_df_band(self, workload):
+        corpus = workload.corpus
+        n = corpus.num_docs
+        for query in workload.queries:
+            for term in query:
+                fraction = corpus.document_frequency(term) / n
+                assert 0.02 <= fraction <= 0.60
+
+    def test_query_terms_unique(self, workload):
+        for query in workload.queries + workload.expanded_queries:
+            assert len(set(query)) == len(query)
+
+    def test_df_band_too_narrow_raises(self, workload):
+        with pytest.raises(ValueError):
+            text_corpus.generate_queries(
+                workload.corpus, df_fraction_band=(0.9999, 1.0)
+            )
+
+
+class TestPadding:
+    def make_postings(self, seed=3):
+        rng = np.random.default_rng(seed)
+        return {
+            "a": [(int(d), float(s)) for d, s in
+                  zip(rng.choice(500, 200, replace=False), rng.random(200))],
+            "b": [(int(d), float(s)) for d, s in
+                  zip(rng.choice(500, 100, replace=False), rng.random(100))],
+        }
+
+    def test_lengths_scaled_by_factor(self):
+        postings = self.make_postings()
+        padded, n = padding.pad_posting_lists(postings, 500, factor=4.0)
+        assert len(padded["a"]) == pytest.approx(800, abs=2)
+        assert len(padded["b"]) == pytest.approx(400, abs=2)
+        assert n > 500
+
+    def test_pad_docs_outside_original_universe(self):
+        postings = self.make_postings()
+        padded, n = padding.pad_posting_lists(postings, 500, factor=3.0)
+        original = {d for posts in postings.values() for d, _ in posts}
+        for term in padded:
+            extra = [d for d, _ in padded[term][len(postings[term]):]]
+            assert all(d >= 500 for d in extra)
+            assert all(d < n for d in extra)
+
+    def test_pad_scores_below_base_quantile(self):
+        postings = self.make_postings()
+        padded, _ = padding.pad_posting_lists(
+            postings, 500, factor=3.0, base_quantile=0.4
+        )
+        for term, original in postings.items():
+            base = np.quantile([s for _, s in original], 0.4)
+            extra = [s for _, s in padded[term][len(original):]]
+            assert all(0.0 <= s <= base + 1e-9 for s in extra)
+
+    def test_factor_one_is_identity(self):
+        postings = self.make_postings()
+        padded, n = padding.pad_posting_lists(postings, 500, factor=1.0)
+        assert padded == {t: list(p) for t, p in postings.items()}
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            padding.pad_posting_lists({}, 10, factor=0.5)
+        with pytest.raises(ValueError):
+            padding.pad_posting_lists({}, 10, base_quantile=0.0)
+
+
+class TestImdb:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return imdb.generate_workload(
+            num_movies=2000, num_queries=6, block_size=64, seed=3
+        )
+
+    def test_dice_coefficient(self):
+        assert imdb.dice_coefficient(10, 10, 10) == pytest.approx(1.0)
+        assert imdb.dice_coefficient(10, 10, 0) == 0.0
+        assert imdb.dice_coefficient(0, 0, 0) == 0.0
+        assert imdb.dice_coefficient(10, 30, 10) == pytest.approx(0.5)
+
+    def test_queries_reference_indexed_terms(self, workload):
+        for query in workload.queries:
+            for term in query:
+                assert term in workload.index
+
+    def test_query_structure(self, workload):
+        for query in workload.queries:
+            kinds = [t.partition(":")[0] for t in query]
+            assert kinds.count("genre") == 1
+            assert kinds.count("actor") == 1
+            assert kinds.count("title") == 1
+            assert 1 <= kinds.count("desc") <= 2
+
+    def test_categorical_lists_longer_than_text_lists(self, workload):
+        genre_lengths = []
+        text_lengths = []
+        for query in workload.queries:
+            for term in query:
+                length = len(workload.index.list_for(term))
+                if term.startswith("genre:"):
+                    genre_lengths.append(length)
+                elif term.startswith(("title:", "desc:")):
+                    text_lengths.append(length)
+        assert np.mean(genre_lengths) > 3 * np.mean(text_lengths)
+
+    def test_similarity_scores_in_unit_interval(self, workload):
+        for term in workload.index.terms:
+            scores = workload.index.list_for(term).scores_by_rank
+            assert scores.max() <= 1.0 + 1e-9
+            assert scores.min() >= 0.0
+
+    def test_genre_lists_have_exact_match_ties(self, workload):
+        # The queried genre's own movies all score 1.0: a visible tie block.
+        for query in workload.queries[:3]:
+            genre_term = next(t for t in query if t.startswith("genre:"))
+            scores = workload.index.list_for(genre_term).scores_by_rank
+            assert (scores >= 1.0 - 1e-9).sum() > 10
+
+
+class TestHttplog:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return httplog.generate_workload(
+            num_users=2000, num_days=12, num_queries=6,
+            interval_days=(2, 5), block_size=64, seed=3,
+        )
+
+    def test_one_list_per_day(self, workload):
+        assert len(workload.index) == 12
+
+    def test_queries_are_contiguous_intervals(self, workload):
+        for query in workload.queries:
+            days = sorted(int(t.split(":")[1]) for t in query)
+            assert days == list(range(days[0], days[0] + len(days)))
+            assert 2 <= len(days) <= 5
+
+    def test_heavy_tailed_traffic(self, workload):
+        scores = workload.index.list_for("day:00").scores_by_rank
+        # Top user dwarfs the median user by orders of magnitude.
+        assert scores[0] > 50 * np.median(scores)
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            httplog.generate_workload(
+                num_users=100, num_days=5, interval_days=(2, 9)
+            )
+
+
+class TestSynthetic:
+    def test_uniform_and_zipf_shapes(self):
+        rng = np.random.default_rng(0)
+        uniform = synthetic.uniform_scores(rng, 1000)
+        zipf = synthetic.zipf_scores(rng, 1000)
+        assert 0 < uniform.min() and uniform.max() <= 1.0
+        assert zipf.max() == pytest.approx(1.0)
+        # Zipf mass concentrates at the top; uniform does not.
+        assert np.median(zipf) < 0.05
+        assert np.median(uniform) > 0.3
+
+    def test_index_overlap_parameter(self):
+        high, _ = synthetic.synthetic_index(
+            num_lists=2, list_length=400, num_docs=2000, overlap=0.9,
+            block_size=64, seed=1,
+        )
+        low, _ = synthetic.synthetic_index(
+            num_lists=2, list_length=400, num_docs=2000, overlap=0.0,
+            block_size=64, seed=1,
+        )
+
+        def shared(index):
+            lists = index.lists_for(index.terms[:2])
+            a = set(lists[0].doc_ids_by_rank.tolist())
+            b = set(lists[1].doc_ids_by_rank.tolist())
+            return len(a & b)
+
+        assert shared(high) > shared(low)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic.synthetic_index(overlap=2.0)
+        with pytest.raises(ValueError):
+            synthetic.synthetic_index(list_length=100, num_docs=50)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            synthetic.synthetic_index(distribution="normal")

@@ -1,0 +1,90 @@
+"""Unit tests for the simulated disk cost model."""
+
+import pytest
+
+from repro.storage.diskmodel import DEFAULT_COST_RATIO, AccessMeter, CostModel
+
+
+class TestCostModel:
+    def test_default_ratio(self):
+        model = CostModel()
+        assert model.ratio == DEFAULT_COST_RATIO
+
+    def test_from_ratio(self):
+        model = CostModel.from_ratio(250)
+        assert model.sorted_access_cost == 1.0
+        assert model.random_access_cost == 250.0
+        assert model.ratio == 250.0
+
+    def test_ratio_uses_both_costs(self):
+        model = CostModel(sorted_access_cost=2.0, random_access_cost=500.0)
+        assert model.ratio == 250.0
+
+    @pytest.mark.parametrize("sorted_cost,random_cost", [
+        (0.0, 1.0), (-1.0, 1.0), (1.0, 0.0), (1.0, -5.0),
+    ])
+    def test_rejects_non_positive_costs(self, sorted_cost, random_cost):
+        with pytest.raises(ValueError):
+            CostModel(
+                sorted_access_cost=sorted_cost,
+                random_access_cost=random_cost,
+            )
+
+    def test_is_immutable(self):
+        model = CostModel()
+        with pytest.raises(AttributeError):
+            model.sorted_access_cost = 3.0
+
+
+class TestAccessMeter:
+    def test_starts_at_zero(self):
+        meter = AccessMeter()
+        assert meter.sorted_accesses == 0
+        assert meter.random_accesses == 0
+        assert meter.cost == 0.0
+
+    def test_charging(self):
+        meter = AccessMeter(cost_model=CostModel.from_ratio(100))
+        meter.charge_sorted(10)
+        meter.charge_random(2)
+        meter.charge_sorted()
+        assert meter.sorted_accesses == 11
+        assert meter.random_accesses == 2
+
+    def test_normalized_cost_is_paper_metric(self):
+        meter = AccessMeter(cost_model=CostModel.from_ratio(1000))
+        meter.charge_sorted(500)
+        meter.charge_random(3)
+        assert meter.cost == 500 + 1000 * 3
+
+    def test_absolute_cost(self):
+        meter = AccessMeter(
+            cost_model=CostModel(sorted_access_cost=2.0,
+                                 random_access_cost=50.0)
+        )
+        meter.charge_sorted(10)
+        meter.charge_random(1)
+        assert meter.absolute_cost == 2.0 * 10 + 50.0
+
+    def test_negative_charges_rejected(self):
+        meter = AccessMeter()
+        with pytest.raises(ValueError):
+            meter.charge_sorted(-1)
+        with pytest.raises(ValueError):
+            meter.charge_random(-2)
+
+    def test_reset_keeps_cost_model(self):
+        model = CostModel.from_ratio(42)
+        meter = AccessMeter(cost_model=model)
+        meter.charge_sorted(5)
+        meter.reset()
+        assert meter.sorted_accesses == 0
+        assert meter.cost_model is model
+
+    def test_snapshot_is_independent(self):
+        meter = AccessMeter()
+        meter.charge_sorted(5)
+        snap = meter.snapshot()
+        meter.charge_sorted(5)
+        assert snap.sorted_accesses == 5
+        assert meter.sorted_accesses == 10

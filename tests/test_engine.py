@@ -1,0 +1,137 @@
+"""Unit tests for the query driver and its state object."""
+
+import pytest
+
+from repro.core.algorithms import make_policies
+from repro.core.engine import QueryState, TopKEngine
+from repro.stats.catalog import StatsCatalog
+from repro.storage.diskmodel import CostModel
+from repro.storage.index_builder import build_index
+
+from tests.helpers import make_random_index
+
+
+def make_state(index, terms, k=5, ratio=100, batch_blocks=None):
+    return QueryState(
+        index=index,
+        stats=StatsCatalog(index),
+        terms=terms,
+        k=k,
+        cost_model=CostModel.from_ratio(ratio),
+        batch_blocks=batch_blocks,
+    )
+
+
+class TestQueryState:
+    def test_initial_geometry(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        assert state.positions == [0, 0, 0]
+        assert all(h > 0 for h in state.highs)
+        assert not state.exhausted
+        assert state.batch_blocks == 3  # defaults to one block per list
+
+    def test_requires_terms(self, small_index):
+        index, _ = small_index
+        with pytest.raises(ValueError):
+            make_state(index, [])
+
+    def test_sorted_round_updates_positions_and_pool(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        state.perform_sorted_round([1, 0, 2])
+        assert state.positions[0] == index.list_for(terms[0]).block_size
+        assert state.positions[1] == 0
+        assert len(state.pool.candidates) > 0
+        assert state.round_no == 1
+        assert state.last_allocation[0] > 0
+
+    def test_sorted_round_requires_full_allocation(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        with pytest.raises(ValueError):
+            state.perform_sorted_round([1, 1])
+
+    def test_probe_resolves_dimension(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        doc = int(index.list_for(terms[0]).doc_ids_by_rank[0])
+        score = state.probe(doc, 0)
+        assert score == pytest.approx(index.list_for(terms[0]).lookup(doc))
+        assert state.meter.random_accesses == 1
+        assert state.pool.candidates[doc].seen_mask == 0b1
+
+    def test_probe_candidate_orders_by_selectivity(self):
+        postings = {
+            "short": [(d, 0.5) for d in range(5)],
+            "long": [(d, 0.5) for d in range(100)],
+        }
+        index = build_index(postings, num_docs=200, block_size=8)
+        state = make_state(index, ["long", "short"], k=1)
+        cand = state.pool.resolve_dimension(999, 0, 0.0)
+        cand.seen_mask = 0  # pretend nothing seen; both dims missing
+        cand.worstscore = 0.0
+        probed = []
+        original = state.probe
+
+        def spy(doc_id, dim):
+            probed.append(dim)
+            return original(doc_id, dim)
+
+        state.probe = spy
+        state.probe_candidate(cand, stop_when_pruned=False)
+        # dim 1 ("short") is more selective and must be probed first.
+        assert probed == [1, 0]
+
+    def test_predictor_refreshes_per_round(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        first = state.predictor
+        assert state.predictor is first  # cached within the round
+        state.perform_sorted_round([1, 1, 1])
+        again = state.predictor
+        assert again is first  # same object, refreshed positions
+        assert again._positions == state.positions
+
+    def test_exhaustion(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        blocks = [index.list_for(t).num_blocks for t in terms]
+        state.perform_sorted_round(blocks)
+        assert state.exhausted
+        assert state.is_terminated
+
+
+class TestTopKEngine:
+    def test_run_produces_k_items(self, small_index):
+        index, terms = small_index
+        engine = TopKEngine(index, cost_model=CostModel.from_ratio(100))
+        sa, ra, name = make_policies("NRA")
+        result = engine.run(terms, 10, sa, ra, algorithm_name=name)
+        assert len(result.items) == 10
+        assert result.algorithm == "RR-Never"
+        assert result.stats.sorted_accesses > 0
+        assert result.stats.random_accesses == 0
+
+    def test_items_ranked_by_worstscore(self, small_index):
+        index, terms = small_index
+        engine = TopKEngine(index)
+        sa, ra, _ = make_policies("CA")
+        result = engine.run(terms, 10, sa, ra)
+        worst = [item.worstscore for item in result.items]
+        assert worst == sorted(worst, reverse=True)
+        for item in result.items:
+            assert item.bestscore >= item.worstscore - 1e-9
+
+    def test_shares_stats_catalog(self, small_index):
+        index, terms = small_index
+        catalog = StatsCatalog(index)
+        engine = TopKEngine(index, stats=catalog)
+        assert engine.stats is catalog
+
+    def test_wall_time_recorded(self, small_index):
+        index, terms = small_index
+        engine = TopKEngine(index)
+        sa, ra, _ = make_policies("NRA")
+        result = engine.run(terms, 5, sa, ra)
+        assert result.stats.wall_time_seconds > 0

@@ -1,0 +1,85 @@
+"""Engine robustness: progress guarantees and degenerate policies."""
+
+import pathlib
+
+import pytest
+
+from repro.core.engine import RAPolicy, SAPolicy, TopKEngine
+from repro.storage.diskmodel import CostModel
+
+from tests.helpers import make_random_index, oracle_scores, true_score
+
+
+class LazySA(SAPolicy):
+    """Pathological SA policy that never allocates anything."""
+
+    name = "lazy"
+
+    def allocate(self, state, batch_blocks):
+        return [0] * state.num_lists
+
+
+class StubbornRA(RAPolicy):
+    """Pathological RA policy that refuses SAs and never probes."""
+
+    name = "stubborn"
+
+    def wants_sorted_access(self, state):
+        return False
+
+    def after_round(self, state):
+        return
+
+
+class TestProgressGuarantees:
+    def test_lazy_sa_policy_falls_back_to_round_robin(self, small_index):
+        index, terms = small_index
+        engine = TopKEngine(index, cost_model=CostModel.from_ratio(100))
+        result = engine.run(terms, 5, LazySA(), RAPolicy())
+        expected = oracle_scores(index, terms, 5)
+        got = sorted(
+            (true_score(index, terms, d) for d in result.doc_ids),
+            reverse=True,
+        )
+        assert got == pytest.approx(expected)
+
+    def test_stubborn_ra_policy_cannot_stall(self, small_index):
+        index, terms = small_index
+        engine = TopKEngine(index, cost_model=CostModel.from_ratio(100))
+        result = engine.run(terms, 5, LazySA(), StubbornRA())
+        assert len(result.items) == 5
+        assert result.stats.random_accesses == 0
+
+    def test_exhaustion_terminates_even_with_huge_k(self, small_index):
+        index, terms = small_index
+        engine = TopKEngine(index, cost_model=CostModel.from_ratio(100))
+        from repro.core.algorithms import make_policies
+
+        sa, ra, _ = make_policies("NRA")
+        result = engine.run(terms, 10_000, sa, ra)
+        # Everything positive gets returned; the engine must not loop.
+        assert len(result.items) == len(oracle_scores(index, terms, 10_000))
+
+
+class TestDocumentationHygiene:
+    def test_every_module_has_a_docstring(self):
+        import importlib
+        import pkgutil
+
+        import repro
+
+        package_root = pathlib.Path(repro.__file__).parent
+        missing = []
+        for info in pkgutil.walk_packages(
+            [str(package_root)], prefix="repro."
+        ):
+            module = importlib.import_module(info.name)
+            if not (module.__doc__ or "").strip():
+                missing.append(info.name)
+        assert not missing, "modules without docstrings: %s" % missing
+
+    def test_public_api_symbols_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name

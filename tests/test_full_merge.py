@@ -1,0 +1,54 @@
+"""Unit tests for the FullMerge baseline."""
+
+import pytest
+
+from repro.core.full_merge import full_merge
+from repro.storage.diskmodel import CostModel
+from repro.storage.index_builder import build_index
+
+from tests.helpers import make_random_index, oracle_scores
+
+
+class TestFullMerge:
+    def test_matches_oracle(self, small_index):
+        index, terms = small_index
+        result = full_merge(index, terms, 10)
+        got = sorted((i.worstscore for i in result.items), reverse=True)
+        assert got == pytest.approx(oracle_scores(index, terms, 10))
+
+    def test_cost_is_total_volume(self, small_index):
+        index, terms = small_index
+        model = CostModel.from_ratio(1000)
+        result = full_merge(index, terms, 10, model)
+        volume = sum(len(index.list_for(t)) for t in terms)
+        assert result.stats.sorted_accesses == volume
+        assert result.stats.random_accesses == 0
+        assert result.stats.cost == volume
+
+    def test_items_fully_resolved(self, small_index):
+        index, terms = small_index
+        result = full_merge(index, terms, 5)
+        assert all(item.resolved for item in result.items)
+
+    def test_rank_order_and_tiebreak(self):
+        index = build_index(
+            {"a": [(3, 0.5), (1, 0.5), (2, 0.9)]}, num_docs=10, block_size=4
+        )
+        result = full_merge(index, ["a"], 3)
+        assert result.doc_ids == [2, 1, 3]
+
+    def test_k_larger_than_universe(self):
+        index = build_index({"a": [(1, 0.5), (2, 0.4)]}, num_docs=10)
+        result = full_merge(index, ["a"], 99)
+        assert len(result.items) == 2
+
+    def test_rejects_bad_arguments(self, small_index):
+        index, terms = small_index
+        with pytest.raises(ValueError):
+            full_merge(index, terms, 0)
+        with pytest.raises(ValueError):
+            full_merge(index, [], 5)
+
+    def test_algorithm_label(self, small_index):
+        index, terms = small_index
+        assert full_merge(index, terms, 1).algorithm == "FullMerge"

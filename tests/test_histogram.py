@@ -1,0 +1,152 @@
+"""Unit and property tests for the equi-width score histograms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.histogram import ScoreHistogram
+
+
+class TestConstruction:
+    def test_counts_sum_to_total(self):
+        scores = np.array([0.1, 0.5, 0.9, 0.9, 0.3])
+        hist = ScoreHistogram(scores, num_buckets=4)
+        assert hist.total == 5
+        assert hist.counts.sum() == 5
+
+    def test_empty_scores(self):
+        hist = ScoreHistogram(np.array([]), num_buckets=10)
+        assert hist.total == 0
+        assert hist.score_at_rank(0) == 0.0
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            ScoreHistogram(np.array([0.5]), num_buckets=0)
+
+    def test_rejects_negative_scores(self):
+        with pytest.raises(ValueError):
+            ScoreHistogram(np.array([-0.1]))
+
+    def test_upper_defaults_to_max(self):
+        hist = ScoreHistogram(np.array([0.2, 0.8]))
+        assert hist.upper == 0.8
+
+    def test_bucket_geometry(self):
+        hist = ScoreHistogram(np.array([1.0]), num_buckets=4, upper=1.0)
+        assert hist.bucket_upper(0) == 1.0
+        assert hist.bucket_lower(0) == 0.75
+        assert hist.bucket_of(0.99) == 0
+        assert hist.bucket_of(0.10) == 3
+        assert hist.bucket_of(-5.0) == 3
+        assert hist.bucket_of(5.0) == 0
+
+
+class TestScoreAtRank:
+    def test_monotone_non_increasing(self):
+        rng = np.random.default_rng(3)
+        hist = ScoreHistogram(rng.random(500), num_buckets=20)
+        values = [hist.score_at_rank(r) for r in range(0, 500, 7)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_accuracy_within_bucket_width(self):
+        rng = np.random.default_rng(5)
+        scores = np.sort(rng.random(2000))[::-1]
+        hist = ScoreHistogram(scores, num_buckets=50)
+        for rank in (0, 10, 400, 1000, 1999):
+            estimate = hist.score_at_rank(rank)
+            assert abs(estimate - scores[rank]) <= hist.width + 1e-9
+
+    def test_past_end_returns_zero(self):
+        hist = ScoreHistogram(np.array([0.5, 0.4]))
+        assert hist.score_at_rank(2) == 0.0
+        assert hist.score_at_rank(100) == 0.0
+
+    def test_negative_rank_rejected(self):
+        hist = ScoreHistogram(np.array([0.5]))
+        with pytest.raises(ValueError):
+            hist.score_at_rank(-1)
+
+
+class TestRankAtScore:
+    def test_roundtrip_with_score_at_rank(self):
+        rng = np.random.default_rng(7)
+        hist = ScoreHistogram(rng.random(1000), num_buckets=40)
+        for rank in (5, 100, 500):
+            score = hist.score_at_rank(rank)
+            recovered = hist.rank_at_score(score)
+            assert recovered == pytest.approx(rank, abs=hist.total / 40 + 1)
+
+    def test_extremes(self):
+        hist = ScoreHistogram(np.array([0.2, 0.8]), upper=1.0)
+        assert hist.rank_at_score(1.0) == 0.0
+        assert hist.rank_at_score(0.0) == 2.0
+
+
+class TestMeanScoreBetween:
+    def test_matches_empirical_mean(self):
+        rng = np.random.default_rng(11)
+        scores = np.sort(rng.random(3000))[::-1]
+        hist = ScoreHistogram(scores, num_buckets=60)
+        estimate = hist.mean_score_between(100, 900)
+        actual = scores[100:900].mean()
+        assert estimate == pytest.approx(actual, abs=0.03)
+
+    def test_empty_interval(self):
+        hist = ScoreHistogram(np.array([0.5, 0.4]))
+        assert hist.mean_score_between(1, 1) == 0.0
+        assert hist.mean_score_between(5, 9) == 0.0
+
+    def test_is_bounded_by_endpoints(self):
+        rng = np.random.default_rng(13)
+        hist = ScoreHistogram(rng.random(800), num_buckets=30)
+        mean = hist.mean_score_between(50, 300)
+        assert hist.score_at_rank(300) - hist.width <= mean
+        assert mean <= hist.score_at_rank(50) + hist.width
+
+
+class TestTailPmf:
+    def test_full_tail_sums_to_one(self):
+        rng = np.random.default_rng(17)
+        hist = ScoreHistogram(rng.random(400))
+        _, probs = hist.tail_pmf(0)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_consumed_everything(self):
+        hist = ScoreHistogram(np.array([0.5, 0.4]))
+        _, probs = hist.tail_pmf(2)
+        assert probs.sum() == 0.0
+
+    def test_tail_excludes_head_mass(self):
+        # Head scores near 1, tail near 0; consuming the head must leave a
+        # distribution concentrated at low scores.
+        scores = np.concatenate([np.full(100, 0.95), np.full(100, 0.05)])
+        hist = ScoreHistogram(scores, num_buckets=10)
+        midpoints, probs = hist.tail_pmf(100)
+        mean = float((midpoints * probs).sum())
+        assert mean < 0.2
+
+    def test_partial_consumption_interpolates(self):
+        scores = np.concatenate([np.full(100, 0.95), np.full(100, 0.05)])
+        hist = ScoreHistogram(scores, num_buckets=10)
+        _, probs = hist.tail_pmf(50)
+        assert probs.sum() == pytest.approx(1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=1, max_size=200,
+    ),
+    st.integers(min_value=1, max_value=64),
+)
+def test_histogram_rank_properties(scores, num_buckets):
+    """Property: estimates stay within the score range and are monotone."""
+    hist = ScoreHistogram(np.array(scores), num_buckets=num_buckets)
+    previous = float("inf")
+    for rank in range(len(scores) + 2):
+        value = hist.score_at_rank(rank)
+        assert 0.0 <= value <= hist.upper + 1e-9
+        assert value <= previous + 1e-9
+        previous = value

@@ -1,0 +1,57 @@
+"""Unit tests for index building from postings and documents."""
+
+import pytest
+
+from repro.storage.index_builder import (
+    build_index,
+    build_index_from_documents,
+    build_index_list,
+)
+
+
+class TestBuildIndexList:
+    def test_from_iterable(self):
+        lst = build_index_list("t", [(1, 0.5), (2, 0.9)], block_size=8)
+        assert len(lst) == 2
+        assert lst.lookup(2) == 0.9
+
+    def test_accepts_generator(self):
+        lst = build_index_list("t", ((i, i / 10) for i in range(1, 5)))
+        assert len(lst) == 4
+
+
+class TestBuildIndex:
+    def test_num_docs_defaults_to_distinct_docs(self):
+        index = build_index({"a": [(1, 0.5), (2, 0.4)], "b": [(2, 0.8)]})
+        assert index.num_docs == 2
+
+    def test_explicit_num_docs(self):
+        index = build_index({"a": [(1, 0.5)]}, num_docs=100)
+        assert index.num_docs == 100
+
+    def test_rejects_num_docs_below_distinct(self):
+        with pytest.raises(ValueError):
+            build_index({"a": [(1, 0.5), (2, 0.4), (3, 0.3)]}, num_docs=2)
+
+    def test_empty_postings(self):
+        index = build_index({})
+        assert len(index) == 0
+        assert index.num_docs == 1
+
+
+class TestBuildIndexFromDocuments:
+    def test_forward_view(self):
+        documents = {
+            0: {"a": 0.9, "b": 0.2},
+            1: {"a": 0.5},
+            2: {"b": 0.7},
+        }
+        index = build_index_from_documents(documents)
+        assert index.num_docs == 3
+        assert len(index.list_for("a")) == 2
+        assert index.list_for("b").lookup(2) == 0.7
+
+    def test_block_size_propagates(self):
+        documents = {i: {"a": 1.0 - i / 10} for i in range(10)}
+        index = build_index_from_documents(documents, block_size=3)
+        assert index.list_for("a").num_blocks == 4

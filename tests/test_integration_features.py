@@ -1,0 +1,82 @@
+"""Cross-feature integration: weights + tracing + approximation together,
+serialization round-trips through the full pipeline, and the extension
+experiments at small scale."""
+
+import numpy as np
+import pytest
+
+from repro.bench.extensions import (
+    e11_approximate_pruning,
+    e12_design_ablations,
+    e13_histograms_vs_normal,
+)
+from repro.bench.harness import Harness
+from repro.core.algorithms import TopKProcessor
+from repro.storage.serialization import load_index, save_index
+
+from tests.helpers import make_random_index
+
+
+class TestFeatureCombinations:
+    def test_weights_trace_and_pruning_together(self, small_index):
+        index, terms = small_index
+        processor = TopKProcessor(index, cost_ratio=100)
+        result = processor.query(
+            terms, 5,
+            algorithm="KSR-Last-Ben",
+            weights=[1.5, 1.0, 0.5],
+            trace=True,
+            prune_epsilon=0.01,
+        )
+        assert len(result.items) == 5
+        assert result.trace, "trace must be populated"
+        # Weighted bounds must be consistent in the trace.
+        for record in result.trace:
+            assert record.unseen_bestscore <= 1.5 + 1.0 + 0.5 + 1e-9
+
+    def test_normal_predictor_with_weights(self, small_index):
+        index, terms = small_index
+        processor = TopKProcessor(index, cost_ratio=100, predictor="normal")
+        result = processor.query(terms, 5, weights=[2.0, 1.0, 1.0])
+        assert len(result.items) == 5
+
+    def test_serialized_index_through_full_pipeline(self, tmp_path,
+                                                    small_index):
+        index, terms = small_index
+        path = tmp_path / "roundtrip.npz"
+        save_index(index, path)
+        processor = TopKProcessor(load_index(path), cost_ratio=100)
+        traced = processor.query(terms, 5, trace=True)
+        merged = processor.full_merge(terms, 5)
+        got = sorted(i.worstscore for i in merged.items)
+        assert len(traced.items) == 5
+        assert len(got) == 5
+
+
+class TestExtensionExperimentsSmallScale:
+    @pytest.fixture(scope="class")
+    def harness(self):
+        return Harness(scale=0.05, num_queries=2)
+
+    def test_e11_structure(self, harness):
+        table = e11_approximate_pruning(harness)
+        assert [row[0] for row in table.rows] == [
+            "epsilon=0.00", "epsilon=0.01", "epsilon=0.05", "epsilon=0.20",
+        ]
+        assert float(table.rows[0][2]) == 1.0  # exact run: precision 1
+
+    def test_e12_structure(self, harness):
+        batch, buckets, correlations = e12_design_ablations(harness)
+        assert len(batch.rows) == 3
+        assert len(buckets.rows) == 3
+        assert len(correlations.rows) == 2
+        for table in (batch, buckets, correlations):
+            for row in table.rows:
+                assert float(row[1]) > 0
+
+    def test_e13_structure(self, harness):
+        table = e13_histograms_vs_normal(harness)
+        assert len(table.rows) == 8
+        settings = [row[0] for row in table.rows]
+        assert any("histogram" in s for s in settings)
+        assert any("normal" in s for s in settings)

@@ -1,0 +1,79 @@
+"""Unit tests for the disk latency model."""
+
+import pytest
+
+from repro.storage.latency import DiskLatencyModel, DiskParameters
+
+
+class TestDiskParameters:
+    def test_defaults_reasonable(self):
+        p = DiskParameters()
+        assert p.seek_time_ms > 0
+        assert p.transfer_entries_per_ms > 0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"seek_time_ms": -1},
+        {"transfer_entries_per_ms": 0},
+        {"block_size": 0},
+        {"blocks_per_seek": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            DiskParameters(**kwargs)
+
+
+class TestDiskLatencyModel:
+    def test_sequential_is_linear_plus_seeks(self):
+        model = DiskLatencyModel(DiskParameters(
+            seek_time_ms=10.0, transfer_entries_per_ms=1000.0,
+            block_size=100, blocks_per_seek=1,
+        ))
+        # 200 entries = 2 blocks = 2 seeks (20 ms) + 0.2 ms transfer.
+        assert model.sorted_access_ms(200) == pytest.approx(20.2)
+
+    def test_random_per_lookup(self):
+        model = DiskLatencyModel(DiskParameters(
+            seek_time_ms=10.0, transfer_entries_per_ms=1000.0,
+        ))
+        assert model.random_access_ms(3) == pytest.approx(3 * 10.001)
+
+    def test_estimate_combines(self):
+        model = DiskLatencyModel()
+        total = model.estimate_ms(10_000, 5)
+        assert total == pytest.approx(
+            model.sorted_access_ms(10_000) + model.random_access_ms(5)
+        )
+
+    def test_random_much_slower_per_entry(self):
+        model = DiskLatencyModel()
+        per_sorted = model.sorted_access_ms(100_000) / 100_000
+        per_random = model.random_access_ms(1)
+        assert per_random > 100 * per_sorted
+
+    def test_implied_ratio_in_paper_band(self):
+        # The paper quotes cR/cS between 50 and 50,000 for real disks.
+        ratio = DiskLatencyModel().implied_cost_ratio()
+        assert 50 <= ratio <= 50_000
+
+    def test_negative_inputs_rejected(self):
+        model = DiskLatencyModel()
+        with pytest.raises(ValueError):
+            model.sorted_access_ms(-1)
+        with pytest.raises(ValueError):
+            model.random_access_ms(-1)
+
+
+class TestForCostRatio:
+    def test_implied_ratio_matches(self):
+        for ratio in (100.0, 1000.0, 10_000.0):
+            params = DiskParameters.for_cost_ratio(ratio)
+            model = DiskLatencyModel(params)
+            assert model.implied_cost_ratio() == pytest.approx(
+                ratio, rel=1e-6
+            )
+
+    def test_out_of_range_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            DiskParameters.for_cost_ratio(0.5)
+        with pytest.raises(ValueError):
+            DiskParameters.for_cost_ratio(1024 * 16)

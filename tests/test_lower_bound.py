@@ -1,0 +1,126 @@
+"""Validity and behaviour tests for the Sec. 2.5 lower bound."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithms import TopKProcessor
+from repro.core.lower_bound import LowerBoundComputer
+from repro.storage.index_builder import build_index
+
+from tests.helpers import make_random_index
+
+CHECK_ALGORITHMS = ["NRA", "CA", "RR-Last-Best", "KSR-Last-Ben",
+                    "KBA-Last-Ben", "Pick"]
+
+
+class TestValidity:
+    @pytest.mark.parametrize("distribution", ["uniform", "zipf", "ties"])
+    @pytest.mark.parametrize("k", [1, 5, 25])
+    def test_bound_below_every_algorithm(self, distribution, k):
+        index, terms = make_random_index(
+            num_lists=3, list_length=400, num_docs=1200,
+            distribution=distribution, seed=23,
+        )
+        computer = LowerBoundComputer(index, terms)
+        for ratio in (10.0, 1000.0):
+            bound = computer.cost_for_k(k, ratio)
+            processor = TopKProcessor(index, cost_ratio=ratio)
+            for algorithm in CHECK_ALGORITHMS:
+                cost = processor.query(terms, k, algorithm=algorithm).stats.cost
+                assert bound <= cost + 1e-6, (
+                    "LB %.1f exceeds %s cost %.1f (ratio %s, k %d)"
+                    % (bound, algorithm, cost, ratio, k)
+                )
+
+    def test_bound_below_full_merge(self, small_index):
+        index, terms = small_index
+        computer = LowerBoundComputer(index, terms)
+        volume = sum(len(index.list_for(t)) for t in terms)
+        assert computer.cost_for_k(10, 1000.0) <= volume
+
+    def test_coarse_grids_only_lower_the_bound(self, small_index):
+        index, terms = small_index
+        fine = LowerBoundComputer(index, terms, max_combinations=6000)
+        coarse = LowerBoundComputer(index, terms, max_combinations=8)
+        assert (
+            coarse.cost_for_k(5, 100.0) <= fine.cost_for_k(5, 100.0) + 1e-6
+        )
+
+
+class TestBehaviour:
+    def test_caching(self, small_index):
+        index, terms = small_index
+        computer = LowerBoundComputer(index, terms)
+        first = computer.cost_for_k(5, 100.0)
+        assert computer.cost_for_k(5, 100.0) == first
+
+    def test_grows_with_k(self, small_index):
+        index, terms = small_index
+        computer = LowerBoundComputer(index, terms)
+        values = [computer.cost_for_k(k, 1000.0) for k in (1, 5, 20)]
+        assert values[0] <= values[1] <= values[2]
+
+    def test_rejects_bad_k(self, small_index):
+        index, terms = small_index
+        computer = LowerBoundComputer(index, terms)
+        with pytest.raises(ValueError):
+            computer.cost_for_k(0, 100.0)
+
+    def test_rejects_bad_grid(self, small_index):
+        index, terms = small_index
+        with pytest.raises(ValueError):
+            LowerBoundComputer(index, terms, max_depths_per_list=1)
+
+    def test_many_lists_use_budgeted_cells(self):
+        index, terms = make_random_index(
+            num_lists=4, list_length=100, num_docs=500, seed=31,
+            block_size=16,
+        )
+        computer = LowerBoundComputer(index, terms, max_combinations=50)
+        groups = computer._cell_groups()
+        product = 1
+        for group in groups:
+            product *= len(group)
+        assert product <= 50
+        # Groups partition each list's cell range.
+        for i, group in enumerate(groups):
+            assert group[0][0] == 0
+            assert group[-1][1] == len(computer.shallow_depths[i]) - 1
+            for (_, hi), (lo2, _) in zip(group, group[1:]):
+                assert lo2 == hi + 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=st.data(), k=st.integers(min_value=1, max_value=6))
+def test_lower_bound_validity_property(data, k):
+    """Property: the bound never exceeds a real algorithm's cost."""
+    num_lists = data.draw(st.integers(min_value=1, max_value=3))
+    postings = {}
+    terms = []
+    for i in range(num_lists):
+        term = "t%d" % i
+        terms.append(term)
+        docs = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=60),
+                min_size=2, max_size=40, unique=True,
+            ),
+            label="docs%d" % i,
+        )
+        scores = data.draw(
+            st.lists(
+                st.floats(min_value=1e-6, max_value=1.0, allow_nan=False),
+                min_size=len(docs), max_size=len(docs),
+            ),
+            label="scores%d" % i,
+        )
+        postings[term] = list(zip(docs, scores))
+    index = build_index(postings, num_docs=80, block_size=8)
+    ratio = data.draw(st.sampled_from([1.0, 20.0, 500.0]), label="ratio")
+    algorithm = data.draw(st.sampled_from(CHECK_ALGORITHMS), label="algo")
+    bound = LowerBoundComputer(index, terms).cost_for_k(k, ratio)
+    processor = TopKProcessor(index, cost_ratio=ratio)
+    cost = processor.query(terms, k, algorithm=algorithm).stats.cost
+    assert bound <= cost + 1e-6

@@ -1,0 +1,89 @@
+"""Unit tests for the Normal-approximation predictor (RankSQL baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import TopKProcessor
+from repro.stats.histogram import ScoreHistogram
+from repro.stats.normal_predictor import NormalScorePredictor, _normal_sf
+from repro.stats.score_predictor import ScorePredictor
+
+from tests.helpers import make_random_index, oracle_scores, true_score
+
+
+def make_predictor(score_sets, cls=NormalScorePredictor, num_docs=1000):
+    histograms = [ScoreHistogram(np.array(s)) for s in score_sets]
+    return cls(histograms, [len(s) for s in score_sets], num_docs=num_docs)
+
+
+class TestNormalSf:
+    def test_symmetry(self):
+        assert _normal_sf(0.0) == pytest.approx(0.5)
+        assert _normal_sf(1.0) + _normal_sf(-1.0) == pytest.approx(1.0)
+
+    def test_tails(self):
+        assert _normal_sf(6.0) < 1e-8
+        assert _normal_sf(-6.0) > 1 - 1e-8
+
+
+class TestNormalPredictor:
+    def test_interface_matches_histogram_predictor(self):
+        rng = np.random.default_rng(0)
+        scores = [rng.random(500), rng.random(500)]
+        normal = make_predictor(scores)
+        for delta in (-0.5, 0.3, 1.0, 2.5):
+            p = normal.score_exceedance(0b11, delta)
+            assert 0.0 <= p <= 1.0
+        assert normal.score_exceedance(0b11, -0.1) == 1.0
+        assert normal.score_exceedance(0, 0.5) == 0.0
+
+    def test_agrees_with_histograms_on_gaussianish_sums(self):
+        # Summing several uniform components is near-Gaussian (CLT): the
+        # two predictors should agree closely there.
+        rng = np.random.default_rng(1)
+        scores = [rng.random(2000) for _ in range(4)]
+        normal = make_predictor(scores)
+        hist = make_predictor(scores, cls=ScorePredictor)
+        for delta in (1.0, 2.0, 3.0):
+            assert normal.score_exceedance(0b1111, delta) == pytest.approx(
+                hist.score_exceedance(0b1111, delta), abs=0.05
+            )
+
+    def test_diverges_on_skewed_single_list(self):
+        # A heavily skewed single list is exactly where the Normal
+        # assumption breaks (the paper's argument).
+        scores = np.power(np.arange(1, 2001, dtype=float), -1.2)
+        normal = make_predictor([list(scores)])
+        hist = make_predictor([list(scores)], cls=ScorePredictor)
+        threshold = float(np.quantile(scores, 0.99))
+        exact = float((scores > threshold).mean())
+        hist_error = abs(hist.score_exceedance(0b1, threshold) - exact)
+        normal_error = abs(normal.score_exceedance(0b1, threshold) - exact)
+        assert hist_error < normal_error
+
+    def test_exhausted_lists_degenerate_cleanly(self):
+        normal = make_predictor([[0.5, 0.4]])
+        normal.refresh([2])
+        assert normal.score_exceedance(0b1, 0.1) == 0.0
+        assert normal.score_exceedance(0b1, -0.1) == 1.0
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("algorithm", ["RR-Last-Ben", "KBA-Last-Ben"])
+    def test_normal_predictor_still_exact(self, algorithm):
+        # The predictor only influences *scheduling*; results must stay
+        # correct under either choice.
+        index, terms = make_random_index(seed=61)
+        processor = TopKProcessor(index, cost_ratio=100, predictor="normal")
+        result = processor.query(terms, 10, algorithm=algorithm)
+        expected = oracle_scores(index, terms, 10)
+        got = sorted(
+            (true_score(index, terms, d) for d in result.doc_ids),
+            reverse=True,
+        )
+        assert np.allclose(got, expected, atol=1e-6)
+
+    def test_unknown_predictor_rejected(self, small_index):
+        index, _ = small_index
+        with pytest.raises(ValueError):
+            TopKProcessor(index, predictor="cauchy")

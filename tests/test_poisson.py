@@ -1,0 +1,110 @@
+"""Unit tests for the Poisson RA-count estimator (paper Sec. 5.1)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.stats.poisson import (
+    estimate_remaining_random_accesses,
+    expected_lookup_documents,
+    poisson_cdf,
+)
+
+
+class TestPoissonCdf:
+    @pytest.mark.parametrize("k", [0, 1, 3, 10])
+    @pytest.mark.parametrize("mean", [0.1, 1.0, 5.0, 20.0])
+    def test_matches_scipy(self, k, mean):
+        assert poisson_cdf(k, mean) == pytest.approx(
+            stats.poisson.cdf(k, mean), abs=1e-10
+        )
+
+    def test_negative_k_is_zero(self):
+        assert poisson_cdf(-1, 3.0) == 0.0
+
+    def test_zero_mean_is_one(self):
+        assert poisson_cdf(0, 0.0) == 1.0
+        assert poisson_cdf(5, 0.0) == 1.0
+
+
+class TestExpectedLookupDocuments:
+    def test_empty_queue(self):
+        result = expected_lookup_documents(
+            np.array([]), np.array([]), np.array([1.0]), 0.5
+        )
+        assert result.size == 0
+
+    def test_no_competitors_means_certain_lookup(self):
+        # A single queued document with many top-k items below its
+        # bestscore: nothing can block it, so a lookup is certain.
+        result = expected_lookup_documents(
+            bestscores=np.array([0.9]),
+            exceed_mink_probs=np.array([0.5]),
+            topk_worstscores=np.array([0.5] * 10),
+            min_k=0.5,
+        )
+        assert result[0] == pytest.approx(1.0)
+
+    def test_strong_competitors_reduce_expectation(self):
+        # Document ranked last behind many near-certain competitors while
+        # no top-k item sits below its bestscore.
+        q = 30
+        bestscores = np.linspace(2.0, 1.01, q)
+        probs = np.full(q, 0.95)
+        topk = np.full(10, 1.9)  # worstscores mostly above the low bests
+        result = expected_lookup_documents(bestscores, probs, topk, 1.0)
+        assert result[-1] < result[0]
+
+    def test_results_are_probabilities(self):
+        rng = np.random.default_rng(0)
+        q = 50
+        bestscores = 1.0 + rng.random(q)
+        probs = rng.random(q)
+        topk = 1.0 + rng.random(10)
+        result = expected_lookup_documents(bestscores, probs, topk, 1.0)
+        assert np.all(result >= 0.0) and np.all(result <= 1.0)
+
+    def test_result_order_matches_input_order(self):
+        # Shuffling the input order must permute the output identically.
+        bestscores = np.array([1.5, 1.2, 1.8])
+        probs = np.array([0.3, 0.2, 0.9])
+        topk = np.array([1.0, 1.1])
+        base = expected_lookup_documents(bestscores, probs, topk, 1.0)
+        perm = [2, 0, 1]
+        shuffled = expected_lookup_documents(
+            bestscores[perm], probs[perm], topk, 1.0
+        )
+        assert np.allclose(shuffled, base[perm])
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            expected_lookup_documents(
+                np.array([1.0]), np.array([]), np.array([1.0]), 0.5
+            )
+
+
+class TestEstimateRemainingRandomAccesses:
+    def test_bounded_by_total_missing_dims(self):
+        rng = np.random.default_rng(1)
+        q = 40
+        bestscores = 1.0 + rng.random(q)
+        probs = rng.random(q)
+        missing = rng.integers(1, 4, size=q)
+        topk = 1.0 + rng.random(10)
+        estimate = estimate_remaining_random_accesses(
+            bestscores, probs, missing, topk, 1.0
+        )
+        assert 0.0 <= estimate <= float(missing.sum())
+
+    def test_zero_for_empty_queue(self):
+        estimate = estimate_remaining_random_accesses(
+            np.array([]), np.array([]), np.array([]), np.array([1.0]), 0.5
+        )
+        assert estimate == 0.0
+
+    def test_rejects_mismatched_missing(self):
+        with pytest.raises(ValueError):
+            estimate_remaining_random_accesses(
+                np.array([1.0]), np.array([0.5]), np.array([1, 2]),
+                np.array([1.0]), 0.5,
+            )

@@ -1,0 +1,231 @@
+"""Unit tests for the random-access scheduling policies (Sec. 5)."""
+
+import pytest
+
+from repro.core.algorithms import TopKProcessor
+from repro.core.engine import QueryState
+from repro.core.ra.ben import BenProbe
+from repro.core.ra.last import LastProbe, PickProbe, _all_results_seen
+from repro.core.ra.ordering import (
+    BenOrdering,
+    BestOrdering,
+    expected_wasted_ra_cost,
+    final_probe_phase,
+)
+from repro.core.ra.simple import AllProbe, EachProbe, NeverProbe, TopProbe
+from repro.core.sa.round_robin import RoundRobin
+from repro.stats.catalog import StatsCatalog
+from repro.storage.diskmodel import CostModel
+
+from tests.helpers import make_random_index
+
+
+def make_state(index, terms, k=5, ratio=100):
+    return QueryState(
+        index=index,
+        stats=StatsCatalog(index),
+        terms=terms,
+        k=k,
+        cost_model=CostModel.from_ratio(ratio),
+    )
+
+
+def run_rounds(state, ra_policy, rounds=3):
+    rr = RoundRobin()
+    for _ in range(rounds):
+        if not ra_policy.wants_sorted_access(state) or state.exhausted:
+            break
+        state.perform_sorted_round(rr.allocate(state, state.batch_blocks))
+        ra_policy.after_round(state)
+        state.recompute()
+
+
+class TestNeverProbe(object):
+    def test_no_random_accesses(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        run_rounds(state, NeverProbe(), rounds=5)
+        assert state.meter.random_accesses == 0
+
+
+class TestAllProbe(object):
+    def test_every_new_doc_resolved(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        policy = AllProbe()
+        rr = RoundRobin()
+        state.perform_sorted_round(rr.allocate(state, 3))
+        policy.after_round(state)
+        for cand in state.pool.candidates.values():
+            assert cand.seen_mask == state.pool.full_mask
+
+    def test_no_doc_probed_twice(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        policy = AllProbe()
+        rr = RoundRobin()
+        first_ra = None
+        for _ in range(3):
+            state.perform_sorted_round(rr.allocate(state, 3))
+            policy.after_round(state)
+            state.recompute()
+        # Probes are bounded by (m-1) per distinct doc id ever seen.
+        distinct = len(policy._resolved)
+        assert state.meter.random_accesses <= distinct * (state.num_lists - 1) + distinct
+
+
+class TestEachProbe(object):
+    def test_ra_budget_follows_cost_ratio(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms, ratio=50)
+        policy = EachProbe()
+        run_rounds(state, policy, rounds=4)
+        assert state.meter.random_accesses <= (
+            state.meter.sorted_accesses / 50 + 1
+        )
+
+    def test_no_probes_when_ratio_prohibitive(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms, ratio=10**9)
+        policy = EachProbe()
+        run_rounds(state, policy, rounds=3)
+        assert state.meter.random_accesses == 0
+
+
+class TestTopProbe(object):
+    def test_probes_only_above_unseen_bound(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        policy = TopProbe()
+        rr = RoundRobin()
+        state.perform_sorted_round(rr.allocate(state, 3))
+        bar = max(state.pool.unseen_bestscore, state.min_k)
+        policy.after_round(state)
+        state.recompute()
+        # After the hook no unresolved candidate may exceed the bar the
+        # policy saw (the bound only got tighter since).
+        for cand in state.pool.unresolved():
+            assert state.pool.bestscore(cand) <= bar + 1e-9
+
+
+class TestPickProbe(object):
+    def test_switch_waits_for_unseen_bound(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        policy = PickProbe()
+        assert policy.wants_sorted_access(state)
+        # Before any scanning, nothing is seen: no switch.
+        policy.after_round(state)
+        assert not policy._switched
+
+    def test_switch_resolves_everything(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms, ratio=10)
+        policy = PickProbe()
+        rr = RoundRobin()
+        while not state.is_terminated and not policy._switched:
+            state.perform_sorted_round(rr.allocate(state, 3))
+            policy.after_round(state)
+            state.recompute()
+        assert policy._switched or state.is_terminated
+        if policy._switched:
+            assert state.is_terminated
+
+
+class TestLastProbe(object):
+    def test_estimate_zero_for_empty_queue(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        assert LastProbe.estimate_remaining_probes(state) == 0.0
+
+    def test_estimate_bounded_by_missing_dims(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        rr = RoundRobin()
+        state.perform_sorted_round(rr.allocate(state, 3))
+        total_missing = sum(
+            len(state.pool.missing_dims(c)) for c in state.pool.queue()
+        )
+        estimate = LastProbe.estimate_remaining_probes(state)
+        assert 0.0 <= estimate <= total_missing + 1e-9
+
+    def test_respects_balance_criterion(self, small_index):
+        index, terms = small_index
+        # With an enormous ratio the balance criterion can never be met
+        # before exhaustion: Last must behave exactly like NRA.
+        processor = TopKProcessor(index, cost_ratio=10**9)
+        result = processor.query(terms, 5, algorithm="RR-Last-Best")
+        assert result.stats.random_accesses == 0
+
+
+class TestBenProbe(object):
+    def test_accumulates_sa_ewc(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        policy = BenProbe()
+        rr = RoundRobin()
+        state.perform_sorted_round(rr.allocate(state, 3))
+        policy.after_round(state)
+        first = policy._cumulative_sa_ewc
+        assert first > 0
+        state.perform_sorted_round(rr.allocate(state, 3))
+        policy.after_round(state)
+        assert policy._cumulative_sa_ewc > first
+
+    def test_batch_ewc_at_most_batch(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        policy = BenProbe()
+        rr = RoundRobin()
+        state.perform_sorted_round(rr.allocate(state, 3))
+        batch = sum(state.last_allocation)
+        assert policy._batch_sa_ewc(state) <= batch + 1e-9
+
+
+class TestOrderings(object):
+    def test_best_ordering_descends(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        rr = RoundRobin()
+        state.perform_sorted_round(rr.allocate(state, 3))
+        queue = state.pool.queue()
+        ordered = BestOrdering().order(state, queue)
+        bests = [state.pool.bestscore(c) for c in ordered]
+        assert bests == sorted(bests, reverse=True)
+
+    def test_ben_ordering_ascends_in_ewc(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        rr = RoundRobin()
+        state.perform_sorted_round(rr.allocate(state, 3))
+        queue = state.pool.queue()
+        ordered = BenOrdering().order(state, queue)
+        costs = [expected_wasted_ra_cost(state, c) for c in ordered]
+        assert costs == sorted(costs)
+
+    def test_ewc_zero_for_resolved(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        cand = state.pool.resolve_dimension(1, 0, 0.5)
+        state.pool.resolve_dimension(1, 1, 0.5)
+        state.pool.resolve_dimension(1, 2, 0.5)
+        assert expected_wasted_ra_cost(state, cand) == 0.0
+
+
+class TestFinalProbePhase(object):
+    @pytest.mark.parametrize("ordering", [BestOrdering(), BenOrdering()])
+    def test_phase_terminates_the_query(self, ordering, small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        rr = RoundRobin()
+        # Scan until every potential winner has been seen.
+        while not _all_results_seen(state) and not state.exhausted:
+            state.perform_sorted_round(rr.allocate(state, 3))
+        final_probe_phase(state, ordering)
+        assert state.is_terminated
+
+    def test_noop_without_full_topk(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms, k=50)
+        final_probe_phase(state, BestOrdering())
+        assert state.meter.random_accesses == 0

@@ -1,0 +1,112 @@
+"""Unit tests for attribute-value relaxation (paper Sec. 2.3)."""
+
+import pytest
+
+from repro.core.algorithms import TopKProcessor
+from repro.data.relaxation import (
+    numeric_similarity,
+    relax_value_lists,
+    relaxed_term,
+)
+from repro.storage.index_builder import build_index
+
+
+@pytest.fixture
+def year_lists():
+    # Per-year posting lists: (movie, score).
+    return {
+        1998: [(1, 1.0), (2, 0.5)],
+        1999: [(3, 1.0), (4, 0.8)],
+        2000: [(2, 1.0), (5, 0.6)],
+        2010: [(6, 1.0)],
+    }
+
+
+class TestNumericSimilarity:
+    def test_exact_match_is_one(self):
+        sim = numeric_similarity(0.5)
+        assert sim(1999, 1999) == 1.0
+
+    def test_decays_with_distance(self):
+        sim = numeric_similarity(0.5)
+        assert sim(1999, 1998) == pytest.approx(1 / 1.5)
+        assert sim(1999, 1997) < sim(1999, 1998)
+        assert sim(1999, 2000) == sim(1999, 1998)  # symmetric
+
+    def test_zero_decay_treats_all_equal(self):
+        sim = numeric_similarity(0.0)
+        assert sim(1999, 1900) == 1.0
+
+    def test_rejects_negative_decay(self):
+        with pytest.raises(ValueError):
+            numeric_similarity(-1.0)
+
+
+class TestRelaxValueLists:
+    def test_exact_value_keeps_full_scores(self, year_lists):
+        merged = dict(
+            relax_value_lists(year_lists, 1999, numeric_similarity(0.5))
+        )
+        assert merged[3] == pytest.approx(1.0)
+        assert merged[4] == pytest.approx(0.8)
+
+    def test_neighbors_weighted_down(self, year_lists):
+        merged = dict(
+            relax_value_lists(year_lists, 1999, numeric_similarity(0.5))
+        )
+        # Movie 1 is from 1998: similarity 1/1.5.
+        assert merged[1] == pytest.approx(1 / 1.5)
+
+    def test_takes_max_over_values(self, year_lists):
+        merged = dict(
+            relax_value_lists(year_lists, 1999, numeric_similarity(0.5))
+        )
+        # Movie 2 appears in 1998 (0.5) and 2000 (1.0): the 2000 entry
+        # weighted by 1/1.5 wins over the 1998 one weighted likewise.
+        assert merged[2] == pytest.approx(1.0 / 1.5)
+
+    def test_min_similarity_cuts_far_values(self, year_lists):
+        merged = dict(
+            relax_value_lists(
+                year_lists, 1999, numeric_similarity(0.5),
+                min_similarity=0.3,
+            )
+        )
+        assert 6 not in merged  # year 2010 is too far
+
+    def test_output_sorted_descending(self, year_lists):
+        merged = relax_value_lists(
+            year_lists, 1999, numeric_similarity(0.5)
+        )
+        scores = [s for _, s in merged]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_validation(self, year_lists):
+        with pytest.raises(ValueError):
+            relax_value_lists(
+                year_lists, 1999, numeric_similarity(0.5),
+                min_similarity=2.0,
+            )
+
+
+class TestEndToEnd:
+    def test_relaxed_condition_inside_a_query(self, year_lists):
+        # Build an index with one relaxed year list plus a text list, then
+        # run a top-k query over both — the paper's combined scenario.
+        term = relaxed_term("year", 1999)
+        postings = {
+            term: relax_value_lists(
+                year_lists, 1999, numeric_similarity(0.5)
+            ),
+            "title": [(3, 0.4), (2, 0.9), (6, 0.8)],
+        }
+        index = build_index(postings, num_docs=10, block_size=2)
+        processor = TopKProcessor(index, cost_ratio=10)
+        result = processor.query([term, "title"], k=2)
+        # Movie 3: year match 1.0 + title 0.4 = 1.4;
+        # movie 2: 0.667 + 0.9 = 1.567 -> the winner.
+        assert result.doc_ids[0] == 2
+        assert result.items[0].worstscore == pytest.approx(1.0 / 1.5 + 0.9)
+
+    def test_relaxed_term_naming(self):
+        assert relaxed_term("year", 1999) == "year~1999"

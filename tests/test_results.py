@@ -1,0 +1,50 @@
+"""Unit tests for result containers."""
+
+import pytest
+
+from repro.core.results import QueryStats, RankedItem, TopKResult
+from repro.storage.diskmodel import AccessMeter, CostModel
+
+
+class TestRankedItem:
+    def test_resolved_when_bounds_meet(self):
+        assert RankedItem(1, 0.5, 0.5).resolved
+        assert not RankedItem(1, 0.5, 0.9).resolved
+
+    def test_immutability(self):
+        item = RankedItem(1, 0.5, 0.6)
+        with pytest.raises(AttributeError):
+            item.worstscore = 1.0
+
+
+class TestQueryStats:
+    def test_from_meter(self):
+        meter = AccessMeter(cost_model=CostModel.from_ratio(10))
+        meter.charge_sorted(7)
+        meter.charge_random(2)
+        stats = QueryStats.from_meter(meter, rounds=3, peak_queue_size=42)
+        assert stats.sorted_accesses == 7
+        assert stats.random_accesses == 2
+        assert stats.cost == 27.0
+        assert stats.rounds == 3
+        assert stats.peak_queue_size == 42
+
+
+class TestTopKResult:
+    def test_doc_ids_in_rank_order(self):
+        result = TopKResult(items=[
+            RankedItem(5, 0.9, 0.9), RankedItem(2, 0.7, 0.8),
+        ])
+        assert result.doc_ids == [5, 2]
+        assert len(result) == 2
+
+    def test_min_k(self):
+        result = TopKResult(items=[
+            RankedItem(5, 0.9, 0.9), RankedItem(2, 0.7, 0.8),
+        ])
+        assert result.min_k == 0.7
+
+    def test_empty_result(self):
+        result = TopKResult()
+        assert result.doc_ids == []
+        assert result.min_k == 0.0

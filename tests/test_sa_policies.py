@@ -1,0 +1,222 @@
+"""Unit tests for the sorted-access scheduling policies (Sec. 4)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import QueryState
+from repro.core.sa.kba import KnapsackBenefitAggregation
+from repro.core.sa.knapsack import (
+    allocate_budget,
+    allocation_value,
+    delta_table,
+    prefer_round_robin,
+)
+from repro.core.sa.ksr import KnapsackScoreReduction, _unseen_candidate_counts
+from repro.core.sa.round_robin import RoundRobin
+from repro.stats.catalog import StatsCatalog
+from repro.storage.diskmodel import CostModel
+from repro.storage.index_builder import build_index
+
+from tests.helpers import make_random_index
+
+
+def make_state(index, terms, k=5):
+    return QueryState(
+        index=index,
+        stats=StatsCatalog(index),
+        terms=terms,
+        k=k,
+        cost_model=CostModel.from_ratio(100),
+    )
+
+
+class TestAllocateBudget:
+    def test_respects_budget(self):
+        gains = [[0, 1, 2], [0, 5, 6], [0, 1, 1]]
+        allocation = allocate_budget(gains, 2)
+        assert sum(allocation) == 2
+
+    def test_picks_best_split(self):
+        # One list dominates: all budget should go there.
+        gains = [[0, 10, 25, 45], [0, 1, 2, 3]]
+        assert allocate_budget(gains, 3) == [3, 0]
+
+    def test_balanced_on_ties(self):
+        gains = [[0, 1, 2, 3], [0, 1, 2, 3]]
+        assert sorted(allocate_budget(gains, 2)) == [1, 1]
+
+    def test_capacity_caps_budget(self):
+        gains = [[0, 1], [0, 1]]  # each list has one block left
+        allocation = allocate_budget(gains, 10)
+        assert allocation == [1, 1]
+
+    def test_zero_budget(self):
+        assert allocate_budget([[0, 1]], 0) == [0]
+
+    def test_empty_gains(self):
+        assert allocate_budget([], 5) == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                min_size=1, max_size=5,
+            ),
+            min_size=1, max_size=4,
+        ),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_dp_matches_exhaustive_search(self, gains, budget):
+        """Property: the DP finds a maximum over all exact allocations."""
+        gains = [[0.0] + row[1:] for row in gains]  # x=0 always gains 0
+        allocation = allocate_budget(gains, budget)
+        capacity = sum(len(row) - 1 for row in gains)
+        spend = min(budget, capacity)
+        assert sum(allocation) == spend
+        best = allocation_value(gains, allocation)
+        ranges = [range(len(row)) for row in gains]
+        for combo in itertools.product(*ranges):
+            if sum(combo) != spend:
+                continue
+            value = sum(row[x] for row, x in zip(gains, combo))
+            assert best >= value - 1e-9
+
+
+class TestPreferRoundRobin:
+    def test_keeps_clear_winner(self):
+        gains = [[0, 10], [0, 1]]
+        assert prefer_round_robin(gains, [1, 0], [0, 1]) == [1, 0]
+
+    def test_falls_back_on_near_tie(self):
+        gains = [[0, 1.0], [0, 0.999]]
+        assert prefer_round_robin(gains, [1, 0], [0, 1]) == [0, 1]
+
+
+class TestRoundRobin:
+    def test_even_split(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        allocation = RoundRobin().allocate(state, 3)
+        assert allocation == [1, 1, 1]
+
+    def test_surplus_rotates(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        policy = RoundRobin()
+        first = policy.allocate(state, 4)
+        second = policy.allocate(state, 4)
+        assert sum(first) == sum(second) == 4
+        assert first != second  # the extra block moves on
+
+    def test_skips_exhausted_lists(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        blocks0 = index.list_for(terms[0]).num_blocks
+        state.perform_sorted_round([blocks0, 0, 0])
+        allocation = RoundRobin().allocate(state, 2)
+        assert allocation[0] == 0
+        assert sum(allocation) == 2
+
+    def test_clamps_to_remaining_blocks(self):
+        postings = {
+            "tiny": [(d, 0.5) for d in range(4)],
+            "big": [(d, 0.5) for d in range(64)],
+        }
+        index = build_index(postings, num_docs=100, block_size=4)
+        state = make_state(index, ["tiny", "big"])
+        allocation = RoundRobin().allocate(state, 8)
+        assert allocation[0] <= 1  # "tiny" has a single block
+        assert sum(allocation) == 8
+
+    def test_zero_budget(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        assert RoundRobin().allocate(state, 0) == [0, 0, 0]
+
+
+class TestDeltaTable:
+    def test_zero_blocks_is_zero(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        assert delta_table(state, 0, 0) == [0.0]
+
+    def test_monotone_non_decreasing(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        table = delta_table(state, 0, 5)
+        assert all(a <= b + 1e-12 for a, b in zip(table, table[1:]))
+
+    def test_bounded_by_high(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        high = state.cursors[0].high
+        table = delta_table(state, 0, 8)
+        assert all(value <= high + 1e-9 for value in table)
+
+    def test_near_linear_for_uniform_scores(self):
+        index, terms = make_random_index(
+            num_lists=1, list_length=4000, num_docs=8000,
+            distribution="uniform", seed=9, block_size=256,
+        )
+        state = make_state(index, terms, k=1)
+        table = delta_table(state, 0, 8)
+        marginals = [b - a for a, b in zip(table, table[1:])]
+        # Anchored estimates keep the uniform curve close to linear.
+        assert max(marginals) <= min(marginals) * 1.5 + 1e-9
+
+
+class TestKnapsackPolicies:
+    @pytest.mark.parametrize("policy_cls", [
+        KnapsackScoreReduction, KnapsackBenefitAggregation,
+    ])
+    def test_first_round_falls_back_to_round_robin(self, policy_cls,
+                                                   small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        allocation = policy_cls().allocate(state, 3)
+        assert allocation == [1, 1, 1]
+
+    @pytest.mark.parametrize("policy_cls", [
+        KnapsackScoreReduction, KnapsackBenefitAggregation,
+    ])
+    def test_allocations_respect_budget(self, policy_cls, small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        policy = policy_cls()
+        for _ in range(4):
+            allocation = policy.allocate(state, 3)
+            assert sum(allocation) <= 3
+            assert all(b >= 0 for b in allocation)
+            if not any(allocation):
+                break
+            state.perform_sorted_round(allocation)
+
+    def test_ksr_prefers_steep_useful_list(self):
+        # List "steep" drops sharply, list "flat" stays high; candidates
+        # missing both exist after the first round.  KSR must give the
+        # steep list at least as much as the flat one.
+        steep = [(d, max(1.0 - d / 20, 0.01)) for d in range(400)]
+        flat = [(d + 1000, 0.9 - d * 1e-4) for d in range(400)]
+        index = build_index(
+            {"steep": steep, "flat": flat}, num_docs=4000, block_size=16
+        )
+        state = make_state(index, ["steep", "flat"], k=3)
+        state.perform_sorted_round([1, 1])
+        weights = _unseen_candidate_counts(state)
+        assert all(w > 0 for w in weights)
+        allocation = KnapsackScoreReduction().allocate(state, 4)
+        assert allocation[0] >= allocation[1]
+
+    def test_unseen_candidate_counts(self, small_index):
+        index, terms = small_index
+        state = make_state(index, terms)
+        state.perform_sorted_round([1, 0, 0])
+        weights = _unseen_candidate_counts(state)
+        assert weights[0] == 0  # everyone seen in list 0 so far
+        assert weights[1] == len(state.pool.candidates)
+        assert weights[2] == len(state.pool.candidates)

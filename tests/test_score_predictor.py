@@ -1,0 +1,145 @@
+"""Unit tests for the combined score/selectivity predictor (Sec. 3.1-3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.stats.correlation import CovarianceTable
+from repro.stats.histogram import ScoreHistogram
+from repro.stats.score_predictor import ScorePredictor
+
+
+def make_predictor(score_sets, num_docs=1000, covariance=None):
+    histograms = [ScoreHistogram(np.array(s)) for s in score_sets]
+    lengths = [len(s) for s in score_sets]
+    return ScorePredictor(
+        histograms, lengths, num_docs=num_docs, covariance=covariance
+    )
+
+
+class TestScoreExceedance:
+    def test_negative_deficit_is_certain(self):
+        predictor = make_predictor([[0.5, 0.4], [0.3]])
+        assert predictor.score_exceedance(0b11, -0.1) == 1.0
+
+    def test_empty_remainder_is_impossible(self):
+        predictor = make_predictor([[0.5, 0.4]])
+        assert predictor.score_exceedance(0, 0.2) == 0.0
+
+    def test_monotone_in_threshold(self):
+        rng = np.random.default_rng(0)
+        predictor = make_predictor([rng.random(300), rng.random(300)])
+        values = [
+            predictor.score_exceedance(0b11, t)
+            for t in np.linspace(0, 2, 20)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(1)
+        scores_a = rng.random(4000)
+        scores_b = rng.random(4000)
+        predictor = make_predictor([scores_a, scores_b])
+        threshold = 1.2
+        estimate = predictor.score_exceedance(0b11, threshold)
+        samples = rng.choice(scores_a, 20_000) + rng.choice(scores_b, 20_000)
+        empirical = float((samples > threshold).mean())
+        assert estimate == pytest.approx(empirical, abs=0.05)
+
+    def test_refresh_conditions_on_tail(self):
+        # After consuming the high half of a bimodal list, exceeding a high
+        # threshold with the remaining tail should be (near) impossible.
+        scores = np.concatenate([np.full(100, 0.9), np.full(100, 0.1)])
+        predictor = make_predictor([scores])
+        before = predictor.score_exceedance(0b1, 0.5)
+        predictor.refresh([100])
+        after = predictor.score_exceedance(0b1, 0.5)
+        assert before > 0.3
+        assert after < 0.05
+
+    def test_exhausted_list_contributes_zero(self):
+        predictor = make_predictor([[0.5, 0.4], [0.3, 0.2]])
+        predictor.refresh([2, 0])
+        # Remainder = both lists, but list 0 is exhausted: the sum can only
+        # exceed what list 1's tail can deliver.
+        assert predictor.score_exceedance(0b11, 0.35) == 0.0
+
+
+class TestOccurrence:
+    def test_independence_fallback(self):
+        predictor = make_predictor([[0.5] * 100, [0.4] * 200], num_docs=1000)
+        assert predictor.remainder_occurrence(0, 0) == pytest.approx(0.1)
+        assert predictor.remainder_occurrence(1, 0) == pytest.approx(0.2)
+
+    def test_positions_shift_selectivity(self):
+        predictor = make_predictor([[0.5] * 100], num_docs=1000)
+        predictor.refresh([50])
+        assert predictor.remainder_occurrence(0, 0) == pytest.approx(
+            50 / 950
+        )
+
+    def test_covariance_used_when_seen(self):
+        from repro.storage.index_builder import build_index_list
+
+        a = build_index_list("a", [(d, 0.5) for d in range(10)])
+        b = build_index_list("b", [(d, 0.5) for d in range(5, 15)])
+        table = CovarianceTable.from_index_lists([a, b], num_docs=100)
+        predictor = make_predictor(
+            [[0.5] * 10, [0.5] * 10], num_docs=100, covariance=table
+        )
+        # Having seen list 1, occurrence in list 0 uses l_ab / l_b = 0.5.
+        assert predictor.remainder_occurrence(0, 0b10) == pytest.approx(0.5)
+
+    def test_any_occurrence_combines(self):
+        predictor = make_predictor(
+            [[0.5] * 100, [0.5] * 100], num_docs=1000
+        )
+        expected = 1 - (1 - 0.1) * (1 - 0.1)
+        assert predictor.any_occurrence(0) == pytest.approx(expected)
+
+    def test_any_occurrence_ignores_seen_dims(self):
+        predictor = make_predictor(
+            [[0.5] * 100, [0.5] * 100], num_docs=1000
+        )
+        assert predictor.any_occurrence(0b11) == 0.0
+
+
+class TestQualifyProbability:
+    def test_fully_seen_candidates(self):
+        predictor = make_predictor([[0.5, 0.4]])
+        assert predictor.qualify_probability(0b1, 0.9, 0.5) == 1.0
+        assert predictor.qualify_probability(0b1, 0.3, 0.5) == 0.0
+
+    def test_within_unit_interval(self):
+        rng = np.random.default_rng(3)
+        predictor = make_predictor(
+            [rng.random(200), rng.random(200), rng.random(200)],
+            num_docs=500,
+        )
+        for mask in range(8):
+            p = predictor.qualify_probability(mask, 0.4, 1.0)
+            assert 0.0 <= p <= 1.0
+
+    def test_combines_score_and_selectivity(self):
+        predictor = make_predictor(
+            [[0.9] * 10, [0.9] * 10], num_docs=1000
+        )
+        # Candidate needs 0.5 more; each tail delivers 0.9 with certainty,
+        # but occurrence is only ~1% per list -> combined ~2%.
+        p = predictor.qualify_probability(0b00, 0.0, 0.5)
+        p_score = predictor.score_exceedance(0b11, 0.5)
+        q = predictor.any_occurrence(0b00)
+        assert p == pytest.approx(p_score * q)
+        assert p < 0.05
+
+
+class TestRefreshValidation:
+    def test_wrong_position_count_rejected(self):
+        predictor = make_predictor([[0.5], [0.4]])
+        with pytest.raises(ValueError):
+            predictor.refresh([0])
+
+    def test_mismatched_construction_rejected(self):
+        with pytest.raises(ValueError):
+            ScorePredictor(
+                [ScoreHistogram(np.array([0.5]))], [1, 2], num_docs=10
+            )

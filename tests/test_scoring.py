@@ -1,0 +1,199 @@
+"""Unit tests for the corpus representation and scoring models."""
+
+import numpy as np
+import pytest
+
+from repro.scoring.base import Corpus, ScoringModel
+from repro.scoring.bm25 import BM25
+from repro.scoring.tfidf import TfIdf
+
+
+@pytest.fixture
+def tiny_corpus():
+    # doc 0: "apple apple banana"; doc 1: "banana"; doc 2: "apple cherry
+    # cherry cherry".
+    return Corpus.from_documents([
+        {"apple": 2, "banana": 1},
+        {"banana": 1},
+        {"apple": 1, "cherry": 3},
+    ])
+
+
+class TestCorpus:
+    def test_basic_statistics(self, tiny_corpus):
+        corpus = tiny_corpus
+        assert corpus.num_docs == 3
+        assert corpus.num_terms == 3
+        assert corpus.document_frequency("apple") == 2
+        assert corpus.document_frequency("banana") == 2
+        assert corpus.document_frequency("cherry") == 1
+        assert corpus.document_frequency("durian") == 0
+        assert corpus.doc_lengths.tolist() == [3, 1, 4]
+        assert corpus.avg_doc_length == pytest.approx(8 / 3)
+
+    def test_postings_for(self, tiny_corpus):
+        docs, tfs = tiny_corpus.postings_for("apple")
+        assert sorted(zip(docs.tolist(), tfs.tolist())) == [(0, 2), (2, 1)]
+
+    def test_postings_for_unknown_term(self, tiny_corpus):
+        docs, tfs = tiny_corpus.postings_for("zzz")
+        assert docs.size == 0 and tfs.size == 0
+
+    def test_columnar_construction_validation(self):
+        with pytest.raises(ValueError):
+            Corpus(
+                np.array([0]), np.array([0, 1]), np.array([1]),
+                np.array([1]), ["a"],
+            )
+        with pytest.raises(ValueError):
+            Corpus(
+                np.array([0]), np.array([5]), np.array([1]),
+                np.array([1]), ["a"],
+            )
+        with pytest.raises(ValueError):
+            Corpus(
+                np.array([9]), np.array([0]), np.array([1]),
+                np.array([1]), ["a"],
+            )
+
+
+class TestBM25:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BM25(k1=-1)
+        with pytest.raises(ValueError):
+            BM25(b=1.5)
+
+    def test_idf_decreases_with_df(self, tiny_corpus):
+        model = BM25()
+        assert model.idf(tiny_corpus, "cherry") > model.idf(
+            tiny_corpus, "apple"
+        )
+
+    def test_score_formula(self, tiny_corpus):
+        model = BM25(k1=1.2, b=0.75)
+        docs, scores = model.score_postings(tiny_corpus, "apple")
+        by_doc = dict(zip(docs.tolist(), scores.tolist()))
+        idf = model.idf(tiny_corpus, "apple")
+        avg = tiny_corpus.avg_doc_length
+        expected0 = idf * 2 * 2.2 / (2 + 1.2 * (0.25 + 0.75 * 3 / avg))
+        assert by_doc[0] == pytest.approx(expected0)
+
+    def test_tf_saturation(self, tiny_corpus):
+        # Higher tf always scores higher, but with diminishing returns.
+        corpus = Corpus.from_documents([
+            {"x": 1}, {"x": 2}, {"x": 8},
+        ])
+        docs, scores = BM25(b=0.0).score_postings(corpus, "x")
+        by_doc = dict(zip(docs.tolist(), scores.tolist()))
+        assert by_doc[0] < by_doc[1] < by_doc[2]
+        # Diminishing returns: the tf 1->2 step gains more per unit of tf
+        # than the tf 2->8 step.
+        assert by_doc[1] - by_doc[0] > (by_doc[2] - by_doc[1]) / 6
+
+    def test_scores_non_negative(self, tiny_corpus):
+        for term in tiny_corpus.vocabulary:
+            _, scores = BM25().score_postings(tiny_corpus, term)
+            assert np.all(scores >= 0)
+
+
+class TestTfIdf:
+    def test_idf_zero_for_everywhere_terms(self):
+        corpus = Corpus.from_documents([{"x": 1}, {"x": 2}])
+        assert TfIdf().idf(corpus, "x") == 0.0
+
+    def test_length_damping(self):
+        corpus = Corpus.from_documents([
+            {"x": 1, "pad": 9},   # long doc
+            {"x": 1},             # short doc
+            {"y": 1},
+        ])
+        docs, scores = TfIdf().score_postings(corpus, "x")
+        by_doc = dict(zip(docs.tolist(), scores.tolist()))
+        assert by_doc[1] > by_doc[0]
+
+    def test_linear_in_tf(self):
+        corpus = Corpus.from_documents([
+            {"x": 1, "p": 3}, {"x": 2, "p": 2}, {"y": 1},
+        ])
+        docs, scores = TfIdf().score_postings(corpus, "x")
+        by_doc = dict(zip(docs.tolist(), scores.tolist()))
+        assert by_doc[1] == pytest.approx(2 * by_doc[0])
+
+
+class TestBuildIndex:
+    @pytest.mark.parametrize("model", [BM25(), TfIdf()])
+    def test_normalized_lists(self, model, tiny_corpus):
+        index = model.build_index(tiny_corpus, block_size=4)
+        for term in ("apple", "banana"):
+            top = index.list_for(term).score_at_rank(0)
+            assert top == pytest.approx(1.0)
+
+    def test_restricting_terms(self, tiny_corpus):
+        index = BM25().build_index(tiny_corpus, terms=["apple"])
+        assert index.terms == ["apple"]
+        assert index.num_docs == 3
+
+    def test_scored_postings_roundtrip(self, tiny_corpus):
+        postings = BM25().scored_postings(tiny_corpus, terms=["apple"])
+        assert set(postings) == {"apple"}
+        assert len(postings["apple"]) == 2
+
+    def test_skips_empty_terms(self, tiny_corpus):
+        postings = TfIdf().scored_postings(tiny_corpus, terms=["nope"])
+        assert postings == {}
+
+
+class TestDirichletLM:
+    def make_corpus(self):
+        from repro.scoring.base import Corpus
+
+        return Corpus.from_documents([
+            {"apple": 2, "banana": 1},
+            {"banana": 3},
+            {"apple": 1, "cherry": 3, "banana": 1},
+        ])
+
+    def test_parameter_validation(self):
+        from repro.scoring.language_model import DirichletLM
+
+        with pytest.raises(ValueError):
+            DirichletLM(mu=0)
+
+    def test_collection_probability(self):
+        from repro.scoring.language_model import DirichletLM
+
+        corpus = self.make_corpus()
+        model = DirichletLM()
+        # banana: 5 of 11 tokens.
+        assert model.collection_probability(corpus, "banana") == (
+            pytest.approx(5 / 11)
+        )
+        assert model.collection_probability(corpus, "zzz") == 0.0
+
+    def test_scores_positive_and_tf_monotone(self):
+        from repro.scoring.language_model import DirichletLM
+
+        corpus = self.make_corpus()
+        docs, scores = DirichletLM(mu=10).score_postings(corpus, "banana")
+        assert np.all(scores > 0)
+        by_doc = dict(zip(docs.tolist(), scores.tolist()))
+        # doc 1 has tf=3 in a 3-token doc; doc 0 tf=1 in a 3-token doc.
+        assert by_doc[1] > by_doc[0]
+
+    def test_builds_a_queryable_index(self):
+        from repro.core.algorithms import TopKProcessor
+        from repro.scoring.language_model import DirichletLM
+
+        corpus = self.make_corpus()
+        index = DirichletLM(mu=10).build_index(corpus, block_size=2)
+        processor = TopKProcessor(index, cost_ratio=10)
+        result = processor.query(["apple", "banana"], 2)
+        assert len(result.items) == 2
+
+    def test_unknown_term_scores_empty(self):
+        from repro.scoring.language_model import DirichletLM
+
+        corpus = self.make_corpus()
+        docs, scores = DirichletLM().score_postings(corpus, "zzz")
+        assert docs.size == 0

@@ -1,0 +1,58 @@
+"""Unit tests for the selectivity estimator (paper Sec. 3.2)."""
+
+import pytest
+
+from repro.stats.selectivity import (
+    any_occurrence_probability,
+    remainder_selectivity,
+)
+
+
+class TestRemainderSelectivity:
+    def test_formula(self):
+        # q = (l - pos) / (n - pos)
+        assert remainder_selectivity(100, 20, 1000) == pytest.approx(80 / 980)
+
+    def test_at_start(self):
+        assert remainder_selectivity(100, 0, 1000) == pytest.approx(0.1)
+
+    def test_exhausted_list(self):
+        assert remainder_selectivity(100, 100, 1000) == 0.0
+
+    def test_position_clamped_to_list(self):
+        assert remainder_selectivity(100, 150, 1000) == 0.0
+
+    def test_negative_position_clamped(self):
+        assert remainder_selectivity(100, -5, 1000) == pytest.approx(0.1)
+
+    def test_whole_collection_list(self):
+        # Every unseen doc is in the remainder.
+        assert remainder_selectivity(1000, 400, 1000) == pytest.approx(1.0)
+
+    def test_rejects_bad_num_docs(self):
+        with pytest.raises(ValueError):
+            remainder_selectivity(10, 0, 0)
+
+    def test_result_in_unit_interval(self):
+        for length, pos, n in [(50, 10, 60), (60, 59, 60), (1, 0, 2)]:
+            value = remainder_selectivity(length, pos, n)
+            assert 0.0 <= value <= 1.0
+
+
+class TestAnyOccurrence:
+    def test_empty_is_zero(self):
+        assert any_occurrence_probability([]) == 0.0
+
+    def test_single(self):
+        assert any_occurrence_probability([0.3]) == pytest.approx(0.3)
+
+    def test_independence_product(self):
+        value = any_occurrence_probability([0.5, 0.5])
+        assert value == pytest.approx(0.75)
+
+    def test_certain_occurrence_dominates(self):
+        assert any_occurrence_probability([0.1, 1.0, 0.2]) == pytest.approx(1.0)
+
+    def test_values_clamped(self):
+        assert any_occurrence_probability([2.0]) == pytest.approx(1.0)
+        assert any_occurrence_probability([-1.0]) == pytest.approx(0.0)

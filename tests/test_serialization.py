@@ -1,0 +1,83 @@
+"""Round-trip tests for index persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import TopKProcessor
+from repro.storage.serialization import load_index, save_index
+
+from tests.helpers import make_random_index
+
+
+class TestRoundTrip:
+    def test_preserves_structure(self, tmp_path, small_index):
+        index, terms = small_index
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.num_docs == index.num_docs
+        assert set(loaded.terms) == set(index.terms)
+        for term in terms:
+            original = index.list_for(term)
+            restored = loaded.list_for(term)
+            assert len(restored) == len(original)
+            assert restored.block_size == original.block_size
+            assert np.array_equal(
+                restored.doc_ids_by_rank, original.doc_ids_by_rank
+            )
+            assert np.allclose(
+                restored.scores_by_rank, original.scores_by_rank
+            )
+
+    def test_queries_identical_after_reload(self, tmp_path, small_index):
+        index, terms = small_index
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        before = TopKProcessor(index, cost_ratio=100).query(terms, 10)
+        after = TopKProcessor(loaded, cost_ratio=100).query(terms, 10)
+        assert before.doc_ids == after.doc_ids
+        assert before.stats.cost == after.stats.cost
+
+    def test_mixed_block_sizes(self, tmp_path):
+        from repro.storage.block_index import IndexList, InvertedBlockIndex
+
+        lists = {
+            "a": IndexList("a", [1, 2, 3], [0.9, 0.5, 0.1], block_size=2),
+            "b": IndexList("b", [4, 5], [0.8, 0.3], block_size=8),
+        }
+        index = InvertedBlockIndex(lists, num_docs=10)
+        path = tmp_path / "mixed.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.list_for("a").block_size == 2
+        assert loaded.list_for("b").block_size == 8
+
+    def test_empty_index(self, tmp_path):
+        from repro.storage.block_index import InvertedBlockIndex
+
+        index = InvertedBlockIndex({}, num_docs=5)
+        path = tmp_path / "empty.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert len(loaded) == 0
+        assert loaded.num_docs == 5
+
+    def test_version_check(self, tmp_path, small_index):
+        import json
+
+        import numpy as np
+
+        index, _ = small_index
+        path = tmp_path / "bad.npz"
+        metadata = {"format_version": 99, "num_docs": 1, "terms": [],
+                    "block_sizes": []}
+        with path.open("wb") as handle:
+            np.savez_compressed(
+                handle,
+                metadata=np.frombuffer(
+                    json.dumps(metadata).encode(), dtype=np.uint8
+                ),
+            )
+        with pytest.raises(ValueError):
+            load_index(path)

@@ -1,0 +1,84 @@
+"""Unit tests for the precomputed statistics catalog."""
+
+import pytest
+
+from repro.stats.catalog import StatsCatalog
+from repro.stats.correlation import CovarianceTable
+from repro.stats.histogram import ScoreHistogram
+from repro.stats.score_predictor import ScorePredictor
+
+from tests.helpers import make_random_index
+
+
+class TestStatsCatalog:
+    def test_histograms_cached(self, small_index):
+        index, terms = small_index
+        catalog = StatsCatalog(index)
+        first = catalog.histogram(terms[0])
+        assert isinstance(first, ScoreHistogram)
+        assert catalog.histogram(terms[0]) is first
+
+    def test_histogram_matches_list(self, small_index):
+        index, terms = small_index
+        catalog = StatsCatalog(index)
+        hist = catalog.histogram(terms[0])
+        assert hist.total == len(index.list_for(terms[0]))
+
+    def test_num_buckets_propagates(self, small_index):
+        index, terms = small_index
+        catalog = StatsCatalog(index, num_buckets=17)
+        assert catalog.histogram(terms[0]).num_buckets == 17
+
+    def test_covariance_cached_per_order(self, small_index):
+        index, terms = small_index
+        catalog = StatsCatalog(index)
+        table = catalog.covariance(terms)
+        assert isinstance(table, CovarianceTable)
+        assert catalog.covariance(terms) is table
+        reordered = catalog.covariance(list(reversed(terms)))
+        assert reordered is not table
+
+    def test_correlations_disabled(self, small_index):
+        index, terms = small_index
+        catalog = StatsCatalog(index, use_correlations=False)
+        assert catalog.covariance(terms) is None
+
+    def test_predictor_construction(self, small_index):
+        index, terms = small_index
+        catalog = StatsCatalog(index)
+        predictor = catalog.predictor(terms)
+        assert isinstance(predictor, ScorePredictor)
+        assert predictor.num_lists == len(terms)
+        assert predictor.covariance is catalog.covariance(terms)
+
+    def test_unknown_term_raises(self, small_index):
+        index, _ = small_index
+        catalog = StatsCatalog(index)
+        with pytest.raises(KeyError):
+            catalog.histogram("no-such-term")
+
+
+class TestQueryLogPrecompute:
+    def test_precompute_warms_caches(self, small_index):
+        index, terms = small_index
+        catalog = StatsCatalog(index)
+        count = catalog.precompute_from_query_log([terms, terms[:2]])
+        assert count == 2
+        assert catalog.covariance(terms) is catalog.covariance(terms)
+        # All histograms built.
+        for term in terms:
+            assert term in catalog._histograms
+
+    def test_precompute_skips_unknown_terms(self, small_index):
+        index, terms = small_index
+        catalog = StatsCatalog(index)
+        count = catalog.precompute_from_query_log(
+            [[terms[0], "unknown-term"]]
+        )
+        assert count == 0
+        assert terms[0] in catalog._histograms
+
+    def test_precompute_respects_disabled_correlations(self, small_index):
+        index, terms = small_index
+        catalog = StatsCatalog(index, use_correlations=False)
+        assert catalog.precompute_from_query_log([terms]) == 0

@@ -1,0 +1,82 @@
+"""Tests for per-round execution tracing."""
+
+import pytest
+
+from repro.core.algorithms import TopKProcessor
+from repro.core.results import RoundTrace
+
+from tests.helpers import make_random_index
+
+
+@pytest.fixture
+def traced(small_index):
+    index, terms = small_index
+    processor = TopKProcessor(index, cost_ratio=100)
+    result = processor.query(terms, 10, algorithm="NRA", trace=True)
+    return index, terms, result
+
+
+class TestTracing:
+    def test_disabled_by_default(self, small_index):
+        index, terms = small_index
+        processor = TopKProcessor(index, cost_ratio=100)
+        result = processor.query(terms, 10, algorithm="NRA")
+        assert result.trace == []
+
+    def test_one_record_per_round(self, traced):
+        _, _, result = traced
+        assert len(result.trace) == result.stats.rounds
+        assert [t.round_no for t in result.trace] == list(
+            range(1, result.stats.rounds + 1)
+        )
+
+    def test_positions_monotone(self, traced):
+        _, _, result = traced
+        for before, after in zip(result.trace, result.trace[1:]):
+            assert all(
+                b <= a for b, a in zip(before.positions, after.positions)
+            )
+
+    def test_bounds_monotone(self, traced):
+        _, _, result = traced
+        for before, after in zip(result.trace, result.trace[1:]):
+            assert after.unseen_bestscore <= before.unseen_bestscore + 1e-9
+            assert after.min_k >= before.min_k - 1e-9
+
+    def test_accesses_cumulative(self, traced):
+        _, _, result = traced
+        last = result.trace[-1]
+        assert last.sorted_accesses == result.stats.sorted_accesses
+        assert last.random_accesses == result.stats.random_accesses
+
+    def test_allocation_sums_to_position_delta(self, traced):
+        _, _, result = traced
+        previous = (0,) * len(result.trace[0].positions)
+        for record in result.trace:
+            delta = sum(
+                after - before
+                for before, after in zip(previous, record.positions)
+            )
+            assert delta == sum(record.allocation)
+            previous = record.positions
+
+    def test_final_round_satisfies_termination(self, traced):
+        _, _, result = traced
+        last = result.trace[-1]
+        assert last.queue_size == 0
+        assert last.unseen_bestscore <= last.min_k + 1e-9
+
+    def test_str_rendering(self, traced):
+        _, _, result = traced
+        text = str(result.trace[0])
+        assert "round 1" in text
+        assert "min-k" in text
+
+    def test_trace_records_probes(self, small_index):
+        index, terms = small_index
+        processor = TopKProcessor(index, cost_ratio=10)
+        result = processor.query(terms, 10, algorithm="CA", trace=True)
+        assert result.stats.random_accesses > 0
+        assert result.trace[-1].random_accesses == (
+            result.stats.random_accesses
+        )

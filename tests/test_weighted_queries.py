@@ -1,0 +1,122 @@
+"""Integration tests for weighted aggregation (monotone weighted sum)."""
+
+import collections
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithms import TopKProcessor, available_algorithms
+from repro.core.lower_bound import LowerBoundComputer
+
+from tests.helpers import make_random_index
+
+WEIGHTS = [2.0, 0.5, 1.0]
+
+
+def weighted_oracle(index, terms, weights, k):
+    totals = collections.defaultdict(float)
+    for term, weight in zip(terms, weights):
+        index_list = index.list_for(term)
+        for doc, score in zip(
+            index_list.doc_ids_by_rank, index_list.scores_by_rank
+        ):
+            totals[int(doc)] += float(score) * weight
+    ranked = sorted((t for t in totals.values() if t > 0.0), reverse=True)
+    return ranked[:k]
+
+
+def weighted_score(index, terms, weights, doc):
+    total = 0.0
+    for term, weight in zip(terms, weights):
+        score = index.list_for(term).lookup(doc)
+        total += (score or 0.0) * weight
+    return total
+
+
+@pytest.mark.parametrize("algorithm", available_algorithms())
+def test_weighted_queries_match_oracle(algorithm):
+    index, terms = make_random_index(seed=29)
+    processor = TopKProcessor(index, cost_ratio=100)
+    result = processor.query(terms, 10, algorithm=algorithm,
+                             weights=WEIGHTS)
+    expected = weighted_oracle(index, terms, WEIGHTS, 10)
+    got = sorted(
+        (weighted_score(index, terms, WEIGHTS, d) for d in result.doc_ids),
+        reverse=True,
+    )
+    assert np.allclose(got, expected, atol=1e-6)
+
+
+def test_full_merge_supports_weights():
+    index, terms = make_random_index(seed=29)
+    processor = TopKProcessor(index, cost_ratio=100)
+    merged = processor.full_merge(terms, 10, weights=WEIGHTS)
+    expected = weighted_oracle(index, terms, WEIGHTS, 10)
+    got = [item.worstscore for item in merged.items]
+    assert np.allclose(got, expected, atol=1e-9)
+
+
+def test_weights_change_the_ranking():
+    index, terms = make_random_index(seed=29)
+    processor = TopKProcessor(index, cost_ratio=100)
+    plain = processor.query(terms, 10).doc_ids
+    boosted = processor.query(terms, 10, weights=[10.0, 1.0, 1.0]).doc_ids
+    assert plain != boosted
+
+
+def test_weighted_lower_bound_validity():
+    index, terms = make_random_index(
+        num_lists=3, list_length=300, num_docs=900, seed=37
+    )
+    computer = LowerBoundComputer(index, terms, weights=WEIGHTS)
+    bound = computer.cost_for_k(5, 100.0)
+    processor = TopKProcessor(index, cost_ratio=100)
+    for algorithm in ("NRA", "CA", "KSR-Last-Ben"):
+        cost = processor.query(
+            terms, 5, algorithm=algorithm, weights=WEIGHTS
+        ).stats.cost
+        assert bound <= cost + 1e-6
+
+
+def test_uniform_weights_are_identity():
+    index, terms = make_random_index(seed=29)
+    processor = TopKProcessor(index, cost_ratio=100)
+    plain = processor.query(terms, 10, algorithm="NRA")
+    weighted = processor.query(
+        terms, 10, algorithm="NRA", weights=[1.0, 1.0, 1.0]
+    )
+    assert plain.doc_ids == weighted.doc_ids
+    assert plain.stats.cost == weighted.stats.cost
+
+
+@pytest.mark.parametrize("weights", [[1.0], [1.0, 2.0, 3.0, 4.0],
+                                     [1.0, -1.0, 1.0], [0.0, 1.0, 1.0]])
+def test_invalid_weights_rejected(weights):
+    index, terms = make_random_index(seed=29)
+    processor = TopKProcessor(index, cost_ratio=100)
+    with pytest.raises(ValueError):
+        processor.query(terms, 5, weights=weights)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    weights=st.lists(
+        st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+        min_size=3, max_size=3,
+    ),
+    algorithm=st.sampled_from(["NRA", "CA", "RR-Last-Best", "KSR-Last-Ben"]),
+)
+def test_weighted_correctness_property(weights, algorithm):
+    index, terms = make_random_index(
+        num_lists=3, list_length=200, num_docs=600, seed=41
+    )
+    processor = TopKProcessor(index, cost_ratio=50)
+    result = processor.query(terms, 5, algorithm=algorithm, weights=weights)
+    expected = weighted_oracle(index, terms, weights, 5)
+    got = sorted(
+        (weighted_score(index, terms, weights, d) for d in result.doc_ids),
+        reverse=True,
+    )
+    assert np.allclose(got, expected, atol=1e-6)

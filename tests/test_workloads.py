@@ -1,0 +1,67 @@
+"""Unit tests for the named dataset registry (small scales only)."""
+
+import pytest
+
+from repro.data.workloads import Dataset, available_datasets, load_dataset
+
+SCALE = 0.05
+
+
+class TestLoadDataset:
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            load_dataset("no-such-dataset")
+
+    def test_available_names(self):
+        names = available_datasets()
+        for required in [
+            "terabyte-bm25", "terabyte-tfidf", "terabyte-expanded",
+            "imdb", "httplog", "uniform", "zipf",
+        ]:
+            assert required in names
+
+    def test_caching_returns_same_object(self):
+        a = load_dataset("uniform", scale=SCALE)
+        b = load_dataset("uniform", scale=SCALE)
+        assert a is b
+
+    def test_different_scale_rebuilds(self):
+        a = load_dataset("uniform", scale=SCALE)
+        b = load_dataset("uniform", scale=SCALE * 2)
+        assert a is not b
+
+    @pytest.mark.parametrize("name", [
+        "terabyte-bm25", "terabyte-tfidf", "imdb", "httplog", "uniform",
+        "zipf",
+    ])
+    def test_every_dataset_is_runnable(self, name):
+        dataset = load_dataset(name, scale=SCALE)
+        assert isinstance(dataset, Dataset)
+        assert dataset.queries
+        for query in dataset.queries:
+            assert query, "empty query in %s" % name
+            for term in query:
+                assert term in dataset.index
+
+    def test_expanded_shares_index_with_bm25(self):
+        bm25 = load_dataset("terabyte-bm25", scale=SCALE)
+        expanded = load_dataset("terabyte-expanded", scale=SCALE)
+        assert expanded.index is bm25.index
+        mean_short = sum(len(q) for q in bm25.queries) / len(bm25.queries)
+        mean_long = sum(len(q) for q in expanded.queries) / len(
+            expanded.queries
+        )
+        assert mean_long > mean_short
+
+    def test_terabyte_lists_are_padded(self):
+        dataset = load_dataset("terabyte-bm25", scale=SCALE)
+        # Background padding must extend the universe beyond the corpus.
+        assert dataset.num_docs > 2_000
+
+    def test_queries_execute_end_to_end(self):
+        from repro.core.algorithms import TopKProcessor
+
+        dataset = load_dataset("terabyte-bm25", scale=SCALE)
+        processor = TopKProcessor(dataset.index, cost_ratio=100)
+        result = processor.query(dataset.queries[0], 5)
+        assert 0 < len(result.items) <= 5
