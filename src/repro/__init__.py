@@ -31,31 +31,46 @@ from .core.algorithms import (
     canonical_name,
     run_query,
 )
+from .core.engine import QueryDeadline
 from .core.full_merge import full_merge
 from .core.lower_bound import LowerBoundComputer
 from .core.results import QueryStats, RankedItem, TopKResult
 from .stats.catalog import StatsCatalog
+from .storage.accessors import ListUnavailableError, RetryPolicy
 from .storage.block_index import IndexList, InvertedBlockIndex
 from .storage.diskmodel import AccessMeter, CostModel
+from .storage.faults import (
+    FaultInjector,
+    FaultPlan,
+    IndexCorruptionError,
+    TransientIOError,
+)
 from .storage.index_builder import (
     build_index,
     build_index_from_documents,
     build_index_list,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AccessMeter",
     "CostModel",
+    "FaultInjector",
+    "FaultPlan",
+    "IndexCorruptionError",
     "IndexList",
     "InvertedBlockIndex",
+    "ListUnavailableError",
     "LowerBoundComputer",
+    "QueryDeadline",
     "QueryStats",
     "RankedItem",
+    "RetryPolicy",
     "StatsCatalog",
     "TopKProcessor",
     "TopKResult",
+    "TransientIOError",
     "available_algorithms",
     "build_index",
     "build_index_from_documents",

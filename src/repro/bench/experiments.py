@@ -309,7 +309,7 @@ def _extension(name: str) -> Callable:
 
 #: Registry of all experiments: the paper's evaluation (e1-e10, ordered as
 #: in Sec. 6) plus the extensions (e11: Sec. 7 approximate pruning; e12:
-#: design ablations).
+#: design ablations; e13: predictor comparison; e14: chaos/resilience).
 ALL_EXPERIMENTS: Dict[str, Callable] = {
     "e1": e1_ra_heavy_table,
     "e2": e2_fig3_cost_vs_k,
@@ -324,6 +324,7 @@ ALL_EXPERIMENTS: Dict[str, Callable] = {
     "e11": _extension("e11_approximate_pruning"),
     "e12": _extension("e12_design_ablations"),
     "e13": _extension("e13_histograms_vs_normal"),
+    "e14": _extension("e14_chaos_resilience"),
 }
 
 

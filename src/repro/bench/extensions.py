@@ -6,16 +6,22 @@
 * **E12** — ablations over the design choices DESIGN.md calls out: the
   scan batch size, the histogram resolution feeding every estimator, and
   the correlation statistics of Sec. 3.4.
+* **E14** — the chaos harness (docs/ROBUSTNESS.md): sweep storage fault
+  rates against the resilient engine and report result quality
+  (precision vs. oracle, rank distance) and cost/latency overhead.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..core.algorithms import TopKProcessor
 from ..data.workloads import load_dataset
+from ..storage.accessors import RetryPolicy
+from ..storage.faults import FaultInjector, FaultPlan
+from ..storage.latency import DiskLatencyModel
 from .harness import ExperimentTable, Harness, shared_harness
 
 
@@ -169,6 +175,101 @@ def e12_design_ablations(
               "the independence-based selectivities of Sec. 3.2",
     )
     return [batch_table, bucket_table, correlation_table]
+
+
+def _rank_distance(oracle_ids: Sequence[int], result_ids: Sequence[int],
+                   k: int) -> float:
+    """Mean absolute rank displacement of the returned docs vs. the oracle.
+
+    A returned document absent from the oracle top-k counts the maximum
+    displacement ``k``; the average is normalized by ``k`` so 0.0 means
+    the exact oracle ranking and 1.0 means unrelated results.
+    """
+    if not result_ids or not oracle_ids:
+        return 0.0 if not oracle_ids else 1.0
+    oracle_rank = {doc: pos for pos, doc in enumerate(oracle_ids)}
+    displacements = [
+        abs(pos - oracle_rank[doc]) if doc in oracle_rank else k
+        for pos, doc in enumerate(result_ids)
+    ]
+    return float(np.mean(displacements)) / max(k, 1)
+
+
+def e14_chaos_resilience(
+    harness: Optional[Harness] = None,
+    fault_rates: Sequence[float] = (0.0, 0.01, 0.05, 0.2),
+) -> ExperimentTable:
+    """E14 (extension): result quality and cost under storage faults.
+
+    Sweeps seeded transient-fault/corruption rates over the Terabyte-BM25
+    workload with the resilient KSR-Last-Ben engine (retry + backoff,
+    per-query retry budget) and reports, per rate: the paper's COST (the
+    retried accesses are charged, so overhead is visible), the simulated
+    I/O time including latency spikes and backoff, precision@k and rank
+    distance against the fault-free oracle, and how many queries came
+    back degraded.  Rate 0.0 doubles as the zero-overhead guarantee: its
+    row must match the fault-free engine exactly.
+    """
+    h = harness if harness is not None else shared_harness()
+    dataset = h.dataset("terabyte-bm25")
+    clean = h.processor("terabyte-bm25", 1000.0)
+    queries = h.queries("terabyte-bm25")
+    k = 50
+    latency = DiskLatencyModel()
+    baseline_cost = h.run("terabyte-bm25", "KSR-Last-Ben", k, 1000.0).cost
+
+    rows = []
+    for rate in fault_rates:
+        plan = FaultPlan.uniform(rate, seed=1729, corruption_rate=rate / 4.0)
+        injector = FaultInjector(plan)
+        processor = TopKProcessor(
+            injector.wrap_index(dataset.index),
+            cost_ratio=1000.0,
+            retry_policy=RetryPolicy(),
+        )
+        # Reuse the clean statistics: chaos perturbs I/O, not the catalog.
+        processor.stats = clean.stats
+        processor.engine.stats = clean.stats
+        costs, io_ms, precisions, distances = [], [], [], []
+        degraded = 0
+        retries = 0
+        for query in queries:
+            result = processor.query(query, k, algorithm="KSR-Last-Ben")
+            oracle = clean.full_merge(query, k)
+            costs.append(result.stats.cost)
+            io_ms.append(latency.estimate_ms(
+                result.stats.sorted_accesses,
+                result.stats.random_accesses,
+                extra_ms=result.stats.simulated_io_wait_ms,
+            ))
+            precisions.append(_precision(clean, query, k, result))
+            distances.append(
+                _rank_distance(oracle.doc_ids, result.doc_ids, k)
+            )
+            degraded += int(result.degraded)
+            retries += result.stats.retries
+        mean_cost = float(np.mean(costs))
+        rows.append([
+            "rate=%.2f" % rate,
+            "%.0f" % mean_cost,
+            "%+.1f%%" % (100.0 * (mean_cost / baseline_cost - 1.0)),
+            "%.0f" % float(np.mean(io_ms)),
+            "%.3f" % float(np.mean(precisions)),
+            "%.3f" % float(np.mean(distances)),
+            "%d/%d" % (degraded, len(queries)),
+            "%d" % retries,
+        ])
+    return ExperimentTable(
+        "E14 (extension)",
+        "Chaos sweep: KSR-Last-Ben under storage faults, Terabyte-BM25, "
+        "k=50, cR/cS=1000",
+        ["setting", "avg cost", "overhead", "sim I/O ms", "precision@k",
+         "rank dist", "degraded", "retries"],
+        rows,
+        notes="seeded FaultPlan (transients + corruption at rate/4) with "
+              "retry/backoff; rate=0.00 is the zero-overhead guarantee "
+              "(must equal the fault-free engine)",
+    )
 
 
 def e13_histograms_vs_normal(

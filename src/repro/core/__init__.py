@@ -8,7 +8,7 @@ from .algorithms import (
     run_query,
 )
 from .bookkeeping import Candidate, CandidatePool
-from .engine import QueryState, RAPolicy, SAPolicy, TopKEngine
+from .engine import QueryDeadline, QueryState, RAPolicy, SAPolicy, TopKEngine
 from .full_merge import full_merge
 from .lower_bound import LowerBoundComputer
 from .results import QueryStats, RankedItem, TopKResult
@@ -17,6 +17,7 @@ __all__ = [
     "Candidate",
     "CandidatePool",
     "LowerBoundComputer",
+    "QueryDeadline",
     "QueryState",
     "QueryStats",
     "RAPolicy",

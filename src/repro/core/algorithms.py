@@ -27,9 +27,10 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..stats.catalog import StatsCatalog
+from ..storage.accessors import RetryPolicy
 from ..storage.block_index import InvertedBlockIndex
 from ..storage.diskmodel import CostModel
-from .engine import RAPolicy, SAPolicy, TopKEngine
+from .engine import QueryDeadline, RAPolicy, SAPolicy, TopKEngine
 from .ra.ben import BenProbe
 from .ra.last import LastProbe, PickProbe
 from .ra.ordering import BenOrdering, BestOrdering
@@ -109,10 +110,17 @@ class TopKProcessor:
         num_buckets: int = 100,
         use_correlations: bool = True,
         predictor: str = "histogram",
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         """``predictor`` selects the probabilistic machinery: "histogram"
         (the paper's convolution-based predictor) or "normal" (the
-        RankSQL-style Normal approximation, for comparison)."""
+        RankSQL-style Normal approximation, for comparison).
+
+        ``retry_policy`` enables fault recovery on every query: storage
+        faults (see :mod:`repro.storage.faults`) are retried with
+        exponential backoff within a per-query budget, and a list that
+        exhausts its budget is dropped with the result flagged degraded.
+        Without a policy any storage fault immediately fails its list."""
         from ..stats.normal_predictor import NormalScorePredictor
         from ..stats.score_predictor import ScorePredictor
 
@@ -136,6 +144,7 @@ class TopKProcessor:
             cost_model=self.cost_model,
             batch_blocks=batch_blocks,
             predictor_cls=predictor_classes[predictor],
+            retry_policy=retry_policy,
         )
 
     def query(
@@ -146,6 +155,7 @@ class TopKProcessor:
         weights: Optional[Sequence[float]] = None,
         trace: bool = False,
         prune_epsilon: float = 0.0,
+        deadline: Optional[QueryDeadline] = None,
     ) -> TopKResult:
         """Run one top-k query with the named TA-family algorithm.
 
@@ -153,12 +163,15 @@ class TopKProcessor:
         the aggregation into the paper's monotone *weighted* summation;
         ``trace=True`` attaches per-round engine snapshots to the result;
         ``prune_epsilon > 0`` switches to approximate processing with
-        probabilistic candidate pruning (exact when 0).
+        probabilistic candidate pruning (exact when 0);
+        ``deadline`` bounds the execution (wall-clock and/or cost) and
+        returns an anytime result flagged ``degraded`` when it fires.
         """
         sa_policy, ra_policy, resolved = make_policies(algorithm)
         return self.engine.run(
             terms, k, sa_policy, ra_policy, algorithm_name=resolved,
             weights=weights, trace=trace, prune_epsilon=prune_epsilon,
+            deadline=deadline,
         )
 
     def full_merge(
@@ -196,6 +209,8 @@ def run_query(
     batch_blocks: Optional[int] = None,
     stats: Optional[StatsCatalog] = None,
     weights: Optional[Sequence[float]] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    deadline: Optional[QueryDeadline] = None,
 ) -> TopKResult:
     """One-shot convenience wrapper around :class:`TopKProcessor`.
 
@@ -209,8 +224,9 @@ def run_query(
         stats=stats,
         cost_model=CostModel.from_ratio(cost_ratio),
         batch_blocks=batch_blocks,
+        retry_policy=retry_policy,
     )
     return engine.run(
         terms, k, sa_policy, ra_policy, algorithm_name=resolved,
-        weights=weights,
+        weights=weights, deadline=deadline,
     )

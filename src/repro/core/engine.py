@@ -20,15 +20,71 @@ is exactly the paper's ``#SA + (cR/cS) * #RA``.
 from __future__ import annotations
 
 import time
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Set
 
 from ..stats.catalog import StatsCatalog
 from ..stats.score_predictor import ScorePredictor
-from ..storage.accessors import RandomAccessor, SortedCursor
+from ..storage.accessors import (
+    ListUnavailableError,
+    RandomAccessor,
+    RetryPolicy,
+    RetrySession,
+    SortedCursor,
+)
 from ..storage.block_index import InvertedBlockIndex
 from ..storage.diskmodel import AccessMeter, CostModel
 from .bookkeeping import EPSILON, Candidate, CandidatePool
 from .results import QueryStats, RankedItem, RoundTrace, TopKResult
+
+
+class DegradedExecution(Exception):
+    """Internal control flow: a list became unavailable mid-probing.
+
+    Raised by :meth:`QueryState.probe` when a random accessor exhausts its
+    retry budget (or is already failed), so that any RA policy — whatever
+    its internal loop structure — unwinds immediately instead of spinning
+    on a dead list.  The engine catches it, records the degradation, and
+    carries on with the remaining lists.
+    """
+
+    def __init__(self, term: str) -> None:
+        super().__init__("query degraded: list %r dropped" % term)
+        self.term = term
+
+
+@dataclass(frozen=True)
+class QueryDeadline:
+    """Anytime-execution limits for one query (paper-style cost or time).
+
+    The engine checks the deadline between processing rounds; once
+    ``wall_clock_seconds`` of real time have elapsed or the meter's
+    normalized COST reaches ``cost_budget``, the round loop stops and the
+    current candidate state is returned as a *degraded* result whose
+    per-item ``[worstscore, bestscore]`` intervals are still correct.
+    """
+
+    wall_clock_seconds: Optional[float] = None
+    cost_budget: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.wall_clock_seconds is None and self.cost_budget is None:
+            raise ValueError(
+                "a deadline needs wall_clock_seconds, cost_budget, or both"
+            )
+        if self.wall_clock_seconds is not None and self.wall_clock_seconds <= 0:
+            raise ValueError("wall_clock_seconds must be positive")
+        if self.cost_budget is not None and self.cost_budget <= 0:
+            raise ValueError("cost_budget must be positive")
+
+    def exceeded(self, elapsed_seconds: float, cost: float) -> bool:
+        """Whether either limit has been reached."""
+        if (
+            self.wall_clock_seconds is not None
+            and elapsed_seconds >= self.wall_clock_seconds
+        ):
+            return True
+        return self.cost_budget is not None and cost >= self.cost_budget
 
 
 class QueryState:
@@ -50,9 +106,12 @@ class QueryState:
         batch_blocks: Optional[int] = None,
         weights: Optional[Sequence[float]] = None,
         predictor_cls: type = ScorePredictor,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if not terms:
             raise ValueError("a query needs at least one term")
+        if int(k) < 1:
+            raise ValueError("k must be positive (got %r)" % (k,))
         self.predictor_cls = predictor_cls
         self.index = index
         self.stats = stats
@@ -69,12 +128,19 @@ class QueryState:
         #: per-dimension aggregation weights (monotone weighted summation)
         self.weights = [float(w) for w in weights]
         self.meter = AccessMeter(cost_model=cost_model)
+        #: per-query retry state; None disables fault recovery (a single
+        #: fault then permanently fails its list)
+        self.retry = RetrySession(retry_policy) if retry_policy else None
+        #: dimensions dropped after a fault exhausted their retries;
+        #: their ``high_i`` stays frozen at the last value read, keeping
+        #: every bestscore interval correct
+        self.failed_dims: Set[int] = set()
         lists = index.lists_for(self.terms)
         self.cursors: List[SortedCursor] = [
-            SortedCursor(lst, self.meter) for lst in lists
+            SortedCursor(lst, self.meter, retry=self.retry) for lst in lists
         ]
         self.randoms: List[RandomAccessor] = [
-            RandomAccessor(lst, self.meter) for lst in lists
+            RandomAccessor(lst, self.meter, retry=self.retry) for lst in lists
         ]
         self.list_lengths = [len(lst) for lst in lists]
         self.block_size = lists[0].block_size if lists else 1
@@ -164,7 +230,14 @@ class QueryState:
                     self.pool.absorb_postings(dim, doc_ids, scores)
                 )
         self.last_allocation = allocation
+        self._note_cursor_failures()
         self.recompute()
+
+    def _note_cursor_failures(self) -> None:
+        """Record lists whose sorted-access path gave up this round."""
+        for dim, cursor in enumerate(self.cursors):
+            if cursor.failed:
+                self.failed_dims.add(dim)
 
     def recompute(self) -> None:
         """Refresh highs, the top-k/min-k split, and prune the queue."""
@@ -200,8 +273,22 @@ class QueryState:
     # Random access
     # ------------------------------------------------------------------
     def probe(self, doc_id: int, dim: int) -> float:
-        """One random access: resolve ``dim`` for ``doc_id``."""
-        score = self.randoms[dim].probe(doc_id) * self.weights[dim]
+        """One random access: resolve ``dim`` for ``doc_id``.
+
+        Raises :class:`DegradedExecution` when the list's random-access
+        path is (or becomes) unavailable, so policy loops unwind instead
+        of spinning on probes that can never resolve anything.
+        """
+        accessor = self.randoms[dim]
+        if accessor.failed:
+            self.failed_dims.add(dim)
+            raise DegradedExecution(self.terms[dim])
+        try:
+            raw = accessor.probe(doc_id)
+        except ListUnavailableError:
+            self.failed_dims.add(dim)
+            raise DegradedExecution(self.terms[dim]) from None
+        score = raw * self.weights[dim]
         self.pool.resolve_dimension(doc_id, dim, score)
         return score
 
@@ -226,6 +313,8 @@ class QueryState:
         for dim in dims:
             if cand.seen_mask >> dim & 1:
                 continue
+            if self.randoms[dim].failed:
+                continue  # unavailable list: leave the dimension unresolved
             if (
                 stop_when_pruned
                 and self.pool.bestscore(cand) <= self.min_k + EPSILON
@@ -246,10 +335,13 @@ class QueryState:
         # (missing dimensions contribute exactly 0).
         return self.exhausted and self.pool.unseen_bestscore <= 0.0
 
-    def build_result(self, algorithm: str, wall_time: float) -> TopKResult:
+    def build_result(
+        self, algorithm: str, wall_time: float, degraded: bool = False
+    ) -> TopKResult:
         # Documents whose aggregated lower bound is 0 carry no evidence of
         # a match and are indistinguishable from unseen documents — they
         # are never returned (FullMerge applies the same rule).
+        self._note_cursor_failures()
         top = self.pool.topk_candidates()
         items = [
             RankedItem(
@@ -265,8 +357,16 @@ class QueryState:
             rounds=self.round_no,
             peak_queue_size=self.pool.peak_size,
             wall_time_seconds=wall_time,
+            retries=self.retry.retries if self.retry else 0,
+            simulated_io_wait_ms=self.retry.waited_ms if self.retry else 0.0,
         )
-        return TopKResult(items=items, stats=stats, algorithm=algorithm)
+        return TopKResult(
+            items=items,
+            stats=stats,
+            algorithm=algorithm,
+            degraded=degraded or bool(self.failed_dims),
+            exhausted_lists=[self.terms[d] for d in sorted(self.failed_dims)],
+        )
 
 
 class SAPolicy:
@@ -303,6 +403,7 @@ class TopKEngine:
         batch_blocks: Optional[int] = None,
         max_rounds: int = 1_000_000,
         predictor_cls: type = ScorePredictor,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.index = index
         self.stats = stats if stats is not None else StatsCatalog(index)
@@ -310,6 +411,9 @@ class TopKEngine:
         self.batch_blocks = batch_blocks
         self.max_rounds = max_rounds
         self.predictor_cls = predictor_cls
+        #: fault-recovery parameters applied to every query's accessors;
+        #: None disables retries (any storage fault drops its list)
+        self.retry_policy = retry_policy
 
     def run(
         self,
@@ -321,6 +425,7 @@ class TopKEngine:
         weights: Optional[Sequence[float]] = None,
         trace: bool = False,
         prune_epsilon: float = 0.0,
+        deadline: Optional[QueryDeadline] = None,
     ) -> TopKResult:
         """Execute one top-k query and return results plus access stats.
 
@@ -332,6 +437,14 @@ class TopKEngine:
         whose estimated qualification probability drops below the epsilon
         are discarded early (the paper's Sec. 7 suggestion of combining
         the scheduling framework with probabilistic pruning).
+
+        ``deadline`` turns the query *anytime*: the engine checks the
+        wall-clock/cost limits between rounds and, once exceeded, stops
+        early and returns the current top-k as a ``degraded`` result with
+        correct per-item score intervals.  The same degradation path
+        covers storage faults: a list whose retry budget is exhausted is
+        dropped (named in ``result.exhausted_lists``) and its ``high_i``
+        contribution stays frozen at the last value read.
         """
         started = time.perf_counter()
         state = QueryState(
@@ -343,9 +456,16 @@ class TopKEngine:
             batch_blocks=self.batch_blocks,
             weights=weights,
             predictor_cls=self.predictor_cls,
+            retry_policy=self.retry_policy,
         )
         traces: List[RoundTrace] = []
+        deadline_hit = False
         while not state.is_terminated:
+            if deadline is not None and deadline.exceeded(
+                time.perf_counter() - started, state.meter.cost
+            ):
+                deadline_hit = True
+                break
             progressed = False
             if not state.exhausted and ra_policy.wants_sorted_access(state):
                 allocation = sa_policy.allocate(state, state.batch_blocks)
@@ -353,7 +473,13 @@ class TopKEngine:
                     state.perform_sorted_round(allocation)
                     progressed = True
             ra_before = state.meter.random_accesses
-            ra_policy.after_round(state)
+            try:
+                ra_policy.after_round(state)
+            except DegradedExecution:
+                # A list went unavailable mid-probing; the failure is
+                # recorded in state.failed_dims — keep going with the
+                # remaining lists and report a degraded result.
+                pass
             if state.meter.random_accesses != ra_before:
                 state.recompute()
                 progressed = True
@@ -386,7 +512,8 @@ class TopKEngine:
                 raise RuntimeError("engine exceeded max_rounds; likely a bug")
         elapsed = time.perf_counter() - started
         name = algorithm_name or "%s-%s" % (sa_policy.name, ra_policy.name)
-        result = state.build_result(name, elapsed)
+        degraded = deadline_hit or not state.is_terminated
+        result = state.build_result(name, elapsed, degraded=degraded)
         result.trace = traces
         return result
 

@@ -30,7 +30,14 @@ class RankedItem:
 
 @dataclass
 class QueryStats:
-    """Access counts and bookkeeping totals for one query execution."""
+    """Access counts and bookkeeping totals for one query execution.
+
+    ``retries`` counts storage-fault retries performed by the accessors
+    (their re-issued accesses are already included in the access counts
+    and therefore in ``cost``); ``simulated_io_wait_ms`` is the
+    accumulated exponential-backoff wait those retries would have slept
+    on real hardware.  Both are 0 in fault-free execution.
+    """
 
     sorted_accesses: int = 0
     random_accesses: int = 0
@@ -38,6 +45,8 @@ class QueryStats:
     rounds: int = 0
     peak_queue_size: int = 0
     wall_time_seconds: float = 0.0
+    retries: int = 0
+    simulated_io_wait_ms: float = 0.0
 
     @classmethod
     def from_meter(
@@ -46,6 +55,8 @@ class QueryStats:
         rounds: int = 0,
         peak_queue_size: int = 0,
         wall_time_seconds: float = 0.0,
+        retries: int = 0,
+        simulated_io_wait_ms: float = 0.0,
     ) -> "QueryStats":
         return cls(
             sorted_accesses=meter.sorted_accesses,
@@ -54,6 +65,8 @@ class QueryStats:
             rounds=rounds,
             peak_queue_size=peak_queue_size,
             wall_time_seconds=wall_time_seconds,
+            retries=retries,
+            simulated_io_wait_ms=simulated_io_wait_ms,
         )
 
 
@@ -89,12 +102,23 @@ class RoundTrace:
 
 @dataclass
 class TopKResult:
-    """Top-k answer plus the execution statistics that produced it."""
+    """Top-k answer plus the execution statistics that produced it.
+
+    ``degraded`` marks an *anytime* answer: the engine stopped before the
+    exact termination condition held — a deadline or cost budget expired,
+    or a list was dropped after exhausting its retry budget (those lists
+    are named in ``exhausted_lists``).  Every item still carries a
+    correct ``[worstscore, bestscore]`` interval: dropped lists freeze
+    their ``high_i`` contribution at the last value read, so the true
+    aggregated score of every item lies inside its interval.
+    """
 
     items: List[RankedItem] = field(default_factory=list)
     stats: QueryStats = field(default_factory=QueryStats)
     algorithm: str = ""
     trace: List[RoundTrace] = field(default_factory=list)
+    degraded: bool = False
+    exhausted_lists: List[str] = field(default_factory=list)
 
     @property
     def doc_ids(self) -> List[int]:

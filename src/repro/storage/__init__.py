@@ -1,15 +1,34 @@
 """Storage substrate: simulated disk costs and the inverted block-index."""
 
-from .accessors import RandomAccessor, SortedCursor
-from .block_index import DEFAULT_BLOCK_SIZE, IndexList, InvertedBlockIndex
+from .accessors import (
+    ListUnavailableError,
+    RandomAccessor,
+    RetryPolicy,
+    RetrySession,
+    SortedCursor,
+)
+from .block_index import (
+    DEFAULT_BLOCK_SIZE,
+    IndexList,
+    InvertedBlockIndex,
+    compute_block_checksum,
+)
 from .diskmodel import DEFAULT_COST_RATIO, AccessMeter, CostModel
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    FaultyIndexList,
+    IndexCorruptionError,
+    TransientIOError,
+)
 from .index_builder import (
     build_index,
     build_index_from_documents,
     build_index_list,
 )
 from .latency import DiskLatencyModel, DiskParameters
-from .serialization import load_index, save_index
+from .serialization import UnsupportedFormatError, load_index, save_index
 
 __all__ = [
     "AccessMeter",
@@ -18,13 +37,24 @@ __all__ = [
     "DEFAULT_COST_RATIO",
     "DiskLatencyModel",
     "DiskParameters",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "FaultyIndexList",
+    "IndexCorruptionError",
     "IndexList",
     "InvertedBlockIndex",
+    "ListUnavailableError",
     "RandomAccessor",
+    "RetryPolicy",
+    "RetrySession",
     "SortedCursor",
+    "TransientIOError",
+    "UnsupportedFormatError",
     "build_index",
     "build_index_from_documents",
     "build_index_list",
+    "compute_block_checksum",
     "load_index",
     "save_index",
 ]

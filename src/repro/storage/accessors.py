@@ -4,16 +4,113 @@ All query-time access to index data goes through these two classes so that
 every sorted access and every random access is charged to an
 :class:`~repro.storage.diskmodel.AccessMeter`.  The TA-family engine never
 touches :class:`~repro.storage.block_index.IndexList` directly.
+
+When the underlying index is wrapped by the fault-injection layer
+(:mod:`repro.storage.faults`), accesses can raise
+:class:`~repro.storage.faults.TransientIOError` or
+:class:`~repro.storage.faults.IndexCorruptionError`.  Both accessors
+recover via a per-operation retry loop with exponential backoff and
+jitter, governed by a per-query :class:`RetrySession`.  Every failed
+attempt is charged to the meter — a retried block read streams the block
+again, a retried probe seeks again — so robustness overhead shows up in
+the paper's ``COST = #SA + (cR/cS) * #RA`` metric instead of hiding
+outside it.  An accessor that exhausts its retries marks itself
+``failed``; the engine then drops the list and degrades gracefully
+(see :mod:`repro.core.engine`).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
 
 from .block_index import IndexList
 from .diskmodel import AccessMeter
+from .faults import IndexCorruptionError, TransientIOError
+
+#: Exceptions the retry loop treats as recoverable storage faults.
+_RETRYABLE = (TransientIOError, IndexCorruptionError)
+
+
+class ListUnavailableError(IOError):
+    """An index list gave up after exhausting its retries."""
+
+    def __init__(self, term: str, kind: str) -> None:
+        super().__init__(
+            "list %r unavailable: %s access retries exhausted" % (term, kind)
+        )
+        self.term = term
+        self.kind = kind
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff and budget parameters for fault recovery.
+
+    ``max_attempts`` bounds attempts per single operation (first try
+    included); ``query_budget`` bounds total retries across one whole
+    query, so a persistently failing list cannot consume unbounded cost.
+    Backoff is exponential with multiplicative jitter; it is *simulated*
+    (accumulated in milliseconds, never slept), matching the simulated
+    disk of :mod:`repro.storage.latency`.
+    """
+
+    max_attempts: int = 4
+    base_backoff_ms: float = 1.0
+    backoff_multiplier: float = 2.0
+    max_backoff_ms: float = 1000.0
+    jitter: float = 0.25
+    query_budget: int = 256
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_backoff_ms < 0 or self.max_backoff_ms < 0:
+            raise ValueError("backoff times must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be at least 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+        if self.query_budget < 0:
+            raise ValueError("query_budget must be non-negative")
+
+
+class RetrySession:
+    """Per-query retry state shared by all of the query's accessors.
+
+    Tracks the query-wide retry budget and the simulated backoff wait.
+    The jitter generator is seeded from the policy, so identical runs
+    produce identical backoff sequences (chaos determinism).
+    """
+
+    def __init__(self, policy: RetryPolicy) -> None:
+        self.policy = policy
+        self.retries = 0
+        self.waited_ms = 0.0
+        self._rng = np.random.default_rng(policy.seed)
+
+    def grant(self, failures: int) -> bool:
+        """Whether a retry is allowed after ``failures`` failed attempts.
+
+        Granting consumes one unit of the query budget and accrues the
+        simulated backoff wait for this attempt.
+        """
+        policy = self.policy
+        if failures >= policy.max_attempts:
+            return False
+        if self.retries >= policy.query_budget:
+            return False
+        self.retries += 1
+        backoff = min(
+            policy.base_backoff_ms
+            * policy.backoff_multiplier ** (failures - 1),
+            policy.max_backoff_ms,
+        )
+        self.waited_ms += backoff * (1.0 + policy.jitter * float(self._rng.random()))
+        return True
 
 
 class SortedCursor:
@@ -23,9 +120,16 @@ class SortedCursor:
     index, Sec. 4) and charges one sorted access per index entry delivered.
     """
 
-    def __init__(self, index_list: IndexList, meter: AccessMeter) -> None:
+    def __init__(
+        self,
+        index_list: IndexList,
+        meter: AccessMeter,
+        retry: Optional[RetrySession] = None,
+    ) -> None:
         self._list = index_list
         self._meter = meter
+        self._retry = retry
+        self._failed = False
         self._next_block = 0
         self._position = 0  # number of entries delivered so far (pos_i)
 
@@ -54,11 +158,24 @@ class SortedCursor:
 
     @property
     def blocks_remaining(self) -> int:
+        if self._failed:
+            return 0
         return self._list.num_blocks - self._next_block
 
     @property
+    def failed(self) -> bool:
+        """True once the list's sorted-access path gave up on a fault."""
+        return self._failed
+
+    @property
     def exhausted(self) -> bool:
-        return self._position >= self.list_length
+        """True when no further sorted access can deliver entries.
+
+        A failed cursor counts as exhausted for scheduling purposes, but
+        keeps its scan position — so :attr:`high` stays frozen at the
+        last known bound, which keeps every bestscore interval correct.
+        """
+        return self._failed or self._position >= self.list_length
 
     @property
     def high(self) -> float:
@@ -79,25 +196,50 @@ class SortedCursor:
         Returns ``(doc_ids, scores)`` concatenated over the blocks read,
         doc-id-sorted per block (callers merge block-wise).  Reading past the
         end of the list silently truncates; reading zero blocks returns empty
-        arrays.  Charges one SA per entry actually delivered.
+        arrays.  Charges one SA per entry actually delivered; failed read
+        attempts additionally charge the entries they streamed.  If a block
+        cannot be read within the retry policy, the cursor marks itself
+        :attr:`failed` and returns whatever it read before the failure.
         """
         if num_blocks < 0:
             raise ValueError("num_blocks must be non-negative")
         stop_block = min(self._next_block + num_blocks, self._list.num_blocks)
-        if stop_block == self._next_block:
+        if stop_block == self._next_block or self._failed:
             return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
         doc_parts = []
         score_parts = []
         for block in range(self._next_block, stop_block):
-            doc_ids, scores = self._list.read_block(block)
-            doc_parts.append(doc_ids)
-            score_parts.append(scores)
-        self._next_block = stop_block
+            fetched = self._read_block_resilient(block)
+            if fetched is None:
+                break
+            doc_parts.append(fetched[0])
+            score_parts.append(fetched[1])
+            self._next_block = block + 1
+        if not doc_parts:
+            return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
         doc_ids = np.concatenate(doc_parts)
         scores = np.concatenate(score_parts)
         self._position += int(doc_ids.size)
         self._meter.charge_sorted(int(doc_ids.size))
         return doc_ids, scores
+
+    def _read_block_resilient(
+        self, block: int
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """One block read with retries; None once the list gives up."""
+        failures = 0
+        while True:
+            try:
+                return self._list.read_block(block)
+            except _RETRYABLE:
+                # The failed attempt still streamed the block off the
+                # (simulated) disk: charge its entries as sorted accesses.
+                start, stop = self._list.block_bounds(block)
+                self._meter.charge_sorted(stop - start)
+                failures += 1
+                if self._retry is None or not self._retry.grant(failures):
+                    self._failed = True
+                    return None
 
 
 class RandomAccessor:
@@ -108,9 +250,16 @@ class RandomAccessor:
     random access.
     """
 
-    def __init__(self, index_list: IndexList, meter: AccessMeter) -> None:
+    def __init__(
+        self,
+        index_list: IndexList,
+        meter: AccessMeter,
+        retry: Optional[RetrySession] = None,
+    ) -> None:
         self._list = index_list
         self._meter = meter
+        self._retry = retry
+        self._failed = False
         self.probes = 0
 
     @property
@@ -121,9 +270,31 @@ class RandomAccessor:
     def list_length(self) -> int:
         return len(self._list)
 
+    @property
+    def failed(self) -> bool:
+        """True once the list's random-access path gave up on a fault."""
+        return self._failed
+
     def probe(self, doc_id: int) -> float:
-        """Look up ``doc_id``; returns its score, or 0.0 if absent."""
-        self._meter.charge_random(1)
-        self.probes += 1
-        score = self._list.lookup(doc_id)
-        return 0.0 if score is None else score
+        """Look up ``doc_id``; returns its score, or 0.0 if absent.
+
+        Faulty lookups are retried within the policy; every attempt
+        (including failed ones) charges one random access.  Raises
+        :class:`ListUnavailableError` once retries are exhausted — the
+        list is then permanently failed for this query.
+        """
+        if self._failed:
+            raise ListUnavailableError(self.term, "random")
+        failures = 0
+        while True:
+            self._meter.charge_random(1)
+            self.probes += 1
+            try:
+                score = self._list.lookup(doc_id)
+            except _RETRYABLE:
+                failures += 1
+                if self._retry is None or not self._retry.grant(failures):
+                    self._failed = True
+                    raise ListUnavailableError(self.term, "random")
+                continue
+            return 0.0 if score is None else score

@@ -16,9 +16,25 @@ polluting query cost counters.
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
+
+
+def compute_block_checksum(doc_ids: np.ndarray, scores: np.ndarray) -> int:
+    """CRC32 over one block's canonical payload bytes.
+
+    The checksum covers the doc-id array (int64) followed by the score
+    array (float64) in the block's doc-id-sorted layout — the exact bytes
+    a block read delivers.  Used by index persistence
+    (:mod:`repro.storage.serialization`) and by the fault-injection layer
+    (:mod:`repro.storage.faults`) to detect corrupted payloads.
+    """
+    crc = zlib.crc32(np.ascontiguousarray(doc_ids, dtype=np.int64).tobytes())
+    return zlib.crc32(
+        np.ascontiguousarray(scores, dtype=np.float64).tobytes(), crc
+    )
 
 #: Default number of entries per block.  The paper uses 32,768 for
 #: multi-terabyte data; our scaled-down synthetic collections default to a
@@ -81,6 +97,7 @@ class IndexList:
         self._score_by_doc: Dict[int, float] = dict(
             zip(self._doc_ids_by_rank.tolist(), self._scores_by_rank.tolist())
         )
+        self._block_crcs: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Basic geometry
@@ -129,6 +146,18 @@ class IndexList:
         """Return ``(doc_ids, scores)`` of one block, doc-id sorted."""
         start, stop = self.block_bounds(block)
         return self._block_doc_ids[start:stop], self._block_scores[start:stop]
+
+    def block_checksum(self, block: int) -> int:
+        """CRC32 of one block's payload (computed once, then cached)."""
+        cached = self._block_crcs.get(block)
+        if cached is None:
+            start, stop = self.block_bounds(block)
+            cached = compute_block_checksum(
+                self._block_doc_ids[start:stop],
+                self._block_scores[start:stop],
+            )
+            self._block_crcs[block] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Random access

@@ -1,0 +1,262 @@
+"""Storage fault injection: deterministic chaos for the block-index.
+
+Production index servers lose blocks, time out, and return corrupted
+pages; the paper's cost model (and Fagin-style TA processing in general)
+assumes every access succeeds.  This module makes failure a first-class,
+*reproducible* input to the engine:
+
+* :class:`FaultPlan` — a declarative, seeded description of the fault
+  load: transient I/O errors on block reads and random-access probes,
+  latency spikes (fed into :mod:`repro.storage.latency` estimates), and
+  bit-flip corruption of block payloads.  ``dead_terms`` marks lists that
+  fail *every* access, for forcing retry-budget exhaustion.
+* :class:`FaultInjector` — draws faults from the plan with its own
+  ``numpy`` generator, so the same plan over the same access sequence
+  produces the same faults, run after run.
+* :class:`FaultyIndexList` — wraps an :class:`IndexList` so that faults
+  fire exactly where real I/O happens: :meth:`IndexList.read_block` and
+  :meth:`IndexList.lookup`.  Every block read through the fault layer is
+  verified against the list's CRC32 block checksum, so corruption
+  surfaces as a typed fault instead of silently wrong scores.
+
+The retry/backoff machinery that *consumes* these faults lives in
+:mod:`repro.storage.accessors`; the engine-level degradation (dropped
+lists, anytime results) lives in :mod:`repro.core.engine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .block_index import IndexList, InvertedBlockIndex, compute_block_checksum
+
+
+class TransientIOError(IOError):
+    """A retryable storage failure (lost page, timeout, flaky NIC)."""
+
+
+class IndexCorruptionError(IOError):
+    """Index data failed an integrity check (checksum mismatch,
+    truncated or undecodable file)."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of one fault-injection campaign.
+
+    All rates are per-access probabilities in ``[0, 1]``.  A plan with
+    every rate at zero and no dead terms is *inert*: wrapping an index
+    with it is a no-op, which is the zero-overhead guarantee the chaos
+    tests pin down.
+    """
+
+    seed: int = 0
+    #: probability that a block read raises :class:`TransientIOError`
+    read_fault_rate: float = 0.0
+    #: probability that a random-access probe raises :class:`TransientIOError`
+    probe_fault_rate: float = 0.0
+    #: probability that a block read returns a bit-flipped payload
+    #: (caught by the CRC check and surfaced as a corruption fault)
+    corruption_rate: float = 0.0
+    #: probability that an access is delayed by ``latency_spike_ms``
+    latency_spike_rate: float = 0.0
+    #: simulated extra latency per spike, in milliseconds
+    latency_spike_ms: float = 50.0
+    #: lists whose every access fails (forces retry-budget exhaustion)
+    dead_terms: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("read_fault_rate", "probe_fault_rate",
+                     "corruption_rate", "latency_spike_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("%s must be within [0, 1]" % name)
+        if self.latency_spike_ms < 0:
+            raise ValueError("latency_spike_ms must be non-negative")
+        object.__setattr__(self, "dead_terms", tuple(self.dead_terms))
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0,
+                corruption_rate: float = 0.0) -> "FaultPlan":
+        """Transient faults at ``rate`` on both access kinds."""
+        return cls(
+            seed=seed,
+            read_fault_rate=rate,
+            probe_fault_rate=rate,
+            corruption_rate=corruption_rate,
+        )
+
+    @property
+    def is_inert(self) -> bool:
+        """True when the plan can never produce a fault."""
+        return (
+            self.read_fault_rate == 0.0
+            and self.probe_fault_rate == 0.0
+            and self.corruption_rate == 0.0
+            and self.latency_spike_rate == 0.0
+            and not self.dead_terms
+        )
+
+
+@dataclass
+class FaultStats:
+    """Counters of everything an injector did, for chaos reporting."""
+
+    block_reads: int = 0
+    probes: int = 0
+    transient_read_faults: int = 0
+    transient_probe_faults: int = 0
+    corrupted_blocks: int = 0
+    latency_spikes: int = 0
+    injected_latency_ms: float = 0.0
+
+    @property
+    def total_faults(self) -> int:
+        return (
+            self.transient_read_faults
+            + self.transient_probe_faults
+            + self.corrupted_blocks
+        )
+
+
+class FaultInjector:
+    """Seeded fault source shared by every wrapped list of one index.
+
+    Faults are drawn access-by-access from a private generator, so a
+    fixed plan plus a deterministic access sequence yields a
+    bit-identical fault sequence — the property the determinism tests
+    (and any debugging session replaying a chaos run) rely on.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.stats = FaultStats()
+        self._rng = np.random.default_rng(plan.seed)
+        self._dead = frozenset(plan.dead_terms)
+
+    # ------------------------------------------------------------------
+    # Fault draws (one per physical access)
+    # ------------------------------------------------------------------
+    def _maybe_spike(self) -> None:
+        plan = self.plan
+        if plan.latency_spike_rate and self._rng.random() < plan.latency_spike_rate:
+            self.stats.latency_spikes += 1
+            self.stats.injected_latency_ms += plan.latency_spike_ms
+
+    def read_block(self, inner: IndexList, block: int) -> Tuple[np.ndarray, np.ndarray]:
+        """One faulty block read; raises instead of returning bad data."""
+        plan = self.plan
+        self.stats.block_reads += 1
+        if inner.term in self._dead:
+            self.stats.transient_read_faults += 1
+            raise TransientIOError(
+                "list %r is unavailable (dead term)" % inner.term
+            )
+        self._maybe_spike()
+        if plan.read_fault_rate and self._rng.random() < plan.read_fault_rate:
+            self.stats.transient_read_faults += 1
+            raise TransientIOError(
+                "transient read fault on list %r block %d"
+                % (inner.term, block)
+            )
+        doc_ids, scores = inner.read_block(block)
+        if plan.corruption_rate and self._rng.random() < plan.corruption_rate:
+            doc_ids, scores = self._flip_bit(doc_ids, scores)
+        if compute_block_checksum(doc_ids, scores) != inner.block_checksum(block):
+            self.stats.corrupted_blocks += 1
+            raise IndexCorruptionError(
+                "checksum mismatch on list %r block %d" % (inner.term, block)
+            )
+        return doc_ids, scores
+
+    def lookup(self, inner: IndexList, doc_id: int) -> Optional[float]:
+        """One faulty random-access probe."""
+        plan = self.plan
+        self.stats.probes += 1
+        if inner.term in self._dead:
+            self.stats.transient_probe_faults += 1
+            raise TransientIOError(
+                "list %r is unavailable (dead term)" % inner.term
+            )
+        self._maybe_spike()
+        if plan.probe_fault_rate and self._rng.random() < plan.probe_fault_rate:
+            self.stats.transient_probe_faults += 1
+            raise TransientIOError(
+                "transient probe fault on list %r doc %d"
+                % (inner.term, doc_id)
+            )
+        return inner.lookup(doc_id)
+
+    def _flip_bit(
+        self, doc_ids: np.ndarray, scores: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Flip one random bit of one score in a copied payload."""
+        scores = scores.copy()
+        entry = int(self._rng.integers(0, scores.size))
+        bit = int(self._rng.integers(0, 64))
+        bits = scores.view(np.uint64)
+        bits[entry] ^= np.uint64(1) << np.uint64(bit)
+        return doc_ids, scores
+
+    # ------------------------------------------------------------------
+    # Index wrapping
+    # ------------------------------------------------------------------
+    def wrap_index(self, index: InvertedBlockIndex) -> InvertedBlockIndex:
+        """Wrap every list of ``index`` behind the fault layer.
+
+        Inert plans return ``index`` unchanged — the zero-overhead path:
+        a fault-free configuration must be byte-identical to never having
+        heard of fault injection at all.
+        """
+        if self.plan.is_inert:
+            return index
+        wrapped = {
+            term: FaultyIndexList(index.list_for(term), self)
+            for term in index.terms
+        }
+        return InvertedBlockIndex(wrapped, num_docs=index.num_docs)
+
+
+class FaultyIndexList:
+    """An :class:`IndexList` whose I/O entry points inject faults.
+
+    Only :meth:`read_block` and :meth:`lookup` — the two operations that
+    correspond to physical I/O in the paper's storage model — go through
+    the injector.  Everything else (geometry, statistics views used by
+    histogram builders) delegates to the clean inner list: statistics
+    are precomputed offline, not streamed at query time.
+    """
+
+    def __init__(self, inner: IndexList, injector: FaultInjector) -> None:
+        self._inner = inner
+        self._injector = injector
+
+    @property
+    def inner(self) -> IndexList:
+        """The clean wrapped list (oracle tooling and tests only)."""
+        return self._inner
+
+    def read_block(self, block: int) -> Tuple[np.ndarray, np.ndarray]:
+        return self._injector.read_block(self._inner, block)
+
+    def lookup(self, doc_id: int) -> Optional[float]:
+        return self._injector.lookup(self._inner, doc_id)
+
+    # Delegate the passive API (term, geometry, rank views, checksums).
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self._inner
+
+    def __iter__(self) -> Iterator:
+        return iter(self._inner)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "FaultyIndexList(%r)" % (self._inner,)

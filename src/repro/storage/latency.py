@@ -97,11 +97,21 @@ class DiskLatencyModel:
         return lookups * (p.seek_time_ms + 1.0 / p.transfer_entries_per_ms)
 
     def estimate_ms(self, sorted_accesses: float,
-                    random_accesses: float) -> float:
-        """Total simulated I/O time for one query execution."""
+                    random_accesses: float,
+                    extra_ms: float = 0.0) -> float:
+        """Total simulated I/O time for one query execution.
+
+        ``extra_ms`` folds in time the access counts cannot see — injected
+        latency spikes (:class:`~repro.storage.faults.FaultStats`
+        ``injected_latency_ms``) and simulated retry backoff
+        (:class:`~repro.storage.accessors.RetrySession` ``waited_ms``) —
+        so chaos experiments report wall-clock-equivalent I/O time.
+        """
+        if extra_ms < 0:
+            raise ValueError("extra_ms must be non-negative")
         return self.sorted_access_ms(sorted_accesses) + self.random_access_ms(
             random_accesses
-        )
+        ) + extra_ms
 
     def implied_cost_ratio(self) -> float:
         """The ``cR/cS`` this hardware implies (per-entry time ratio)."""

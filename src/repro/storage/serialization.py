@@ -5,20 +5,37 @@ dependency-free on-disk format so collections can be built once and reused
 across sessions.  The format stores each list's postings plus the global
 metadata; block layout is rebuilt deterministically on load (the layout is
 a pure function of the postings and the block size).
+
+Format version 2 adds integrity: one CRC32 checksum per block (the same
+:func:`~repro.storage.block_index.compute_block_checksum` the fault layer
+uses at query time) is written next to each list and re-verified on load.
+A truncated, bit-flipped, or otherwise undecodable file raises a typed
+:class:`~repro.storage.faults.IndexCorruptionError` instead of producing
+garbage scores.  Version-1 files (no checksums) still load, unverified.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
+import zipfile
+import zlib
 from typing import Union
 
 import numpy as np
 
 from .block_index import IndexList, InvertedBlockIndex
+from .faults import IndexCorruptionError
 
 #: Format version written into every file; bump on incompatible changes.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Versions :func:`load_index` understands.
+_READABLE_VERSIONS = (1, 2)
+
+
+class UnsupportedFormatError(ValueError):
+    """The file is intact but written in an unknown format version."""
 
 
 def save_index(
@@ -42,27 +59,83 @@ def save_index(
         index_list = index.list_for(term)
         arrays["docs_%d" % position] = index_list.doc_ids_by_rank
         arrays["scores_%d" % position] = index_list.scores_by_rank
+        arrays["crc_%d" % position] = np.array(
+            [
+                index_list.block_checksum(block)
+                for block in range(index_list.num_blocks)
+            ],
+            dtype=np.uint64,
+        )
     with path.open("wb") as handle:
         np.savez_compressed(handle, **arrays)
 
 
 def load_index(path: Union[str, pathlib.Path]) -> InvertedBlockIndex:
-    """Load an index previously written by :func:`save_index`."""
+    """Load an index previously written by :func:`save_index`.
+
+    Raises :class:`FileNotFoundError` for a missing file,
+    :class:`UnsupportedFormatError` for an unknown format version, and
+    :class:`IndexCorruptionError` for anything that fails integrity
+    checks — truncated archives, undecodable metadata, bit-flipped
+    payloads, or per-block checksum mismatches.
+    """
     path = pathlib.Path(path)
-    with np.load(path) as archive:
-        metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
-        version = metadata.get("format_version")
-        if version != FORMAT_VERSION:
-            raise ValueError(
-                "unsupported index format version %r (expected %d)"
-                % (version, FORMAT_VERSION)
+    if not path.exists():
+        raise FileNotFoundError(str(path))
+    try:
+        with np.load(path) as archive:
+            metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
+            version = metadata.get("format_version")
+            if version not in _READABLE_VERSIONS:
+                raise UnsupportedFormatError(
+                    "unsupported index format version %r (expected one of %s)"
+                    % (version, list(_READABLE_VERSIONS))
+                )
+            lists = {}
+            for position, term in enumerate(metadata["terms"]):
+                index_list = IndexList(
+                    term,
+                    archive["docs_%d" % position],
+                    archive["scores_%d" % position],
+                    block_size=metadata["block_sizes"][position],
+                )
+                if version >= 2:
+                    _verify_checksums(
+                        index_list, archive["crc_%d" % position], term
+                    )
+                lists[term] = index_list
+            num_docs = metadata["num_docs"]
+    except (IndexCorruptionError, UnsupportedFormatError):
+        raise
+    except (
+        zipfile.BadZipFile,
+        zlib.error,
+        EOFError,
+        OSError,
+        KeyError,
+        ValueError,
+        RuntimeError,  # zipfile raises this for, e.g., flipped flag bits
+    ) as exc:
+        # Anything that keeps the archive from decoding cleanly —
+        # truncation, flipped bits inside the compressed streams, missing
+        # members, postings that violate index invariants — is corruption.
+        raise IndexCorruptionError(
+            "index file %s is corrupted: %s" % (path, exc)
+        ) from exc
+    return InvertedBlockIndex(lists, num_docs=num_docs)
+
+
+def _verify_checksums(
+    index_list: IndexList, stored: np.ndarray, term: str
+) -> None:
+    stored = np.asarray(stored, dtype=np.uint64)
+    if int(stored.size) != index_list.num_blocks:
+        raise IndexCorruptionError(
+            "checksum table of list %r has %d entries for %d blocks"
+            % (term, int(stored.size), index_list.num_blocks)
+        )
+    for block in range(index_list.num_blocks):
+        if int(stored[block]) != index_list.block_checksum(block):
+            raise IndexCorruptionError(
+                "checksum mismatch in list %r block %d" % (term, block)
             )
-        lists = {}
-        for position, term in enumerate(metadata["terms"]):
-            lists[term] = IndexList(
-                term,
-                archive["docs_%d" % position],
-                archive["scores_%d" % position],
-                block_size=metadata["block_sizes"][position],
-            )
-    return InvertedBlockIndex(lists, num_docs=metadata["num_docs"])

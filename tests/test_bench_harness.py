@@ -67,7 +67,7 @@ class TestExperimentTable:
 class TestExperiments:
     def test_registry_covers_the_paper(self):
         paper = {"e%d" % n for n in range(1, 11)}
-        extensions = {"e11", "e12", "e13"}
+        extensions = {"e11", "e12", "e13", "e14"}
         assert set(ALL_EXPERIMENTS) == paper | extensions
 
     def test_unknown_experiment(self, harness):

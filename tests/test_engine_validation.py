@@ -1,0 +1,57 @@
+"""Input validation: bad queries fail fast with clear errors (satellite b)."""
+
+import pytest
+
+from repro.core.algorithms import TopKProcessor, run_query
+from repro.core.engine import QueryState
+
+from tests.helpers import make_random_index
+
+
+@pytest.fixture(scope="module")
+def setup():
+    index, terms = make_random_index(seed=2)
+    return index, terms, TopKProcessor(index, cost_ratio=1000.0)
+
+
+@pytest.mark.parametrize("k", [0, -1, -50])
+def test_nonpositive_k_rejected(setup, k):
+    index, terms, processor = setup
+    with pytest.raises(ValueError, match="k must be positive"):
+        processor.query(terms, k, algorithm="KSR-Last-Ben")
+
+
+def test_empty_terms_rejected(setup):
+    index, terms, processor = setup
+    with pytest.raises(ValueError, match="at least one term"):
+        processor.query([], 10, algorithm="KSR-Last-Ben")
+
+
+def test_full_merge_rejects_same_inputs(setup):
+    index, terms, processor = setup
+    with pytest.raises(ValueError):
+        processor.full_merge(terms, 0)
+    with pytest.raises(ValueError):
+        processor.full_merge([], 10)
+
+
+def test_run_query_rejects_bad_k(setup):
+    index, terms, _ = setup
+    with pytest.raises(ValueError, match="k must be positive"):
+        run_query(index, terms, 0)
+
+
+def test_query_state_rejects_directly(setup):
+    index, terms, processor = setup
+    with pytest.raises(ValueError):
+        QueryState(index, processor.stats, terms, 0,
+                   processor.engine.cost_model)
+    with pytest.raises(ValueError):
+        QueryState(index, processor.stats, [], 5,
+                   processor.engine.cost_model)
+
+
+def test_valid_query_still_works(setup):
+    index, terms, processor = setup
+    result = processor.query(terms, 1, algorithm="KSR-Last-Ben")
+    assert len(result.doc_ids) == 1

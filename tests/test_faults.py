@@ -1,0 +1,245 @@
+"""Unit tests for the storage fault-injection layer."""
+
+import numpy as np
+import pytest
+
+from repro.storage.accessors import (
+    ListUnavailableError,
+    RandomAccessor,
+    RetryPolicy,
+    RetrySession,
+    SortedCursor,
+)
+from repro.storage.block_index import IndexList, compute_block_checksum
+from repro.storage.diskmodel import AccessMeter
+from repro.storage.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultyIndexList,
+    IndexCorruptionError,
+    TransientIOError,
+)
+
+from tests.helpers import make_random_index
+
+
+def make_list(n=100, block_size=16, seed=0):
+    rng = np.random.default_rng(seed)
+    docs = rng.choice(10 * n, size=n, replace=False)
+    return IndexList("t", docs, rng.random(n), block_size=block_size)
+
+
+class TestFaultPlan:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(read_fault_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(probe_fault_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(latency_spike_ms=-1.0)
+
+    def test_inertness(self):
+        assert FaultPlan().is_inert
+        assert not FaultPlan(read_fault_rate=0.1).is_inert
+        assert not FaultPlan(dead_terms=("t",)).is_inert
+        assert FaultPlan.uniform(0.0).is_inert
+
+    def test_inert_wrap_is_identity(self, small_index):
+        index, _ = small_index
+        assert FaultInjector(FaultPlan()).wrap_index(index) is index
+
+    def test_noninert_wrap_wraps_every_list(self, small_index):
+        index, terms = small_index
+        wrapped = FaultInjector(FaultPlan(read_fault_rate=0.1)).wrap_index(index)
+        assert wrapped is not index
+        assert wrapped.num_docs == index.num_docs
+        for term in terms:
+            assert isinstance(wrapped.list_for(term), FaultyIndexList)
+
+
+class TestChecksums:
+    def test_block_checksum_stable(self):
+        lst = make_list()
+        assert lst.block_checksum(0) == lst.block_checksum(0)
+        docs, scores = lst.read_block(0)
+        assert compute_block_checksum(docs, scores) == lst.block_checksum(0)
+
+    def test_checksum_detects_any_flip(self):
+        lst = make_list()
+        docs, scores = lst.read_block(1)
+        bad = scores.copy()
+        bad.view(np.uint64)[0] ^= np.uint64(1) << np.uint64(17)
+        assert compute_block_checksum(docs, bad) != lst.block_checksum(1)
+
+
+class TestFaultInjector:
+    def test_transient_faults_are_deterministic(self):
+        lst = make_list()
+        plan = FaultPlan(seed=5, read_fault_rate=0.5)
+
+        def fault_pattern():
+            injector = FaultInjector(plan)
+            pattern = []
+            for block in range(lst.num_blocks):
+                try:
+                    injector.read_block(lst, block)
+                    pattern.append(False)
+                except TransientIOError:
+                    pattern.append(True)
+            return pattern, injector.stats.transient_read_faults
+
+        first, faults1 = fault_pattern()
+        second, faults2 = fault_pattern()
+        assert first == second
+        assert faults1 == faults2 > 0
+
+    def test_corruption_raises_typed_error(self):
+        lst = make_list()
+        injector = FaultInjector(FaultPlan(seed=1, corruption_rate=1.0))
+        with pytest.raises(IndexCorruptionError):
+            injector.read_block(lst, 0)
+        assert injector.stats.corrupted_blocks == 1
+
+    def test_dead_term_fails_every_access(self):
+        lst = make_list()
+        injector = FaultInjector(FaultPlan(dead_terms=("t",)))
+        with pytest.raises(TransientIOError):
+            injector.read_block(lst, 0)
+        with pytest.raises(TransientIOError):
+            injector.lookup(lst, 3)
+
+    def test_latency_spikes_accumulate(self):
+        lst = make_list()
+        injector = FaultInjector(
+            FaultPlan(latency_spike_rate=1.0, latency_spike_ms=7.0)
+        )
+        injector.read_block(lst, 0)
+        injector.lookup(lst, 3)
+        assert injector.stats.latency_spikes == 2
+        assert injector.stats.injected_latency_ms == pytest.approx(14.0)
+
+    def test_faulty_list_delegates_passive_api(self):
+        lst = make_list()
+        wrapped = FaultyIndexList(lst, FaultInjector(FaultPlan(read_fault_rate=0.1)))
+        assert len(wrapped) == len(lst)
+        assert wrapped.term == lst.term
+        assert wrapped.num_blocks == lst.num_blocks
+        assert wrapped.score_at_rank(0) == lst.score_at_rank(0)
+        assert np.array_equal(wrapped.doc_ids_by_rank, lst.doc_ids_by_rank)
+        assert int(lst.doc_ids_by_rank[0]) in wrapped
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+
+    def test_session_respects_attempt_cap(self):
+        session = RetrySession(RetryPolicy(max_attempts=3, query_budget=100))
+        assert session.grant(1)
+        assert session.grant(2)
+        assert not session.grant(3)
+
+    def test_session_respects_query_budget(self):
+        session = RetrySession(RetryPolicy(max_attempts=10, query_budget=2))
+        assert session.grant(1)
+        assert session.grant(1)
+        assert not session.grant(1)
+        assert session.retries == 2
+
+    def test_backoff_grows_and_is_simulated(self):
+        session = RetrySession(
+            RetryPolicy(base_backoff_ms=2.0, backoff_multiplier=3.0,
+                        jitter=0.0, max_attempts=10, query_budget=10)
+        )
+        session.grant(1)
+        first = session.waited_ms
+        session.grant(2)
+        assert first == pytest.approx(2.0)
+        assert session.waited_ms == pytest.approx(2.0 + 6.0)
+
+
+class TestResilientAccessors:
+    def test_cursor_retries_and_charges_failed_attempts(self):
+        lst = make_list(n=64, block_size=16)
+        injector = FaultInjector(FaultPlan(seed=3, read_fault_rate=0.4))
+        wrapped = FaultyIndexList(lst, injector)
+        meter = AccessMeter()
+        retry = RetrySession(RetryPolicy(max_attempts=10, query_budget=1000))
+        cursor = SortedCursor(wrapped, meter, retry=retry)
+        docs, scores = cursor.read_next_blocks(4)
+        assert docs.size == 64
+        assert not cursor.failed
+        failed_attempts = injector.stats.transient_read_faults
+        assert retry.retries == failed_attempts > 0
+        # every failed attempt charged one block of sorted accesses
+        assert meter.sorted_accesses == 64 + 16 * failed_attempts
+
+    def test_cursor_gives_up_and_freezes_high(self):
+        lst = make_list(n=64, block_size=16)
+        injector = FaultInjector(FaultPlan(dead_terms=("t",)))
+        wrapped = FaultyIndexList(lst, injector)
+        cursor = SortedCursor(
+            wrapped, AccessMeter(),
+            retry=RetrySession(RetryPolicy(max_attempts=2, query_budget=10)),
+        )
+        high_before = cursor.high
+        docs, _ = cursor.read_next_blocks(2)
+        assert docs.size == 0
+        assert cursor.failed and cursor.exhausted
+        assert cursor.blocks_remaining == 0
+        assert cursor.position == 0
+        assert cursor.high == high_before  # frozen bound stays correct
+
+    def test_cursor_partial_delivery_before_failure(self):
+        lst = make_list(n=64, block_size=16)
+
+        class FailSecondBlock:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def read_block(self, block):
+                if block == 1:
+                    raise TransientIOError("block 1 lost")
+                return self._inner.read_block(block)
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+            def __len__(self):
+                return len(self._inner)
+
+        cursor = SortedCursor(FailSecondBlock(lst), AccessMeter())
+        docs, _ = cursor.read_next_blocks(4)
+        assert docs.size == 16  # first block delivered, then gave up
+        assert cursor.failed
+        assert cursor.position == 16
+
+    def test_random_accessor_retries_then_fails_permanently(self):
+        lst = make_list()
+        injector = FaultInjector(FaultPlan(dead_terms=("t",)))
+        wrapped = FaultyIndexList(lst, injector)
+        meter = AccessMeter()
+        accessor = RandomAccessor(
+            wrapped, meter,
+            retry=RetrySession(RetryPolicy(max_attempts=3, query_budget=10)),
+        )
+        with pytest.raises(ListUnavailableError):
+            accessor.probe(1)
+        assert accessor.failed
+        assert meter.random_accesses == 3  # every attempt charged
+        with pytest.raises(ListUnavailableError):
+            accessor.probe(1)
+        assert meter.random_accesses == 3  # failed accessor charges nothing
+
+    def test_no_retry_session_fails_on_first_fault(self):
+        lst = make_list()
+        injector = FaultInjector(FaultPlan(dead_terms=("t",)))
+        wrapped = FaultyIndexList(lst, injector)
+        cursor = SortedCursor(wrapped, AccessMeter())
+        cursor.read_next_blocks(1)
+        assert cursor.failed

@@ -1,0 +1,151 @@
+"""End-to-end chaos tests: the engine under injected storage faults.
+
+Satellite (d) of the robustness PR: a seeded fault plan must give
+identical results across runs, a zero-rate plan must be byte-identical
+to the fault-free engine, moderate fault rates must still yield the
+exact top-k via retries, and a dead list must produce an honestly
+degraded anytime result whose score intervals contain the truth.
+"""
+
+import pytest
+
+from repro.core.algorithms import TopKProcessor
+from repro.core.engine import QueryDeadline
+from repro.storage.accessors import RetryPolicy
+from repro.storage.faults import FaultInjector, FaultPlan
+
+from tests.helpers import make_random_index, true_score
+
+
+K = 10
+ALGORITHM = "KSR-Last-Ben"
+
+
+def chaos_processor(index, plan, **retry_kwargs):
+    injector = FaultInjector(plan)
+    return TopKProcessor(
+        injector.wrap_index(index),
+        cost_ratio=1000.0,
+        retry_policy=RetryPolicy(**retry_kwargs),
+    )
+
+
+class TestZeroRatePlan:
+    def test_identical_to_fault_free_engine(self):
+        index, terms = make_random_index(seed=11)
+        clean = TopKProcessor(index, cost_ratio=1000.0)
+        chaotic = chaos_processor(index, FaultPlan.uniform(0.0))
+
+        expected = clean.query(terms, K, algorithm=ALGORITHM)
+        actual = chaotic.query(terms, K, algorithm=ALGORITHM)
+
+        assert actual.doc_ids == expected.doc_ids
+        assert [i.worstscore for i in actual.items] == \
+               [i.worstscore for i in expected.items]
+        assert actual.stats.sorted_accesses == expected.stats.sorted_accesses
+        assert actual.stats.random_accesses == expected.stats.random_accesses
+        assert actual.stats.cost == expected.stats.cost
+        assert actual.stats.retries == 0
+        assert actual.stats.simulated_io_wait_ms == 0.0
+        assert not actual.degraded
+        assert actual.exhausted_lists == []
+
+
+class TestSeededFaults:
+    def test_five_percent_faults_recovered_exactly(self):
+        index, terms = make_random_index(seed=7)
+        clean = TopKProcessor(index, cost_ratio=1000.0)
+        plan = FaultPlan.uniform(0.05, seed=42, corruption_rate=0.01)
+        chaotic = chaos_processor(index, plan)
+
+        expected = clean.query(terms, K, algorithm=ALGORITHM)
+        actual = chaotic.query(terms, K, algorithm=ALGORITHM)
+
+        assert actual.doc_ids == expected.doc_ids
+        assert not actual.degraded
+        assert actual.stats.retries > 0
+        assert actual.stats.cost >= expected.stats.cost
+
+    def test_seeded_plan_is_deterministic_across_runs(self):
+        index, terms = make_random_index(seed=7)
+        plan = FaultPlan(seed=99, read_fault_rate=0.2, probe_fault_rate=0.2,
+                         corruption_rate=0.05, latency_spike_rate=0.1)
+
+        def run():
+            result = chaos_processor(index, plan).query(
+                terms, K, algorithm=ALGORITHM
+            )
+            return (
+                result.doc_ids,
+                [i.worstscore for i in result.items],
+                result.stats.cost,
+                result.stats.retries,
+                result.stats.simulated_io_wait_ms,
+                result.degraded,
+                tuple(result.exhausted_lists),
+            )
+
+        assert run() == run()
+
+    @pytest.mark.parametrize("algorithm", ["RR-Never", "RR-Last-Ben",
+                                           "KSR-Last-Ben", "RR-Top-Best"])
+    def test_all_scheduling_families_survive_faults(self, algorithm):
+        index, terms = make_random_index(seed=3)
+        plan = FaultPlan.uniform(0.05, seed=13)
+        result = chaos_processor(index, plan).query(
+            terms, K, algorithm=algorithm
+        )
+        assert len(result.doc_ids) == K
+
+
+class TestDegradedResults:
+    def test_dead_list_yields_honest_degraded_result(self):
+        index, terms = make_random_index(seed=5)
+        plan = FaultPlan(dead_terms=(terms[0],))
+        chaotic = chaos_processor(
+            index, plan, max_attempts=2, query_budget=8
+        )
+        result = chaotic.query(terms, K, algorithm=ALGORITHM)
+
+        assert result.degraded
+        assert result.exhausted_lists == [terms[0]]
+        assert len(result.doc_ids) == K
+        for item in result.items:
+            truth = true_score(index, terms, item.doc_id)
+            assert item.worstscore - 1e-9 <= truth <= item.bestscore + 1e-9
+
+    def test_cost_budget_deadline_gives_anytime_result(self):
+        index, terms = make_random_index(seed=5)
+        processor = TopKProcessor(index, cost_ratio=1000.0)
+        full = processor.query(terms, K, algorithm=ALGORITHM)
+        budget = full.stats.cost / 3.0
+        capped = processor.query(
+            terms, K, algorithm=ALGORITHM,
+            deadline=QueryDeadline(cost_budget=budget),
+        )
+        assert capped.degraded
+        assert capped.stats.cost < full.stats.cost
+        for item in capped.items:
+            truth = true_score(index, terms, item.doc_id)
+            assert item.worstscore - 1e-9 <= truth <= item.bestscore + 1e-9
+
+    def test_generous_deadline_changes_nothing(self):
+        index, terms = make_random_index(seed=5)
+        processor = TopKProcessor(index, cost_ratio=1000.0)
+        free = processor.query(terms, K, algorithm=ALGORITHM)
+        timed = processor.query(
+            terms, K, algorithm=ALGORITHM,
+            deadline=QueryDeadline(wall_clock_seconds=3600.0,
+                                   cost_budget=1e12),
+        )
+        assert timed.doc_ids == free.doc_ids
+        assert timed.stats.cost == free.stats.cost
+        assert not timed.degraded
+
+    def test_deadline_validation(self):
+        with pytest.raises(ValueError):
+            QueryDeadline()
+        with pytest.raises(ValueError):
+            QueryDeadline(wall_clock_seconds=-1.0)
+        with pytest.raises(ValueError):
+            QueryDeadline(cost_budget=0.0)
