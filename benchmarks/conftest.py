@@ -14,7 +14,6 @@ process-wide through :func:`repro.bench.harness.shared_harness`, so one
 from __future__ import annotations
 
 import pathlib
-from typing import Dict, Tuple
 
 import pytest
 

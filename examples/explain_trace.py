@@ -1,16 +1,17 @@
 """Explain a query execution round by round (the paper's Fig. 1, live).
 
-Runs one query with ``trace=True`` and prints what the engine knew after
-every round: scan positions, the ``high_i`` bounds, the min-k threshold,
-the bound for unseen documents, and the candidate-queue pressure — then
-shows where the random accesses went.
+Runs one query with a :class:`~repro.TraceListener` attached — the
+execution-listener hook behind ``trace=True`` — and prints what the
+engine knew after every round: scan positions, the ``high_i`` bounds, the
+min-k threshold, the bound for unseen documents, and the candidate-queue
+pressure — then shows where the random accesses went.
 
 Run with::
 
     python examples/explain_trace.py
 """
 
-from repro import TopKProcessor, build_index
+from repro import QuerySession, TraceListener, build_index
 
 POSTINGS = {
     "list1": [(17, 0.8), (78, 0.2), (14, 0.15), (61, 0.12), (90, 0.1),
@@ -24,14 +25,15 @@ POSTINGS = {
 
 def main() -> None:
     index = build_index(POSTINGS, num_docs=100, block_size=2)
-    processor = TopKProcessor(index, cost_ratio=5)
+    session = QuerySession(index, cost_ratio=5)
     terms = ["list1", "list2", "list3"]
 
     for algorithm in ("RR-Never", "RR-Last-Best"):
-        result = processor.query(terms, k=1, algorithm=algorithm,
-                                 trace=True)
+        tracer = TraceListener()
+        result = session.run(terms, k=1, algorithm=algorithm,
+                             listeners=(tracer,))
         print("=== %s ===" % result.algorithm)
-        for record in result.trace:
+        for record in tracer.records:
             print("  %s" % record)
         winner = result.items[0]
         print("  -> winner doc%d, score bounds [%.2f, %.2f], COST %.1f\n" % (
@@ -44,7 +46,9 @@ def main() -> None:
         "candidates' bestscores sink while min-k rises; the query stops as\n"
         "soon as nothing (seen or unseen) can beat the current top-k.\n"
         "RR-Last-Best may stop scanning earlier and resolve the last\n"
-        "borderline candidates with random accesses (#RA column)."
+        "borderline candidates with random accesses (#RA column).\n"
+        "(session.run(..., trace=True) attaches the same listener and\n"
+        "copies its records onto result.trace.)"
     )
 
 

@@ -2,14 +2,16 @@
 
 This mirrors the paper's running example (Fig. 1): three index lists,
 find the top-1 document, and watch how different scheduling strategies
-spend sorted vs random accesses.
+spend sorted vs random accesses.  Queries go through a
+:class:`~repro.QuerySession` — the layered entry point that caches the
+index statistics once and reuses one executor for every query.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import TopKProcessor, build_index
+from repro import QuerySession, build_index
 
 # Postings per term: (doc_id, score), unsorted — the index builder sorts by
 # descending score and lays the lists out in blocks (Sec. 2.2).
@@ -25,7 +27,7 @@ def main() -> None:
     index = build_index(POSTINGS, num_docs=100, block_size=2)
     # cR/cS = 5: random accesses cost five times a sorted access here, so
     # the cost trade-offs are visible even on a toy example.
-    processor = TopKProcessor(index, cost_ratio=5)
+    session = QuerySession(index, cost_ratio=5)
     terms = ["list1", "list2", "list3"]
 
     print("top-1 of a 3-list query, per algorithm")
@@ -33,7 +35,7 @@ def main() -> None:
                                       "COST"))
     for algorithm in ["NRA", "TA", "CA", "Upper", "Pick",
                       "RR-Last-Best", "KSR-Last-Ben"]:
-        result = processor.query(terms, k=1, algorithm=algorithm)
+        result = session.run(terms, k=1, algorithm=algorithm)
         item = result.items[0]
         print("%-15s doc%-5d %5d %5d %9.1f" % (
             result.algorithm,
@@ -42,13 +44,15 @@ def main() -> None:
             result.stats.random_accesses,
             result.stats.cost,
         ))
+    print("\n(statistics catalogs built for all of the above: %d)"
+          % session.stats_builds)
 
-    oracle = processor.full_merge(terms, k=1)
-    print("\nFullMerge oracle: doc%d with score %.2f (cost %.0f)" % (
+    oracle = session.full_merge(terms, k=1)
+    print("FullMerge oracle: doc%d with score %.2f (cost %.0f)" % (
         oracle.items[0].doc_id, oracle.items[0].worstscore,
         oracle.stats.cost,
     ))
-    bound = processor.lower_bound(terms, k=1)
+    bound = session.lower_bound(terms, k=1)
     print("Sec. 2.5 lower bound for any TA-family method: %.1f" % bound)
 
 

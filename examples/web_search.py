@@ -2,7 +2,10 @@
 
 Generates a (scaled-down) Terabyte-like topical corpus, indexes it with
 BM25, and compares the scheduling strategies on real multi-keyword queries
-— the paper's flagship workload (Sec. 6.2).
+— the paper's flagship workload (Sec. 6.2).  The whole workload runs
+through one :class:`~repro.QuerySession`: the statistics catalog is built
+once and :meth:`~repro.QuerySession.run_many` batches each algorithm's
+query log.
 
 Run with::
 
@@ -11,7 +14,7 @@ Run with::
 
 import numpy as np
 
-from repro import TopKProcessor
+from repro import QuerySession
 from repro.data import load_dataset
 
 ALGORITHMS = ["NRA", "CA", "RR-Last-Best", "KSR-Last-Ben"]
@@ -20,7 +23,7 @@ ALGORITHMS = ["NRA", "CA", "RR-Last-Best", "KSR-Last-Ben"]
 def main() -> None:
     print("building the Terabyte-like collection (~20s)...")
     dataset = load_dataset("terabyte-bm25", scale=1.0)
-    processor = TopKProcessor(dataset.index, cost_ratio=1000)
+    session = QuerySession(dataset.index, cost_ratio=1000)
 
     query = dataset.queries[0]
     print("\nexample query: %s" % " ".join(query))
@@ -28,7 +31,7 @@ def main() -> None:
         len(dataset.index.list_for(t)) for t in query
     ])
 
-    result = processor.query(query, k=10, algorithm="KSR-Last-Ben")
+    result = session.run(query, k=10, algorithm="KSR-Last-Ben")
     print("\ntop-10 documents (worstscore = guaranteed lower bound):")
     for rank, item in enumerate(result.items, start=1):
         marker = "" if item.resolved else "  (bounds [%0.3f, %0.3f])" % (
@@ -43,10 +46,8 @@ def main() -> None:
     ))
     print("%-15s %10s %8s %8s" % ("algorithm", "COST", "#SA", "#RA"))
     for algorithm in ALGORITHMS:
-        stats = [
-            processor.query(q, 10, algorithm=algorithm).stats
-            for q in dataset.queries
-        ]
+        results = session.run_many(dataset.queries, 10, algorithm=algorithm)
+        stats = [r.stats for r in results]
         print("%-15s %10.0f %8.0f %8.1f" % (
             algorithm,
             np.mean([s.cost for s in stats]),
@@ -54,9 +55,15 @@ def main() -> None:
             np.mean([s.random_accesses for s in stats]),
         ))
     merged = [
-        processor.full_merge(q, 10).stats.cost for q in dataset.queries
+        session.full_merge(q, 10).stats.cost for q in dataset.queries
     ]
     print("%-15s %10.0f" % ("FullMerge", np.mean(merged)))
+    print(
+        "\n(one statistics build served all %d query executions: "
+        "session.stats_builds == %d)" % (
+            session.queries_run, session.stats_builds
+        )
+    )
     print(
         "\nKSR-Last-Ben defers random accesses to one final, cost-checked"
         "\nprobing phase and splits each scan batch by expected score"

@@ -29,12 +29,20 @@ from .core.algorithms import (
     TopKProcessor,
     available_algorithms,
     canonical_name,
+    plan,
     run_query,
 )
-from .core.engine import QueryDeadline
+from .core.executor import (
+    ExecutionListener,
+    QueryDeadline,
+    QueryExecutor,
+    TraceListener,
+)
 from .core.full_merge import full_merge
 from .core.lower_bound import LowerBoundComputer
+from .core.planner import QueryPlan
 from .core.results import QueryStats, RankedItem, TopKResult
+from .core.session import QuerySession
 from .stats.catalog import StatsCatalog
 from .storage.accessors import ListUnavailableError, RetryPolicy
 from .storage.block_index import IndexList, InvertedBlockIndex
@@ -51,11 +59,12 @@ from .storage.index_builder import (
     build_index_list,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AccessMeter",
     "CostModel",
+    "ExecutionListener",
     "FaultInjector",
     "FaultPlan",
     "IndexCorruptionError",
@@ -64,12 +73,16 @@ __all__ = [
     "ListUnavailableError",
     "LowerBoundComputer",
     "QueryDeadline",
+    "QueryExecutor",
+    "QueryPlan",
+    "QuerySession",
     "QueryStats",
     "RankedItem",
     "RetryPolicy",
     "StatsCatalog",
     "TopKProcessor",
     "TopKResult",
+    "TraceListener",
     "TransientIOError",
     "available_algorithms",
     "build_index",
@@ -77,6 +90,7 @@ __all__ = [
     "build_index_list",
     "canonical_name",
     "full_merge",
+    "plan",
     "run_query",
     "__version__",
 ]

@@ -11,7 +11,7 @@ Run everything with ``python -m repro.bench``.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from .harness import ExperimentTable, Harness, shared_harness
 

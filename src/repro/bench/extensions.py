@@ -18,7 +18,6 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..core.algorithms import TopKProcessor
-from ..data.workloads import load_dataset
 from ..storage.accessors import RetryPolicy
 from ..storage.faults import FaultInjector, FaultPlan
 from ..storage.latency import DiskLatencyModel
@@ -31,10 +30,6 @@ def _precision(processor: TopKProcessor, query, k: int, result) -> float:
     if not oracle.items:
         return 1.0
     cut = oracle.items[-1].worstscore
-    exact = {
-        doc: item.worstscore
-        for doc, item in zip(oracle.doc_ids, oracle.items)
-    }
     # Exact scores for returned docs: resolved results carry them; anything
     # else is re-derived from the oracle's cut (a returned doc at or above
     # the cut counts as a hit).
@@ -66,7 +61,6 @@ def e11_approximate_pruning(
     KSR-Last-Ben scheduling as Sec. 7 proposes.
     """
     h = harness if harness is not None else shared_harness()
-    dataset = h.dataset("terabyte-bm25")
     processor = h.processor("terabyte-bm25", 1000.0)
     queries = h.queries("terabyte-bm25")
     k = 50
@@ -229,7 +223,6 @@ def e14_chaos_resilience(
         )
         # Reuse the clean statistics: chaos perturbs I/O, not the catalog.
         processor.stats = clean.stats
-        processor.engine.stats = clean.stats
         costs, io_ms, precisions, distances = [], [], [], []
         degraded = 0
         retries = 0

@@ -8,13 +8,14 @@ a full benchmark session builds each expensive structure once.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.algorithms import TopKProcessor
 from ..core.lower_bound import LowerBoundComputer
+from ..core.session import QuerySession
 from ..data.workloads import Dataset, load_dataset
 
 
@@ -72,6 +73,10 @@ class Harness:
         self.scale = scale
         self.num_queries = num_queries
         self.seed = seed
+        #: one session for the whole benchmark run: statistics catalogs
+        #: are cached per index, so processors differing only in cost
+        #: ratio share them automatically
+        self.session = QuerySession()
         self._processors: Dict[Tuple[str, float], TopKProcessor] = {}
         self._bounds: Dict[Tuple[str, Tuple[str, ...]], LowerBoundComputer] = {}
         self._memo: Dict[Tuple[str, str, int, float], Aggregate] = {}
@@ -89,13 +94,13 @@ class Harness:
         key = (name, float(ratio))
         proc = self._processors.get(key)
         if proc is None:
-            proc = TopKProcessor(self.dataset(name).index, cost_ratio=ratio)
-            # Share one statistics catalog across ratios for the dataset.
-            for (other_name, _), other in self._processors.items():
-                if other_name == name:
-                    proc.stats = other.stats
-                    proc.engine.stats = other.stats
-                    break
+            # The shared session caches one StatsCatalog per index, so
+            # processors at different cost ratios reuse the statistics.
+            proc = TopKProcessor(
+                self.dataset(name).index,
+                cost_ratio=ratio,
+                session=self.session,
+            )
             self._processors[key] = proc
         return proc
 

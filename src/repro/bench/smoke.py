@@ -1,0 +1,170 @@
+"""Smoke benchmark: one query per algorithm family, instrumented.
+
+A fast perf-trajectory probe for CI: builds a small synthetic index, runs
+one representative query per TA-family *family* (NRA, TA, CA, Upper,
+Pick, Last, Ben with KSR/KBA scheduling) through the
+planner/executor/session path with a metrics
+:class:`~repro.core.executor.ExecutionListener` attached, and writes the
+timing/cost measurements as JSON.  CI uploads the file
+(``BENCH_pr2.json``) so successive PRs accumulate comparable data points.
+
+Usage::
+
+    python -m repro.bench.smoke --output BENCH_pr2.json
+    python -m repro.bench.smoke --scale 0.5 --k 10 --cost-ratio 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+from ..core.executor import ExecutionListener
+from ..core.session import QuerySession
+from ..data.workloads import load_dataset
+
+#: One representative triple per algorithm family.
+FAMILIES = {
+    "NRA": "RR-Never",
+    "TA": "RR-All",
+    "CA": "RR-Each-Best",
+    "Upper": "RR-Top-Best",
+    "Pick": "RR-Pick-Best",
+    "Last": "RR-Last-Best",
+    "Ben-KSR": "KSR-Last-Ben",
+    "Ben-KBA": "KBA-Last-Ben",
+}
+
+
+class MetricsListener(ExecutionListener):
+    """Collects per-round wall times and probe counts for one query."""
+
+    def __init__(self) -> None:
+        self.rounds = 0
+        self.probe_events = 0
+        self.round_ms: List[float] = []
+        self._round_started: Optional[float] = None
+
+    def on_query_start(self, plan, state) -> None:
+        self.rounds = 0
+        self.probe_events = 0
+        self.round_ms = []
+
+    def on_round_start(self, state) -> None:
+        self._round_started = time.perf_counter()
+
+    def on_probe(self, state, doc_id, dim, score) -> None:
+        self.probe_events += 1
+
+    def on_round_end(self, state, trace) -> None:
+        self.rounds += 1
+        if self._round_started is not None:
+            self.round_ms.append(
+                (time.perf_counter() - self._round_started) * 1000.0
+            )
+            self._round_started = None
+
+
+def run_smoke(
+    scale: float = 0.5,
+    k: int = 10,
+    cost_ratio: float = 1000.0,
+    dataset_name: str = "terabyte-bm25",
+    seed: int = 7,
+    batch_blocks: int = 1,
+) -> Dict:
+    """Run the smoke battery and return the JSON-ready report.
+
+    ``batch_blocks`` defaults to 1 (one block per round) rather than the
+    engine's one-block-per-list default: the generated lists are wide
+    enough that a single default batch terminates most queries, and a
+    multi-round run is what makes the per-round listener metrics (and
+    the scheduling differences between families) visible.
+    """
+    dataset = load_dataset(dataset_name, scale=scale, seed=seed)
+    session = QuerySession(
+        index=dataset.index,
+        cost_ratio=cost_ratio,
+        batch_blocks=batch_blocks,
+    )
+    query = dataset.queries[0]
+
+    build_started = time.perf_counter()
+    session.stats_for()  # warm the catalog so per-family timings are pure
+    stats_build_ms = (time.perf_counter() - build_started) * 1000.0
+
+    families = {}
+    for family, algorithm in FAMILIES.items():
+        listener = MetricsListener()
+        started = time.perf_counter()
+        result = session.run(
+            query, k, algorithm=algorithm, listeners=(listener,)
+        )
+        wall_ms = (time.perf_counter() - started) * 1000.0
+        families[family] = {
+            "algorithm": result.algorithm,
+            "cost": result.stats.cost,
+            "sorted_accesses": result.stats.sorted_accesses,
+            "random_accesses": result.stats.random_accesses,
+            "rounds": listener.rounds,
+            "probe_events": listener.probe_events,
+            "wall_ms": round(wall_ms, 3),
+            "mean_round_ms": round(
+                sum(listener.round_ms) / len(listener.round_ms), 4
+            ) if listener.round_ms else 0.0,
+        }
+    return {
+        "benchmark": "smoke",
+        "pr": "pr2-planner-executor-session",
+        "dataset": dataset_name,
+        "scale": scale,
+        "k": k,
+        "cost_ratio": cost_ratio,
+        "batch_blocks": batch_blocks,
+        "query": list(query),
+        "stats_build_ms": round(stats_build_ms, 3),
+        "stats_builds": session.stats_builds,
+        "queries_run": session.queries_run,
+        "python": platform.python_version(),
+        "families": families,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.smoke",
+        description="One query per algorithm family; timing/cost JSON.",
+    )
+    parser.add_argument("--output", default="BENCH_pr2.json",
+                        help="output JSON path (default BENCH_pr2.json)")
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--cost-ratio", type=float, default=1000.0)
+    parser.add_argument("--dataset", default="terabyte-bm25")
+    parser.add_argument("--batch-blocks", type=int, default=1,
+                        help="blocks scanned per round (default 1: "
+                             "multi-round trajectories)")
+    args = parser.parse_args(argv)
+
+    report = run_smoke(
+        scale=args.scale, k=args.k, cost_ratio=args.cost_ratio,
+        dataset_name=args.dataset, batch_blocks=args.batch_blocks,
+    )
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for family, row in report["families"].items():
+        print("%-8s %-14s cost=%-10.0f rounds=%-4d wall=%.1fms" % (
+            family, row["algorithm"], row["cost"], row["rounds"],
+            row["wall_ms"],
+        ))
+    print("wrote %s" % args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

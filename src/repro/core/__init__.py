@@ -1,23 +1,44 @@
-"""Core: the TA-family engine, scheduling policies, baselines, and bounds."""
+"""Core: the planner/executor/session query path, policies, and bounds."""
 
 from .algorithms import (
     TopKProcessor,
     available_algorithms,
     canonical_name,
     make_policies,
+    plan,
     run_query,
 )
 from .bookkeeping import Candidate, CandidatePool
-from .engine import QueryDeadline, QueryState, RAPolicy, SAPolicy, TopKEngine
+from .engine import DegradedExecution, QueryState, RAPolicy, SAPolicy
+from .executor import (
+    ExecutionListener,
+    QueryDeadline,
+    QueryExecutor,
+    TopKEngine,
+    TraceListener,
+)
 from .full_merge import full_merge
 from .lower_bound import LowerBoundComputer
+from .planner import QueryPlan
 from .results import QueryStats, RankedItem, TopKResult
+from .session import (
+    DEFAULT_ALGORITHM,
+    QuerySession,
+    reset_shared_session,
+    shared_session,
+)
 
 __all__ = [
     "Candidate",
     "CandidatePool",
+    "DEFAULT_ALGORITHM",
+    "DegradedExecution",
+    "ExecutionListener",
     "LowerBoundComputer",
     "QueryDeadline",
+    "QueryExecutor",
+    "QueryPlan",
+    "QuerySession",
     "QueryState",
     "QueryStats",
     "RAPolicy",
@@ -26,9 +47,13 @@ __all__ = [
     "TopKEngine",
     "TopKProcessor",
     "TopKResult",
+    "TraceListener",
     "available_algorithms",
     "canonical_name",
     "full_merge",
     "make_policies",
+    "plan",
+    "reset_shared_session",
     "run_query",
+    "shared_session",
 ]

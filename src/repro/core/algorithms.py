@@ -1,4 +1,4 @@
-"""Algorithm registry: every TA-family method as a named policy triple.
+"""Algorithm registry and planning: TA-family methods as named triples.
 
 The paper's taxonomy (Sec. 2.4) identifies an algorithm by how it schedules
 sorted accesses, when it schedules random accesses, and in which order it
@@ -12,6 +12,7 @@ Name                   Meaning
 ``RR-Each-Best``       CA — one RA per cR/cS SAs, on the best candidate
 ``RR-Top-Best``        Upper — probe while a candidate beats all unseen
 ``RR-Pick-Best``       Pick — naive SA phase, then probe everything
+``RR-Pick-Ben``        Pick's naive switch, but EWC-ordered probes
 ``RR-Last-Best``       Last-Probing, bestscore-ordered probes
 ``RR-Last-Ben``        Ben-Probing (EWC switch + EWC-ordered probes)
 ``KSR-...`` ``KBA-...``  same RA schemes with knapsack SA scheduling
@@ -20,6 +21,13 @@ Name                   Meaning
 Aliases ``NRA``, ``TA``, ``CA``, ``Upper`` and ``Pick`` map to the canonical
 triples.  Policy instances carry per-query state, so the factory functions
 build fresh objects for every query execution.
+
+This module is also the **planner** step of the layered query path:
+:func:`plan` resolves a request into an immutable
+:class:`~repro.core.planner.QueryPlan` consumed by
+:class:`~repro.core.executor.QueryExecutor`, usually via a statistics-
+caching :class:`~repro.core.session.QuerySession` (which
+:class:`TopKProcessor` and :func:`run_query` wrap).
 """
 
 from __future__ import annotations
@@ -30,7 +38,9 @@ from ..stats.catalog import StatsCatalog
 from ..storage.accessors import RetryPolicy
 from ..storage.block_index import InvertedBlockIndex
 from ..storage.diskmodel import CostModel
-from .engine import QueryDeadline, RAPolicy, SAPolicy, TopKEngine
+from .engine import RAPolicy, SAPolicy
+from .executor import QueryDeadline, QueryExecutor
+from .planner import QueryPlan
 from .ra.ben import BenProbe
 from .ra.last import LastProbe, PickProbe
 from .ra.ordering import BenOrdering, BestOrdering
@@ -39,6 +49,7 @@ from .results import TopKResult
 from .sa.kba import KnapsackBenefitAggregation
 from .sa.ksr import KnapsackScoreReduction
 from .sa.round_robin import RoundRobin
+from .session import DEFAULT_ALGORITHM, QuerySession, shared_session
 
 _SA_FACTORIES: Dict[str, Callable[[], SAPolicy]] = {
     "RR": RoundRobin,
@@ -92,14 +103,60 @@ def make_policies(name: str) -> Tuple[SAPolicy, RAPolicy, str]:
     return _SA_FACTORIES[sa_name](), _RA_FACTORIES[ra_name](), resolved
 
 
-class TopKProcessor:
-    """High-level query façade: index + statistics + engine in one object.
+def plan(
+    terms: Sequence[str],
+    k: int,
+    algorithm: str = DEFAULT_ALGORITHM,
+    weights: Optional[Sequence[float]] = None,
+    prune_epsilon: float = 0.0,
+    deadline: Optional[QueryDeadline] = None,
+    cost_model: Optional[CostModel] = None,
+    batch_blocks: Optional[int] = None,
+) -> QueryPlan:
+    """The planner step: resolve and validate a query into a plan.
 
-    This is the library's main entry point::
+    Resolves ``algorithm`` (aliases included) against the registry, wires
+    the policy factories into the plan so every execution gets fresh
+    policy instances, and validates the query shape (non-empty terms,
+    positive ``k``, matching positive weights) up front — before any
+    index access happens.  The returned
+    :class:`~repro.core.planner.QueryPlan` is immutable and reusable
+    across executors and indexes.
+    """
+    resolved = canonical_name(algorithm)
+    sa_name, _, ra_name = resolved.partition("-")
+    return QueryPlan(
+        algorithm=resolved,
+        terms=tuple(terms),
+        k=int(k),
+        weights=(
+            None if weights is None else tuple(float(w) for w in weights)
+        ),
+        prune_epsilon=float(prune_epsilon),
+        deadline=deadline,
+        cost_model=cost_model,
+        batch_blocks=batch_blocks,
+        sa_factory=_SA_FACTORIES[sa_name],
+        ra_factory=_RA_FACTORIES[ra_name],
+    )
+
+
+class TopKProcessor:
+    """High-level query façade: one index + a session-backed query path.
+
+    This is the library's classic entry point::
 
         processor = TopKProcessor(index, cost_ratio=1000)
         result = processor.query(["kyrgyzstan", "united", "states"], k=10)
         print(result.doc_ids, result.stats.cost)
+
+    Internally every query routes through the layered path — a
+    :func:`plan` step, then a cached
+    :class:`~repro.core.executor.QueryExecutor` owned by a
+    :class:`~repro.core.session.QuerySession` — so statistics are built
+    once per index, not per query.  Pass ``session=`` to share one
+    session (and hence one statistics catalog per index) across several
+    processors, e.g. processors differing only in cost ratio.
     """
 
     def __init__(
@@ -111,6 +168,7 @@ class TopKProcessor:
         use_correlations: bool = True,
         predictor: str = "histogram",
         retry_policy: Optional[RetryPolicy] = None,
+        session: Optional[QuerySession] = None,
     ) -> None:
         """``predictor`` selects the probabilistic machinery: "histogram"
         (the paper's convolution-based predictor) or "normal" (the
@@ -121,37 +179,40 @@ class TopKProcessor:
         exponential backoff within a per-query budget, and a list that
         exhausts its budget is dropped with the result flagged degraded.
         Without a policy any storage fault immediately fails its list."""
-        from ..stats.normal_predictor import NormalScorePredictor
-        from ..stats.score_predictor import ScorePredictor
-
-        predictor_classes = {
-            "histogram": ScorePredictor,
-            "normal": NormalScorePredictor,
-        }
-        if predictor not in predictor_classes:
-            raise ValueError(
-                "unknown predictor %r; valid: %s"
-                % (predictor, sorted(predictor_classes))
-            )
         self.index = index
         self.cost_model = CostModel.from_ratio(cost_ratio)
-        self.stats = StatsCatalog(
-            index, num_buckets=num_buckets, use_correlations=use_correlations
-        )
-        self.engine = TopKEngine(
-            index=index,
-            stats=self.stats,
-            cost_model=self.cost_model,
-            batch_blocks=batch_blocks,
-            predictor_cls=predictor_classes[predictor],
-            retry_policy=retry_policy,
-        )
+        self.batch_blocks = batch_blocks
+        if session is None:
+            session = QuerySession(
+                index=index,
+                cost_ratio=cost_ratio,
+                batch_blocks=batch_blocks,
+                num_buckets=num_buckets,
+                use_correlations=use_correlations,
+                predictor=predictor,
+                retry_policy=retry_policy,
+            )
+        self.session = session
+
+    @property
+    def stats(self) -> StatsCatalog:
+        """The session-cached statistics catalog for this index."""
+        return self.session.stats_for(self.index)
+
+    @stats.setter
+    def stats(self, catalog: StatsCatalog) -> None:
+        self.session.attach_stats(catalog, self.index)
+
+    @property
+    def engine(self) -> QueryExecutor:
+        """The session-cached executor for this index."""
+        return self.session.executor_for(self.index)
 
     def query(
         self,
         terms: Sequence[str],
         k: int,
-        algorithm: str = "KSR-Last-Ben",
+        algorithm: str = DEFAULT_ALGORITHM,
         weights: Optional[Sequence[float]] = None,
         trace: bool = False,
         prune_epsilon: float = 0.0,
@@ -161,17 +222,26 @@ class TopKProcessor:
 
         ``weights`` (one positive factor per term, default all 1.0) turn
         the aggregation into the paper's monotone *weighted* summation;
-        ``trace=True`` attaches per-round engine snapshots to the result;
+        ``trace=True`` attaches per-round execution snapshots to the
+        result (collected via an
+        :class:`~repro.core.executor.ExecutionListener`);
         ``prune_epsilon > 0`` switches to approximate processing with
         probabilistic candidate pruning (exact when 0);
         ``deadline`` bounds the execution (wall-clock and/or cost) and
         returns an anytime result flagged ``degraded`` when it fires.
         """
-        sa_policy, ra_policy, resolved = make_policies(algorithm)
-        return self.engine.run(
-            terms, k, sa_policy, ra_policy, algorithm_name=resolved,
-            weights=weights, trace=trace, prune_epsilon=prune_epsilon,
+        query_plan = plan(
+            terms,
+            k,
+            algorithm,
+            weights=weights,
+            prune_epsilon=prune_epsilon,
             deadline=deadline,
+            cost_model=self.cost_model,
+            batch_blocks=self.batch_blocks,
+        )
+        return self.session.run(
+            plan=query_plan, index=self.index, trace=trace
         )
 
     def full_merge(
@@ -204,7 +274,7 @@ def run_query(
     index: InvertedBlockIndex,
     terms: Sequence[str],
     k: int,
-    algorithm: str = "KSR-Last-Ben",
+    algorithm: str = DEFAULT_ALGORITHM,
     cost_ratio: float = 1000.0,
     batch_blocks: Optional[int] = None,
     stats: Optional[StatsCatalog] = None,
@@ -212,21 +282,34 @@ def run_query(
     retry_policy: Optional[RetryPolicy] = None,
     deadline: Optional[QueryDeadline] = None,
 ) -> TopKResult:
-    """One-shot convenience wrapper around :class:`TopKProcessor`.
+    """One-shot convenience wrapper over the planner/executor/session path.
 
-    Prefer :class:`TopKProcessor` (or sharing a :class:`StatsCatalog`) when
-    running many queries against the same index, so histograms and
-    covariance tables are computed once.
+    Statistics sharing semantics: with ``stats=None`` the catalog comes
+    from the process-wide :func:`repro.core.session.shared_session`
+    cache, so repeated ``run_query`` calls against the same index object
+    reuse one :class:`StatsCatalog` (histograms and covariance tables are
+    computed once, not per call).  The shared cache holds strong
+    references to at most
+    :data:`repro.core.session.SHARED_SESSION_MAX_INDEXES` recently used
+    indexes (LRU-evicted beyond that).  Pass an explicit ``stats``
+    catalog to control sharing yourself — it is used as-is and not
+    entered into the cache.
+
+    Prefer a :class:`~repro.core.session.QuerySession` (or
+    :class:`TopKProcessor`) when running many queries, for batch APIs and
+    scoped caching.
     """
-    sa_policy, ra_policy, resolved = make_policies(algorithm)
-    engine = TopKEngine(
-        index=index,
-        stats=stats,
+    query_plan = plan(
+        terms,
+        k,
+        algorithm,
+        weights=weights,
+        deadline=deadline,
         cost_model=CostModel.from_ratio(cost_ratio),
         batch_blocks=batch_blocks,
-        retry_policy=retry_policy,
     )
-    return engine.run(
-        terms, k, sa_policy, ra_policy, algorithm_name=resolved,
-        weights=weights, deadline=deadline,
+    catalog = stats if stats is not None else shared_session().stats_for(index)
+    executor = QueryExecutor(
+        index=index, stats=catalog, retry_policy=retry_policy
     )
+    return executor.execute(query_plan)

@@ -1,27 +1,28 @@
-"""The batched TA-family query driver (paper Sec. 2.3 and 4).
+"""Query state and policy interfaces for the TA-family engine.
 
-The engine processes a query in rounds.  Each round:
+The query path is split into three layers (see :mod:`repro.core.planner`,
+:mod:`repro.core.executor`, and :mod:`repro.core.session`):
 
-1. the **SA policy** splits a batch of ``b`` sorted accesses (whole blocks of
-   the inverted block-index) across the ``m`` query lists,
-2. the delivered postings are merged into the candidate pool and the
-   threshold bookkeeping is refreshed,
-3. the **RA policy** gets a hook to issue random-access probes — a few
-   (TA/CA/Upper), none (NRA), or the entire final probing phase
-   (Last-/Ben-Probing),
-4. the engine stops as soon as the Sec. 2.3 termination condition holds:
-   neither a queued candidate nor any unseen document can still exceed the
-   ``min-k`` threshold.
+* **planner** — resolves a request into an immutable
+  :class:`~repro.core.planner.QueryPlan` (algorithm triple, terms,
+  weights, k, deadline, prune epsilon, cost model),
+* **executor** — drives the round loop of batched sorted accesses and
+  random-access hooks (paper Sec. 2.3 and 4) and emits
+  :class:`~repro.core.executor.ExecutionListener` events,
+* **session** — caches per-index statistics catalogs and executors and
+  offers the batch entry points.
 
-All index data flows through charged cursors/accessors, so the meter's COST
-is exactly the paper's ``#SA + (cR/cS) * #RA``.
+This module holds what those layers share: :class:`QueryState` — the pure
+bookkeeping of one in-flight query (cursors, candidate pool, bounds,
+predictor) — and the :class:`SAPolicy` / :class:`RAPolicy` base classes
+that scheduling strategies implement.  All index data flows through
+charged cursors/accessors, so the meter's COST is exactly the paper's
+``#SA + (cR/cS) * #RA``.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Set
+from typing import List, Optional, Sequence, Set
 
 from ..stats.catalog import StatsCatalog
 from ..stats.score_predictor import ScorePredictor
@@ -35,7 +36,6 @@ from ..storage.accessors import (
 from ..storage.block_index import InvertedBlockIndex
 from ..storage.diskmodel import AccessMeter, CostModel
 from .bookkeeping import EPSILON, Candidate, CandidatePool
-from .results import QueryStats, RankedItem, RoundTrace, TopKResult
 
 
 class DegradedExecution(Exception):
@@ -44,47 +44,13 @@ class DegradedExecution(Exception):
     Raised by :meth:`QueryState.probe` when a random accessor exhausts its
     retry budget (or is already failed), so that any RA policy — whatever
     its internal loop structure — unwinds immediately instead of spinning
-    on a dead list.  The engine catches it, records the degradation, and
+    on a dead list.  The executor catches it, records the degradation, and
     carries on with the remaining lists.
     """
 
     def __init__(self, term: str) -> None:
         super().__init__("query degraded: list %r dropped" % term)
         self.term = term
-
-
-@dataclass(frozen=True)
-class QueryDeadline:
-    """Anytime-execution limits for one query (paper-style cost or time).
-
-    The engine checks the deadline between processing rounds; once
-    ``wall_clock_seconds`` of real time have elapsed or the meter's
-    normalized COST reaches ``cost_budget``, the round loop stops and the
-    current candidate state is returned as a *degraded* result whose
-    per-item ``[worstscore, bestscore]`` intervals are still correct.
-    """
-
-    wall_clock_seconds: Optional[float] = None
-    cost_budget: Optional[float] = None
-
-    def __post_init__(self) -> None:
-        if self.wall_clock_seconds is None and self.cost_budget is None:
-            raise ValueError(
-                "a deadline needs wall_clock_seconds, cost_budget, or both"
-            )
-        if self.wall_clock_seconds is not None and self.wall_clock_seconds <= 0:
-            raise ValueError("wall_clock_seconds must be positive")
-        if self.cost_budget is not None and self.cost_budget <= 0:
-            raise ValueError("cost_budget must be positive")
-
-    def exceeded(self, elapsed_seconds: float, cost: float) -> bool:
-        """Whether either limit has been reached."""
-        if (
-            self.wall_clock_seconds is not None
-            and elapsed_seconds >= self.wall_clock_seconds
-        ):
-            return True
-        return self.cost_budget is not None and cost >= self.cost_budget
 
 
 class QueryState:
@@ -94,6 +60,10 @@ class QueryState:
     and the probabilistic predictor from here, and mutate the query only
     through :meth:`perform_sorted_round` and the probe methods — which keeps
     every index access charged and every decision statistics-driven.
+
+    The state is pure bookkeeping: the round loop, deadline handling, and
+    result assembly live in :class:`repro.core.executor.QueryExecutor`.
+    ``listeners`` (if any) receive an ``on_probe`` event per random access.
     """
 
     def __init__(
@@ -107,6 +77,7 @@ class QueryState:
         weights: Optional[Sequence[float]] = None,
         predictor_cls: type = ScorePredictor,
         retry_policy: Optional[RetryPolicy] = None,
+        listeners: Sequence = (),
     ) -> None:
         if not terms:
             raise ValueError("a query needs at least one term")
@@ -128,6 +99,8 @@ class QueryState:
         #: per-dimension aggregation weights (monotone weighted summation)
         self.weights = [float(w) for w in weights]
         self.meter = AccessMeter(cost_model=cost_model)
+        #: observers notified of every random-access probe; must not raise
+        self.listeners = tuple(listeners)
         #: per-query retry state; None disables fault recovery (a single
         #: fault then permanently fails its list)
         self.retry = RetrySession(retry_policy) if retry_policy else None
@@ -290,6 +263,8 @@ class QueryState:
             raise DegradedExecution(self.terms[dim]) from None
         score = raw * self.weights[dim]
         self.pool.resolve_dimension(doc_id, dim, score)
+        for listener in self.listeners:
+            listener.on_probe(self, doc_id, dim, score)
         return score
 
     def probe_candidate(
@@ -335,39 +310,6 @@ class QueryState:
         # (missing dimensions contribute exactly 0).
         return self.exhausted and self.pool.unseen_bestscore <= 0.0
 
-    def build_result(
-        self, algorithm: str, wall_time: float, degraded: bool = False
-    ) -> TopKResult:
-        # Documents whose aggregated lower bound is 0 carry no evidence of
-        # a match and are indistinguishable from unseen documents — they
-        # are never returned (FullMerge applies the same rule).
-        self._note_cursor_failures()
-        top = self.pool.topk_candidates()
-        items = [
-            RankedItem(
-                doc_id=c.doc_id,
-                worstscore=c.worstscore,
-                bestscore=self.pool.bestscore(c),
-            )
-            for c in top
-            if c.worstscore > 0.0
-        ]
-        stats = QueryStats.from_meter(
-            self.meter,
-            rounds=self.round_no,
-            peak_queue_size=self.pool.peak_size,
-            wall_time_seconds=wall_time,
-            retries=self.retry.retries if self.retry else 0,
-            simulated_io_wait_ms=self.retry.waited_ms if self.retry else 0.0,
-        )
-        return TopKResult(
-            items=items,
-            stats=stats,
-            algorithm=algorithm,
-            degraded=degraded or bool(self.failed_dims),
-            exhausted_lists=[self.terms[d] for d in sorted(self.failed_dims)],
-        )
-
 
 class SAPolicy:
     """Base class for sorted-access scheduling policies (Sec. 4)."""
@@ -385,139 +327,25 @@ class RAPolicy:
     name = "ra"
 
     def wants_sorted_access(self, state: QueryState) -> bool:
-        """Whether the engine should run another SA round first."""
+        """Whether the executor should run another SA round first."""
         return True
 
     def after_round(self, state: QueryState) -> None:
         """Hook to issue random accesses after an SA round."""
 
 
-class TopKEngine:
-    """Runs one TA-family algorithm — an (SA policy, RA policy) pair."""
-
-    def __init__(
-        self,
-        index: InvertedBlockIndex,
-        stats: Optional[StatsCatalog] = None,
-        cost_model: Optional[CostModel] = None,
-        batch_blocks: Optional[int] = None,
-        max_rounds: int = 1_000_000,
-        predictor_cls: type = ScorePredictor,
-        retry_policy: Optional[RetryPolicy] = None,
-    ) -> None:
-        self.index = index
-        self.stats = stats if stats is not None else StatsCatalog(index)
-        self.cost_model = cost_model if cost_model is not None else CostModel()
-        self.batch_blocks = batch_blocks
-        self.max_rounds = max_rounds
-        self.predictor_cls = predictor_cls
-        #: fault-recovery parameters applied to every query's accessors;
-        #: None disables retries (any storage fault drops its list)
-        self.retry_policy = retry_policy
-
-    def run(
-        self,
-        terms: Sequence[str],
-        k: int,
-        sa_policy: SAPolicy,
-        ra_policy: RAPolicy,
-        algorithm_name: str = "",
-        weights: Optional[Sequence[float]] = None,
-        trace: bool = False,
-        prune_epsilon: float = 0.0,
-        deadline: Optional[QueryDeadline] = None,
-    ) -> TopKResult:
-        """Execute one top-k query and return results plus access stats.
-
-        With ``trace=True`` the result carries one :class:`RoundTrace`
-        snapshot per processing round (scan positions, bounds, threshold,
-        queue size) — the programmatic version of the paper's Fig. 1.
-
-        ``prune_epsilon > 0`` enables *approximate* processing: candidates
-        whose estimated qualification probability drops below the epsilon
-        are discarded early (the paper's Sec. 7 suggestion of combining
-        the scheduling framework with probabilistic pruning).
-
-        ``deadline`` turns the query *anytime*: the engine checks the
-        wall-clock/cost limits between rounds and, once exceeded, stops
-        early and returns the current top-k as a ``degraded`` result with
-        correct per-item score intervals.  The same degradation path
-        covers storage faults: a list whose retry budget is exhausted is
-        dropped (named in ``result.exhausted_lists``) and its ``high_i``
-        contribution stays frozen at the last value read.
-        """
-        started = time.perf_counter()
-        state = QueryState(
-            index=self.index,
-            stats=self.stats,
-            terms=terms,
-            k=k,
-            cost_model=self.cost_model,
-            batch_blocks=self.batch_blocks,
-            weights=weights,
-            predictor_cls=self.predictor_cls,
-            retry_policy=self.retry_policy,
-        )
-        traces: List[RoundTrace] = []
-        deadline_hit = False
-        while not state.is_terminated:
-            if deadline is not None and deadline.exceeded(
-                time.perf_counter() - started, state.meter.cost
-            ):
-                deadline_hit = True
-                break
-            progressed = False
-            if not state.exhausted and ra_policy.wants_sorted_access(state):
-                allocation = sa_policy.allocate(state, state.batch_blocks)
-                if any(b > 0 for b in allocation):
-                    state.perform_sorted_round(allocation)
-                    progressed = True
-            ra_before = state.meter.random_accesses
-            try:
-                ra_policy.after_round(state)
-            except DegradedExecution:
-                # A list went unavailable mid-probing; the failure is
-                # recorded in state.failed_dims — keep going with the
-                # remaining lists and report a degraded result.
-                pass
-            if state.meter.random_accesses != ra_before:
-                state.recompute()
-                progressed = True
-            if prune_epsilon > 0.0 and state.probabilistic_prune(
-                prune_epsilon
-            ):
-                state.recompute()
-            if not progressed:
-                # Policy refused both access kinds while work remains; fall
-                # back to a round-robin SA round to guarantee progress.
-                if state.exhausted:
-                    break
-                fallback = _round_robin_fallback(state)
-                state.perform_sorted_round(fallback)
-            if trace:
-                traces.append(
-                    RoundTrace(
-                        round_no=state.round_no,
-                        allocation=tuple(state.last_allocation),
-                        positions=tuple(state.positions),
-                        highs=tuple(state.highs),
-                        min_k=state.min_k,
-                        unseen_bestscore=state.pool.unseen_bestscore,
-                        queue_size=len(state.pool.queue()),
-                        sorted_accesses=state.meter.sorted_accesses,
-                        random_accesses=state.meter.random_accesses,
-                    )
-                )
-            if state.round_no > self.max_rounds:  # pragma: no cover - guard
-                raise RuntimeError("engine exceeded max_rounds; likely a bug")
-        elapsed = time.perf_counter() - started
-        name = algorithm_name or "%s-%s" % (sa_policy.name, ra_policy.name)
-        degraded = deadline_hit or not state.is_terminated
-        result = state.build_result(name, elapsed, degraded=degraded)
-        result.trace = traces
-        return result
+_EXECUTOR_REEXPORTS = ("TopKEngine", "QueryDeadline", "QueryExecutor")
 
 
-def _round_robin_fallback(state: QueryState) -> List[int]:
-    """One block for each non-exhausted list (progress guarantee)."""
-    return [0 if cursor.exhausted else 1 for cursor in state.cursors]
+def __getattr__(name: str):
+    # Backwards-compatible re-exports: the round loop moved to
+    # repro.core.executor, but `from repro.core.engine import TopKEngine`
+    # (and QueryDeadline) keeps working.  Lazy to avoid a circular import
+    # (executor imports QueryState from this module).
+    if name in _EXECUTOR_REEXPORTS:
+        from . import executor
+
+        return getattr(executor, name)
+    raise AttributeError(
+        "module %r has no attribute %r" % (__name__, name)
+    )

@@ -1,0 +1,435 @@
+"""The execution layer: the TA-family round loop, phase by phase.
+
+The executor drives one :class:`~repro.core.planner.QueryPlan` over one
+index (paper Sec. 2.3 and 4).  Each iteration of the loop is decomposed
+into named phases:
+
+* :meth:`QueryExecutor.check_termination` — the Sec. 2.3 stop test
+  (neither a queued candidate nor any unseen document can still exceed
+  the ``min-k`` threshold) plus the anytime deadline,
+* :meth:`QueryExecutor.sorted_round` — the SA policy splits a batch of
+  ``b`` sorted accesses (whole blocks) across the ``m`` query lists,
+* :meth:`QueryExecutor.random_round` — the RA policy's hook to issue
+  random-access probes (a few for TA/CA/Upper, none for NRA, the entire
+  final probing phase for Last-/Ben-Probing); a
+  :class:`~repro.core.engine.DegradedExecution` unwind is absorbed here,
+* :meth:`QueryExecutor.prune` — optional probabilistic candidate pruning
+  (approximate processing, Sec. 7).
+
+Every phase transition is observable through :class:`ExecutionListener`
+hooks (query-start, round-start, probe, round-end, termination) — the
+single instrumentation point used for per-round tracing
+(:class:`TraceListener`), benchmarks, and chaos experiments.  Listeners
+only observe: the access sequence with listeners attached is identical,
+access for access, to a bare run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..stats.score_predictor import ScorePredictor
+from ..storage.accessors import RetryPolicy
+from ..storage.block_index import InvertedBlockIndex
+from ..storage.diskmodel import CostModel
+from ..stats.catalog import StatsCatalog
+from .engine import DegradedExecution, QueryState, RAPolicy, SAPolicy
+from .planner import QueryPlan
+from .results import QueryStats, RankedItem, RoundTrace, TopKResult
+
+
+@dataclass(frozen=True)
+class QueryDeadline:
+    """Anytime-execution limits for one query (paper-style cost or time).
+
+    The executor checks the deadline between processing rounds; once
+    ``wall_clock_seconds`` of real time have elapsed or the meter's
+    normalized COST reaches ``cost_budget``, the round loop stops and the
+    current candidate state is returned as a *degraded* result whose
+    per-item ``[worstscore, bestscore]`` intervals are still correct.
+    """
+
+    wall_clock_seconds: Optional[float] = None
+    cost_budget: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.wall_clock_seconds is None and self.cost_budget is None:
+            raise ValueError(
+                "a deadline needs wall_clock_seconds, cost_budget, or both"
+            )
+        if self.wall_clock_seconds is not None and self.wall_clock_seconds <= 0:
+            raise ValueError("wall_clock_seconds must be positive")
+        if self.cost_budget is not None and self.cost_budget <= 0:
+            raise ValueError("cost_budget must be positive")
+
+    def exceeded(self, elapsed_seconds: float, cost: float) -> bool:
+        """Whether either limit has been reached."""
+        if (
+            self.wall_clock_seconds is not None
+            and elapsed_seconds >= self.wall_clock_seconds
+        ):
+            return True
+        return self.cost_budget is not None and cost >= self.cost_budget
+
+
+class ExecutionListener:
+    """Observer interface for one query execution.
+
+    Subclass and override any subset of the hooks; the default
+    implementations do nothing.  Listeners are observational only — they
+    must not mutate the state or issue accesses, and must not raise (an
+    exception would abort the query).  Hook order per query::
+
+        on_query_start
+        (on_round_start  [on_probe ...]  on_round_end) * rounds
+        on_termination
+
+    ``on_probe`` fires once per random access, from whichever phase
+    issued it (an RA policy hook or the final probing phase).
+    """
+
+    def on_query_start(self, plan: QueryPlan, state: QueryState) -> None:
+        """The executor built the query state and is about to loop."""
+
+    def on_round_start(self, state: QueryState) -> None:
+        """A processing round is about to run its phases."""
+
+    def on_probe(
+        self, state: QueryState, doc_id: int, dim: int, score: float
+    ) -> None:
+        """One random access resolved ``dim`` for ``doc_id``."""
+
+    def on_round_end(self, state: QueryState, trace: RoundTrace) -> None:
+        """A round finished; ``trace`` snapshots the state after it."""
+
+    def on_termination(
+        self, state: QueryState, result: TopKResult, reason: str
+    ) -> None:
+        """The loop stopped (reason: threshold/deadline/exhausted)."""
+
+
+class TraceListener(ExecutionListener):
+    """Collects one :class:`RoundTrace` per round (the ``trace=True`` path).
+
+    The records buffer resets on ``on_query_start``, so one instance can
+    be attached to an executor or session and reused across queries; read
+    ``records`` between runs (the executor also copies them onto
+    ``result.trace``).
+    """
+
+    def __init__(self) -> None:
+        self.records: List[RoundTrace] = []
+
+    def on_query_start(self, plan: QueryPlan, state: QueryState) -> None:
+        self.records = []
+
+    def on_round_end(self, state: QueryState, trace: RoundTrace) -> None:
+        self.records.append(trace)
+
+
+#: Termination reasons passed to :meth:`ExecutionListener.on_termination`.
+TERMINATED_THRESHOLD = "threshold"
+TERMINATED_DEADLINE = "deadline"
+TERMINATED_EXHAUSTED = "exhausted"
+
+
+class QueryExecutor:
+    """Runs query plans against one index — the execution layer.
+
+    Holds everything that is per-index rather than per-query: the index,
+    its statistics catalog, default cost model and batch size, the retry
+    policy for storage faults, and any permanently attached listeners.
+    Executors are reusable and are typically obtained from a
+    :class:`repro.core.session.QuerySession`, which caches one per index.
+    """
+
+    def __init__(
+        self,
+        index: InvertedBlockIndex,
+        stats: Optional[StatsCatalog] = None,
+        cost_model: Optional[CostModel] = None,
+        batch_blocks: Optional[int] = None,
+        max_rounds: int = 1_000_000,
+        predictor_cls: type = ScorePredictor,
+        retry_policy: Optional[RetryPolicy] = None,
+        listeners: Sequence[ExecutionListener] = (),
+    ) -> None:
+        self.index = index
+        self.stats = stats if stats is not None else StatsCatalog(index)
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.batch_blocks = batch_blocks
+        self.max_rounds = max_rounds
+        self.predictor_cls = predictor_cls
+        #: fault-recovery parameters applied to every query's accessors;
+        #: None disables retries (any storage fault drops its list)
+        self.retry_policy = retry_policy
+        #: listeners attached to every execution on this executor
+        self.listeners: Tuple[ExecutionListener, ...] = tuple(listeners)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        plan: QueryPlan,
+        listeners: Sequence[ExecutionListener] = (),
+    ) -> TopKResult:
+        """Run one plan to completion and return results plus stats.
+
+        ``listeners`` are per-call observers combined with the executor's
+        own; see :class:`ExecutionListener` for the event protocol.  The
+        plan's ``cost_model`` / ``batch_blocks`` override the executor
+        defaults when set, its ``deadline`` turns the query *anytime*
+        (stop early, return the current top-k as a ``degraded`` result
+        with correct score intervals), and ``prune_epsilon > 0`` enables
+        approximate processing.  The same degradation path covers storage
+        faults: a list whose retry budget is exhausted is dropped (named
+        in ``result.exhausted_lists``) and its ``high_i`` contribution
+        stays frozen at the last value read.
+        """
+        started = time.perf_counter()
+        all_listeners = self.listeners + tuple(listeners)
+        sa_policy, ra_policy = plan.make_policies()
+        state = QueryState(
+            index=self.index,
+            stats=self.stats,
+            terms=plan.terms,
+            k=plan.k,
+            cost_model=(
+                plan.cost_model
+                if plan.cost_model is not None
+                else self.cost_model
+            ),
+            batch_blocks=(
+                plan.batch_blocks
+                if plan.batch_blocks is not None
+                else self.batch_blocks
+            ),
+            weights=plan.weights,
+            predictor_cls=self.predictor_cls,
+            retry_policy=self.retry_policy,
+            listeners=all_listeners,
+        )
+        for listener in all_listeners:
+            listener.on_query_start(plan, state)
+        reason = self._run_rounds(plan, state, sa_policy, ra_policy,
+                                  all_listeners, started)
+        elapsed = time.perf_counter() - started
+        degraded = (
+            reason == TERMINATED_DEADLINE or not state.is_terminated
+        )
+        result = self.assemble_result(
+            state, plan.algorithm, elapsed, degraded=degraded
+        )
+        for listener in all_listeners:
+            if isinstance(listener, TraceListener):
+                result.trace = list(listener.records)
+                break
+        for listener in all_listeners:
+            listener.on_termination(state, result, reason)
+        return result
+
+    def _run_rounds(
+        self,
+        plan: QueryPlan,
+        state: QueryState,
+        sa_policy: SAPolicy,
+        ra_policy: RAPolicy,
+        listeners: Tuple[ExecutionListener, ...],
+        started: float,
+    ) -> str:
+        """The round loop; returns the termination reason."""
+        while True:
+            reason = self.check_termination(
+                state, plan.deadline, time.perf_counter() - started
+            )
+            if reason is not None:
+                return reason
+            for listener in listeners:
+                listener.on_round_start(state)
+            progressed = self.sorted_round(state, sa_policy, ra_policy)
+            if self.random_round(state, ra_policy):
+                progressed = True
+            self.prune(state, plan.prune_epsilon)
+            if not progressed:
+                # Policy refused both access kinds while work remains; fall
+                # back to a round-robin SA round to guarantee progress.
+                if state.exhausted:
+                    return TERMINATED_EXHAUSTED
+                state.perform_sorted_round(_round_robin_fallback(state))
+            if listeners:
+                trace = self.snapshot(state)
+                for listener in listeners:
+                    listener.on_round_end(state, trace)
+            if state.round_no > self.max_rounds:  # pragma: no cover - guard
+                raise RuntimeError("engine exceeded max_rounds; likely a bug")
+
+    # ------------------------------------------------------------------
+    # Named phases
+    # ------------------------------------------------------------------
+    def check_termination(
+        self,
+        state: QueryState,
+        deadline: Optional[QueryDeadline],
+        elapsed_seconds: float,
+    ) -> Optional[str]:
+        """Stop test: threshold termination first, then the deadline."""
+        if state.is_terminated:
+            return TERMINATED_THRESHOLD
+        if deadline is not None and deadline.exceeded(
+            elapsed_seconds, state.meter.cost
+        ):
+            return TERMINATED_DEADLINE
+        return None
+
+    def sorted_round(
+        self,
+        state: QueryState,
+        sa_policy: SAPolicy,
+        ra_policy: RAPolicy,
+    ) -> bool:
+        """One batch of sorted accesses, if the RA policy allows it."""
+        if state.exhausted or not ra_policy.wants_sorted_access(state):
+            return False
+        allocation = sa_policy.allocate(state, state.batch_blocks)
+        if not any(blocks > 0 for blocks in allocation):
+            return False
+        state.perform_sorted_round(allocation)
+        return True
+
+    def random_round(self, state: QueryState, ra_policy: RAPolicy) -> bool:
+        """The RA policy's probe hook; True when probes were issued."""
+        ra_before = state.meter.random_accesses
+        try:
+            ra_policy.after_round(state)
+        except DegradedExecution:
+            # A list went unavailable mid-probing; the failure is
+            # recorded in state.failed_dims — keep going with the
+            # remaining lists and report a degraded result.
+            pass
+        if state.meter.random_accesses != ra_before:
+            state.recompute()
+            return True
+        return False
+
+    def prune(self, state: QueryState, epsilon: float) -> int:
+        """Probabilistic candidate pruning; returns dropped count."""
+        if epsilon <= 0.0:
+            return 0
+        dropped = state.probabilistic_prune(epsilon)
+        if dropped:
+            state.recompute()
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Observation and result assembly
+    # ------------------------------------------------------------------
+    @staticmethod
+    def snapshot(state: QueryState) -> RoundTrace:
+        """A :class:`RoundTrace` of the state after the current round."""
+        return RoundTrace(
+            round_no=state.round_no,
+            allocation=tuple(state.last_allocation),
+            positions=tuple(state.positions),
+            highs=tuple(state.highs),
+            min_k=state.min_k,
+            unseen_bestscore=state.pool.unseen_bestscore,
+            queue_size=len(state.pool.queue()),
+            sorted_accesses=state.meter.sorted_accesses,
+            random_accesses=state.meter.random_accesses,
+        )
+
+    @staticmethod
+    def assemble_result(
+        state: QueryState,
+        algorithm: str,
+        wall_time: float,
+        degraded: bool = False,
+    ) -> TopKResult:
+        """Build the :class:`TopKResult` from the final bookkeeping."""
+        # Documents whose aggregated lower bound is 0 carry no evidence of
+        # a match and are indistinguishable from unseen documents — they
+        # are never returned (FullMerge applies the same rule).
+        state._note_cursor_failures()
+        top = state.pool.topk_candidates()
+        items = [
+            RankedItem(
+                doc_id=c.doc_id,
+                worstscore=c.worstscore,
+                bestscore=state.pool.bestscore(c),
+            )
+            for c in top
+            if c.worstscore > 0.0
+        ]
+        stats = QueryStats.from_meter(
+            state.meter,
+            rounds=state.round_no,
+            peak_queue_size=state.pool.peak_size,
+            wall_time_seconds=wall_time,
+            retries=state.retry.retries if state.retry else 0,
+            simulated_io_wait_ms=state.retry.waited_ms if state.retry else 0.0,
+        )
+        return TopKResult(
+            items=items,
+            stats=stats,
+            algorithm=algorithm,
+            degraded=degraded or bool(state.failed_dims),
+            exhausted_lists=[
+                state.terms[d] for d in sorted(state.failed_dims)
+            ],
+        )
+
+
+class TopKEngine(QueryExecutor):
+    """Backwards-compatible façade over :class:`QueryExecutor`.
+
+    Kept for API stability: pre-refactor code (and the golden parity
+    tests) drive the engine with explicit policy instances via
+    :meth:`run`.  New code should build a
+    :class:`~repro.core.planner.QueryPlan` and call :meth:`execute`, or
+    go through :class:`repro.core.session.QuerySession`.
+    """
+
+    def run(
+        self,
+        terms: Sequence[str],
+        k: int,
+        sa_policy: SAPolicy,
+        ra_policy: RAPolicy,
+        algorithm_name: str = "",
+        weights: Optional[Sequence[float]] = None,
+        trace: bool = False,
+        prune_epsilon: float = 0.0,
+        deadline: Optional[QueryDeadline] = None,
+    ) -> TopKResult:
+        """Execute one top-k query with pre-built policy instances.
+
+        ``trace=True`` attaches a :class:`TraceListener` for the duration
+        of the call, so the result carries one :class:`RoundTrace` per
+        processing round — the programmatic version of the paper's
+        Fig. 1.  The policy instances are used as-is (single-shot: they
+        carry per-query state), which is why this wrapper exists beside
+        the factory-based :class:`~repro.core.planner.QueryPlan` path.
+        """
+        name = algorithm_name or "%s-%s" % (sa_policy.name, ra_policy.name)
+        plan = QueryPlan(
+            algorithm=name,
+            terms=tuple(terms),
+            k=int(k),
+            weights=None if weights is None else tuple(weights),
+            prune_epsilon=float(prune_epsilon),
+            deadline=deadline,
+            sa_factory=lambda: sa_policy,
+            ra_factory=lambda: ra_policy,
+        )
+        listeners: Tuple[ExecutionListener, ...] = (
+            (TraceListener(),) if trace else ()
+        )
+        return self.execute(plan, listeners=listeners)
+
+
+def _round_robin_fallback(state: QueryState) -> List[int]:
+    """One block for each non-exhausted list (progress guarantee)."""
+    return [0 if cursor.exhausted else 1 for cursor in state.cursors]

@@ -1,0 +1,99 @@
+"""Query planning: one immutable, validated description of a query.
+
+The planner layer turns a user request — terms, ``k``, an algorithm name,
+optional weights/deadline/pruning — into a :class:`QueryPlan` *before*
+anything touches the index.  A plan captures every decision that shapes
+the execution:
+
+* the **resolved algorithm triple** (aliases like ``TA`` already mapped to
+  their canonical ``SA-RA-ordering`` name, e.g. ``RR-All``),
+* the query shape (terms, ``k``, per-term aggregation weights),
+* execution limits (:class:`~repro.core.executor.QueryDeadline`,
+  ``prune_epsilon`` for approximate processing),
+* the cost environment (:class:`~repro.storage.diskmodel.CostModel`,
+  scan batch size).
+
+Plans are produced by :func:`repro.core.algorithms.plan` (which fills in
+the policy factories from the registry) or by
+:meth:`repro.core.session.QuerySession.plan`, and consumed by
+:class:`repro.core.executor.QueryExecutor`.  A plan is reusable: every
+:meth:`QueryPlan.make_policies` call returns *fresh* policy instances, so
+one plan can drive many executions (policies carry per-query state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional, Tuple
+
+from ..storage.diskmodel import CostModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import RAPolicy, SAPolicy
+    from .executor import QueryDeadline
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """Validated, immutable execution plan for one top-k query.
+
+    ``cost_model`` and ``batch_blocks`` are optional overrides: when left
+    ``None`` the executor's own defaults apply, which lets one executor
+    serve plans at different cost ratios (the benchmark harness relies on
+    this to share statistics across cR/cS settings).
+
+    ``sa_factory`` / ``ra_factory`` build the scheduling policies.  They
+    are resolved eagerly by :func:`repro.core.algorithms.plan`; when a
+    plan is constructed directly with factories left ``None``,
+    :meth:`make_policies` falls back to resolving ``algorithm`` through
+    the registry.
+    """
+
+    algorithm: str
+    terms: Tuple[str, ...]
+    k: int
+    weights: Optional[Tuple[float, ...]] = None
+    prune_epsilon: float = 0.0
+    deadline: Optional["QueryDeadline"] = None
+    cost_model: Optional[CostModel] = None
+    batch_blocks: Optional[int] = None
+    sa_factory: Optional[Callable[[], "SAPolicy"]] = field(
+        default=None, repr=False, compare=False
+    )
+    ra_factory: Optional[Callable[[], "RAPolicy"]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise ValueError("a query needs at least one term")
+        if int(self.k) < 1:
+            raise ValueError("k must be positive (got %r)" % (self.k,))
+        if self.weights is not None:
+            if len(self.weights) != len(self.terms):
+                raise ValueError(
+                    "weights must match the number of query terms"
+                )
+            if any(w <= 0 for w in self.weights):
+                raise ValueError("weights must be positive (monotonicity)")
+        if self.prune_epsilon < 0.0:
+            raise ValueError("prune_epsilon must be non-negative")
+
+    @property
+    def num_lists(self) -> int:
+        return len(self.terms)
+
+    def make_policies(self) -> Tuple["SAPolicy", "RAPolicy"]:
+        """Fresh per-execution policy instances for this plan."""
+        if self.sa_factory is not None and self.ra_factory is not None:
+            return self.sa_factory(), self.ra_factory()
+        from .algorithms import make_policies
+
+        sa_policy, ra_policy, _ = make_policies(self.algorithm)
+        return sa_policy, ra_policy
+
+    def replace(self, **changes: object) -> "QueryPlan":
+        """A copy of this plan with the given fields replaced."""
+        from dataclasses import replace as dc_replace
+
+        return dc_replace(self, **changes)

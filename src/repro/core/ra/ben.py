@@ -20,7 +20,6 @@ selectivity, stopping early whenever a candidate drops under the threshold.
 
 from __future__ import annotations
 
-from ..bookkeeping import EPSILON
 from ..engine import QueryState, RAPolicy
 from .last import LastProbe, _all_results_seen, _residual_scan_volume
 from .ordering import BenOrdering, expected_wasted_ra_cost, final_probe_phase

@@ -13,7 +13,7 @@ These turn the engine into the textbook algorithms:
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional
+from typing import Optional
 
 from ..bookkeeping import EPSILON, Candidate
 from ..engine import QueryState, RAPolicy

@@ -22,7 +22,7 @@ making each round's optimization O(m * batch^2) regardless of queue size.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List
+from typing import List
 
 from ..engine import QueryState, SAPolicy
 from .knapsack import allocate_budget, delta_table, prefer_round_robin

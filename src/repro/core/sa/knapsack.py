@@ -12,7 +12,7 @@ combinations implicitly, for any m.
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence
+from typing import List, Sequence
 
 
 def allocate_budget(

@@ -1,0 +1,369 @@
+"""The session layer: shared statistics, reusable executors, batch entry.
+
+Fagin-style middleware amortizes per-query setup across queries: the
+expensive part of a query against a cold stack is not the accesses but
+rebuilding the precomputed statistics (per-list histograms, pairwise
+covariances) that every scheduling decision feeds on.  A
+:class:`QuerySession` owns that amortization:
+
+* a **per-index cache** of :class:`~repro.stats.catalog.StatsCatalog`
+  instances — each index's histograms and covariance tables are built
+  exactly once per session, no matter how many queries (or cost ratios)
+  touch it,
+* a **per-index cache** of reusable
+  :class:`~repro.core.executor.QueryExecutor` instances,
+* the batch API :meth:`QuerySession.run_many` plus the single-query
+  convenience :meth:`QuerySession.run`.
+
+The session is the single entry point the rest of the library routes
+through: :class:`~repro.core.algorithms.TopKProcessor` wraps a session
+bound to one index, :func:`repro.core.algorithms.run_query` consults a
+process-wide session cache, and the benchmark harness shares one session
+across all its processors.
+
+A session holds strong references to the indexes it has served (an
+``id()``-keyed cache needs the id to stay valid).  Pass
+``max_cached_indexes`` to bound the cache with LRU eviction — the
+process-wide session used by ``run_query`` does.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Sequence
+
+from ..stats.catalog import StatsCatalog
+from ..storage.accessors import RetryPolicy
+from ..storage.block_index import InvertedBlockIndex
+from ..storage.diskmodel import CostModel
+from .executor import (
+    ExecutionListener,
+    QueryDeadline,
+    QueryExecutor,
+    TraceListener,
+)
+from .planner import QueryPlan
+from .results import TopKResult
+
+#: The paper's best-performing triple; the default everywhere.
+DEFAULT_ALGORITHM = "KSR-Last-Ben"
+
+
+class _IndexEntry:
+    """Per-index cache slot: the index plus its lazily built companions."""
+
+    __slots__ = ("index", "stats", "executor")
+
+    def __init__(self, index: InvertedBlockIndex) -> None:
+        self.index = index
+        self.stats: Optional[StatsCatalog] = None
+        self.executor: Optional[QueryExecutor] = None
+
+
+class QuerySession:
+    """Shared query-processing context over one or more indexes.
+
+    ``index`` (optional) becomes the default target for :meth:`run`,
+    :meth:`run_many`, and friends; every method also accepts an explicit
+    ``index=`` to serve multiple indexes from one session.  Construction
+    is cheap — statistics are built lazily, on the first query per index,
+    and cached for the session's lifetime.
+
+    ``predictor`` selects the probabilistic machinery: ``"histogram"``
+    (the paper's convolution-based predictor) or ``"normal"`` (the
+    RankSQL-style Normal approximation, for comparison).
+    ``retry_policy`` enables fault recovery on every query (see
+    :mod:`repro.storage.faults`).  ``listeners`` are
+    :class:`~repro.core.executor.ExecutionListener` objects attached to
+    every execution the session runs.
+    """
+
+    def __init__(
+        self,
+        index: Optional[InvertedBlockIndex] = None,
+        cost_ratio: float = 1000.0,
+        cost_model: Optional[CostModel] = None,
+        batch_blocks: Optional[int] = None,
+        num_buckets: int = 100,
+        use_correlations: bool = True,
+        predictor: str = "histogram",
+        retry_policy: Optional[RetryPolicy] = None,
+        listeners: Sequence[ExecutionListener] = (),
+        max_cached_indexes: Optional[int] = None,
+    ) -> None:
+        from ..stats.normal_predictor import NormalScorePredictor
+        from ..stats.score_predictor import ScorePredictor
+
+        predictor_classes = {
+            "histogram": ScorePredictor,
+            "normal": NormalScorePredictor,
+        }
+        if predictor not in predictor_classes:
+            raise ValueError(
+                "unknown predictor %r; valid: %s"
+                % (predictor, sorted(predictor_classes))
+            )
+        self.cost_model = (
+            cost_model
+            if cost_model is not None
+            else CostModel.from_ratio(cost_ratio)
+        )
+        self.batch_blocks = batch_blocks
+        self.num_buckets = num_buckets
+        self.use_correlations = use_correlations
+        self.predictor_cls = predictor_classes[predictor]
+        self.retry_policy = retry_policy
+        self.listeners = tuple(listeners)
+        self.default_index = index
+        self.max_cached_indexes = max_cached_indexes
+        self._entries: "OrderedDict[int, _IndexEntry]" = OrderedDict()
+        #: lifecycle counters — how many catalogs/executors this session
+        #: actually built (the cache-efficiency instrumentation)
+        self.stats_builds = 0
+        self.executor_builds = 0
+        self.queries_run = 0
+
+    # ------------------------------------------------------------------
+    # Per-index caches
+    # ------------------------------------------------------------------
+    def _entry(self, index: Optional[InvertedBlockIndex]) -> _IndexEntry:
+        if index is None:
+            index = self.default_index
+        if index is None:
+            raise ValueError(
+                "no index: pass one or bind a default to the session"
+            )
+        key = id(index)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = _IndexEntry(index)
+            self._entries[key] = entry
+            if (
+                self.max_cached_indexes is not None
+                and len(self._entries) > self.max_cached_indexes
+            ):
+                self._entries.popitem(last=False)
+        else:
+            self._entries.move_to_end(key)
+        return entry
+
+    def stats_for(
+        self, index: Optional[InvertedBlockIndex] = None
+    ) -> StatsCatalog:
+        """The (cached) statistics catalog for an index.
+
+        Built at most once per index and session; every query the session
+        runs against that index shares it, so histogram and covariance
+        computation is amortized across the whole workload.
+        """
+        entry = self._entry(index)
+        if entry.stats is None:
+            entry.stats = StatsCatalog(
+                entry.index,
+                num_buckets=self.num_buckets,
+                use_correlations=self.use_correlations,
+            )
+            self.stats_builds += 1
+        return entry.stats
+
+    def attach_stats(
+        self,
+        catalog: StatsCatalog,
+        index: Optional[InvertedBlockIndex] = None,
+    ) -> None:
+        """Adopt a precomputed catalog for an index (e.g. a shared one)."""
+        entry = self._entry(index)
+        entry.stats = catalog
+        if entry.executor is not None:
+            entry.executor.stats = catalog
+
+    def executor_for(
+        self, index: Optional[InvertedBlockIndex] = None
+    ) -> QueryExecutor:
+        """The (cached) reusable executor for an index."""
+        entry = self._entry(index)
+        if entry.executor is None:
+            entry.executor = QueryExecutor(
+                index=entry.index,
+                stats=self.stats_for(entry.index),
+                cost_model=self.cost_model,
+                batch_blocks=self.batch_blocks,
+                predictor_cls=self.predictor_cls,
+                retry_policy=self.retry_policy,
+                listeners=self.listeners,
+            )
+            self.executor_builds += 1
+        return entry.executor
+
+    @property
+    def cached_indexes(self) -> int:
+        """How many indexes this session currently holds caches for."""
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Planning and execution
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        terms: Sequence[str],
+        k: int,
+        algorithm: str = DEFAULT_ALGORITHM,
+        weights: Optional[Sequence[float]] = None,
+        prune_epsilon: float = 0.0,
+        deadline: Optional[QueryDeadline] = None,
+        cost_model: Optional[CostModel] = None,
+        batch_blocks: Optional[int] = None,
+    ) -> QueryPlan:
+        """Resolve and validate a query into a reusable :class:`QueryPlan`."""
+        from .algorithms import plan as plan_query
+
+        return plan_query(
+            terms,
+            k,
+            algorithm,
+            weights=weights,
+            prune_epsilon=prune_epsilon,
+            deadline=deadline,
+            cost_model=cost_model,
+            batch_blocks=batch_blocks,
+        )
+
+    def run(
+        self,
+        terms: Optional[Sequence[str]] = None,
+        k: Optional[int] = None,
+        algorithm: str = DEFAULT_ALGORITHM,
+        index: Optional[InvertedBlockIndex] = None,
+        plan: Optional[QueryPlan] = None,
+        weights: Optional[Sequence[float]] = None,
+        trace: bool = False,
+        prune_epsilon: float = 0.0,
+        deadline: Optional[QueryDeadline] = None,
+        listeners: Sequence[ExecutionListener] = (),
+    ) -> TopKResult:
+        """Run one top-k query through the session's cached machinery.
+
+        Either pass ``terms`` and ``k`` (optionally with ``algorithm``,
+        ``weights``, ``prune_epsilon``, ``deadline``) or a pre-built
+        ``plan``.  ``trace=True`` attaches a per-call
+        :class:`~repro.core.executor.TraceListener`, so ``result.trace``
+        carries one snapshot per processing round; ``listeners`` add
+        further per-call observers.
+        """
+        if plan is None:
+            if terms is None or k is None:
+                raise ValueError("run() needs terms and k, or a plan")
+            plan = self.plan(
+                terms,
+                k,
+                algorithm,
+                weights=weights,
+                prune_epsilon=prune_epsilon,
+                deadline=deadline,
+            )
+        extra = tuple(listeners)
+        if trace:
+            extra = extra + (TraceListener(),)
+        executor = self.executor_for(index)
+        self.queries_run += 1
+        return executor.execute(plan, listeners=extra)
+
+    def run_many(
+        self,
+        queries: Sequence[Sequence[str]],
+        k: int,
+        algorithm: str = DEFAULT_ALGORITHM,
+        index: Optional[InvertedBlockIndex] = None,
+        weights: Optional[Sequence[float]] = None,
+        prune_epsilon: float = 0.0,
+        deadline: Optional[QueryDeadline] = None,
+        listeners: Sequence[ExecutionListener] = (),
+    ) -> List[TopKResult]:
+        """Run a batch of queries, amortizing statistics and executors.
+
+        The statistics catalog and the executor for the target index are
+        built (at most) once for the entire batch — the whole point of
+        the session layer.  Results come back in query order.
+        """
+        executor = self.executor_for(index)
+        results = []
+        for terms in queries:
+            plan = self.plan(
+                terms,
+                k,
+                algorithm,
+                weights=weights,
+                prune_epsilon=prune_epsilon,
+                deadline=deadline,
+            )
+            self.queries_run += 1
+            results.append(executor.execute(plan, listeners=listeners))
+        return results
+
+    # ------------------------------------------------------------------
+    # Baselines and bounds (conveniences matching TopKProcessor)
+    # ------------------------------------------------------------------
+    def full_merge(
+        self,
+        terms: Sequence[str],
+        k: int,
+        index: Optional[InvertedBlockIndex] = None,
+        weights: Optional[Sequence[float]] = None,
+    ) -> TopKResult:
+        """The DBMS-style FullMerge baseline (scan everything, sort)."""
+        from .full_merge import full_merge
+
+        entry = self._entry(index)
+        return full_merge(
+            entry.index, terms, k, self.cost_model, weights=weights
+        )
+
+    def lower_bound(
+        self,
+        terms: Sequence[str],
+        k: int,
+        index: Optional[InvertedBlockIndex] = None,
+        weights: Optional[Sequence[float]] = None,
+    ) -> float:
+        """Sec. 2.5 per-query lower bound on any TA-family method's cost."""
+        from .lower_bound import LowerBoundComputer
+
+        entry = self._entry(index)
+        computer = LowerBoundComputer(entry.index, terms, weights=weights)
+        return computer.cost_for_k(k, self.cost_model.ratio)
+
+    def warm(
+        self,
+        queries: Sequence[Sequence[str]],
+        index: Optional[InvertedBlockIndex] = None,
+    ) -> int:
+        """Precompute statistics for a query log (paper Sec. 3.4 setup)."""
+        return self.stats_for(index).precompute_from_query_log(queries)
+
+
+#: Process-wide session backing :func:`repro.core.algorithms.run_query`.
+_SHARED_SESSION: Optional[QuerySession] = None
+
+#: Indexes the shared session keeps alive at most (LRU-evicted beyond).
+SHARED_SESSION_MAX_INDEXES = 8
+
+
+def shared_session() -> QuerySession:
+    """The process-wide session used by one-shot conveniences.
+
+    Bounded to :data:`SHARED_SESSION_MAX_INDEXES` indexes (least recently
+    used evicted first) so module-level caching cannot grow without
+    limit.  Call :func:`reset_shared_session` to drop it entirely.
+    """
+    global _SHARED_SESSION
+    if _SHARED_SESSION is None:
+        _SHARED_SESSION = QuerySession(
+            max_cached_indexes=SHARED_SESSION_MAX_INDEXES
+        )
+    return _SHARED_SESSION
+
+
+def reset_shared_session() -> None:
+    """Drop the process-wide session (and its cached statistics)."""
+    global _SHARED_SESSION
+    _SHARED_SESSION = None

@@ -21,7 +21,7 @@ generated at posting granularity instead of token granularity.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

@@ -16,8 +16,8 @@ asks for the same configuration shares one in-memory build.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from ..scoring.bm25 import BM25
 from ..scoring.tfidf import TfIdf

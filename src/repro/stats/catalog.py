@@ -9,7 +9,7 @@ exactly like the precomputed metadata of a production system.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..storage.block_index import InvertedBlockIndex
 from .correlation import CovarianceTable

@@ -15,7 +15,7 @@ and the correlation-aware occurrence probability given an evaluated set
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 

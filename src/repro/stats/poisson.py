@@ -23,7 +23,6 @@ as the paper suggests (their reference [27]).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.special import gammaincc

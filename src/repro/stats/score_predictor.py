@@ -18,7 +18,7 @@ suffix-sum arrays so that per-candidate queries are O(1).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 

@@ -26,7 +26,7 @@ lists, anytime results) lives in :mod:`repro.core.engine`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional, Tuple
 
 import numpy as np

@@ -1,0 +1,99 @@
+"""Algorithm registry: names, aliases, error paths, factory semantics."""
+
+import pytest
+
+import repro.core.algorithms as algorithms_module
+from repro.core.algorithms import (
+    available_algorithms,
+    canonical_name,
+    make_policies,
+)
+from repro.core.session import QuerySession
+from tests.helpers import make_random_index
+
+ALIASES = {
+    "NRA": "RR-Never",
+    "TA": "RR-All",
+    "CA": "RR-Each-Best",
+    "Upper": "RR-Top-Best",
+    "Pick": "RR-Pick-Best",
+}
+
+
+class TestCanonicalName:
+    def test_canonical_names_resolve_to_themselves(self):
+        for name in available_algorithms():
+            assert canonical_name(name) == name
+
+    @pytest.mark.parametrize("alias,resolved", sorted(ALIASES.items()))
+    def test_aliases(self, alias, resolved):
+        assert canonical_name(alias) == resolved
+        # Aliases are case-insensitive.
+        assert canonical_name(alias.lower()) == resolved
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "RR", "Never", "RR-Bogus", "XX-All", "RR_All", "ta-all"],
+    )
+    def test_unknown_names_rejected(self, bad):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            canonical_name(bad)
+
+    def test_error_message_lists_the_valid_choices(self):
+        with pytest.raises(ValueError) as excinfo:
+            canonical_name("RR-Bogus")
+        message = str(excinfo.value)
+        assert "KSR-Last-Ben" in message
+        assert "NRA" in message
+
+
+class TestRegistryShape:
+    def test_full_cross_product(self):
+        names = available_algorithms()
+        assert len(names) == 24
+        assert len(set(names)) == 24
+        for sa in ("RR", "KSR", "KBA"):
+            for ra in ("Never", "All", "Each-Best", "Top-Best",
+                       "Pick-Best", "Pick-Ben", "Last-Best", "Last-Ben"):
+                assert "%s-%s" % (sa, ra) in names
+
+    def test_pick_ben_is_registered_and_documented(self):
+        # RR-Pick-Ben sits in the factory table; the module docstring's
+        # taxonomy must mention it too.
+        assert "RR-Pick-Ben" in available_algorithms()
+        assert "RR-Pick-Ben" in algorithms_module.__doc__
+
+    def test_pick_ben_runs(self):
+        index, terms = make_random_index(seed=42)
+        session = QuerySession(index, cost_ratio=100.0)
+        result = session.run(terms, 10, algorithm="RR-Pick-Ben")
+        best = session.run(terms, 10, algorithm="RR-Pick-Best")
+        assert result.doc_ids == best.doc_ids
+        assert result.stats.cost > 0
+
+
+class TestMakePolicies:
+    def test_returns_resolved_name(self):
+        sa, ra, resolved = make_policies("TA")
+        assert resolved == "RR-All"
+
+    def test_fresh_instances_every_call(self):
+        # Policies carry per-query state; reusing an instance across
+        # queries would leak bookkeeping between executions.
+        for name in available_algorithms():
+            sa1, ra1, _ = make_policies(name)
+            sa2, ra2, _ = make_policies(name)
+            assert sa1 is not sa2, name
+            assert ra1 is not ra2, name
+            assert type(sa1) is type(sa2)
+            assert type(ra1) is type(ra2)
+
+    def test_policy_names_align_with_the_algorithm_name(self):
+        # The SA policy's name is the scheduling prefix; the RA policy's
+        # name is the first component of the probing scheme (the ordering
+        # suffix -Best/-Ben lives in the ordering object, not the policy).
+        for name in available_algorithms():
+            sa, ra, resolved = make_policies(name)
+            prefix, _, ra_scheme = resolved.partition("-")
+            assert sa.name == prefix
+            assert ra_scheme.startswith(ra.name) or ra.name == "Ben"

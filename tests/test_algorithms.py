@@ -13,7 +13,6 @@ from repro.core.sa.kba import KnapsackBenefitAggregation
 from repro.core.sa.ksr import KnapsackScoreReduction
 from repro.core.sa.round_robin import RoundRobin
 
-from tests.helpers import make_random_index
 
 
 class TestCanonicalName:

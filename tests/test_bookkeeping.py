@@ -1,6 +1,5 @@
 """Unit and property tests for the candidate bookkeeping (Sec. 2.3)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

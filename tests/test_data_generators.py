@@ -81,7 +81,6 @@ class TestPadding:
     def test_pad_docs_outside_original_universe(self):
         postings = self.make_postings()
         padded, n = padding.pad_posting_lists(postings, 500, factor=3.0)
-        original = {d for posts in postings.values() for d, _ in posts}
         for term in padded:
             extra = [d for d, _ in padded[term][len(postings[term]):]]
             assert all(d >= 500 for d in extra)
@@ -224,6 +223,5 @@ class TestSynthetic:
             synthetic.synthetic_index(overlap=2.0)
         with pytest.raises(ValueError):
             synthetic.synthetic_index(list_length=100, num_docs=50)
-        rng = np.random.default_rng(0)
         with pytest.raises(ValueError):
             synthetic.synthetic_index(distribution="normal")

@@ -8,7 +8,6 @@ from repro.stats.catalog import StatsCatalog
 from repro.storage.diskmodel import CostModel
 from repro.storage.index_builder import build_index
 
-from tests.helpers import make_random_index
 
 
 def make_state(index, terms, k=5, ratio=100, batch_blocks=None):

@@ -7,7 +7,7 @@ import pytest
 from repro.core.engine import RAPolicy, SAPolicy, TopKEngine
 from repro.storage.diskmodel import CostModel
 
-from tests.helpers import make_random_index, oracle_scores, true_score
+from tests.helpers import oracle_scores, true_score
 
 
 class LazySA(SAPolicy):

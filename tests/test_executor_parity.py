@@ -1,0 +1,131 @@
+"""Golden parity: the layered path reproduces the seed engine exactly.
+
+The recorded values below were produced by the pre-refactor engine (the
+monolithic ``TopKEngine.run`` loop) on a fixed synthetic index.  Every
+canonical algorithm must keep its ``(#SA, #RA, COST, doc_ids)`` byte-for-
+byte — the planner/executor/session split is a pure refactor of the
+query path and listeners are purely observational.
+"""
+
+import pytest
+
+from repro.core.algorithms import available_algorithms
+from repro.core.executor import TraceListener
+from repro.core.session import QuerySession
+from tests.helpers import make_random_index
+
+# (#SA, #RA, COST) per canonical algorithm; index seed=42, k=10,
+# cost_ratio=100.  Recorded from the seed engine before the refactor.
+GOLDEN_ACCESS = {
+    "KBA-All": (960, 1873, 188260.0),
+    "KBA-Each-Best": (1536, 15, 3036.0),
+    "KBA-Last-Ben": (1800, 0, 1800.0),
+    "KBA-Last-Best": (1800, 0, 1800.0),
+    "KBA-Never": (1800, 0, 1800.0),
+    "KBA-Pick-Ben": (768, 438, 44568.0),
+    "KBA-Pick-Best": (768, 438, 44568.0),
+    "KBA-Top-Best": (768, 594, 60168.0),
+    "KSR-All": (960, 1863, 187260.0),
+    "KSR-Each-Best": (1688, 15, 3188.0),
+    "KSR-Last-Ben": (1800, 0, 1800.0),
+    "KSR-Last-Best": (1800, 0, 1800.0),
+    "KSR-Never": (1800, 0, 1800.0),
+    "KSR-Pick-Ben": (768, 438, 44568.0),
+    "KSR-Pick-Best": (768, 438, 44568.0),
+    "KSR-Top-Best": (768, 651, 65868.0),
+    "RR-All": (960, 1922, 193160.0),
+    "RR-Each-Best": (1536, 13, 2836.0),
+    "RR-Last-Ben": (1800, 0, 1800.0),
+    "RR-Last-Best": (1800, 0, 1800.0),
+    "RR-Never": (1800, 0, 1800.0),
+    "RR-Pick-Ben": (768, 438, 44568.0),
+    "RR-Pick-Best": (768, 438, 44568.0),
+    "RR-Top-Best": (768, 585, 59268.0),
+}
+
+#: Exact top-10 (same for every exact algorithm on this index).
+GOLDEN_DOC_IDS = [912, 536, 1834, 529, 9, 154, 429, 800, 802, 541]
+
+# Weighted runs: cost_ratio=50, k=5, weights=(2.0, 1.0, 0.5).
+GOLDEN_WEIGHTED = {
+    "RR-Never": (1536, 0, 1536.0, [429, 536, 1834, 9, 1836]),
+    "RR-All": (576, 1282, 64676.0, [429, 536, 1834, 9, 1836]),
+    "KSR-Last-Ben": (960, 10, 1460.0, [536, 1834, 9, 429, 1836]),
+    "KBA-Last-Ben": (960, 10, 1460.0, [536, 1834, 9, 429, 1836]),
+    "RR-Each-Best": (960, 18, 1860.0, [429, 536, 1834, 9, 1836]),
+}
+
+# NRA trace (cost_ratio=100, k=10): first and last round snapshots.
+GOLDEN_TRACE_ROUNDS = 10
+GOLDEN_TRACE_FIRST = (
+    "round 1: SA+[64, 64, 64] pos=[64, 64, 64] min-k=0.999 "
+    "unseen<=2.688 queue=178 (#SA=192 #RA=0)"
+)
+GOLDEN_TRACE_LAST = (
+    "round 10: SA+[24, 24, 24] pos=[600, 600, 600] min-k=1.918 "
+    "unseen<=0.000 queue=0 (#SA=1800 #RA=0)"
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    index, terms = make_random_index(seed=42)
+    session = QuerySession(index, cost_ratio=100.0)
+    return session, terms
+
+
+def test_golden_table_covers_every_algorithm():
+    assert sorted(GOLDEN_ACCESS) == sorted(available_algorithms())
+
+
+@pytest.mark.parametrize("algorithm", sorted(GOLDEN_ACCESS))
+def test_access_counts_match_seed_engine(setup, algorithm):
+    session, terms = setup
+    result = session.run(terms, 10, algorithm=algorithm)
+    stats = result.stats
+    assert (
+        stats.sorted_accesses,
+        stats.random_accesses,
+        stats.cost,
+    ) == GOLDEN_ACCESS[algorithm]
+    assert result.doc_ids == GOLDEN_DOC_IDS
+    assert not result.degraded
+
+
+@pytest.mark.parametrize("algorithm", sorted(GOLDEN_WEIGHTED))
+def test_weighted_access_counts_match_seed_engine(algorithm):
+    index, terms = make_random_index(seed=42)
+    session = QuerySession(index, cost_ratio=50.0)
+    sa, ra, cost, doc_ids = GOLDEN_WEIGHTED[algorithm]
+    result = session.run(
+        terms, 5, algorithm=algorithm, weights=(2.0, 1.0, 0.5)
+    )
+    assert result.stats.sorted_accesses == sa
+    assert result.stats.random_accesses == ra
+    assert result.stats.cost == cost
+    assert result.doc_ids == doc_ids
+
+
+def test_trace_matches_seed_engine(setup):
+    session, terms = setup
+    result = session.run(terms, 10, algorithm="NRA", trace=True)
+    assert len(result.trace) == GOLDEN_TRACE_ROUNDS
+    assert str(result.trace[0]) == GOLDEN_TRACE_FIRST
+    assert str(result.trace[-1]) == GOLDEN_TRACE_LAST
+
+
+def test_trace_flag_equals_explicit_trace_listener(setup):
+    session, terms = setup
+    via_flag = session.run(terms, 10, algorithm="NRA", trace=True)
+    listener = TraceListener()
+    via_listener = session.run(
+        terms, 10, algorithm="NRA", listeners=(listener,)
+    )
+    assert [str(r) for r in via_flag.trace] == [
+        str(r) for r in listener.records
+    ]
+    # The listener path also places the records on the result.
+    assert [str(r) for r in via_listener.trace] == [
+        str(r) for r in listener.records
+    ]
+    assert via_flag.stats.cost == via_listener.stats.cost

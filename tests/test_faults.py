@@ -20,7 +20,6 @@ from repro.storage.faults import (
     TransientIOError,
 )
 
-from tests.helpers import make_random_index
 
 
 def make_list(n=100, block_size=16, seed=0):

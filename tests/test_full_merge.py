@@ -6,7 +6,7 @@ from repro.core.full_merge import full_merge
 from repro.storage.diskmodel import CostModel
 from repro.storage.index_builder import build_index
 
-from tests.helpers import make_random_index, oracle_scores
+from tests.helpers import oracle_scores
 
 
 class TestFullMerge:

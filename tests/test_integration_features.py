@@ -2,7 +2,6 @@
 serialization round-trips through the full pipeline, and the extension
 experiments at small scale."""
 
-import numpy as np
 import pytest
 
 from repro.bench.extensions import (
@@ -14,7 +13,6 @@ from repro.bench.harness import Harness
 from repro.core.algorithms import TopKProcessor
 from repro.storage.serialization import load_index, save_index
 
-from tests.helpers import make_random_index
 
 
 class TestFeatureCombinations:

@@ -1,0 +1,130 @@
+"""ExecutionListener hooks: ordering, counts, and observational purity."""
+
+import pytest
+
+from repro.core.executor import (
+    ExecutionListener,
+    QueryDeadline,
+    TERMINATED_DEADLINE,
+    TERMINATED_THRESHOLD,
+    TraceListener,
+)
+from repro.core.session import QuerySession
+from tests.helpers import make_random_index
+
+
+class RecordingListener(ExecutionListener):
+    """Logs every hook invocation as (event, payload) tuples."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_query_start(self, plan, state):
+        self.events.append(("query_start", plan.algorithm))
+
+    def on_round_start(self, state):
+        self.events.append(("round_start", state.round_no))
+
+    def on_probe(self, state, doc_id, dim, score):
+        self.events.append(("probe", doc_id, dim))
+
+    def on_round_end(self, state, trace):
+        self.events.append(("round_end", trace.round_no))
+
+    def on_termination(self, state, result, reason):
+        self.events.append(("termination", reason))
+
+
+@pytest.fixture(scope="module")
+def setup():
+    index, terms = make_random_index(seed=42)
+    return QuerySession(index, cost_ratio=100.0), terms
+
+
+def names(listener):
+    return [event[0] for event in listener.events]
+
+
+class TestEventProtocol:
+    def test_brackets_and_round_pairing(self, setup):
+        session, terms = setup
+        listener = RecordingListener()
+        session.run(terms, 10, algorithm="TA", listeners=(listener,))
+        seen = names(listener)
+        assert seen[0] == "query_start"
+        assert seen[-1] == "termination"
+        assert seen.count("round_start") == seen.count("round_end")
+        assert seen.count("query_start") == 1
+        assert seen.count("termination") == 1
+
+    def test_probe_events_match_the_meter(self, setup):
+        session, terms = setup
+        listener = RecordingListener()
+        result = session.run(terms, 10, algorithm="TA",
+                             listeners=(listener,))
+        probes = [e for e in listener.events if e[0] == "probe"]
+        assert len(probes) == result.stats.random_accesses
+        assert result.stats.random_accesses > 0
+
+    def test_nra_emits_no_probes(self, setup):
+        session, terms = setup
+        listener = RecordingListener()
+        result = session.run(terms, 10, algorithm="NRA",
+                             listeners=(listener,))
+        assert not [e for e in listener.events if e[0] == "probe"]
+        assert result.stats.random_accesses == 0
+
+    def test_threshold_termination_reason(self, setup):
+        session, terms = setup
+        listener = RecordingListener()
+        session.run(terms, 10, algorithm="NRA", listeners=(listener,))
+        assert listener.events[-1] == ("termination", TERMINATED_THRESHOLD)
+
+    def test_deadline_termination_reason(self, setup):
+        session, terms = setup
+        listener = RecordingListener()
+        result = session.run(
+            terms, 10, algorithm="NRA",
+            deadline=QueryDeadline(cost_budget=100.0),
+            listeners=(listener,),
+        )
+        assert listener.events[-1] == ("termination", TERMINATED_DEADLINE)
+        assert result.degraded
+
+
+class TestObservationalPurity:
+    @pytest.mark.parametrize("algorithm", ["NRA", "TA", "KSR-Last-Ben"])
+    def test_listeners_do_not_change_the_access_sequence(
+        self, setup, algorithm
+    ):
+        session, terms = setup
+        bare = session.run(terms, 10, algorithm=algorithm)
+        observed = session.run(
+            terms, 10, algorithm=algorithm,
+            listeners=(RecordingListener(), TraceListener()),
+        )
+        assert bare.doc_ids == observed.doc_ids
+        assert bare.stats.sorted_accesses == observed.stats.sorted_accesses
+        assert bare.stats.random_accesses == observed.stats.random_accesses
+        assert bare.stats.cost == observed.stats.cost
+        assert bare.stats.rounds == observed.stats.rounds
+
+
+class TestAttachment:
+    def test_session_level_listeners_see_every_query(self):
+        index, terms = make_random_index(seed=3)
+        listener = RecordingListener()
+        session = QuerySession(index, listeners=(listener,))
+        session.run_many([terms, terms[:2], terms[:1]], k=3)
+        assert names(listener).count("query_start") == 3
+        assert names(listener).count("termination") == 3
+
+    def test_trace_listener_resets_between_queries(self):
+        index, terms = make_random_index(seed=3)
+        tracer = TraceListener()
+        session = QuerySession(index, listeners=(tracer,))
+        first = session.run(terms, 3, algorithm="NRA")
+        first_rounds = len(tracer.records)
+        session.run(terms, 3, algorithm="NRA")
+        assert len(tracer.records) == first_rounds
+        assert first.stats.rounds == first_rounds

@@ -1,6 +1,5 @@
 """Validity and behaviour tests for the Sec. 2.5 lower bound."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

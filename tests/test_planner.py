@@ -1,0 +1,120 @@
+"""Planner layer: QueryPlan validation, factories, and plan() resolution."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.algorithms import plan
+from repro.core.executor import QueryDeadline
+from repro.core.planner import QueryPlan
+from repro.core.ra.simple import AllProbe, NeverProbe
+from repro.core.sa.round_robin import RoundRobin
+from repro.storage.diskmodel import CostModel
+
+
+class TestValidation:
+    def test_empty_terms_rejected(self):
+        with pytest.raises(ValueError, match="at least one term"):
+            QueryPlan(algorithm="RR-Never", terms=(), k=10)
+
+    @pytest.mark.parametrize("k", [0, -1, -50])
+    def test_nonpositive_k_rejected(self, k):
+        with pytest.raises(ValueError, match="k must be positive"):
+            QueryPlan(algorithm="RR-Never", terms=("a",), k=k)
+
+    def test_weight_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="weights must match"):
+            QueryPlan(
+                algorithm="RR-Never", terms=("a", "b"), k=1, weights=(1.0,)
+            )
+
+    def test_nonpositive_weights_rejected(self):
+        with pytest.raises(ValueError, match="weights must be positive"):
+            QueryPlan(
+                algorithm="RR-Never", terms=("a", "b"), k=1,
+                weights=(1.0, -2.0),
+            )
+
+    def test_negative_prune_epsilon_rejected(self):
+        with pytest.raises(ValueError, match="prune_epsilon"):
+            QueryPlan(
+                algorithm="RR-Never", terms=("a",), k=1, prune_epsilon=-0.1
+            )
+
+    def test_plan_function_validates_too(self):
+        with pytest.raises(ValueError, match="k must be positive"):
+            plan(["a"], 0)
+        with pytest.raises(ValueError, match="at least one term"):
+            plan([], 5)
+
+
+class TestImmutability:
+    def test_plan_is_frozen(self):
+        p = plan(["a", "b"], 5)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            p.k = 7
+
+    def test_replace_returns_new_plan(self):
+        p = plan(["a", "b"], 5, "NRA")
+        q = p.replace(k=7)
+        assert q.k == 7 and p.k == 5
+        assert q.terms == p.terms
+        assert q.algorithm == p.algorithm
+
+    def test_replace_revalidates(self):
+        p = plan(["a"], 5)
+        with pytest.raises(ValueError, match="k must be positive"):
+            p.replace(k=0)
+
+
+class TestResolution:
+    def test_plan_resolves_aliases(self):
+        assert plan(["a"], 1, "TA").algorithm == "RR-All"
+        assert plan(["a"], 1, "NRA").algorithm == "RR-Never"
+        assert plan(["a"], 1, "nra").algorithm == "RR-Never"
+
+    def test_plan_rejects_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            plan(["a"], 1, "RR-Bogus")
+
+    def test_plan_normalizes_shapes(self):
+        p = plan(["a", "b"], 3, weights=[2, 1])
+        assert p.terms == ("a", "b")
+        assert p.weights == (2.0, 1.0)
+        assert isinstance(p.weights[0], float)
+        assert p.num_lists == 2
+
+    def test_plan_carries_execution_environment(self):
+        model = CostModel.from_ratio(50.0)
+        deadline = QueryDeadline(cost_budget=100.0)
+        p = plan(
+            ["a"], 1, "TA", prune_epsilon=0.05, deadline=deadline,
+            cost_model=model, batch_blocks=2,
+        )
+        assert p.cost_model is model
+        assert p.deadline is deadline
+        assert p.prune_epsilon == 0.05
+        assert p.batch_blocks == 2
+
+
+class TestPolicyFactories:
+    def test_make_policies_returns_fresh_instances(self):
+        p = plan(["a"], 1, "RR-All")
+        sa1, ra1 = p.make_policies()
+        sa2, ra2 = p.make_policies()
+        assert isinstance(sa1, RoundRobin)
+        assert isinstance(ra1, AllProbe)
+        assert sa1 is not sa2
+        assert ra1 is not ra2
+
+    def test_plan_without_factories_resolves_via_registry(self):
+        p = QueryPlan(algorithm="RR-Never", terms=("a",), k=1)
+        assert p.sa_factory is None and p.ra_factory is None
+        sa, ra = p.make_policies()
+        assert isinstance(sa, RoundRobin)
+        assert isinstance(ra, NeverProbe)
+
+    def test_factories_excluded_from_equality(self):
+        p = plan(["a"], 1, "NRA")
+        q = QueryPlan(algorithm="RR-Never", terms=("a",), k=1)
+        assert p == q

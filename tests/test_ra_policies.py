@@ -17,7 +17,6 @@ from repro.core.sa.round_robin import RoundRobin
 from repro.stats.catalog import StatsCatalog
 from repro.storage.diskmodel import CostModel
 
-from tests.helpers import make_random_index
 
 
 def make_state(index, terms, k=5, ratio=100):
@@ -64,7 +63,6 @@ class TestAllProbe(object):
         state = make_state(index, terms)
         policy = AllProbe()
         rr = RoundRobin()
-        first_ra = None
         for _ in range(3):
             state.perform_sorted_round(rr.allocate(state, 3))
             policy.after_round(state)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.scoring.base import Corpus, ScoringModel
+from repro.scoring.base import Corpus
 from repro.scoring.bm25 import BM25
 from repro.scoring.tfidf import TfIdf
 

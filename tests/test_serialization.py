@@ -6,7 +6,6 @@ import pytest
 from repro.core.algorithms import TopKProcessor
 from repro.storage.serialization import load_index, save_index
 
-from tests.helpers import make_random_index
 
 
 class TestRoundTrip:

@@ -1,0 +1,190 @@
+"""Session layer: statistics caching, executor reuse, batch execution."""
+
+import pytest
+
+import repro.core.session as session_module
+from repro.core.algorithms import TopKProcessor, run_query
+from repro.core.session import (
+    QuerySession,
+    reset_shared_session,
+    shared_session,
+)
+from repro.stats.catalog import StatsCatalog
+from tests.helpers import make_random_index
+
+
+@pytest.fixture()
+def small_index():
+    return make_random_index(seed=3)
+
+
+@pytest.fixture()
+def counting_catalog(monkeypatch):
+    """Patch the session's StatsCatalog to count real constructions."""
+    builds = []
+
+    class CountingCatalog(StatsCatalog):
+        def __init__(self, *args, **kwargs):
+            builds.append(1)
+            super().__init__(*args, **kwargs)
+
+    monkeypatch.setattr(session_module, "StatsCatalog", CountingCatalog)
+    return builds
+
+
+class TestStatsCaching:
+    def test_run_many_builds_stats_exactly_once(
+        self, small_index, counting_catalog
+    ):
+        index, terms = small_index
+        session = QuerySession(index)
+        queries = [
+            [terms[i % len(terms)], terms[(i + 1) % len(terms)]]
+            for i in range(20)
+        ]
+        results = session.run_many(queries, k=5)
+        assert len(results) == 20
+        assert all(r.doc_ids for r in results)
+        assert sum(counting_catalog) == 1
+        assert session.stats_builds == 1
+        assert session.executor_builds == 1
+        assert session.queries_run == 20
+
+    def test_individual_runs_share_the_catalog(self, small_index):
+        index, terms = small_index
+        session = QuerySession(index)
+        for _ in range(5):
+            session.run(terms, 3, algorithm="NRA")
+        assert session.stats_builds == 1
+        assert session.stats_for() is session.stats_for(index)
+
+    def test_separate_indexes_get_separate_catalogs(self):
+        index_a, terms_a = make_random_index(seed=3)
+        index_b, _ = make_random_index(seed=4)
+        session = QuerySession()
+        session.run(terms_a, 3, index=index_a)
+        session.run(terms_a, 3, index=index_b)
+        assert session.stats_builds == 2
+        assert session.cached_indexes == 2
+        assert session.stats_for(index_a) is not session.stats_for(index_b)
+
+    def test_attach_stats_adopts_catalog(self, small_index):
+        index, terms = small_index
+        session = QuerySession(index)
+        executor = session.executor_for()
+        catalog = StatsCatalog(index)
+        session.attach_stats(catalog)
+        assert session.stats_for() is catalog
+        assert executor.stats is catalog
+        assert session.stats_builds == 1  # built once, then replaced
+
+    def test_executor_reused(self, small_index):
+        index, terms = small_index
+        session = QuerySession(index)
+        assert session.executor_for() is session.executor_for(index)
+        assert session.executor_builds == 1
+
+
+class TestCacheBounds:
+    def test_lru_eviction(self):
+        session = QuerySession(max_cached_indexes=2)
+        indexes = [make_random_index(seed=s)[0] for s in (1, 2, 3)]
+        for index in indexes:
+            session.stats_for(index)
+        assert session.cached_indexes == 2
+        assert session.stats_builds == 3
+        # The oldest index was evicted: asking again rebuilds.
+        session.stats_for(indexes[0])
+        assert session.stats_builds == 4
+        # The other two were kept... but index 1 evicted index 2.
+        session.stats_for(indexes[2])
+        assert session.stats_builds == 4
+
+    def test_recent_use_protects_from_eviction(self):
+        session = QuerySession(max_cached_indexes=2)
+        index_a = make_random_index(seed=1)[0]
+        index_b = make_random_index(seed=2)[0]
+        session.stats_for(index_a)
+        session.stats_for(index_b)
+        session.stats_for(index_a)  # refresh a; b is now LRU
+        session.stats_for(make_random_index(seed=3)[0])
+        session.stats_for(index_a)
+        assert session.stats_builds == 3  # a never rebuilt
+
+
+class TestErrors:
+    def test_run_requires_terms_or_plan(self, small_index):
+        index, _ = small_index
+        session = QuerySession(index)
+        with pytest.raises(ValueError, match="terms and k, or a plan"):
+            session.run()
+
+    def test_no_index_anywhere(self):
+        session = QuerySession()
+        with pytest.raises(ValueError, match="no index"):
+            session.run(["a"], 1)
+
+    def test_unknown_predictor(self):
+        with pytest.raises(ValueError, match="unknown predictor"):
+            QuerySession(predictor="gaussian")
+
+
+class TestSharedSession:
+    def test_run_query_reuses_shared_catalog(
+        self, small_index, counting_catalog
+    ):
+        index, terms = small_index
+        reset_shared_session()
+        try:
+            first = run_query(index, terms, 5, algorithm="NRA")
+            second = run_query(index, terms, 5, algorithm="TA")
+            assert first.doc_ids and second.doc_ids
+            assert sum(counting_catalog) == 1
+            assert shared_session().stats_builds == 1
+        finally:
+            reset_shared_session()
+
+    def test_explicit_stats_bypass_the_cache(
+        self, small_index, counting_catalog
+    ):
+        index, terms = small_index
+        reset_shared_session()
+        try:
+            catalog = StatsCatalog(index)
+            run_query(index, terms, 5, stats=catalog)
+            assert shared_session().cached_indexes == 0
+        finally:
+            reset_shared_session()
+
+    def test_reset_drops_the_session(self):
+        reset_shared_session()
+        first = shared_session()
+        assert shared_session() is first
+        reset_shared_session()
+        assert shared_session() is not first
+
+
+class TestProcessorIntegration:
+    def test_processors_can_share_one_session(self, small_index):
+        index, terms = small_index
+        session = QuerySession()
+        fast = TopKProcessor(index, cost_ratio=10.0, session=session)
+        slow = TopKProcessor(index, cost_ratio=1000.0, session=session)
+        fast.query(terms, 5)
+        slow.query(terms, 5)
+        assert session.stats_builds == 1
+        assert fast.stats is slow.stats
+
+    def test_processor_stats_setter_routes_to_session(self, small_index):
+        index, terms = small_index
+        processor = TopKProcessor(index)
+        catalog = StatsCatalog(index)
+        processor.stats = catalog
+        assert processor.stats is catalog
+        assert processor.session.stats_for(index) is catalog
+
+    def test_warm_precomputes_for_query_log(self, small_index):
+        index, terms = small_index
+        session = QuerySession(index)
+        session.warm([terms])
+        assert session.stats_builds == 1

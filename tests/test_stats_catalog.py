@@ -7,7 +7,6 @@ from repro.stats.correlation import CovarianceTable
 from repro.stats.histogram import ScoreHistogram
 from repro.stats.score_predictor import ScorePredictor
 
-from tests.helpers import make_random_index
 
 
 class TestStatsCatalog:

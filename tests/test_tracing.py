@@ -3,9 +3,7 @@
 import pytest
 
 from repro.core.algorithms import TopKProcessor
-from repro.core.results import RoundTrace
 
-from tests.helpers import make_random_index
 
 
 @pytest.fixture
