@@ -6,11 +6,26 @@ Pick, Last, Ben with KSR/KBA scheduling) through the
 planner/executor/session path with a metrics
 :class:`~repro.core.executor.ExecutionListener` attached, and writes the
 timing/cost measurements as JSON.  CI uploads the file
-(``BENCH_pr2.json``) so successive PRs accumulate comparable data points.
+(``BENCH_pr4.json``) so successive PRs accumulate comparable data points.
+
+Two additions on top of the family battery:
+
+* a **bookkeeping speedup** section — the benchmark's largest corpus (a
+  dense random index whose queries sustain tens of thousands of queued
+  candidates across hundreds of rounds) is run twice per family, once
+  with the incremental candidate bookkeeping and once with the
+  full-recompute reference mode (:func:`repro.core.bookkeeping.
+  reference_pools`).  Both runs must be access-identical; the wall-clock
+  ratio is the round-loop speedup the incremental mode buys,
+* a **regression gate** — ``--baseline previous.json`` compares the
+  per-family costs (and, with ``--gate-wall``, wall clocks) against an
+  earlier report and exits non-zero on a >25% regression, so CI fails
+  the PR instead of silently recording a slower engine.
 
 Usage::
 
-    python -m repro.bench.smoke --output BENCH_pr2.json
+    python -m repro.bench.smoke --output BENCH_pr4.json
+    python -m repro.bench.smoke --baseline BENCH_pr4.json --min-speedup 1.5
     python -m repro.bench.smoke --scale 0.5 --k 10 --cost-ratio 100
 """
 
@@ -23,9 +38,13 @@ import sys
 import time
 from typing import Dict, List, Optional
 
+import numpy as np
+
+from ..core.bookkeeping import reference_pools
 from ..core.executor import ExecutionListener
 from ..core.session import QuerySession
 from ..data.workloads import load_dataset
+from ..storage.index_builder import build_index
 
 #: One representative triple per algorithm family.
 FAMILIES = {
@@ -38,6 +57,27 @@ FAMILIES = {
     "Ben-KSR": "KSR-Last-Ben",
     "Ben-KBA": "KBA-Last-Ben",
 }
+
+#: Families timed for the incremental-vs-reference speedup probe.  NRA is
+#: the pure round-loop workload (no probes at all); CA adds the
+#: cost-rationed probe path.  Both keep very large candidate queues alive
+#: for hundreds of rounds, which is the regime the incremental
+#: bookkeeping targets.
+SPEEDUP_FAMILIES = ("NRA", "CA")
+
+#: Geometry of the speedup corpus — the largest index the smoke
+#: benchmark touches.  Dense uniform scores keep the NRA bounds from
+#: converging early, so the queue stays in the tens of thousands.
+SPEEDUP_CORPUS = {
+    "num_docs": 400_000,
+    "list_length": 120_000,
+    "num_lists": 3,
+    "block_size": 256,
+    "seed": 13,
+}
+
+#: Allowed relative growth before the baseline gate fails a metric.
+REGRESSION_TOLERANCE = 0.25
 
 
 class MetricsListener(ExecutionListener):
@@ -69,6 +109,82 @@ class MetricsListener(ExecutionListener):
             self._round_started = None
 
 
+def _build_speedup_corpus():
+    """The benchmark's largest corpus: dense random lists, slow bounds."""
+    spec = SPEEDUP_CORPUS
+    rng = np.random.default_rng(spec["seed"])
+    postings = {}
+    terms = []
+    for i in range(spec["num_lists"]):
+        term = "t%d" % i
+        terms.append(term)
+        docs = rng.choice(
+            spec["num_docs"], size=spec["list_length"], replace=False
+        )
+        scores = rng.random(spec["list_length"])
+        postings[term] = list(zip(docs.tolist(), scores.tolist()))
+    index = build_index(
+        postings, num_docs=spec["num_docs"], block_size=spec["block_size"]
+    )
+    return index, terms
+
+
+def run_speedup(k: int = 10, cost_ratio: float = 1000.0) -> Dict:
+    """Incremental-vs-reference bookkeeping on the largest corpus.
+
+    Runs each speedup family twice — reference (full-recompute) pools
+    first, then the incremental default — and reports the wall-clock
+    ratio.  The two runs must agree access-for-access; a mismatch makes
+    the benchmark fail loudly rather than record a meaningless number.
+    """
+    index, terms = _build_speedup_corpus()
+    rows = {}
+    for family in SPEEDUP_FAMILIES:
+        algorithm = FAMILIES[family]
+        timings = {}
+        outcomes = {}
+        for mode in ("reference", "incremental"):
+            session = QuerySession(
+                index=index, cost_ratio=cost_ratio, batch_blocks=1
+            )
+            session.stats_for()
+            started = time.perf_counter()
+            if mode == "reference":
+                with reference_pools():
+                    result = session.run(terms, k, algorithm=algorithm)
+            else:
+                result = session.run(terms, k, algorithm=algorithm)
+            timings[mode] = (time.perf_counter() - started) * 1000.0
+            outcomes[mode] = (
+                result.stats.sorted_accesses,
+                result.stats.random_accesses,
+                result.stats.cost,
+                tuple(result.doc_ids),
+            )
+        if outcomes["reference"] != outcomes["incremental"]:
+            raise RuntimeError(
+                "bookkeeping modes diverged on %s: %r vs %r"
+                % (algorithm, outcomes["reference"], outcomes["incremental"])
+            )
+        stats = outcomes["incremental"]
+        rows[family] = {
+            "algorithm": algorithm,
+            "cost": stats[2],
+            "reference_wall_ms": round(timings["reference"], 3),
+            "incremental_wall_ms": round(timings["incremental"], 3),
+            "speedup": round(
+                timings["reference"] / timings["incremental"], 3
+            ),
+        }
+    return {
+        "corpus": dict(SPEEDUP_CORPUS),
+        "k": k,
+        "cost_ratio": cost_ratio,
+        "families": rows,
+        "min_speedup": min(row["speedup"] for row in rows.values()),
+    }
+
+
 def run_smoke(
     scale: float = 0.5,
     k: int = 10,
@@ -76,6 +192,7 @@ def run_smoke(
     dataset_name: str = "terabyte-bm25",
     seed: int = 7,
     batch_blocks: int = 1,
+    speedup: bool = True,
 ) -> Dict:
     """Run the smoke battery and return the JSON-ready report.
 
@@ -117,9 +234,9 @@ def run_smoke(
                 sum(listener.round_ms) / len(listener.round_ms), 4
             ) if listener.round_ms else 0.0,
         }
-    return {
+    report = {
         "benchmark": "smoke",
-        "pr": "pr2-planner-executor-session",
+        "pr": "pr4-incremental-bookkeeping",
         "dataset": dataset_name,
         "scale": scale,
         "k": k,
@@ -132,6 +249,44 @@ def run_smoke(
         "python": platform.python_version(),
         "families": families,
     }
+    if speedup:
+        report["bookkeeping_speedup"] = run_speedup(
+            k=k, cost_ratio=cost_ratio
+        )
+    return report
+
+
+def compare_to_baseline(
+    report: Dict,
+    baseline: Dict,
+    gate_wall: bool = False,
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> List[str]:
+    """Per-family regressions of ``report`` against ``baseline``.
+
+    Returns one message per violation (empty list: gate passes).  Cost
+    is compared unconditionally — it is deterministic, so *any* growth
+    beyond the tolerance is a real algorithmic regression.  Wall clock
+    is compared only when ``gate_wall`` is set, because shared CI
+    runners are noisy; local perf work should always pass it.
+    """
+    failures = []
+    for family, row in sorted(baseline.get("families", {}).items()):
+        current = report.get("families", {}).get(family)
+        if current is None:
+            failures.append("family %s missing from current run" % family)
+            continue
+        for metric, gated in (("cost", True), ("wall_ms", gate_wall)):
+            if not gated:
+                continue
+            old = float(row[metric])
+            new = float(current[metric])
+            if new > old * (1.0 + tolerance):
+                failures.append(
+                    "%s %s regressed: %.3f -> %.3f (>%d%%)"
+                    % (family, metric, old, new, tolerance * 100)
+                )
+    return failures
 
 
 def main(argv=None) -> int:
@@ -139,8 +294,8 @@ def main(argv=None) -> int:
         prog="python -m repro.bench.smoke",
         description="One query per algorithm family; timing/cost JSON.",
     )
-    parser.add_argument("--output", default="BENCH_pr2.json",
-                        help="output JSON path (default BENCH_pr2.json)")
+    parser.add_argument("--output", default="BENCH_pr4.json",
+                        help="output JSON path (default BENCH_pr4.json)")
     parser.add_argument("--scale", type=float, default=0.5)
     parser.add_argument("--k", type=int, default=10)
     parser.add_argument("--cost-ratio", type=float, default=1000.0)
@@ -148,11 +303,24 @@ def main(argv=None) -> int:
     parser.add_argument("--batch-blocks", type=int, default=1,
                         help="blocks scanned per round (default 1: "
                              "multi-round trajectories)")
+    parser.add_argument("--no-speedup", action="store_true",
+                        help="skip the incremental-vs-reference "
+                             "bookkeeping speedup section")
+    parser.add_argument("--baseline", default=None, metavar="JSON",
+                        help="previous BENCH_*.json to gate against "
+                             "(fail on >25%% per-family cost regression)")
+    parser.add_argument("--gate-wall", action="store_true",
+                        help="also gate per-family wall clock against "
+                             "the baseline (off by default: CI noise)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless every speedup family reaches "
+                             "this incremental-vs-reference ratio")
     args = parser.parse_args(argv)
 
     report = run_smoke(
         scale=args.scale, k=args.k, cost_ratio=args.cost_ratio,
         dataset_name=args.dataset, batch_blocks=args.batch_blocks,
+        speedup=not args.no_speedup,
     )
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
@@ -162,8 +330,47 @@ def main(argv=None) -> int:
             family, row["algorithm"], row["cost"], row["rounds"],
             row["wall_ms"],
         ))
+    speedup_section = report.get("bookkeeping_speedup")
+    if speedup_section:
+        for family, row in speedup_section["families"].items():
+            print(
+                "speedup %-8s %-14s ref=%.0fms incr=%.0fms -> %.2fx"
+                % (
+                    family, row["algorithm"], row["reference_wall_ms"],
+                    row["incremental_wall_ms"], row["speedup"],
+                )
+            )
     print("wrote %s" % args.output)
-    return 0
+
+    exit_code = 0
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        failures = compare_to_baseline(
+            report, baseline, gate_wall=args.gate_wall
+        )
+        for failure in failures:
+            print("REGRESSION: %s" % failure)
+        if failures:
+            exit_code = 1
+        else:
+            print("baseline gate passed (%s)" % args.baseline)
+    if args.min_speedup is not None:
+        if not speedup_section:
+            print("REGRESSION: --min-speedup given but speedup skipped")
+            exit_code = 1
+        elif speedup_section["min_speedup"] < args.min_speedup:
+            print(
+                "REGRESSION: bookkeeping speedup %.2fx below %.2fx"
+                % (speedup_section["min_speedup"], args.min_speedup)
+            )
+            exit_code = 1
+        else:
+            print(
+                "speedup gate passed (%.2fx >= %.2fx)"
+                % (speedup_section["min_speedup"], args.min_speedup)
+            )
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -10,12 +10,56 @@ The pool maintains the two conceptual priority queues of the paper — the
 current top-k (by worstscore) and the candidate queue (everything else whose
 bestscore still beats the threshold ``min-k``) — and prunes candidates whose
 bestscore can no longer exceed ``min-k``.
+
+Incremental maintenance
+-----------------------
+
+Fagin-style threshold algorithms only ever need *views* of the candidate
+set: the current top-k, the ``min-k`` threshold, and whether any queued or
+unseen document can still beat it.  Rebuilding those views from scratch
+every round costs O(n log n) on a structure that changes by a handful of
+documents per batch, so the pool maintains them incrementally:
+
+* a **lazy min-heap over worstscores** for the current top-k — the rank-k
+  item (and hence ``min-k``) is the valid heap minimum; stale entries
+  (from worstscore growth or eviction) are discarded on pop,
+* **per-mask lazy heaps** over the candidate queue.  Within one
+  ``seen_mask`` group every candidate shares the same missing-high sum,
+  so ``bestscore`` ordering reduces to ``worstscore`` ordering — which
+  never changes while the mask is fixed (worstscore and mask always
+  change together).  A min-heap per group yields threshold pruning with
+  early exit; a max-heap per group yields the termination test without a
+  full scan.  Entry validity is ``(doc alive, not in top-k, mask
+  unchanged)``, checked lazily,
+* **dirty marking** — :meth:`absorb_postings` / :meth:`resolve_dimension`
+  record the touched documents; :meth:`recompute` only reinserts those
+  into the heaps instead of re-sorting the whole pool,
+* **epoch-based invalidation** — :meth:`set_highs` bumps an epoch and
+  resets the missing-high-sum cache only when the ``high_i`` vector
+  actually moved; the worstscore-keyed heaps survive unchanged because
+  highs never enter their keys (only the per-group *bounds* derived at
+  prune/termination time do).
+
+The pre-existing full-recompute implementation is kept, verbatim, as the
+*reference mode* (``CandidatePool(..., incremental=False)`` or the
+:func:`reference_pools` context manager).  The differential test harness
+runs both modes against each other, and the smoke benchmark measures the
+round-loop speedup of the incremental mode; both modes are
+access-identical by construction and by test.
+
+The incremental structures stay reference-identical under *arbitrary*
+API use (the property suite drives random operation scripts against both
+modes), but their performance — and the "terminated never flips back"
+guarantee — comes from the engine's monotone regime: highs never
+increase (scan positions only advance), worstscores never decrease, and
+therefore bestscores never increase and ``min-k`` never decreases.
 """
 
 from __future__ import annotations
 
+import contextlib
 import heapq
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,16 +72,48 @@ import numpy as np
 #: around [0, 1], paper Sec. 2.1).
 EPSILON = 1e-9
 
+#: Extra slack on the *pre-filter* bound of the per-group prune/termination
+#: tests.  The group bound rearranges ``worstscore + miss_sum <= threshold``
+#: into ``worstscore <= threshold - miss_sum``, which is not float-exact;
+#: the pre-filter therefore over-approximates by this margin and every
+#: surviving entry is confirmed with the original left-hand-side expression,
+#: keeping the pruned set bit-identical to the reference implementation.
+_BOUND_SLACK = 1e-9
+
+#: Module default for new pools: incremental (True) or reference (False).
+#: Flipped temporarily by :func:`reference_pools`; engine code constructs
+#: pools without an explicit flag and inherits this default.
+_DEFAULT_INCREMENTAL = True
+
+
+@contextlib.contextmanager
+def reference_pools() -> Iterator[None]:
+    """Run the enclosed block with full-recompute (reference) bookkeeping.
+
+    Every :class:`CandidatePool` constructed inside the ``with`` block
+    uses the pre-incremental O(n log n) recompute path.  Used by the
+    differential test harness and the smoke benchmark's speedup probe.
+    """
+    global _DEFAULT_INCREMENTAL
+    previous = _DEFAULT_INCREMENTAL
+    _DEFAULT_INCREMENTAL = False
+    try:
+        yield
+    finally:
+        _DEFAULT_INCREMENTAL = previous
+
 
 class Candidate:
     """Mutable per-document state: lower bound and evaluated-dimension mask."""
 
     __slots__ = ("doc_id", "worstscore", "seen_mask")
 
-    def __init__(self, doc_id: int) -> None:
+    def __init__(
+        self, doc_id: int, worstscore: float = 0.0, seen_mask: int = 0
+    ) -> None:
         self.doc_id = doc_id
-        self.worstscore = 0.0
-        self.seen_mask = 0
+        self.worstscore = worstscore
+        self.seen_mask = seen_mask
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "Candidate(doc=%d, worst=%.4f, seen=%s)" % (
@@ -48,9 +124,17 @@ class Candidate:
 
 
 class CandidatePool:
-    """All alive candidates of one query, with threshold-based pruning."""
+    """All alive candidates of one query, with threshold-based pruning.
 
-    def __init__(self, num_lists: int, k: int) -> None:
+    All mutations must go through the pool API (:meth:`absorb_postings`,
+    :meth:`resolve_dimension`, :meth:`drop`, :meth:`revive`) so the
+    incremental structures stay consistent; ``candidates`` itself is a
+    read-only view by convention.
+    """
+
+    def __init__(
+        self, num_lists: int, k: int, incremental: Optional[bool] = None
+    ) -> None:
         if not 1 <= num_lists <= 60:
             raise ValueError("num_lists must be between 1 and 60")
         if k <= 0:
@@ -63,7 +147,40 @@ class CandidatePool:
         self.topk_ids: set = set()
         self._miss_sums: Dict[int, float] = {0: 0.0}
         self._highs: Tuple[float, ...] = tuple([float("inf")] * num_lists)
+        self._highs_frozen = False
         self.peak_size = 0
+        #: exact count of alive candidates per ``seen_mask`` (all
+        #: candidates, top-k included) — consumed by the KSR scheduler.
+        self.mask_counts: Dict[int, int] = {}
+        self._incremental = (
+            _DEFAULT_INCREMENTAL if incremental is None else bool(incremental)
+        )
+        # Incremental machinery (unused in reference mode).
+        self._dirty: set = set()
+        self._topk_heap: List[Tuple[float, int]] = []  # (worstscore, -doc)
+        self._queue_min: Dict[int, List[Tuple[float, int]]] = {}
+        self._queue_max: Dict[int, List[Tuple[float, int]]] = {}
+        self._epoch = 0
+        self._term_memo = False
+        self._term_memo_version = -1
+        # Mutation counter driving the cached views (queue/unresolved/topk).
+        self._version = 0
+        self._queue_cache: Optional[List[Candidate]] = None
+        self._queue_cache_version = -1
+        self._unresolved_cache: Optional[List[Candidate]] = None
+        self._unresolved_cache_version = -1
+        self._topk_cache: Optional[List[Candidate]] = None
+        self._topk_cache_version = -1
+
+    @property
+    def incremental(self) -> bool:
+        """Whether this pool runs the incremental maintenance path."""
+        return self._incremental
+
+    @property
+    def epoch(self) -> int:
+        """Bumped whenever :meth:`set_highs` actually moves the bounds."""
+        return self._epoch
 
     # ------------------------------------------------------------------
     # Updates from index accesses
@@ -73,20 +190,55 @@ class CandidatePool:
     ) -> List[int]:
         """Merge one list's batch of postings; returns newly seen doc ids."""
         bit = 1 << dim
+        # Normalize the batch to plain Python scalars up front: ``tolist``
+        # converts a whole numpy block in C (exactly — same float bits),
+        # which beats per-element ``int()`` / ``float()`` on the hot loop.
+        if isinstance(doc_ids, np.ndarray):
+            doc_ids = doc_ids.tolist()
+        else:
+            doc_ids = [int(d) for d in doc_ids]
+        if isinstance(scores, np.ndarray):
+            scores = scores.tolist()
+        else:
+            scores = [float(s) for s in scores]
         new_docs: List[int] = []
+        new_docs_append = new_docs.append
         candidates = self.candidates
+        candidates_get = candidates.get
+        mask_counts = self.mask_counts
+        track_dirty = self._incremental
+        touched: List[Candidate] = []
+        touched_append = touched.append
         for doc_id, score in zip(doc_ids, scores):
-            doc_id = int(doc_id)
-            cand = candidates.get(doc_id)
+            cand = candidates_get(doc_id)
             if cand is None:
-                cand = Candidate(doc_id)
+                # Fast path for first encounters (the vast majority of a
+                # sorted batch): the 0 -> bit bucket move collapses into
+                # the single deferred bit-bucket increment below.
+                cand = Candidate(doc_id, score, bit)
                 candidates[doc_id] = cand
-                new_docs.append(doc_id)
-            if cand.seen_mask & bit:
+                new_docs_append(doc_id)
+                if track_dirty:
+                    touched_append(cand)
+                continue
+            seen = cand.seen_mask
+            if seen & bit:
                 continue  # already resolved by an earlier random access
-            cand.seen_mask |= bit
-            cand.worstscore += float(score)
+            cand.seen_mask = seen | bit
+            cand.worstscore += score
+            self._move_mask(seen, seen | bit)
+            if track_dirty:
+                touched_append(cand)
+        if new_docs:
+            # Deferred bucket update: within this call the ``bit`` bucket
+            # is only ever incremented (an existing candidate never has
+            # ``bit`` in its old mask), so batching the new-doc count is
+            # order-independent.
+            mask_counts[bit] = mask_counts.get(bit, 0) + len(new_docs)
+        if touched:
+            self._dirty.update(touched)
         self.peak_size = max(self.peak_size, len(candidates))
+        self._version += 1
         return new_docs
 
     def resolve_dimension(self, doc_id: int, dim: int, score: float) -> Candidate:
@@ -96,18 +248,79 @@ class CandidatePool:
         if cand is None:
             cand = Candidate(doc_id)
             self.candidates[doc_id] = cand
+            self.mask_counts[0] = self.mask_counts.get(0, 0) + 1
         if not cand.seen_mask & bit:
-            cand.seen_mask |= bit
+            old_mask = cand.seen_mask
+            cand.seen_mask = old_mask | bit
             cand.worstscore += float(score)
+            self._move_mask(old_mask, cand.seen_mask)
+            if self._incremental:
+                self._dirty.add(cand)
+            self._version += 1
         return cand
+
+    def revive(self, doc_id: int) -> Candidate:
+        """Get-or-create a candidate (used by TA to resolve pruned docs)."""
+        cand = self.candidates.get(doc_id)
+        if cand is None:
+            cand = Candidate(doc_id)
+            self.candidates[doc_id] = cand
+            self.mask_counts[0] = self.mask_counts.get(0, 0) + 1
+            if self._incremental:
+                self._dirty.add(cand)
+            self._version += 1
+        return cand
+
+    def drop(self, doc_id: int) -> Optional[Candidate]:
+        """Remove a candidate (pruning by a policy); returns it, if alive.
+
+        Stale heap entries for the dropped document are discarded lazily;
+        a dropped top-k member leaves the top-k under capacity until the
+        next :meth:`recompute` refills it from the queue.
+        """
+        cand = self.candidates.pop(doc_id, None)
+        if cand is None:
+            return None
+        count = self.mask_counts.get(cand.seen_mask, 0) - 1
+        if count > 0:
+            self.mask_counts[cand.seen_mask] = count
+        else:
+            self.mask_counts.pop(cand.seen_mask, None)
+        self.topk_ids.discard(doc_id)
+        self._dirty.discard(cand)
+        self._version += 1
+        return cand
+
+    def _move_mask(self, old_mask: int, new_mask: int) -> None:
+        """Shift one candidate between ``mask_counts`` buckets."""
+        counts = self.mask_counts
+        count = counts.get(old_mask, 0) - 1
+        if count > 0:
+            counts[old_mask] = count
+        else:
+            counts.pop(old_mask, None)
+        counts[new_mask] = counts.get(new_mask, 0) + 1
 
     # ------------------------------------------------------------------
     # Derived bounds
     # ------------------------------------------------------------------
     def set_highs(self, highs: Sequence[float]) -> None:
-        """Install the current ``high_i`` vector and reset the mask cache."""
-        self._highs = tuple(float(h) for h in highs)
+        """Install the current ``high_i`` vector and reset the mask cache.
+
+        A no-op when the vector did not move (probe-only rounds), so the
+        missing-high-sum cache and the termination latch survive.  The
+        worstscore-keyed queue heaps are never invalidated by this call —
+        only the bounds derived from them at prune/termination time
+        change — which is what makes epoch bumps cheap.
+        """
+        new = tuple(float(h) for h in highs)
+        if self._highs_frozen and new == self._highs:
+            return
+        self._highs = new
+        self._highs_frozen = True
         self._miss_sums = {self.full_mask: 0.0}
+        self._epoch += 1
+        self._version += 1
 
     def missing_high_sum(self, seen_mask: int) -> float:
         """Sum of ``high_i`` over the dimensions *not* in ``seen_mask``."""
@@ -140,17 +353,31 @@ class CandidatePool:
     # Threshold maintenance and pruning
     # ------------------------------------------------------------------
     def recompute(self) -> None:
-        """Recompute the top-k / min-k split and prune dead candidates.
+        """Refresh the top-k / min-k split and prune dead candidates.
 
         Must be called after :meth:`set_highs` whenever scan positions or
         candidate states changed.  Pruning removes every candidate outside
-        the current top-k whose bestscore cannot exceed ``min-k``.
+        the current top-k whose bestscore cannot exceed ``min-k``.  The
+        incremental path touches only the documents marked dirty since the
+        previous call; the reference path re-sorts the whole pool.
         """
+        self._version += 1
         candidates = self.candidates
         if not candidates:
             self.topk_ids = set()
             self.min_k = 0.0
+            self._dirty.clear()
             return
+        if not self._incremental:
+            self._recompute_full()
+            return
+        self._flush_dirty()
+        self._rebalance_topk()
+        self._prune_queue()
+
+    def _recompute_full(self) -> None:
+        """Reference implementation: full re-sort and pruning scan."""
+        candidates = self.candidates
         top = heapq.nlargest(
             self.k,
             candidates.values(),
@@ -167,32 +394,327 @@ class CandidatePool:
             if doc_id not in self.topk_ids and self.bestscore(cand) <= threshold
         ]
         for doc_id in dead:
-            del candidates[doc_id]
+            self.drop(doc_id)
+
+    # -- incremental pieces --------------------------------------------
+    def _flush_dirty(self) -> None:
+        """Reinsert the documents touched since the last recompute.
+
+        Dirty queue members that provably cannot enter the new top-k and
+        whose bestscore cannot beat even the *current* top-k minimum are
+        dropped right here, before ever touching a heap.  The current
+        minimum is a lower bound for the new ``min-k`` (the new top-k is
+        the k largest keys, so its minimum is at least the minimum of
+        the current k-member set), so every early drop is one the
+        reference prune performs as well; survivors enter the heaps and
+        :meth:`_prune_queue` applies the final threshold.  Under heavy
+        churn — most postings die in the round that delivered them —
+        this skips the push/pop round-trip for almost every posting and
+        is the main constant-factor saving of the incremental mode.
+        """
+        dirty = self._dirty
+        if not dirty:
+            return
+        self._dirty = set()
+        candidates = self.candidates
+        topk_ids = self.topk_ids
+        topk_heap = self._topk_heap
+        heappush = heapq.heappush
+        queue_cands: List[Candidate] = []
+        queue_append = queue_cands.append
+        # The dirty set only ever holds live candidates (:meth:`drop`
+        # removes the object), so no aliveness re-check is needed here.
+        for cand in dirty:
+            if cand.doc_id in topk_ids:
+                heappush(topk_heap, (cand.worstscore, -cand.doc_id))
+            else:
+                queue_append(cand)
+        if not queue_cands:
+            return
+        top_min = (
+            self._valid_topk_min() if len(topk_ids) >= self.k else None
+        )
+        if top_min is None or top_min[0] <= 0.0:
+            # No full, positive top-k floor yet (reference prunes nothing
+            # when min-k is zero): keep every survivor.
+            for cand in queue_cands:
+                self._push_queue_entry(cand)
+            return
+        floor, floor_neg_doc = top_min
+        threshold = floor + EPSILON
+        mask_counts = self.mask_counts
+        miss_sums = self._miss_sums
+        missing_high_sum = self.missing_high_sum
+        for cand in queue_cands:
+            worst = cand.worstscore
+            if worst < floor or (
+                worst == floor and -cand.doc_id < floor_neg_doc
+            ):
+                mask = cand.seen_mask
+                ms = miss_sums.get(mask)
+                if ms is None:
+                    ms = missing_high_sum(mask)
+                if worst + ms <= threshold:
+                    del candidates[cand.doc_id]
+                    count = mask_counts.get(mask, 0) - 1
+                    if count > 0:
+                        mask_counts[mask] = count
+                    else:
+                        mask_counts.pop(mask, None)
+                    continue
+            self._push_queue_entry(cand)
+
+    def _push_queue_entry(self, cand: Candidate) -> None:
+        """Register a queue (non-top-k) candidate's current state."""
+        mask = cand.seen_mask
+        entry = (cand.worstscore, cand.doc_id)
+        heap = self._queue_min.get(mask)
+        if heap is None:
+            heap = self._queue_min[mask] = []
+        heapq.heappush(heap, entry)
+        heap = self._queue_max.get(mask)
+        if heap is None:
+            heap = self._queue_max[mask] = []
+        heapq.heappush(heap, (-cand.worstscore, cand.doc_id))
+
+    def _queue_entry_alive(
+        self, mask: int, doc_id: int, worstscore: float
+    ) -> bool:
+        """Whether a queue heap entry still describes a live queue member.
+
+        The recorded worstscore must match too: mask and worstscore only
+        ever change together through absorb/resolve, but a document that
+        was dropped and later re-encountered starts a new life with a
+        recycled mask and a different worstscore — its old entries must
+        read as stale.
+        """
+        cand = self.candidates.get(doc_id)
+        return (
+            cand is not None
+            and doc_id not in self.topk_ids
+            and cand.seen_mask == mask
+            and cand.worstscore == worstscore
+        )
+
+    def _valid_topk_min(self) -> Optional[Tuple[float, int]]:
+        """Peek the valid minimum ``(worstscore, -doc_id)`` of the top-k.
+
+        Pops stale entries (evicted members, or worstscore-growth
+        leftovers, which sort *below* their fresh replacement).
+        """
+        heap = self._topk_heap
+        candidates = self.candidates
+        topk_ids = self.topk_ids
+        while heap:
+            worst, neg_doc = heap[0]
+            cand = candidates.get(-neg_doc)
+            if (
+                cand is None
+                or -neg_doc not in topk_ids
+                or cand.worstscore != worst
+            ):
+                heapq.heappop(heap)
+                continue
+            return worst, neg_doc
+        return None
+
+    def _best_queue_entry(
+        self, pop: bool
+    ) -> Optional[Tuple[float, int]]:
+        """The queue candidate with the largest ``(worstscore, -doc_id)``.
+
+        Scans the per-mask max-heaps (cleaning stale tops); at most one
+        valid top per group is compared.  With ``pop`` the winning entry
+        is removed — the caller is promoting it into the top-k.
+        """
+        best: Optional[Tuple[float, int]] = None
+        best_mask = 0
+        for mask in list(self._queue_max):
+            heap = self._queue_max[mask]
+            while heap:
+                neg_worst, doc_id = heap[0]
+                if self._queue_entry_alive(mask, doc_id, -neg_worst):
+                    break
+                heapq.heappop(heap)
+            if not heap:
+                del self._queue_max[mask]
+                continue
+            worst = -heap[0][0]
+            doc_id = heap[0][1]
+            if best is None or (worst, -doc_id) > (best[0], -best[1]):
+                best = (worst, doc_id)
+                best_mask = mask
+        if best is not None and pop:
+            heapq.heappop(self._queue_max[best_mask])
+        return best
+
+    def _rebalance_topk(self) -> None:
+        """Refill the top-k to capacity and swap in superior queue docs.
+
+        Terminates with no queue candidate beating the valid top-k
+        minimum under the strict ``(worstscore, -doc_id)`` order, i.e.
+        ``topk_ids`` holds exactly the k largest keys — the same set the
+        reference ``nlargest`` computes (keys are unique per document).
+        """
+        candidates = self.candidates
+        topk_ids = self.topk_ids
+        capacity = min(self.k, len(candidates))
+        while True:
+            while len(topk_ids) < capacity:
+                entry = self._best_queue_entry(pop=True)
+                if entry is None:  # pragma: no cover - defensive resync
+                    self._rebuild_structures()
+                    self._update_min_k()
+                    return
+                worst, doc_id = entry
+                topk_ids.add(doc_id)
+                heapq.heappush(self._topk_heap, (worst, -doc_id))
+            top_min = self._valid_topk_min()
+            if top_min is None:
+                if capacity == 0:
+                    break
+                self._rebuild_structures()  # pragma: no cover - defensive
+                self._update_min_k()
+                return
+            entry = self._best_queue_entry(pop=False)
+            if entry is None:
+                break
+            worst, doc_id = entry
+            if (worst, -doc_id) <= top_min:
+                break
+            # Swap: the queue's best strictly beats the rank-k item.
+            self._best_queue_entry(pop=True)
+            heapq.heappop(self._topk_heap)
+            evicted_doc = -top_min[1]
+            topk_ids.discard(evicted_doc)
+            evicted = candidates.get(evicted_doc)
+            if evicted is not None:
+                self._push_queue_entry(evicted)
+            topk_ids.add(doc_id)
+            heapq.heappush(self._topk_heap, (worst, -doc_id))
+        self._update_min_k()
+
+    def _update_min_k(self) -> None:
+        if len(self.topk_ids) >= self.k:
+            top_min = self._valid_topk_min()
+            self.min_k = top_min[0] if top_min is not None else 0.0
+        else:
+            self.min_k = 0.0
+
+    def _prune_queue(self) -> None:
+        """Drop every queue candidate whose bestscore cannot beat min-k.
+
+        Per mask group the test ``worstscore + miss_sum <= threshold``
+        reduces to a worstscore bound, and the group min-heap pops in
+        worstscore order, so the loop stops at the first surviving entry
+        — no full scan.  Entries inside the float-safety band are
+        confirmed with the exact reference expression before deletion.
+        """
+        if self.min_k <= 0.0:
+            return
+        threshold = self.min_k + EPSILON
+        candidates = self.candidates
+        mask_counts = self.mask_counts
+        for mask in list(self._queue_min):
+            heap = self._queue_min[mask]
+            miss_sum = self.missing_high_sum(mask)
+            bound = threshold - miss_sum + _BOUND_SLACK
+            kept: List[Tuple[float, int]] = []
+            while heap and heap[0][0] <= bound:
+                worst, doc_id = heapq.heappop(heap)
+                if not self._queue_entry_alive(mask, doc_id, worst):
+                    continue
+                if worst + miss_sum <= threshold:  # exact reference test
+                    # Inlined drop: validity was just established, the
+                    # entry is not in the top-k, and the dirty set is
+                    # empty at prune time (the flush runs first).
+                    del candidates[doc_id]
+                    count = mask_counts.get(mask, 0) - 1
+                    if count > 0:
+                        mask_counts[mask] = count
+                    else:
+                        mask_counts.pop(mask, None)
+                else:
+                    kept.append((worst, doc_id))
+            for entry in kept:
+                heapq.heappush(heap, entry)
+            if not heap:
+                del self._queue_min[mask]
+
+    def _rebuild_structures(self) -> None:
+        """Rebuild every incremental structure from the candidate dict.
+
+        Defensive fallback only — reached when the lazy heaps lost track
+        of a live candidate, which the property suite asserts never
+        happens through the pool API.
+        """
+        candidates = self.candidates
+        top = heapq.nlargest(
+            self.k,
+            candidates.values(),
+            key=lambda c: (c.worstscore, -c.doc_id),
+        )
+        self.topk_ids = {c.doc_id for c in top}
+        self._topk_heap = [(c.worstscore, -c.doc_id) for c in top]
+        heapq.heapify(self._topk_heap)
+        self._queue_min = {}
+        self._queue_max = {}
+        for doc_id, cand in candidates.items():
+            if doc_id not in self.topk_ids:
+                self._push_queue_entry(cand)
+        self._dirty.clear()
 
     # ------------------------------------------------------------------
     # Views
     # ------------------------------------------------------------------
     def queue(self) -> List[Candidate]:
-        """Candidates outside the current top-k (the paper's queue ``Q``)."""
-        return [
-            cand
-            for doc_id, cand in self.candidates.items()
-            if doc_id not in self.topk_ids
-        ]
+        """Candidates outside the current top-k (the paper's queue ``Q``).
+
+        The returned list is cached until the next pool mutation — repeat
+        calls in one round return the same object; treat it as read-only.
+        """
+        if self._queue_cache_version != self._version:
+            self._queue_cache = [
+                cand
+                for doc_id, cand in self.candidates.items()
+                if doc_id not in self.topk_ids
+            ]
+            self._queue_cache_version = self._version
+        return self._queue_cache
+
+    def queue_size(self) -> int:
+        """Number of candidates outside the current top-k."""
+        if self._queue_cache_version == self._version:
+            return len(self._queue_cache)
+        return len(self.candidates) - sum(
+            1 for doc_id in self.topk_ids if doc_id in self.candidates
+        )
 
     def unresolved(self) -> List[Candidate]:
-        """All candidates (queue and top-k) with at least one missing dim."""
-        return [
-            cand
-            for cand in self.candidates.values()
-            if cand.seen_mask != self.full_mask
-        ]
+        """All candidates (queue and top-k) with at least one missing dim.
+
+        Cached like :meth:`queue`; treat the returned list as read-only.
+        """
+        if self._unresolved_cache_version != self._version:
+            self._unresolved_cache = [
+                cand
+                for cand in self.candidates.values()
+                if cand.seen_mask != self.full_mask
+            ]
+            self._unresolved_cache_version = self._version
+        return self._unresolved_cache
 
     def topk_candidates(self) -> List[Candidate]:
-        """The current top-k candidates in descending worstscore order."""
-        top = [self.candidates[d] for d in self.topk_ids]
-        top.sort(key=lambda c: (-c.worstscore, c.doc_id))
-        return top
+        """The current top-k candidates in descending worstscore order.
+
+        Cached like :meth:`queue`; treat the returned list as read-only.
+        """
+        if self._topk_cache_version != self._version:
+            top = [self.candidates[d] for d in self.topk_ids]
+            top.sort(key=lambda c: (-c.worstscore, c.doc_id))
+            self._topk_cache = top
+            self._topk_cache_version = self._version
+        return self._topk_cache
 
     def topk_worstscores(self) -> np.ndarray:
         """Worstscores of the current top-k items (unordered)."""
@@ -205,7 +727,33 @@ class CandidatePool:
     def is_terminated(self) -> bool:
         """Paper Sec. 2.3 stop rule: no candidate (queued or unseen) can
         still exceed ``min-k``, and the top-k is fully populated (or fewer
-        than k scored documents exist and nothing relevant remains unseen)."""
+        than k scored documents exist and nothing relevant remains unseen).
+
+        The incremental path answers from the per-mask maxima (one valid
+        heap top per mask group) and memoizes the answer against the pool
+        version, so repeat checks between mutations are free — any
+        mutation (which can flip the answer either way until the next
+        :meth:`recompute`) invalidates the memo.  With mutations pending
+        since the last :meth:`recompute` it falls back to the reference
+        scan, so the answer matches the reference semantics in every call
+        order.  In the engine's regime — highs non-increasing,
+        :meth:`recompute` before every check — a True answer is permanent
+        (see DESIGN.md), which is what lets the executor stop for good.
+        """
+        if self._incremental:
+            if self._term_memo_version == self._version:
+                return self._term_memo
+            if self._dirty:
+                result = self._is_terminated_scan()
+            else:
+                result = self._is_terminated_heaps()
+            self._term_memo = result
+            self._term_memo_version = self._version
+            return result
+        return self._is_terminated_scan()
+
+    def _is_terminated_scan(self) -> bool:
+        """Reference termination test: full scan of the candidate pool."""
         if len(self.candidates) < self.k:
             # Fewer than k docs encountered: done only once no unseen doc
             # can carry any positive score at all.
@@ -217,6 +765,33 @@ class CandidatePool:
             if doc_id in self.topk_ids:
                 continue
             if self.bestscore(cand) > threshold:
+                return False
+        return True
+
+    def _is_terminated_heaps(self) -> bool:
+        """Termination from the per-mask queue maxima (no full scan).
+
+        Within one mask group every bestscore shares the same missing-high
+        sum, and float rounding is monotone in the worstscore argument, so
+        checking the group's valid maximum with the exact reference
+        expression decides the whole group.
+        """
+        if len(self.candidates) < self.k:
+            return self.unseen_bestscore <= EPSILON
+        threshold = self.min_k + EPSILON
+        if self.unseen_bestscore > threshold:
+            return False
+        for mask in list(self._queue_max):
+            heap = self._queue_max[mask]
+            while heap:
+                neg_worst, doc_id = heap[0]
+                if self._queue_entry_alive(mask, doc_id, -neg_worst):
+                    break
+                heapq.heappop(heap)
+            if not heap:
+                del self._queue_max[mask]
+                continue
+            if -heap[0][0] + self.missing_high_sum(mask) > threshold:
                 return False
         return True
 

@@ -231,15 +231,14 @@ class QueryState:
         predictor = self.predictor
         pool = self.pool
         doomed = [
-            doc_id
-            for doc_id, cand in pool.candidates.items()
-            if doc_id not in pool.topk_ids
-            and predictor.qualify_probability(
+            cand.doc_id
+            for cand in pool.queue()
+            if predictor.qualify_probability(
                 cand.seen_mask, cand.worstscore, self.min_k
             ) < epsilon
         ]
         for doc_id in doomed:
-            del pool.candidates[doc_id]
+            pool.drop(doc_id)
         return len(doomed)
 
     # ------------------------------------------------------------------

@@ -336,7 +336,7 @@ class QueryExecutor:
             highs=tuple(state.highs),
             min_k=state.min_k,
             unseen_bestscore=state.pool.unseen_bestscore,
-            queue_size=len(state.pool.queue()),
+            queue_size=state.pool.queue_size(),
             sorted_accesses=state.meter.sorted_accesses,
             random_accesses=state.meter.random_accesses,
         )

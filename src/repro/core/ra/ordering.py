@@ -89,18 +89,14 @@ def final_probe_phase(state: QueryState, ordering: RAOrdering) -> None:
     def current_min_k() -> float:
         return heap[0][0]
 
-    pending = [
-        cand
-        for doc_id, cand in pool.candidates.items()
-        if doc_id not in pool.topk_ids
-    ]
+    pending = list(pool.queue())
     while pending:
         batch = ordering.order(state, pending)
         pending = []
         for cand in batch:
             min_k = current_min_k()
             if pool.bestscore(cand) <= min_k + EPSILON:
-                pool.candidates.pop(cand.doc_id, None)
+                pool.drop(cand.doc_id)
                 continue
             dims = sorted(
                 pool.missing_dims(cand), key=lambda i: state.list_lengths[i]
@@ -110,7 +106,7 @@ def final_probe_phase(state: QueryState, ordering: RAOrdering) -> None:
                 if pool.bestscore(cand) <= current_min_k() + EPSILON:
                     break
             if pool.bestscore(cand) <= current_min_k() + EPSILON:
-                pool.candidates.pop(cand.doc_id, None)
+                pool.drop(cand.doc_id)
                 continue
             # Fully resolved and above the threshold: promote into the
             # top-k; the evicted rank-k item may need probes of its own.
@@ -125,5 +121,5 @@ def final_probe_phase(state: QueryState, ordering: RAOrdering) -> None:
             if pool.bestscore(evicted) > current_min_k() + EPSILON:
                 pending.append(evicted)
             else:
-                pool.candidates.pop(evicted_doc, None)
+                pool.drop(evicted_doc)
     state.recompute()

@@ -46,15 +46,12 @@ class AllProbe(RAPolicy):
             if doc_id in self._resolved:
                 continue
             self._resolved.add(doc_id)
-            cand = state.pool.candidates.get(doc_id)
-            if cand is None:
-                # Pruned during this round's bookkeeping before TA got to
-                # resolve it; TA has no queue and would pay the probes
-                # anyway, so re-create the candidate and resolve it fully
-                # (the dimension seen by sorted access is re-fetched by one
-                # extra probe — a negligible, conservative overcount).
-                cand = Candidate(doc_id)
-                state.pool.candidates[doc_id] = cand
+            # A doc pruned during this round's bookkeeping before TA got
+            # to resolve it is re-created; TA has no queue and would pay
+            # the probes anyway (the dimension seen by sorted access is
+            # re-fetched by one extra probe — a negligible, conservative
+            # overcount).
+            cand = state.pool.revive(doc_id)
             for dim in state.pool.missing_dims(cand):
                 state.probe(doc_id, dim)
 
@@ -104,8 +101,7 @@ class TopProbe(RAPolicy):
         # heap entries are detected by re-computing the key on pop.
         heap = [
             (-pool.bestscore(cand), cand.doc_id)
-            for cand in pool.candidates.values()
-            if cand.seen_mask != pool.full_mask
+            for cand in pool.unresolved()
         ]
         heapq.heapify(heap)
         probes = 0
@@ -154,10 +150,7 @@ def _best_unresolved(state: QueryState) -> Optional[Candidate]:
     pool = state.pool
     best: Optional[Candidate] = None
     best_score = float("-inf")
-    full_mask = pool.full_mask
-    for cand in pool.candidates.values():
-        if cand.seen_mask == full_mask:
-            continue
+    for cand in pool.unresolved():
         score = pool.bestscore(cand)
         if score > best_score or (
             score == best_score and best is not None and cand.doc_id < best.doc_id

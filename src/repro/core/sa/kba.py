@@ -25,7 +25,7 @@ from collections import Counter
 from typing import List
 
 from ..engine import QueryState, SAPolicy
-from .knapsack import allocate_budget, delta_table, prefer_round_robin
+from .knapsack import MemoizedAllocator, delta_table, prefer_round_robin
 from .round_robin import RoundRobin
 
 
@@ -36,12 +36,16 @@ class KnapsackBenefitAggregation(SAPolicy):
 
     def __init__(self) -> None:
         self._round_robin = RoundRobin()
+        self._allocator = MemoizedAllocator()
 
     def allocate(self, state: QueryState, batch_blocks: int) -> List[int]:
+        # Built from the cached unresolved() view, NOT from the pool's
+        # maintained mask_counts: the occurrence-mass accumulation below
+        # sums floats in this Counter's insertion order, and only the
+        # first-seen-candidate order reproduces the reference sums
+        # bit-for-bit.
         mask_counts = Counter(
-            cand.seen_mask
-            for cand in state.pool.candidates.values()
-            if cand.seen_mask != state.pool.full_mask
+            cand.seen_mask for cand in state.pool.unresolved()
         )
         if not mask_counts:
             return self._round_robin.allocate(state, batch_blocks)
@@ -79,7 +83,7 @@ class KnapsackBenefitAggregation(SAPolicy):
                 )
             gains.append(row)
 
-        allocation = allocate_budget(gains, batch_blocks)
+        allocation = self._allocator.allocate(gains, batch_blocks)
         fallback = self._round_robin.allocate(state, batch_blocks)
         if not any(allocation):
             return fallback

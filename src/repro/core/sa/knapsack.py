@@ -12,7 +12,8 @@ combinations implicitly, for any m.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from collections import OrderedDict
+from typing import List, Sequence, Tuple
 
 
 def allocate_budget(
@@ -81,6 +82,45 @@ def allocate_budget(
         allocation[i] = x
         spent -= x
     return allocation
+
+
+class MemoizedAllocator:
+    """Cross-round memo for :func:`allocate_budget`.
+
+    The knapsack DP is O(m · B²) per round, but its inputs repeat: once a
+    list's histogram segment is flat or depleted its gain row stops
+    changing, and late rounds often present the exact table of the
+    previous round.  The memo key is the *exact* float contents of the
+    gain tables plus the budget — rounding the key could merge two tables
+    the tie-breaking DP resolves differently and silently change an
+    allocation, so only verbatim repeats hit.  LRU-bounded; ``hits`` /
+    ``misses`` expose cache efficiency to benchmarks and tests.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._memo: "OrderedDict[Tuple, List[int]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def allocate(
+        self, gains: Sequence[Sequence[float]], budget: int
+    ) -> List[int]:
+        """Exactly :func:`allocate_budget`, served from cache on repeats."""
+        key = (tuple(tuple(row) for row in gains), int(budget))
+        cached = self._memo.get(key)
+        if cached is not None:
+            self._memo.move_to_end(key)
+            self.hits += 1
+            return list(cached)
+        self.misses += 1
+        allocation = allocate_budget(gains, budget)
+        self._memo[key] = list(allocation)
+        if len(self._memo) > self.max_entries:
+            self._memo.popitem(last=False)
+        return allocation
 
 
 def allocation_value(

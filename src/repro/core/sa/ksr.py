@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import List
 
 from ..engine import QueryState, SAPolicy
-from .knapsack import allocate_budget, delta_table, prefer_round_robin
+from .knapsack import MemoizedAllocator, delta_table, prefer_round_robin
 from .round_robin import RoundRobin
 
 
@@ -29,6 +29,7 @@ class KnapsackScoreReduction(SAPolicy):
 
     def __init__(self) -> None:
         self._round_robin = RoundRobin()
+        self._allocator = MemoizedAllocator()
 
     def allocate(self, state: QueryState, batch_blocks: int) -> List[int]:
         weights = _unseen_candidate_counts(state)
@@ -41,7 +42,7 @@ class KnapsackScoreReduction(SAPolicy):
             max_blocks = min(state.cursors[dim].blocks_remaining, batch_blocks)
             deltas = delta_table(state, dim, max_blocks)
             gains.append([weights[dim] * d for d in deltas])
-        allocation = allocate_budget(gains, batch_blocks)
+        allocation = self._allocator.allocate(gains, batch_blocks)
         fallback = self._round_robin.allocate(state, batch_blocks)
         if not any(allocation):
             return fallback
@@ -49,13 +50,19 @@ class KnapsackScoreReduction(SAPolicy):
 
 
 def _unseen_candidate_counts(state: QueryState) -> List[int]:
-    """``w_i``: candidates not yet evaluated in list ``i``."""
+    """``w_i``: candidates not yet evaluated in list ``i``.
+
+    Answered from the pool's maintained per-mask counts — integer sums
+    over at most ``2^m`` distinct masks instead of a scan over every
+    candidate.  Exactly the same integers as the per-candidate loop.
+    """
     counts = [0] * state.num_lists
-    for cand in state.pool.candidates.values():
-        missing = state.pool.full_mask & ~cand.seen_mask
+    full_mask = state.pool.full_mask
+    for mask, count in state.pool.mask_counts.items():
+        missing = full_mask & ~mask
         if not missing:
             continue
         for dim in range(state.num_lists):
             if missing >> dim & 1:
-                counts[dim] += 1
+                counts[dim] += count
     return counts

@@ -132,6 +132,11 @@ class SortedCursor:
         self._failed = False
         self._next_block = 0
         self._position = 0  # number of entries delivered so far (pos_i)
+        # Plain (non-faulty) lists support contiguous multi-block reads.
+        # Gated on the concrete type: the fault-injection wrapper forwards
+        # unknown attributes to the wrapped list, so a duck-typed probe
+        # would silently bypass its injected faults.
+        self._supports_batch = isinstance(index_list, IndexList)
 
     @property
     def term(self) -> str:
@@ -206,6 +211,18 @@ class SortedCursor:
         stop_block = min(self._next_block + num_blocks, self._list.num_blocks)
         if stop_block == self._next_block or self._failed:
             return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+        if self._supports_batch:
+            # Fault-free fast path: one contiguous range read for the whole
+            # round instead of a per-block fetch-and-concatenate loop.  The
+            # delivered arrays are exactly the concatenation the loop below
+            # would produce (blocks are stored back-to-back).
+            doc_ids, scores = self._list.read_block_range(
+                self._next_block, stop_block
+            )
+            self._next_block = stop_block
+            self._position += int(doc_ids.size)
+            self._meter.charge_sorted(int(doc_ids.size))
+            return doc_ids, scores
         doc_parts = []
         score_parts = []
         for block in range(self._next_block, stop_block):

@@ -147,6 +147,30 @@ class IndexList:
         start, stop = self.block_bounds(block)
         return self._block_doc_ids[start:stop], self._block_scores[start:stop]
 
+    def read_block_range(
+        self, start_block: int, stop_block: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(doc_ids, scores)`` of blocks ``[start_block, stop_block)``.
+
+        One contiguous slice pair per call — the blocked layout stores
+        blocks back-to-back, so a multi-block read needs no per-block
+        gather and no concatenation.  Entry order is exactly the
+        concatenation of the individual blocks (each internally
+        doc-id-sorted).  ``stop_block`` is clamped to the list's end; an
+        empty range returns empty arrays.
+        """
+        if start_block < 0:
+            raise IndexError("start_block must be non-negative")
+        stop_block = min(stop_block, self.num_blocks)
+        if stop_block <= start_block:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+        start = start_block * self.block_size
+        stop = min(stop_block * self.block_size, len(self))
+        return self._block_doc_ids[start:stop], self._block_scores[start:stop]
+
     def block_checksum(self, block: int) -> int:
         """CRC32 of one block's payload (computed once, then cached)."""
         cached = self._block_crcs.get(block)

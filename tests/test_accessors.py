@@ -6,6 +6,7 @@ import pytest
 from repro.storage.accessors import RandomAccessor, SortedCursor
 from repro.storage.block_index import IndexList
 from repro.storage.diskmodel import AccessMeter, CostModel
+from repro.storage.faults import FaultInjector, FaultPlan, FaultyIndexList
 
 
 @pytest.fixture
@@ -78,6 +79,50 @@ class TestSortedCursor:
         value = cursor.peek_high_after(4)
         assert value == pytest.approx(index_list.score_at_rank(4))
         assert meter.sorted_accesses == 0
+
+    def test_batched_read_matches_per_block_loop(self, setup):
+        """The contiguous fast path delivers the per-block concatenation.
+
+        Same entries, same order, same charges, same cursor geometry —
+        for every (start position, read width) combination of the list.
+        """
+        index_list, _ = setup
+        for lead in range(index_list.num_blocks + 1):
+            for width in range(index_list.num_blocks - lead + 2):
+                fast_meter = AccessMeter(cost_model=CostModel.from_ratio(100))
+                fast = SortedCursor(index_list, fast_meter)
+                assert fast._supports_batch
+                slow_meter = AccessMeter(cost_model=CostModel.from_ratio(100))
+                slow = SortedCursor(index_list, slow_meter)
+                slow._supports_batch = False
+                for cursor in (fast, slow):
+                    cursor.read_next_blocks(lead)
+                got = fast.read_next_blocks(width)
+                want = slow.read_next_blocks(width)
+                np.testing.assert_array_equal(got[0], want[0])
+                np.testing.assert_array_equal(got[1], want[1])
+                assert fast.position == slow.position
+                assert fast.blocks_read == slow.blocks_read
+                assert fast.high == slow.high
+                assert (
+                    fast_meter.sorted_accesses == slow_meter.sorted_accesses
+                )
+
+    def test_faulty_lists_take_the_resilient_path(self, setup):
+        """The fast path must not bypass the fault-injection wrapper.
+
+        ``FaultyIndexList`` forwards unknown attributes to the wrapped
+        list, so a duck-typed capability probe would reach the *plain*
+        ``read_block_range`` and skip every injected fault; the cursor
+        must detect the wrapper and fall back to per-block reads.
+        """
+        index_list, meter = setup
+        faulty = FaultyIndexList(index_list, FaultInjector(FaultPlan()))
+        cursor = SortedCursor(faulty, meter)
+        assert not cursor._supports_batch
+        docs, scores = cursor.read_next_blocks(2)
+        assert docs.size == 8
+        assert meter.sorted_accesses == 8
 
 
 class TestRandomAccessor:

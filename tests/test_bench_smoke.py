@@ -1,0 +1,75 @@
+"""Unit tests for the smoke benchmark's regression gate.
+
+The heavy paths (corpus build, per-family runs) are exercised by CI's
+benchmark step itself; here we pin the gate logic that decides whether
+a PR fails — it must catch real cost regressions and must not flap on
+wall-clock noise unless explicitly asked to gate wall time.
+"""
+
+import copy
+
+from repro.bench.smoke import (
+    FAMILIES,
+    REGRESSION_TOLERANCE,
+    SPEEDUP_FAMILIES,
+    compare_to_baseline,
+)
+
+
+def _report(cost=100.0, wall=10.0):
+    return {
+        "families": {
+            family: {"cost": cost, "wall_ms": wall}
+            for family in ("NRA", "TA")
+        }
+    }
+
+
+class TestCompareToBaseline:
+    def test_identical_reports_pass(self):
+        report = _report()
+        assert compare_to_baseline(report, copy.deepcopy(report)) == []
+
+    def test_growth_within_tolerance_passes(self):
+        baseline = _report(cost=100.0)
+        current = _report(cost=100.0 * (1.0 + REGRESSION_TOLERANCE))
+        assert compare_to_baseline(current, baseline) == []
+
+    def test_cost_regression_fails_every_family(self):
+        baseline = _report(cost=100.0)
+        current = _report(cost=126.0)
+        failures = compare_to_baseline(current, baseline)
+        assert len(failures) == 2
+        assert all("cost regressed" in f for f in failures)
+
+    def test_wall_clock_not_gated_by_default(self):
+        baseline = _report(wall=10.0)
+        current = _report(wall=1000.0)
+        assert compare_to_baseline(current, baseline) == []
+
+    def test_wall_clock_gated_on_request(self):
+        baseline = _report(wall=10.0)
+        current = _report(wall=1000.0)
+        failures = compare_to_baseline(current, baseline, gate_wall=True)
+        assert len(failures) == 2
+        assert all("wall_ms regressed" in f for f in failures)
+
+    def test_cost_improvement_passes_wall_gate(self):
+        baseline = _report(cost=100.0, wall=10.0)
+        current = _report(cost=50.0, wall=5.0)
+        assert compare_to_baseline(current, baseline, gate_wall=True) == []
+
+    def test_missing_family_is_a_failure(self):
+        baseline = _report()
+        current = copy.deepcopy(baseline)
+        del current["families"]["TA"]
+        failures = compare_to_baseline(current, baseline)
+        assert failures == ["family TA missing from current run"]
+
+    def test_empty_baseline_passes(self):
+        assert compare_to_baseline(_report(), {}) == []
+
+
+def test_speedup_families_are_registered():
+    for family in SPEEDUP_FAMILIES:
+        assert family in FAMILIES

@@ -90,6 +90,34 @@ class TestBlockLayout:
         with pytest.raises(IndexError):
             lst.block_bounds(-1)
 
+    def test_block_range_equals_block_concatenation(self):
+        rng = np.random.default_rng(2)
+        lst = IndexList("t", np.arange(30), rng.random(30), block_size=8)
+        for start in range(lst.num_blocks + 1):
+            for stop in range(start, lst.num_blocks + 2):
+                docs, scores = lst.read_block_range(start, stop)
+                parts = [
+                    lst.read_block(b)
+                    for b in range(start, min(stop, lst.num_blocks))
+                ]
+                want_docs = (
+                    np.concatenate([p[0] for p in parts])
+                    if parts
+                    else np.empty(0, dtype=np.int64)
+                )
+                want_scores = (
+                    np.concatenate([p[1] for p in parts])
+                    if parts
+                    else np.empty(0, dtype=np.float64)
+                )
+                np.testing.assert_array_equal(docs, want_docs)
+                np.testing.assert_array_equal(scores, want_scores)
+
+    def test_block_range_rejects_negative_start(self):
+        lst = make_list({1: 0.5})
+        with pytest.raises(IndexError):
+            lst.read_block_range(-1, 1)
+
 
 class TestScoreAtRank:
     def test_exact_values(self):

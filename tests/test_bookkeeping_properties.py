@@ -1,0 +1,282 @@
+"""Property-based tests for the incremental candidate bookkeeping.
+
+Hypothesis drives random operation scripts (absorb / resolve / drop /
+revive / set_highs / recompute) against two pools at once — the
+incremental one and the full-recompute reference — and requires every
+observable to stay identical step for step.  On top of the differential
+oracle, the scripts check the structural invariants the incremental
+machinery relies on:
+
+* ``worstscore <= bestscore`` for every candidate, always,
+* after ``recompute`` the top-k equals a brute-force sort by
+  ``(worstscore, -doc_id)`` over the surviving candidates,
+* ``is_terminated`` never flips back to False under the engine's
+  monotone regime (highs non-increasing),
+* the cached ``queue()`` / ``unresolved()`` / ``topk_candidates()``
+  views are stable objects between mutations and correct after them,
+* the maintained per-mask candidate counts match a recount.
+"""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bookkeeping import CandidatePool
+from repro.core.sa.knapsack import MemoizedAllocator, allocate_budget
+
+SCORES = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+DOC_IDS = st.integers(min_value=0, max_value=24)
+
+
+@st.composite
+def op_sequences(draw, monotone_highs=False):
+    """A pool geometry plus a script of bookkeeping operations.
+
+    With ``monotone_highs`` the script follows the engine's regime: the
+    ``set_highs`` vectors are non-increasing per dimension (scan
+    positions only advance) and every absorbed or resolved score is at
+    most the dimension's current high (lists are score-descending, so
+    everything below the scan position is bounded by it).  Without it,
+    raised highs and over-high scores exercise the paths that must stay
+    correct — and reference-identical — under arbitrary API use.
+    """
+    num_lists = draw(st.integers(1, 4))
+    k = draw(st.integers(1, 5))
+    current_highs = [1.0] * num_lists
+    ops = [("set_highs", tuple(current_highs))]
+
+    def score_for(dim):
+        if monotone_highs:
+            return draw(
+                st.floats(0.0, current_highs[dim], allow_nan=False)
+            )
+        return draw(SCORES)
+
+    for _ in range(draw(st.integers(1, 30))):
+        kind = draw(
+            st.sampled_from(
+                ["absorb", "absorb", "resolve", "set_highs",
+                 "recompute", "drop", "revive", "terminated"]
+            )
+        )
+        if kind == "absorb":
+            dim = draw(st.integers(0, num_lists - 1))
+            batch = [
+                (doc, score_for(dim))
+                for doc in draw(st.lists(DOC_IDS, max_size=6))
+            ]
+            ops.append(("absorb", dim, batch))
+        elif kind == "resolve":
+            dim = draw(st.integers(0, num_lists - 1))
+            ops.append(
+                ("resolve", draw(DOC_IDS), dim, score_for(dim))
+            )
+        elif kind == "set_highs":
+            if monotone_highs:
+                current_highs = [
+                    draw(st.floats(0.0, h, allow_nan=False))
+                    for h in current_highs
+                ]
+                ops.append(("set_highs", tuple(current_highs)))
+            else:
+                ops.append(
+                    (
+                        "set_highs",
+                        tuple(
+                            draw(SCORES) for _ in range(num_lists)
+                        ),
+                    )
+                )
+        elif kind == "drop":
+            ops.append(("drop", draw(DOC_IDS)))
+        elif kind == "revive":
+            ops.append(("revive", draw(DOC_IDS)))
+        else:
+            ops.append((kind,))
+    ops.append(("recompute",))
+    return num_lists, k, ops
+
+
+def _apply(pool, op):
+    if op[0] == "absorb":
+        _, dim, batch = op
+        pool.absorb_postings(
+            dim, [d for d, _ in batch], [s for _, s in batch]
+        )
+    elif op[0] == "resolve":
+        pool.resolve_dimension(op[1], op[2], op[3])
+    elif op[0] == "set_highs":
+        pool.set_highs(op[1])
+    elif op[0] == "recompute":
+        pool.recompute()
+    elif op[0] == "drop":
+        pool.drop(op[1])
+    elif op[0] == "revive":
+        pool.revive(op[1])
+    elif op[0] == "terminated":
+        pool.is_terminated
+
+
+def _snapshot(pool):
+    return (
+        list(pool.candidates),
+        [
+            (c.doc_id, c.worstscore, c.seen_mask)
+            for c in pool.candidates.values()
+        ],
+        pool.min_k,
+        pool.topk_ids,
+        [c.doc_id for c in pool.queue()],
+        [c.doc_id for c in pool.unresolved()],
+        [c.doc_id for c in pool.topk_candidates()],
+        pool.is_terminated,
+    )
+
+
+def _brute_force_topk_ids(pool):
+    top = heapq.nlargest(
+        pool.k,
+        pool.candidates.values(),
+        key=lambda c: (c.worstscore, -c.doc_id),
+    )
+    return {c.doc_id for c in top}
+
+
+@settings(max_examples=150, deadline=None)
+@given(op_sequences())
+def test_incremental_pool_matches_reference(script):
+    """Step-for-step observable equality of the two bookkeeping modes."""
+    num_lists, k, ops = script
+    incremental = CandidatePool(num_lists, k, incremental=True)
+    reference = CandidatePool(num_lists, k, incremental=False)
+    for op in ops:
+        _apply(incremental, op)
+        _apply(reference, op)
+        assert _snapshot(incremental) == _snapshot(reference)
+        # Structural invariants, on the incremental pool.
+        for cand in incremental.candidates.values():
+            assert incremental.bestscore(cand) >= cand.worstscore
+        recount = {}
+        for cand in incremental.candidates.values():
+            recount[cand.seen_mask] = recount.get(cand.seen_mask, 0) + 1
+        assert {
+            m: c for m, c in incremental.mask_counts.items() if c
+        } == recount
+        if op[0] == "recompute":
+            assert incremental.topk_ids == _brute_force_topk_ids(
+                incremental
+            )
+
+
+@settings(max_examples=150, deadline=None)
+@given(op_sequences(monotone_highs=True))
+def test_terminated_never_flips_back_under_monotone_highs(script):
+    """Once terminated, always terminated — the engine's stop contract.
+
+    Holds at the points the engine actually checks — after a
+    ``recompute`` (the executor recomputes after every mutation batch
+    before testing termination) — under the engine's regime:
+
+    * highs non-increasing and delivered scores bounded by the current
+      high (scan positions only advance over a score-descending list),
+    * drops confined to queue members (pruning never removes a top-k
+      member without replacing it),
+    * no further index accesses once terminated (the round loop stops);
+      only non-accessing operations — threshold refreshes, recomputes,
+      queue pruning — may still run, e.g. during result assembly.
+
+    The last restriction is essential, not cosmetic: an exact-score tie
+    between a new document and the rank-k item can evict an unresolved
+    top-k member into the queue with a bestscore above the threshold,
+    legitimately un-terminating the query in *both* modes.  The
+    differential test above pins the two modes to each other at every
+    step regardless; this test is about the stop rule the executor
+    relies on.
+    """
+    num_lists, k, ops = script
+    pool = CandidatePool(num_lists, k, incremental=True)
+    reference = CandidatePool(num_lists, k, incremental=False)
+    was_terminated = False
+    for op in ops:
+        if op[0] == "drop" and op[1] in pool.topk_ids:
+            continue  # outside the engine's regime: would un-terminate
+        if was_terminated and op[0] in ("absorb", "resolve", "revive"):
+            continue  # the engine stops accessing once terminated
+        _apply(pool, op)
+        _apply(reference, op)
+        if op[0] != "recompute":
+            continue
+        now = pool.is_terminated
+        assert now == reference.is_terminated
+        if was_terminated:
+            assert now
+        was_terminated = now
+
+
+@settings(max_examples=100, deadline=None)
+@given(op_sequences())
+def test_views_are_cached_until_mutation(script):
+    """Repeat view calls return the same object; mutations refresh it."""
+    num_lists, k, ops = script
+    pool = CandidatePool(num_lists, k)
+    for op in ops:
+        _apply(pool, op)
+        queue = pool.queue()
+        unresolved = pool.unresolved()
+        topk = pool.topk_candidates()
+        # Reads do not invalidate: identical objects on repeat calls.
+        assert pool.queue() is queue
+        assert pool.unresolved() is unresolved
+        assert pool.topk_candidates() is topk
+        assert pool.queue_size() == len(queue)
+        # And the cached contents equal a fresh computation.
+        assert [c.doc_id for c in queue] == [
+            doc_id
+            for doc_id in pool.candidates
+            if doc_id not in pool.topk_ids
+        ]
+        assert [c.doc_id for c in unresolved] == [
+            c.doc_id
+            for c in pool.candidates.values()
+            if c.seen_mask != pool.full_mask
+        ]
+
+
+GAIN_TABLES = st.lists(
+    st.lists(SCORES, min_size=1, max_size=5),
+    min_size=1,
+    max_size=4,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(GAIN_TABLES, st.integers(0, 8))
+def test_memoized_allocator_matches_direct_dp(gains, budget):
+    allocator = MemoizedAllocator()
+    direct = allocate_budget(gains, budget)
+    first = allocator.allocate(gains, budget)
+    second = allocator.allocate(gains, budget)
+    assert first == direct
+    assert second == direct
+    assert allocator.misses == 1
+    assert allocator.hits == 1
+    # Cached results are defensive copies, not shared lists.
+    first.append(-1)
+    assert allocator.allocate(gains, budget) == direct
+
+
+def test_memoized_allocator_evicts_lru():
+    allocator = MemoizedAllocator(max_entries=2)
+    a = [[0.0, 1.0]]
+    b = [[0.0, 2.0]]
+    c = [[0.0, 3.0]]
+    allocator.allocate(a, 1)
+    allocator.allocate(b, 1)
+    allocator.allocate(a, 1)  # refresh a
+    allocator.allocate(c, 1)  # evicts b
+    assert allocator.hits == 1
+    allocator.allocate(b, 1)  # must be a miss again
+    assert allocator.misses == 4

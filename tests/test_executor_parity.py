@@ -10,6 +10,7 @@ query path and listeners are purely observational.
 import pytest
 
 from repro.core.algorithms import available_algorithms
+from repro.core.bookkeeping import CandidatePool, reference_pools
 from repro.core.executor import TraceListener
 from repro.core.session import QuerySession
 from tests.helpers import make_random_index
@@ -104,6 +105,46 @@ def test_weighted_access_counts_match_seed_engine(algorithm):
     assert result.stats.random_accesses == ra
     assert result.stats.cost == cost
     assert result.doc_ids == doc_ids
+
+
+def test_incremental_bookkeeping_is_the_default():
+    assert CandidatePool(3, 10).incremental
+    with reference_pools():
+        assert not CandidatePool(3, 10).incremental
+    assert CandidatePool(3, 10).incremental
+
+
+@pytest.mark.parametrize("algorithm", sorted(GOLDEN_ACCESS))
+def test_incremental_matches_reference_bookkeeping(setup, algorithm):
+    """The incremental pool is access-identical to the full-recompute one.
+
+    Runs every canonical algorithm twice — once with the pre-incremental
+    reference bookkeeping, once with the default incremental path — and
+    requires byte-identical (#SA, #RA, COST, doc_ids) plus identical
+    per-round trace strings (min-k, queue size, positions...).
+    """
+    session, terms = setup
+    index = session.default_index
+    with reference_pools():
+        ref = QuerySession(index, cost_ratio=100.0).run(
+            terms, 10, algorithm=algorithm, trace=True
+        )
+    inc = session.run(terms, 10, algorithm=algorithm, trace=True)
+    assert (
+        inc.stats.sorted_accesses,
+        inc.stats.random_accesses,
+        inc.stats.cost,
+    ) == (
+        ref.stats.sorted_accesses,
+        ref.stats.random_accesses,
+        ref.stats.cost,
+    )
+    assert inc.doc_ids == ref.doc_ids
+    assert [i.worstscore for i in inc.items] == [
+        i.worstscore for i in ref.items
+    ]
+    assert inc.stats.peak_queue_size == ref.stats.peak_queue_size
+    assert [str(r) for r in inc.trace] == [str(r) for r in ref.trace]
 
 
 def test_trace_matches_seed_engine(setup):
