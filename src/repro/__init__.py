@@ -21,6 +21,9 @@ Packages:
 * :mod:`repro.data` — synthetic dataset and workload generators
 * :mod:`repro.core` — the TA-family engine, SA/RA scheduling policies,
   FullMerge baseline, and the per-query lower bound
+* :mod:`repro.distrib` — document-partitioned sharded execution: corpus
+  partitioning, concurrent per-shard executors, and the bound-driven
+  merge coordinator
 * :mod:`repro.bench` — the experiment harness reproducing the paper's
   tables and figures
 """
@@ -42,7 +45,17 @@ from .core.full_merge import full_merge
 from .core.lower_bound import LowerBoundComputer
 from .core.planner import QueryPlan
 from .core.results import QueryStats, RankedItem, TopKResult
-from .core.session import QuerySession
+from .core.session import QuerySession, ShardedSession
+from .distrib import (
+    DegradePolicy,
+    MergeCoordinator,
+    ShardExecutor,
+    ShardedExecutionError,
+    ShardedIndex,
+    ShardedTopKResult,
+    partition_index,
+    partition_postings,
+)
 from .stats.catalog import StatsCatalog
 from .storage.accessors import ListUnavailableError, RetryPolicy
 from .storage.block_index import IndexList, InvertedBlockIndex
@@ -64,6 +77,7 @@ __version__ = "1.2.0"
 __all__ = [
     "AccessMeter",
     "CostModel",
+    "DegradePolicy",
     "ExecutionListener",
     "FaultInjector",
     "FaultPlan",
@@ -72,6 +86,7 @@ __all__ = [
     "InvertedBlockIndex",
     "ListUnavailableError",
     "LowerBoundComputer",
+    "MergeCoordinator",
     "QueryDeadline",
     "QueryExecutor",
     "QueryPlan",
@@ -79,6 +94,11 @@ __all__ = [
     "QueryStats",
     "RankedItem",
     "RetryPolicy",
+    "ShardExecutor",
+    "ShardedExecutionError",
+    "ShardedIndex",
+    "ShardedSession",
+    "ShardedTopKResult",
     "StatsCatalog",
     "TopKProcessor",
     "TopKResult",
@@ -90,6 +110,8 @@ __all__ = [
     "build_index_list",
     "canonical_name",
     "full_merge",
+    "partition_index",
+    "partition_postings",
     "plan",
     "run_query",
     "__version__",

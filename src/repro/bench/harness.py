@@ -15,7 +15,7 @@ import numpy as np
 
 from ..core.algorithms import TopKProcessor
 from ..core.lower_bound import LowerBoundComputer
-from ..core.session import QuerySession
+from ..core.session import QuerySession, ShardedSession
 from ..data.workloads import Dataset, load_dataset
 
 
@@ -80,6 +80,10 @@ class Harness:
         self._processors: Dict[Tuple[str, float], TopKProcessor] = {}
         self._bounds: Dict[Tuple[str, Tuple[str, ...]], LowerBoundComputer] = {}
         self._memo: Dict[Tuple[str, str, int, float], Aggregate] = {}
+        self._sharded: Dict[Tuple[str, int, float], ShardedSession] = {}
+        self._sharded_memo: Dict[
+            Tuple[str, int, int, float, str], Aggregate
+        ] = {}
 
     # ------------------------------------------------------------------
     # Building blocks
@@ -167,6 +171,106 @@ class Harness:
             random_accesses=0.0,
             wall_time_ms=0.0,
             queries=len(bounds),
+        )
+
+    # ------------------------------------------------------------------
+    # Sharded execution
+    # ------------------------------------------------------------------
+    def sharded_session(
+        self, name: str, shard_count: int, ratio: float = 1000.0
+    ) -> ShardedSession:
+        """A cached :class:`ShardedSession` for (dataset, shard count)."""
+        from ..distrib import partition_index
+
+        key = (name, int(shard_count), float(ratio))
+        session = self._sharded.get(key)
+        if session is None:
+            session = ShardedSession(
+                sharded=partition_index(
+                    self.dataset(name).index, shard_count
+                ),
+                cost_ratio=ratio,
+            )
+            self._sharded[key] = session
+        return session
+
+    def run_sharded(
+        self,
+        name: str,
+        k: int,
+        shard_count: int,
+        ratio: float = 1000.0,
+        mode: str = "bounded",
+    ) -> Aggregate:
+        """Average the sharded coordinator over the query workload.
+
+        Results are parity-checked against the single-node default
+        algorithm query by query — a benchmark cell must never average
+        over wrong answers.
+        """
+        key = (name, int(k), int(shard_count), float(ratio), mode)
+        cached = self._sharded_memo.get(key)
+        if cached is not None:
+            return cached
+        session = self.sharded_session(name, shard_count, ratio)
+        proc = self.processor(name, ratio)
+        stats = []
+        for query in self.queries(name):
+            result = session.run(query, k, mode=mode)
+            expected = proc.query(query, k)
+            if result.doc_ids != expected.doc_ids:
+                raise RuntimeError(
+                    "sharded run diverged from single-node on %s %r"
+                    % (name, query)
+                )
+            stats.append(result.stats)
+        aggregate = Aggregate(
+            method="Sharded-%d-%s" % (shard_count, mode),
+            k=k,
+            cost=float(np.mean([s.cost for s in stats])),
+            sorted_accesses=float(np.mean([s.sorted_accesses for s in stats])),
+            random_accesses=float(np.mean([s.random_accesses for s in stats])),
+            wall_time_ms=float(
+                np.mean([s.wall_time_seconds for s in stats]) * 1000.0
+            ),
+            queries=len(stats),
+        )
+        self._sharded_memo[key] = aggregate
+        return aggregate
+
+    def shard_scaling_table(
+        self,
+        experiment_id: str,
+        title: str,
+        dataset: str,
+        shard_counts: Sequence[int],
+        k_values: Sequence[int],
+        ratio: float = 1000.0,
+        notes: str = "",
+    ) -> ExperimentTable:
+        """Scaling layout: single-node plus one row per shard count."""
+        columns = ["method"] + ["k=%d" % k for k in k_values]
+        rows = []
+        single = ["single-node"]
+        for k in k_values:
+            single.append(
+                "%.0f" % self.run(dataset, "KSR-Last-Ben", k, ratio).cost
+            )
+        rows.append(single)
+        for count in shard_counts:
+            row = ["shards=%d" % count]
+            for k in k_values:
+                row.append(
+                    "%.0f"
+                    % self.run_sharded(dataset, k, count, ratio).cost
+                )
+            rows.append(row)
+        return ExperimentTable(
+            experiment_id=experiment_id,
+            title=title,
+            columns=columns,
+            rows=rows,
+            notes=notes,
         )
 
     # ------------------------------------------------------------------

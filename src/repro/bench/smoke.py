@@ -20,13 +20,20 @@ Two additions on top of the family battery:
 * a **regression gate** — ``--baseline previous.json`` compares the
   per-family costs (and, with ``--gate-wall``, wall clocks) against an
   earlier report and exits non-zero on a >25% regression, so CI fails
-  the PR instead of silently recording a slower engine.
+  the PR instead of silently recording a slower engine,
+* a **shard-count scaling section** (``--sharded``, written to
+  ``BENCH_pr5.json``) — single-node execution vs the document-partitioned
+  coordinator at 1/2/4 shards, recording bounded-coordinator vs
+  gather-all rounds and failing unless bound-based pruning strictly wins
+  at the largest shard count.  The same ``--baseline`` machinery gates
+  the recorded rows.
 
 Usage::
 
     python -m repro.bench.smoke --output BENCH_pr4.json
     python -m repro.bench.smoke --baseline BENCH_pr4.json --min-speedup 1.5
     python -m repro.bench.smoke --scale 0.5 --k 10 --cost-ratio 100
+    python -m repro.bench.smoke --sharded --baseline BENCH_pr5.json
 """
 
 from __future__ import annotations
@@ -42,8 +49,9 @@ import numpy as np
 
 from ..core.bookkeeping import reference_pools
 from ..core.executor import ExecutionListener
-from ..core.session import QuerySession
+from ..core.session import QuerySession, ShardedSession
 from ..data.workloads import load_dataset
+from ..distrib import partition_index
 from ..storage.index_builder import build_index
 
 #: One representative triple per algorithm family.
@@ -78,6 +86,30 @@ SPEEDUP_CORPUS = {
 
 #: Allowed relative growth before the baseline gate fails a metric.
 REGRESSION_TOLERANCE = 0.25
+
+#: Geometry of the sharding corpus.  Dense uniform scores make the bound
+#: algebra informative at partial scan depths (high_i decays linearly
+#: with depth), which is the regime where the coordinator's bound-based
+#: shard pruning visibly beats the gather-all baseline.
+SHARDING_CORPUS = {
+    "num_docs": 60_000,
+    "list_length": 20_000,
+    "num_lists": 3,
+    "block_size": 256,
+    "seed": 23,
+}
+
+#: k for the sharding section (deeper top-k keeps shards scanning long
+#: enough that partial-depth pruning has something to save).
+SHARDING_K = 50
+
+#: First-round per-shard cost budget for the bounded coordinator —
+#: roughly half a shard's threshold-termination cost on this corpus, so
+#: round one stops early enough for the global min-k to prune shards.
+SHARDING_ROUND_BUDGET = 8_000.0
+
+#: Shard counts of the recorded scaling curve.
+SHARDING_COUNTS = (1, 2, 4)
 
 
 class MetricsListener(ExecutionListener):
@@ -182,6 +214,108 @@ def run_speedup(k: int = 10, cost_ratio: float = 1000.0) -> Dict:
         "cost_ratio": cost_ratio,
         "families": rows,
         "min_speedup": min(row["speedup"] for row in rows.values()),
+    }
+
+
+def _build_sharding_corpus():
+    """Uniform-score corpus for the shard-count scaling section."""
+    spec = SHARDING_CORPUS
+    rng = np.random.default_rng(spec["seed"])
+    postings = {}
+    terms = []
+    for i in range(spec["num_lists"]):
+        term = "t%d" % i
+        terms.append(term)
+        docs = rng.choice(
+            spec["num_docs"], size=spec["list_length"], replace=False
+        )
+        scores = rng.random(spec["list_length"])
+        postings[term] = list(zip(docs.tolist(), scores.tolist()))
+    index = build_index(
+        postings, num_docs=spec["num_docs"], block_size=spec["block_size"]
+    )
+    return index, terms
+
+
+def run_sharding(
+    k: int = SHARDING_K,
+    cost_ratio: float = 1000.0,
+    shard_counts=SHARDING_COUNTS,
+) -> Dict:
+    """The shard-count scaling section: single-node vs N-shard execution.
+
+    Records one ``families`` row per configuration (``single-node`` plus
+    ``shards-N`` for every N), each with the COST/#SA/#RA and wall clock
+    of the bounded coordinator — the shape :func:`compare_to_baseline`
+    gates on.  Each sharded row also records the gather-all baseline's
+    rounds next to the bounded coordinator's, and the benchmark *fails*
+    rather than record a report where bound-based pruning did not yield
+    strictly fewer total shard rounds than gather-all at the largest
+    shard count.  Every configuration is parity-checked against the
+    single-node answer before anything is written.
+    """
+    index, terms = _build_sharding_corpus()
+    session = QuerySession(index=index, cost_ratio=cost_ratio)
+    session.stats_for()
+    started = time.perf_counter()
+    single = session.run(terms, k)
+    single_wall = (time.perf_counter() - started) * 1000.0
+    families = {
+        "single-node": {
+            "algorithm": single.algorithm,
+            "cost": single.stats.cost,
+            "sorted_accesses": single.stats.sorted_accesses,
+            "random_accesses": single.stats.random_accesses,
+            "rounds": single.stats.rounds,
+            "wall_ms": round(single_wall, 3),
+        }
+    }
+    for count in shard_counts:
+        sharded = ShardedSession(
+            sharded=partition_index(index, count),
+            cost_ratio=cost_ratio,
+            round_budget=SHARDING_ROUND_BUDGET,
+        )
+        sharded.warm()
+        started = time.perf_counter()
+        bounded = sharded.run(terms, k)
+        wall_ms = (time.perf_counter() - started) * 1000.0
+        gathered = sharded.run(terms, k, mode="gather")
+        for result, mode in ((bounded, "bounded"), (gathered, "gather")):
+            if result.doc_ids != single.doc_ids:
+                raise RuntimeError(
+                    "sharded/%s top-k diverged from single-node at "
+                    "%d shards: %r vs %r"
+                    % (mode, count, result.doc_ids, single.doc_ids)
+                )
+        families["shards-%d" % count] = {
+            "algorithm": bounded.algorithm,
+            "cost": bounded.stats.cost,
+            "sorted_accesses": bounded.stats.sorted_accesses,
+            "random_accesses": bounded.stats.random_accesses,
+            "rounds": bounded.stats.rounds,
+            "rerun_rounds": bounded.shard_rounds,
+            "gather_rounds": gathered.stats.rounds,
+            "gather_cost": gathered.stats.cost,
+            "pruned_shards": len(bounded.pruned_shards),
+            "resolution_accesses": bounded.resolution_accesses,
+            "wall_ms": round(wall_ms, 3),
+        }
+    largest = families["shards-%d" % max(shard_counts)]
+    if largest["rounds"] >= largest["gather_rounds"]:
+        raise RuntimeError(
+            "bound-based coordinator did not beat gather-all at %d "
+            "shards: %d rounds vs %d"
+            % (max(shard_counts), largest["rounds"],
+               largest["gather_rounds"])
+        )
+    return {
+        "corpus": dict(SHARDING_CORPUS),
+        "k": k,
+        "cost_ratio": cost_ratio,
+        "round_budget": SHARDING_ROUND_BUDGET,
+        "shard_counts": list(shard_counts),
+        "families": families,
     }
 
 
@@ -294,8 +428,13 @@ def main(argv=None) -> int:
         prog="python -m repro.bench.smoke",
         description="One query per algorithm family; timing/cost JSON.",
     )
-    parser.add_argument("--output", default="BENCH_pr4.json",
-                        help="output JSON path (default BENCH_pr4.json)")
+    parser.add_argument("--output", default=None,
+                        help="output JSON path (default BENCH_pr4.json, "
+                             "or BENCH_pr5.json with --sharded)")
+    parser.add_argument("--sharded", action="store_true",
+                        help="run the shard-count scaling section "
+                             "(single-node vs sharded coordinator) "
+                             "instead of the family battery")
     parser.add_argument("--scale", type=float, default=0.5)
     parser.add_argument("--k", type=int, default=10)
     parser.add_argument("--cost-ratio", type=float, default=1000.0)
@@ -317,19 +456,34 @@ def main(argv=None) -> int:
                              "this incremental-vs-reference ratio")
     args = parser.parse_args(argv)
 
-    report = run_smoke(
-        scale=args.scale, k=args.k, cost_ratio=args.cost_ratio,
-        dataset_name=args.dataset, batch_blocks=args.batch_blocks,
-        speedup=not args.no_speedup,
-    )
-    with open(args.output, "w") as handle:
+    if args.sharded:
+        output = args.output or "BENCH_pr5.json"
+        report = {
+            "benchmark": "smoke-sharded",
+            "pr": "pr5-distrib",
+            "python": platform.python_version(),
+        }
+        report.update(run_sharding(cost_ratio=args.cost_ratio))
+    else:
+        output = args.output or "BENCH_pr4.json"
+        report = run_smoke(
+            scale=args.scale, k=args.k, cost_ratio=args.cost_ratio,
+            dataset_name=args.dataset, batch_blocks=args.batch_blocks,
+            speedup=not args.no_speedup,
+        )
+    with open(output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    for family, row in report["families"].items():
-        print("%-8s %-14s cost=%-10.0f rounds=%-4d wall=%.1fms" % (
+    for family, row in sorted(report["families"].items()):
+        line = "%-12s %-14s cost=%-10.0f rounds=%-4d wall=%.1fms" % (
             family, row["algorithm"], row["cost"], row["rounds"],
             row["wall_ms"],
-        ))
+        )
+        if "gather_rounds" in row:
+            line += " gather_rounds=%d pruned=%d" % (
+                row["gather_rounds"], row["pruned_shards"],
+            )
+        print(line)
     speedup_section = report.get("bookkeeping_speedup")
     if speedup_section:
         for family, row in speedup_section["families"].items():
@@ -340,7 +494,7 @@ def main(argv=None) -> int:
                     row["incremental_wall_ms"], row["speedup"],
                 )
             )
-    print("wrote %s" % args.output)
+    print("wrote %s" % output)
 
     exit_code = 0
     if args.baseline:

@@ -24,6 +24,7 @@ from .results import QueryStats, RankedItem, TopKResult
 from .session import (
     DEFAULT_ALGORITHM,
     QuerySession,
+    ShardedSession,
     reset_shared_session,
     shared_session,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "RAPolicy",
     "RankedItem",
     "SAPolicy",
+    "ShardedSession",
     "TopKEngine",
     "TopKProcessor",
     "TopKResult",

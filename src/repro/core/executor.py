@@ -26,6 +26,7 @@ access for access, to a bare run.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
@@ -72,6 +73,34 @@ class QueryDeadline:
         ):
             return True
         return self.cost_budget is not None and cost >= self.cost_budget
+
+    def split(self, parts: int) -> List["QueryDeadline"]:
+        """Split this deadline into ``parts`` per-shard budgets.
+
+        The **cost budget is divided**: the shares are equal and sum to at
+        most the parent budget even under floating-point rounding (the
+        last share absorbs any excess), so a query fanned out over shards
+        can never charge more total COST than its single-node budget
+        allowed.  The **wall clock passes through unchanged**: shards run
+        concurrently, so each one may use the full remaining wall time —
+        elapsed wall time is shared, not divided.
+        """
+        if parts < 1:
+            raise ValueError("parts must be at least 1")
+        if self.cost_budget is None:
+            return [self] * parts
+        share = self.cost_budget / parts
+        shares = [share] * parts
+        excess = math.fsum(shares) - self.cost_budget
+        if excess > 0.0:
+            shares[-1] -= excess
+        return [
+            QueryDeadline(
+                wall_clock_seconds=self.wall_clock_seconds,
+                cost_budget=s,
+            )
+            for s in shares
+        ]
 
 
 class ExecutionListener:

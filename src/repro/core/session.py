@@ -29,6 +29,7 @@ process-wide session used by ``run_query`` does.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import List, Optional, Sequence
 
@@ -117,6 +118,12 @@ class QuerySession:
         self.default_index = index
         self.max_cached_indexes = max_cached_indexes
         self._entries: "OrderedDict[int, _IndexEntry]" = OrderedDict()
+        # Guards the id-keyed caches and the lifecycle counters: one
+        # session is shared by every worker thread of a sharded query
+        # (see repro.distrib.shard), and an OrderedDict being reordered
+        # by move_to_end while another thread inserts is not safe.
+        # Reentrant because executor_for -> stats_for -> _entry nest.
+        self._lock = threading.RLock()
         #: lifecycle counters — how many catalogs/executors this session
         #: actually built (the cache-efficiency instrumentation)
         self.stats_builds = 0
@@ -134,18 +141,19 @@ class QuerySession:
                 "no index: pass one or bind a default to the session"
             )
         key = id(index)
-        entry = self._entries.get(key)
-        if entry is None:
-            entry = _IndexEntry(index)
-            self._entries[key] = entry
-            if (
-                self.max_cached_indexes is not None
-                and len(self._entries) > self.max_cached_indexes
-            ):
-                self._entries.popitem(last=False)
-        else:
-            self._entries.move_to_end(key)
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = _IndexEntry(index)
+                self._entries[key] = entry
+                if (
+                    self.max_cached_indexes is not None
+                    and len(self._entries) > self.max_cached_indexes
+                ):
+                    self._entries.popitem(last=False)
+            else:
+                self._entries.move_to_end(key)
+            return entry
 
     def stats_for(
         self, index: Optional[InvertedBlockIndex] = None
@@ -156,15 +164,16 @@ class QuerySession:
         runs against that index shares it, so histogram and covariance
         computation is amortized across the whole workload.
         """
-        entry = self._entry(index)
-        if entry.stats is None:
-            entry.stats = StatsCatalog(
-                entry.index,
-                num_buckets=self.num_buckets,
-                use_correlations=self.use_correlations,
-            )
-            self.stats_builds += 1
-        return entry.stats
+        with self._lock:
+            entry = self._entry(index)
+            if entry.stats is None:
+                entry.stats = StatsCatalog(
+                    entry.index,
+                    num_buckets=self.num_buckets,
+                    use_correlations=self.use_correlations,
+                )
+                self.stats_builds += 1
+            return entry.stats
 
     def attach_stats(
         self,
@@ -172,33 +181,36 @@ class QuerySession:
         index: Optional[InvertedBlockIndex] = None,
     ) -> None:
         """Adopt a precomputed catalog for an index (e.g. a shared one)."""
-        entry = self._entry(index)
-        entry.stats = catalog
-        if entry.executor is not None:
-            entry.executor.stats = catalog
+        with self._lock:
+            entry = self._entry(index)
+            entry.stats = catalog
+            if entry.executor is not None:
+                entry.executor.stats = catalog
 
     def executor_for(
         self, index: Optional[InvertedBlockIndex] = None
     ) -> QueryExecutor:
         """The (cached) reusable executor for an index."""
-        entry = self._entry(index)
-        if entry.executor is None:
-            entry.executor = QueryExecutor(
-                index=entry.index,
-                stats=self.stats_for(entry.index),
-                cost_model=self.cost_model,
-                batch_blocks=self.batch_blocks,
-                predictor_cls=self.predictor_cls,
-                retry_policy=self.retry_policy,
-                listeners=self.listeners,
-            )
-            self.executor_builds += 1
-        return entry.executor
+        with self._lock:
+            entry = self._entry(index)
+            if entry.executor is None:
+                entry.executor = QueryExecutor(
+                    index=entry.index,
+                    stats=self.stats_for(entry.index),
+                    cost_model=self.cost_model,
+                    batch_blocks=self.batch_blocks,
+                    predictor_cls=self.predictor_cls,
+                    retry_policy=self.retry_policy,
+                    listeners=self.listeners,
+                )
+                self.executor_builds += 1
+            return entry.executor
 
     @property
     def cached_indexes(self) -> int:
         """How many indexes this session currently holds caches for."""
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     # ------------------------------------------------------------------
     # Planning and execution
@@ -265,7 +277,8 @@ class QuerySession:
         if trace:
             extra = extra + (TraceListener(),)
         executor = self.executor_for(index)
-        self.queries_run += 1
+        with self._lock:
+            self.queries_run += 1
         return executor.execute(plan, listeners=extra)
 
     def run_many(
@@ -296,7 +309,8 @@ class QuerySession:
                 prune_epsilon=prune_epsilon,
                 deadline=deadline,
             )
-            self.queries_run += 1
+            with self._lock:
+                self.queries_run += 1
             results.append(executor.execute(plan, listeners=listeners))
         return results
 
@@ -341,8 +355,133 @@ class QuerySession:
         return self.stats_for(index).precompute_from_query_log(queries)
 
 
+class ShardedSession:
+    """Session-level entry point for document-partitioned execution.
+
+    Wraps the :mod:`repro.distrib` stack behind the same ergonomics as
+    :class:`QuerySession`: construct once (partitioning the corpus and
+    caching per-shard statistics lazily), then :meth:`run` queries.
+    Accepts either a single-node :class:`InvertedBlockIndex` plus a shard
+    count (the index is re-partitioned) or a prebuilt
+    :class:`~repro.distrib.partition.ShardedIndex`.
+
+    Every query returns a
+    :class:`~repro.distrib.coordinator.ShardedTopKResult` whose top-k is
+    identical to single-node execution over the unpartitioned corpus —
+    distribution changes the access schedule, never the answer (the
+    parity suite pins this for all 24 algorithm triples).
+
+    ``mode="bounded"`` (default) runs the round-based coordinator with
+    bound-driven shard pruning; ``mode="gather"`` runs every shard to
+    completion (the naive baseline).  All other keyword arguments mirror
+    :class:`QuerySession` / :class:`~repro.distrib.coordinator.MergeCoordinator`.
+    """
+
+    def __init__(
+        self,
+        index: Optional[InvertedBlockIndex] = None,
+        num_shards: int = 4,
+        strategy: str = "hash",
+        sharded: Optional[object] = None,
+        session: Optional[QuerySession] = None,
+        round_budget: Optional[float] = None,
+        max_rounds: Optional[int] = None,
+        degrade: Optional[object] = None,
+        max_workers: Optional[int] = None,
+        **session_kwargs,
+    ) -> None:
+        from ..distrib.coordinator import DEFAULT_MAX_ROUNDS, MergeCoordinator
+        from ..distrib.partition import ShardedIndex, partition_index
+        from ..distrib.shard import ShardExecutor
+
+        if sharded is None:
+            if index is None:
+                raise ValueError(
+                    "pass an index to partition or a prebuilt sharded index"
+                )
+            sharded = partition_index(index, num_shards, strategy=strategy)
+        elif not isinstance(sharded, ShardedIndex):
+            raise TypeError("sharded must be a ShardedIndex")
+        self.sharded = sharded
+        self.executor = ShardExecutor(
+            sharded,
+            session=session,
+            max_workers=max_workers,
+            **session_kwargs,
+        )
+        self.coordinator = MergeCoordinator(
+            self.executor,
+            round_budget=round_budget,
+            max_rounds=(
+                max_rounds if max_rounds is not None else DEFAULT_MAX_ROUNDS
+            ),
+            degrade=degrade,
+        )
+
+    @property
+    def num_shards(self) -> int:
+        return self.sharded.num_shards
+
+    @property
+    def session(self) -> QuerySession:
+        """The underlying (thread-safe) per-shard query session."""
+        return self.executor.session
+
+    def warm(self) -> None:
+        """Build every shard's statistics catalog up front."""
+        self.executor.warm()
+
+    def run(
+        self,
+        terms: Sequence[str],
+        k: int,
+        algorithm: str = DEFAULT_ALGORITHM,
+        weights: Optional[Sequence[float]] = None,
+        prune_epsilon: float = 0.0,
+        deadline: Optional[QueryDeadline] = None,
+        mode: str = "bounded",
+    ):
+        """Run one sharded top-k query (see :class:`MergeCoordinator`)."""
+        return self.coordinator.query(
+            terms,
+            k,
+            algorithm=algorithm,
+            weights=weights,
+            prune_epsilon=prune_epsilon,
+            deadline=deadline,
+            mode=mode,
+        )
+
+    def run_many(
+        self,
+        queries: Sequence[Sequence[str]],
+        k: int,
+        algorithm: str = DEFAULT_ALGORITHM,
+        weights: Optional[Sequence[float]] = None,
+        prune_epsilon: float = 0.0,
+        deadline: Optional[QueryDeadline] = None,
+        mode: str = "bounded",
+    ) -> List:
+        """Run a batch of sharded queries, amortizing per-shard caches."""
+        return [
+            self.run(
+                terms,
+                k,
+                algorithm=algorithm,
+                weights=weights,
+                prune_epsilon=prune_epsilon,
+                deadline=deadline,
+                mode=mode,
+            )
+            for terms in queries
+        ]
+
+
 #: Process-wide session backing :func:`repro.core.algorithms.run_query`.
 _SHARED_SESSION: Optional[QuerySession] = None
+
+#: Guards creation/reset of the process-wide session across threads.
+_SHARED_SESSION_LOCK = threading.Lock()
 
 #: Indexes the shared session keeps alive at most (LRU-evicted beyond).
 SHARED_SESSION_MAX_INDEXES = 8
@@ -354,16 +493,20 @@ def shared_session() -> QuerySession:
     Bounded to :data:`SHARED_SESSION_MAX_INDEXES` indexes (least recently
     used evicted first) so module-level caching cannot grow without
     limit.  Call :func:`reset_shared_session` to drop it entirely.
+    Thread-safe: concurrent first calls observe the same session (the
+    session's own internal lock then makes its caches safe to share).
     """
     global _SHARED_SESSION
-    if _SHARED_SESSION is None:
-        _SHARED_SESSION = QuerySession(
-            max_cached_indexes=SHARED_SESSION_MAX_INDEXES
-        )
-    return _SHARED_SESSION
+    with _SHARED_SESSION_LOCK:
+        if _SHARED_SESSION is None:
+            _SHARED_SESSION = QuerySession(
+                max_cached_indexes=SHARED_SESSION_MAX_INDEXES
+            )
+        return _SHARED_SESSION
 
 
 def reset_shared_session() -> None:
     """Drop the process-wide session (and its cached statistics)."""
     global _SHARED_SESSION
-    _SHARED_SESSION = None
+    with _SHARED_SESSION_LOCK:
+        _SHARED_SESSION = None

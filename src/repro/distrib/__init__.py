@@ -1,0 +1,46 @@
+"""Distributed (document-partitioned) top-k execution.
+
+The paper's scheduling framework runs on one node's index lists; this
+package scales it across N document-partitioned shards while keeping the
+bound algebra — and therefore the results — exact:
+
+* :mod:`repro.distrib.partition` — splits a corpus into shards (hash or
+  round-robin document assignment) and builds one
+  :class:`~repro.storage.block_index.InvertedBlockIndex` per shard with
+  global doc ids preserved,
+* :mod:`repro.distrib.shard` — runs the existing
+  :class:`~repro.core.executor.QueryExecutor` per shard, concurrently,
+  with per-shard COST/#SA/#RA accounting and per-shard deadline budgets,
+* :mod:`repro.distrib.coordinator` — merges shard results in rounds,
+  maintaining a global top-k over shard-local worstscores and stopping
+  shards early once the global ``min-k`` dominates their bestscore bound
+  (with a gather-all baseline retained for parity testing),
+* :mod:`repro.distrib.degrade` — maps shard failures to degraded but
+  well-formed results with an ``exhausted_shards`` report, mirroring the
+  single-node ``exhausted_lists`` contract.
+
+The user-facing entry point is
+:class:`repro.core.session.ShardedSession`.
+"""
+
+from .coordinator import (
+    MergeCoordinator,
+    ShardedExecutionError,
+    ShardedTopKResult,
+)
+from .degrade import DegradePolicy, ShardFailure
+from .partition import ShardedIndex, partition_index, partition_postings
+from .shard import ShardExecutor, ShardOutcome
+
+__all__ = [
+    "DegradePolicy",
+    "MergeCoordinator",
+    "ShardExecutor",
+    "ShardFailure",
+    "ShardOutcome",
+    "ShardedExecutionError",
+    "ShardedIndex",
+    "ShardedTopKResult",
+    "partition_index",
+    "partition_postings",
+]

@@ -1,0 +1,469 @@
+"""The merge coordinator: threshold-aware top-k aggregation over shards.
+
+Fagin et al.'s middleware model says the worstscore/bestscore bound
+algebra survives distribution untouched; "Beyond Quantile Methods"
+motivates using per-shard bound estimates to stop draining shards early.
+The :class:`MergeCoordinator` implements both on top of the shard
+execution layer:
+
+**Round protocol (``mode="bounded"``).**  Each coordinator round runs
+every still-active shard under a growing per-shard cost budget (the
+anytime :class:`~repro.core.executor.QueryDeadline` machinery — a shard
+paused by its budget returns a degraded partial result whose intervals
+are still correct).  After each round the coordinator:
+
+1. merges every shard's current top-k candidates into a global view and
+   takes the k-th largest **worstscore** as the global ``min-k`` — a
+   certified lower bound on the true k-th best score (document
+   partitioning makes shard-local scores global),
+2. retires shards that finished their own threshold test (*complete*),
+3. **prunes** every still-running shard whose *remaining bound* — the
+   highest score any of its unreported documents could reach, captured by
+   the shard-side bound tap — is strictly below the global ``min-k``:
+   nothing that shard still hides can enter the global top-k.
+
+Escalating budgets are re-executions: a shard resumed at a deeper budget
+re-runs its (deterministic) execution from scratch.  This simulates
+resumable shard cursors, so the merged COST/#SA/#RA charge the *deepest*
+run per shard — what a resuming implementation would pay — while the
+cumulative engine-round count across all executions is reported
+separately (``shard_rounds``) for honest scheduling comparisons.
+
+**Gather-all baseline (``mode="gather"``).**  One round, no coordinator
+budgets: every shard runs its own termination test to completion.  Kept
+for parity testing — the bounded coordinator must return the identical
+top-k — and as the naive-cost yardstick in benchmarks.
+
+**Resolution.**  Before ranking, every merged candidate whose interval is
+still open is resolved by random-access lookups on its home shard (one
+per query list, charged at the random-access cost ratio).  The final
+ranking is therefore by *exact* score (ties broken by ascending doc id),
+independent of shard count and of how deep each shard happened to scan —
+the property the parity suite pins against single-node golden results.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.executor import QueryDeadline
+from ..core.planner import QueryPlan
+from ..core.results import QueryStats, RankedItem, TopKResult
+from ..core.session import DEFAULT_ALGORITHM
+from .degrade import DegradePolicy, ShardFailure
+from .shard import ShardExecutor, ShardOutcome
+
+#: Coordinator rounds before active shards are forced to completion.
+DEFAULT_MAX_ROUNDS = 8
+
+#: First-round budget as a fraction of a shard's full sorted-scan cost.
+DEFAULT_BUDGET_FRACTION = 0.5
+
+#: Interval width below which a candidate counts as already resolved.
+RESOLVED_EPSILON = 1e-12
+
+
+class ShardedExecutionError(RuntimeError):
+    """Too many shards failed for the degrade policy to tolerate."""
+
+    def __init__(self, failures: List[ShardFailure]) -> None:
+        super().__init__(
+            "sharded query aborted: %s"
+            % "; ".join(f.describe() for f in failures)
+        )
+        self.failures = list(failures)
+
+
+@dataclass
+class ShardedTopKResult(TopKResult):
+    """A merged top-k answer plus the distribution-level observables.
+
+    Extends the single-node :class:`~repro.core.results.TopKResult`
+    contract: ``exhausted_shards`` mirrors ``exhausted_lists`` one level
+    up (shards that failed entirely), ``pruned_shards`` names shards
+    stopped early by the bound test, and ``shard_rounds`` is the
+    cumulative engine-round count across every shard execution (including
+    budget-escalation re-runs) — the coordinator's scheduling-efficiency
+    metric.
+    """
+
+    exhausted_shards: List[int] = field(default_factory=list)
+    pruned_shards: List[int] = field(default_factory=list)
+    shard_stats: Dict[int, QueryStats] = field(default_factory=dict)
+    coordinator_rounds: int = 0
+    shard_rounds: int = 0
+    resolution_accesses: int = 0
+    mode: str = "bounded"
+
+
+@dataclass
+class _ShardTrack:
+    """Coordinator-side bookkeeping for one shard across rounds."""
+
+    latest: Optional[ShardOutcome] = None
+    cumulative_rounds: int = 0
+    failure: Optional[ShardFailure] = None
+    pruned: bool = False
+
+    @property
+    def items(self) -> List[RankedItem]:
+        if self.latest is None or self.latest.result is None:
+            return []
+        return self.latest.result.items
+
+
+class MergeCoordinator:
+    """Combines shard executions into one exact (or honestly degraded)
+    top-k answer.
+
+    ``round_budget`` is the first-round per-shard cost budget; following
+    rounds double it.  ``None`` derives it per shard as
+    ``DEFAULT_BUDGET_FRACTION`` times the shard's full sorted-scan cost —
+    deep enough to certify a competitive global ``min-k`` in one round on
+    typical score distributions, shallow enough that pruned shards save
+    roughly half their drain.  ``max_rounds`` bounds budget escalation;
+    the final round runs unbounded so exact queries always terminate.
+    """
+
+    def __init__(
+        self,
+        executor: ShardExecutor,
+        round_budget: Optional[float] = None,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        degrade: Optional[DegradePolicy] = None,
+    ) -> None:
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be at least 1")
+        if round_budget is not None and round_budget <= 0:
+            raise ValueError("round_budget must be positive")
+        self.executor = executor
+        self.sharded = executor.sharded
+        self.round_budget = round_budget
+        self.max_rounds = max_rounds
+        self.degrade = degrade if degrade is not None else DegradePolicy()
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        terms: Sequence[str],
+        k: int,
+        algorithm: str = DEFAULT_ALGORITHM,
+        weights: Optional[Sequence[float]] = None,
+        prune_epsilon: float = 0.0,
+        deadline: Optional[QueryDeadline] = None,
+        mode: str = "bounded",
+    ) -> ShardedTopKResult:
+        """Run one sharded top-k query; see the module docstring."""
+        from ..core.algorithms import plan as plan_query
+
+        if mode not in ("bounded", "gather"):
+            raise ValueError(
+                "unknown coordinator mode %r; valid: bounded, gather" % mode
+            )
+        plan = plan_query(
+            terms,
+            k,
+            algorithm,
+            weights=weights,
+            prune_epsilon=prune_epsilon,
+        )
+        started = time.perf_counter()
+        tracks = {
+            sid: _ShardTrack() for sid in range(self.sharded.num_shards)
+        }
+        caps = self._cost_caps(deadline)
+        wall = deadline.wall_clock_seconds if deadline else None
+        steps = self._budget_steps(plan)
+
+        rounds = 0
+        active = set(tracks)
+        deadline_expired = False
+        while active:
+            rounds += 1
+            final_round = mode == "gather" or rounds >= self.max_rounds
+            shard_deadlines = {
+                sid: self._shard_deadline(
+                    sid, rounds, steps, caps, wall, started, final_round
+                )
+                for sid in active
+            }
+            outcomes = self.executor.execute_round(
+                plan, sorted(active), shard_deadlines
+            )
+            failures = [t.failure for t in tracks.values() if t.failure]
+            for outcome in outcomes:
+                track = tracks[outcome.shard_id]
+                track.cumulative_rounds += outcome.engine_rounds
+                failure = self.degrade.classify(outcome, plan.terms, rounds)
+                if failure is not None:
+                    track.failure = failure
+                    failures.append(failure)
+                    if not self.degrade.keep_partial_items:
+                        track.latest = None
+                    active.discard(outcome.shard_id)
+                    continue
+                track.latest = outcome
+                if outcome.complete:
+                    active.discard(outcome.shard_id)
+            if self.degrade.should_abort(failures, self.sharded.num_shards):
+                raise ShardedExecutionError(failures)
+            min_k = self._global_min_k(tracks, plan.k)
+            for sid in list(active):
+                track = tracks[sid]
+                outcome = track.latest
+                if outcome is None:
+                    continue
+                if outcome.budget_stopped and (
+                    outcome.remaining_bound < min_k
+                ):
+                    # Bound-based shard pruning: nothing this shard has
+                    # not reported can still reach the global top-k.
+                    track.pruned = True
+                    active.discard(sid)
+                elif outcome.budget_stopped and self._cap_spent(
+                    shard_deadlines.get(sid), caps[sid]
+                ):
+                    # Per-shard share of the query budget is spent; the
+                    # partial result stands (anytime contract).
+                    deadline_expired = True
+                    active.discard(sid)
+            if wall is not None and (
+                time.perf_counter() - started >= wall
+            ):
+                deadline_expired = deadline_expired or bool(active)
+                break
+        return self._assemble(
+            plan, tracks, rounds, deadline_expired, started, mode
+        )
+
+    # ------------------------------------------------------------------
+    # Budgets
+    # ------------------------------------------------------------------
+    def _cost_caps(
+        self, deadline: Optional[QueryDeadline]
+    ) -> Dict[int, Optional[float]]:
+        """Per-shard cost caps: the parent budget split, never summing
+        beyond it (see :meth:`QueryDeadline.split`)."""
+        n = self.sharded.num_shards
+        if deadline is None or deadline.cost_budget is None:
+            return {sid: None for sid in range(n)}
+        shares = deadline.split(n)
+        return {sid: shares[sid].cost_budget for sid in range(n)}
+
+    def _budget_steps(self, plan: QueryPlan) -> Dict[int, float]:
+        """First-round cost budget per shard (doubles every round)."""
+        steps = {}
+        for sid, shard in enumerate(self.sharded.shards):
+            if self.round_budget is not None:
+                steps[sid] = float(self.round_budget)
+                continue
+            drain = sum(
+                len(shard.list_for(term))
+                for term in plan.terms
+                if term in shard
+            )
+            steps[sid] = max(DEFAULT_BUDGET_FRACTION * drain, 1.0)
+        return steps
+
+    def _shard_deadline(
+        self,
+        sid: int,
+        round_no: int,
+        steps: Dict[int, float],
+        caps: Dict[int, Optional[float]],
+        wall: Optional[float],
+        started: float,
+        final_round: bool,
+    ) -> Optional[QueryDeadline]:
+        """The cumulative anytime budget for one shard this round."""
+        budget: Optional[float]
+        if final_round:
+            budget = None  # run the shard's own termination test out
+        else:
+            budget = steps[sid] * (2.0 ** (round_no - 1))
+        if caps[sid] is not None:
+            budget = caps[sid] if budget is None else min(budget, caps[sid])
+        wall_left = None
+        if wall is not None:
+            wall_left = max(wall - (time.perf_counter() - started), 1e-6)
+        if budget is None and wall_left is None:
+            return None
+        return QueryDeadline(
+            wall_clock_seconds=wall_left, cost_budget=budget
+        )
+
+    @staticmethod
+    def _cap_spent(
+        issued: Optional[QueryDeadline], cap: Optional[float]
+    ) -> bool:
+        """Whether the budget issued this round already reached the
+        shard's share of the parent cost budget."""
+        if cap is None or issued is None or issued.cost_budget is None:
+            return False
+        return issued.cost_budget >= cap
+
+    # ------------------------------------------------------------------
+    # Bound algebra
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _global_min_k(tracks: Dict[int, _ShardTrack], k: int) -> float:
+        """The certified global threshold: k-th largest worstscore over
+        every shard's current candidates (0 while fewer than k exist)."""
+        worstscores: List[float] = []
+        for track in tracks.values():
+            worstscores.extend(item.worstscore for item in track.items)
+        if len(worstscores) < k:
+            return 0.0
+        worstscores.sort(reverse=True)
+        return worstscores[k - 1]
+
+    # ------------------------------------------------------------------
+    # Merge + resolution
+    # ------------------------------------------------------------------
+    def _resolve(
+        self, sid: int, doc_id: int, plan: QueryPlan
+    ) -> Tuple[Optional[float], int]:
+        """Exact score of one candidate via lookups on its home shard.
+
+        Returns ``(score, accesses)``; score is None when the shard's
+        lists cannot be read (the candidate keeps its interval).
+        """
+        shard = self.sharded.shards[sid]
+        weights = plan.weights or (1.0,) * len(plan.terms)
+        total = 0.0
+        accesses = 0
+        for term, weight in zip(plan.terms, weights):
+            try:
+                accesses += 1
+                score = shard.list_for(term).lookup(doc_id)
+            except Exception:
+                return None, accesses
+            total += weight * (score if score is not None else 0.0)
+        return total, accesses
+
+    def _assemble(
+        self,
+        plan: QueryPlan,
+        tracks: Dict[int, _ShardTrack],
+        rounds: int,
+        deadline_expired: bool,
+        started: float,
+        mode: str,
+    ) -> ShardedTopKResult:
+        ratio = self.executor.session.cost_model.ratio
+        resolution_accesses = 0
+        candidates = [
+            (sid, item)
+            for sid, track in sorted(tracks.items())
+            for item in track.items
+        ]
+        # Resolution: candidates with a still-open interval are refined to
+        # exact scores by home-shard lookups, most-promising first
+        # (descending bestscore), stopping once the k-th best exact score
+        # dominates every remaining bestscore — any candidate left
+        # unresolved then provably cannot enter the top-k, so skipping
+        # its (RA-priced) resolution never changes the answer.
+        ranked: List[Tuple[float, int, RankedItem]] = []
+        exacts: List[float] = []
+        pending: List[Tuple[int, RankedItem]] = []
+        unresolved = False
+
+        def settle(doc_id: int, exact: float) -> None:
+            exacts.append(exact)
+            ranked.append(
+                (
+                    exact,
+                    doc_id,
+                    RankedItem(
+                        doc_id=doc_id, worstscore=exact, bestscore=exact
+                    ),
+                )
+            )
+
+        for sid, item in candidates:
+            if item.bestscore - item.worstscore <= RESOLVED_EPSILON:
+                settle(item.doc_id, item.worstscore)
+            else:
+                pending.append((sid, item))
+        pending.sort(key=lambda entry: (-entry[1].bestscore, entry[1].doc_id))
+        for position, (sid, item) in enumerate(pending):
+            if len(exacts) >= plan.k:
+                threshold = heapq.nlargest(plan.k, exacts)[-1]
+                if item.bestscore < threshold:
+                    # Everything from here on is sorted below this
+                    # bestscore and therefore below the threshold too.
+                    for _, rest in pending[position:]:
+                        ranked.append(
+                            (rest.worstscore, rest.doc_id, rest)
+                        )
+                    break
+            exact, accesses = self._resolve(sid, item.doc_id, plan)
+            resolution_accesses += accesses
+            if exact is None:
+                unresolved = True
+                ranked.append((item.worstscore, item.doc_id, item))
+            else:
+                settle(item.doc_id, exact)
+        ranked.sort(key=lambda entry: (-entry[0], entry[1]))
+        items = [entry[2] for entry in ranked[: plan.k]]
+
+        shard_stats: Dict[int, QueryStats] = {}
+        exhausted_lists: set = set()
+        merged = QueryStats(
+            random_accesses=resolution_accesses,
+            cost=resolution_accesses * ratio,
+        )
+        shard_rounds = 0
+        for sid, track in sorted(tracks.items()):
+            shard_rounds += track.cumulative_rounds
+            outcome = track.latest
+            if outcome is None or outcome.result is None:
+                continue
+            stats = outcome.result.stats
+            shard_stats[sid] = stats
+            exhausted_lists.update(outcome.result.exhausted_lists)
+            merged.sorted_accesses += stats.sorted_accesses
+            merged.random_accesses += stats.random_accesses
+            merged.cost += stats.cost
+            merged.retries += stats.retries
+            merged.simulated_io_wait_ms += stats.simulated_io_wait_ms
+            merged.peak_queue_size = max(
+                merged.peak_queue_size, stats.peak_queue_size
+            )
+            # Like COST, stats.rounds charges the deepest run per shard —
+            # what a resumable shard implementation would pay.  The
+            # cumulative re-execution count (including budget-escalation
+            # re-runs) is reported separately as ``shard_rounds``.
+            merged.rounds += outcome.engine_rounds
+        merged.wall_time_seconds = time.perf_counter() - started
+
+        exhausted_shards = sorted(
+            sid for sid, track in tracks.items() if track.failure
+        )
+        degraded = (
+            deadline_expired
+            or unresolved
+            or bool(exhausted_shards)
+            or bool(exhausted_lists)
+        )
+        return ShardedTopKResult(
+            items=items,
+            stats=merged,
+            algorithm=plan.algorithm,
+            degraded=degraded,
+            exhausted_lists=sorted(exhausted_lists),
+            exhausted_shards=exhausted_shards,
+            pruned_shards=sorted(
+                sid for sid, track in tracks.items() if track.pruned
+            ),
+            shard_stats=shard_stats,
+            coordinator_rounds=rounds,
+            shard_rounds=shard_rounds,
+            resolution_accesses=resolution_accesses,
+            mode=mode,
+        )

@@ -1,0 +1,124 @@
+"""Shard-failure resilience: degraded-but-well-formed merged results.
+
+The single-node engine already has a degradation contract: a list whose
+retry budget is exhausted is dropped, named in ``result.exhausted_lists``,
+and every returned score interval stays correct (the dropped list's
+``high_i`` freezes).  This module lifts that contract one level up, to
+shards:
+
+* a shard whose execution **raised** produced no result at all,
+* a shard whose result lost **every** query list (``exhausted_lists``
+  covers all terms) contributed no usable evidence,
+
+— both are *failed shards*.  The :class:`DegradePolicy` decides whether a
+failed shard degrades the merged answer (the default: the coordinator
+keeps going with the surviving shards and names the losses in
+``exhausted_shards``) or aborts the query
+(:class:`~repro.distrib.coordinator.ShardedExecutionError`).  A shard
+that lost only *some* lists is not failed: its partial evidence flows
+into the merge and its dead lists propagate into the merged result's
+``exhausted_lists``, exactly mirroring the single-node report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .shard import ShardOutcome
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """One failed shard: who, when, and why."""
+
+    shard_id: int
+    round_no: int
+    #: the exception for raised executions; None for all-lists-dead shards
+    error: Optional[BaseException]
+    #: query lists the shard lost (all of them, for a failed shard)
+    exhausted_lists: Sequence[str] = ()
+
+    def describe(self) -> str:
+        if self.error is not None:
+            return "shard %d raised %s in round %d" % (
+                self.shard_id, type(self.error).__name__, self.round_no,
+            )
+        return "shard %d lost every query list in round %d" % (
+            self.shard_id, self.round_no,
+        )
+
+
+@dataclass(frozen=True)
+class DegradePolicy:
+    """How the coordinator maps shard failures to query outcomes.
+
+    ``max_failed_shards`` is the number of failed shards the query
+    tolerates before aborting; ``None`` tolerates all but one shard —
+    i.e. the query survives as long as *any* shard still serves data.
+    ``fail_fast`` aborts on the first failure regardless.  Aborting
+    raises :class:`~repro.distrib.coordinator.ShardedExecutionError`;
+    tolerated failures surface as ``degraded=True`` plus the
+    ``exhausted_shards`` report on the merged result.
+
+    ``keep_partial_items`` controls whether candidates a failed shard
+    reported *before* failing stay in the merge.  Their intervals are
+    still correct (the single-node freeze rule), so the default keeps
+    them — the merged answer is then the best evidence available, which
+    is what an anytime contract promises.
+    """
+
+    max_failed_shards: Optional[int] = None
+    fail_fast: bool = False
+    keep_partial_items: bool = True
+
+    def __post_init__(self) -> None:
+        if (
+            self.max_failed_shards is not None
+            and self.max_failed_shards < 0
+        ):
+            raise ValueError("max_failed_shards must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def classify(
+        self,
+        outcome: ShardOutcome,
+        query_terms: Sequence[str],
+        round_no: int,
+    ) -> Optional[ShardFailure]:
+        """The failure this outcome represents, or None if it is usable."""
+        if outcome.error is not None:
+            return ShardFailure(
+                shard_id=outcome.shard_id,
+                round_no=round_no,
+                error=outcome.error,
+                exhausted_lists=tuple(query_terms),
+            )
+        result = outcome.result
+        if result is not None and set(query_terms) <= set(
+            result.exhausted_lists
+        ):
+            return ShardFailure(
+                shard_id=outcome.shard_id,
+                round_no=round_no,
+                error=None,
+                exhausted_lists=tuple(result.exhausted_lists),
+            )
+        return None
+
+    def should_abort(
+        self, failures: List[ShardFailure], num_shards: int
+    ) -> bool:
+        """Whether the accumulated failures exceed what the query tolerates."""
+        if not failures:
+            return False
+        if self.fail_fast:
+            return True
+        limit = (
+            num_shards - 1
+            if self.max_failed_shards is None
+            else self.max_failed_shards
+        )
+        return len(failures) > limit

@@ -1,0 +1,181 @@
+"""Document partitioning: one corpus, N shard-local block indexes.
+
+Document partitioning (each document's postings live wholly inside one
+shard) is what makes Fagin-style middleware aggregation exact across
+shards: a document's aggregated score computed inside its home shard *is*
+its global score, so shard-local ``[worstscore, bestscore]`` intervals
+remain valid bounds on global scores and the coordinator can reuse the
+single-node bound algebra unchanged.
+
+Two assignment strategies:
+
+* ``"hash"`` — a stateless integer mix (splitmix64 finalizer) of the doc
+  id; balanced in expectation, reproducible across processes, and
+  computable for any doc id without a lookup table,
+* ``"round-robin"`` — the i-th distinct doc id (ascending) goes to shard
+  ``i % num_shards``; exactly balanced (shard sizes differ by at most
+  one), at the price of a stored assignment table.
+
+Index construction itself is the storage layer's job:
+:func:`repro.storage.index_builder.build_index_shards` materializes the
+per-shard indexes from an assignment computed here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..storage.block_index import DEFAULT_BLOCK_SIZE, InvertedBlockIndex
+from ..storage.index_builder import Posting, build_index_shards
+
+#: Valid strategy names, in documentation order.
+STRATEGIES = ("hash", "round-robin")
+
+
+def hash_shard(doc_id: int, num_shards: int) -> int:
+    """Stateless shard assignment: splitmix64 finalizer mix, then mod.
+
+    The multiply-xorshift finalizer scrambles low-entropy doc-id patterns
+    (sequential ids, strided ids) into a uniform 64-bit value, so the mod
+    stays balanced no matter how ids were allocated.
+    """
+    z = (int(doc_id) + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return (z ^ (z >> 31)) % num_shards
+
+
+@dataclass(frozen=True)
+class ShardedIndex:
+    """N document-partitioned shard indexes plus their assignment.
+
+    ``shards`` are ordinary :class:`InvertedBlockIndex` objects — every
+    single-node component (statistics, executors, fault injection) works
+    on them unchanged.  ``assignment`` maps the doc ids seen at partition
+    time to their home shard; :meth:`shard_of` answers for arbitrary ids
+    under the ``"hash"`` strategy as well.
+    """
+
+    shards: Tuple[InvertedBlockIndex, ...]
+    strategy: str
+    assignment: Mapping[int, int]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def terms(self) -> List[str]:
+        """The global term vocabulary (identical across shards)."""
+        return self.shards[0].terms if self.shards else []
+
+    @property
+    def num_docs(self) -> int:
+        """Total collection size across shards."""
+        return sum(shard.num_docs for shard in self.shards)
+
+    def shard_of(self, doc_id: int) -> int:
+        """Home shard of ``doc_id``."""
+        known = self.assignment.get(int(doc_id))
+        if known is not None:
+            return known
+        if self.strategy == "hash":
+            return hash_shard(doc_id, self.num_shards)
+        raise KeyError(
+            "doc id %r was not part of the partitioned corpus" % (doc_id,)
+        )
+
+    def __iter__(self):
+        return iter(self.shards)
+
+    def __len__(self) -> int:
+        return self.num_shards
+
+
+def assign_documents(
+    doc_ids: Iterable[int], num_shards: int, strategy: str = "hash"
+) -> Dict[int, int]:
+    """Deterministic shard assignment for a set of doc ids.
+
+    Round-robin iterates doc ids in ascending order so the assignment is
+    independent of input iteration order.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be at least 1")
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            "unknown partition strategy %r; valid: %s"
+            % (strategy, list(STRATEGIES))
+        )
+    distinct = sorted({int(d) for d in doc_ids})
+    if strategy == "hash":
+        return {d: hash_shard(d, num_shards) for d in distinct}
+    return {d: i % num_shards for i, d in enumerate(distinct)}
+
+
+def partition_postings(
+    postings_by_term: Mapping[str, Iterable[Posting]],
+    num_shards: int,
+    strategy: str = "hash",
+    num_docs: Optional[int] = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> ShardedIndex:
+    """Partition a corpus of scored postings into N shard indexes.
+
+    ``num_docs`` is the global collection size (defaults to the number of
+    distinct doc ids seen); it is distributed across shards so per-shard
+    selectivity estimates stay calibrated.  Global doc ids are preserved.
+    """
+    materialized = {
+        term: [(int(d), float(s)) for d, s in postings]
+        for term, postings in postings_by_term.items()
+    }
+    seen: set = set()
+    for postings in materialized.values():
+        seen.update(d for d, _ in postings)
+    assignment = assign_documents(seen, num_shards, strategy)
+    shards = build_index_shards(
+        materialized,
+        assignment,
+        num_shards,
+        num_docs=num_docs,
+        block_size=block_size,
+    )
+    return ShardedIndex(
+        shards=shards, strategy=strategy, assignment=assignment
+    )
+
+
+def partition_index(
+    index: InvertedBlockIndex,
+    num_shards: int,
+    strategy: str = "hash",
+    block_size: Optional[int] = None,
+) -> ShardedIndex:
+    """Re-partition an existing single-node index into N shards.
+
+    Postings are read back from the lists' rank views (an offline rebuild,
+    not charged query I/O).  ``block_size`` defaults to the block size of
+    the source index's lists.
+    """
+    postings: Dict[str, List[Posting]] = {}
+    sizes = set()
+    for term in index.terms:
+        lst = index.list_for(term)
+        sizes.add(lst.block_size)
+        postings[term] = list(
+            zip(
+                lst.doc_ids_by_rank.tolist(),
+                lst.scores_by_rank.tolist(),
+            )
+        )
+    if block_size is None:
+        block_size = min(sizes) if sizes else DEFAULT_BLOCK_SIZE
+    return partition_postings(
+        postings,
+        num_shards,
+        strategy=strategy,
+        num_docs=index.num_docs,
+        block_size=block_size,
+    )

@@ -1,0 +1,241 @@
+"""The shard execution layer: one `QueryExecutor` per shard, in parallel.
+
+Each shard of a :class:`~repro.distrib.partition.ShardedIndex` is an
+ordinary single-node index, so the whole existing stack — statistics
+catalogs, any of the 24 ``(SA, RA, ordering)`` triples, fault injection,
+anytime deadlines — runs per shard unchanged.  The
+:class:`ShardExecutor` adds what distribution needs on top:
+
+* **concurrency** — one query round fans out over a thread pool, one
+  worker per active shard (NumPy releases the GIL on the bulk array
+  operations, and correctness never depends on parallelism: shard
+  executions share no mutable state, so results are identical to a
+  sequential run),
+* **per-shard accounting** — every execution's COST/#SA/#RA, engine
+  rounds, and failures are recorded per shard (lifetime totals in
+  :attr:`ShardExecutor.accounting`, per-call snapshots in the returned
+  :class:`ShardOutcome`),
+* **per-shard deadline budgets** — the coordinator derives per-shard
+  :class:`~repro.core.executor.QueryDeadline` objects (via
+  :meth:`QueryDeadline.split`) and passes them through here, so a shard
+  can be stopped *anytime* with a degraded-but-correct partial result,
+* **the bound tap** — a listener that captures, at termination, the
+  shard's *remaining bestscore bound*: the highest score any document the
+  shard has **not** reported could still achieve.  This is the quantity
+  the merge coordinator's early-termination test consumes.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.executor import (
+    TERMINATED_DEADLINE,
+    ExecutionListener,
+    QueryDeadline,
+)
+from ..core.planner import QueryPlan
+from ..core.results import TopKResult
+from ..core.session import QuerySession
+from .partition import ShardedIndex
+
+#: Upper bound on concurrent shard workers (beyond this, threads only add
+#: scheduler churn on typical machines).
+MAX_WORKERS = 16
+
+
+class BoundTapListener(ExecutionListener):
+    """Captures the shard-side inputs of the coordinator's bound algebra.
+
+    At termination the listener walks the candidate pool once and records
+    the **remaining bound**: ``max(unseen_bestscore, bestscore of every
+    queued candidate)`` — an upper bound on the score of any document the
+    shard did *not* return among its top-k items.  Document partitioning
+    makes shard-local scores global, so the coordinator can compare this
+    bound directly against the global ``min-k`` threshold.
+
+    Also records the termination reason and the engine round count, which
+    feed shard accounting and the coordinator's round bookkeeping.
+    """
+
+    def __init__(self) -> None:
+        self.reason: Optional[str] = None
+        self.remaining_bound: float = float("inf")
+        self.rounds: int = 0
+
+    def on_query_start(self, plan, state) -> None:
+        self.reason = None
+        self.remaining_bound = float("inf")
+        self.rounds = 0
+
+    def on_round_end(self, state, trace) -> None:
+        self.rounds += 1
+
+    def on_termination(self, state, result, reason) -> None:
+        self.reason = reason
+        pool = state.pool
+        bound = pool.unseen_bestscore
+        for cand in pool.queue():
+            bestscore = pool.bestscore(cand)
+            if bestscore > bound:
+                bound = bestscore
+        self.remaining_bound = bound
+
+
+@dataclass
+class ShardOutcome:
+    """One shard execution as seen by the coordinator.
+
+    ``remaining_bound`` bounds every document the shard did not report;
+    ``complete`` means the shard terminated by its own threshold test (or
+    exhausted its lists) without losing any list — its reported items are
+    final and everything else is provably below its local ``min-k``.
+    ``error`` carries the exception of an execution that did not produce
+    a result at all (the degrade policy decides what that means).
+    """
+
+    shard_id: int
+    result: Optional[TopKResult] = None
+    remaining_bound: float = float("inf")
+    engine_rounds: int = 0
+    reason: Optional[str] = None
+    error: Optional[BaseException] = None
+    wall_seconds: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        """Shard finished its own termination test with all lists alive."""
+        return (
+            self.error is None
+            and self.result is not None
+            and not self.result.degraded
+            and self.reason != TERMINATED_DEADLINE
+        )
+
+    @property
+    def budget_stopped(self) -> bool:
+        """Shard was paused by its per-shard deadline budget."""
+        return self.error is None and self.reason == TERMINATED_DEADLINE
+
+
+@dataclass
+class ShardAccounting:
+    """Lifetime per-shard counters (across queries and rounds)."""
+
+    executions: int = 0
+    sorted_accesses: int = 0
+    random_accesses: int = 0
+    cost: float = 0.0
+    engine_rounds: int = 0
+    failures: int = 0
+
+
+class ShardExecutor:
+    """Runs one query plan across the shards of a :class:`ShardedIndex`.
+
+    ``session`` supplies the per-shard statistics/executor caches; it is
+    shared across worker threads, which is exactly the access pattern the
+    session's internal lock exists for.  Extra ``session`` keyword
+    arguments (cost model, retry policy, predictor, ...) apply to every
+    shard uniformly.
+    """
+
+    def __init__(
+        self,
+        sharded: ShardedIndex,
+        session: Optional[QuerySession] = None,
+        max_workers: Optional[int] = None,
+        **session_kwargs,
+    ) -> None:
+        if sharded.num_shards < 1:
+            raise ValueError("a sharded index needs at least one shard")
+        self.sharded = sharded
+        self.session = (
+            session if session is not None else QuerySession(**session_kwargs)
+        )
+        self.max_workers = min(
+            max_workers if max_workers else sharded.num_shards,
+            MAX_WORKERS,
+        )
+        self.accounting: Dict[int, ShardAccounting] = {
+            shard_id: ShardAccounting()
+            for shard_id in range(sharded.num_shards)
+        }
+
+    # ------------------------------------------------------------------
+    # Warm-up
+    # ------------------------------------------------------------------
+    def warm(self) -> None:
+        """Build every shard's statistics catalog up front (optional)."""
+        for shard in self.sharded.shards:
+            self.session.stats_for(shard)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute_one(
+        self,
+        shard_id: int,
+        plan: QueryPlan,
+        deadline: Optional[QueryDeadline] = None,
+    ) -> ShardOutcome:
+        """Run ``plan`` on one shard; never raises (errors are captured)."""
+        tap = BoundTapListener()
+        shard_plan = plan.replace(deadline=deadline)
+        started = time.perf_counter()
+        outcome = ShardOutcome(shard_id=shard_id)
+        account = self.accounting[shard_id]
+        try:
+            executor = self.session.executor_for(
+                self.sharded.shards[shard_id]
+            )
+            result = executor.execute(shard_plan, listeners=(tap,))
+        except Exception as exc:  # captured: the degrade policy decides
+            outcome.error = exc
+            account.failures += 1
+        else:
+            outcome.result = result
+            outcome.remaining_bound = tap.remaining_bound
+            outcome.engine_rounds = tap.rounds
+            outcome.reason = tap.reason
+            account.executions += 1
+            account.sorted_accesses += result.stats.sorted_accesses
+            account.random_accesses += result.stats.random_accesses
+            account.cost += result.stats.cost
+            account.engine_rounds += tap.rounds
+        outcome.wall_seconds = time.perf_counter() - started
+        return outcome
+
+    def execute_round(
+        self,
+        plan: QueryPlan,
+        shard_ids: Sequence[int],
+        deadlines: Optional[Dict[int, Optional[QueryDeadline]]] = None,
+    ) -> List[ShardOutcome]:
+        """Run one coordinator round over the given shards, concurrently.
+
+        ``deadlines`` maps a shard id to its per-shard deadline budget for
+        this round (``None`` entries and missing keys mean unbounded).
+        Outcomes come back ordered by shard id; a shard whose execution
+        raised is reported through :attr:`ShardOutcome.error` rather than
+        propagating, so one failing shard never tears down the round.
+        """
+        deadlines = deadlines or {}
+        ordered = sorted(shard_ids)
+        if len(ordered) <= 1 or self.max_workers <= 1:
+            return [
+                self.execute_one(sid, plan, deadlines.get(sid))
+                for sid in ordered
+            ]
+        with ThreadPoolExecutor(
+            max_workers=min(self.max_workers, len(ordered)),
+            thread_name_prefix="repro-shard",
+        ) as pool:
+            futures = [
+                pool.submit(self.execute_one, sid, plan, deadlines.get(sid))
+                for sid in ordered
+            ]
+            return [future.result() for future in futures]

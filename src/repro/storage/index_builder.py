@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from .block_index import DEFAULT_BLOCK_SIZE, IndexList, InvertedBlockIndex
 
@@ -49,6 +49,79 @@ def build_index(
             % (num_docs, len(seen_docs))
         )
     return InvertedBlockIndex(lists, num_docs=num_docs)
+
+
+def build_index_shards(
+    postings_by_term: Mapping[str, Iterable[Posting]],
+    assignment: Mapping[int, int],
+    num_shards: int,
+    num_docs: Optional[int] = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> Tuple["InvertedBlockIndex", ...]:
+    """Build one block-index per shard from a document assignment.
+
+    ``assignment`` maps every doc id that appears in ``postings_by_term``
+    to a shard in ``[0, num_shards)``; computing that assignment (hash,
+    round-robin, ...) is the partitioner's job
+    (:mod:`repro.distrib.partition`) — this hook only materializes the
+    per-shard indexes.  Global doc ids are preserved verbatim, so results
+    merged across shards need no id translation.
+
+    Every shard index carries a list for **every** term (possibly empty):
+    a query planned against one shard must never fail on a term that
+    simply has no postings in that shard's document range.
+
+    ``num_docs`` is the *global* collection size; the unassigned remainder
+    (documents matching no indexed term) is spread evenly across shards so
+    per-shard selectivity estimates stay calibrated.  Shard sizes sum to
+    at least the global ``num_docs`` (each shard is clamped to hold one
+    document minimum, matching :class:`InvertedBlockIndex`'s contract).
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be at least 1")
+    shard_postings: Tuple[Dict[str, list], ...] = tuple(
+        {} for _ in range(num_shards)
+    )
+    seen_docs = set()
+    for term, postings in postings_by_term.items():
+        per_shard: List[List[Posting]] = [[] for _ in range(num_shards)]
+        for doc_id, score in postings:
+            doc_id = int(doc_id)
+            seen_docs.add(doc_id)
+            try:
+                shard = assignment[doc_id]
+            except KeyError:
+                raise ValueError(
+                    "doc id %d has no shard assignment" % doc_id
+                ) from None
+            if not 0 <= shard < num_shards:
+                raise ValueError(
+                    "doc %d assigned to shard %d outside [0, %d)"
+                    % (doc_id, shard, num_shards)
+                )
+            per_shard[shard].append((doc_id, float(score)))
+        for shard in range(num_shards):
+            shard_postings[shard][term] = per_shard[shard]
+    if num_docs is None:
+        num_docs = max(len(seen_docs), 1)
+    assigned_counts = [0] * num_shards
+    for doc_id in seen_docs:
+        assigned_counts[assignment[doc_id]] += 1
+    unassigned = max(num_docs - len(seen_docs), 0)
+    base, remainder = divmod(unassigned, num_shards)
+    shards = []
+    for shard in range(num_shards):
+        shard_docs = assigned_counts[shard] + base + (
+            1 if shard < remainder else 0
+        )
+        lists = {
+            term: build_index_list(term, postings, block_size=block_size)
+            for term, postings in shard_postings[shard].items()
+        }
+        shards.append(
+            InvertedBlockIndex(lists, num_docs=max(shard_docs, 1))
+        )
+    return tuple(shards)
 
 
 def build_index_from_documents(

@@ -1,0 +1,137 @@
+"""Sharded/single-node parity: distribution never changes the answer.
+
+Document partitioning keeps every document's postings inside one shard,
+so shard-local aggregated scores are global scores and the coordinator's
+merged top-k must be *identical* — doc ids, order, and exact scores — to
+single-node execution over the unpartitioned corpus.  This suite pins
+that for every canonical algorithm triple, at shard counts covering the
+trivial (1), even (2, 4), and uneven (7) cases, and for both coordinator
+modes (the bound-pruning round protocol and the naive gather-all
+baseline).
+"""
+
+import collections
+
+import pytest
+
+from repro.core import available_algorithms
+from repro.core.session import QuerySession, ShardedSession
+from repro.distrib import MergeCoordinator, ShardExecutor, partition_index
+from tests.helpers import make_random_index
+
+K = 10
+SHARD_COUNTS = (1, 2, 4, 7)
+
+
+def exact_scores(index, terms):
+    totals = collections.defaultdict(float)
+    for term in terms:
+        lst = index.list_for(term)
+        for doc, score in zip(
+            lst.doc_ids_by_rank.tolist(), lst.scores_by_rank.tolist()
+        ):
+            totals[int(doc)] += float(score)
+    return totals
+
+
+@pytest.fixture(scope="module")
+def setup():
+    index, terms = make_random_index(seed=42)
+    totals = exact_scores(index, terms)
+    golden = [
+        doc
+        for doc, _ in sorted(
+            totals.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:K]
+    ]
+    coordinators = {}
+    for count in SHARD_COUNTS:
+        sharded = partition_index(index, count, strategy="hash")
+        coordinators[count] = MergeCoordinator(ShardExecutor(sharded))
+    single = QuerySession(index)
+    return {
+        "index": index,
+        "terms": terms,
+        "totals": totals,
+        "golden": golden,
+        "coordinators": coordinators,
+        "single": single,
+    }
+
+
+@pytest.mark.parametrize("algorithm", sorted(available_algorithms()))
+@pytest.mark.parametrize("count", SHARD_COUNTS)
+def test_bounded_matches_single_node(setup, count, algorithm):
+    coord = setup["coordinators"][count]
+    single = setup["single"].run(setup["terms"], K, algorithm=algorithm)
+    result = coord.query(
+        setup["terms"], K, algorithm=algorithm, mode="bounded"
+    )
+    assert result.doc_ids == single.doc_ids == setup["golden"]
+    # The coordinator resolves every returned item to its exact score.
+    for item in result.items:
+        assert item.worstscore == pytest.approx(
+            setup["totals"][item.doc_id], abs=1e-9
+        )
+        assert item.bestscore == pytest.approx(item.worstscore, abs=1e-9)
+    assert not result.degraded
+    assert result.exhausted_shards == []
+
+
+@pytest.mark.parametrize("algorithm", sorted(available_algorithms()))
+def test_bounded_never_differs_from_gather(setup, algorithm):
+    # Four shards exercise pruning (some shards retire early); the
+    # early-terminating coordinator must still agree with gather-all.
+    coord = setup["coordinators"][4]
+    bounded = coord.query(
+        setup["terms"], K, algorithm=algorithm, mode="bounded"
+    )
+    gathered = coord.query(
+        setup["terms"], K, algorithm=algorithm, mode="gather"
+    )
+    assert bounded.doc_ids == gathered.doc_ids
+    for left, right in zip(bounded.items, gathered.items):
+        assert left.worstscore == pytest.approx(
+            right.worstscore, abs=1e-9
+        )
+
+
+@pytest.mark.parametrize("count", SHARD_COUNTS)
+def test_gather_matches_golden_at_every_count(setup, count):
+    result = setup["coordinators"][count].query(
+        setup["terms"], K, mode="gather"
+    )
+    assert result.doc_ids == setup["golden"]
+    assert result.coordinator_rounds == 1
+
+
+@pytest.mark.parametrize("strategy", ["hash", "round-robin"])
+def test_both_partition_strategies_agree(setup, strategy):
+    sharded = partition_index(setup["index"], 3, strategy=strategy)
+    coord = MergeCoordinator(ShardExecutor(sharded))
+    result = coord.query(setup["terms"], K)
+    assert result.doc_ids == setup["golden"]
+
+
+def test_pruning_fires_and_saves_rounds(setup):
+    coord = setup["coordinators"][4]
+    bounded = coord.query(setup["terms"], K, mode="bounded")
+    gathered = coord.query(setup["terms"], K, mode="gather")
+    assert bounded.pruned_shards  # the bound test retires shards early
+    # Resumable-shard model: rounds (like COST) charge the deepest run
+    # per shard, so pruning must yield strictly fewer total rounds.
+    assert bounded.stats.rounds < gathered.stats.rounds
+
+
+def test_sharded_session_entry_point(setup):
+    session = ShardedSession(setup["index"], num_shards=4)
+    result = session.run(setup["terms"], K)
+    assert result.doc_ids == setup["golden"]
+    assert session.num_shards == 4
+    batch = session.run_many([setup["terms"]] * 2, K)
+    assert [r.doc_ids for r in batch] == [setup["golden"]] * 2
+
+
+def test_coordinator_rejects_unknown_mode(setup):
+    with pytest.raises(ValueError):
+        setup["coordinators"][2].query(setup["terms"], K, mode="eager")

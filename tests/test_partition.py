@@ -1,0 +1,144 @@
+"""Document partitioning: assignment, shard construction, invariants."""
+
+import pytest
+
+from repro.distrib.partition import (
+    ShardedIndex,
+    assign_documents,
+    hash_shard,
+    partition_index,
+    partition_postings,
+)
+from repro.storage.index_builder import build_index, build_index_shards
+from tests.helpers import make_random_index
+
+
+def small_postings():
+    return {
+        "a": [(1, 0.9), (2, 0.3), (5, 0.7), (8, 0.2)],
+        "b": [(2, 0.8), (3, 0.5), (8, 0.9)],
+    }
+
+
+class TestAssignment:
+    def test_hash_is_deterministic_and_in_range(self):
+        for doc in range(200):
+            first = hash_shard(doc, 4)
+            assert 0 <= first < 4
+            assert hash_shard(doc, 4) == first
+
+    def test_hash_spreads_sequential_ids(self):
+        counts = [0] * 4
+        for doc in range(1000):
+            counts[hash_shard(doc, 4)] += 1
+        # splitmix64 mixing keeps sequential ids roughly uniform
+        assert min(counts) > 150
+
+    def test_round_robin_is_exactly_balanced(self):
+        assignment = assign_documents(range(103), 4, "round-robin")
+        counts = [0] * 4
+        for shard in assignment.values():
+            counts[shard] += 1
+        assert max(counts) - min(counts) <= 1
+
+    def test_round_robin_ignores_input_order(self):
+        forward = assign_documents([1, 2, 3, 4], 2, "round-robin")
+        backward = assign_documents([4, 3, 2, 1], 2, "round-robin")
+        assert forward == backward
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            assign_documents([1], 0, "hash")
+        with pytest.raises(ValueError):
+            assign_documents([1], 2, "range")
+
+
+class TestPartitionPostings:
+    def test_doc_ids_stay_global_and_disjoint(self):
+        sharded = partition_postings(small_postings(), 2, strategy="hash")
+        seen = {}
+        for sid, shard in enumerate(sharded):
+            for term in shard.terms:
+                lst = shard.list_for(term)
+                for doc in lst.doc_ids_by_rank.tolist():
+                    home = seen.setdefault(int(doc), sid)
+                    # document partitioning: every doc in one shard only
+                    assert home == sid
+
+    def test_every_term_in_every_shard(self):
+        # a shard may hold no postings for a term, but the list exists —
+        # per-shard executors must never KeyError on a query term
+        sharded = partition_postings(small_postings(), 4, strategy="hash")
+        for shard in sharded:
+            assert sorted(shard.terms) == ["a", "b"]
+
+    def test_num_docs_is_distributed_not_duplicated(self):
+        sharded = partition_postings(
+            small_postings(), 2, strategy="round-robin", num_docs=100
+        )
+        assert sharded.num_docs == 100
+
+    def test_shard_of_round_robin_rejects_unknown(self):
+        sharded = partition_postings(
+            small_postings(), 2, strategy="round-robin"
+        )
+        assert sharded.shard_of(2) in (0, 1)
+        with pytest.raises(KeyError):
+            sharded.shard_of(999)
+
+    def test_shard_of_hash_answers_for_any_id(self):
+        sharded = partition_postings(small_postings(), 2, strategy="hash")
+        assert 0 <= sharded.shard_of(424242) < 2
+
+
+class TestPartitionIndex:
+    def test_round_trip_preserves_postings(self):
+        index, terms = make_random_index(seed=7, list_length=120)
+        sharded = partition_index(index, 3, strategy="round-robin")
+        assert isinstance(sharded, ShardedIndex)
+        assert len(sharded) == 3
+        for term in terms:
+            source = dict(
+                zip(
+                    index.list_for(term).doc_ids_by_rank.tolist(),
+                    index.list_for(term).scores_by_rank.tolist(),
+                )
+            )
+            rebuilt = {}
+            for shard in sharded:
+                lst = shard.list_for(term)
+                rebuilt.update(
+                    zip(
+                        lst.doc_ids_by_rank.tolist(),
+                        lst.scores_by_rank.tolist(),
+                    )
+                )
+            assert rebuilt == source
+
+    def test_total_num_docs_preserved(self):
+        index, _ = make_random_index(seed=7)
+        sharded = partition_index(index, 7, strategy="hash")
+        assert sharded.num_docs == index.num_docs
+
+
+class TestBuildIndexShards:
+    def test_assignment_must_cover_all_docs(self):
+        with pytest.raises(ValueError):
+            build_index_shards(small_postings(), {1: 0}, 2)
+
+    def test_assignment_must_stay_in_range(self):
+        postings = {"a": [(1, 0.5)]}
+        with pytest.raises(ValueError):
+            build_index_shards(postings, {1: 5}, 2)
+
+    def test_shards_are_plain_indexes(self):
+        postings = small_postings()
+        assignment = assign_documents(
+            {d for lst in postings.values() for d, _ in lst},
+            2,
+            "round-robin",
+        )
+        shards = build_index_shards(postings, assignment, 2)
+        reference = build_index(postings)
+        assert len(shards) == 2
+        assert sum(s.num_docs for s in shards) == reference.num_docs

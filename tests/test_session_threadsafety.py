@@ -1,0 +1,96 @@
+"""Thread-safety of the session layer's shared caches.
+
+The sharded execution path hands one :class:`QuerySession` to a pool of
+worker threads (one per shard), so the session's id-keyed caches and the
+process-wide ``shared_session()`` singleton must tolerate concurrent
+first access: exactly one catalog/executor built per index, one global
+session object, no lost updates on the lifecycle counters.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.session import (
+    QuerySession,
+    reset_shared_session,
+    shared_session,
+)
+from tests.helpers import make_random_index
+
+THREADS = 8
+
+
+def hammer(fn, workers=THREADS, repeats=4):
+    """Run ``fn`` concurrently from many threads, a few times each."""
+    barrier = threading.Barrier(workers)
+
+    def task():
+        barrier.wait()  # maximize the racing window on first access
+        return [fn() for _ in range(repeats)]
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(task) for _ in range(workers)]
+        return [value for f in futures for value in f.result()]
+
+
+class TestQuerySessionConcurrency:
+    def test_stats_built_once_per_index_under_contention(self):
+        indexes = [make_random_index(seed=s)[0] for s in range(4)]
+        session = QuerySession()
+        counter = {"next": 0}
+        lock = threading.Lock()
+
+        def touch():
+            with lock:
+                index = indexes[counter["next"] % len(indexes)]
+                counter["next"] += 1
+            return session.stats_for(index)
+
+        catalogs = hammer(touch)
+        assert session.stats_builds == len(indexes)
+        assert len({id(c) for c in catalogs}) == len(indexes)
+
+    def test_executors_are_cached_not_duplicated(self):
+        index, _ = make_random_index(seed=3)
+        session = QuerySession(index)
+        executors = hammer(session.executor_for)
+        assert len({id(e) for e in executors}) == 1
+        assert session.executor_builds == 1
+
+    def test_concurrent_queries_share_one_session(self):
+        index, terms = make_random_index(seed=5)
+        session = QuerySession(index)
+
+        def run():
+            return session.run(terms, 5).doc_ids
+
+        results = hammer(run)
+        assert len({tuple(r) for r in results}) == 1
+        assert session.queries_run == len(results)
+
+    def test_lru_eviction_stays_consistent_under_contention(self):
+        indexes = [
+            make_random_index(seed=s, list_length=40)[0] for s in range(6)
+        ]
+        session = QuerySession(max_cached_indexes=2)
+        counter = {"next": 0}
+        lock = threading.Lock()
+
+        def touch():
+            with lock:
+                index = indexes[counter["next"] % len(indexes)]
+                counter["next"] += 1
+            return session.stats_for(index)
+
+        hammer(touch)
+        assert session.cached_indexes <= 2
+
+
+class TestSharedSessionSingleton:
+    def test_concurrent_first_calls_get_one_session(self):
+        reset_shared_session()
+        try:
+            sessions = hammer(shared_session)
+            assert len({id(s) for s in sessions}) == 1
+        finally:
+            reset_shared_session()

@@ -1,0 +1,125 @@
+"""The shard execution layer and the deadline-splitting arithmetic."""
+
+import math
+
+import pytest
+
+from repro.core.algorithms import plan as plan_query
+from repro.core.executor import TERMINATED_DEADLINE, QueryDeadline
+from repro.core.session import QuerySession
+from repro.distrib import ShardExecutor, partition_index
+from repro.storage.faults import FaultInjector, FaultPlan
+from repro.distrib.partition import ShardedIndex
+from tests.helpers import make_random_index
+
+K = 10
+
+
+@pytest.fixture(scope="module")
+def sharded():
+    index, terms = make_random_index(seed=42)
+    return partition_index(index, 4, strategy="hash"), terms
+
+
+class TestDeadlineSplit:
+    def test_shares_never_sum_beyond_parent(self):
+        # The satellite guarantee: fanning a budget out over shards can
+        # never authorize more total COST than the single-node budget.
+        for budget in (1.0, 3.0, 10.0, 0.1, 1e9, 7.7, 1234.567):
+            for parts in (1, 2, 3, 4, 7, 16, 33):
+                shares = QueryDeadline(cost_budget=budget).split(parts)
+                assert len(shares) == parts
+                total = math.fsum(s.cost_budget for s in shares)
+                assert total <= budget
+                # and the division stays tight: nothing meaningful lost
+                assert total == pytest.approx(budget, rel=1e-12)
+
+    def test_wall_clock_passes_through_undivided(self):
+        parent = QueryDeadline(wall_clock_seconds=2.5, cost_budget=100.0)
+        for share in parent.split(5):
+            assert share.wall_clock_seconds == 2.5
+
+    def test_pure_wall_deadline_is_shared_not_divided(self):
+        parent = QueryDeadline(wall_clock_seconds=1.0)
+        shares = parent.split(3)
+        assert all(s is parent for s in shares)
+
+    def test_rejects_zero_parts(self):
+        with pytest.raises(ValueError):
+            QueryDeadline(cost_budget=10.0).split(0)
+
+
+class TestShardExecutor:
+    def test_outcomes_ordered_by_shard_id(self, sharded):
+        index, terms = sharded
+        executor = ShardExecutor(index)
+        plan = plan_query(terms, K)
+        outcomes = executor.execute_round(plan, [3, 1, 0, 2])
+        assert [o.shard_id for o in outcomes] == [0, 1, 2, 3]
+        assert all(o.complete for o in outcomes)
+
+    def test_budget_stop_reports_remaining_bound(self, sharded):
+        index, terms = sharded
+        executor = ShardExecutor(index)
+        plan = plan_query(terms, K)
+        outcome = executor.execute_one(
+            0, plan, QueryDeadline(cost_budget=64.0)
+        )
+        assert outcome.budget_stopped
+        assert outcome.reason == TERMINATED_DEADLINE
+        assert not outcome.complete
+        # barely scanned: unreported documents may still score high
+        assert outcome.remaining_bound > 0.0
+
+    def test_complete_shard_has_dominated_bound(self, sharded):
+        index, terms = sharded
+        executor = ShardExecutor(index)
+        plan = plan_query(terms, K)
+        outcome = executor.execute_one(0, plan)
+        assert outcome.complete
+        assert outcome.result is not None
+        # local threshold termination: the remaining bound cannot beat
+        # the shard's own min-k (otherwise it would have kept scanning)
+        assert outcome.remaining_bound <= outcome.result.min_k + 1e-9
+
+    def test_accounting_accumulates(self, sharded):
+        index, terms = sharded
+        executor = ShardExecutor(index)
+        plan = plan_query(terms, K)
+        executor.execute_round(plan, range(index.num_shards))
+        executor.execute_round(plan, range(index.num_shards))
+        for shard_id in range(index.num_shards):
+            account = executor.accounting[shard_id]
+            assert account.executions == 2
+            assert account.cost > 0
+            assert account.failures == 0
+
+    def test_execution_errors_are_captured_not_raised(self, sharded):
+        index, terms = sharded
+        injector = FaultInjector(FaultPlan(dead_terms=tuple(terms)))
+        broken = ShardedIndex(
+            shards=(injector.wrap_index(index.shards[0]),)
+            + index.shards[1:],
+            strategy=index.strategy,
+            assignment=index.assignment,
+        )
+        executor = ShardExecutor(broken)
+        plan = plan_query(terms, K)
+        outcomes = executor.execute_round(plan, range(broken.num_shards))
+        dead = outcomes[0]
+        # all lists dead: either the execution raised or it degraded
+        # with every query list exhausted — never a silent success
+        assert not dead.complete
+        if dead.error is None:
+            assert set(terms) <= set(dead.result.exhausted_lists)
+        assert all(o.complete for o in outcomes[1:])
+
+    def test_shared_session_caches_per_shard_stats(self, sharded):
+        index, terms = sharded
+        session = QuerySession()
+        executor = ShardExecutor(index, session=session)
+        plan = plan_query(terms, K)
+        executor.execute_round(plan, range(index.num_shards))
+        executor.execute_round(plan, range(index.num_shards))
+        # one catalog per shard, built once despite two rounds
+        assert session.stats_builds == index.num_shards

@@ -1,0 +1,140 @@
+"""Chaos under distribution: shard death must degrade, never crash.
+
+The failure-degradation contract (docs/SHARDING.md): when a shard dies
+mid-query, the coordinator keeps going with the survivors and returns a
+well-formed result with ``degraded=True`` and the dead shard named in
+``exhausted_shards`` — the shard-level mirror of the single-node
+``exhausted_lists`` report.  The surviving shards' documents are still
+ranked correctly, because document partitioning keeps their evidence
+complete.
+"""
+
+import collections
+
+import pytest
+
+from repro.core.session import ShardedSession
+from repro.distrib import (
+    DegradePolicy,
+    MergeCoordinator,
+    ShardExecutor,
+    ShardedExecutionError,
+    partition_index,
+)
+from repro.distrib.partition import ShardedIndex
+from repro.storage.accessors import RetryPolicy
+from repro.storage.faults import FaultInjector, FaultPlan
+from tests.helpers import make_random_index
+
+K = 10
+DEAD_SHARD = 1
+
+
+def kill_shard(sharded, shard_id, terms):
+    """A copy of ``sharded`` whose ``shard_id`` lost every query list."""
+    injector = FaultInjector(FaultPlan(dead_terms=tuple(terms)))
+    shards = list(sharded.shards)
+    shards[shard_id] = injector.wrap_index(shards[shard_id])
+    return ShardedIndex(
+        shards=tuple(shards),
+        strategy=sharded.strategy,
+        assignment=sharded.assignment,
+    )
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    index, terms = make_random_index(seed=42)
+    sharded = partition_index(index, 4, strategy="hash")
+    totals = collections.defaultdict(float)
+    for term in terms:
+        lst = index.list_for(term)
+        for doc, score in zip(
+            lst.doc_ids_by_rank.tolist(), lst.scores_by_rank.tolist()
+        ):
+            totals[int(doc)] += float(score)
+    survivors = {
+        doc: score
+        for doc, score in totals.items()
+        if sharded.shard_of(doc) != DEAD_SHARD
+    }
+    expected = [
+        doc
+        for doc, _ in sorted(
+            survivors.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:K]
+    ]
+    return sharded, terms, expected
+
+
+# Never (NRA-style, no random accesses) and a Last-probing RA policy —
+# the two RA families the degradation contract must cover.
+@pytest.mark.parametrize("algorithm", ["RR-Never", "KSR-Last-Ben"])
+@pytest.mark.parametrize("mode", ["bounded", "gather"])
+def test_dead_shard_degrades_without_raising(corpus, algorithm, mode):
+    sharded, terms, expected = corpus
+    broken = kill_shard(sharded, DEAD_SHARD, terms)
+    executor = ShardExecutor(
+        broken, retry_policy=RetryPolicy(max_attempts=2, query_budget=8)
+    )
+    coordinator = MergeCoordinator(executor)
+
+    result = coordinator.query(terms, K, algorithm=algorithm, mode=mode)
+
+    assert result.degraded
+    assert result.exhausted_shards == [DEAD_SHARD]
+    # the surviving shards' evidence is complete, so their ranking is
+    # exactly the brute-force top-k over the surviving documents
+    assert result.doc_ids == expected
+
+
+def test_dead_shard_without_retry_policy_still_degrades(corpus):
+    sharded, terms, expected = corpus
+    broken = kill_shard(sharded, DEAD_SHARD, terms)
+    coordinator = MergeCoordinator(ShardExecutor(broken))
+    result = coordinator.query(terms, K)
+    assert result.degraded
+    assert result.exhausted_shards == [DEAD_SHARD]
+    assert result.doc_ids == expected
+
+
+def test_fail_fast_policy_aborts(corpus):
+    sharded, terms, _ = corpus
+    broken = kill_shard(sharded, DEAD_SHARD, terms)
+    coordinator = MergeCoordinator(
+        ShardExecutor(broken), degrade=DegradePolicy(fail_fast=True)
+    )
+    with pytest.raises(ShardedExecutionError) as excinfo:
+        coordinator.query(terms, K)
+    assert excinfo.value.failures[0].shard_id == DEAD_SHARD
+
+
+def test_zero_tolerance_policy_aborts(corpus):
+    sharded, terms, _ = corpus
+    broken = kill_shard(sharded, DEAD_SHARD, terms)
+    coordinator = MergeCoordinator(
+        ShardExecutor(broken),
+        degrade=DegradePolicy(max_failed_shards=0),
+    )
+    with pytest.raises(ShardedExecutionError):
+        coordinator.query(terms, K)
+
+
+def test_all_shards_dead_aborts_by_default(corpus):
+    sharded, terms, _ = corpus
+    broken = sharded
+    for shard_id in range(sharded.num_shards):
+        broken = kill_shard(broken, shard_id, terms)
+    coordinator = MergeCoordinator(ShardExecutor(broken))
+    with pytest.raises(ShardedExecutionError):
+        coordinator.query(terms, K)
+
+
+def test_sharded_session_surfaces_degradation(corpus):
+    sharded, terms, expected = corpus
+    broken = kill_shard(sharded, DEAD_SHARD, terms)
+    session = ShardedSession(sharded=broken)
+    result = session.run(terms, K)
+    assert result.degraded
+    assert result.exhausted_shards == [DEAD_SHARD]
+    assert result.doc_ids == expected
