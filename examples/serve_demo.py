@@ -1,0 +1,113 @@
+"""Serving demo: admission control and graceful degradation, live.
+
+Boots the asyncio query service over a small httplog-style corpus,
+replays a burst of heavy-tailed traffic at twice the sustainable rate,
+and shows what overload looks like from the client side: some queries
+answered exactly (200), some answered early as well-formed partial
+results (206 with a machine-readable ``degrade_reason``), some
+politely rejected (429 with a computed ``Retry-After``) — and zero
+errors.
+
+Run with::
+
+    PYTHONPATH=src python examples/serve_demo.py
+"""
+
+import asyncio
+import collections
+import json
+
+from repro import QuerySession
+from repro.data.httplog import generate_trace, generate_workload
+from repro.serve import QueryService, ServiceConfig, ShedConfig
+from repro.serve.loadgen import calibrate, replay_open
+
+
+def main() -> None:
+    workload = generate_workload(
+        num_users=4000, num_days=12, num_queries=16, block_size=64, seed=23
+    )
+    trace = generate_trace(workload, 120, seed=24)
+    session = QuerySession(workload.index)
+    session.stats_for(workload.index)  # warm the statistics up front
+
+    mean_ms, p95_cost = calibrate(session, trace)
+    rate = 2.0 * 1000.0 / mean_ms  # 2x the sustainable single-thread rate
+    config = ServiceConfig(
+        max_concurrency=2,
+        max_queue=8,
+        backlog_budget_ms=300.0,
+        default_deadline_ms=200.0,
+        default_cost_budget=max(p95_cost, 1.0),
+        heavy_cost_threshold=p95_cost,
+        shed=ShedConfig(tighten_factor=0.1, heavy_tighten_factor=0.03),
+    )
+    print("calibration: %.1f ms/query -> replaying at %.0f qps (2x)" % (
+        mean_ms, rate
+    ))
+
+    async def run() -> None:
+        async with QueryService(session, config) as service:
+            outcomes = await replay_open(
+                config.host, service.port, trace, rate, seed=7
+            )
+
+            statuses = collections.Counter(o.status for o in outcomes)
+            print("\nstatus histogram under 2x overload:")
+            for status, count in sorted(statuses.items()):
+                label = {200: "exact", 206: "degraded partial",
+                         429: "rejected (shed)"}.get(status, "other")
+                print("  %3d  %-17s %3d" % (status, label, count))
+            malformed = [o for o in outcomes if o.malformed]
+            print("malformed responses: %d" % len(malformed))
+            reasons = collections.Counter(
+                o.degrade_reason for o in outcomes if o.degrade_reason
+            )
+            print("degrade reasons: %s" % dict(reasons))
+
+            # More queries against the still-running service, asking
+            # for an impossibly small cost budget: the anytime contract
+            # answers 206 with a well-formed partial top-k.  (Queries
+            # the engine finishes within its very first round stay
+            # exact — the skewed httplog scores converge that fast — so
+            # scan the trace for one that actually gets truncated.)
+            from repro.serve.loadgen import _read_response
+
+            status, answer = 0, {}
+            for request in trace:
+                payload = json.dumps({
+                    "terms": list(request.terms), "k": request.k,
+                    "cost_budget": 1,
+                }).encode()
+                message = (
+                    b"POST /query HTTP/1.1\r\nHost: demo\r\n"
+                    b"Content-Length: " + str(len(payload)).encode() +
+                    b"\r\n\r\n" + payload
+                )
+                reader, writer = await asyncio.open_connection(
+                    config.host, service.port
+                )
+                writer.write(message)
+                await writer.drain()
+                status, _, body = await _read_response(reader)
+                writer.close()
+                answer = json.loads(body)
+                if status == 206:
+                    break
+            print("\ncost_budget=1 -> HTTP %d, degrade_reason=%r, "
+                  "%d items, e.g. %s" % (
+                      status, answer["degrade_reason"],
+                      len(answer["items"]),
+                      answer["items"][0] if answer["items"] else "-",
+                  ))
+
+    asyncio.run(run())
+    print(
+        "\nOverload never produced an error: queries were either exact,"
+        "\nhonestly degraded (tightened anytime deadlines), or rejected"
+        "\nwith a Retry-After hint before consuming engine capacity."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -38,7 +38,14 @@ from ..storage.diskmodel import CostModel
 from ..stats.catalog import StatsCatalog
 from .engine import DegradedExecution, QueryState, RAPolicy, SAPolicy
 from .planner import QueryPlan
-from .results import QueryStats, RankedItem, RoundTrace, TopKResult
+from .results import (
+    DEGRADE_DEAD_LIST,
+    DEGRADE_DEADLINE,
+    QueryStats,
+    RankedItem,
+    RoundTrace,
+    TopKResult,
+)
 
 
 @dataclass(frozen=True)
@@ -241,6 +248,17 @@ class QueryExecutor:
             retry_policy=self.retry_policy,
             listeners=all_listeners,
         )
+        if state.retry is not None and plan.deadline is not None:
+            # Deadline-aware retries: once the query's budget is spent,
+            # a faulty list stops retrying (and stops accruing simulated
+            # backoff) instead of burning budget on an answer that is
+            # already due.
+            deadline, meter = plan.deadline, state.meter
+            state.retry.bind_deadline(
+                lambda: deadline.exceeded(
+                    time.perf_counter() - started, meter.cost
+                )
+            )
         for listener in all_listeners:
             listener.on_query_start(plan, state)
         reason = self._run_rounds(plan, state, sa_policy, ra_policy,
@@ -400,14 +418,24 @@ class QueryExecutor:
             retries=state.retry.retries if state.retry else 0,
             simulated_io_wait_ms=state.retry.waited_ms if state.retry else 0.0,
         )
+        is_degraded = degraded or bool(state.failed_dims)
+        reason = None
+        if is_degraded:
+            # Primary-cause priority: a dead list outranks the deadline
+            # (losing data is the more severe event; the deadline is the
+            # only other way a single-node query degrades).
+            reason = (
+                DEGRADE_DEAD_LIST if state.failed_dims else DEGRADE_DEADLINE
+            )
         return TopKResult(
             items=items,
             stats=stats,
             algorithm=algorithm,
-            degraded=degraded or bool(state.failed_dims),
+            degraded=is_degraded,
             exhausted_lists=[
                 state.terms[d] for d in sorted(state.failed_dims)
             ],
+            degrade_reason=reason,
         )
 
 

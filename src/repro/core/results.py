@@ -3,9 +3,29 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..storage.diskmodel import AccessMeter
+
+#: Machine-readable causes for a degraded (anytime) result.  At most one
+#: is reported per result — the *primary* cause, chosen by severity:
+#: a failed shard outranks a failed list outranks an expired deadline
+#: (callers that need the full detail still have ``exhausted_lists`` /
+#: ``exhausted_shards``).  ``DEGRADE_SHED`` is assigned one level up, by
+#: the serving layer, when the deadline that expired was not the
+#: caller's but a tightened budget imposed by load shedding.
+DEGRADE_DEADLINE = "deadline"
+DEGRADE_DEAD_LIST = "dead_list"
+DEGRADE_DEAD_SHARD = "dead_shard"
+DEGRADE_SHED = "shed"
+
+#: Every valid ``degrade_reason`` value.
+DEGRADE_REASONS = (
+    DEGRADE_DEADLINE,
+    DEGRADE_DEAD_LIST,
+    DEGRADE_DEAD_SHARD,
+    DEGRADE_SHED,
+)
 
 
 @dataclass(frozen=True)
@@ -111,6 +131,12 @@ class TopKResult:
     correct ``[worstscore, bestscore]`` interval: dropped lists freeze
     their ``high_i`` contribution at the last value read, so the true
     aggregated score of every item lies inside its interval.
+
+    ``degrade_reason`` is the machine-readable primary cause (one of
+    :data:`DEGRADE_REASONS`) and is ``None`` exactly when ``degraded``
+    is False.  ``exhausted_lists`` stays as the detailed report for
+    compatibility — ``degrade_reason`` saves callers from inferring the
+    cause out of it.
     """
 
     items: List[RankedItem] = field(default_factory=list)
@@ -119,6 +145,7 @@ class TopKResult:
     trace: List[RoundTrace] = field(default_factory=list)
     degraded: bool = False
     exhausted_lists: List[str] = field(default_factory=list)
+    degrade_reason: Optional[str] = None
 
     @property
     def doc_ids(self) -> List[int]:

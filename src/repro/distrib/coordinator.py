@@ -51,7 +51,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.executor import QueryDeadline
 from ..core.planner import QueryPlan
-from ..core.results import QueryStats, RankedItem, TopKResult
+from ..core.results import (
+    DEGRADE_DEAD_LIST,
+    DEGRADE_DEAD_SHARD,
+    DEGRADE_DEADLINE,
+    QueryStats,
+    RankedItem,
+    TopKResult,
+)
 from ..core.session import DEFAULT_ALGORITHM
 from .degrade import DegradePolicy, ShardFailure
 from .shard import ShardExecutor, ShardOutcome
@@ -84,13 +91,16 @@ class ShardedTopKResult(TopKResult):
     Extends the single-node :class:`~repro.core.results.TopKResult`
     contract: ``exhausted_shards`` mirrors ``exhausted_lists`` one level
     up (shards that failed entirely), ``pruned_shards`` names shards
-    stopped early by the bound test, and ``shard_rounds`` is the
-    cumulative engine-round count across every shard execution (including
-    budget-escalation re-runs) — the coordinator's scheduling-efficiency
-    metric.
+    stopped early by the bound test, ``unfinished_shards`` names shards
+    that were still mid-scan when the query's deadline expired (their
+    partial evidence is merged; nothing was lost, just not finished),
+    and ``shard_rounds`` is the cumulative engine-round count across
+    every shard execution (including budget-escalation re-runs) — the
+    coordinator's scheduling-efficiency metric.
     """
 
     exhausted_shards: List[int] = field(default_factory=list)
+    unfinished_shards: List[int] = field(default_factory=list)
     pruned_shards: List[int] = field(default_factory=list)
     shard_stats: Dict[int, QueryStats] = field(default_factory=dict)
     coordinator_rounds: int = 0
@@ -183,6 +193,7 @@ class MergeCoordinator:
         rounds = 0
         active = set(tracks)
         deadline_expired = False
+        unfinished: set = set()
         while active:
             rounds += 1
             final_round = mode == "gather" or rounds >= self.max_rounds
@@ -231,14 +242,20 @@ class MergeCoordinator:
                     # Per-shard share of the query budget is spent; the
                     # partial result stands (anytime contract).
                     deadline_expired = True
+                    unfinished.add(sid)
                     active.discard(sid)
             if wall is not None and (
                 time.perf_counter() - started >= wall
             ):
+                # The wall clock ran out *between* merge rounds: every
+                # shard still active is unfinished — its partial evidence
+                # is already merged, but it never passed a termination
+                # test.
                 deadline_expired = deadline_expired or bool(active)
+                unfinished.update(active)
                 break
         return self._assemble(
-            plan, tracks, rounds, deadline_expired, started, mode
+            plan, tracks, rounds, deadline_expired, unfinished, started, mode
         )
 
     # ------------------------------------------------------------------
@@ -352,6 +369,7 @@ class MergeCoordinator:
         tracks: Dict[int, _ShardTrack],
         rounds: int,
         deadline_expired: bool,
+        unfinished: set,
         started: float,
         mode: str,
     ) -> ShardedTopKResult:
@@ -451,13 +469,27 @@ class MergeCoordinator:
             or bool(exhausted_shards)
             or bool(exhausted_lists)
         )
+        reason = None
+        if degraded:
+            # Primary-cause priority (mirrors the single-node executor):
+            # dead shard > dead list > deadline.  Failed resolution
+            # lookups count as a dead list — a list on the candidate's
+            # home shard could not be read.
+            if exhausted_shards:
+                reason = DEGRADE_DEAD_SHARD
+            elif exhausted_lists or unresolved:
+                reason = DEGRADE_DEAD_LIST
+            else:
+                reason = DEGRADE_DEADLINE
         return ShardedTopKResult(
             items=items,
             stats=merged,
             algorithm=plan.algorithm,
             degraded=degraded,
+            degrade_reason=reason,
             exhausted_lists=sorted(exhausted_lists),
             exhausted_shards=exhausted_shards,
+            unfinished_shards=sorted(unfinished),
             pruned_shards=sorted(
                 sid for sid, track in tracks.items() if track.pruned
             ),

@@ -1,0 +1,57 @@
+"""Online query serving: admission control, load shedding, degradation.
+
+The engine below this package is batch-shaped: a
+:class:`~repro.core.session.QuerySession` (or
+:class:`~repro.core.session.ShardedSession`) answers one query at a time
+and the anytime :class:`~repro.core.executor.QueryDeadline` machinery
+turns overload into *degraded-but-well-formed* partial results.  This
+package puts that contract behind a service boundary, where concurrent
+demand, failures, and deadlines are first-class, observable behavior:
+
+* :mod:`repro.serve.http` — a minimal HTTP/1.1 layer over asyncio
+  streams (stdlib only; the repo adds no serving dependency),
+* :mod:`repro.serve.admission` — the admission controller: a bounded
+  wait queue, a concurrency limit, and a backlog estimate that rejects
+  work the service provably cannot finish in time (HTTP 429 with a
+  computed ``Retry-After``),
+* :mod:`repro.serve.shedding` — the load-shedding policy: a hysteresis
+  state machine that first *tightens deadline budgets* (queries complete
+  as partial results, HTTP 206) and only then rejects outright,
+* :mod:`repro.serve.errors` — structured error mapping: validation
+  failures, dead shards, and storage faults become typed 4xx/5xx JSON
+  responses instead of tracebacks,
+* :mod:`repro.serve.service` — :class:`QueryService`, the long-lived
+  asyncio server tying the pieces together,
+* :mod:`repro.serve.loadgen` — the traffic-replay load driver built on
+  :mod:`repro.data.httplog`'s heavy-tailed per-user traffic; records
+  p50/p99 latency, shed-rate, and degraded-rate curves
+  (``BENCH_pr6.json``, gated in CI).
+
+See ``docs/SERVING.md`` for the policy and status-code contract.
+"""
+
+from .admission import AdmissionController, AdmissionDecision
+from .errors import ServiceError, map_exception
+from .service import QueryService, ServiceConfig, ServiceMetrics
+from .shedding import (
+    LEVEL_DEGRADE,
+    LEVEL_NORMAL,
+    LEVEL_REJECT,
+    HysteresisShedder,
+    ShedConfig,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "HysteresisShedder",
+    "LEVEL_DEGRADE",
+    "LEVEL_NORMAL",
+    "LEVEL_REJECT",
+    "QueryService",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceMetrics",
+    "ShedConfig",
+    "map_exception",
+]

@@ -1,0 +1,187 @@
+"""The admission controller: bounded queue, concurrency, backlog budget.
+
+Admission answers one question per arriving query: *can this request
+wait its turn and still be served within the service's latency
+contract?*  Three signals feed the decision:
+
+* **queue depth** — at most ``max_queue`` requests may wait for an
+  execution slot; beyond that the queue itself is the outage,
+* **backlog estimate** — ``(waiting + in_flight) * EWMA(service time) /
+  max_concurrency`` approximates how long a new arrival would wait;
+  once it exceeds ``backlog_budget_ms`` the request would blow its
+  latency budget even though the queue has room,
+* **cost class** — queries whose estimated engine cost (sum of the
+  query lists' lengths) reaches ``heavy_cost_threshold`` are ``heavy``;
+  the shedding policy tightens their budgets harder under pressure.
+
+A rejection carries a computed ``Retry-After``: the time the current
+backlog needs to drain below budget — an honest hint, not a constant.
+
+The controller is pure bookkeeping (no asyncio primitives) so it is
+unit-testable without a running server; :class:`QueryService` owns the
+semaphore and reports enqueue/start/finish events here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+#: Cost classes assigned at admission time.
+CLASS_LIGHT = "light"
+CLASS_HEAVY = "heavy"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The verdict for one arriving request."""
+
+    admitted: bool
+    reason: str = "ok"  # ok | queue_full | backlog | shed_reject
+    retry_after_s: Optional[float] = None
+    cost_class: str = CLASS_LIGHT
+
+
+class AdmissionController:
+    """Tracks load and decides admission; see the module docstring.
+
+    ``ewma_alpha`` weights the newest completed request's service time
+    in the exponential moving average; ``initial_service_ms`` seeds the
+    average before the first completion (a pessimistic seed sheds too
+    eagerly, an optimistic one too late — it converges either way).
+    """
+
+    def __init__(
+        self,
+        max_queue: int,
+        max_concurrency: int,
+        backlog_budget_ms: float,
+        heavy_cost_threshold: float = float("inf"),
+        ewma_alpha: float = 0.2,
+        initial_service_ms: float = 10.0,
+    ) -> None:
+        if max_queue < 0:
+            raise ValueError("max_queue must be non-negative")
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be at least 1")
+        if backlog_budget_ms <= 0:
+            raise ValueError("backlog_budget_ms must be positive")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        self.max_queue = max_queue
+        self.max_concurrency = max_concurrency
+        self.backlog_budget_ms = backlog_budget_ms
+        self.heavy_cost_threshold = heavy_cost_threshold
+        self.ewma_alpha = ewma_alpha
+        self.ewma_service_ms = initial_service_ms
+        self.waiting = 0
+        self.in_flight = 0
+        self.completed = 0
+        self.rejected_queue_full = 0
+        self.rejected_backlog = 0
+
+    # ------------------------------------------------------------------
+    # Signals
+    # ------------------------------------------------------------------
+    def classify(self, cost_estimate: float) -> str:
+        """The cost class for a query with this estimated engine cost."""
+        if cost_estimate >= self.heavy_cost_threshold:
+            return CLASS_HEAVY
+        return CLASS_LIGHT
+
+    def backlog_ms(self, extra: int = 1) -> float:
+        """Estimated wait for the ``extra``-th new arrival, in ms."""
+        pending = self.waiting + self.in_flight + extra - 1
+        slots_ahead = max(pending - self.max_concurrency + 1, 0)
+        return slots_ahead * self.ewma_service_ms / self.max_concurrency
+
+    def pressure(self) -> float:
+        """The dimensionless overload signal fed to the shedder.
+
+        The max of queue occupancy and backlog occupancy: either budget
+        running out alone is pressure 1.0.
+        """
+        queue_part = (
+            self.waiting / self.max_queue if self.max_queue > 0 else 0.0
+        )
+        backlog_part = self.backlog_ms(extra=0) / self.backlog_budget_ms
+        return max(queue_part, backlog_part)
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def admit(self, cost_estimate: float = 0.0) -> AdmissionDecision:
+        """Decide admission for one arriving query (pure; no side effect).
+
+        The caller applies the decision: on admit it must bracket the
+        request with :meth:`note_enqueued` / :meth:`note_started` /
+        :meth:`note_finished`.
+        """
+        cost_class = self.classify(cost_estimate)
+        if self.waiting >= self.max_queue:
+            self.rejected_queue_full += 1
+            return AdmissionDecision(
+                admitted=False,
+                reason="queue_full",
+                retry_after_s=self._retry_after(),
+                cost_class=cost_class,
+            )
+        backlog = self.backlog_ms()
+        if backlog > self.backlog_budget_ms:
+            self.rejected_backlog += 1
+            return AdmissionDecision(
+                admitted=False,
+                reason="backlog",
+                retry_after_s=self._retry_after(backlog),
+                cost_class=cost_class,
+            )
+        return AdmissionDecision(admitted=True, cost_class=cost_class)
+
+    def retry_after_hint(self) -> float:
+        """Public retry hint for rejections decided outside ``admit``
+        (the shedder's reject level)."""
+        return self._retry_after()
+
+    def _retry_after(self, backlog: Optional[float] = None) -> float:
+        """Seconds until the present backlog should drain below budget."""
+        if backlog is None:
+            backlog = self.backlog_ms()
+        excess_ms = max(backlog - self.backlog_budget_ms, 0.0)
+        # At least one service time: retrying sooner meets the same wall.
+        wait_ms = max(excess_ms, self.ewma_service_ms)
+        return math.ceil(wait_ms / 100.0) / 10.0  # round up to 0.1 s
+
+    # ------------------------------------------------------------------
+    # Lifecycle events (reported by the service)
+    # ------------------------------------------------------------------
+    def note_enqueued(self) -> None:
+        self.waiting += 1
+
+    def note_started(self) -> None:
+        self.waiting -= 1
+        self.in_flight += 1
+
+    def note_finished(self, service_ms: float) -> None:
+        self.in_flight -= 1
+        self.completed += 1
+        self.ewma_service_ms += self.ewma_alpha * (
+            service_ms - self.ewma_service_ms
+        )
+
+    def note_abandoned(self) -> None:
+        """An enqueued request left the queue without starting."""
+        self.waiting -= 1
+
+    def snapshot(self) -> dict:
+        """Gauges and counters for /healthz and /metrics."""
+        return {
+            "waiting": self.waiting,
+            "in_flight": self.in_flight,
+            "completed": self.completed,
+            "rejected_queue_full": self.rejected_queue_full,
+            "rejected_backlog": self.rejected_backlog,
+            "ewma_service_ms": round(self.ewma_service_ms, 3),
+            "backlog_ms": round(self.backlog_ms(extra=0), 3),
+            "pressure": round(self.pressure(), 4),
+        }

@@ -1,0 +1,94 @@
+"""Structured error mapping: exceptions become typed JSON responses.
+
+Every failure mode the engine can produce has a stable ``(status,
+code)`` pair, so clients and the load driver can assert on behavior
+instead of parsing tracebacks:
+
+============================  ======  =====================
+exception                     status  code
+============================  ======  =====================
+invalid query (ValueError)    400     ``invalid_query``
+malformed JSON body           400     ``invalid_json``
+unsupported HTTP framing      4xx     ``bad_request``
+overload rejection            429     ``overloaded``
+too many shards failed        503     ``shards_failed``
+list retries exhausted        503     ``list_unavailable``
+raw storage fault             503     ``storage_fault``
+anything else                 500     ``internal``
+============================  ======  =====================
+
+The 5xx split is deliberate: 503s are *injected-fault or capacity*
+paths a retrying client may recover from, 500 is a bug.  Overload never
+maps to 5xx — the admission controller answers 429 before the engine is
+even involved, which is what "the service stays up" means.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class ServiceError(Exception):
+    """A failure with a stable HTTP status and machine-readable code."""
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retry_after_s: Optional[float] = None,
+        details: Optional[Dict[str, object]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.retry_after_s = retry_after_s
+        self.details = dict(details) if details else {}
+
+    def body(self) -> Dict[str, object]:
+        """The JSON error envelope every non-2xx response carries."""
+        error: Dict[str, object] = {
+            "code": self.code,
+            "message": self.message,
+        }
+        if self.retry_after_s is not None:
+            error["retry_after_s"] = round(self.retry_after_s, 3)
+        if self.details:
+            error["details"] = self.details
+        return {"error": error}
+
+
+def map_exception(exc: BaseException) -> ServiceError:
+    """Map any exception from the query path to a :class:`ServiceError`."""
+    from ..distrib.coordinator import ShardedExecutionError
+    from ..storage.accessors import ListUnavailableError
+    from ..storage.faults import IndexCorruptionError, TransientIOError
+
+    if isinstance(exc, ServiceError):
+        return exc
+    if isinstance(exc, ShardedExecutionError):
+        return ServiceError(
+            503,
+            "shards_failed",
+            "too many shards failed for the degrade policy",
+            details={
+                "failures": [f.describe() for f in exc.failures],
+            },
+        )
+    if isinstance(exc, ListUnavailableError):
+        return ServiceError(
+            503,
+            "list_unavailable",
+            str(exc),
+            details={"term": exc.term, "kind": exc.kind},
+        )
+    if isinstance(exc, (TransientIOError, IndexCorruptionError)):
+        return ServiceError(503, "storage_fault", str(exc))
+    if isinstance(exc, (ValueError, KeyError, TypeError)):
+        # Plan/validation failures: the request was well-formed HTTP+JSON
+        # but names an impossible query (bad k, unknown algorithm, ...).
+        return ServiceError(400, "invalid_query", str(exc))
+    return ServiceError(
+        500, "internal", "%s: %s" % (type(exc).__name__, exc)
+    )

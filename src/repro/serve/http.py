@@ -1,0 +1,132 @@
+"""Minimal HTTP/1.1 over asyncio streams — just enough for the service.
+
+The repo deliberately adds no serving dependency: the service speaks a
+small, strict subset of HTTP/1.1 (``Content-Length`` bodies, keep-alive,
+no chunked transfer, no continuations), which is all the load driver and
+any curl-style client need.  Anything outside the subset is answered
+with a typed 4xx/5xx by the caller — malformed framing raises
+:class:`HttpProtocolError` carrying the status to answer with.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: Reason phrases for every status the service emits.
+STATUS_REASONS = {
+    200: "OK",
+    206: "Partial Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+#: Cap on the request line + headers block, independent of the body cap.
+MAX_HEADER_BYTES = 16 * 1024
+
+
+class HttpProtocolError(Exception):
+    """Malformed or unsupported HTTP framing; answer with ``status``."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, path, lower-cased headers, raw body."""
+
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        """HTTP/1.1 default keep-alive unless the client closed it."""
+        return self.headers.get("connection", "").lower() != "close"
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_body_bytes: int = 64 * 1024,
+) -> Optional[HttpRequest]:
+    """Read one request off the stream.
+
+    Returns ``None`` on a clean EOF before any byte of a new request
+    (the client closed a keep-alive connection).  Raises
+    :class:`HttpProtocolError` for framing the service does not speak:
+    over-long headers (431→400), missing/invalid ``Content-Length``
+    (400), chunked transfer (501), and bodies beyond the cap (413).
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpProtocolError(400, "truncated request head")
+    except asyncio.LimitOverrunError:
+        raise HttpProtocolError(400, "request head too large")
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpProtocolError(400, "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpProtocolError(400, "malformed request line")
+    method, target, _version = parts
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpProtocolError(400, "malformed header line")
+        headers[name.strip().lower()] = value.strip()
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpProtocolError(501, "chunked transfer not supported")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpProtocolError(400, "invalid Content-Length")
+        if length < 0:
+            raise HttpProtocolError(400, "invalid Content-Length")
+        if length > max_body_bytes:
+            raise HttpProtocolError(413, "request body too large")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpProtocolError(400, "truncated request body")
+    path = target.split("?", 1)[0]
+    return HttpRequest(method=method, path=path, headers=headers, body=body)
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: Tuple[Tuple[str, str], ...] = (),
+) -> bytes:
+    """Serialize one response (status line, headers, body) to bytes."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [
+        "HTTP/1.1 %d %s" % (status, reason),
+        "Content-Type: %s" % content_type,
+        "Content-Length: %d" % len(body),
+        "Connection: %s" % ("keep-alive" if keep_alive else "close"),
+    ]
+    for name, value in extra_headers:
+        lines.append("%s: %s" % (name, value))
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body

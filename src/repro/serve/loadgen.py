@@ -1,0 +1,557 @@
+"""Traffic-replay load driver: overload as a measured scenario.
+
+Replays a seeded, heavy-tailed request trace (built from
+:mod:`repro.data.httplog` — the paper's "millions of users" workload)
+against a :class:`~repro.serve.service.QueryService` and records what
+overload actually does to the service:
+
+* **open loop** — arrivals are a Poisson process at a fixed rate,
+  independent of completions (the honest overload model: real users do
+  not politely wait for each other),
+* **closed loop** — a fixed number of virtual users issue requests
+  back-to-back over keep-alive connections (the saturation model).
+
+Every response is checked for *well-formedness* (valid JSON, the
+status-code contract, score intervals on every item); the summary
+records p50/p95/p99 latency of admitted queries, the shed rate, the
+degraded rate, and the full status histogram.  The CLI boots an
+in-process server, auto-calibrates a sustainable throughput, replays
+the trace at configurable multiples of it, and writes the curves to
+``BENCH_pr6.json`` — with ``--gate`` it fails loudly when overload
+produces malformed responses, overload-attributable 500s, missing
+shedding, or unbounded admitted-latency tails (the CI contract).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import math
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.session import QuerySession
+from ..data.httplog import TraceRequest, generate_trace, generate_workload
+from .service import QueryService, ServiceConfig
+from .shedding import ShedConfig
+
+
+@dataclass
+class RequestOutcome:
+    """One replayed request, as observed by the client."""
+
+    user: int
+    status: int
+    latency_ms: float
+    degraded: bool = False
+    degrade_reason: Optional[str] = None
+    shed: bool = False
+    malformed: Optional[str] = None  # None = well-formed; else the reason
+
+
+# ----------------------------------------------------------------------
+# Minimal async HTTP client (mirrors serve.http's server-side subset)
+# ----------------------------------------------------------------------
+async def _read_response(
+    reader: asyncio.StreamReader,
+) -> Tuple[int, Dict[str, str], bytes]:
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = await reader.readexactly(int(headers.get("content-length", "0")))
+    return status, headers, body
+
+
+class ReplayClient:
+    """One keep-alive connection issuing query requests."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def request(self, req: TraceRequest) -> RequestOutcome:
+        payload = json.dumps(
+            {"terms": list(req.terms), "k": req.k},
+            separators=(",", ":"),
+        ).encode()
+        message = (
+            b"POST /query HTTP/1.1\r\n"
+            b"Host: repro\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: " + str(len(payload)).encode() + b"\r\n"
+            b"\r\n" + payload
+        )
+        started = time.perf_counter()
+        try:
+            if self._writer is None:
+                await self._connect()
+            assert self._writer is not None and self._reader is not None
+            self._writer.write(message)
+            await self._writer.drain()
+            status, headers, body = await _read_response(self._reader)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
+            await self.close()
+            return RequestOutcome(
+                user=req.user,
+                status=0,
+                latency_ms=(time.perf_counter() - started) * 1000.0,
+                malformed="transport: %s" % type(exc).__name__,
+            )
+        latency_ms = (time.perf_counter() - started) * 1000.0
+        return _check_response(req, status, headers, body, latency_ms)
+
+
+def _check_response(
+    req: TraceRequest,
+    status: int,
+    headers: Dict[str, str],
+    body: bytes,
+    latency_ms: float,
+) -> RequestOutcome:
+    """Validate the status-code contract; see docs/SERVING.md."""
+    outcome = RequestOutcome(
+        user=req.user, status=status, latency_ms=latency_ms
+    )
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        outcome.malformed = "body is not JSON"
+        return outcome
+    if status in (200, 206):
+        items = data.get("items")
+        if not isinstance(items, list):
+            outcome.malformed = "missing items"
+        elif any(
+            not isinstance(item, dict)
+            or not isinstance(item.get("doc_id"), int)
+            or not isinstance(item.get("worstscore"), (int, float))
+            or not isinstance(item.get("bestscore"), (int, float))
+            or item["worstscore"] > item["bestscore"] + 1e-9
+            for item in items
+        ):
+            outcome.malformed = "malformed result item"
+        elif len(items) > req.k:
+            outcome.malformed = "more than k items"
+        elif data.get("degraded") != (status == 206):
+            outcome.malformed = "degraded flag does not match status"
+        elif status == 206 and not data.get("degrade_reason"):
+            outcome.malformed = "206 without degrade_reason"
+        outcome.degraded = status == 206
+        outcome.degrade_reason = data.get("degrade_reason")
+    elif status == 429:
+        outcome.shed = True
+        if not isinstance(data.get("error"), dict):
+            outcome.malformed = "429 without error envelope"
+        elif "retry-after" not in headers:
+            outcome.malformed = "429 without Retry-After"
+    elif status >= 400:
+        if not isinstance(data.get("error"), dict):
+            outcome.malformed = "error status without error envelope"
+    else:
+        outcome.malformed = "unexpected status %d" % status
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# Arrival processes
+# ----------------------------------------------------------------------
+async def replay_open(
+    host: str,
+    port: int,
+    trace: Sequence[TraceRequest],
+    rate_qps: float,
+    seed: int = 11,
+) -> List[RequestOutcome]:
+    """Open-loop replay: seeded Poisson arrivals at ``rate_qps``."""
+    if rate_qps <= 0:
+        raise ValueError("rate_qps must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_qps, size=len(trace))
+    arrivals = np.cumsum(gaps)
+    started = time.perf_counter()
+
+    async def one(req: TraceRequest, at: float) -> RequestOutcome:
+        delay = at - (time.perf_counter() - started)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        client = ReplayClient(host, port)
+        try:
+            return await client.request(req)
+        finally:
+            await client.close()
+
+    return list(
+        await asyncio.gather(
+            *(one(req, at) for req, at in zip(trace, arrivals))
+        )
+    )
+
+
+async def replay_closed(
+    host: str,
+    port: int,
+    trace: Sequence[TraceRequest],
+    num_clients: int = 8,
+) -> List[RequestOutcome]:
+    """Closed-loop replay: ``num_clients`` users, back-to-back requests."""
+    if num_clients < 1:
+        raise ValueError("num_clients must be positive")
+
+    async def worker(requests: Sequence[TraceRequest]) -> List[RequestOutcome]:
+        client = ReplayClient(host, port)
+        outcomes = []
+        try:
+            for req in requests:
+                outcomes.append(await client.request(req))
+        finally:
+            await client.close()
+        return outcomes
+
+    chunks = [
+        list(trace[i::num_clients]) for i in range(num_clients)
+    ]
+    nested = await asyncio.gather(*(worker(c) for c in chunks if c))
+    return [outcome for chunk in nested for outcome in chunk]
+
+
+# ----------------------------------------------------------------------
+# Summaries
+# ----------------------------------------------------------------------
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (nearest-rank); 0.0 for empty input."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(int(math.ceil(q / 100.0 * len(ordered))) - 1, 0)
+    return ordered[rank]
+
+
+def summarize(
+    outcomes: Sequence[RequestOutcome], label: str, **extra
+) -> dict:
+    """Aggregate one scenario's outcomes into the benchmark record."""
+    statuses: Dict[str, int] = {}
+    for outcome in outcomes:
+        key = str(outcome.status)
+        statuses[key] = statuses.get(key, 0) + 1
+    admitted = [o for o in outcomes if o.status in (200, 206)]
+    latencies = [o.latency_ms for o in admitted]
+    total = len(outcomes)
+    malformed = [o for o in outcomes if o.malformed]
+    reasons: Dict[str, int] = {}
+    for outcome in admitted:
+        if outcome.degrade_reason:
+            reasons[outcome.degrade_reason] = (
+                reasons.get(outcome.degrade_reason, 0) + 1
+            )
+    return {
+        "label": label,
+        "requests": total,
+        "statuses": statuses,
+        "admitted": len(admitted),
+        "shed": sum(1 for o in outcomes if o.shed),
+        "shed_rate": (
+            sum(1 for o in outcomes if o.shed) / total if total else 0.0
+        ),
+        "degraded": sum(1 for o in admitted if o.degraded),
+        "degraded_rate": (
+            sum(1 for o in admitted if o.degraded) / len(admitted)
+            if admitted
+            else 0.0
+        ),
+        "degrade_reasons": reasons,
+        "server_errors": sum(1 for o in outcomes if o.status >= 500),
+        "malformed": len(malformed),
+        "malformed_reasons": sorted({o.malformed for o in malformed}),
+        "latency_ms": {
+            "p50": round(percentile(latencies, 50), 3),
+            "p95": round(percentile(latencies, 95), 3),
+            "p99": round(percentile(latencies, 99), 3),
+            "max": round(max(latencies), 3) if latencies else 0.0,
+        },
+        **extra,
+    }
+
+
+# ----------------------------------------------------------------------
+# Calibration and the CLI scenario runner
+# ----------------------------------------------------------------------
+def calibrate(
+    session: QuerySession,
+    trace: Sequence[TraceRequest],
+    samples: int = 24,
+) -> Tuple[float, float]:
+    """Measure direct (no-service) execution: mean ms and p95 COST.
+
+    The mean service time sets the sustainable throughput the scenario
+    rates are multiples of; the p95 COST becomes the service's default
+    cost budget, so under *normal* load nearly every query finishes
+    exactly while a shed-tightened budget reliably truncates.
+    """
+    costs = []
+    wall = []
+    for req in list(trace)[:samples]:
+        started = time.perf_counter()
+        result = session.run(list(req.terms), req.k)
+        wall.append((time.perf_counter() - started) * 1000.0)
+        costs.append(result.stats.cost)
+    return float(np.mean(wall)), float(np.percentile(costs, 95))
+
+
+def run_scenarios(
+    requests: int = 200,
+    multipliers: Sequence[float] = (0.5, 1.5, 2.5),
+    num_users: int = 6000,
+    num_days: int = 12,
+    seed: int = 23,
+    max_concurrency: int = 2,
+    max_queue: int = 16,
+    backlog_budget_ms: float = 500.0,
+    deadline_ms: float = 250.0,
+    closed_clients: int = 0,
+) -> dict:
+    """Build the workload, boot the service, replay at every multiplier."""
+    # Small blocks make queries span many engine rounds, which is what
+    # gives the anytime deadline its granularity: budgets are checked
+    # *between* rounds, so a one-round workload cannot degrade.
+    workload = generate_workload(
+        num_users=num_users,
+        num_days=num_days,
+        num_queries=24,
+        block_size=64,
+        seed=seed,
+    )
+    trace = generate_trace(workload, requests, seed=seed + 1)
+    session = QuerySession(workload.index)
+    session.stats_for(workload.index)  # build statistics before timing
+    mean_ms, p95_cost = calibrate(session, trace)
+    # Engine executions are GIL-bound python, so worker threads barely
+    # multiply throughput: the sustainable rate is the single-thread
+    # rate, not concurrency times it.
+    sustainable_qps = 1000.0 / max(mean_ms, 1e-3)
+    config = ServiceConfig(
+        max_concurrency=max_concurrency,
+        max_queue=max_queue,
+        backlog_budget_ms=backlog_budget_ms,
+        default_deadline_ms=deadline_ms,
+        default_cost_budget=max(p95_cost, 1.0),
+        heavy_cost_threshold=p95_cost,  # top ~5% of queries are "heavy"
+        # Harsher-than-default tightening: a shed budget must reliably
+        # truncate even the cheap interval queries, or "degrade before
+        # reject" never shows up in the measured curves.
+        shed=ShedConfig(tighten_factor=0.1, heavy_tighten_factor=0.03),
+    )
+
+    async def run_all() -> List[dict]:
+        scenarios = []
+        for multiplier in multipliers:
+            rate = multiplier * sustainable_qps
+            # A fresh service per scenario: each rate's metrics, shed
+            # level, and EWMA start clean (the session's caches persist).
+            async with QueryService(session, config) as service:
+                assert service.port is not None
+                outcomes = await replay_open(
+                    config.host, service.port, trace, rate, seed=seed + 2
+                )
+                scenarios.append(
+                    summarize(
+                        outcomes,
+                        label="open-%.1fx" % multiplier,
+                        mode="open",
+                        rate_qps=round(rate, 2),
+                        rate_multiplier=multiplier,
+                        server_metrics=service.metrics.snapshot(),
+                    )
+                )
+        if closed_clients > 0:
+            async with QueryService(session, config) as service:
+                assert service.port is not None
+                outcomes = await replay_closed(
+                    config.host, service.port, trace, closed_clients
+                )
+                scenarios.append(
+                    summarize(
+                        outcomes,
+                        label="closed-%d" % closed_clients,
+                        mode="closed",
+                        num_clients=closed_clients,
+                        server_metrics=service.metrics.snapshot(),
+                    )
+                )
+        return scenarios
+
+    scenarios = asyncio.run(run_all())
+    return {
+        "bench": "pr6_serving",
+        "workload": {
+            "kind": "httplog",
+            "num_users": num_users,
+            "num_days": num_days,
+            "requests": requests,
+            "seed": seed,
+        },
+        "service": {
+            "max_concurrency": max_concurrency,
+            "max_queue": max_queue,
+            "backlog_budget_ms": backlog_budget_ms,
+            "default_deadline_ms": deadline_ms,
+            "default_cost_budget": round(max(p95_cost, 1.0), 1),
+        },
+        "calibration": {
+            "mean_service_ms": round(mean_ms, 3),
+            "p95_cost": round(p95_cost, 1),
+            "sustainable_qps": round(sustainable_qps, 2),
+        },
+        "scenarios": scenarios,
+    }
+
+
+def gate(report: dict, p99_slack_ms: float = 1000.0) -> List[str]:
+    """The CI assertions; returns the list of violations (empty = pass).
+
+    * every response in every scenario is well-formed,
+    * zero 5xx anywhere (no fault injection runs here, so any 5xx is
+      overload leaking through as an error — the bug this layer exists
+      to prevent),
+    * every overload scenario (rate >= 2x sustainable) sheds *and*
+      degrades — the service used both pressure valves,
+    * p99 latency of admitted queries stays bounded by queue budget +
+      deadline + slack in every scenario.
+    """
+    violations = []
+    svc = report["service"]
+    p99_budget = (
+        svc["backlog_budget_ms"] + svc["default_deadline_ms"] + p99_slack_ms
+    )
+    for scenario in report["scenarios"]:
+        label = scenario["label"]
+        if scenario["malformed"]:
+            violations.append(
+                "%s: %d malformed responses (%s)"
+                % (label, scenario["malformed"],
+                   "; ".join(scenario["malformed_reasons"]))
+            )
+        if scenario["server_errors"]:
+            violations.append(
+                "%s: %d server errors (5xx)"
+                % (label, scenario["server_errors"])
+            )
+        if scenario["latency_ms"]["p99"] > p99_budget:
+            violations.append(
+                "%s: p99 %.1fms exceeds budget %.1fms"
+                % (label, scenario["latency_ms"]["p99"], p99_budget)
+            )
+        if scenario.get("rate_multiplier", 0) >= 2.0:
+            if scenario["shed"] == 0:
+                violations.append("%s: overload did not shed" % label)
+            if scenario["degraded"] == 0:
+                violations.append("%s: overload did not degrade" % label)
+            if scenario["admitted"] == 0:
+                violations.append("%s: overload admitted nothing" % label)
+    return violations
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Replay httplog traffic against the query service."
+    )
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument(
+        "--load",
+        default="0.5,1.5,2.5",
+        help="comma-separated multiples of the sustainable rate",
+    )
+    parser.add_argument("--users", type=int, default=6000)
+    parser.add_argument("--days", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=23)
+    parser.add_argument("--concurrency", type=int, default=2)
+    parser.add_argument("--queue", type=int, default=16)
+    parser.add_argument("--backlog-ms", type=float, default=500.0)
+    parser.add_argument("--deadline-ms", type=float, default=250.0)
+    parser.add_argument(
+        "--closed-clients",
+        type=int,
+        default=8,
+        help="also run one closed-loop scenario (0 disables)",
+    )
+    parser.add_argument("--output", default="BENCH_pr6.json")
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="fail on malformed responses, 5xx, or missing shed/degrade",
+    )
+    parser.add_argument("--p99-slack-ms", type=float, default=1000.0)
+    args = parser.parse_args(argv)
+
+    multipliers = [float(m) for m in args.load.split(",") if m]
+    report = run_scenarios(
+        requests=args.requests,
+        multipliers=multipliers,
+        num_users=args.users,
+        num_days=args.days,
+        seed=args.seed,
+        max_concurrency=args.concurrency,
+        max_queue=args.queue,
+        backlog_budget_ms=args.backlog_ms,
+        deadline_ms=args.deadline_ms,
+        closed_clients=args.closed_clients,
+    )
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for scenario in report["scenarios"]:
+        print(
+            "%-12s requests=%d admitted=%d shed=%.0f%% degraded=%.0f%% "
+            "p50=%.1fms p99=%.1fms malformed=%d 5xx=%d"
+            % (
+                scenario["label"],
+                scenario["requests"],
+                scenario["admitted"],
+                100.0 * scenario["shed_rate"],
+                100.0 * scenario["degraded_rate"],
+                scenario["latency_ms"]["p50"],
+                scenario["latency_ms"]["p99"],
+                scenario["malformed"],
+                scenario["server_errors"],
+            )
+        )
+    print("wrote %s" % args.output)
+    if args.gate:
+        violations = gate(report, args.p99_slack_ms)
+        if violations:
+            for violation in violations:
+                print("GATE FAIL: %s" % violation, file=sys.stderr)
+            return 1
+        print("gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

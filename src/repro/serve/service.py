@@ -1,0 +1,553 @@
+"""The long-lived asyncio query service over a (sharded) session.
+
+:class:`QueryService` binds a TCP port and serves a small HTTP/JSON API
+over any session-shaped engine (:class:`~repro.core.session.QuerySession`
+or :class:`~repro.core.session.ShardedSession` — anything with a
+``run(terms, k, ...)`` returning a
+:class:`~repro.core.results.TopKResult`):
+
+* ``POST /query`` — body ``{"terms": [...], "k": 10, "algorithm": ...,
+  "deadline_ms": ..., "cost_budget": ..., "weights": [...], "mode":
+  ...}``; answers 200 (exact), 206 (degraded partial result, with
+  ``degrade_reason`` / ``exhausted_lists`` / ``exhausted_shards`` /
+  ``unfinished_shards`` in the body), 400 (typed validation error),
+  429 (admission rejection, with ``Retry-After``), 503 (dead shards /
+  storage faults), 500 (bugs only),
+* ``GET /healthz`` — liveness plus the pressure gauges; answers even
+  while queries are being rejected (shedding is not an outage),
+* ``GET /metrics`` — counters from the service, the admission
+  controller, and the shedder.
+
+Engine executions are synchronous CPU-bound work, so they run on a
+bounded thread pool (the session layer is thread-safe since PR 5); the
+asyncio side only parses, decides admission, and waits.  The
+concurrency semaphore and the admission controller's wait queue bound
+how much work can pile up in front of that pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Dict, Optional, Tuple
+
+from ..core.executor import QueryDeadline
+from ..core.results import DEGRADE_DEADLINE, DEGRADE_SHED, TopKResult
+from ..core.session import DEFAULT_ALGORITHM
+from .admission import CLASS_HEAVY, AdmissionController
+from .errors import ServiceError, map_exception
+from .http import (
+    HttpProtocolError,
+    HttpRequest,
+    read_request,
+    render_response,
+)
+from .shedding import LEVEL_DEGRADE, LEVEL_REJECT, HysteresisShedder, ShedConfig
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Every serving-policy knob in one place.
+
+    ``default_cost_budget`` / ``default_deadline_ms`` apply to queries
+    that do not bring their own limits — they are what load shedding
+    tightens, so a service without defaults can only shed by rejecting.
+    ``max_k`` / ``max_terms`` bound per-query work at validation time
+    (queries beyond them are a 400, not a capacity question).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; read QueryService.port after start()
+    max_concurrency: int = 4
+    max_queue: int = 32
+    backlog_budget_ms: float = 2000.0
+    default_k: int = 10
+    max_k: int = 1000
+    max_terms: int = 16
+    max_body_bytes: int = 64 * 1024
+    default_cost_budget: Optional[float] = 500_000.0
+    default_deadline_ms: Optional[float] = 2000.0
+    heavy_cost_threshold: float = 50_000.0
+    algorithm: str = DEFAULT_ALGORITHM
+    shed: ShedConfig = field(default_factory=ShedConfig)
+
+    def __post_init__(self) -> None:
+        if self.max_concurrency < 1:
+            raise ValueError("max_concurrency must be at least 1")
+        if self.max_queue < 0:
+            raise ValueError("max_queue must be non-negative")
+        if self.default_k < 1 or self.default_k > self.max_k:
+            raise ValueError("default_k must be within [1, max_k]")
+
+
+@dataclass
+class ServiceMetrics:
+    """Service-level counters (admission gauges live on the controller)."""
+
+    requests: int = 0
+    admitted: int = 0
+    completed_exact: int = 0
+    completed_degraded: int = 0
+    shed_tightened: int = 0
+    shed_rejected: int = 0
+    responses_by_status: Dict[int, int] = field(default_factory=dict)
+
+    def count_status(self, status: int) -> None:
+        self.responses_by_status[status] = (
+            self.responses_by_status.get(status, 0) + 1
+        )
+
+    def snapshot(self) -> dict:
+        return {
+            "requests": self.requests,
+            "admitted": self.admitted,
+            "completed_exact": self.completed_exact,
+            "completed_degraded": self.completed_degraded,
+            "shed_tightened": self.shed_tightened,
+            "shed_rejected": self.shed_rejected,
+            "responses_by_status": {
+                str(k): v
+                for k, v in sorted(self.responses_by_status.items())
+            },
+        }
+
+
+class QueryService:
+    """See the module docstring.  Construct, ``await start()``, serve."""
+
+    def __init__(
+        self,
+        session,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self.session = session
+        self.config = config if config is not None else ServiceConfig()
+        self.admission = AdmissionController(
+            max_queue=self.config.max_queue,
+            max_concurrency=self.config.max_concurrency,
+            backlog_budget_ms=self.config.backlog_budget_ms,
+            heavy_cost_threshold=self.config.heavy_cost_threshold,
+        )
+        self.shedder = HysteresisShedder(self.config.shed)
+        self.metrics = ServiceMetrics()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self.port: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns ``(host, port)``."""
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.max_concurrency,
+            thread_name_prefix="repro-serve",
+        )
+        self._semaphore = asyncio.Semaphore(self.config.max_concurrency)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.config.host, self.port
+
+    async def stop(self) -> None:
+        """Stop accepting and release the worker pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    async def __aenter__(self) -> "QueryService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, self.config.max_body_bytes
+                    )
+                except HttpProtocolError as exc:
+                    error = ServiceError(exc.status, "bad_request", exc.message)
+                    writer.write(self._error_bytes(error, keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                payload = await self._dispatch(request)
+                writer.write(payload)
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, request: HttpRequest) -> bytes:
+        self.metrics.requests += 1
+        try:
+            if request.path == "/query":
+                if request.method != "POST":
+                    raise ServiceError(405, "method_not_allowed",
+                                       "use POST /query")
+                status, body, headers = await self._handle_query(request)
+            elif request.path == "/healthz":
+                status, body, headers = 200, self._health_body(), ()
+            elif request.path == "/metrics":
+                status, body, headers = 200, self._metrics_body(), ()
+            else:
+                raise ServiceError(404, "not_found",
+                                   "unknown path %r" % request.path)
+        except BaseException as exc:  # every path answers; nothing leaks
+            if isinstance(exc, asyncio.CancelledError):
+                raise
+            error = map_exception(exc)
+            self.metrics.count_status(error.status)
+            return self._error_bytes(error, keep_alive=request.keep_alive)
+        self.metrics.count_status(status)
+        return render_response(
+            status,
+            json.dumps(body, separators=(",", ":")).encode(),
+            keep_alive=request.keep_alive,
+            extra_headers=tuple(headers),
+        )
+
+    def _error_bytes(self, error: ServiceError, keep_alive: bool) -> bytes:
+        headers = []
+        if error.retry_after_s is not None:
+            headers.append(("Retry-After", "%g" % error.retry_after_s))
+        return render_response(
+            error.status,
+            json.dumps(error.body(), separators=(",", ":")).encode(),
+            keep_alive=keep_alive,
+            extra_headers=tuple(headers),
+        )
+
+    # ------------------------------------------------------------------
+    # The query path
+    # ------------------------------------------------------------------
+    async def _handle_query(
+        self, request: HttpRequest
+    ) -> Tuple[int, dict, list]:
+        params = self._parse_query_body(request.body)
+        cost_estimate = self._estimate_cost(params["terms"])
+        cost_class = self.admission.classify(cost_estimate)
+
+        # Shedding decision comes first: at the reject level new queries
+        # are refused before they can consume queue space.
+        level = self.shedder.observe(self.admission.pressure())
+        if level == LEVEL_REJECT:
+            self.metrics.shed_rejected += 1
+            raise ServiceError(
+                429,
+                "overloaded",
+                "service is shedding load",
+                retry_after_s=self.admission.retry_after_hint(),
+                details={"reason": "shed_reject", "cost_class": cost_class},
+            )
+        decision = self.admission.admit(cost_estimate)
+        if not decision.admitted:
+            raise ServiceError(
+                429,
+                "overloaded",
+                "admission rejected: %s" % decision.reason,
+                retry_after_s=decision.retry_after_s,
+                details={
+                    "reason": decision.reason,
+                    "cost_class": decision.cost_class,
+                },
+            )
+        self.metrics.admitted += 1
+
+        deadline, shed_tightened = self._effective_deadline(
+            params, level, cost_class
+        )
+        if shed_tightened:
+            self.metrics.shed_tightened += 1
+
+        run = partial(
+            self.session.run,
+            params["terms"],
+            params["k"],
+            algorithm=params["algorithm"],
+            weights=params["weights"],
+            deadline=deadline,
+            **params["extra"],
+        )
+        loop = asyncio.get_running_loop()
+        enqueued = time.perf_counter()
+        self.admission.note_enqueued()
+        started = None
+        try:
+            assert self._semaphore is not None and self._pool is not None
+            async with self._semaphore:
+                self.admission.note_started()
+                started = time.perf_counter()
+                result = await loop.run_in_executor(self._pool, run)
+        finally:
+            now = time.perf_counter()
+            if started is None:
+                self.admission.note_abandoned()
+            else:
+                self.admission.note_finished((now - started) * 1000.0)
+        return self._render_result(
+            result,
+            params,
+            shed_tightened,
+            cost_class,
+            queue_wait_ms=(started - enqueued) * 1000.0,
+            service_ms=(now - started) * 1000.0,
+        )
+
+    def _parse_query_body(self, body: bytes) -> dict:
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+        except (ValueError, UnicodeDecodeError):
+            raise ServiceError(400, "invalid_json",
+                               "request body is not valid JSON")
+        if not isinstance(payload, dict):
+            raise ServiceError(400, "invalid_json",
+                               "request body must be a JSON object")
+        terms = payload.get("terms")
+        if (
+            not isinstance(terms, list)
+            or not terms
+            or not all(isinstance(t, str) for t in terms)
+        ):
+            raise ServiceError(400, "invalid_query",
+                               "terms must be a non-empty list of strings")
+        if len(terms) > self.config.max_terms:
+            raise ServiceError(
+                400, "invalid_query",
+                "too many terms (%d > max %d)"
+                % (len(terms), self.config.max_terms),
+            )
+        k = payload.get("k", self.config.default_k)
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise ServiceError(400, "invalid_query",
+                               "k must be a positive integer")
+        if k > self.config.max_k:
+            raise ServiceError(
+                400, "invalid_query",
+                "k too large (%d > max %d)" % (k, self.config.max_k),
+            )
+        weights = payload.get("weights")
+        if weights is not None and (
+            not isinstance(weights, list)
+            or not all(isinstance(w, (int, float)) for w in weights)
+        ):
+            raise ServiceError(400, "invalid_query",
+                               "weights must be a list of numbers")
+        for field_name in ("deadline_ms", "cost_budget"):
+            value = payload.get(field_name)
+            if value is not None and (
+                not isinstance(value, (int, float))
+                or isinstance(value, bool)
+                or value <= 0
+            ):
+                raise ServiceError(
+                    400, "invalid_query",
+                    "%s must be a positive number" % field_name,
+                )
+        extra = {}
+        mode = payload.get("mode")
+        if mode is not None:
+            if not hasattr(self.session, "coordinator"):
+                raise ServiceError(400, "invalid_query",
+                                   "mode requires a sharded session")
+            if mode not in ("bounded", "gather"):
+                raise ServiceError(400, "invalid_query",
+                                   "mode must be 'bounded' or 'gather'")
+            extra["mode"] = mode
+        algorithm = payload.get("algorithm", self.config.algorithm)
+        if not isinstance(algorithm, str):
+            raise ServiceError(400, "invalid_query",
+                               "algorithm must be a string")
+        return {
+            "terms": [str(t) for t in terms],
+            "k": k,
+            "algorithm": algorithm,
+            "weights": weights,
+            "deadline_ms": payload.get("deadline_ms"),
+            "cost_budget": payload.get("cost_budget"),
+            "extra": extra,
+        }
+
+    def _effective_deadline(
+        self, params: dict, level: str, cost_class: str
+    ) -> Tuple[Optional[QueryDeadline], bool]:
+        """The deadline the engine gets, after classing and shedding.
+
+        Requested budgets are capped by the service defaults (a client
+        cannot buy more runtime than the service offers); at the
+        ``degrade`` level both budgets are tightened by the shed factor
+        so queries finish early as well-formed partial results.
+        """
+        cfg = self.config
+        wall_ms = params["deadline_ms"]
+        if cfg.default_deadline_ms is not None:
+            wall_ms = (
+                cfg.default_deadline_ms
+                if wall_ms is None
+                else min(wall_ms, cfg.default_deadline_ms)
+            )
+        cost = params["cost_budget"]
+        if cfg.default_cost_budget is not None:
+            cost = (
+                cfg.default_cost_budget
+                if cost is None
+                else min(cost, cfg.default_cost_budget)
+            )
+        tightened = False
+        if level == LEVEL_DEGRADE and (wall_ms or cost):
+            factor = (
+                cfg.shed.heavy_tighten_factor
+                if cost_class == CLASS_HEAVY
+                else cfg.shed.tighten_factor
+            )
+            if wall_ms is not None:
+                wall_ms = max(wall_ms * factor, 1.0)
+            if cost is not None:
+                cost = max(cost * factor, 1.0)
+            tightened = True
+        if wall_ms is None and cost is None:
+            return None, False
+        return (
+            QueryDeadline(
+                wall_clock_seconds=(
+                    wall_ms / 1000.0 if wall_ms is not None else None
+                ),
+                cost_budget=cost,
+            ),
+            tightened,
+        )
+
+    def _estimate_cost(self, terms) -> float:
+        """Cheap pre-admission cost estimate: total query-list length."""
+        total = 0
+        sharded = getattr(self.session, "sharded", None)
+        indexes = (
+            list(sharded.shards)
+            if sharded is not None
+            else [getattr(self.session, "default_index", None)]
+        )
+        for index in indexes:
+            if index is None:
+                continue
+            for term in terms:
+                try:
+                    if term in index:
+                        total += len(index.list_for(term))
+                except Exception:
+                    return 0.0
+        return float(total)
+
+    def _render_result(
+        self,
+        result: TopKResult,
+        params: dict,
+        shed_tightened: bool,
+        cost_class: str,
+        queue_wait_ms: float,
+        service_ms: float,
+    ) -> Tuple[int, dict, list]:
+        degrade_reason = result.degrade_reason
+        if (
+            shed_tightened
+            and result.degraded
+            and degrade_reason == DEGRADE_DEADLINE
+        ):
+            # The deadline that fired was the tightened shed budget, not
+            # the client's own: name the true cause.
+            degrade_reason = DEGRADE_SHED
+        body = {
+            "k": params["k"],
+            "algorithm": result.algorithm or params["algorithm"],
+            "items": [
+                {
+                    "doc_id": item.doc_id,
+                    "worstscore": item.worstscore,
+                    "bestscore": item.bestscore,
+                }
+                for item in result.items
+            ],
+            "degraded": result.degraded,
+            "degrade_reason": degrade_reason,
+            "exhausted_lists": list(result.exhausted_lists),
+            "shed": shed_tightened,
+            "stats": {
+                "cost": result.stats.cost,
+                "sorted_accesses": result.stats.sorted_accesses,
+                "random_accesses": result.stats.random_accesses,
+                "rounds": result.stats.rounds,
+                "engine_wall_ms": result.stats.wall_time_seconds * 1000.0,
+            },
+            "service": {
+                "queue_wait_ms": round(queue_wait_ms, 3),
+                "service_ms": round(service_ms, 3),
+                "cost_class": cost_class,
+            },
+        }
+        for attr in ("exhausted_shards", "unfinished_shards",
+                     "pruned_shards", "coordinator_rounds"):
+            value = getattr(result, attr, None)
+            if value is not None:
+                body[attr] = value
+        status = 206 if result.degraded else 200
+        if result.degraded:
+            self.metrics.completed_degraded += 1
+        else:
+            self.metrics.completed_exact += 1
+        return status, body, []
+
+    # ------------------------------------------------------------------
+    # Introspection endpoints
+    # ------------------------------------------------------------------
+    def _health_body(self) -> dict:
+        return {
+            "status": "ok",
+            "level": self.shedder.level,
+            **self.admission.snapshot(),
+        }
+
+    def _metrics_body(self) -> dict:
+        return {
+            "service": self.metrics.snapshot(),
+            "admission": self.admission.snapshot(),
+            "shedding": {
+                "level": self.shedder.level,
+                "transitions": dict(self.shedder.transitions),
+            },
+        }

@@ -1,0 +1,111 @@
+"""Load shedding with hysteresis: degrade first, reject second.
+
+The service's pressure signal (see
+:meth:`~repro.serve.admission.AdmissionController.pressure`) is a
+dimensionless occupancy in ``[0, ∞)``: 0 means idle, 1 means the wait
+queue or the backlog budget is exactly full.  The shedder maps that
+signal to one of three levels:
+
+* ``normal`` — every admitted query runs with its requested budgets,
+* ``degrade`` — admitted queries get *tightened* deadline budgets, so
+  they complete as degraded-but-well-formed partial results (the
+  anytime contract; HTTP 206) instead of queueing each other out,
+* ``reject`` — new queries are refused outright (HTTP 429) before they
+  consume any engine capacity; health/metrics endpoints keep answering.
+
+Transitions use **hysteresis** — a level is entered at a high watermark
+and left only at a strictly lower one — so the service does not flap
+between shedding and not shedding on every request, and recovers
+cleanly (monotically down through ``degrade`` back to ``normal``) once
+the pressure drains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The three pressure levels, ordered by severity.
+LEVEL_NORMAL = "normal"
+LEVEL_DEGRADE = "degrade"
+LEVEL_REJECT = "reject"
+
+_SEVERITY = {LEVEL_NORMAL: 0, LEVEL_DEGRADE: 1, LEVEL_REJECT: 2}
+
+
+@dataclass(frozen=True)
+class ShedConfig:
+    """Watermarks and budget-tightening factors for the shedder.
+
+    ``enter_*`` / ``exit_*`` are pressure watermarks; each ``exit`` must
+    sit strictly below its ``enter`` (that gap *is* the hysteresis).
+    ``tighten_factor`` scales an admitted query's deadline budgets while
+    at the ``degrade`` level; ``heavy_tighten_factor`` applies to
+    queries whose estimated cost is at or above
+    ``ServiceConfig.heavy_cost_threshold`` — the expensive queries give
+    back capacity first.
+    """
+
+    enter_degrade: float = 0.5
+    exit_degrade: float = 0.25
+    enter_reject: float = 1.0
+    exit_reject: float = 0.5
+    tighten_factor: float = 0.3
+    heavy_tighten_factor: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.exit_degrade < self.enter_degrade:
+            raise ValueError("need 0 <= exit_degrade < enter_degrade")
+        if not self.exit_reject < self.enter_reject:
+            raise ValueError("need exit_reject < enter_reject")
+        if self.enter_degrade > self.enter_reject:
+            raise ValueError("degrade must engage at or before reject")
+        if not 0.0 < self.tighten_factor <= 1.0:
+            raise ValueError("tighten_factor must be in (0, 1]")
+        if not 0.0 < self.heavy_tighten_factor <= 1.0:
+            raise ValueError("heavy_tighten_factor must be in (0, 1]")
+
+
+class HysteresisShedder:
+    """The level state machine; one instance per service.
+
+    :meth:`observe` feeds a pressure sample and returns the level to
+    apply to the *current* request.  The machine only moves one way per
+    sample evaluation: up immediately when an enter watermark is
+    crossed (overload must act now), down only when the matching exit
+    watermark is undercut (recovery is deliberate).
+    """
+
+    def __init__(self, config: ShedConfig = ShedConfig()) -> None:
+        self.config = config
+        self.level = LEVEL_NORMAL
+        #: number of times each level was (re-)entered, for metrics
+        self.transitions = {LEVEL_DEGRADE: 0, LEVEL_REJECT: 0}
+
+    def observe(self, pressure: float) -> str:
+        """Feed one pressure sample; returns the level now in force."""
+        cfg = self.config
+        level = self.level
+        if level == LEVEL_NORMAL:
+            if pressure >= cfg.enter_reject:
+                level = LEVEL_REJECT
+            elif pressure >= cfg.enter_degrade:
+                level = LEVEL_DEGRADE
+        elif level == LEVEL_DEGRADE:
+            if pressure >= cfg.enter_reject:
+                level = LEVEL_REJECT
+            elif pressure < cfg.exit_degrade:
+                level = LEVEL_NORMAL
+        else:  # LEVEL_REJECT
+            if pressure < cfg.exit_reject:
+                # Step down to degrade, never straight to normal: the
+                # queue that built up during reject still needs draining
+                # under tightened budgets.
+                level = (
+                    LEVEL_NORMAL
+                    if pressure < cfg.exit_degrade
+                    else LEVEL_DEGRADE
+                )
+        if level != self.level and _SEVERITY[level] > _SEVERITY[self.level]:
+            self.transitions[level] += 1
+        self.level = level
+        return level

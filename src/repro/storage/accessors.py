@@ -22,7 +22,7 @@ outside it.  An accessor that exhausts its retries marks itself
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -84,21 +84,40 @@ class RetrySession:
     Tracks the query-wide retry budget and the simulated backoff wait.
     The jitter generator is seeded from the policy, so identical runs
     produce identical backoff sequences (chaos determinism).
+
+    A session can be bound to the query's deadline via
+    :meth:`bind_deadline`: once the deadline is exhausted, no further
+    retry is granted and no further simulated backoff is charged — a
+    faulty list must not burn retry budget on a query whose answer is
+    already due.  The check is an opaque callable (rather than a
+    :class:`~repro.core.executor.QueryDeadline`) so the storage layer
+    stays independent of the execution layer.
     """
 
     def __init__(self, policy: RetryPolicy) -> None:
         self.policy = policy
         self.retries = 0
         self.waited_ms = 0.0
+        #: retries denied because the bound deadline had expired
+        self.deadline_denied = 0
+        self._deadline_check: Optional[Callable[[], bool]] = None
         self._rng = np.random.default_rng(policy.seed)
+
+    def bind_deadline(self, exhausted: Callable[[], bool]) -> None:
+        """Deny all further retries once ``exhausted()`` returns True."""
+        self._deadline_check = exhausted
 
     def grant(self, failures: int) -> bool:
         """Whether a retry is allowed after ``failures`` failed attempts.
 
         Granting consumes one unit of the query budget and accrues the
-        simulated backoff wait for this attempt.
+        simulated backoff wait for this attempt.  A session whose bound
+        deadline has expired grants nothing and charges nothing.
         """
         policy = self.policy
+        if self._deadline_check is not None and self._deadline_check():
+            self.deadline_denied += 1
+            return False
         if failures >= policy.max_attempts:
             return False
         if self.retries >= policy.query_budget:

@@ -1,0 +1,128 @@
+"""Chaos: the deadline expires *between* coordinator merge rounds.
+
+Satellite of the serving PR.  A sharded query's deadline can run out
+while the coordinator sits between rounds — after a merge, before the
+next budget escalation.  The contract: the query returns a degraded but
+well-formed result whose ``unfinished_shards`` names exactly the shards
+that were still mid-scan, with ``degrade_reason == "deadline"`` and
+every merged interval still containing the true score.
+
+The wall-clock variant drives the coordinator with a fake clock (one
+second per ``perf_counter()`` call, patched into the coordinator module
+only — shards keep real time), so the expiry lands deterministically on
+the between-rounds check rather than inside a shard.
+"""
+
+import types
+
+import pytest
+
+import repro.distrib.coordinator as coordinator_module
+from repro.core.engine import QueryDeadline
+from repro.core.results import DEGRADE_DEADLINE
+from repro.distrib import MergeCoordinator, ShardExecutor, partition_index
+
+from tests.helpers import make_random_index, true_score
+
+K = 10
+NUM_SHARDS = 4
+
+
+class FakeClock:
+    """Advances one ``step`` per call; deterministic wall time."""
+
+    def __init__(self, start: float = 1.0, step: float = 1.0) -> None:
+        self.now = start - step
+        self.step = step
+        self.calls = 0
+
+    def perf_counter(self) -> float:
+        self.calls += 1
+        self.now += self.step
+        return self.now
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    index, terms = make_random_index(seed=17)
+    sharded = partition_index(index, NUM_SHARDS, strategy="hash")
+    return index, terms, sharded
+
+
+def check_well_formed(result, index, terms):
+    assert len(result.items) <= K
+    for item in result.items:
+        truth = true_score(index, terms, item.doc_id)
+        assert item.worstscore - 1e-9 <= truth <= item.bestscore + 1e-9
+
+
+def test_wall_deadline_between_merge_rounds(monkeypatch, corpus):
+    index, terms, sharded = corpus
+    clock = FakeClock()
+    monkeypatch.setattr(
+        coordinator_module,
+        "time",
+        types.SimpleNamespace(perf_counter=clock.perf_counter),
+    )
+    # Small per-round budgets: every shard is paused (not finished) when
+    # the coordinator's between-rounds wall check trips.  The fake clock
+    # makes the round-1 check land past the wall: scheduling the four
+    # shards consumes four ticks, the end-of-round check the fifth.
+    coordinator = MergeCoordinator(
+        ShardExecutor(sharded), round_budget=64.0
+    )
+    result = coordinator.query(
+        terms,
+        K,
+        deadline=QueryDeadline(wall_clock_seconds=NUM_SHARDS + 0.5),
+    )
+
+    assert clock.calls >= NUM_SHARDS + 2  # the coordinator used our clock
+    assert result.coordinator_rounds == 1
+    assert result.degraded
+    assert result.degrade_reason == DEGRADE_DEADLINE
+    # The shards still active at the break are named — and only those:
+    # no overlap with pruned or failed shards.
+    assert result.unfinished_shards
+    assert result.unfinished_shards == sorted(result.unfinished_shards)
+    assert set(result.unfinished_shards) <= set(range(NUM_SHARDS))
+    assert set(result.unfinished_shards).isdisjoint(result.pruned_shards)
+    assert result.exhausted_shards == []
+    assert result.exhausted_lists == []
+    check_well_formed(result, index, terms)
+
+
+def test_cost_budget_expires_at_coordinator_level(corpus):
+    index, terms, sharded = corpus
+    coordinator = MergeCoordinator(ShardExecutor(sharded))
+    exact = coordinator.query(terms, K)
+    assert not exact.degraded
+
+    # A parent budget far below the exact cost: each shard's share is
+    # spent in round one, so the coordinator (not any shard's own
+    # termination test) ends the query with the shards unfinished.
+    result = coordinator.query(
+        terms, K, deadline=QueryDeadline(cost_budget=400.0)
+    )
+
+    assert result.degraded
+    assert result.degrade_reason == DEGRADE_DEADLINE
+    assert result.unfinished_shards
+    assert set(result.unfinished_shards).isdisjoint(result.pruned_shards)
+    assert result.exhausted_shards == []
+    check_well_formed(result, index, terms)
+
+
+def test_unfinished_shards_merge_partial_evidence(corpus):
+    index, terms, sharded = corpus
+    coordinator = MergeCoordinator(ShardExecutor(sharded))
+    result = coordinator.query(
+        terms, K, deadline=QueryDeadline(cost_budget=400.0)
+    )
+    # Partial evidence from unfinished shards is merged, not dropped:
+    # the degraded answer still ranks candidates (resolution turned the
+    # merged intervals into exact scores on their home shards).
+    assert result.items
+    assert result.stats.sorted_accesses > 0
+    worstscores = [item.worstscore for item in result.items]
+    assert worstscores == sorted(worstscores, reverse=True)

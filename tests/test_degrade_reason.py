@@ -1,0 +1,143 @@
+"""``degrade_reason``: a machine-readable primary cause on every
+degraded result.
+
+Clients (the serving layer above all) must not infer *why* a result is
+partial by parsing ``exhausted_lists``/``exhausted_shards``: the result
+itself names its primary cause, with a fixed severity order — a dead
+shard outranks a dead list outranks an expired deadline.  Exact results
+carry ``None``, and the old detail fields stay untouched.
+"""
+
+import pytest
+
+from repro.core.algorithms import TopKProcessor
+from repro.core.engine import QueryDeadline
+from repro.core.results import (
+    DEGRADE_DEAD_LIST,
+    DEGRADE_DEAD_SHARD,
+    DEGRADE_DEADLINE,
+    DEGRADE_REASONS,
+    DEGRADE_SHED,
+)
+from repro.core.session import ShardedSession
+from repro.distrib import partition_index
+from repro.storage.accessors import RetryPolicy
+from repro.storage.faults import FaultInjector, FaultPlan
+
+from tests.helpers import make_random_index
+
+K = 10
+ALGORITHM = "KSR-Last-Ben"
+
+
+def chaos_processor(index, plan, **retry_kwargs):
+    injector = FaultInjector(plan)
+    return TopKProcessor(
+        injector.wrap_index(index),
+        cost_ratio=1000.0,
+        retry_policy=RetryPolicy(**retry_kwargs),
+    )
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_random_index(seed=5)
+
+
+def test_reason_vocabulary_is_fixed():
+    assert DEGRADE_REASONS == (
+        DEGRADE_DEADLINE,
+        DEGRADE_DEAD_LIST,
+        DEGRADE_DEAD_SHARD,
+        DEGRADE_SHED,
+    )
+    assert len(set(DEGRADE_REASONS)) == 4
+
+
+class TestSingleNode:
+    def test_exact_result_has_no_reason(self, corpus):
+        index, terms = corpus
+        result = TopKProcessor(index, cost_ratio=1000.0).query(
+            terms, K, algorithm=ALGORITHM
+        )
+        assert not result.degraded
+        assert result.degrade_reason is None
+
+    def test_cost_budget_expiry_reports_deadline(self, corpus):
+        index, terms = corpus
+        processor = TopKProcessor(index, cost_ratio=1000.0)
+        full = processor.query(terms, K, algorithm=ALGORITHM)
+        result = processor.query(
+            terms, K, algorithm=ALGORITHM,
+            deadline=QueryDeadline(cost_budget=full.stats.cost / 3.0),
+        )
+        assert result.degraded
+        assert result.degrade_reason == DEGRADE_DEADLINE
+        assert result.exhausted_lists == []
+
+    def test_dead_list_reports_dead_list(self, corpus):
+        index, terms = corpus
+        processor = chaos_processor(
+            index, FaultPlan(dead_terms=(terms[0],)),
+            max_attempts=2, query_budget=8,
+        )
+        result = processor.query(terms, K, algorithm=ALGORITHM)
+        assert result.degraded
+        assert result.degrade_reason == DEGRADE_DEAD_LIST
+        assert result.exhausted_lists == [terms[0]]
+
+    def test_dead_list_outranks_deadline(self, corpus):
+        index, terms = corpus
+        clean = TopKProcessor(index, cost_ratio=1000.0)
+        full = clean.query(terms, K, algorithm=ALGORITHM)
+        processor = chaos_processor(
+            index, FaultPlan(dead_terms=(terms[0],)),
+            max_attempts=2, query_budget=8,
+        )
+        result = processor.query(
+            terms, K, algorithm=ALGORITHM,
+            deadline=QueryDeadline(cost_budget=full.stats.cost / 3.0),
+        )
+        assert result.degraded
+        assert result.degrade_reason == DEGRADE_DEAD_LIST
+
+
+class TestSharded:
+    def test_exact_sharded_result_has_no_reason(self, corpus):
+        index, terms = corpus
+        session = ShardedSession(index, num_shards=4)
+        result = session.run(terms, K)
+        assert not result.degraded
+        assert result.degrade_reason is None
+        assert result.unfinished_shards == []
+
+    def test_cost_budget_reports_deadline_and_unfinished(self, corpus):
+        index, terms = corpus
+        session = ShardedSession(index, num_shards=4)
+        result = session.run(
+            terms, K, deadline=QueryDeadline(cost_budget=400.0)
+        )
+        assert result.degraded
+        assert result.degrade_reason == DEGRADE_DEADLINE
+        assert result.unfinished_shards
+        assert result.exhausted_shards == []
+
+    def test_dead_shard_reports_dead_shard(self, corpus):
+        index, terms = corpus
+        sharded = partition_index(index, 4, strategy="hash")
+        injector = FaultInjector(FaultPlan(dead_terms=tuple(terms)))
+        shards = list(sharded.shards)
+        shards[1] = injector.wrap_index(shards[1])
+        broken = type(sharded)(
+            shards=tuple(shards),
+            strategy=sharded.strategy,
+            assignment=sharded.assignment,
+        )
+        session = ShardedSession(
+            sharded=broken,
+            retry_policy=RetryPolicy(max_attempts=2, query_budget=8),
+        )
+        result = session.run(terms, K)
+        assert result.degraded
+        assert result.degrade_reason == DEGRADE_DEAD_SHARD
+        assert result.exhausted_shards == [1]

@@ -1,0 +1,137 @@
+"""Deadline-aware retries: no retry budget burned past the deadline.
+
+Satellite of the serving PR: :class:`RetrySession` can be bound to the
+query's deadline, after which it grants no retries and charges no
+simulated backoff — a faulty list must not keep a query alive (and
+waiting) when its answer is already due.
+"""
+
+import pytest
+
+from repro.core.executor import ExecutionListener, QueryDeadline
+from repro.core.session import QuerySession
+from repro.storage.accessors import RetryPolicy, RetrySession
+from repro.storage.faults import FaultInjector, FaultPlan
+
+from tests.helpers import make_random_index
+
+K = 10
+ALGORITHM = "KSR-Last-Ben"
+
+
+class RetryTap(ExecutionListener):
+    """Captures the per-query retry session at termination."""
+
+    def __init__(self):
+        self.retry = None
+
+    def on_termination(self, state, result, reason):
+        self.retry = state.retry
+
+
+class TestRetrySessionUnit:
+    def policy(self, **kwargs):
+        defaults = dict(max_attempts=4, query_budget=16)
+        defaults.update(kwargs)
+        return RetryPolicy(**defaults)
+
+    def test_unbound_session_grants_normally(self):
+        session = RetrySession(self.policy())
+        assert session.grant(1)
+        assert session.retries == 1
+        assert session.waited_ms > 0.0
+        assert session.deadline_denied == 0
+
+    def test_expired_deadline_denies_and_charges_nothing(self):
+        session = RetrySession(self.policy())
+        session.bind_deadline(lambda: True)
+        assert not session.grant(1)
+        assert session.deadline_denied == 1
+        assert session.retries == 0
+        assert session.waited_ms == 0.0
+
+    def test_live_deadline_keeps_granting(self):
+        session = RetrySession(self.policy())
+        session.bind_deadline(lambda: False)
+        assert session.grant(1)
+        assert session.deadline_denied == 0
+
+    def test_denial_counts_accumulate(self):
+        session = RetrySession(self.policy())
+        session.grant(1)  # one legitimate retry first
+        waited = session.waited_ms
+        session.bind_deadline(lambda: True)
+        assert not session.grant(2)
+        assert not session.grant(2)
+        assert session.deadline_denied == 2
+        assert session.retries == 1
+        assert session.waited_ms == waited  # frozen at expiry
+
+    def test_deadline_check_runs_before_budget_checks(self):
+        session = RetrySession(self.policy(max_attempts=1))
+        session.bind_deadline(lambda: True)
+        # Even an over-budget attempt is recorded as a deadline denial:
+        # the deadline is the stronger (and cheaper) reason to stop.
+        assert not session.grant(5)
+        assert session.deadline_denied == 1
+
+
+class TestExecutorBinding:
+    def run_faulty(self, index, terms, deadline=None):
+        injector = FaultInjector(FaultPlan(dead_terms=(terms[0],)))
+        tap = RetryTap()
+        session = QuerySession(
+            injector.wrap_index(index),
+            retry_policy=RetryPolicy(max_attempts=3, query_budget=64),
+        )
+        result = session.run(
+            terms, K, algorithm=ALGORITHM, deadline=deadline,
+            listeners=(tap,),
+        )
+        assert tap.retry is not None
+        return result, tap.retry
+
+    def test_without_deadline_retries_burn_normally(self):
+        index, terms = make_random_index(seed=5)
+        result, retry = self.run_faulty(index, terms)
+        assert result.degraded
+        assert result.stats.retries > 0
+        assert retry.deadline_denied == 0
+
+    def test_expired_deadline_stops_retrying(self):
+        index, terms = make_random_index(seed=5)
+        baseline, _ = self.run_faulty(index, terms)
+        # A cost budget of 1 is exhausted by the very first failed read
+        # (failed attempts still charge their sorted accesses), so every
+        # retry decision after it must be denied by the deadline.
+        result, retry = self.run_faulty(
+            index, terms, deadline=QueryDeadline(cost_budget=1.0)
+        )
+        assert result.degraded
+        assert retry.deadline_denied > 0
+        assert result.stats.retries < baseline.stats.retries
+        assert (
+            result.stats.simulated_io_wait_ms
+            < baseline.stats.simulated_io_wait_ms
+        )
+
+    def test_results_stay_well_formed_under_denied_retries(self):
+        index, terms = make_random_index(seed=5)
+        result, _ = self.run_faulty(
+            index, terms, deadline=QueryDeadline(cost_budget=1.0)
+        )
+        for item in result.items:
+            assert item.worstscore <= item.bestscore + 1e-9
+
+    def test_fault_free_query_never_consults_the_deadline(self):
+        index, terms = make_random_index(seed=5)
+        tap = RetryTap()
+        session = QuerySession(
+            index, retry_policy=RetryPolicy(max_attempts=3, query_budget=64)
+        )
+        result = session.run(
+            terms, K, algorithm=ALGORITHM,
+            deadline=QueryDeadline(cost_budget=1.0), listeners=(tap,),
+        )
+        assert result.stats.retries == 0
+        assert tap.retry.deadline_denied == 0

@@ -1,0 +1,202 @@
+"""Unit tests for the admission controller and the hysteresis shedder."""
+
+import pytest
+
+from repro.serve.admission import (
+    CLASS_HEAVY,
+    CLASS_LIGHT,
+    AdmissionController,
+)
+from repro.serve.shedding import (
+    LEVEL_DEGRADE,
+    LEVEL_NORMAL,
+    LEVEL_REJECT,
+    HysteresisShedder,
+    ShedConfig,
+)
+
+
+def make_controller(**kwargs):
+    defaults = dict(
+        max_queue=4,
+        max_concurrency=2,
+        backlog_budget_ms=100.0,
+        initial_service_ms=10.0,
+    )
+    defaults.update(kwargs)
+    return AdmissionController(**defaults)
+
+
+class TestAdmissionController:
+    def test_validates_configuration(self):
+        with pytest.raises(ValueError):
+            make_controller(max_queue=-1)
+        with pytest.raises(ValueError):
+            make_controller(max_concurrency=0)
+        with pytest.raises(ValueError):
+            make_controller(backlog_budget_ms=0.0)
+        with pytest.raises(ValueError):
+            make_controller(ewma_alpha=0.0)
+
+    def test_admits_when_idle(self):
+        ctrl = make_controller()
+        decision = ctrl.admit(cost_estimate=10.0)
+        assert decision.admitted
+        assert decision.reason == "ok"
+        assert decision.cost_class == CLASS_LIGHT
+
+    def test_classify_heavy(self):
+        ctrl = make_controller(heavy_cost_threshold=100.0)
+        assert ctrl.classify(99.9) == CLASS_LIGHT
+        assert ctrl.classify(100.0) == CLASS_HEAVY
+        assert ctrl.admit(cost_estimate=500.0).cost_class == CLASS_HEAVY
+
+    def test_queue_full_rejection(self):
+        ctrl = make_controller(max_queue=2)
+        ctrl.note_enqueued()
+        ctrl.note_enqueued()
+        decision = ctrl.admit()
+        assert not decision.admitted
+        assert decision.reason == "queue_full"
+        assert decision.retry_after_s > 0
+        assert ctrl.rejected_queue_full == 1
+
+    def test_zero_queue_rejects_everything(self):
+        ctrl = make_controller(max_queue=0)
+        assert not ctrl.admit().admitted
+
+    def test_backlog_rejection_uses_ewma(self):
+        # 2 slots, 100 ms budget, 50 ms EWMA: six pending requests put
+        # the next arrival ~125 ms out, over budget.
+        ctrl = make_controller(
+            max_queue=100, max_concurrency=2,
+            backlog_budget_ms=100.0, initial_service_ms=50.0,
+        )
+        for _ in range(2):
+            ctrl.note_enqueued()
+            ctrl.note_started()
+        for _ in range(4):
+            ctrl.note_enqueued()
+        decision = ctrl.admit()
+        assert not decision.admitted
+        assert decision.reason == "backlog"
+        assert ctrl.rejected_backlog == 1
+
+    def test_backlog_estimate_shape(self):
+        ctrl = make_controller(max_concurrency=2, initial_service_ms=10.0)
+        # Nothing pending: a new arrival waits zero.
+        assert ctrl.backlog_ms() == 0.0
+        ctrl.note_enqueued()
+        ctrl.note_started()
+        # One in flight, one free slot: still zero wait.
+        assert ctrl.backlog_ms() == 0.0
+        ctrl.note_enqueued()
+        ctrl.note_started()
+        # Both slots busy: the new arrival waits ~one service time / slots.
+        assert ctrl.backlog_ms() == pytest.approx(5.0)
+
+    def test_lifecycle_updates_ewma(self):
+        ctrl = make_controller(initial_service_ms=10.0)
+        ctrl.note_enqueued()
+        ctrl.note_started()
+        ctrl.note_finished(110.0)
+        assert ctrl.waiting == 0
+        assert ctrl.in_flight == 0
+        assert ctrl.completed == 1
+        # alpha 0.2: 10 + 0.2 * (110 - 10) = 30.
+        assert ctrl.ewma_service_ms == pytest.approx(30.0)
+
+    def test_abandoned_restores_queue_slot(self):
+        ctrl = make_controller()
+        ctrl.note_enqueued()
+        ctrl.note_abandoned()
+        assert ctrl.waiting == 0
+
+    def test_pressure_tracks_worst_budget(self):
+        ctrl = make_controller(max_queue=4, backlog_budget_ms=100.0)
+        assert ctrl.pressure() == 0.0
+        ctrl.note_enqueued()
+        ctrl.note_enqueued()
+        assert ctrl.pressure() >= 0.5  # queue half full
+
+    def test_retry_after_is_at_least_one_service_time(self):
+        ctrl = make_controller(initial_service_ms=10.0)
+        hint = ctrl.retry_after_hint()
+        assert hint >= 0.01
+        # Rounded up to tenths of a second.
+        assert abs(hint * 10 - round(hint * 10)) < 1e-9
+
+    def test_snapshot_keys(self):
+        snap = make_controller().snapshot()
+        for key in (
+            "waiting", "in_flight", "completed", "rejected_queue_full",
+            "rejected_backlog", "ewma_service_ms", "backlog_ms", "pressure",
+        ):
+            assert key in snap
+
+
+class TestShedConfig:
+    def test_rejects_inverted_watermarks(self):
+        with pytest.raises(ValueError):
+            ShedConfig(enter_degrade=0.2, exit_degrade=0.3)
+        with pytest.raises(ValueError):
+            ShedConfig(enter_reject=0.4, exit_reject=0.5)
+        with pytest.raises(ValueError):
+            ShedConfig(enter_degrade=1.5, enter_reject=1.0)
+        with pytest.raises(ValueError):
+            ShedConfig(tighten_factor=0.0)
+        with pytest.raises(ValueError):
+            ShedConfig(heavy_tighten_factor=2.0)
+
+
+class TestHysteresisShedder:
+    def make(self):
+        return HysteresisShedder(
+            ShedConfig(
+                enter_degrade=0.5, exit_degrade=0.25,
+                enter_reject=1.0, exit_reject=0.5,
+            )
+        )
+
+    def test_starts_normal(self):
+        assert self.make().level == LEVEL_NORMAL
+
+    def test_enters_degrade_at_watermark(self):
+        shedder = self.make()
+        assert shedder.observe(0.49) == LEVEL_NORMAL
+        assert shedder.observe(0.5) == LEVEL_DEGRADE
+        assert shedder.transitions[LEVEL_DEGRADE] == 1
+
+    def test_hysteresis_keeps_degrade_until_exit(self):
+        shedder = self.make()
+        shedder.observe(0.6)
+        # Below the enter watermark but above exit: still degrading.
+        assert shedder.observe(0.3) == LEVEL_DEGRADE
+        assert shedder.observe(0.26) == LEVEL_DEGRADE
+        assert shedder.observe(0.24) == LEVEL_NORMAL
+
+    def test_jumps_straight_to_reject(self):
+        shedder = self.make()
+        assert shedder.observe(1.2) == LEVEL_REJECT
+        assert shedder.transitions[LEVEL_REJECT] == 1
+
+    def test_reject_steps_down_through_degrade(self):
+        shedder = self.make()
+        shedder.observe(1.5)
+        # Above exit_reject: hold.
+        assert shedder.observe(0.7) == LEVEL_REJECT
+        # Below exit_reject but above exit_degrade: drain under degrade.
+        assert shedder.observe(0.4) == LEVEL_DEGRADE
+        assert shedder.observe(0.1) == LEVEL_NORMAL
+
+    def test_reject_drops_to_normal_when_fully_drained(self):
+        shedder = self.make()
+        shedder.observe(1.5)
+        assert shedder.observe(0.0) == LEVEL_NORMAL
+
+    def test_reentry_counts_transitions(self):
+        shedder = self.make()
+        shedder.observe(0.6)
+        shedder.observe(0.1)
+        shedder.observe(0.6)
+        assert shedder.transitions[LEVEL_DEGRADE] == 2

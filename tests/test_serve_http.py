@@ -1,0 +1,117 @@
+"""Unit tests for the minimal HTTP layer under the query service."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.http import (
+    HttpProtocolError,
+    read_request,
+    render_response,
+)
+
+
+def parse(data: bytes, max_body: int = 65536):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader, max_body)
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_get_without_body(self):
+        request = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/healthz"
+        assert request.headers["host"] == "x"
+        assert request.body == b""
+        assert request.keep_alive
+
+    def test_post_with_body_and_query_string(self):
+        request = parse(
+            b"POST /query?x=1 HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd"
+        )
+        assert request.method == "POST"
+        assert request.path == "/query"
+        assert request.body == b"abcd"
+
+    def test_header_names_lowercased(self):
+        request = parse(b"GET / HTTP/1.1\r\nX-Custom-Thing:  v  \r\n\r\n")
+        assert request.headers["x-custom-thing"] == "v"
+
+    def test_connection_close_disables_keep_alive(self):
+        request = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not request.keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_truncated_head_is_400(self):
+        with pytest.raises(HttpProtocolError) as excinfo:
+            parse(b"GET / HTTP/1.1\r\nHost")
+        assert excinfo.value.status == 400
+
+    def test_malformed_request_line_is_400(self):
+        with pytest.raises(HttpProtocolError) as excinfo:
+            parse(b"GARBAGE\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_chunked_transfer_is_501(self):
+        with pytest.raises(HttpProtocolError) as excinfo:
+            parse(
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            )
+        assert excinfo.value.status == 501
+
+    def test_bad_content_length_is_400(self):
+        with pytest.raises(HttpProtocolError) as excinfo:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_oversized_body_is_413(self):
+        with pytest.raises(HttpProtocolError) as excinfo:
+            parse(
+                b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n" + b"x" * 100,
+                max_body=10,
+            )
+        assert excinfo.value.status == 413
+
+    def test_truncated_body_is_400(self):
+        with pytest.raises(HttpProtocolError) as excinfo:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nab")
+        assert excinfo.value.status == 400
+
+
+class TestRenderResponse:
+    def test_status_line_and_framing(self):
+        payload = render_response(200, b'{"ok":1}')
+        text = payload.decode()
+        assert text.startswith("HTTP/1.1 200 OK\r\n")
+        assert "Content-Length: 8" in text
+        assert text.endswith('\r\n\r\n{"ok":1}')
+
+    def test_extra_headers_and_close(self):
+        payload = render_response(
+            429,
+            b"{}",
+            keep_alive=False,
+            extra_headers=(("Retry-After", "1.5"),),
+        )
+        text = payload.decode()
+        assert "HTTP/1.1 429 Too Many Requests" in text
+        assert "Retry-After: 1.5" in text
+        assert "Connection: close" in text
+
+    def test_roundtrips_through_parser(self):
+        # A rendered response body with a request wrapper parses back.
+        body = b'{"terms":["a"],"k":3}'
+        request = parse(
+            b"POST /query HTTP/1.1\r\nContent-Length: "
+            + str(len(body)).encode()
+            + b"\r\n\r\n"
+            + body
+        )
+        assert request.body == body

@@ -1,0 +1,235 @@
+"""Tests for the traffic-replay load driver and its CI gate."""
+
+import asyncio
+
+import pytest
+
+from repro.core.session import QuerySession
+from repro.data.httplog import TraceRequest, generate_trace, generate_workload
+from repro.serve.loadgen import (
+    RequestOutcome,
+    _check_response,
+    gate,
+    percentile,
+    replay_closed,
+    replay_open,
+    summarize,
+)
+from repro.serve.service import QueryService, ServiceConfig
+
+REQ = TraceRequest(user=3, terms=("day:00", "day:01"), k=5)
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 99) == 0.0
+
+    def test_nearest_rank(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(values, 50) == 20.0
+        assert percentile(values, 99) == 40.0
+        assert percentile(values, 1) == 10.0
+
+
+class TestCheckResponse:
+    def ok_body(self, **overrides):
+        body = {
+            "items": [{"doc_id": 1, "worstscore": 0.4, "bestscore": 0.6}],
+            "degraded": False,
+            "degrade_reason": None,
+        }
+        body.update(overrides)
+        return body
+
+    def check(self, status, body, headers=None):
+        import json
+
+        return _check_response(
+            REQ, status, headers or {}, json.dumps(body).encode(), 1.0
+        )
+
+    def test_well_formed_200(self):
+        assert self.check(200, self.ok_body()).malformed is None
+
+    def test_non_json_body(self):
+        outcome = _check_response(REQ, 200, {}, b"<html>", 1.0)
+        assert outcome.malformed == "body is not JSON"
+
+    def test_inverted_interval(self):
+        body = self.ok_body(
+            items=[{"doc_id": 1, "worstscore": 0.9, "bestscore": 0.2}]
+        )
+        assert self.check(200, body).malformed == "malformed result item"
+
+    def test_more_than_k_items(self):
+        item = {"doc_id": 1, "worstscore": 0.1, "bestscore": 0.2}
+        body = self.ok_body(items=[item] * (REQ.k + 1))
+        assert self.check(200, body).malformed == "more than k items"
+
+    def test_degraded_flag_must_match_status(self):
+        assert (
+            self.check(200, self.ok_body(degraded=True)).malformed
+            == "degraded flag does not match status"
+        )
+
+    def test_206_requires_degrade_reason(self):
+        body = self.ok_body(degraded=True, degrade_reason=None)
+        assert (
+            self.check(206, body).malformed == "206 without degrade_reason"
+        )
+        good = self.ok_body(degraded=True, degrade_reason="deadline")
+        outcome = self.check(206, good)
+        assert outcome.malformed is None
+        assert outcome.degraded
+        assert outcome.degrade_reason == "deadline"
+
+    def test_429_contract(self):
+        assert (
+            self.check(429, {"nope": 1}).malformed
+            == "429 without error envelope"
+        )
+        assert (
+            self.check(429, {"error": {"code": "overloaded"}}).malformed
+            == "429 without Retry-After"
+        )
+        outcome = self.check(
+            429, {"error": {"code": "overloaded"}}, {"retry-after": "0.5"}
+        )
+        assert outcome.malformed is None
+        assert outcome.shed
+
+    def test_unexpected_status(self):
+        assert self.check(302, {}).malformed == "unexpected status 302"
+
+
+def outcome(status, latency=10.0, **kwargs):
+    return RequestOutcome(user=0, status=status, latency_ms=latency, **kwargs)
+
+
+class TestSummarize:
+    def test_aggregates(self):
+        outcomes = [
+            outcome(200, 10.0),
+            outcome(206, 20.0, degraded=True, degrade_reason="shed"),
+            outcome(429, 1.0, shed=True),
+            outcome(400, 1.0),
+        ]
+        summary = summarize(outcomes, "unit", mode="open")
+        assert summary["requests"] == 4
+        assert summary["admitted"] == 2
+        assert summary["shed"] == 1
+        assert summary["degraded"] == 1
+        assert summary["degraded_rate"] == 0.5
+        assert summary["degrade_reasons"] == {"shed": 1}
+        assert summary["statuses"] == {"200": 1, "206": 1, "429": 1, "400": 1}
+        assert summary["server_errors"] == 0
+        assert summary["malformed"] == 0
+        assert summary["latency_ms"]["p50"] == 10.0
+        assert summary["mode"] == "open"
+
+
+def make_report(**scenario_overrides):
+    scenario = {
+        "label": "open-2.5x",
+        "rate_multiplier": 2.5,
+        "malformed": 0,
+        "malformed_reasons": [],
+        "server_errors": 0,
+        "shed": 5,
+        "degraded": 5,
+        "admitted": 50,
+        "latency_ms": {"p99": 100.0},
+    }
+    scenario.update(scenario_overrides)
+    return {
+        "service": {
+            "backlog_budget_ms": 500.0,
+            "default_deadline_ms": 250.0,
+        },
+        "scenarios": [scenario],
+    }
+
+
+class TestGate:
+    def test_passes_clean_report(self):
+        assert gate(make_report()) == []
+
+    def test_flags_malformed_and_5xx(self):
+        report = make_report(
+            malformed=2, malformed_reasons=["bad"], server_errors=1
+        )
+        violations = gate(report)
+        assert any("malformed" in v for v in violations)
+        assert any("server errors" in v for v in violations)
+
+    def test_flags_unbounded_p99(self):
+        report = make_report(latency_ms={"p99": 10_000.0})
+        assert any("p99" in v for v in gate(report))
+
+    def test_overload_must_shed_and_degrade(self):
+        violations = gate(make_report(shed=0, degraded=0, admitted=0))
+        assert any("did not shed" in v for v in violations)
+        assert any("did not degrade" in v for v in violations)
+        assert any("admitted nothing" in v for v in violations)
+
+    def test_non_overload_scenarios_may_skip_shedding(self):
+        report = make_report(
+            label="open-0.5x", rate_multiplier=0.5, shed=0, degraded=0
+        )
+        assert gate(report) == []
+
+
+@pytest.fixture(scope="module")
+def served_workload():
+    workload = generate_workload(
+        num_users=500, num_days=10, num_queries=8, block_size=64, seed=5
+    )
+    trace = generate_trace(workload, 24, seed=6)
+    session = QuerySession(workload.index)
+    session.stats_for(workload.index)
+    return session, trace
+
+
+class TestReplay:
+    def replay(self, session, coroutine_factory):
+        async def go():
+            async with QueryService(
+                session,
+                ServiceConfig(max_concurrency=2, max_queue=8),
+            ) as service:
+                return await coroutine_factory(service.port)
+
+        return asyncio.run(go())
+
+    def test_open_loop_replay_is_well_formed(self, served_workload):
+        session, trace = served_workload
+        outcomes = self.replay(
+            session,
+            lambda port: replay_open("127.0.0.1", port, trace, 200.0, seed=1),
+        )
+        assert len(outcomes) == len(trace)
+        assert [o.malformed for o in outcomes] == [None] * len(trace)
+        assert all(o.status in (200, 206, 429) for o in outcomes)
+
+    def test_closed_loop_replay_is_well_formed(self, served_workload):
+        session, trace = served_workload
+        outcomes = self.replay(
+            session,
+            lambda port: replay_closed("127.0.0.1", port, trace, 4),
+        )
+        assert len(outcomes) == len(trace)
+        assert [o.malformed for o in outcomes] == [None] * len(trace)
+
+    def test_open_loop_rejects_bad_rate(self, served_workload):
+        session, trace = served_workload
+        with pytest.raises(ValueError):
+            asyncio.run(replay_open("127.0.0.1", 1, trace, 0.0))
+
+    def test_trace_is_seeded_and_heavy_tailed(self, served_workload):
+        _, trace = served_workload
+        workload = generate_workload(
+            num_users=500, num_days=10, num_queries=8, block_size=64, seed=5
+        )
+        again = generate_trace(workload, 24, seed=6)
+        assert again == trace
+        assert all(req.k in (5, 10, 20) for req in trace)

@@ -1,0 +1,398 @@
+"""End-to-end tests for the asyncio query service.
+
+Each test boots a real :class:`QueryService` on an ephemeral port inside
+``asyncio.run`` and speaks raw HTTP to it, so the full stack — framing,
+admission, shedding, engine dispatch, rendering — is exercised exactly
+as a client sees it.
+"""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.core.results import (
+    DEGRADE_DEADLINE,
+    RankedItem,
+    TopKResult,
+)
+from repro.core.session import QuerySession, ShardedSession
+from repro.distrib.coordinator import ShardedExecutionError
+from repro.distrib.degrade import ShardFailure
+from repro.serve.loadgen import _read_response
+from repro.serve.service import QueryService, ServiceConfig
+from repro.serve.shedding import ShedConfig
+
+from tests.helpers import make_random_index
+
+TERMS = ["t0", "t1", "t2"]
+K = 5
+
+#: Watermarks far above any pressure these tests generate, so admission
+#: outcomes (queue_full, backlog) are observable without the shedder
+#: intervening first.
+NO_SHED = ShedConfig(
+    enter_degrade=50.0, exit_degrade=25.0,
+    enter_reject=100.0, exit_reject=50.0,
+)
+
+
+async def raw_request(port, data: bytes):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(data)
+    await writer.drain()
+    status, headers, body = await _read_response(reader)
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    return status, headers, json.loads(body.decode())
+
+
+async def request(port, payload=None, method="POST", path="/query",
+                  body=None):
+    if body is None:
+        body = json.dumps(payload).encode() if payload is not None else b""
+    head = (
+        "%s %s HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n"
+        "Connection: close\r\n\r\n" % (method, path, len(body))
+    )
+    return await raw_request(port, head.encode() + body)
+
+
+def serve(session, config, interact):
+    """Boot a service, run the async ``interact(service)``, tear down."""
+
+    async def go():
+        async with QueryService(session, config) as service:
+            return await interact(service)
+
+    return asyncio.run(go())
+
+
+@pytest.fixture(scope="module")
+def index():
+    built, _terms = make_random_index(
+        num_lists=3, list_length=300, num_docs=800, block_size=32, seed=42
+    )
+    return built
+
+
+@pytest.fixture(scope="module")
+def engine(index):
+    session = QuerySession(index)
+    session.stats_for(index)
+    return session
+
+
+class StubSession:
+    """A session returning (or raising) a fixed outcome per call."""
+
+    def __init__(self, result=None, error=None):
+        self.result = result if result is not None else TopKResult()
+        self.error = error
+        self.calls = []
+
+    def run(self, terms, k, algorithm=None, weights=None, deadline=None,
+            **extra):
+        self.calls.append(
+            {"terms": terms, "k": k, "algorithm": algorithm,
+             "deadline": deadline, **extra}
+        )
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+class TestQueryPath:
+    def test_exact_query_is_200_and_matches_oracle(self, engine):
+        oracle = engine.run(TERMS, K)
+
+        async def interact(service):
+            return await request(service.port, {"terms": TERMS, "k": K})
+
+        status, _, body = serve(engine, ServiceConfig(), interact)
+        assert status == 200
+        assert not body["degraded"]
+        assert body["degrade_reason"] is None
+        assert body["exhausted_lists"] == []
+        assert [item["doc_id"] for item in body["items"]] == oracle.doc_ids
+        for item, expect in zip(body["items"], oracle.items):
+            assert item["worstscore"] == pytest.approx(expect.worstscore)
+            assert item["bestscore"] == pytest.approx(expect.bestscore)
+        assert body["stats"]["cost"] == pytest.approx(oracle.stats.cost)
+        assert body["service"]["cost_class"] == "light"
+        assert body["service"]["queue_wait_ms"] >= 0.0
+
+    def test_tiny_cost_budget_degrades_to_206(self, engine):
+        async def interact(service):
+            return await request(
+                service.port,
+                {"terms": TERMS, "k": K, "cost_budget": 1},
+            )
+
+        status, _, body = serve(engine, ServiceConfig(), interact)
+        assert status == 206
+        assert body["degraded"]
+        assert body["degrade_reason"] == DEGRADE_DEADLINE
+        assert len(body["items"]) <= K
+        for item in body["items"]:
+            assert item["worstscore"] <= item["bestscore"] + 1e-9
+
+    def test_sharded_session_reports_shard_fields(self, index, engine):
+        sharded = ShardedSession(index, num_shards=2)
+        oracle = engine.run(TERMS, K)
+
+        async def interact(service):
+            bounded = await request(service.port, {"terms": TERMS, "k": K})
+            gather = await request(
+                service.port, {"terms": TERMS, "k": K, "mode": "gather"}
+            )
+            return bounded, gather
+
+        bounded, gather = serve(sharded, ServiceConfig(), interact)
+        for status, _, body in (bounded, gather):
+            assert status == 200
+            assert [i["doc_id"] for i in body["items"]] == oracle.doc_ids
+            assert body["exhausted_shards"] == []
+            assert body["unfinished_shards"] == []
+            assert "pruned_shards" in body
+            assert "coordinator_rounds" in body
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "payload,code",
+        [
+            (None, "invalid_json"),
+            ([1, 2], "invalid_json"),
+            ({}, "invalid_query"),
+            ({"terms": []}, "invalid_query"),
+            ({"terms": "day:01"}, "invalid_query"),
+            ({"terms": [1, 2]}, "invalid_query"),
+            ({"terms": ["a"] * 99}, "invalid_query"),
+            ({"terms": TERMS, "k": 0}, "invalid_query"),
+            ({"terms": TERMS, "k": True}, "invalid_query"),
+            ({"terms": TERMS, "k": 2.5}, "invalid_query"),
+            ({"terms": TERMS, "k": 10**6}, "invalid_query"),
+            ({"terms": TERMS, "weights": "heavy"}, "invalid_query"),
+            ({"terms": TERMS, "deadline_ms": -5}, "invalid_query"),
+            ({"terms": TERMS, "cost_budget": 0}, "invalid_query"),
+            ({"terms": TERMS, "algorithm": 7}, "invalid_query"),
+            ({"terms": TERMS, "mode": "gather"}, "invalid_query"),
+        ],
+    )
+    def test_typed_400s(self, engine, payload, code):
+        async def interact(service):
+            return await request(service.port, payload)
+
+        status, _, body = serve(engine, ServiceConfig(), interact)
+        assert status == 400
+        assert body["error"]["code"] == code
+
+    def test_not_json_body_is_400(self, engine):
+        async def interact(service):
+            return await request(service.port, body=b"{not json")
+
+        status, _, body = serve(engine, ServiceConfig(), interact)
+        assert status == 400
+        assert body["error"]["code"] == "invalid_json"
+
+    def test_unknown_algorithm_maps_to_400(self, engine):
+        async def interact(service):
+            return await request(
+                service.port, {"terms": TERMS, "algorithm": "NOPE"}
+            )
+
+        status, _, body = serve(engine, ServiceConfig(), interact)
+        assert status == 400
+        assert body["error"]["code"] == "invalid_query"
+
+    def test_invalid_mode_on_sharded_session_is_400(self, index):
+        sharded = ShardedSession(index, num_shards=2)
+
+        async def interact(service):
+            return await request(
+                service.port, {"terms": TERMS, "mode": "sideways"}
+            )
+
+        status, _, body = serve(sharded, ServiceConfig(), interact)
+        assert status == 400
+
+    def test_unknown_path_is_404_and_wrong_method_is_405(self, engine):
+        async def interact(service):
+            missing = await request(service.port, path="/nope", method="GET")
+            method = await request(service.port, path="/query", method="GET")
+            return missing, method
+
+        missing, method = serve(engine, ServiceConfig(), interact)
+        assert missing[0] == 404
+        assert method[0] == 405
+
+    def test_oversized_body_is_413(self, engine):
+        async def interact(service):
+            return await request(
+                service.port, {"terms": ["x" * 500] * 10}
+            )
+
+        config = ServiceConfig(max_body_bytes=128)
+        status, _, body = serve(engine, config, interact)
+        assert status == 413
+        assert body["error"]["code"] == "bad_request"
+
+    def test_garbage_bytes_are_400(self, engine):
+        async def interact(service):
+            return await raw_request(service.port, b"NOT HTTP AT ALL\r\n\r\n")
+
+        status, _, body = serve(engine, ServiceConfig(), interact)
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+
+
+class TestAdmissionAndShedding:
+    def test_queue_full_answers_429_with_retry_after(self):
+        release = threading.Event()
+
+        class BlockingSession:
+            def run(self, terms, k, **kwargs):
+                release.wait(timeout=30)
+                return TopKResult()
+
+        config = ServiceConfig(
+            max_concurrency=1, max_queue=1,
+            backlog_budget_ms=60_000.0, shed=NO_SHED,
+        )
+
+        async def interact(service):
+            payload = {"terms": TERMS, "k": K}
+            first = asyncio.ensure_future(request(service.port, payload))
+            while service.admission.in_flight < 1:
+                await asyncio.sleep(0.005)
+            second = asyncio.ensure_future(request(service.port, payload))
+            while service.admission.waiting < 1:
+                await asyncio.sleep(0.005)
+            rejected = await request(service.port, payload)
+            release.set()
+            return await first, await second, rejected
+
+        first, second, rejected = serve(BlockingSession(), config, interact)
+        assert first[0] == 200 and second[0] == 200
+        status, headers, body = rejected
+        assert status == 429
+        assert body["error"]["code"] == "overloaded"
+        assert body["error"]["details"]["reason"] == "queue_full"
+        assert float(headers["retry-after"]) > 0
+
+    def test_degrade_level_tightens_budgets_and_marks_shed(self):
+        stub = StubSession(
+            result=TopKResult(
+                items=[RankedItem(1, 0.4, 0.9)],
+                degraded=True,
+                degrade_reason=DEGRADE_DEADLINE,
+            )
+        )
+        config = ServiceConfig(
+            default_deadline_ms=1000.0,
+            default_cost_budget=1000.0,
+            shed=ShedConfig(tighten_factor=0.3),
+        )
+
+        async def interact(service):
+            service.admission.pressure = lambda: 0.6  # between watermarks
+            return await request(service.port, {"terms": TERMS, "k": K})
+
+        status, _, body = serve(stub, config, interact)
+        assert status == 206
+        assert body["shed"] is True
+        # The deadline that fired was the tightened shed budget, so the
+        # reason is renamed from "deadline" to "shed" for the client.
+        assert body["degrade_reason"] == "shed"
+        deadline = stub.calls[0]["deadline"]
+        assert deadline.cost_budget == pytest.approx(300.0)
+        assert deadline.wall_clock_seconds == pytest.approx(0.3)
+
+    def test_client_budget_is_capped_by_service_default(self):
+        stub = StubSession()
+        config = ServiceConfig(
+            default_deadline_ms=100.0, default_cost_budget=500.0
+        )
+
+        async def interact(service):
+            return await request(
+                service.port,
+                {"terms": TERMS, "k": K,
+                 "deadline_ms": 10_000, "cost_budget": 10_000},
+            )
+
+        status, _, _ = serve(stub, config, interact)
+        assert status == 200
+        deadline = stub.calls[0]["deadline"]
+        assert deadline.cost_budget == pytest.approx(500.0)
+        assert deadline.wall_clock_seconds == pytest.approx(0.1)
+
+    def test_reject_level_sheds_with_429(self):
+        stub = StubSession()
+
+        async def interact(service):
+            service.admission.pressure = lambda: 2.0
+            return await request(service.port, {"terms": TERMS, "k": K})
+
+        status, headers, body = serve(stub, ServiceConfig(), interact)
+        assert status == 429
+        assert body["error"]["details"]["reason"] == "shed_reject"
+        assert "retry-after" in headers
+        assert stub.calls == []  # rejected before touching the engine
+
+
+class TestErrorMapping:
+    def test_sharded_execution_error_is_503(self):
+        failure = ShardFailure(
+            shard_id=1, round_no=2, error=RuntimeError("boom")
+        )
+        stub = StubSession(error=ShardedExecutionError([failure]))
+
+        async def interact(service):
+            return await request(service.port, {"terms": TERMS, "k": K})
+
+        status, _, body = serve(stub, ServiceConfig(), interact)
+        assert status == 503
+        assert body["error"]["code"] == "shards_failed"
+        assert "shard 1" in body["error"]["details"]["failures"][0]
+
+    def test_unexpected_exception_is_500_without_traceback(self):
+        stub = StubSession(error=RuntimeError("kaput"))
+
+        async def interact(service):
+            return await request(service.port, {"terms": TERMS, "k": K})
+
+        status, _, body = serve(stub, ServiceConfig(), interact)
+        assert status == 500
+        assert body["error"]["code"] == "internal"
+        assert "Traceback" not in json.dumps(body)
+
+
+class TestIntrospection:
+    def test_healthz_and_metrics(self, engine):
+        async def interact(service):
+            await request(service.port, {"terms": TERMS, "k": K})
+            health = await request(service.port, path="/healthz",
+                                   method="GET")
+            metrics = await request(service.port, path="/metrics",
+                                    method="GET")
+            return health, metrics
+
+        health, metrics = serve(engine, ServiceConfig(), interact)
+        assert health[0] == 200
+        assert health[2]["status"] == "ok"
+        assert health[2]["level"] == "normal"
+        assert "pressure" in health[2]
+        assert metrics[0] == 200
+        snap = metrics[2]
+        assert snap["service"]["requests"] >= 2
+        # the query plus the /healthz hit before this one
+        assert snap["service"]["responses_by_status"].get("200") == 2
+        assert snap["service"]["completed_exact"] == 1
+        assert snap["admission"]["completed"] == 1
+        assert snap["shedding"]["level"] == "normal"
