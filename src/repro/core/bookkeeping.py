@@ -81,26 +81,106 @@ EPSILON = 1e-9
 _BOUND_SLACK = 1e-9
 
 #: Module default for new pools: incremental (True) or reference (False).
-#: Flipped temporarily by :func:`reference_pools`; engine code constructs
-#: pools without an explicit flag and inherits this default.
+#: Flipped temporarily by :func:`reference_pools`; code that constructs
+#: a :class:`CandidatePool` without an explicit flag inherits this default.
 _DEFAULT_INCREMENTAL = True
+
+#: The three bookkeeping implementations the engine can run on.
+#: ``columnar`` is the struct-of-arrays hot path
+#: (:class:`repro.core.columnar.ColumnarPool`), ``incremental`` the
+#: lazy-heap object pool, ``reference`` the full-recompute scalar oracle.
+#: All three are access-identical — same float bits, same accesses, same
+#: traces — which the differential and property suites enforce.
+BOOKKEEPING_MODES = ("columnar", "incremental", "reference")
+
+#: Environment variable overriding the default bookkeeping mode (one of
+#: :data:`BOOKKEEPING_MODES`).  Explicit arguments and the
+#: :func:`bookkeeping_mode` context still take precedence.
+BOOKKEEPING_MODE_ENV = "REPRO_BOOKKEEPING_MODE"
+
+#: Default engine mode when neither an argument, a context override, nor
+#: the environment selects one.
+_DEFAULT_MODE = "columnar"
+
+#: Context override installed by :func:`bookkeeping_mode` (and
+#: :func:`reference_pools`); None when no context is active.
+_MODE_OVERRIDE: Optional[str] = None
+
+
+def _validate_mode(mode: str) -> str:
+    if mode not in BOOKKEEPING_MODES:
+        raise ValueError(
+            "unknown bookkeeping mode %r; valid: %s"
+            % (mode, ", ".join(BOOKKEEPING_MODES))
+        )
+    return mode
+
+
+def resolve_bookkeeping_mode(mode: Optional[str] = None) -> str:
+    """Resolve the active bookkeeping mode.
+
+    Priority: explicit ``mode`` argument > :func:`bookkeeping_mode`
+    context override > the :data:`BOOKKEEPING_MODE_ENV` environment
+    variable > the library default (``columnar``).
+    """
+    import os
+
+    if mode is not None:
+        return _validate_mode(mode)
+    if _MODE_OVERRIDE is not None:
+        return _MODE_OVERRIDE
+    env = os.environ.get(BOOKKEEPING_MODE_ENV)
+    if env:
+        return _validate_mode(env)
+    return _DEFAULT_MODE
+
+
+def make_pool(num_lists: int, k: int, mode: Optional[str] = None):
+    """Construct a candidate pool for the resolved bookkeeping mode.
+
+    The engine's single pool construction point: returns a
+    :class:`~repro.core.columnar.ColumnarPool` for ``columnar`` and a
+    :class:`CandidatePool` otherwise.  All three satisfy one contract
+    (see the *view contract* note on :class:`CandidatePool`).
+    """
+    resolved = resolve_bookkeeping_mode(mode)
+    if resolved == "columnar":
+        from .columnar import ColumnarPool
+
+        return ColumnarPool(num_lists, k)
+    return CandidatePool(num_lists, k, incremental=resolved == "incremental")
 
 
 @contextlib.contextmanager
-def reference_pools() -> Iterator[None]:
-    """Run the enclosed block with full-recompute (reference) bookkeeping.
+def bookkeeping_mode(mode: str) -> Iterator[None]:
+    """Run the enclosed block with the given bookkeeping mode as default.
 
-    Every :class:`CandidatePool` constructed inside the ``with`` block
-    uses the pre-incremental O(n log n) recompute path.  Used by the
-    differential test harness and the smoke benchmark's speedup probe.
+    Affects every pool constructed through :func:`make_pool` (and hence
+    every engine/session built inside the block without an explicit
+    ``bookkeeping`` option).  For ``reference`` it also flips the
+    :class:`CandidatePool` constructor default to the full-recompute
+    path, preserving the historical :func:`reference_pools` behaviour.
     """
-    global _DEFAULT_INCREMENTAL
-    previous = _DEFAULT_INCREMENTAL
-    _DEFAULT_INCREMENTAL = False
+    global _DEFAULT_INCREMENTAL, _MODE_OVERRIDE
+    _validate_mode(mode)
+    previous = (_DEFAULT_INCREMENTAL, _MODE_OVERRIDE)
+    _DEFAULT_INCREMENTAL = mode != "reference"
+    _MODE_OVERRIDE = mode
     try:
         yield
     finally:
-        _DEFAULT_INCREMENTAL = previous
+        _DEFAULT_INCREMENTAL, _MODE_OVERRIDE = previous
+
+
+def reference_pools():
+    """Run the enclosed block with full-recompute (reference) bookkeeping.
+
+    Every :class:`CandidatePool` constructed inside the ``with`` block
+    uses the pre-incremental O(n log n) recompute path, and every
+    :func:`make_pool` call returns a reference pool.  Used by the
+    differential test harness and the smoke benchmark's speedup probe.
+    """
+    return bookkeeping_mode("reference")
 
 
 class Candidate:
@@ -130,6 +210,15 @@ class CandidatePool:
     :meth:`resolve_dimension`, :meth:`drop`, :meth:`revive`) so the
     incremental structures stay consistent; ``candidates`` itself is a
     read-only view by convention.
+
+    **View contract** (shared with
+    :class:`repro.core.columnar.ColumnarPool`; pinned by the property
+    suite): :meth:`queue`, :meth:`unresolved` and :meth:`topk_candidates`
+    return *cached read-only lists* — repeat calls between mutations
+    return the same object, and any mutation invalidates them;
+    :meth:`topk_worstscores` returns a *freshly allocated*
+    ``np.ndarray`` each call (callers may sort it in place);
+    ``candidates`` is an insertion-ordered read-only mapping.
     """
 
     def __init__(
@@ -176,6 +265,11 @@ class CandidatePool:
     def incremental(self) -> bool:
         """Whether this pool runs the incremental maintenance path."""
         return self._incremental
+
+    @property
+    def mode(self) -> str:
+        """Bookkeeping-mode label surfaced in traces and metrics."""
+        return "incremental" if self._incremental else "reference"
 
     @property
     def epoch(self) -> int:
@@ -717,11 +811,42 @@ class CandidatePool:
         return self._topk_cache
 
     def topk_worstscores(self) -> np.ndarray:
-        """Worstscores of the current top-k items (unordered)."""
+        """Worstscores of the current top-k items (unordered, fresh array)."""
         return np.array(
             [self.candidates[d].worstscore for d in self.topk_ids],
             dtype=np.float64,
         )
+
+    def mask_count_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(masks, counts)`` arrays over all alive candidates.
+
+        Array form of :attr:`mask_counts` for vectorized consumers (the
+        KSR scheduler); masks come back in ascending order.
+        """
+        if not self.mask_counts:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+        masks = np.fromiter(
+            self.mask_counts.keys(), dtype=np.int64, count=len(self.mask_counts)
+        )
+        counts = np.fromiter(
+            self.mask_counts.values(),
+            dtype=np.int64,
+            count=len(self.mask_counts),
+        )
+        order = np.argsort(masks)
+        return masks[order], counts[order]
+
+    def max_queue_bestscore(self) -> float:
+        """Largest bestscore over the queue; ``-inf`` for an empty queue."""
+        best = float("-inf")
+        for cand in self.queue():
+            score = self.bestscore(cand)
+            if score > best:
+                best = score
+        return best
 
     @property
     def is_terminated(self) -> bool:

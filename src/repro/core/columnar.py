@@ -1,0 +1,855 @@
+"""Struct-of-arrays candidate bookkeeping (the columnar hot path).
+
+:class:`ColumnarPool` keeps the per-document state of
+:mod:`repro.core.bookkeeping` in contiguous numpy columns instead of a
+dict of per-document ``Candidate`` objects:
+
+====================  ======================================================
+column                meaning
+====================  ======================================================
+``doc``   (int64)     document id occupying the slot
+``worst`` (float64)   ``worstscore(d)`` — sum of the known dimension scores
+``seen``  (int64)     evaluated-dimension bitmask ``E(d)``
+``dim_scores``        per-dimension partial scores (``capacity x m``)
+``alive`` (bool)      slot holds a live candidate
+``in_topk`` (bool)    slot is in the current top-k
+``seq``   (int64)     insertion counter (dict-order tie line)
+``slot_epoch``        bumped when the slot is freed (recycling guard)
+====================  ======================================================
+
+Freed slots are recycled through a free list; ``slot_epoch`` and the
+never-reused ``seq`` counter let the lazily maintained object layer (see
+below) tell a recycled slot from the allocation it journalled.  A
+direct-address ``doc -> slot`` table makes the batch merge of
+:meth:`absorb_postings` a handful of fancy-indexing operations with no
+per-posting Python loop.
+
+Float-bit parity
+----------------
+
+The pool is *access-identical* to the scalar reference implementation:
+same float bits in every bound, hence the same accesses, prunes, and
+traces for every algorithm triple.  This holds because every vectorized
+step either
+
+* performs the *same scalar float operations* elementwise — absorbing a
+  batch does ``worst[slots] += scores`` (one IEEE-754 add per posting,
+  exactly the reference's ``cand.worstscore += score``), bestscore is the
+  single add ``worst + miss_sum`` on both paths, and the missing-high
+  table is filled by adding ``high_i`` in ascending ``i`` — the exact
+  addition order of the reference's ``sum(...)``; or
+* is *comparison-only* (top-k selection, pruning masks, termination
+  reductions), where any evaluation order yields identical results.
+
+Object views
+------------
+
+Policies consume the pool through object views (``queue()``,
+``unresolved()``, ``candidates``).  The pool keeps an insertion-ordered
+dict of ``Candidate`` objects that is synchronized *lazily*: bulk
+mutations only append a compact journal (new slots / updated slots /
+dropped doc ids) and the first view access replays it — or rebuilds from
+the columns when the journal grew past the pool size.  Replay recreates
+the reference dict order exactly because insertion order is fully
+determined by the ``seq`` counter, and a journalled "new" entry whose
+slot was recycled in the meantime (``seq`` mismatch) is provably a
+dropped document, so skipping it is exact.  Algorithms that never read
+object views (NRA) therefore never pay any per-document Python cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .bookkeeping import EPSILON, Candidate
+from .selection import topk_indices
+
+#: Maximum number of query dimensions for which the missing-high sums are
+#: materialized as a dense mask-indexed table (``2**m`` floats).
+_MAX_TABLE_BITS = 16
+
+#: Journal ops (relative to pool size) beyond which a full rebuild of the
+#: object layer is cheaper than replaying the journal.
+_JOURNAL_REBUILD_FACTOR = 2
+
+
+class ColumnarPool:
+    """Struct-of-arrays implementation of the ``CandidatePool`` contract.
+
+    Behaviourally identical to
+    :class:`repro.core.bookkeeping.CandidatePool` (both modes) for every
+    operation and view — the differential and property suites pin this —
+    while the round-loop hot path (absorb / recompute / termination)
+    runs as numpy array operations.
+
+    The **view contract** (shared with ``CandidatePool``): ``queue()``,
+    ``unresolved()`` and ``topk_candidates()`` return *cached read-only
+    lists* — repeat calls between mutations return the same object;
+    ``topk_worstscores()`` returns a *freshly allocated* ``np.ndarray``
+    each call (safe for callers to sort in place); ``candidates`` is an
+    insertion-ordered read-only mapping.
+    """
+
+    def __init__(self, num_lists: int, k: int) -> None:
+        if not 1 <= num_lists <= 60:
+            raise ValueError("num_lists must be between 1 and 60")
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.num_lists = num_lists
+        self.k = k
+        self.full_mask = (1 << num_lists) - 1
+        self.min_k = 0.0
+        self.topk_ids: set = set()
+        self.peak_size = 0
+        self._miss_sums: Dict[int, float] = {0: 0.0}
+        self._highs: Tuple[float, ...] = tuple([float("inf")] * num_lists)
+        self._highs_frozen = False
+        self._epoch = 0
+        self._version = 0
+
+        # -- columns ----------------------------------------------------
+        cap = 1024
+        self._doc = np.full(cap, -1, dtype=np.int64)
+        self._worst = np.zeros(cap, dtype=np.float64)
+        self._seen = np.zeros(cap, dtype=np.int64)
+        self._dim_scores = np.zeros((cap, num_lists), dtype=np.float64)
+        self._alive = np.zeros(cap, dtype=bool)
+        self._in_topk = np.zeros(cap, dtype=bool)
+        self._seq = np.zeros(cap, dtype=np.int64)
+        self._slot_epoch = np.zeros(cap, dtype=np.int64)
+        self._size = 0  # high-water slot count
+        self._alive_count = 0
+        self._next_seq = 0
+        self._free: List[int] = []
+        # direct-address doc -> slot table (-1 = absent)
+        self._lookup = np.full(1024, -1, dtype=np.int64)
+
+        # -- top-k scratch (kept across rounds) -------------------------
+        self._topk_slots = np.empty(0, dtype=np.int64)
+        self._topk_dirty = True
+        # Slots whose worstscore changed (or that were created) since the
+        # last recompute: the only rows that can newly beat the top-k
+        # boundary, because worstscores never decrease.
+        self._touched: List[np.ndarray] = []
+        # Queue membership maintained incrementally between recomputes:
+        # survivors of the last prune plus slots created since.  ``None``
+        # means it must be rebuilt from the alive mask (after a
+        # reselection or an out-of-band drop).
+        self._queue_arr: Optional[np.ndarray] = None
+        self._queue_new: List[np.ndarray] = []
+
+        # -- missing-high table (per epoch) -----------------------------
+        self._miss_table: Optional[np.ndarray] = None
+        self._miss_table_epoch = -1
+
+        # -- lazily synchronized object layer ---------------------------
+        self._objs: Dict[int, Candidate] = {}
+        self._objs_version = 0
+        self._journal: List[tuple] = []
+        self._journal_ops = 0
+
+        # -- caches ------------------------------------------------------
+        self._alive_cache: Optional[np.ndarray] = None
+        self._alive_cache_version = -1
+        self._queue_cache: Optional[list] = None
+        self._queue_cache_version = -1
+        self._unresolved_cache: Optional[list] = None
+        self._unresolved_cache_version = -1
+        self._topk_cache: Optional[list] = None
+        self._topk_cache_version = -1
+        self._mask_counts_cache: Optional[Dict[int, int]] = None
+        self._mask_counts_version = -1
+        self._mask_arrays_cache = None
+        self._mask_arrays_version = -1
+        self._term_memo = False
+        self._term_memo_version = -1
+        # Post-prune queue bestscores, valid while the version matches:
+        # recompute's prune pass already evaluated every queue row against
+        # ``min-k``, so termination and the shard bound tap can reuse it.
+        self._term_queue_bs: Optional[np.ndarray] = None
+        self._term_queue_version = -1
+
+    # ------------------------------------------------------------------
+    # Identity / geometry
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> str:
+        """Bookkeeping-mode label surfaced in traces and metrics."""
+        return "columnar"
+
+    @property
+    def epoch(self) -> int:
+        """Bumped whenever :meth:`set_highs` actually moves the bounds."""
+        return self._epoch
+
+    def __len__(self) -> int:
+        return self._alive_count
+
+    # ------------------------------------------------------------------
+    # Capacity management
+    # ------------------------------------------------------------------
+    def _grow_columns(self, needed: int) -> None:
+        cap = self._doc.size
+        new_cap = max(cap * 2, cap + needed)
+        grown = np.full(new_cap, -1, dtype=np.int64)
+        grown[:cap] = self._doc
+        self._doc = grown
+        for name in ("_worst", "_seen", "_seq", "_slot_epoch"):
+            col = getattr(self, name)
+            grown = np.zeros(new_cap, dtype=col.dtype)
+            grown[:cap] = col
+            setattr(self, name, grown)
+        for name in ("_alive", "_in_topk"):
+            col = getattr(self, name)
+            grown = np.zeros(new_cap, dtype=bool)
+            grown[:cap] = col
+            setattr(self, name, grown)
+        grown2 = np.zeros((new_cap, self.num_lists), dtype=np.float64)
+        grown2[:cap] = self._dim_scores
+        self._dim_scores = grown2
+
+    def _grow_lookup(self, max_doc: int) -> None:
+        size = self._lookup.size
+        new_size = max(size * 2, max_doc + 1)
+        grown = np.full(new_size, -1, dtype=np.int64)
+        grown[:size] = self._lookup
+        self._lookup = grown
+
+    def _allocate_slots(self, count: int) -> np.ndarray:
+        """Pop ``count`` slots (recycled first, then fresh capacity)."""
+        free = self._free
+        take = min(count, len(free))
+        if take:
+            recycled = np.asarray(free[-take:], dtype=np.int64)
+            del free[-take:]
+            # Recycling while the object journal is pending is exactly
+            # what the seq stamps on "new" entries guard against.
+        else:
+            recycled = np.empty(0, dtype=np.int64)
+        fresh_count = count - take
+        if fresh_count:
+            if self._size + fresh_count > self._doc.size:
+                self._grow_columns(fresh_count)
+            fresh = np.arange(
+                self._size, self._size + fresh_count, dtype=np.int64
+            )
+            self._size += fresh_count
+            slots = np.concatenate([recycled, fresh]) if take else fresh
+        else:
+            slots = recycled
+        return slots
+
+    def _free_slots(self, slots: np.ndarray) -> None:
+        """Return slots to the free list; bumps their recycling epoch."""
+        self._alive[slots] = False
+        self._in_topk[slots] = False
+        self._slot_epoch[slots] += 1
+        self._lookup[self._doc[slots]] = -1
+        self._free.extend(slots.tolist())
+        self._alive_count -= int(slots.size)
+
+    def _alive_slots(self) -> np.ndarray:
+        if self._alive_cache_version != self._version:
+            self._alive_cache = np.flatnonzero(self._alive[: self._size])
+            self._alive_cache_version = self._version
+        return self._alive_cache
+
+    # ------------------------------------------------------------------
+    # Updates from index accesses
+    # ------------------------------------------------------------------
+    def absorb_postings(
+        self, dim: int, doc_ids: Sequence[int], scores: Sequence[float]
+    ) -> List[int]:
+        """Merge one list's batch of postings; returns newly seen doc ids.
+
+        The whole decoded block lands in the columns through a few fancy
+        indexing operations: one ``|=`` for the seen bits and one ``+=``
+        for the worstscores — elementwise the same IEEE-754 operations
+        the scalar reference performs per posting, in any order (each
+        batch touches each document at most once after dedup).
+        """
+        bit = 1 << dim
+        docs = np.asarray(doc_ids, dtype=np.int64)
+        svals = np.asarray(scores, dtype=np.float64)
+        was_synced = self._objs_version == self._version and not self._journal
+        if docs.size == 0:
+            self.peak_size = max(self.peak_size, self._alive_count)
+            self._version += 1
+            if was_synced:
+                self._objs_version = self._version
+            return []
+        if docs.min() < 0:
+            raise ValueError("doc ids must be non-negative")
+        # Keep only the first occurrence of each document: the reference
+        # loop sets the bit at the first occurrence and skips the rest.
+        uniq, first = np.unique(docs, return_index=True)
+        if uniq.size != docs.size:
+            keep = np.sort(first)
+            docs = docs[keep]
+            svals = svals[keep]
+        max_doc = int(docs.max())
+        if max_doc >= self._lookup.size:
+            self._grow_lookup(max_doc)
+        slots = self._lookup[docs]
+        present = slots >= 0
+        new_docs: List[int] = []
+        if present.any():
+            pslots = slots[present]
+            update = (self._seen[pslots] & bit) == 0
+            uslots = pslots[update]
+            if uslots.size:
+                uscores = svals[present][update]
+                self._seen[uslots] |= bit
+                self._worst[uslots] += uscores
+                self._dim_scores[uslots, dim] = uscores
+                self._touched.append(uslots)
+                self._journal.append(("upd", uslots))
+                self._journal_ops += int(uslots.size)
+        fresh = ~present
+        n_new = int(fresh.sum())
+        if n_new:
+            ndocs = docs[fresh]
+            nscores = svals[fresh]
+            nslots = self._allocate_slots(n_new)
+            self._doc[nslots] = ndocs
+            self._worst[nslots] = nscores
+            self._seen[nslots] = bit
+            self._dim_scores[nslots] = 0.0
+            self._dim_scores[nslots, dim] = nscores
+            self._alive[nslots] = True
+            self._in_topk[nslots] = False
+            seqs = np.arange(
+                self._next_seq, self._next_seq + n_new, dtype=np.int64
+            )
+            self._next_seq += n_new
+            self._seq[nslots] = seqs
+            self._lookup[ndocs] = nslots
+            self._alive_count += n_new
+            self._touched.append(nslots)
+            self._queue_new.append(nslots)
+            self._journal.append(("new", nslots, seqs))
+            self._journal_ops += n_new
+            new_docs = ndocs.tolist()
+        self.peak_size = max(self.peak_size, self._alive_count)
+        self._version += 1
+        if was_synced and not self._journal:
+            # Every posting was already resolved: nothing to journal, the
+            # object layer still mirrors the columns.
+            self._objs_version = self._version
+        return new_docs
+
+    def resolve_dimension(self, doc_id: int, dim: int, score: float):
+        """Record a random-access lookup result for one dimension."""
+        bit = 1 << dim
+        self._ensure_synced()
+        doc_id = int(doc_id)
+        slot = self._slot_for(doc_id)
+        if slot < 0:
+            cand = self._create_candidate(doc_id)
+            slot = self._lookup[doc_id]
+        else:
+            cand = self._objs[doc_id]
+        if not cand.seen_mask & bit:
+            score = float(score)
+            cand.seen_mask |= bit
+            cand.worstscore += score
+            self._seen[slot] |= bit
+            self._worst[slot] += score
+            self._dim_scores[slot, dim] = score
+            self._touched.append(np.asarray([slot], dtype=np.int64))
+            self._version += 1
+            self._objs_version = self._version
+        return cand
+
+    def revive(self, doc_id: int):
+        """Get-or-create a candidate (used by TA to resolve pruned docs)."""
+        self._ensure_synced()
+        doc_id = int(doc_id)
+        slot = self._slot_for(doc_id)
+        if slot >= 0:
+            return self._objs[doc_id]
+        cand = self._create_candidate(doc_id)
+        self._version += 1
+        self._objs_version = self._version
+        return cand
+
+    def drop(self, doc_id: int):
+        """Remove a candidate (pruning by a policy); returns it, if alive."""
+        self._ensure_synced()
+        doc_id = int(doc_id)
+        slot = self._slot_for(doc_id)
+        if slot < 0:
+            return None
+        cand = self._objs.pop(doc_id)
+        self._free_slots(np.asarray([slot], dtype=np.int64))
+        self._queue_arr = None
+        self._queue_new.clear()
+        if doc_id in self.topk_ids:
+            # Drop the freed slot from the top-k scratch and force a full
+            # reselection at the next recompute.
+            self.topk_ids.discard(doc_id)
+            self._topk_slots = self._topk_slots[self._topk_slots != slot]
+            self._topk_dirty = True
+        self._version += 1
+        self._objs_version = self._version
+        return cand
+
+    def _slot_for(self, doc_id: int) -> int:
+        if 0 <= doc_id < self._lookup.size:
+            return int(self._lookup[doc_id])
+        if doc_id < 0:
+            raise ValueError("doc ids must be non-negative")
+        return -1
+
+    def _create_candidate(self, doc_id: int) -> Candidate:
+        """Allocate a zero-state candidate in the columns and the dict."""
+        if doc_id >= self._lookup.size:
+            self._grow_lookup(doc_id)
+        slot = int(self._allocate_slots(1)[0])
+        self._doc[slot] = doc_id
+        self._worst[slot] = 0.0
+        self._seen[slot] = 0
+        self._dim_scores[slot] = 0.0
+        self._alive[slot] = True
+        self._in_topk[slot] = False
+        self._seq[slot] = self._next_seq
+        self._next_seq += 1
+        self._lookup[doc_id] = slot
+        self._alive_count += 1
+        # Even a zero-worstscore row can beat a 0.0 boundary on doc-id
+        # tie-break, so creations count as touched.
+        slot_arr = np.asarray([slot], dtype=np.int64)
+        self._touched.append(slot_arr)
+        self._queue_new.append(slot_arr)
+        cand = Candidate(doc_id)
+        self._objs[doc_id] = cand
+        return cand
+
+    # ------------------------------------------------------------------
+    # Derived bounds
+    # ------------------------------------------------------------------
+    def set_highs(self, highs: Sequence[float]) -> None:
+        """Install the current ``high_i`` vector and reset the mask cache."""
+        new = tuple(float(h) for h in highs)
+        if self._highs_frozen and new == self._highs:
+            return
+        self._highs = new
+        self._highs_frozen = True
+        self._miss_sums = {self.full_mask: 0.0}
+        self._epoch += 1
+        self._version += 1
+        if self._objs_version == self._version - 1 and not self._journal:
+            self._objs_version = self._version
+
+    def missing_high_sum(self, seen_mask: int) -> float:
+        """Sum of ``high_i`` over the dimensions *not* in ``seen_mask``."""
+        cached = self._miss_sums.get(seen_mask)
+        if cached is None:
+            cached = sum(
+                self._highs[i]
+                for i in range(self.num_lists)
+                if not seen_mask >> i & 1
+            )
+            self._miss_sums[seen_mask] = cached
+        return cached
+
+    def bestscore(self, cand) -> float:
+        """Upper bound for the candidate's final aggregated score."""
+        return cand.worstscore + self.missing_high_sum(cand.seen_mask)
+
+    @property
+    def unseen_bestscore(self) -> float:
+        """Upper bound for any document never encountered: sum of highs."""
+        return self.missing_high_sum(0)
+
+    def missing_dims(self, cand) -> List[int]:
+        """Unevaluated dimensions ``E(d)`` of the candidate."""
+        return [
+            i for i in range(self.num_lists) if not cand.seen_mask >> i & 1
+        ]
+
+    def _miss_sums_table(self) -> np.ndarray:
+        """Dense ``mask -> missing-high sum`` table for the current epoch.
+
+        Filled by adding ``high_i`` in ascending dimension order — the
+        exact float addition sequence of the scalar ``sum(...)`` — then
+        overlaid with any entries already pinned in the scalar cache
+        (which carries the pre-``set_highs`` convention that the empty
+        mask sums to 0.0 even while the highs are still infinite).
+        """
+        if self._miss_table_epoch == self._epoch:
+            return self._miss_table
+        m = self.num_lists
+        if m <= 4:
+            # Tiny mask space: the scalar cache fills it faster than the
+            # vectorized build (and with the identical ascending-``i``
+            # float additions).
+            table = np.asarray(
+                [self.missing_high_sum(mask) for mask in range(1 << m)],
+                dtype=np.float64,
+            )
+        else:
+            table = np.zeros(1 << m, dtype=np.float64)
+            mask_idx = np.arange(1 << m, dtype=np.int64)
+            for i in range(m):
+                missing = (mask_idx >> i) & 1 == 0
+                table[missing] += self._highs[i]
+            for mask, value in self._miss_sums.items():
+                table[mask] = value
+        self._miss_table = table
+        self._miss_table_epoch = self._epoch
+        return table
+
+    def _row_miss(self, masks: np.ndarray) -> np.ndarray:
+        """Missing-high sums for an array of seen masks (bit-exact)."""
+        if self.num_lists <= _MAX_TABLE_BITS:
+            return self._miss_sums_table()[masks]
+        uniq, inverse = np.unique(masks, return_inverse=True)
+        vals = np.asarray(
+            [self.missing_high_sum(int(mask)) for mask in uniq],
+            dtype=np.float64,
+        )
+        return vals[inverse]
+
+    # ------------------------------------------------------------------
+    # Threshold maintenance and pruning
+    # ------------------------------------------------------------------
+    def recompute(self) -> None:
+        """Refresh the top-k / min-k split and prune dead candidates.
+
+        The top-k selection runs as a vectorized fast path: the previous
+        round's top-k slots are kept in scratch, and a full reselection
+        happens only when some queue candidate actually beats the current
+        boundary under the strict ``(worstscore, -doc_id)`` order (a
+        comparison-only check, hence exact).  Pruning is one boolean-mask
+        compaction over ``worstscore + missing-high`` per queue row.
+        """
+        self._version += 1
+        was_synced = (
+            self._objs_version == self._version - 1 and not self._journal
+        )
+        if self._alive_count == 0:
+            self.topk_ids = set()
+            self._topk_slots = np.empty(0, dtype=np.int64)
+            self.min_k = 0.0
+            self._topk_dirty = True
+            self._touched.clear()
+            self._queue_arr = None
+            self._queue_new.clear()
+            if was_synced:
+                self._objs_version = self._version
+            return
+        n = self._alive_count
+        want = min(self.k, n)
+        tslots = self._topk_slots
+        reselect = self._topk_dirty or int(tslots.size) != want
+        if not reselect:
+            tw = self._worst[tslots]
+            # Boundary member: min (worstscore, -doc) of the kept top-k.
+            wmin = tw.min()
+            if self._touched:
+                # Only rows touched since the last recompute can newly
+                # beat the boundary: worstscores never decrease, so every
+                # untouched queue row that lost the (worstscore, -doc)
+                # comparison last time loses it again (the boundary can
+                # only have strengthened since).
+                at_min = tw == wmin
+                bdoc = self._doc[tslots][at_min].max()
+                touched = (
+                    np.concatenate(self._touched)
+                    if len(self._touched) > 1
+                    else self._touched[0]
+                )
+                outside = touched[~self._in_topk[touched]]
+                if outside.size:
+                    ow = self._worst[outside]
+                    od = self._doc[outside]
+                    beats = (ow > wmin) | ((ow == wmin) & (od < bdoc))
+                    if bool(np.any(beats)):
+                        reselect = True
+            if not reselect:
+                self.min_k = float(wmin) if n >= self.k else 0.0
+        if reselect:
+            alive = self._alive_slots()
+            sel = topk_indices(self._worst[alive], self._doc[alive], self.k)
+            new_tslots = alive[sel]
+            self._in_topk[tslots] = False
+            self._in_topk[new_tslots] = True
+            self._topk_slots = new_tslots
+            # Fresh set, inserted in descending (worstscore, -doc) order —
+            # the reference rebuilds its set the same way each recompute.
+            self.topk_ids = set(self._doc[new_tslots].tolist())
+            self.min_k = (
+                float(self._worst[new_tslots[-1]]) if n >= self.k else 0.0
+            )
+            self._topk_dirty = False
+            self._queue_arr = None
+        self._touched.clear()
+        if self._queue_arr is not None:
+            if self._queue_new:
+                queue_slots = np.concatenate(
+                    [self._queue_arr] + self._queue_new
+                )
+            else:
+                queue_slots = self._queue_arr
+        else:
+            alive = self._alive_slots()
+            queue_slots = alive[~self._in_topk[alive]]
+        self._queue_new.clear()
+        if self.min_k > 0.0:
+            threshold = self.min_k + EPSILON
+            if queue_slots.size:
+                bs = self._worst[queue_slots] + self._row_miss(
+                    self._seen[queue_slots]
+                )
+                keep = bs > threshold
+                dead = queue_slots[~keep]
+                if dead.size:
+                    dead_docs = self._doc[dead].tolist()
+                    self._free_slots(dead)
+                    if was_synced:
+                        objs = self._objs
+                        for doc in dead_docs:
+                            del objs[doc]
+                    else:
+                        self._journal.append(("del", dead_docs))
+                        self._journal_ops += len(dead_docs)
+                    self._alive_cache = None
+                    self._alive_cache_version = -1
+                    bs = bs[keep]
+                    queue_slots = queue_slots[keep]
+            else:
+                bs = np.empty(0, dtype=np.float64)
+            # Every surviving queue row was just compared against the
+            # exact termination threshold: cache the result for the
+            # same-version `is_terminated` / `max_queue_bestscore` calls.
+            self._term_queue_bs = bs
+            self._term_queue_version = self._version
+        self._queue_arr = queue_slots
+        if was_synced:
+            self._objs_version = self._version
+
+    # ------------------------------------------------------------------
+    # Termination
+    # ------------------------------------------------------------------
+    @property
+    def is_terminated(self) -> bool:
+        """Paper Sec. 2.3 stop rule, evaluated as array reductions.
+
+        Same semantics as the reference scan: with fewer than k scored
+        documents, done only once nothing unseen can score at all;
+        otherwise no unseen document and no queue candidate may be able
+        to beat ``min-k``.  Memoized against the pool version.
+        """
+        if self._term_memo_version == self._version:
+            return self._term_memo
+        result = self._is_terminated_now()
+        self._term_memo = result
+        self._term_memo_version = self._version
+        return result
+
+    def _is_terminated_now(self) -> bool:
+        if self._alive_count < self.k:
+            return self.unseen_bestscore <= EPSILON
+        threshold = self.min_k + EPSILON
+        if self.unseen_bestscore > threshold:
+            return False
+        if self._term_queue_version == self._version:
+            # The prune pass already compared every queue row against this
+            # exact threshold and kept only the winners.
+            return self._term_queue_bs.size == 0
+        alive = self._alive_slots()
+        queue_slots = alive[~self._in_topk[alive]]
+        if not queue_slots.size:
+            return True
+        bs = self._worst[queue_slots] + self._row_miss(self._seen[queue_slots])
+        return not bool(np.any(bs > threshold))
+
+    # ------------------------------------------------------------------
+    # Aggregate views (no object sync needed)
+    # ------------------------------------------------------------------
+    @property
+    def mask_counts(self) -> Dict[int, int]:
+        """Exact count of alive candidates per ``seen_mask`` (derived)."""
+        if self._mask_counts_version != self._version:
+            masks, counts = self.mask_count_arrays()
+            self._mask_counts_cache = dict(
+                zip(masks.tolist(), counts.tolist())
+            )
+            self._mask_counts_version = self._version
+        return self._mask_counts_cache
+
+    def mask_count_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(masks, counts)`` arrays over all alive candidates."""
+        if self._mask_arrays_version != self._version:
+            alive = self._alive_slots()
+            masks, counts = np.unique(self._seen[alive], return_counts=True)
+            self._mask_arrays_cache = (masks, counts.astype(np.int64))
+            self._mask_arrays_version = self._version
+        return self._mask_arrays_cache
+
+    def queue_size(self) -> int:
+        """Number of candidates outside the current top-k."""
+        return self._alive_count - len(self.topk_ids)
+
+    def topk_worstscores(self) -> np.ndarray:
+        """Worstscores of the current top-k items (unordered, fresh array)."""
+        return self._worst[self._topk_slots] + 0.0
+
+    def max_queue_bestscore(self) -> float:
+        """Largest bestscore over the queue; ``-inf`` for an empty queue.
+
+        Used by the shard bound tap — a max reduction over the same
+        per-row single adds the scalar loop performs, hence exact.
+        """
+        if self._term_queue_version == self._version:
+            bs = self._term_queue_bs
+            if not bs.size:
+                return float("-inf")
+            return float(bs.max())
+        alive = self._alive_slots()
+        queue_slots = alive[~self._in_topk[alive]]
+        if not queue_slots.size:
+            return float("-inf")
+        bs = self._worst[queue_slots] + self._row_miss(self._seen[queue_slots])
+        return float(bs.max())
+
+    def partial_scores(self, doc_id: int) -> Optional[np.ndarray]:
+        """Per-dimension known scores of one candidate (fresh array)."""
+        slot = self._slot_for(int(doc_id))
+        if slot < 0:
+            return None
+        return self._dim_scores[slot].copy()
+
+    # ------------------------------------------------------------------
+    # Object views (lazily synchronized)
+    # ------------------------------------------------------------------
+    @property
+    def candidates(self):
+        """Insertion-ordered ``doc_id -> Candidate`` mapping (read-only)."""
+        self._ensure_synced()
+        return self._objs
+
+    def queue(self) -> list:
+        """Candidates outside the current top-k (the paper's queue ``Q``).
+
+        Cached until the next pool mutation — treat as read-only.
+        """
+        if self._queue_cache_version != self._version:
+            topk_ids = self.topk_ids
+            self._queue_cache = [
+                cand
+                for doc_id, cand in self.candidates.items()
+                if doc_id not in topk_ids
+            ]
+            self._queue_cache_version = self._version
+        return self._queue_cache
+
+    def unresolved(self) -> list:
+        """All candidates (queue and top-k) with at least one missing dim.
+
+        Cached like :meth:`queue`; treat the returned list as read-only.
+        """
+        if self._unresolved_cache_version != self._version:
+            full = self.full_mask
+            self._unresolved_cache = [
+                cand
+                for cand in self.candidates.values()
+                if cand.seen_mask != full
+            ]
+            self._unresolved_cache_version = self._version
+        return self._unresolved_cache
+
+    def topk_candidates(self) -> list:
+        """The current top-k candidates in descending worstscore order.
+
+        Cached like :meth:`queue`; treat the returned list as read-only.
+        """
+        if self._topk_cache_version != self._version:
+            candidates = self.candidates
+            top = [candidates[d] for d in self.topk_ids]
+            top.sort(key=lambda c: (-c.worstscore, c.doc_id))
+            self._topk_cache = top
+            self._topk_cache_version = self._version
+        return self._topk_cache
+
+    # -- synchronization machinery -------------------------------------
+    def _ensure_synced(self) -> None:
+        if self._objs_version == self._version and not self._journal:
+            return
+        journal = self._journal
+        if journal and self._journal_ops <= max(
+            1024, _JOURNAL_REBUILD_FACTOR * self._alive_count
+        ):
+            self._replay_journal(journal)
+        else:
+            self._rebuild_objects()
+        self._journal = []
+        self._journal_ops = 0
+        self._objs_version = self._version
+
+    def _replay_journal(self, journal: List[tuple]) -> None:
+        """Apply the mutation journal to the object dict, in order.
+
+        * ``new`` entries append in batch order; an entry whose slot was
+          recycled since (``seq`` mismatch) belongs to a document that
+          was dropped again before this sync — its ``del`` entry makes
+          skipping it exact.
+        * ``upd`` entries copy the *current* column values onto whichever
+          journalled document still lives in the dict, so stale
+          intermediate values can never surface.
+        * ``del`` entries pop; popping keeps dict order for the rest.
+        """
+        from .bookkeeping import Candidate
+
+        objs = self._objs
+        doc_col = self._doc
+        worst_col = self._worst
+        seen_col = self._seen
+        seq_col = self._seq
+        alive_col = self._alive
+        for entry in journal:
+            kind = entry[0]
+            if kind == "new":
+                slots, seqs = entry[1], entry[2]
+                valid = seq_col[slots] == seqs
+                if not valid.all():
+                    slots = slots[valid]
+                for slot in slots.tolist():
+                    if not alive_col[slot]:
+                        continue
+                    doc = int(doc_col[slot])
+                    objs[doc] = Candidate(
+                        doc, float(worst_col[slot]), int(seen_col[slot])
+                    )
+            elif kind == "upd":
+                for slot in entry[1].tolist():
+                    cand = objs.get(int(doc_col[slot]))
+                    if cand is not None:
+                        cand.worstscore = float(worst_col[slot])
+                        cand.seen_mask = int(seen_col[slot])
+            else:  # "del"
+                for doc in entry[1]:
+                    objs.pop(doc, None)
+
+    def _rebuild_objects(self) -> None:
+        """Rebuild the object dict from the columns in ``seq`` order."""
+        alive = self._alive_slots()
+        order = np.argsort(self._seq[alive], kind="stable")
+        slots = alive[order]
+        old = self._objs
+        objs: Dict[int, Candidate] = {}
+        docs = self._doc[slots].tolist()
+        worsts = self._worst[slots].tolist()
+        seens = self._seen[slots].tolist()
+        for doc, worst, seen in zip(docs, worsts, seens):
+            cand = old.get(doc)
+            if cand is None:
+                cand = Candidate(doc, worst, seen)
+            else:
+                cand.worstscore = worst
+                cand.seen_mask = seen
+            objs[doc] = cand
+        self._objs = objs

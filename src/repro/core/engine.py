@@ -35,7 +35,7 @@ from ..storage.accessors import (
 )
 from ..storage.block_index import InvertedBlockIndex
 from ..storage.diskmodel import AccessMeter, CostModel
-from .bookkeeping import EPSILON, Candidate, CandidatePool
+from .bookkeeping import EPSILON, Candidate, make_pool, resolve_bookkeeping_mode
 
 
 class DegradedExecution(Exception):
@@ -78,6 +78,7 @@ class QueryState:
         predictor_cls: type = ScorePredictor,
         retry_policy: Optional[RetryPolicy] = None,
         listeners: Sequence = (),
+        bookkeeping: Optional[str] = None,
     ) -> None:
         if not terms:
             raise ValueError("a query needs at least one term")
@@ -123,7 +124,12 @@ class QueryState:
             stats.histogram(t).scaled(w)
             for t, w in zip(self.terms, self.weights)
         ]
-        self.pool = CandidatePool(self.num_lists, self.k)
+        #: bookkeeping mode resolved at query construction (explicit
+        #: option > context override > environment > default), so a
+        #: session built outside a ``bookkeeping_mode`` context still
+        #: honours the context active when the query runs
+        self.bookkeeping = resolve_bookkeeping_mode(bookkeeping)
+        self.pool = make_pool(self.num_lists, self.k, self.bookkeeping)
         self.round_no = 0
         self.last_allocation: List[int] = [0] * self.num_lists
         self.last_new_docs: List[int] = []

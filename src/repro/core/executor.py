@@ -191,6 +191,7 @@ class QueryExecutor:
         predictor_cls: type = ScorePredictor,
         retry_policy: Optional[RetryPolicy] = None,
         listeners: Sequence[ExecutionListener] = (),
+        bookkeeping: Optional[str] = None,
     ) -> None:
         self.index = index
         self.stats = stats if stats is not None else StatsCatalog(index)
@@ -203,6 +204,9 @@ class QueryExecutor:
         self.retry_policy = retry_policy
         #: listeners attached to every execution on this executor
         self.listeners: Tuple[ExecutionListener, ...] = tuple(listeners)
+        #: bookkeeping mode (columnar | incremental | reference); None
+        #: defers to the context override / environment / library default
+        self.bookkeeping = bookkeeping
 
     # ------------------------------------------------------------------
     # Entry point
@@ -247,6 +251,7 @@ class QueryExecutor:
             predictor_cls=self.predictor_cls,
             retry_policy=self.retry_policy,
             listeners=all_listeners,
+            bookkeeping=self.bookkeeping,
         )
         if state.retry is not None and plan.deadline is not None:
             # Deadline-aware retries: once the query's budget is spent,
@@ -386,6 +391,7 @@ class QueryExecutor:
             queue_size=state.pool.queue_size(),
             sorted_accesses=state.meter.sorted_accesses,
             random_accesses=state.meter.random_accesses,
+            bookkeeping=state.pool.mode,
         )
 
     @staticmethod

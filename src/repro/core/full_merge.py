@@ -17,6 +17,7 @@ import numpy as np
 from ..storage.block_index import InvertedBlockIndex
 from ..storage.diskmodel import AccessMeter, CostModel
 from .results import QueryStats, RankedItem, TopKResult
+from .selection import topk_indices
 
 
 def full_merge(
@@ -72,11 +73,10 @@ def full_merge(
             meter, rounds=1, wall_time_seconds=elapsed
         )
         return TopKResult(items=[], stats=stats, algorithm="FullMerge")
-    # Partial sort for the top-k, then an exact ordering of those k items
-    # (score descending, doc id ascending on ties).
-    top_idx = np.argpartition(-totals, take - 1)[:take]
-    order = np.lexsort((unique_docs[top_idx], -totals[top_idx]))
-    top_idx = top_idx[order]
+    # Partial selection for the top-k with the engine's exact tie-break
+    # (score descending, doc id ascending on ties) applied already at the
+    # selection boundary, not just within the selected set.
+    top_idx = topk_indices(totals, unique_docs, take)
 
     items = [
         RankedItem(

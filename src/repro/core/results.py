@@ -108,6 +108,11 @@ class RoundTrace:
     queue_size: int                      # candidates outside the top-k
     sorted_accesses: int                 # cumulative #SA
     random_accesses: int                 # cumulative #RA
+    #: bookkeeping mode that produced the round (columnar | incremental |
+    #: reference); informational only — deliberately absent from
+    #: ``__str__`` so trace strings stay mode-independent (cross-mode
+    #: trace parity is part of the access-identity contract).
+    bookkeeping: str = ""
 
     def __str__(self) -> str:
         return (

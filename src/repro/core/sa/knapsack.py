@@ -15,6 +15,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 
 def allocate_budget(
     gains: Sequence[Sequence[float]], budget: int
@@ -173,12 +175,12 @@ def delta_table(
     high = cursor.high
     position = cursor.position
     anchor = hist.score_at_rank(position) if high > 0 else 0.0
-    table = [0.0]
-    previous = 0.0
-    for x in range(1, max_blocks + 1):
-        depth = position + x * state.block_size
-        estimated = hist.score_at_rank(depth)
-        drop = min(max(anchor - estimated, previous), high)
-        table.append(drop)
-        previous = drop
-    return table
+    depths = position + np.arange(1, max_blocks + 1, dtype=np.int64) * state.block_size
+    estimated = hist.scores_at_ranks(depths)
+    # Clamp to [0, high] and force non-decreasing via a running maximum;
+    # comparisons only, so the table is bit-identical to the scalar loop
+    # ``drop = min(max(anchor - est, previous), high)``.
+    drops = np.minimum(
+        np.maximum.accumulate(np.maximum(anchor - estimated, 0.0)), high
+    )
+    return [0.0] + drops.tolist()

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import List
 
+import numpy as np
+
 from ..engine import QueryState, SAPolicy
 from .knapsack import MemoizedAllocator, delta_table, prefer_round_robin
 from .round_robin import RoundRobin
@@ -52,17 +54,16 @@ class KnapsackScoreReduction(SAPolicy):
 def _unseen_candidate_counts(state: QueryState) -> List[int]:
     """``w_i``: candidates not yet evaluated in list ``i``.
 
-    Answered from the pool's maintained per-mask counts — integer sums
-    over at most ``2^m`` distinct masks instead of a scan over every
-    candidate.  Exactly the same integers as the per-candidate loop.
+    Answered from the pool's mask/count columns: one boolean matrix of
+    missing bits times the per-mask counts — integer sums over at most
+    ``2^m`` distinct masks instead of a scan over every candidate.
+    Exactly the same integers as the per-candidate loop.
     """
-    counts = [0] * state.num_lists
-    full_mask = state.pool.full_mask
-    for mask, count in state.pool.mask_counts.items():
-        missing = full_mask & ~mask
-        if not missing:
-            continue
-        for dim in range(state.num_lists):
-            if missing >> dim & 1:
-                counts[dim] += count
-    return counts
+    masks, counts = state.pool.mask_count_arrays()
+    if masks.size == 0:
+        return [0] * state.num_lists
+    missing = state.pool.full_mask & ~masks
+    dims = np.arange(state.num_lists, dtype=np.int64)
+    missing_bits = (missing[:, None] >> dims[None, :]) & 1
+    totals = (missing_bits * counts[:, None]).sum(axis=0)
+    return [int(total) for total in totals]

@@ -1,0 +1,44 @@
+"""Exact vectorized top-k selection shared by the columnar hot paths.
+
+Selecting the k largest ``(value, -doc_id)`` pairs uses *comparisons
+only* — no float arithmetic — so a partition-based numpy selection is
+bit-for-bit identical to sorting (or to ``heapq.nlargest``) over the
+same keys.  Both :class:`repro.core.columnar.ColumnarPool` and the
+FullMerge baseline route their final selection through this helper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def topk_indices(values: np.ndarray, doc_ids: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest ``(value, -doc_id)`` keys, descending.
+
+    Equivalent to ``np.lexsort((doc_ids, -values))[:k]`` but avoids the
+    full sort: a partition finds the rank-k value, strictly greater rows
+    are all taken, and ties at the boundary are resolved by smallest doc
+    id (the paper's ``<score, itemID>`` tie-break).  Returns positions
+    into ``values``/``doc_ids`` ordered by descending ``(value, -doc_id)``.
+    """
+    n = int(values.size)
+    if k >= n:
+        order = np.lexsort((doc_ids, -values))
+        return order
+    if k <= 0:
+        return np.empty(0, dtype=np.intp)
+    # Value of the rank-k item (k-th largest).
+    kth = np.partition(values, n - k)[n - k]
+    greater = np.flatnonzero(values > kth)
+    need = k - int(greater.size)
+    if need > 0:
+        ties = np.flatnonzero(values == kth)
+        if need < int(ties.size):
+            tie_docs = doc_ids[ties]
+            pick = np.argpartition(tie_docs, need - 1)[:need]
+            ties = ties[pick]
+        idx = np.concatenate([greater, ties])
+    else:  # pragma: no cover - partition guarantees need >= 1 here
+        idx = greater
+    order = np.lexsort((doc_ids[idx], -values[idx]))
+    return idx[order]

@@ -91,6 +91,7 @@ class QuerySession:
         retry_policy: Optional[RetryPolicy] = None,
         listeners: Sequence[ExecutionListener] = (),
         max_cached_indexes: Optional[int] = None,
+        bookkeeping: Optional[str] = None,
     ) -> None:
         from ..stats.normal_predictor import NormalScorePredictor
         from ..stats.score_predictor import ScorePredictor
@@ -115,6 +116,10 @@ class QuerySession:
         self.predictor_cls = predictor_classes[predictor]
         self.retry_policy = retry_policy
         self.listeners = tuple(listeners)
+        #: bookkeeping mode for every query this session runs (one of
+        #: repro.core.bookkeeping.BOOKKEEPING_MODES); None defers to the
+        #: context override / environment / library default at query time
+        self.bookkeeping = bookkeeping
         self.default_index = index
         self.max_cached_indexes = max_cached_indexes
         self._entries: "OrderedDict[int, _IndexEntry]" = OrderedDict()
@@ -202,6 +207,7 @@ class QuerySession:
                     predictor_cls=self.predictor_cls,
                     retry_policy=self.retry_policy,
                     listeners=self.listeners,
+                    bookkeeping=self.bookkeeping,
                 )
                 self.executor_builds += 1
             return entry.executor

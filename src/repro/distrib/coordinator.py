@@ -49,6 +49,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..core.executor import QueryDeadline
 from ..core.planner import QueryPlan
 from ..core.results import (
@@ -330,14 +332,25 @@ class MergeCoordinator:
     @staticmethod
     def _global_min_k(tracks: Dict[int, _ShardTrack], k: int) -> float:
         """The certified global threshold: k-th largest worstscore over
-        every shard's current candidates (0 while fewer than k exist)."""
-        worstscores: List[float] = []
-        for track in tracks.values():
-            worstscores.extend(item.worstscore for item in track.items)
-        if len(worstscores) < k:
+        every shard's current candidates (0 while fewer than k exist).
+
+        Selection by :func:`numpy.partition` — an exact order statistic
+        (comparisons only), identical to sorting and indexing."""
+        worstscores = np.fromiter(
+            (
+                item.worstscore
+                for track in tracks.values()
+                for item in track.items
+            ),
+            dtype=np.float64,
+        )
+        if worstscores.size < k:
             return 0.0
-        worstscores.sort(reverse=True)
-        return worstscores[k - 1]
+        return float(
+            np.partition(worstscores, worstscores.size - k)[
+                worstscores.size - k
+            ]
+        )
 
     # ------------------------------------------------------------------
     # Merge + resolution

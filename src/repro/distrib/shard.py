@@ -50,12 +50,14 @@ MAX_WORKERS = 16
 class BoundTapListener(ExecutionListener):
     """Captures the shard-side inputs of the coordinator's bound algebra.
 
-    At termination the listener walks the candidate pool once and records
-    the **remaining bound**: ``max(unseen_bestscore, bestscore of every
-    queued candidate)`` — an upper bound on the score of any document the
-    shard did *not* return among its top-k items.  Document partitioning
-    makes shard-local scores global, so the coordinator can compare this
-    bound directly against the global ``min-k`` threshold.
+    At termination the listener records the **remaining bound**:
+    ``max(unseen_bestscore, bestscore of every queued candidate)`` — an
+    upper bound on the score of any document the shard did *not* return
+    among its top-k items.  The queue maximum comes straight from the
+    pool's vectorized reduction (``max_queue_bestscore``), not from a
+    per-candidate walk.  Document partitioning makes shard-local scores
+    global, so the coordinator can compare this bound directly against
+    the global ``min-k`` threshold.
 
     Also records the termination reason and the engine round count, which
     feed shard accounting and the coordinator's round bookkeeping.
@@ -78,10 +80,9 @@ class BoundTapListener(ExecutionListener):
         self.reason = reason
         pool = state.pool
         bound = pool.unseen_bestscore
-        for cand in pool.queue():
-            bestscore = pool.bestscore(cand)
-            if bestscore > bound:
-                bound = bestscore
+        queue_bound = pool.max_queue_bestscore()
+        if queue_bound > bound:
+            bound = queue_bound
         self.remaining_bound = bound
 
 

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Dict, Optional, Tuple
 
+from ..core.bookkeeping import resolve_bookkeeping_mode
 from ..core.executor import QueryDeadline
 from ..core.results import DEGRADE_DEADLINE, DEGRADE_SHED, TopKResult
 from ..core.session import DEFAULT_ALGORITHM
@@ -549,5 +550,10 @@ class QueryService:
             "shedding": {
                 "level": self.shedder.level,
                 "transitions": dict(self.shedder.transitions),
+            },
+            "engine": {
+                "bookkeeping_mode": resolve_bookkeeping_mode(
+                    getattr(self.session, "bookkeeping", None)
+                ),
             },
         }

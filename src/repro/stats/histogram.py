@@ -116,6 +116,37 @@ class ScoreHistogram:
         fraction = (rank - before) / count if count else 0.0
         return max(self.bucket_upper(bucket) - fraction * self.width, 0.0)
 
+    def scores_at_ranks(self, ranks: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`score_at_rank` over an array of ranks.
+
+        Returns exactly the floats the scalar method would produce for
+        each rank (same float64 operations in the same order per
+        element), so callers may use either interchangeably without
+        perturbing downstream estimate-driven decisions.
+        """
+        ranks = np.asarray(ranks, dtype=np.float64)
+        if ranks.size and float(ranks.min()) < 0:
+            raise ValueError("rank must be non-negative")
+        out = np.zeros(ranks.shape, dtype=np.float64)
+        valid = ranks < self.total
+        if not np.any(valid):
+            return out
+        within = ranks[valid]
+        buckets = np.searchsorted(self.cum_counts, within, side="right")
+        before = np.where(
+            buckets > 0, self.cum_counts[np.maximum(buckets - 1, 0)], 0.0
+        )
+        counts = self.counts[buckets]
+        fraction = np.divide(
+            within - before,
+            counts,
+            out=np.zeros_like(within),
+            where=counts != 0,
+        )
+        uppers = self.upper - buckets * self.width
+        out[valid] = np.maximum(uppers - fraction * self.width, 0.0)
+        return out
+
     def rank_at_score(self, score: float) -> float:
         """Estimated number of entries with score strictly above ``score``."""
         if score >= self.upper:

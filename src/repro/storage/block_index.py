@@ -85,18 +85,35 @@ class IndexList:
 
         # Blocked layout: same rank partition, but doc-id order inside each
         # block.  Because the rank order is globally score-descending, every
-        # score in block j dominates every score in block j+1.
+        # score in block j dominates every score in block j+1.  All full
+        # blocks are sorted in one batched 2-d argsort; only the partial
+        # tail block (if any) needs its own pass.  Doc ids are unique, so
+        # the sort is deterministic regardless of algorithm.
         self._block_doc_ids = self._doc_ids_by_rank.copy()
         self._block_scores = self._scores_by_rank.copy()
-        for start in range(0, len(self), self.block_size):
-            stop = min(start + self.block_size, len(self))
-            inner = np.argsort(self._block_doc_ids[start:stop], kind="stable")
-            self._block_doc_ids[start:stop] = self._block_doc_ids[start:stop][inner]
-            self._block_scores[start:stop] = self._block_scores[start:stop][inner]
+        n = len(self)
+        full = (n // self.block_size) * self.block_size
+        if full:
+            shape = (-1, self.block_size)
+            inner = np.argsort(self._block_doc_ids[:full].reshape(shape), axis=1)
+            self._block_doc_ids[:full] = np.take_along_axis(
+                self._block_doc_ids[:full].reshape(shape), inner, axis=1
+            ).reshape(-1)
+            self._block_scores[:full] = np.take_along_axis(
+                self._block_scores[:full].reshape(shape), inner, axis=1
+            ).reshape(-1)
+        if full < n:
+            inner = np.argsort(self._block_doc_ids[full:])
+            self._block_doc_ids[full:] = self._block_doc_ids[full:][inner]
+            self._block_scores[full:] = self._block_scores[full:][inner]
 
-        self._score_by_doc: Dict[int, float] = dict(
-            zip(self._doc_ids_by_rank.tolist(), self._scores_by_rank.tolist())
-        )
+        # Random-access lookup as parallel sorted columns (binary search)
+        # instead of a per-list Python dict: no boxing of every posting at
+        # build time, and the columns share the lifetime/layout story of
+        # the rest of the index.
+        order = np.argsort(self._doc_ids_by_rank)
+        self._lookup_doc_ids = self._doc_ids_by_rank[order]
+        self._lookup_scores = self._scores_by_rank[order]
         self._block_crcs: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
@@ -188,10 +205,14 @@ class IndexList:
     # ------------------------------------------------------------------
     def lookup(self, doc_id: int) -> Optional[float]:
         """Score of ``doc_id`` in this list, or None if absent."""
-        return self._score_by_doc.get(int(doc_id))
+        doc = int(doc_id)
+        pos = int(np.searchsorted(self._lookup_doc_ids, doc))
+        if pos < self._lookup_doc_ids.size and int(self._lookup_doc_ids[pos]) == doc:
+            return float(self._lookup_scores[pos])
+        return None
 
     def __contains__(self, doc_id: int) -> bool:
-        return int(doc_id) in self._score_by_doc
+        return self.lookup(doc_id) is not None
 
     def rank_of(self, doc_id: int) -> Optional[int]:
         """0-based rank of ``doc_id`` in descending-score order.

@@ -1,0 +1,119 @@
+"""The bookkeeping-mode selector: precedence, plumbing, and surfacing.
+
+The engine option (``QuerySession(bookkeeping=...)``), the
+:func:`bookkeeping_mode` context, and the ``REPRO_BOOKKEEPING_MODE``
+environment variable must resolve in documented priority order; the
+resolved mode must be visible in ``RoundTrace.bookkeeping`` (without
+leaking into the mode-independent trace strings) and in the query
+service's ``/metrics`` body.
+"""
+
+import pytest
+
+from repro.core.bookkeeping import (
+    BOOKKEEPING_MODE_ENV,
+    BOOKKEEPING_MODES,
+    CandidatePool,
+    bookkeeping_mode,
+    make_pool,
+    reference_pools,
+    resolve_bookkeeping_mode,
+)
+from repro.core.columnar import ColumnarPool
+from repro.core.session import QuerySession
+from repro.serve.service import QueryService, ServiceConfig
+
+from tests.helpers import make_random_index
+
+
+class TestResolution:
+    def test_default_is_columnar(self, monkeypatch):
+        monkeypatch.delenv(BOOKKEEPING_MODE_ENV, raising=False)
+        assert resolve_bookkeeping_mode() == "columnar"
+
+    def test_explicit_argument_wins_over_everything(self, monkeypatch):
+        monkeypatch.setenv(BOOKKEEPING_MODE_ENV, "reference")
+        with bookkeeping_mode("incremental"):
+            assert resolve_bookkeeping_mode("columnar") == "columnar"
+
+    def test_context_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(BOOKKEEPING_MODE_ENV, "reference")
+        with bookkeeping_mode("incremental"):
+            assert resolve_bookkeeping_mode() == "incremental"
+        assert resolve_bookkeeping_mode() == "reference"
+
+    def test_env_wins_over_default(self, monkeypatch):
+        monkeypatch.setenv(BOOKKEEPING_MODE_ENV, "incremental")
+        assert resolve_bookkeeping_mode() == "incremental"
+
+    def test_unknown_modes_are_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="unknown bookkeeping mode"):
+            resolve_bookkeeping_mode("heap-of-heaps")
+        monkeypatch.setenv(BOOKKEEPING_MODE_ENV, "heap-of-heaps")
+        with pytest.raises(ValueError, match="unknown bookkeeping mode"):
+            resolve_bookkeeping_mode()
+        with pytest.raises(ValueError):
+            with bookkeeping_mode("heap-of-heaps"):
+                pass  # pragma: no cover - the context must not enter
+
+    def test_make_pool_constructs_every_mode(self):
+        columnar = make_pool(3, 5, "columnar")
+        incremental = make_pool(3, 5, "incremental")
+        reference = make_pool(3, 5, "reference")
+        assert isinstance(columnar, ColumnarPool)
+        assert isinstance(incremental, CandidatePool)
+        assert isinstance(reference, CandidatePool)
+        assert [p.mode for p in (columnar, incremental, reference)] == [
+            "columnar", "incremental", "reference",
+        ]
+        assert set(BOOKKEEPING_MODES) == {
+            "columnar", "incremental", "reference",
+        }
+
+    def test_reference_pools_is_the_reference_context(self):
+        with reference_pools():
+            assert resolve_bookkeeping_mode() == "reference"
+            assert make_pool(2, 3).mode == "reference"
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_random_index(seed=42)
+
+
+class TestSurfacing:
+    @pytest.mark.parametrize("mode", BOOKKEEPING_MODES)
+    def test_trace_reports_the_mode(self, corpus, mode):
+        index, terms = corpus
+        session = QuerySession(index, cost_ratio=100.0, bookkeeping=mode)
+        result = session.run(terms, 5, algorithm="RR-Never", trace=True)
+        assert result.trace
+        assert all(r.bookkeeping == mode for r in result.trace)
+        # The mode never leaks into the mode-independent trace strings.
+        assert all(mode not in str(r) for r in result.trace)
+
+    def test_env_override_reaches_the_engine(self, corpus, monkeypatch):
+        monkeypatch.setenv(BOOKKEEPING_MODE_ENV, "incremental")
+        index, terms = corpus
+        session = QuerySession(index, cost_ratio=100.0)
+        result = session.run(terms, 5, algorithm="RR-Never", trace=True)
+        assert all(r.bookkeeping == "incremental" for r in result.trace)
+
+    def test_metrics_expose_the_resolved_mode(self, corpus):
+        index, terms = corpus
+        session = QuerySession(index, cost_ratio=100.0,
+                               bookkeeping="incremental")
+        service = QueryService(session, ServiceConfig())
+        body = service._metrics_body()
+        assert body["engine"]["bookkeeping_mode"] == "incremental"
+
+    def test_metrics_default_mode(self, corpus, monkeypatch):
+        monkeypatch.delenv(BOOKKEEPING_MODE_ENV, raising=False)
+        index, terms = corpus
+        service = QueryService(
+            QuerySession(index, cost_ratio=100.0), ServiceConfig()
+        )
+        assert (
+            service._metrics_body()["engine"]["bookkeeping_mode"]
+            == "columnar"
+        )

@@ -1,9 +1,10 @@
-"""Property-based tests for the incremental candidate bookkeeping.
+"""Property-based tests for the fast candidate bookkeeping modes.
 
 Hypothesis drives random operation scripts (absorb / resolve / drop /
-revive / set_highs / recompute) against two pools at once — the
-incremental one and the full-recompute reference — and requires every
-observable to stay identical step for step.  On top of the differential
+revive / set_highs / recompute) against two pools at once — a fast one
+(the incremental per-object pool or the columnar struct-of-arrays pool)
+and the full-recompute reference — and requires every observable to
+stay identical step for step.  On top of the differential
 oracle, the scripts check the structural invariants the incremental
 machinery relies on:
 
@@ -19,11 +20,15 @@ machinery relies on:
 
 import heapq
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.bookkeeping import CandidatePool
+from repro.core.bookkeeping import CandidatePool, make_pool
 from repro.core.sa.knapsack import MemoizedAllocator, allocate_budget
+
+#: The fast bookkeeping modes checked against the full-recompute oracle.
+FAST_MODES = ("incremental", "columnar")
 
 SCORES = st.floats(
     min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
@@ -145,35 +150,35 @@ def _brute_force_topk_ids(pool):
     return {c.doc_id for c in top}
 
 
+@pytest.mark.parametrize("mode", FAST_MODES)
 @settings(max_examples=150, deadline=None)
 @given(op_sequences())
-def test_incremental_pool_matches_reference(script):
-    """Step-for-step observable equality of the two bookkeeping modes."""
+def test_fast_pool_matches_reference(mode, script):
+    """Step-for-step observable equality with the reference oracle."""
     num_lists, k, ops = script
-    incremental = CandidatePool(num_lists, k, incremental=True)
+    fast = make_pool(num_lists, k, mode)
     reference = CandidatePool(num_lists, k, incremental=False)
     for op in ops:
-        _apply(incremental, op)
+        _apply(fast, op)
         _apply(reference, op)
-        assert _snapshot(incremental) == _snapshot(reference)
-        # Structural invariants, on the incremental pool.
-        for cand in incremental.candidates.values():
-            assert incremental.bestscore(cand) >= cand.worstscore
+        assert _snapshot(fast) == _snapshot(reference)
+        # Structural invariants, on the fast pool.
+        for cand in fast.candidates.values():
+            assert fast.bestscore(cand) >= cand.worstscore
         recount = {}
-        for cand in incremental.candidates.values():
+        for cand in fast.candidates.values():
             recount[cand.seen_mask] = recount.get(cand.seen_mask, 0) + 1
         assert {
-            m: c for m, c in incremental.mask_counts.items() if c
+            m: c for m, c in fast.mask_counts.items() if c
         } == recount
         if op[0] == "recompute":
-            assert incremental.topk_ids == _brute_force_topk_ids(
-                incremental
-            )
+            assert fast.topk_ids == _brute_force_topk_ids(fast)
 
 
+@pytest.mark.parametrize("mode", FAST_MODES)
 @settings(max_examples=150, deadline=None)
 @given(op_sequences(monotone_highs=True))
-def test_terminated_never_flips_back_under_monotone_highs(script):
+def test_terminated_never_flips_back_under_monotone_highs(mode, script):
     """Once terminated, always terminated — the engine's stop contract.
 
     Holds at the points the engine actually checks — after a
@@ -197,7 +202,7 @@ def test_terminated_never_flips_back_under_monotone_highs(script):
     relies on.
     """
     num_lists, k, ops = script
-    pool = CandidatePool(num_lists, k, incremental=True)
+    pool = make_pool(num_lists, k, mode)
     reference = CandidatePool(num_lists, k, incremental=False)
     was_terminated = False
     for op in ops:
@@ -216,12 +221,19 @@ def test_terminated_never_flips_back_under_monotone_highs(script):
         was_terminated = now
 
 
+@pytest.mark.parametrize("mode", FAST_MODES)
 @settings(max_examples=100, deadline=None)
 @given(op_sequences())
-def test_views_are_cached_until_mutation(script):
-    """Repeat view calls return the same object; mutations refresh it."""
+def test_views_are_cached_until_mutation(mode, script):
+    """Repeat view calls return the same object; mutations refresh it.
+
+    The unified view contract (see :class:`CandidatePool`): every mode —
+    object pools and the columnar struct-of-arrays pool alike — returns
+    cached read-only lists from :meth:`queue` / :meth:`unresolved` /
+    :meth:`topk_candidates` that stay identical between mutations.
+    """
     num_lists, k, ops = script
-    pool = CandidatePool(num_lists, k)
+    pool = make_pool(num_lists, k, mode)
     for op in ops:
         _apply(pool, op)
         queue = pool.queue()

@@ -11,17 +11,23 @@ parity suite in ``test_executor_parity.py``:
   NRA performs no random accesses and the most sorted accesses, TA the
   fewest sorted accesses and the most random accesses, CA sits between
   on both axes,
-* the incremental bookkeeping reproduces the reference (full-recompute)
-  engine access-for-access on corpora the golden suite never pinned.
+* the fast bookkeeping modes (columnar struct-of-arrays and incremental
+  per-object) reproduce the reference (full-recompute) engine
+  access-for-access on corpora the golden suite never pinned — on the
+  clean path for all 24 algorithm triples, and through the
+  fault-injection and deadline-expiry paths for the round-loop workload.
 
 Corpora are seeded, so failures reproduce deterministically.
 """
 
 import pytest
 
-from repro.core.algorithms import available_algorithms
-from repro.core.bookkeeping import reference_pools
+from repro.core.algorithms import TopKProcessor, available_algorithms
+from repro.core.bookkeeping import bookkeeping_mode, reference_pools
+from repro.core.executor import QueryDeadline
 from repro.core.session import QuerySession
+from repro.storage.accessors import RetryPolicy
+from repro.storage.faults import FaultInjector, FaultPlan
 from tests.helpers import make_random_index, true_score
 
 #: (seed, distribution) pairs for the randomized corpora.  Distributions
@@ -113,13 +119,16 @@ REFERENCE_CHECK_ALGORITHMS = [
 ]
 
 
+@pytest.mark.parametrize("mode", ["columnar", "incremental"])
 @pytest.mark.parametrize("corpus", CORPORA, ids=lambda c: "%s-%s" % c)
 @pytest.mark.parametrize("algorithm", REFERENCE_CHECK_ALGORITHMS)
-def test_incremental_matches_reference_on_random_corpora(
-    corpus_sessions, corpus, algorithm
+def test_fast_modes_match_reference_on_random_corpora(
+    corpus_sessions, corpus, algorithm, mode
 ):
     session, terms = corpus_sessions[corpus]
-    result = session.run(terms, K, algorithm=algorithm, trace=True)
+    result = QuerySession(
+        session.default_index, cost_ratio=100.0, bookkeeping=mode
+    ).run(terms, K, algorithm=algorithm, trace=True)
     with reference_pools():
         reference = QuerySession(
             session.default_index, cost_ratio=100.0
@@ -137,4 +146,112 @@ def test_incremental_matches_reference_on_random_corpora(
     )
     assert [str(r) for r in result.trace] == [
         str(r) for r in reference.trace
+    ]
+
+
+@pytest.mark.parametrize("corpus", CORPORA, ids=lambda c: "%s-%s" % c)
+@pytest.mark.parametrize("algorithm", sorted(available_algorithms()))
+def test_columnar_trace_parity_all_algorithms(
+    corpus_sessions, corpus, algorithm
+):
+    """Cross-mode trace parity for every registered algorithm triple.
+
+    The columnar pool must reproduce the scalar oracle's per-round trace
+    strings — positions, min-k, unseen bound, queue size, cumulative
+    access counts — on every (SA, RA, ordering) combination, not just
+    the representative per-family policies of the test above.
+    """
+    session, terms = corpus_sessions[corpus]
+    result = QuerySession(
+        session.default_index, cost_ratio=100.0, bookkeeping="columnar"
+    ).run(terms, K, algorithm=algorithm, trace=True)
+    with reference_pools():
+        reference = QuerySession(
+            session.default_index, cost_ratio=100.0
+        ).run(terms, K, algorithm=algorithm, trace=True)
+    assert result.doc_ids == reference.doc_ids
+    assert result.stats.cost == reference.stats.cost
+    assert [str(r) for r in result.trace] == [
+        str(r) for r in reference.trace
+    ]
+
+
+def _chaos_processor(index, plan):
+    injector = FaultInjector(plan)
+    return TopKProcessor(
+        injector.wrap_index(index),
+        cost_ratio=100.0,
+        retry_policy=RetryPolicy(max_attempts=3, query_budget=64),
+    )
+
+
+@pytest.mark.parametrize("mode", ["columnar", "incremental"])
+def test_fast_modes_match_reference_under_faults(corpus_sessions, mode):
+    """Access identity holds through the fault-injection/retry path.
+
+    The resilient per-block read path bypasses the batch fast path, so
+    this pins the columnar pool against the oracle on the exact code
+    route a flaky storage layer takes (seeded plan: identical fault
+    schedules in both runs).
+    """
+    session, terms = corpus_sessions[(1, "uniform")]
+    index = session.default_index
+    plan = FaultPlan.uniform(0.05, seed=42)
+    with bookkeeping_mode(mode):
+        result = _chaos_processor(index, plan).query(
+            terms, K, algorithm="KSR-Last-Ben"
+        )
+    with reference_pools():
+        reference = _chaos_processor(index, plan).query(
+            terms, K, algorithm="KSR-Last-Ben"
+        )
+    assert result.stats.retries == reference.stats.retries
+    assert (
+        result.stats.sorted_accesses,
+        result.stats.random_accesses,
+        result.stats.cost,
+        result.doc_ids,
+    ) == (
+        reference.stats.sorted_accesses,
+        reference.stats.random_accesses,
+        reference.stats.cost,
+        reference.doc_ids,
+    )
+    assert [i.worstscore for i in result.items] == [
+        i.worstscore for i in reference.items
+    ]
+
+
+@pytest.mark.parametrize("mode", ["columnar", "incremental"])
+def test_fast_modes_match_reference_on_deadline_expiry(
+    corpus_sessions, mode
+):
+    """Anytime (deadline-expired) partial results are mode-independent.
+
+    A cost budget that stops the query mid-scan exercises the degraded
+    result-assembly path; the partial top-k, its score intervals, and
+    the degrade flag must not depend on the bookkeeping mode.
+    """
+    session, terms = corpus_sessions[(2, "zipf")]
+    index = session.default_index
+    full = session.run(terms, K, algorithm="RR-Never")
+    budget = full.stats.cost / 3.0
+    with bookkeeping_mode(mode):
+        result = TopKProcessor(index, cost_ratio=100.0).query(
+            terms, K, algorithm="RR-Never",
+            deadline=QueryDeadline(cost_budget=budget),
+        )
+    with reference_pools():
+        reference = TopKProcessor(index, cost_ratio=100.0).query(
+            terms, K, algorithm="RR-Never",
+            deadline=QueryDeadline(cost_budget=budget),
+        )
+    assert result.degraded and reference.degraded
+    assert result.degrade_reason == reference.degrade_reason
+    assert result.doc_ids == reference.doc_ids
+    assert result.stats.cost == reference.stats.cost
+    assert [
+        (i.worstscore, i.bestscore) for i in result.items
+    ] == [
+        (i.worstscore, i.bestscore) for i in reference.items
     ]

@@ -10,7 +10,11 @@ query path and listeners are purely observational.
 import pytest
 
 from repro.core.algorithms import available_algorithms
-from repro.core.bookkeeping import CandidatePool, reference_pools
+from repro.core.bookkeeping import (
+    CandidatePool,
+    make_pool,
+    reference_pools,
+)
 from repro.core.executor import TraceListener
 from repro.core.session import QuerySession
 from tests.helpers import make_random_index
@@ -107,21 +111,27 @@ def test_weighted_access_counts_match_seed_engine(algorithm):
     assert result.doc_ids == doc_ids
 
 
-def test_incremental_bookkeeping_is_the_default():
+def test_columnar_bookkeeping_is_the_default():
+    from repro.core.columnar import ColumnarPool
+
+    assert isinstance(make_pool(3, 10), ColumnarPool)
     assert CandidatePool(3, 10).incremental
     with reference_pools():
         assert not CandidatePool(3, 10).incremental
-    assert CandidatePool(3, 10).incremental
+        assert make_pool(3, 10).mode == "reference"
+    assert isinstance(make_pool(3, 10), ColumnarPool)
 
 
+@pytest.mark.parametrize("mode", ["columnar", "incremental"])
 @pytest.mark.parametrize("algorithm", sorted(GOLDEN_ACCESS))
-def test_incremental_matches_reference_bookkeeping(setup, algorithm):
-    """The incremental pool is access-identical to the full-recompute one.
+def test_bookkeeping_mode_matches_reference(setup, algorithm, mode):
+    """Every fast bookkeeping mode is access-identical to the reference.
 
-    Runs every canonical algorithm twice — once with the pre-incremental
-    reference bookkeeping, once with the default incremental path — and
-    requires byte-identical (#SA, #RA, COST, doc_ids) plus identical
-    per-round trace strings (min-k, queue size, positions...).
+    Runs every canonical algorithm once per fast mode (the columnar
+    struct-of-arrays pool and the incremental per-object pool) against
+    the full-recompute oracle, and requires byte-identical
+    (#SA, #RA, COST, doc_ids) plus identical per-round trace strings
+    (min-k, queue size, positions...).
     """
     session, terms = setup
     index = session.default_index
@@ -129,22 +139,26 @@ def test_incremental_matches_reference_bookkeeping(setup, algorithm):
         ref = QuerySession(index, cost_ratio=100.0).run(
             terms, 10, algorithm=algorithm, trace=True
         )
-    inc = session.run(terms, 10, algorithm=algorithm, trace=True)
+    fast = QuerySession(index, cost_ratio=100.0, bookkeeping=mode).run(
+        terms, 10, algorithm=algorithm, trace=True
+    )
     assert (
-        inc.stats.sorted_accesses,
-        inc.stats.random_accesses,
-        inc.stats.cost,
+        fast.stats.sorted_accesses,
+        fast.stats.random_accesses,
+        fast.stats.cost,
     ) == (
         ref.stats.sorted_accesses,
         ref.stats.random_accesses,
         ref.stats.cost,
     )
-    assert inc.doc_ids == ref.doc_ids
-    assert [i.worstscore for i in inc.items] == [
+    assert fast.doc_ids == ref.doc_ids
+    assert [i.worstscore for i in fast.items] == [
         i.worstscore for i in ref.items
     ]
-    assert inc.stats.peak_queue_size == ref.stats.peak_queue_size
-    assert [str(r) for r in inc.trace] == [str(r) for r in ref.trace]
+    assert fast.stats.peak_queue_size == ref.stats.peak_queue_size
+    assert [str(r) for r in fast.trace] == [str(r) for r in ref.trace]
+    assert all(r.bookkeeping == mode for r in fast.trace)
+    assert all(r.bookkeeping == "reference" for r in ref.trace)
 
 
 def test_trace_matches_seed_engine(setup):
