@@ -29,7 +29,12 @@ Two additions on top of the family battery:
   coordinator at 1/2/4 shards, recording bounded-coordinator vs
   gather-all rounds and failing unless bound-based pruning strictly wins
   at the largest shard count.  The same ``--baseline`` machinery gates
-  the recorded rows.
+  the recorded rows,
+* a **threshold-prediction section** (``--threshold``, written to
+  ``BENCH_pr8.json``) — the sharded coordinator with vs without a
+  plan-time predicted threshold on a shard-skewed corpus, failing unless
+  the prediction strictly reduces COST, coordinator rounds, and
+  cumulative shard rounds while returning a byte-identical answer.
 
 Usage::
 
@@ -38,6 +43,7 @@ Usage::
     python -m repro.bench.smoke --scale 0.5 --k 10 --cost-ratio 100
     python -m repro.bench.smoke --sharded --baseline BENCH_pr5.json
     python -m repro.bench.smoke --columnar --min-columnar-speedup 2.0
+    python -m repro.bench.smoke --threshold --baseline BENCH_pr8.json
 """
 
 from __future__ import annotations
@@ -344,6 +350,158 @@ def run_sharding(
     }
 
 
+#: Geometry of the threshold-prediction corpus.  Scores are keyed to the
+#: hash shard of the document: documents landing on the strong shard draw
+#: from the top half of the score range, everyone else from the bottom
+#: half.  Under hash partitioning the strong shard then provably holds
+#: the whole top-k, the weak shards' histogram upper bounds fall below
+#: the predicted threshold (so they are skipped outright), and the
+#: prediction-sized first budget lets the strong shard terminate without
+#: climbing the escalation ladder.
+THRESHOLD_CORPUS = {
+    "num_docs": 60_000,
+    "list_length": 20_000,
+    "num_lists": 3,
+    "block_size": 256,
+    "seed": 23,
+    "num_shards": 4,
+    "strong_shard": 0,
+}
+
+#: k for the threshold-prediction section (matches the sharding section:
+#: deep enough that the threshold estimate has a real tail to predict).
+THRESHOLD_K = 50
+
+#: First-round per-shard cost budget for the prediction section.  Small
+#: on purpose: the prediction-off coordinator must climb the doubling
+#: ladder, which is exactly the waste the prediction-sized first budget
+#: removes — the gap between the two is the metric.
+THRESHOLD_ROUND_BUDGET = 500.0
+
+
+def _build_threshold_corpus():
+    """Shard-skewed corpus for the threshold-prediction section."""
+    import random
+
+    from ..distrib.partition import hash_shard
+
+    spec = THRESHOLD_CORPUS
+    rng = random.Random(spec["seed"])
+    postings = {}
+    terms = []
+    for i in range(spec["num_lists"]):
+        term = "t%d" % i
+        terms.append(term)
+        docs = rng.sample(range(spec["num_docs"]), spec["list_length"])
+        postings[term] = [
+            (
+                doc,
+                rng.uniform(0.5, 1.0)
+                if hash_shard(doc, spec["num_shards"])
+                == spec["strong_shard"]
+                else rng.uniform(0.0, 0.5),
+            )
+            for doc in docs
+        ]
+    index = build_index(
+        postings, num_docs=spec["num_docs"], block_size=spec["block_size"]
+    )
+    return index, terms
+
+
+def run_threshold(
+    k: int = THRESHOLD_K, cost_ratio: float = 1000.0
+) -> Dict:
+    """The threshold-prediction section: coordinator with and without a
+    plan-time predicted threshold on the shard-skewed stress corpus.
+
+    Records one ``families`` row per mode (``prediction-off`` and
+    ``prediction-on``) with COST, #SA, #RA, coordinator rounds, and
+    cumulative shard rounds — the shapes :func:`compare_to_baseline`
+    gates on.  The benchmark *fails* rather than record a report where
+    the prediction did not strictly reduce COST, coordinator rounds, and
+    shard rounds, or where the prediction-on answer differs in any way
+    (ids or score intervals) from prediction-off and the single-node
+    golden run.
+    """
+    spec = THRESHOLD_CORPUS
+    index, terms = _build_threshold_corpus()
+    golden = QuerySession(index=index, cost_ratio=cost_ratio).run(terms, k)
+
+    rows = {}
+    answers = {}
+    for label, predict in (("prediction-off", False),
+                           ("prediction-on", True)):
+        session = ShardedSession(
+            index=index,
+            num_shards=spec["num_shards"],
+            strategy="hash",
+            cost_ratio=cost_ratio,
+            round_budget=THRESHOLD_ROUND_BUDGET,
+            predict_threshold=predict,
+        )
+        session.warm()
+        started = time.perf_counter()
+        result = session.run(terms, k, mode="bounded")
+        wall_ms = (time.perf_counter() - started) * 1000.0
+        answers[label] = [
+            (item.doc_id, item.worstscore, item.bestscore)
+            for item in result.items
+        ]
+        rows[label] = {
+            "algorithm": result.algorithm,
+            "cost": result.stats.cost,
+            "sorted_accesses": result.stats.sorted_accesses,
+            "random_accesses": result.stats.random_accesses,
+            "rounds": result.coordinator_rounds,
+            "shard_rounds": result.shard_rounds,
+            "skipped_shards": list(result.skipped_shards),
+            "readmitted_shards": list(result.readmitted_shards),
+            "pruned_shards": len(result.pruned_shards),
+            "predicted_threshold": result.predicted_threshold,
+            "prediction_drops": result.stats.prediction_drops,
+            "prediction_fallback": result.stats.prediction_fallback,
+            "wall_ms": round(wall_ms, 3),
+        }
+
+    golden_key = [
+        (item.doc_id, item.worstscore, item.bestscore)
+        for item in golden.items
+    ]
+    for label, answer in answers.items():
+        if answer != golden_key:
+            raise RuntimeError(
+                "%s top-k diverged from the single-node golden run"
+                % label
+            )
+    off, on = rows["prediction-off"], rows["prediction-on"]
+    if on["cost"] >= off["cost"]:
+        raise RuntimeError(
+            "prediction did not reduce COST: %.0f vs %.0f"
+            % (on["cost"], off["cost"])
+        )
+    if on["rounds"] >= off["rounds"]:
+        raise RuntimeError(
+            "prediction did not reduce coordinator rounds: %d vs %d"
+            % (on["rounds"], off["rounds"])
+        )
+    if on["shard_rounds"] >= off["shard_rounds"]:
+        raise RuntimeError(
+            "prediction did not reduce shard rounds: %d vs %d"
+            % (on["shard_rounds"], off["shard_rounds"])
+        )
+    return {
+        "corpus": dict(THRESHOLD_CORPUS),
+        "k": k,
+        "cost_ratio": cost_ratio,
+        "round_budget": THRESHOLD_ROUND_BUDGET,
+        "families": rows,
+        "cost_reduction": round(1.0 - on["cost"] / off["cost"], 3),
+        "coordinator_rounds_saved": off["rounds"] - on["rounds"],
+        "shard_rounds_saved": off["shard_rounds"] - on["shard_rounds"],
+    }
+
+
 def run_smoke(
     scale: float = 0.5,
     k: int = 10,
@@ -465,6 +623,11 @@ def main(argv=None) -> int:
                         help="run only the bookkeeping-mode speedup "
                              "section (reference vs incremental vs "
                              "columnar) on the stress corpus")
+    parser.add_argument("--threshold", action="store_true",
+                        help="run the threshold-prediction section "
+                             "(coordinator with vs without a plan-time "
+                             "predicted threshold) on the shard-skewed "
+                             "stress corpus")
     parser.add_argument("--scale", type=float, default=0.5)
     parser.add_argument("--k", type=int, default=10)
     parser.add_argument("--cost-ratio", type=float, default=1000.0)
@@ -498,6 +661,14 @@ def main(argv=None) -> int:
             "numpy": np.__version__,
         }
         report.update(run_speedup(k=args.k, cost_ratio=args.cost_ratio))
+    elif args.threshold:
+        output = args.output or "BENCH_pr8.json"
+        report = {
+            "benchmark": "smoke-threshold",
+            "pr": "pr8-threshold-prediction",
+            "python": platform.python_version(),
+        }
+        report.update(run_threshold(cost_ratio=args.cost_ratio))
     elif args.sharded:
         output = args.output or "BENCH_pr5.json"
         report = {

@@ -112,6 +112,7 @@ def plan(
     deadline: Optional[QueryDeadline] = None,
     cost_model: Optional[CostModel] = None,
     batch_blocks: Optional[int] = None,
+    predicted_threshold=None,
 ) -> QueryPlan:
     """The planner step: resolve and validate a query into a plan.
 
@@ -136,6 +137,7 @@ def plan(
         deadline=deadline,
         cost_model=cost_model,
         batch_blocks=batch_blocks,
+        predicted_threshold=predicted_threshold,
         sa_factory=_SA_FACTORIES[sa_name],
         ra_factory=_RA_FACTORIES[ra_name],
     )

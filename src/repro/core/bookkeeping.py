@@ -385,6 +385,33 @@ class CandidatePool:
         self._version += 1
         return cand
 
+    def prune_below(self, threshold: float) -> Tuple[int, float]:
+        """Drop every queued candidate whose bestscore is *strictly*
+        below ``threshold``; returns ``(dropped, max_dropped_bestscore)``
+        (``-inf`` when nothing was dropped).
+
+        The predicted-threshold accelerator's mutation primitive.  Two
+        deliberate asymmetries against the regular ``min-k`` prune in
+        :meth:`recompute`: the comparison is strict with *no* epsilon
+        slack (a candidate tying the threshold is never dropped, so a
+        dead-on prediction cannot perturb tie-breaking), and the largest
+        dropped bestscore is reported back — the caller's certificate
+        that, at termination, every dropped document scored strictly
+        below the final threshold.  Top-k members are never touched.
+        Call :meth:`recompute` afterwards when anything was dropped.
+        """
+        doomed: List[int] = []
+        max_dropped = float("-inf")
+        for cand in self.queue():
+            score = self.bestscore(cand)
+            if score < threshold:
+                doomed.append(cand.doc_id)
+                if score > max_dropped:
+                    max_dropped = score
+        for doc_id in doomed:
+            self.drop(doc_id)
+        return len(doomed), max_dropped
+
     def _move_mask(self, old_mask: int, new_mask: int) -> None:
         """Shift one candidate between ``mask_counts`` buckets."""
         counts = self.mask_counts

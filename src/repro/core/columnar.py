@@ -396,6 +396,50 @@ class ColumnarPool:
         self._objs_version = self._version
         return cand
 
+    def prune_below(self, threshold: float) -> Tuple[int, float]:
+        """Drop every queue candidate whose bestscore is *strictly* below
+        ``threshold`` — vectorized override of the reference scan.
+
+        One boolean mask over the queue rows, mirroring ``recompute``'s
+        prune pass but with a strict comparison and no epsilon: a
+        candidate tying the predicted threshold is never dropped, so a
+        dead-on prediction cannot perturb tie-breaking.  Returns
+        ``(dropped, max_dropped_bestscore)``; the maximum is the
+        certificate the executor checks against the final ``min-k``.
+        Top-k rows are untouched by construction.  Call ``recompute()``
+        afterwards before reading ``min_k`` / termination state.
+        """
+        was_synced = self._objs_version == self._version and not self._journal
+        alive = self._alive_slots()
+        queue_slots = alive[~self._in_topk[alive]]
+        if not queue_slots.size:
+            return 0, float("-inf")
+        bs = self._worst[queue_slots] + self._row_miss(
+            self._seen[queue_slots]
+        )
+        doomed = bs < threshold
+        dead = queue_slots[doomed]
+        if not dead.size:
+            return 0, float("-inf")
+        max_dropped = float(bs[doomed].max())
+        dead_docs = self._doc[dead].tolist()
+        self._free_slots(dead)
+        if was_synced:
+            objs = self._objs
+            for doc in dead_docs:
+                del objs[doc]
+        else:
+            self._journal.append(("del", dead_docs))
+            self._journal_ops += len(dead_docs)
+        self._alive_cache = None
+        self._alive_cache_version = -1
+        self._queue_arr = None
+        self._queue_new.clear()
+        self._version += 1
+        if was_synced:
+            self._objs_version = self._version
+        return int(dead.size), max_dropped
+
     def _slot_for(self, doc_id: int) -> int:
         if 0 <= doc_id < self._lookup.size:
             return int(self._lookup[doc_id])

@@ -79,6 +79,7 @@ class QueryState:
         retry_policy: Optional[RetryPolicy] = None,
         listeners: Sequence = (),
         bookkeeping: Optional[str] = None,
+        predicted_threshold: Optional[float] = None,
     ) -> None:
         if not terms:
             raise ValueError("a query needs at least one term")
@@ -130,6 +131,18 @@ class QueryState:
         #: honours the context active when the query runs
         self.bookkeeping = resolve_bookkeeping_mode(bookkeeping)
         self.pool = make_pool(self.num_lists, self.k, self.bookkeeping)
+        #: plan-time predicted top-k threshold (pruning accelerator only);
+        #: None disables prediction-driven pruning entirely
+        self.predicted_threshold = (
+            float(predicted_threshold)
+            if predicted_threshold is not None
+            else None
+        )
+        #: candidates dropped against the prediction, and the largest
+        #: bestscore among them — the certificate the safety check
+        #: compares against the final ``min-k``
+        self.prediction_drops = 0
+        self.max_dropped_bestscore = float("-inf")
         self.round_no = 0
         self.last_allocation: List[int] = [0] * self.num_lists
         self.last_new_docs: List[int] = []
@@ -246,6 +259,47 @@ class QueryState:
         for doc_id in doomed:
             pool.drop(doc_id)
         return len(doomed)
+
+    def prediction_prune(self) -> int:
+        """Drop queue candidates against the plan-time predicted threshold.
+
+        A pruning *accelerator* only: candidates whose bestscore is
+        strictly below the prediction are dropped early, but termination
+        still requires the true ``min-k`` bound.  Every drop is recorded
+        — the maximum dropped bestscore is the certificate
+        :attr:`prediction_unsafe` compares against the final threshold,
+        so an over-aggressive prediction is always detected and the
+        executor falls back to a prediction-free re-execution.  The
+        comparison is strict (no epsilon): candidates *tying* the
+        prediction are never dropped, so a dead-on estimate cannot
+        perturb tie-breaking.  Returns the number of dropped candidates.
+        """
+        tau = self.predicted_threshold
+        if tau is None or tau <= self.min_k:
+            # The true threshold has caught up: normal epsilon-pruning
+            # already dominates the prediction.
+            return 0
+        dropped, max_bs = self.pool.prune_below(tau)
+        if dropped:
+            self.prediction_drops += dropped
+            if max_bs > self.max_dropped_bestscore:
+                self.max_dropped_bestscore = max_bs
+            self.recompute()
+        return dropped
+
+    @property
+    def prediction_unsafe(self) -> bool:
+        """True when some prediction-driven drop is uncertified.
+
+        Checked at termination: every dropped candidate's recorded
+        bestscore must sit strictly below the final ``min-k`` for the
+        drops to be provably harmless.  A single violation voids the
+        prediction — the executor then re-runs without it.
+        """
+        return (
+            self.prediction_drops > 0
+            and self.max_dropped_bestscore >= self.min_k
+        )
 
     # ------------------------------------------------------------------
     # Random access

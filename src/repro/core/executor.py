@@ -252,6 +252,11 @@ class QueryExecutor:
             retry_policy=self.retry_policy,
             listeners=all_listeners,
             bookkeeping=self.bookkeeping,
+            predicted_threshold=(
+                plan.predicted_threshold.value
+                if plan.predicted_threshold is not None
+                else None
+            ),
         )
         if state.retry is not None and plan.deadline is not None:
             # Deadline-aware retries: once the query's budget is spent,
@@ -268,6 +273,18 @@ class QueryExecutor:
             listener.on_query_start(plan, state)
         reason = self._run_rounds(plan, state, sa_policy, ra_policy,
                                   all_listeners, started)
+        if (
+            state.predicted_threshold is not None
+            and reason != TERMINATED_DEADLINE
+            and state.prediction_unsafe
+        ):
+            # Safety fallback: some prediction-driven drop cannot be
+            # certified against the final threshold — the prediction was
+            # too aggressive.  Discard it and re-execute prediction-free
+            # (the nested call runs the full listener protocol); the
+            # abandoned run's accesses are folded into the stats so the
+            # reported cost is honest.
+            return self._prediction_fallback(plan, listeners, state, started)
         elapsed = time.perf_counter() - started
         degraded = (
             reason == TERMINATED_DEADLINE or not state.is_terminated
@@ -281,6 +298,40 @@ class QueryExecutor:
                 break
         for listener in all_listeners:
             listener.on_termination(state, result, reason)
+        return result
+
+    def _prediction_fallback(
+        self,
+        plan: QueryPlan,
+        listeners: Sequence[ExecutionListener],
+        abandoned: QueryState,
+        started: float,
+    ) -> TopKResult:
+        """Re-execute without the prediction and merge the wasted work.
+
+        The abandoned run's sorted/random accesses, rounds, retries and
+        simulated waits are added to the fallback result's stats (they
+        were really performed), wall time spans both runs, and
+        ``prediction_fallback`` is bumped so callers — and the
+        adversarial safety suite — can observe that the fallback fired.
+        """
+        result = self.execute(
+            plan.replace(predicted_threshold=None), listeners
+        )
+        stats = result.stats
+        stats.sorted_accesses += abandoned.meter.sorted_accesses
+        stats.random_accesses += abandoned.meter.random_accesses
+        stats.cost += abandoned.meter.cost
+        stats.rounds += abandoned.round_no
+        stats.peak_queue_size = max(
+            stats.peak_queue_size, abandoned.pool.peak_size
+        )
+        stats.wall_time_seconds = time.perf_counter() - started
+        if abandoned.retry is not None:
+            stats.retries += abandoned.retry.retries
+            stats.simulated_io_wait_ms += abandoned.retry.waited_ms
+        stats.prediction_drops += abandoned.prediction_drops
+        stats.prediction_fallback += 1
         return result
 
     def _run_rounds(
@@ -305,6 +356,7 @@ class QueryExecutor:
             if self.random_round(state, ra_policy):
                 progressed = True
             self.prune(state, plan.prune_epsilon)
+            self.prediction_prune(state)
             if not progressed:
                 # Policy refused both access kinds while work remains; fall
                 # back to a round-robin SA round to guarantee progress.
@@ -375,6 +427,17 @@ class QueryExecutor:
             state.recompute()
         return dropped
 
+    def prediction_prune(self, state: QueryState) -> int:
+        """Prediction-driven pruning phase; returns dropped count.
+
+        Delegates to :meth:`QueryState.prediction_prune` — candidates are
+        dropped against the plan-time predicted threshold, with every
+        drop recorded for the termination-time safety certificate.
+        """
+        if state.predicted_threshold is None:
+            return 0
+        return state.prediction_prune()
+
     # ------------------------------------------------------------------
     # Observation and result assembly
     # ------------------------------------------------------------------
@@ -423,6 +486,7 @@ class QueryExecutor:
             wall_time_seconds=wall_time,
             retries=state.retry.retries if state.retry else 0,
             simulated_io_wait_ms=state.retry.waited_ms if state.retry else 0.0,
+            prediction_drops=state.prediction_drops,
         )
         is_degraded = degraded or bool(state.failed_dims)
         reason = None

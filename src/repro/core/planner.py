@@ -29,6 +29,8 @@ from typing import TYPE_CHECKING, Callable, Optional, Tuple
 from ..storage.diskmodel import CostModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..stats.catalog import StatsCatalog
+    from ..stats.threshold import PredictedThreshold
     from .engine import RAPolicy, SAPolicy
     from .executor import QueryDeadline
 
@@ -47,6 +49,20 @@ class QueryPlan:
     plan is constructed directly with factories left ``None``,
     :meth:`make_policies` falls back to resolving ``algorithm`` through
     the registry.
+
+    ``predicted_threshold`` is an optional plan-time
+    :class:`~repro.stats.threshold.PredictedThreshold` (attached by
+    :func:`attach_threshold_prediction`): a pruning accelerator the
+    executor uses to drop candidates early, guarded by a safety check
+    that re-executes without the prediction whenever it proves too
+    aggressive — so it shapes the access schedule, never the answer.
+
+    Every engine-affecting field participates in equality and hashing —
+    only the policy factories are excluded (two plans for the same
+    algorithm are interchangeable regardless of which factory callables
+    they hold).  This is load-bearing for plan-keyed caches: a plan with
+    a prediction attached must never be conflated with the same query
+    without one.
     """
 
     algorithm: str
@@ -57,6 +73,7 @@ class QueryPlan:
     deadline: Optional["QueryDeadline"] = None
     cost_model: Optional[CostModel] = None
     batch_blocks: Optional[int] = None
+    predicted_threshold: Optional["PredictedThreshold"] = None
     sa_factory: Optional[Callable[[], "SAPolicy"]] = field(
         default=None, repr=False, compare=False
     )
@@ -78,6 +95,11 @@ class QueryPlan:
                 raise ValueError("weights must be positive (monotonicity)")
         if self.prune_epsilon < 0.0:
             raise ValueError("prune_epsilon must be non-negative")
+        if (
+            self.predicted_threshold is not None
+            and self.predicted_threshold.value < 0.0
+        ):
+            raise ValueError("predicted threshold must be non-negative")
 
     @property
     def num_lists(self) -> int:
@@ -97,3 +119,31 @@ class QueryPlan:
         from dataclasses import replace as dc_replace
 
         return dc_replace(self, **changes)
+
+
+def attach_threshold_prediction(
+    plan: QueryPlan,
+    catalog: "StatsCatalog",
+    predictor: Optional[Callable] = None,
+    **estimator_kwargs: object,
+) -> QueryPlan:
+    """Plan-time hook: attach a predicted top-k threshold to a plan.
+
+    ``predictor`` is any callable with the signature of
+    :func:`repro.stats.threshold.predict_threshold` (the default) —
+    ``(catalog, terms, k, weights=...) -> Optional[PredictedThreshold]``
+    — which is also the injection point the adversarial safety suite
+    uses.  Returns the plan unchanged when it already carries a
+    prediction or when the predictor declines (returns ``None``);
+    otherwise a new plan with ``predicted_threshold`` set.
+    """
+    if plan.predicted_threshold is not None:
+        return plan
+    if predictor is None:
+        from ..stats.threshold import predict_threshold as predictor
+    predicted = predictor(
+        catalog, plan.terms, plan.k, weights=plan.weights, **estimator_kwargs
+    )
+    if predicted is None:
+        return plan
+    return plan.replace(predicted_threshold=predicted)

@@ -57,6 +57,13 @@ class QueryStats:
     and therefore in ``cost``); ``simulated_io_wait_ms`` is the
     accumulated exponential-backoff wait those retries would have slept
     on real hardware.  Both are 0 in fault-free execution.
+
+    ``prediction_drops`` counts candidates dropped against a plan-time
+    predicted threshold; ``prediction_fallback`` counts safety-fallback
+    re-executions taken because a prediction proved too aggressive (the
+    abandoned run's accesses are then already folded into the access
+    counts and ``cost`` — honest accounting).  Both are 0 when the plan
+    carried no prediction.
     """
 
     sorted_accesses: int = 0
@@ -67,6 +74,8 @@ class QueryStats:
     wall_time_seconds: float = 0.0
     retries: int = 0
     simulated_io_wait_ms: float = 0.0
+    prediction_drops: int = 0
+    prediction_fallback: int = 0
 
     @classmethod
     def from_meter(
@@ -77,6 +86,8 @@ class QueryStats:
         wall_time_seconds: float = 0.0,
         retries: int = 0,
         simulated_io_wait_ms: float = 0.0,
+        prediction_drops: int = 0,
+        prediction_fallback: int = 0,
     ) -> "QueryStats":
         return cls(
             sorted_accesses=meter.sorted_accesses,
@@ -87,6 +98,8 @@ class QueryStats:
             wall_time_seconds=wall_time_seconds,
             retries=retries,
             simulated_io_wait_ms=simulated_io_wait_ms,
+            prediction_drops=prediction_drops,
+            prediction_fallback=prediction_fallback,
         )
 
 

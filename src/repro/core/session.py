@@ -92,6 +92,8 @@ class QuerySession:
         listeners: Sequence[ExecutionListener] = (),
         max_cached_indexes: Optional[int] = None,
         bookkeeping: Optional[str] = None,
+        predict_threshold: bool = False,
+        threshold_predictor: Optional[object] = None,
     ) -> None:
         from ..stats.normal_predictor import NormalScorePredictor
         from ..stats.score_predictor import ScorePredictor
@@ -120,6 +122,13 @@ class QuerySession:
         #: repro.core.bookkeeping.BOOKKEEPING_MODES); None defers to the
         #: context override / environment / library default at query time
         self.bookkeeping = bookkeeping
+        #: when True, plans run through :meth:`run` / :meth:`run_many`
+        #: get a plan-time :class:`~repro.stats.threshold.PredictedThreshold`
+        #: attached (unless they already carry one); ``threshold_predictor``
+        #: overrides the default estimator — any callable with the
+        #: signature of :func:`repro.stats.threshold.predict_threshold`
+        self.predict_threshold = bool(predict_threshold)
+        self.threshold_predictor = threshold_predictor
         self.default_index = index
         self.max_cached_indexes = max_cached_indexes
         self._entries: "OrderedDict[int, _IndexEntry]" = OrderedDict()
@@ -279,6 +288,7 @@ class QuerySession:
                 prune_epsilon=prune_epsilon,
                 deadline=deadline,
             )
+        plan = self._maybe_attach_prediction(plan, index)
         extra = tuple(listeners)
         if trace:
             extra = extra + (TraceListener(),)
@@ -315,10 +325,25 @@ class QuerySession:
                 prune_epsilon=prune_epsilon,
                 deadline=deadline,
             )
+            plan = self._maybe_attach_prediction(plan, index)
             with self._lock:
                 self.queries_run += 1
             results.append(executor.execute(plan, listeners=listeners))
         return results
+
+    def _maybe_attach_prediction(
+        self,
+        plan: QueryPlan,
+        index: Optional[InvertedBlockIndex],
+    ) -> QueryPlan:
+        """Attach a plan-time threshold prediction when enabled."""
+        if not self.predict_threshold or plan.predicted_threshold is not None:
+            return plan
+        from .planner import attach_threshold_prediction
+
+        return attach_threshold_prediction(
+            plan, self.stats_for(index), predictor=self.threshold_predictor
+        )
 
     # ------------------------------------------------------------------
     # Baselines and bounds (conveniences matching TopKProcessor)
@@ -394,11 +419,20 @@ class ShardedSession:
         max_rounds: Optional[int] = None,
         degrade: Optional[object] = None,
         max_workers: Optional[int] = None,
+        predict_threshold: bool = False,
+        threshold_predictor: Optional[object] = None,
         **session_kwargs,
     ) -> None:
         from ..distrib.coordinator import DEFAULT_MAX_ROUNDS, MergeCoordinator
         from ..distrib.partition import ShardedIndex, partition_index
         from ..distrib.shard import ShardExecutor
+
+        #: when True, bounded-mode queries compute a plan-time threshold
+        #: prediction (the max over per-shard estimates) and hand it to
+        #: the coordinator for shard skipping/pruning; gather mode — the
+        #: parity baseline — always runs prediction-free
+        self.predict_threshold = bool(predict_threshold)
+        self.threshold_predictor = threshold_predictor
 
         if sharded is None:
             if index is None:
@@ -409,6 +443,12 @@ class ShardedSession:
         elif not isinstance(sharded, ShardedIndex):
             raise TypeError("sharded must be a ShardedIndex")
         self.sharded = sharded
+        #: the unpartitioned corpus, when this session partitioned it
+        #: itself — lets threshold prediction run on global statistics
+        #: (per-shard estimates systematically undershoot the global
+        #: threshold under hash partitioning: a shard's top-k reaches
+        #: rank ~k*num_shards globally)
+        self.global_index = index
         self.executor = ShardExecutor(
             sharded,
             session=session,
@@ -448,6 +488,9 @@ class ShardedSession:
         mode: str = "bounded",
     ):
         """Run one sharded top-k query (see :class:`MergeCoordinator`)."""
+        prediction = None
+        if self.predict_threshold and mode == "bounded":
+            prediction = self.predict(terms, k, weights=weights)
         return self.coordinator.query(
             terms,
             k,
@@ -456,7 +499,62 @@ class ShardedSession:
             prune_epsilon=prune_epsilon,
             deadline=deadline,
             mode=mode,
+            prediction=prediction,
         )
+
+    def predict(
+        self,
+        terms: Sequence[str],
+        k: int,
+        weights: Optional[Sequence[float]] = None,
+    ):
+        """Global plan-time threshold prediction for a sharded query.
+
+        Estimated on the unpartitioned corpus's statistics when this
+        session partitioned the index itself — the estimate then targets
+        the true global rank-k threshold directly.  For prebuilt shard
+        sets the fallback is the maximum of the per-shard estimates: the
+        global top-k threshold dominates every shard-local one (the
+        global corpus is a superset of each shard), so that maximum is
+        still a valid — if conservative — global estimate.  Each shard
+        is estimated over the query terms it actually holds; ignoring
+        absent terms only lowers the estimate, which errs on the safe
+        side.  Returns ``None`` when no estimate came out positive.
+        """
+        from ..stats.threshold import predict_threshold
+
+        predictor = self.threshold_predictor or predict_threshold
+        if self.global_index is not None:
+            if all(term in self.global_index for term in terms):
+                return predictor(
+                    self.session.stats_for(self.global_index),
+                    terms,
+                    k,
+                    weights=weights,
+                )
+            return None
+        best = None
+        for shard in self.sharded.shards:
+            present = [
+                (term, weight)
+                for term, weight in zip(
+                    terms, weights or [1.0] * len(terms)
+                )
+                if term in shard
+            ]
+            if not present:
+                continue
+            predicted = predictor(
+                self.session.stats_for(shard),
+                [term for term, _ in present],
+                k,
+                weights=[weight for _, weight in present],
+            )
+            if predicted is not None and (
+                best is None or predicted.value > best.value
+            ):
+                best = predicted
+        return best
 
     def run_many(
         self,

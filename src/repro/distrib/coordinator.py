@@ -109,6 +109,15 @@ class ShardedTopKResult(TopKResult):
     shard_rounds: int = 0
     resolution_accesses: int = 0
     mode: str = "bounded"
+    #: shards never executed because their histogram-derived upper bound
+    #: stayed below the plan-time predicted threshold (certified against
+    #: the final global ``min-k`` by the re-admission loop)
+    skipped_shards: List[int] = field(default_factory=list)
+    #: shards skipped or prediction-pruned whose bound later turned out
+    #: not to be certified — re-run unbounded before assembly
+    readmitted_shards: List[int] = field(default_factory=list)
+    #: the plan-time predicted threshold the coordinator ran with
+    predicted_threshold: Optional[float] = None
 
 
 @dataclass
@@ -119,6 +128,12 @@ class _ShardTrack:
     cumulative_rounds: int = 0
     failure: Optional[ShardFailure] = None
     pruned: bool = False
+    #: never executed: static upper bound below the predicted threshold
+    skipped: bool = False
+    #: pruned against the prediction while still above the certified
+    #: global ``min-k`` — must be re-admitted unless the final ``min-k``
+    #: catches up with its remaining bound
+    pruned_by_prediction: bool = False
 
     @property
     def items(self) -> List[RankedItem]:
@@ -169,8 +184,21 @@ class MergeCoordinator:
         prune_epsilon: float = 0.0,
         deadline: Optional[QueryDeadline] = None,
         mode: str = "bounded",
+        prediction: Optional[object] = None,
     ) -> ShardedTopKResult:
-        """Run one sharded top-k query; see the module docstring."""
+        """Run one sharded top-k query; see the module docstring.
+
+        ``prediction`` (a :class:`~repro.stats.threshold.PredictedThreshold`)
+        enables plan-time shard skipping and a tighter round-loop prune
+        floor in ``bounded`` mode: shards whose histogram-derived upper
+        bound cannot reach the predicted threshold are never executed,
+        and still-running shards are pruned against
+        ``max(min-k, prediction)``.  Both shortcuts are guarded by a
+        re-admission loop that re-runs (unbounded) every shard whose
+        skip/prune cannot be certified against the *final* global
+        ``min-k`` — so the prediction shapes the schedule, never the
+        answer.  Ignored in ``gather`` mode.
+        """
         from ..core.algorithms import plan as plan_query
 
         if mode not in ("bounded", "gather"):
@@ -190,12 +218,28 @@ class MergeCoordinator:
         }
         caps = self._cost_caps(deadline)
         wall = deadline.wall_clock_seconds if deadline else None
-        steps = self._budget_steps(plan)
+        tau: Optional[float] = None
+        if prediction is not None and mode == "bounded":
+            tau = float(prediction.value)
+        steps = self._budget_steps(plan, tau)
 
         rounds = 0
         active = set(tracks)
         deadline_expired = False
         unfinished: set = set()
+        skipped_bounds: Dict[int, float] = {}
+        if tau is not None:
+            # Plan-time shard skipping: a shard whose best conceivable
+            # aggregated score (sum of per-list histogram maxima) cannot
+            # reach the predicted threshold is not executed at all.  The
+            # re-admission loop below certifies every skip against the
+            # final global min-k.
+            for sid in sorted(active):
+                bound = self._shard_upper_bound(sid, plan)
+                if bound < tau:
+                    tracks[sid].skipped = True
+                    skipped_bounds[sid] = bound
+                    active.discard(sid)
         while active:
             rounds += 1
             final_round = mode == "gather" or rounds >= self.max_rounds
@@ -226,17 +270,22 @@ class MergeCoordinator:
             if self.degrade.should_abort(failures, self.sharded.num_shards):
                 raise ShardedExecutionError(failures)
             min_k = self._global_min_k(tracks, plan.k)
+            prune_floor = min_k if tau is None else max(min_k, tau)
             for sid in list(active):
                 track = tracks[sid]
                 outcome = track.latest
                 if outcome is None:
                     continue
                 if outcome.budget_stopped and (
-                    outcome.remaining_bound < min_k
+                    outcome.remaining_bound < prune_floor
                 ):
                     # Bound-based shard pruning: nothing this shard has
-                    # not reported can still reach the global top-k.
+                    # not reported can still reach the global top-k (or,
+                    # with a prediction, the predicted threshold — an
+                    # uncertified prune the re-admission loop re-checks).
                     track.pruned = True
+                    if tau is not None and outcome.remaining_bound >= min_k:
+                        track.pruned_by_prediction = True
                     active.discard(sid)
                 elif outcome.budget_stopped and self._cap_spent(
                     shard_deadlines.get(sid), caps[sid]
@@ -256,8 +305,73 @@ class MergeCoordinator:
                 deadline_expired = deadline_expired or bool(active)
                 unfinished.update(active)
                 break
+
+        readmitted: set = set()
+        readmissions = 0
+        if tau is not None and not deadline_expired:
+            # Safety re-admission: every skip or prediction-driven prune
+            # must be certified against the *final* global min-k.  Shards
+            # that fail certification are re-run unbounded; min-k only
+            # rises and each shard re-admits at most once, so this loop
+            # terminates after at most num_shards iterations.
+            while True:
+                if wall is not None and (
+                    time.perf_counter() - started >= wall
+                ):
+                    deadline_expired = True
+                    break
+                min_k_final = self._global_min_k(tracks, plan.k)
+                due = [
+                    sid
+                    for sid, track in sorted(tracks.items())
+                    if track.failure is None
+                    and (
+                        (
+                            track.skipped
+                            and skipped_bounds.get(sid, 0.0) >= min_k_final
+                        )
+                        or (
+                            track.pruned_by_prediction
+                            and track.latest is not None
+                            and track.latest.remaining_bound >= min_k_final
+                        )
+                    )
+                ]
+                if not due:
+                    break
+                rounds += 1
+                readmissions += 1
+                outcomes = self.executor.execute_round(
+                    plan, due, {sid: None for sid in due}
+                )
+                failures = [
+                    t.failure for t in tracks.values() if t.failure
+                ]
+                for outcome in outcomes:
+                    track = tracks[outcome.shard_id]
+                    track.skipped = False
+                    track.pruned = False
+                    track.pruned_by_prediction = False
+                    track.cumulative_rounds += outcome.engine_rounds
+                    readmitted.add(outcome.shard_id)
+                    failure = self.degrade.classify(
+                        outcome, plan.terms, rounds
+                    )
+                    if failure is not None:
+                        track.failure = failure
+                        failures.append(failure)
+                        if not self.degrade.keep_partial_items:
+                            track.latest = None
+                        continue
+                    track.latest = outcome
+                if self.degrade.should_abort(
+                    failures, self.sharded.num_shards
+                ):
+                    raise ShardedExecutionError(failures)
+
         return self._assemble(
-            plan, tracks, rounds, deadline_expired, unfinished, started, mode
+            plan, tracks, rounds, deadline_expired, unfinished, started,
+            mode, tau=tau, readmitted=readmitted, readmissions=readmissions,
         )
 
     # ------------------------------------------------------------------
@@ -274,20 +388,59 @@ class MergeCoordinator:
         shares = deadline.split(n)
         return {sid: shares[sid].cost_budget for sid in range(n)}
 
-    def _budget_steps(self, plan: QueryPlan) -> Dict[int, float]:
-        """First-round cost budget per shard (doubles every round)."""
+    def _budget_steps(
+        self, plan: QueryPlan, tau: Optional[float] = None
+    ) -> Dict[int, float]:
+        """First-round cost budget per shard (doubles every round).
+
+        With a predicted threshold the first budget is raised (never
+        lowered) to the scan depth at which the shard's bound algebra can
+        first certify ``tau``: the prefix of each list whose scores stay
+        above ``tau / m`` (``m`` = query terms on the shard), read off
+        the per-list histograms.  Until the ``high_i`` sum falls below
+        ``tau`` no candidate or shard bound can drop below the predicted
+        threshold, so shallower rounds are provably wasted ladder steps —
+        skipping them is how the prediction cuts coordinator rounds.
+        """
         steps = {}
         for sid, shard in enumerate(self.sharded.shards):
             if self.round_budget is not None:
-                steps[sid] = float(self.round_budget)
-                continue
-            drain = sum(
-                len(shard.list_for(term))
-                for term in plan.terms
-                if term in shard
-            )
-            steps[sid] = max(DEFAULT_BUDGET_FRACTION * drain, 1.0)
+                step = float(self.round_budget)
+            else:
+                drain = sum(
+                    len(shard.list_for(term))
+                    for term in plan.terms
+                    if term in shard
+                )
+                step = max(DEFAULT_BUDGET_FRACTION * drain, 1.0)
+            if tau is not None and tau > 0.0:
+                step = max(step, self._certify_depth(sid, plan, tau))
+            steps[sid] = step
         return steps
+
+    def _certify_depth(
+        self, sid: int, plan: QueryPlan, tau: float
+    ) -> float:
+        """Estimated sorted-access cost before a shard's ``high_i`` sum
+        can fall below ``tau`` (0.0 when the shard holds no query term)."""
+        shard = self.sharded.shards[sid]
+        stats = self.executor.session.stats_for(shard)
+        weights = plan.weights or (1.0,) * len(plan.terms)
+        present = [
+            (term, float(weight))
+            for term, weight in zip(plan.terms, weights)
+            if term in shard
+        ]
+        if not present:
+            return 0.0
+        per_list = tau / len(present)
+        depth = 0.0
+        for term, weight in present:
+            hist = stats.histogram(term)
+            if weight != 1.0:
+                hist = hist.scaled(weight)
+            depth += hist.rank_at_score(per_list)
+        return depth
 
     def _shard_deadline(
         self,
@@ -329,6 +482,20 @@ class MergeCoordinator:
     # ------------------------------------------------------------------
     # Bound algebra
     # ------------------------------------------------------------------
+    def _shard_upper_bound(self, sid: int, plan: QueryPlan) -> float:
+        """Best conceivable aggregated score of any document on a shard:
+        the sum of weighted per-list histogram maxima over the query
+        terms the shard holds (terms absent from the shard contribute
+        nothing to any of its documents)."""
+        shard = self.sharded.shards[sid]
+        stats = self.executor.session.stats_for(shard)
+        weights = plan.weights or (1.0,) * len(plan.terms)
+        bound = 0.0
+        for term, weight in zip(plan.terms, weights):
+            if term in shard:
+                bound += float(weight) * stats.histogram(term).upper
+        return bound
+
     @staticmethod
     def _global_min_k(tracks: Dict[int, _ShardTrack], k: int) -> float:
         """The certified global threshold: k-th largest worstscore over
@@ -385,6 +552,9 @@ class MergeCoordinator:
         unfinished: set,
         started: float,
         mode: str,
+        tau: Optional[float] = None,
+        readmitted: Optional[set] = None,
+        readmissions: int = 0,
     ) -> ShardedTopKResult:
         ratio = self.executor.session.cost_model.ratio
         resolution_accesses = 0
@@ -471,7 +641,11 @@ class MergeCoordinator:
             # cumulative re-execution count (including budget-escalation
             # re-runs) is reported separately as ``shard_rounds``.
             merged.rounds += outcome.engine_rounds
+            merged.prediction_drops += stats.prediction_drops
         merged.wall_time_seconds = time.perf_counter() - started
+        # Every re-admission round is a coordinator-level safety fallback:
+        # the prediction proved too aggressive for some shard.
+        merged.prediction_fallback = readmissions
 
         exhausted_shards = sorted(
             sid for sid, track in tracks.items() if track.failure
@@ -511,4 +685,9 @@ class MergeCoordinator:
             shard_rounds=shard_rounds,
             resolution_accesses=resolution_accesses,
             mode=mode,
+            skipped_shards=sorted(
+                sid for sid, track in tracks.items() if track.skipped
+            ),
+            readmitted_shards=sorted(readmitted or ()),
+            predicted_threshold=tau,
         )

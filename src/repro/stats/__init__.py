@@ -18,22 +18,36 @@ from .poisson import (
 )
 from .score_predictor import ScorePredictor
 from .selectivity import any_occurrence_probability, remainder_selectivity
+from .threshold import (
+    DEFAULT_SAFETY,
+    PredictedThreshold,
+    convolved_quantile,
+    predict_threshold,
+    sampled_quantile,
+    single_list_quantile,
+)
 
 __all__ = [
     "CovarianceTable",
     "DEFAULT_GRID_CELLS",
     "DEFAULT_NUM_BUCKETS",
+    "DEFAULT_SAFETY",
     "NormalScorePredictor",
+    "PredictedThreshold",
     "ScoreHistogram",
     "ScorePredictor",
     "StatsCatalog",
     "any_occurrence_probability",
     "convolution_width",
     "convolve_grids",
+    "convolved_quantile",
     "estimate_remaining_random_accesses",
     "exceedance",
     "expected_lookup_documents",
     "pmf_to_grid",
     "poisson_cdf",
+    "predict_threshold",
     "remainder_selectivity",
+    "sampled_quantile",
+    "single_list_quantile",
 ]

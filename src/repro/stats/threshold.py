@@ -1,0 +1,272 @@
+"""Plan-time top-k threshold prediction (ROADMAP item 2).
+
+"Beyond Quantile Methods: Improved Top-K Threshold Estimation" frames
+the problem: before issuing a single index access, estimate the score of
+the k-th best answer from precomputed per-list statistics.  A good
+estimate lets the engine drop hopeless candidates long before the true
+``min-k`` threshold has grown past them, and lets the sharded
+coordinator skip whole shards whose best possible document cannot reach
+the predicted threshold.
+
+Three estimators over the per-list :class:`~repro.stats.histogram.ScoreHistogram`
+machinery (all on the *weighted*, aggregated-score scale):
+
+* :func:`single_list_quantile` — the score of the k-th best entry of the
+  single strongest list, minus one bucket width.  At least k documents
+  aggregate to at least their own score in that list, so (modulo the
+  histogram's one-bucket discretization error, which the subtracted
+  width absorbs) this is a certain *lower* bound on the true threshold.
+  Always safe, often weak.
+* :func:`convolved_quantile` — the k-th order statistic of the
+  *sum-distribution*: every list's tail PMF (occurrence probability
+  ``l_i/n`` on its histogram, the rest as a point mass at score 0) is
+  discretized onto a common grid and convolved
+  (:mod:`repro.stats.convolution`); the estimate is the deepest grid
+  edge ``s`` with ``n * P[S >= s] >= k``.  Well calibrated when lists
+  are close to independent; can overestimate under correlation, which is
+  why callers shrink it by a safety factor.
+* :func:`sampled_quantile` — optional exact-on-sample refinement: score
+  a seeded uniform sample of documents exactly (plan-time lookups, the
+  kind of offline sampling a production system amortizes across
+  queries) and read the threshold off the sample's order statistics,
+  rounding the sample rank *up* so sparse samples err low.
+
+:func:`predict_threshold` combines them into one
+:class:`PredictedThreshold` attached to a
+:class:`~repro.core.planner.QueryPlan`.  Predictions are *accelerators
+only*: the executor keeps its exact termination test and certifies every
+prediction-driven drop against the final threshold, falling back to a
+prediction-free re-execution whenever the estimate proves too
+aggressive — results are provably never wrong (see docs/PREDICTION.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+from .convolution import (
+    DEFAULT_GRID_CELLS,
+    convolution_width,
+    convolve_grids,
+    pmf_to_grid,
+)
+from .histogram import ScoreHistogram
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .catalog import StatsCatalog
+
+#: Default multiplicative shrink applied to the model-based estimates
+#: (convolution, sampling).  The single-list quantile is already a lower
+#: bound and is used unshrunk.
+DEFAULT_SAFETY = 0.9
+
+#: Default document sample size for :func:`sampled_quantile`.
+DEFAULT_SAMPLE_SIZE = 256
+
+#: Valid ``method`` arguments of :func:`predict_threshold`.
+PREDICTION_METHODS = ("auto", "quantile", "convolution", "sample")
+
+
+@dataclass(frozen=True)
+class PredictedThreshold:
+    """A plan-time estimate of the top-k threshold.
+
+    ``value`` is the usable (safety-adjusted) threshold on the
+    aggregated-score scale — the scale of ``min-k`` and every candidate
+    bound.  ``raw`` keeps the pre-shrink estimate and ``method`` names
+    the estimator that produced it, for observability.  Frozen (and
+    therefore hashable) so it can ride on the immutable
+    :class:`~repro.core.planner.QueryPlan` and participate in plan
+    equality — two plans that differ only in their prediction must never
+    be conflated by a cache.
+    """
+
+    value: float
+    method: str = "auto"
+    raw: float = 0.0
+    safety: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.value < 0.0:
+            raise ValueError("predicted threshold must be non-negative")
+        if self.safety <= 0.0:
+            raise ValueError("safety factor must be positive")
+
+
+def single_list_quantile(
+    histograms: Sequence[ScoreHistogram], k: int
+) -> float:
+    """Lower-bound threshold from the strongest single list.
+
+    For any list ``i`` at least ``k`` documents aggregate to at least
+    the list's k-th best score, so the true top-k threshold is at least
+    ``max_i score_i(k)``.  One bucket width is subtracted to absorb the
+    histogram's within-bucket interpolation error, making the bound hold
+    for any placement of the true scores inside their buckets.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    best = 0.0
+    for hist in histograms:
+        if hist.total <= 0:
+            continue
+        estimate = hist.score_at_rank(k - 1) - hist.width
+        if estimate > best:
+            best = estimate
+    return max(best, 0.0)
+
+
+def convolved_quantile(
+    histograms: Sequence[ScoreHistogram],
+    list_lengths: Sequence[int],
+    num_docs: int,
+    k: int,
+    cells_per_dim: int = DEFAULT_GRID_CELLS,
+) -> float:
+    """Threshold from the convolved sum-distribution (independence model).
+
+    Each dimension contributes its full-list tail PMF with probability
+    ``l_i / n`` (the chance a random document appears in list ``i``) and
+    a point mass at score 0 otherwise.  The grids are convolved into the
+    PMF of a random document's aggregated score ``S``; the estimate is
+    the deepest grid edge ``s`` such that the expected number of
+    documents scoring at least ``s`` — ``n * P[S >= s]`` — still reaches
+    ``k``.  Reading the *lower* edge of the qualifying cell keeps the
+    discretization error on the conservative side.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    if num_docs <= 0 or not histograms:
+        return 0.0
+    width = convolution_width(
+        [hist.upper for hist in histograms], cells_per_dim
+    )
+    grids = []
+    for hist, length in zip(histograms, list_lengths):
+        midpoints, probs = hist.tail_pmf(0.0)
+        occurrence = min(max(length / float(num_docs), 0.0), 1.0)
+        grid = pmf_to_grid(midpoints, probs * occurrence, width)
+        grid[0] += 1.0 - occurrence
+        grids.append(grid)
+    sum_grid = convolve_grids(grids)
+    mass = float(sum_grid.sum())
+    if mass <= 0.0:
+        return 0.0
+    # tail[j] = P[S lands in cell j or deeper] relative to the grid mass.
+    tail = np.cumsum(sum_grid[::-1])[::-1] / mass
+    qualifying = np.nonzero(num_docs * tail >= k)[0]
+    if qualifying.size == 0:
+        return 0.0
+    return float(qualifying.max() * width)
+
+
+def sampled_quantile(
+    index,
+    terms: Sequence[str],
+    k: int,
+    weights: Optional[Sequence[float]] = None,
+    sample_size: int = DEFAULT_SAMPLE_SIZE,
+    seed: int = 0,
+) -> Optional[float]:
+    """Exact-on-sample threshold estimate (optional refinement).
+
+    Scores ``sample_size`` uniformly sampled documents exactly via index
+    lookups and estimates the overall k-th best score from the sample's
+    order statistics: the r-th best sampled score estimates overall rank
+    ``r * n / size``, so ``r = ceil(k * size / n)`` targets rank >= k —
+    rounding up errs on the low (safe) side.  Returns ``None`` when the
+    sample is too sparse to see the top-k region at all
+    (``k * size / n < 1``); plan-time only, nothing is charged to any
+    query meter.
+    """
+    num_docs = int(index.num_docs)
+    if num_docs <= 0 or sample_size <= 0 or k < 1:
+        return None
+    size = min(int(sample_size), num_docs)
+    sample_rank = math.ceil(k * size / float(num_docs))
+    if sample_rank < 1:
+        return None
+    if weights is None:
+        weights = [1.0] * len(terms)
+    rng = np.random.default_rng(seed)
+    docs = rng.choice(num_docs, size=size, replace=False)
+    totals = np.zeros(size, dtype=np.float64)
+    for term, weight in zip(terms, weights):
+        index_list = index.list_for(term)
+        for i, doc in enumerate(docs):
+            score = index_list.lookup(int(doc))
+            if score:
+                totals[i] += float(weight) * score
+    if sample_rank > size:
+        return 0.0
+    top = np.sort(totals)[::-1]
+    return float(top[sample_rank - 1])
+
+
+def predict_threshold(
+    catalog: "StatsCatalog",
+    terms: Sequence[str],
+    k: int,
+    weights: Optional[Sequence[float]] = None,
+    method: str = "auto",
+    safety: float = DEFAULT_SAFETY,
+    sample_size: int = 0,
+    sample_seed: int = 0,
+) -> Optional[PredictedThreshold]:
+    """The combined plan-time estimator over a statistics catalog.
+
+    ``method`` selects one estimator or (``"auto"``) the maximum of the
+    unshrunk single-list lower bound and the safety-shrunk convolution
+    estimate — plus the safety-shrunk sample estimate when
+    ``sample_size > 0``.  Returns ``None`` when no estimator produced a
+    positive value (an absent prediction disables the accelerator;
+    execution is then exactly the prediction-off path).
+    """
+    if method not in PREDICTION_METHODS:
+        raise ValueError(
+            "unknown prediction method %r; valid: %s"
+            % (method, ", ".join(PREDICTION_METHODS))
+        )
+    terms = list(terms)
+    if weights is None:
+        weights = [1.0] * len(terms)
+    histograms = [
+        catalog.histogram(term).scaled(float(weight))
+        for term, weight in zip(terms, weights)
+    ]
+    index = catalog.index
+    lengths = [len(index.list_for(term)) for term in terms]
+    num_docs = index.num_docs
+
+    raw = 0.0
+    value = 0.0
+    if method in ("auto", "quantile"):
+        quantile = single_list_quantile(histograms, k)
+        raw = max(raw, quantile)
+        # Already a lower bound: used unshrunk.
+        value = max(value, quantile)
+    if method in ("auto", "convolution"):
+        convolved = convolved_quantile(histograms, lengths, num_docs, k)
+        raw = max(raw, convolved)
+        value = max(value, safety * convolved)
+    if method == "sample" or (method == "auto" and sample_size > 0):
+        sampled = sampled_quantile(
+            index,
+            terms,
+            k,
+            weights=weights,
+            sample_size=sample_size or DEFAULT_SAMPLE_SIZE,
+            seed=sample_seed,
+        )
+        if sampled is not None:
+            raw = max(raw, sampled)
+            value = max(value, safety * sampled)
+    if value <= 0.0:
+        return None
+    return PredictedThreshold(
+        value=value, method=method, raw=raw, safety=safety
+    )

@@ -2,10 +2,67 @@
 
 import pytest
 
-from tests.helpers import make_random_index
+from tests.helpers import (
+    COORDINATOR_K,
+    MONOTONE_CORPORA,
+    SHARD_COUNTS,
+    exact_scores,
+    make_corpus_session,
+    make_random_index,
+)
 
 
 @pytest.fixture
 def small_index():
     """Deterministic 3-list uniform index for reuse across tests."""
     return make_random_index(seed=42)
+
+
+@pytest.fixture(scope="session")
+def corpus_sessions():
+    """One cached session per stress corpus (stats built once per run).
+
+    Session-scoped on purpose: the differential and threshold-safety
+    suites both sweep all 24 algorithm triples over these corpora, and
+    rebuilding the indexes + histogram catalogs per module roughly
+    doubles their wall time.  Tests must treat the sessions as
+    read-only (run queries, never mutate the index).
+    """
+    return {key: make_corpus_session(*key) for key in MONOTONE_CORPORA}
+
+
+@pytest.fixture(scope="session")
+def coordinator_setup():
+    """Shared sharded-execution scaffolding for the coordinator suites.
+
+    A seeded corpus, its brute-force golden top-k, one coordinator per
+    shard count, and a single-node session for parity baselines.
+    """
+    from repro.core.session import QuerySession
+    from repro.distrib import (
+        MergeCoordinator,
+        ShardExecutor,
+        partition_index,
+    )
+
+    index, terms = make_random_index(seed=42)
+    totals = exact_scores(index, terms)
+    golden = [
+        doc
+        for doc, _ in sorted(
+            totals.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:COORDINATOR_K]
+    ]
+    coordinators = {}
+    for count in SHARD_COUNTS:
+        sharded = partition_index(index, count, strategy="hash")
+        coordinators[count] = MergeCoordinator(ShardExecutor(sharded))
+    single = QuerySession(index)
+    return {
+        "index": index,
+        "terms": terms,
+        "totals": totals,
+        "golden": golden,
+        "coordinators": coordinators,
+        "single": single,
+    }

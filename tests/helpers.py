@@ -10,6 +10,20 @@ import numpy as np
 from repro.storage.block_index import InvertedBlockIndex
 from repro.storage.index_builder import build_index
 
+#: (seed, distribution) pairs for the randomized stress corpora.  The
+#: distributions stress different engine behaviours: uniform (dense score
+#: range), zipf (skewed, fast-dropping highs), ties (plateaus exercise
+#: tie-breaking).  Shared by the differential, coordinator, and
+#: threshold-safety suites via the session-scoped fixtures in conftest.
+CORPORA = [(1, "uniform"), (2, "zipf"), (3, "ties")]
+
+#: Extra corpora for the cheap monotonicity sweep.
+MONOTONE_CORPORA = CORPORA + [(7, "uniform"), (11, "zipf")]
+
+#: k and shard counts used by the coordinator parity fixtures.
+COORDINATOR_K = 10
+SHARD_COUNTS = (1, 2, 4, 7)
+
 
 def make_random_index(
     num_lists: int = 3,
@@ -39,6 +53,35 @@ def make_random_index(
         postings[term] = list(zip(docs.tolist(), scores.tolist()))
     index = build_index(postings, num_docs=num_docs, block_size=block_size)
     return index, terms
+
+
+def make_corpus_session(seed: int, distribution: str):
+    """The standard stress-corpus session: 3 lists x 300 postings over
+    1000 docs, block size 32, cost ratio 100.  One cached instance per
+    (seed, distribution) is provided by the ``corpus_sessions`` fixture."""
+    from repro.core.session import QuerySession
+
+    index, terms = make_random_index(
+        num_lists=3,
+        list_length=300,
+        num_docs=1000,
+        block_size=32,
+        distribution=distribution,
+        seed=seed,
+    )
+    return QuerySession(index, cost_ratio=100.0), terms
+
+
+def exact_scores(index: InvertedBlockIndex, terms: Sequence[str]) -> Dict[int, float]:
+    """Exact aggregated score of every document appearing in ``terms``."""
+    totals: Dict[int, float] = collections.defaultdict(float)
+    for term in terms:
+        lst = index.list_for(term)
+        for doc, score in zip(
+            lst.doc_ids_by_rank.tolist(), lst.scores_by_rank.tolist()
+        ):
+            totals[int(doc)] += float(score)
+    return totals
 
 
 def oracle_scores(

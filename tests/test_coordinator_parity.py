@@ -10,68 +10,31 @@ modes (the bound-pruning round protocol and the naive gather-all
 baseline).
 """
 
-import collections
-
 import pytest
 
 from repro.core import available_algorithms
-from repro.core.session import QuerySession, ShardedSession
+from repro.core.session import ShardedSession
 from repro.distrib import MergeCoordinator, ShardExecutor, partition_index
-from tests.helpers import make_random_index
+from tests.helpers import COORDINATOR_K as K
+from tests.helpers import SHARD_COUNTS
 
-K = 10
-SHARD_COUNTS = (1, 2, 4, 7)
-
-
-def exact_scores(index, terms):
-    totals = collections.defaultdict(float)
-    for term in terms:
-        lst = index.list_for(term)
-        for doc, score in zip(
-            lst.doc_ids_by_rank.tolist(), lst.scores_by_rank.tolist()
-        ):
-            totals[int(doc)] += float(score)
-    return totals
-
-
-@pytest.fixture(scope="module")
-def setup():
-    index, terms = make_random_index(seed=42)
-    totals = exact_scores(index, terms)
-    golden = [
-        doc
-        for doc, _ in sorted(
-            totals.items(), key=lambda kv: (-kv[1], kv[0])
-        )[:K]
-    ]
-    coordinators = {}
-    for count in SHARD_COUNTS:
-        sharded = partition_index(index, count, strategy="hash")
-        coordinators[count] = MergeCoordinator(ShardExecutor(sharded))
-    single = QuerySession(index)
-    return {
-        "index": index,
-        "terms": terms,
-        "totals": totals,
-        "golden": golden,
-        "coordinators": coordinators,
-        "single": single,
-    }
+# Corpus, golden answer, and per-shard-count coordinators come from the
+# session-scoped ``coordinator_setup`` fixture in tests/conftest.py.
 
 
 @pytest.mark.parametrize("algorithm", sorted(available_algorithms()))
 @pytest.mark.parametrize("count", SHARD_COUNTS)
-def test_bounded_matches_single_node(setup, count, algorithm):
-    coord = setup["coordinators"][count]
-    single = setup["single"].run(setup["terms"], K, algorithm=algorithm)
+def test_bounded_matches_single_node(coordinator_setup, count, algorithm):
+    coord = coordinator_setup["coordinators"][count]
+    single = coordinator_setup["single"].run(coordinator_setup["terms"], K, algorithm=algorithm)
     result = coord.query(
-        setup["terms"], K, algorithm=algorithm, mode="bounded"
+        coordinator_setup["terms"], K, algorithm=algorithm, mode="bounded"
     )
-    assert result.doc_ids == single.doc_ids == setup["golden"]
+    assert result.doc_ids == single.doc_ids == coordinator_setup["golden"]
     # The coordinator resolves every returned item to its exact score.
     for item in result.items:
         assert item.worstscore == pytest.approx(
-            setup["totals"][item.doc_id], abs=1e-9
+            coordinator_setup["totals"][item.doc_id], abs=1e-9
         )
         assert item.bestscore == pytest.approx(item.worstscore, abs=1e-9)
     assert not result.degraded
@@ -79,15 +42,15 @@ def test_bounded_matches_single_node(setup, count, algorithm):
 
 
 @pytest.mark.parametrize("algorithm", sorted(available_algorithms()))
-def test_bounded_never_differs_from_gather(setup, algorithm):
+def test_bounded_never_differs_from_gather(coordinator_setup, algorithm):
     # Four shards exercise pruning (some shards retire early); the
     # early-terminating coordinator must still agree with gather-all.
-    coord = setup["coordinators"][4]
+    coord = coordinator_setup["coordinators"][4]
     bounded = coord.query(
-        setup["terms"], K, algorithm=algorithm, mode="bounded"
+        coordinator_setup["terms"], K, algorithm=algorithm, mode="bounded"
     )
     gathered = coord.query(
-        setup["terms"], K, algorithm=algorithm, mode="gather"
+        coordinator_setup["terms"], K, algorithm=algorithm, mode="gather"
     )
     assert bounded.doc_ids == gathered.doc_ids
     for left, right in zip(bounded.items, gathered.items):
@@ -97,41 +60,41 @@ def test_bounded_never_differs_from_gather(setup, algorithm):
 
 
 @pytest.mark.parametrize("count", SHARD_COUNTS)
-def test_gather_matches_golden_at_every_count(setup, count):
-    result = setup["coordinators"][count].query(
-        setup["terms"], K, mode="gather"
+def test_gather_matches_golden_at_every_count(coordinator_setup, count):
+    result = coordinator_setup["coordinators"][count].query(
+        coordinator_setup["terms"], K, mode="gather"
     )
-    assert result.doc_ids == setup["golden"]
+    assert result.doc_ids == coordinator_setup["golden"]
     assert result.coordinator_rounds == 1
 
 
 @pytest.mark.parametrize("strategy", ["hash", "round-robin"])
-def test_both_partition_strategies_agree(setup, strategy):
-    sharded = partition_index(setup["index"], 3, strategy=strategy)
+def test_both_partition_strategies_agree(coordinator_setup, strategy):
+    sharded = partition_index(coordinator_setup["index"], 3, strategy=strategy)
     coord = MergeCoordinator(ShardExecutor(sharded))
-    result = coord.query(setup["terms"], K)
-    assert result.doc_ids == setup["golden"]
+    result = coord.query(coordinator_setup["terms"], K)
+    assert result.doc_ids == coordinator_setup["golden"]
 
 
-def test_pruning_fires_and_saves_rounds(setup):
-    coord = setup["coordinators"][4]
-    bounded = coord.query(setup["terms"], K, mode="bounded")
-    gathered = coord.query(setup["terms"], K, mode="gather")
+def test_pruning_fires_and_saves_rounds(coordinator_setup):
+    coord = coordinator_setup["coordinators"][4]
+    bounded = coord.query(coordinator_setup["terms"], K, mode="bounded")
+    gathered = coord.query(coordinator_setup["terms"], K, mode="gather")
     assert bounded.pruned_shards  # the bound test retires shards early
     # Resumable-shard model: rounds (like COST) charge the deepest run
     # per shard, so pruning must yield strictly fewer total rounds.
     assert bounded.stats.rounds < gathered.stats.rounds
 
 
-def test_sharded_session_entry_point(setup):
-    session = ShardedSession(setup["index"], num_shards=4)
-    result = session.run(setup["terms"], K)
-    assert result.doc_ids == setup["golden"]
+def test_sharded_session_entry_point(coordinator_setup):
+    session = ShardedSession(coordinator_setup["index"], num_shards=4)
+    result = session.run(coordinator_setup["terms"], K)
+    assert result.doc_ids == coordinator_setup["golden"]
     assert session.num_shards == 4
-    batch = session.run_many([setup["terms"]] * 2, K)
-    assert [r.doc_ids for r in batch] == [setup["golden"]] * 2
+    batch = session.run_many([coordinator_setup["terms"]] * 2, K)
+    assert [r.doc_ids for r in batch] == [coordinator_setup["golden"]] * 2
 
 
-def test_coordinator_rejects_unknown_mode(setup):
+def test_coordinator_rejects_unknown_mode(coordinator_setup):
     with pytest.raises(ValueError):
-        setup["coordinators"][2].query(setup["terms"], K, mode="eager")
+        coordinator_setup["coordinators"][2].query(coordinator_setup["terms"], K, mode="eager")

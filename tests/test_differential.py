@@ -28,35 +28,13 @@ from repro.core.executor import QueryDeadline
 from repro.core.session import QuerySession
 from repro.storage.accessors import RetryPolicy
 from repro.storage.faults import FaultInjector, FaultPlan
-from tests.helpers import make_random_index, true_score
+from tests.helpers import CORPORA, MONOTONE_CORPORA, true_score
 
-#: (seed, distribution) pairs for the randomized corpora.  Distributions
-#: stress different engine behaviours: uniform (dense score range), zipf
-#: (skewed, fast-dropping highs), ties (plateaus exercise tie-breaking).
-CORPORA = [(1, "uniform"), (2, "zipf"), (3, "ties")]
-
-#: Extra corpora for the cheap monotonicity sweep.
-MONOTONE_CORPORA = CORPORA + [(7, "uniform"), (11, "zipf")]
+# Stress corpora and their cached sessions are shared suite-wide: the
+# (seed, distribution) pairs live in tests/helpers.py and the
+# session-scoped ``corpus_sessions`` fixture in tests/conftest.py.
 
 K = 5
-
-
-def _make_session(seed, distribution):
-    index, terms = make_random_index(
-        num_lists=3,
-        list_length=300,
-        num_docs=1000,
-        block_size=32,
-        distribution=distribution,
-        seed=seed,
-    )
-    return QuerySession(index, cost_ratio=100.0), terms
-
-
-@pytest.fixture(scope="module")
-def corpus_sessions():
-    """One cached session per corpus (stats built once per corpus)."""
-    return {key: _make_session(*key) for key in MONOTONE_CORPORA}
 
 
 @pytest.mark.parametrize("corpus", CORPORA, ids=lambda c: "%s-%s" % c)

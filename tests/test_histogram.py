@@ -150,3 +150,83 @@ def test_histogram_rank_properties(scores, num_buckets):
         assert 0.0 <= value <= hist.upper + 1e-9
         assert value <= previous + 1e-9
         previous = value
+
+
+# ---------------------------------------------------------------------------
+# Quantile / CDF properties backing the threshold predictor (PR 8).  The
+# estimators in repro.stats.threshold subtract one bucket width from
+# score_at_rank to turn it into a certified lower bound; these properties
+# are what make that subtraction sound.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=1, max_size=300,
+    ),
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=0, max_value=299),
+)
+def test_quantile_brackets_true_order_statistic(scores, num_buckets, rank):
+    """score_at_rank stays within one bucket width of the true sorted-
+    descending order statistic — the histogram can misplace a score only
+    inside its own bucket, never across one."""
+    if rank >= len(scores):
+        return
+    hist = ScoreHistogram(np.array(scores), num_buckets=num_buckets)
+    truth = sorted(scores, reverse=True)[rank]
+    estimate = hist.score_at_rank(rank)
+    assert abs(estimate - truth) <= hist.width + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=1, max_size=300,
+    ),
+    st.integers(min_value=1, max_value=64),
+)
+def test_rank_at_score_is_monotone_cdf(scores, num_buckets):
+    """rank_at_score is a non-increasing function of the score cut (the
+    complementary CDF scaled by total), pinned at the extremes."""
+    hist = ScoreHistogram(np.array(scores), num_buckets=num_buckets)
+    cuts = np.linspace(0.0, max(hist.upper, 1e-6), 25)
+    ranks = [hist.rank_at_score(float(c)) for c in cuts]
+    assert all(a >= b - 1e-9 for a, b in zip(ranks, ranks[1:]))
+    assert ranks[0] == pytest.approx(hist.total)
+    assert hist.rank_at_score(hist.upper) == 0.0
+    for r in ranks:
+        assert 0.0 <= r <= hist.total + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=1, max_size=200,
+    ),
+)
+def test_single_bucket_degenerates_to_range(scores):
+    """num_buckets=1 collapses every estimate to the one-bucket bracket:
+    any in-range rank maps into [0, upper], and the bracket property
+    still holds with width == upper."""
+    hist = ScoreHistogram(np.array(scores), num_buckets=1)
+    assert hist.width == pytest.approx(max(hist.upper, 0.0))
+    truth = sorted(scores, reverse=True)
+    for rank in range(len(scores)):
+        estimate = hist.score_at_rank(rank)
+        assert abs(estimate - truth[rank]) <= hist.width + 1e-9
+
+
+def test_empty_histogram_edges():
+    """Empty input: every query answers the identity of 'nothing'."""
+    hist = ScoreHistogram(np.array([]), num_buckets=8)
+    assert hist.total == 0
+    assert hist.score_at_rank(0) == 0.0
+    assert hist.score_at_rank(50) == 0.0
+    assert hist.rank_at_score(0.5) == 0.0
+    _, probs = hist.tail_pmf(0)
+    assert probs.sum() == 0.0

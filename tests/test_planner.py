@@ -9,6 +9,7 @@ from repro.core.executor import QueryDeadline
 from repro.core.planner import QueryPlan
 from repro.core.ra.simple import AllProbe, NeverProbe
 from repro.core.sa.round_robin import RoundRobin
+from repro.stats.threshold import PredictedThreshold
 from repro.storage.diskmodel import CostModel
 
 
@@ -118,3 +119,70 @@ class TestPolicyFactories:
         p = plan(["a"], 1, "NRA")
         q = QueryPlan(algorithm="RR-Never", terms=("a",), k=1)
         assert p == q
+
+
+class TestEqualityAndHash:
+    """Plan identity audit: every semantic field participates in eq/hash
+    (a cache keyed on plans must never conflate distinct queries), and
+    ``replace`` round-trips losslessly."""
+
+    def test_replace_roundtrip_is_identity(self):
+        pt = PredictedThreshold(value=0.7, method="auto", raw=0.8,
+                                safety=0.9)
+        p = plan(
+            ["a", "b"], 5, "CA", weights=[2, 1], prune_epsilon=0.05,
+            predicted_threshold=pt,
+        )
+        q = p.replace()
+        assert q == p
+        assert hash(q) == hash(p)
+        assert q.predicted_threshold == pt
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("k", 7),
+            ("algorithm", "RR-All"),
+            ("terms", ("a", "c")),
+            ("weights", (3.0, 1.0)),
+            ("prune_epsilon", 0.2),
+            (
+                "predicted_threshold",
+                PredictedThreshold(value=0.5),
+            ),
+        ],
+    )
+    def test_every_semantic_field_changes_identity(self, field, value):
+        base = plan(["a", "b"], 5, "CA", weights=[2.0, 1.0])
+        changed = base.replace(**{field: value})
+        assert changed != base
+        assert hash(changed) != hash(base)
+
+    def test_prediction_participates_in_equality(self):
+        base = plan(["a"], 3)
+        pt = PredictedThreshold(value=0.4, method="quantile", raw=0.4)
+        with_pt = base.replace(predicted_threshold=pt)
+        same_pt = base.replace(
+            predicted_threshold=PredictedThreshold(
+                value=0.4, method="quantile", raw=0.4
+            )
+        )
+        assert with_pt != base
+        assert with_pt == same_pt
+        assert hash(with_pt) == hash(same_pt)
+        # Dropping the prediction restores the original identity.
+        assert with_pt.replace(predicted_threshold=None) == base
+
+    def test_dataclasses_replace_agrees_with_method(self):
+        pt = PredictedThreshold(value=0.4)
+        p = plan(["a"], 3, predicted_threshold=pt)
+        q = dataclasses.replace(p, k=4)
+        assert q.predicted_threshold == pt
+        assert q == p.replace(k=4)
+
+    def test_plans_are_hash_stable_dict_keys(self):
+        pt = PredictedThreshold(value=0.4)
+        p1 = plan(["a"], 3, predicted_threshold=pt)
+        p2 = plan(["a"], 3, predicted_threshold=pt)
+        cache = {p1: "hit"}
+        assert cache[p2] == "hit"

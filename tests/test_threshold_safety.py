@@ -1,0 +1,437 @@
+"""The never-wrong harness for plan-time threshold prediction (PR 8).
+
+Threshold prediction is an *accelerator*: it may drop candidates and
+skip shards early, but the engine certifies every shortcut against the
+exact final threshold and re-executes prediction-free whenever a
+certificate fails.  This suite pins the resulting guarantee from every
+angle:
+
+* golden parity — all 24 algorithm triples on the randomized stress
+  corpora return byte-identical answers (doc ids *and* score intervals)
+  with prediction on vs off,
+* adversarial predictors — an estimator that is wildly wrong must
+  trigger the fallback (observable in ``prediction_fallback``) and still
+  return exact results, single-node and sharded,
+* certified drops — a crafted corpus where a correct prediction really
+  does drop candidates mid-flight (``prediction_drops > 0``) without
+  fallback and without changing the answer,
+* bookkeeping-mode identity — the vectorized columnar prune path is
+  access-identical to the scalar reference,
+* estimator properties — the single-list quantile is a true lower bound
+  on the exact threshold; the model-based estimators are bounded and
+  deterministic,
+* coordinator integration — histogram-certified shard skips cut cost
+  and coordinator rounds on a skewed corpus while preserving parity.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithms import available_algorithms
+from repro.core.bookkeeping import bookkeeping_mode, reference_pools
+from repro.core.session import QuerySession, ShardedSession
+from repro.distrib.partition import hash_shard
+from repro.stats import ScoreHistogram
+from repro.stats.threshold import (
+    PredictedThreshold,
+    convolved_quantile,
+    predict_threshold,
+    sampled_quantile,
+    single_list_quantile,
+)
+from repro.storage.index_builder import build_index
+from tests.helpers import CORPORA, make_random_index, oracle_scores
+
+K = 5
+
+ALGORITHMS = sorted(available_algorithms())
+
+
+def result_key(result):
+    """Everything an answer is: ids in order plus exact score intervals."""
+    return [(i.doc_id, i.worstscore, i.bestscore) for i in result.items]
+
+
+def adversarial_predictor(catalog, terms, k, weights=None):
+    """A predictor that is catastrophically too high: every candidate and
+    every shard looks hopeless.  The safety harness must absorb it."""
+    return PredictedThreshold(value=1e9, method="adversarial", raw=1e9)
+
+
+def fixed_predictor(value):
+    def predictor(catalog, terms, k, weights=None):
+        return PredictedThreshold(value=value, method="fixed", raw=value)
+
+    return predictor
+
+
+@pytest.fixture(scope="module")
+def prediction_sessions(corpus_sessions):
+    """Prediction-enabled twins of the shared stress-corpus sessions."""
+    twins = {}
+    for key in CORPORA:
+        session, terms = corpus_sessions[key]
+        twins[key] = (
+            QuerySession(
+                session.default_index,
+                cost_ratio=100.0,
+                predict_threshold=True,
+            ),
+            terms,
+        )
+    return twins
+
+
+# ---------------------------------------------------------------------------
+# Golden parity: prediction on == prediction off, everywhere.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("corpus", CORPORA, ids=lambda c: "%s-%s" % c)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_prediction_parity_all_algorithms(
+    corpus_sessions, prediction_sessions, corpus, algorithm
+):
+    """Byte-identical answers with the honest estimator switched on."""
+    off_session, terms = corpus_sessions[corpus]
+    on_session, _ = prediction_sessions[corpus]
+    off = off_session.run(terms, K, algorithm=algorithm)
+    on = on_session.run(terms, K, algorithm=algorithm)
+    assert result_key(on) == result_key(off)
+    assert not on.degraded
+
+
+@pytest.mark.parametrize("corpus", CORPORA, ids=lambda c: "%s-%s" % c)
+def test_honest_estimator_produces_a_prediction(corpus_sessions, corpus):
+    """The parity sweep is not vacuous: the estimator attaches a positive
+    threshold on every stress corpus."""
+    session, terms = corpus_sessions[corpus]
+    prediction = predict_threshold(
+        session.stats_for(session.default_index), terms, K
+    )
+    assert prediction is not None
+    assert prediction.value > 0.0
+
+
+# ---------------------------------------------------------------------------
+# Adversarial predictors: the fallback fires and restores exactness.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_adversarial_predictor_falls_back_exactly(
+    corpus_sessions, algorithm
+):
+    """A hopeless over-prediction drops everything; the harness detects
+    the uncertifiable drops, re-executes prediction-free, and reports the
+    fallback — the answer never changes."""
+    session, terms = corpus_sessions[(1, "uniform")]
+    off = session.run(terms, K, algorithm=algorithm)
+    on = QuerySession(
+        session.default_index,
+        cost_ratio=100.0,
+        predict_threshold=True,
+        threshold_predictor=adversarial_predictor,
+    ).run(terms, K, algorithm=algorithm)
+    assert result_key(on) == result_key(off)
+    assert on.stats.prediction_fallback == 1
+    assert on.stats.prediction_drops > 0
+    # Honesty in accounting: the abandoned run's work is charged.
+    assert on.stats.cost >= off.stats.cost
+
+
+def test_fallback_cost_includes_abandoned_run(corpus_sessions):
+    """The fallback's meter merges the abandoned attempt: strictly more
+    rounds and cost than the straight prediction-off execution."""
+    session, terms = corpus_sessions[(2, "zipf")]
+    off = session.run(terms, K, algorithm="RR-Never")
+    on = QuerySession(
+        session.default_index,
+        cost_ratio=100.0,
+        predict_threshold=True,
+        threshold_predictor=adversarial_predictor,
+    ).run(terms, K, algorithm="RR-Never")
+    assert result_key(on) == result_key(off)
+    assert on.stats.rounds > off.stats.rounds
+    assert on.stats.cost > off.stats.cost
+
+
+# ---------------------------------------------------------------------------
+# Certified drops: prediction prunes without fallback on a crafted corpus.
+# ---------------------------------------------------------------------------
+
+
+def drops_corpus():
+    """Two lists engineered so a correct prediction (0.9, below the true
+    threshold 1.16) catches mid-flight candidates whose best score can no
+    longer reach it, while ``min-k`` is still too low to prune them."""
+    a = [(0, 0.6), (1, 0.58)] + [
+        (100 + j, 0.2 - 0.01 * j) for j in range(8)
+    ]
+    b = [(0, 0.6), (50, 0.59), (51, 0.585), (1, 0.58)] + [
+        (200 + j, 0.2 - 0.01 * j) for j in range(8)
+    ]
+    return build_index({"A": a, "B": b}, block_size=1)
+
+
+def test_certified_drops_fire_without_fallback():
+    index = drops_corpus()
+    off = QuerySession(index, cost_ratio=100.0).run(
+        ["A", "B"], 2, algorithm="RR-Never"
+    )
+    on = QuerySession(
+        index,
+        cost_ratio=100.0,
+        predict_threshold=True,
+        threshold_predictor=fixed_predictor(0.9),
+    ).run(["A", "B"], 2, algorithm="RR-Never")
+    assert result_key(on) == result_key(off)
+    assert on.stats.prediction_drops > 0
+    assert on.stats.prediction_fallback == 0
+
+
+@pytest.mark.parametrize("mode", ["columnar", "incremental"])
+def test_prune_path_is_mode_identical(mode):
+    """The vectorized columnar ``prune_below`` and the incremental pool
+    reproduce the reference engine access-for-access on the corpus where
+    prediction drops actually fire."""
+    index = drops_corpus()
+
+    def run():
+        return QuerySession(
+            index,
+            cost_ratio=100.0,
+            predict_threshold=True,
+            threshold_predictor=fixed_predictor(0.9),
+        ).run(["A", "B"], 2, algorithm="RR-Never", trace=True)
+
+    with bookkeeping_mode(mode):
+        result = run()
+    with reference_pools():
+        reference = run()
+    assert result.stats.prediction_drops == reference.stats.prediction_drops
+    assert result.stats.prediction_drops > 0
+    assert (
+        result.stats.sorted_accesses,
+        result.stats.random_accesses,
+        result.stats.cost,
+        result.doc_ids,
+    ) == (
+        reference.stats.sorted_accesses,
+        reference.stats.random_accesses,
+        reference.stats.cost,
+        reference.doc_ids,
+    )
+    assert [str(r) for r in result.trace] == [
+        str(r) for r in reference.trace
+    ]
+
+
+@pytest.mark.parametrize("mode", ["columnar", "incremental"])
+@pytest.mark.parametrize("algorithm", ["RR-Never", "KSR-Last-Ben"])
+def test_honest_prediction_is_mode_identical(
+    corpus_sessions, mode, algorithm
+):
+    session, terms = corpus_sessions[(3, "ties")]
+
+    def run():
+        return QuerySession(
+            session.default_index,
+            cost_ratio=100.0,
+            predict_threshold=True,
+        ).run(terms, K, algorithm=algorithm, trace=True)
+
+    with bookkeeping_mode(mode):
+        result = run()
+    with reference_pools():
+        reference = run()
+    assert result.doc_ids == reference.doc_ids
+    assert result.stats.cost == reference.stats.cost
+    assert [str(r) for r in result.trace] == [
+        str(r) for r in reference.trace
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Estimator properties.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "seed,distribution", CORPORA, ids=lambda c: str(c)
+)
+def test_quantile_estimate_is_a_true_lower_bound(seed, distribution):
+    """The unshrunk single-list quantile never exceeds the exact top-k
+    threshold: at least k documents score at least the k-th best entry
+    of any one list."""
+    index, terms = make_random_index(
+        num_lists=3,
+        list_length=300,
+        num_docs=1000,
+        block_size=32,
+        distribution=distribution,
+        seed=seed,
+    )
+    from repro.stats import StatsCatalog
+
+    catalog = StatsCatalog(index)
+    truth = oracle_scores(index, terms, K)[K - 1]
+    prediction = predict_threshold(catalog, terms, K, method="quantile")
+    assert prediction is not None
+    assert prediction.value <= truth + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.001, max_value=1.0, allow_nan=False),
+        min_size=5, max_size=120,
+    ),
+    st.integers(min_value=1, max_value=5),
+)
+def test_single_list_quantile_property(scores, k):
+    """Against a single list the aggregated threshold *is* the k-th best
+    score; the estimator must lower-bound it within histogram error (the
+    subtracted bucket width makes the bound exact)."""
+    hist = ScoreHistogram(np.array(scores), num_buckets=16)
+    estimate = single_list_quantile([hist], k)
+    if k <= len(scores):
+        truth = sorted(scores, reverse=True)[k - 1]
+        assert estimate <= truth + 1e-9
+    assert estimate >= 0.0
+
+
+def test_convolved_quantile_bounded_and_monotone_in_k():
+    rng = np.random.default_rng(5)
+    hists = [ScoreHistogram(rng.random(400)) for _ in range(3)]
+    lengths = [400, 400, 400]
+    values = [
+        convolved_quantile(hists, lengths, 1000, k)
+        for k in (1, 5, 20, 100, 400)
+    ]
+    upper = sum(h.upper for h in hists)
+    for value in values:
+        assert 0.0 <= value <= upper + 1e-9
+    assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+
+def test_sampled_quantile_deterministic_and_sparse_guard():
+    index, terms = make_random_index(seed=9)
+    first = sampled_quantile(index, terms, 10, sample_size=128, seed=3)
+    second = sampled_quantile(index, terms, 10, sample_size=128, seed=3)
+    assert first == second
+    assert first is not None and first >= 0.0
+    # Degenerate sampling budgets refuse rather than guess.
+    assert sampled_quantile(index, terms, 1, sample_size=0) is None
+    assert sampled_quantile(index, terms, 0, sample_size=64) is None
+
+
+def test_predict_threshold_validates_inputs():
+    index, terms = make_random_index(seed=9)
+    from repro.stats import StatsCatalog
+
+    catalog = StatsCatalog(index)
+    with pytest.raises(ValueError):
+        predict_threshold(catalog, terms, K, method="oracle")
+    with pytest.raises(ValueError):
+        PredictedThreshold(value=-0.5)
+    with pytest.raises(ValueError):
+        PredictedThreshold(value=1.0, safety=0.0)
+    auto = predict_threshold(catalog, terms, K)
+    quantile = predict_threshold(catalog, terms, K, method="quantile")
+    assert auto is not None and quantile is not None
+    # auto takes the max over estimators, so it dominates each one.
+    assert auto.value >= quantile.value - 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Coordinator integration: shard skips, certified or re-admitted.
+# ---------------------------------------------------------------------------
+
+
+def skewed_sharded_index(
+    seed=23, num_lists=3, length=2000, num_docs=6000, shards=4
+):
+    """Scores keyed to the hash-shard of the document: shard 0 holds the
+    strong half of the score range, so its histogram upper bounds clear
+    the predicted threshold while shards 1-3 provably cannot."""
+    import random
+
+    rng = random.Random(seed)
+    postings = {}
+    for i in range(num_lists):
+        docs = rng.sample(range(num_docs), length)
+        postings["t%d" % i] = [
+            (
+                d,
+                rng.uniform(0.5, 1.0)
+                if hash_shard(d, shards) == 0
+                else rng.uniform(0.0, 0.5),
+            )
+            for d in docs
+        ]
+    terms = ["t%d" % i for i in range(num_lists)]
+    return build_index(postings, block_size=64), terms
+
+
+@pytest.fixture(scope="module")
+def skewed_corpus():
+    return skewed_sharded_index()
+
+
+def _sharded(index, predict, predictor=None, budget=200):
+    return ShardedSession(
+        index=index,
+        num_shards=4,
+        strategy="hash",
+        round_budget=budget,
+        cost_ratio=100.0,
+        predict_threshold=predict,
+        threshold_predictor=predictor,
+    )
+
+
+def test_coordinator_skips_weak_shards_with_parity(skewed_corpus):
+    index, terms = skewed_corpus
+    off = _sharded(index, False).run(terms, 20, mode="bounded")
+    on = _sharded(index, True).run(terms, 20, mode="bounded")
+    assert result_key(on) == result_key(off)
+    assert on.skipped_shards == [1, 2, 3]
+    assert on.readmitted_shards == []
+    assert on.predicted_threshold is not None
+    # The accelerator must actually accelerate here: fewer coordinator
+    # rounds (prediction-sized first budgets skip the escalation ladder)
+    # and less total cost (weak shards never execute).
+    assert on.stats.cost < off.stats.cost
+    assert on.coordinator_rounds < off.coordinator_rounds
+    assert on.shard_rounds < off.shard_rounds
+
+
+def test_coordinator_adversarial_readmits_all_shards(coordinator_setup):
+    """Predicting 1e9 skips every shard; the certification loop finds
+    the skips unjustified against the final min-k, re-admits all of
+    them unbounded, and the merged answer is exact."""
+    index = coordinator_setup["index"]
+    terms = coordinator_setup["terms"]
+    off = _sharded(index, False, budget=None).run(terms, 10, mode="bounded")
+    on = _sharded(
+        index, True, predictor=adversarial_predictor, budget=None
+    ).run(terms, 10, mode="bounded")
+    assert result_key(on) == result_key(off)
+    assert on.doc_ids == coordinator_setup["golden"]
+    assert on.readmitted_shards == [0, 1, 2, 3]
+    assert on.stats.prediction_fallback >= 1
+    assert not on.degraded
+
+
+def test_coordinator_gather_mode_ignores_prediction(skewed_corpus):
+    """Prediction is a bounded-mode accelerator; gather mode must run
+    every shard regardless."""
+    index, terms = skewed_corpus
+    on = _sharded(index, True).run(terms, 20, mode="gather")
+    off = _sharded(index, False).run(terms, 20, mode="gather")
+    assert result_key(on) == result_key(off)
+    assert on.skipped_shards == []
+    assert on.predicted_threshold is None
