@@ -34,7 +34,13 @@ Two additions on top of the family battery:
   ``BENCH_pr8.json``) — the sharded coordinator with vs without a
   plan-time predicted threshold on a shard-skewed corpus, failing unless
   the prediction strictly reduces COST, coordinator rounds, and
-  cumulative shard rounds while returning a byte-identical answer.
+  cumulative shard rounds while returning a byte-identical answer,
+* a **process-backend scaling section** (``--processes``, written to
+  ``BENCH_pr9.json``) — the thread-backend vs the process-backend
+  sharded coordinator at 8 and 16 shards on the 400k-doc stress corpus,
+  parity-checked byte-for-byte before anything is recorded.
+  ``--min-process-speedup`` gates the 8-shard wall-clock ratio — meant
+  for multi-core CI runners; the ratio is meaningless on a single core.
 
 Usage::
 
@@ -50,6 +56,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -502,6 +509,122 @@ def run_threshold(
     }
 
 
+#: Shard counts of the process-backend scaling curve.  8 is the gated
+#: point (the acceptance criterion); 16 shows where the curve goes once
+#: per-shard work gets small relative to per-round protocol overhead.
+PROCESS_SHARD_COUNTS = (8, 16)
+
+#: k for the process-backend section (deep enough that shard executions
+#: dominate the pipe protocol).
+PROCESS_K = 50
+
+#: Timed repetitions per backend/count; the minimum wall is recorded
+#: (scheduling noise only ever adds time).
+PROCESS_REPEATS = 3
+
+
+def _result_fingerprint(result):
+    """The byte-identity key two backends must agree on exactly."""
+    return (
+        tuple(
+            (item.doc_id, item.worstscore, item.bestscore)
+            for item in result.items
+        ),
+        result.stats.sorted_accesses,
+        result.stats.random_accesses,
+        result.stats.cost,
+        result.coordinator_rounds,
+        tuple(result.pruned_shards),
+    )
+
+
+def run_processes(
+    k: int = PROCESS_K,
+    cost_ratio: float = 1000.0,
+    shard_counts=PROCESS_SHARD_COUNTS,
+) -> Dict:
+    """The process-backend scaling section: thread vs process workers.
+
+    For each shard count, runs the bounded coordinator over the same
+    partitioning with both backends (workers warmed first, so the timed
+    runs measure query execution, not spawn/spill/statistics), verifies
+    the answers are **byte-identical** — items, score intervals,
+    #SA/#RA/COST, rounds, pruning decisions — and records both wall
+    clocks plus their ratio.  Cost rows are deterministic and gated by
+    ``compare_to_baseline``; the wall-clock ratio is gated separately by
+    ``--min-process-speedup`` (CI pins >=1.5x at 8 shards on its
+    multi-core runners — on a single core the process backend only adds
+    serialization overhead, so no local test asserts the ratio).
+    """
+    import tempfile
+
+    index, terms = _build_speedup_corpus()
+    families = {}
+    speedups = {}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-shards-") as root:
+        for count in shard_counts:
+            sharded = partition_index(index, count)
+            thread_session = ShardedSession(
+                sharded=sharded, cost_ratio=cost_ratio
+            )
+            process_session = ShardedSession(
+                sharded=sharded,
+                cost_ratio=cost_ratio,
+                backend="process",
+                spill_dir="%s/shards-%d" % (root, count),
+            )
+            rows = {}
+            try:
+                for label, session in (("thread", thread_session),
+                                       ("process", process_session)):
+                    session.warm()
+                    best_wall = None
+                    result = None
+                    for _ in range(PROCESS_REPEATS):
+                        started = time.perf_counter()
+                        result = session.run(terms, k)
+                        wall_ms = (time.perf_counter() - started) * 1000.0
+                        if best_wall is None or wall_ms < best_wall:
+                            best_wall = wall_ms
+                    rows[label] = (result, best_wall)
+            finally:
+                process_session.close()
+            thread_result, thread_wall = rows["thread"]
+            process_result, process_wall = rows["process"]
+            if (_result_fingerprint(thread_result)
+                    != _result_fingerprint(process_result)):
+                raise RuntimeError(
+                    "process backend diverged from thread backend at "
+                    "%d shards" % count
+                )
+            speedup = round(thread_wall / process_wall, 3)
+            speedups[count] = speedup
+            for label, (result, wall_ms) in rows.items():
+                families["%s-%d" % (label, count)] = {
+                    "algorithm": result.algorithm,
+                    "backend": label,
+                    "shards": count,
+                    "cost": result.stats.cost,
+                    "sorted_accesses": result.stats.sorted_accesses,
+                    "random_accesses": result.stats.random_accesses,
+                    "rounds": result.coordinator_rounds,
+                    "shard_rounds": result.shard_rounds,
+                    "pruned_shards": len(result.pruned_shards),
+                    "wall_ms": round(wall_ms, 3),
+                }
+            families["process-%d" % count]["speedup_vs_thread"] = speedup
+    return {
+        "corpus": dict(SPEEDUP_CORPUS),
+        "k": k,
+        "cost_ratio": cost_ratio,
+        "shard_counts": list(shard_counts),
+        "cpu_count": os.cpu_count(),
+        "families": families,
+        "process_speedup_at_gate": speedups[min(shard_counts)],
+        "speedups": {str(c): s for c, s in speedups.items()},
+    }
+
+
 def run_smoke(
     scale: float = 0.5,
     k: int = 10,
@@ -628,6 +751,10 @@ def main(argv=None) -> int:
                              "(coordinator with vs without a plan-time "
                              "predicted threshold) on the shard-skewed "
                              "stress corpus")
+    parser.add_argument("--processes", action="store_true",
+                        help="run the process-backend scaling section "
+                             "(thread vs process shard workers at 8/16 "
+                             "shards) on the 400k-doc stress corpus")
     parser.add_argument("--scale", type=float, default=0.5)
     parser.add_argument("--k", type=int, default=10)
     parser.add_argument("--cost-ratio", type=float, default=1000.0)
@@ -650,6 +777,11 @@ def main(argv=None) -> int:
     parser.add_argument("--min-columnar-speedup", type=float, default=None,
                         help="fail unless every speedup family reaches "
                              "this columnar-vs-incremental ratio")
+    parser.add_argument("--min-process-speedup", type=float, default=None,
+                        help="fail unless the process backend beats the "
+                             "thread backend's wall clock by this ratio "
+                             "at the smallest recorded shard count "
+                             "(multi-core CI runners only)")
     args = parser.parse_args(argv)
 
     if args.columnar:
@@ -669,6 +801,15 @@ def main(argv=None) -> int:
             "python": platform.python_version(),
         }
         report.update(run_threshold(cost_ratio=args.cost_ratio))
+    elif args.processes:
+        output = args.output or "BENCH_pr9.json"
+        report = {
+            "benchmark": "smoke-processes",
+            "pr": "pr9-process-backend",
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        }
+        report.update(run_processes(k=args.k, cost_ratio=args.cost_ratio))
     elif args.sharded:
         output = args.output or "BENCH_pr5.json"
         report = {
@@ -742,6 +883,25 @@ def main(argv=None) -> int:
             print(
                 "speedup gate passed (%.2fx >= %.2fx)"
                 % (speedup_section["min_speedup"], args.min_speedup)
+            )
+    if args.min_process_speedup is not None:
+        gate = report.get("process_speedup_at_gate")
+        if gate is None:
+            print("REGRESSION: --min-process-speedup given but the "
+                  "--processes section was not run")
+            exit_code = 1
+        elif gate < args.min_process_speedup:
+            print(
+                "REGRESSION: process backend speedup %.2fx below %.2fx "
+                "at %d shards (%d cores)"
+                % (gate, args.min_process_speedup,
+                   min(report["shard_counts"]), os.cpu_count() or 0)
+            )
+            exit_code = 1
+        else:
+            print(
+                "process speedup gate passed (%.2fx >= %.2fx)"
+                % (gate, args.min_process_speedup)
             )
     if args.min_columnar_speedup is not None:
         if not speedup_section:

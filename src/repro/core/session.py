@@ -29,6 +29,7 @@ process-wide session used by ``run_query`` does.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from typing import List, Optional, Sequence
@@ -138,6 +139,11 @@ class QuerySession:
         # by move_to_end while another thread inserts is not safe.
         # Reentrant because executor_for -> stats_for -> _entry nest.
         self._lock = threading.RLock()
+        # Fork safety: the lock and the caches belong to this process.
+        # A forked child inherits both — including a lock possibly held
+        # by a parent thread that does not exist in the child — so every
+        # public entry point revalidates by PID before acquiring.
+        self._owner_pid = os.getpid()
         #: lifecycle counters — how many catalogs/executors this session
         #: actually built (the cache-efficiency instrumentation)
         self.stats_builds = 0
@@ -147,6 +153,20 @@ class QuerySession:
     # ------------------------------------------------------------------
     # Per-index caches
     # ------------------------------------------------------------------
+    def _check_fork(self) -> None:
+        """Reset process-local state after a ``fork()``.
+
+        Called before any lock acquisition: the inherited ``RLock`` may
+        have been held by a parent thread at fork time (that thread does
+        not exist here, so the lock would never be released), and cached
+        entries were built for the parent.  The child starts with a
+        fresh lock and empty caches; statistics rebuild lazily.
+        """
+        if os.getpid() != self._owner_pid:
+            self._lock = threading.RLock()
+            self._entries = OrderedDict()
+            self._owner_pid = os.getpid()
+
     def _entry(self, index: Optional[InvertedBlockIndex]) -> _IndexEntry:
         if index is None:
             index = self.default_index
@@ -178,6 +198,7 @@ class QuerySession:
         runs against that index shares it, so histogram and covariance
         computation is amortized across the whole workload.
         """
+        self._check_fork()
         with self._lock:
             entry = self._entry(index)
             if entry.stats is None:
@@ -195,6 +216,7 @@ class QuerySession:
         index: Optional[InvertedBlockIndex] = None,
     ) -> None:
         """Adopt a precomputed catalog for an index (e.g. a shared one)."""
+        self._check_fork()
         with self._lock:
             entry = self._entry(index)
             entry.stats = catalog
@@ -205,6 +227,7 @@ class QuerySession:
         self, index: Optional[InvertedBlockIndex] = None
     ) -> QueryExecutor:
         """The (cached) reusable executor for an index."""
+        self._check_fork()
         with self._lock:
             entry = self._entry(index)
             if entry.executor is None:
@@ -224,6 +247,7 @@ class QuerySession:
     @property
     def cached_indexes(self) -> int:
         """How many indexes this session currently holds caches for."""
+        self._check_fork()
         with self._lock:
             return len(self._entries)
 
@@ -406,7 +430,18 @@ class ShardedSession:
     bound-driven shard pruning; ``mode="gather"`` runs every shard to
     completion (the naive baseline).  All other keyword arguments mirror
     :class:`QuerySession` / :class:`~repro.distrib.coordinator.MergeCoordinator`.
+
+    ``backend`` selects where shard executions run: ``"thread"``
+    (default — the in-process :class:`~repro.distrib.shard.ShardExecutor`)
+    or ``"process"`` (persistent worker processes over mmap'd on-disk
+    shard indexes, see :class:`~repro.distrib.process.ProcessShardExecutor`).
+    Semantics are identical; only the access schedule's wall-clock
+    parallelism differs.  ``start_method``/``spill_dir`` apply to the
+    process backend only.  Call :meth:`close` (or use the session as a
+    context manager) to release process-backend workers.
     """
+
+    BACKENDS = ("thread", "process")
 
     def __init__(
         self,
@@ -421,11 +456,22 @@ class ShardedSession:
         max_workers: Optional[int] = None,
         predict_threshold: bool = False,
         threshold_predictor: Optional[object] = None,
+        backend: str = "thread",
+        start_method: Optional[str] = None,
+        spill_dir: Optional[str] = None,
         **session_kwargs,
     ) -> None:
         from ..distrib.coordinator import DEFAULT_MAX_ROUNDS, MergeCoordinator
         from ..distrib.partition import ShardedIndex, partition_index
+        from ..distrib.process import ProcessShardExecutor
         from ..distrib.shard import ShardExecutor
+
+        if backend not in self.BACKENDS:
+            raise ValueError(
+                "unknown backend %r; valid: %s"
+                % (backend, list(self.BACKENDS))
+            )
+        self.backend = backend
 
         #: when True, bounded-mode queries compute a plan-time threshold
         #: prediction (the max over per-shard estimates) and hand it to
@@ -449,12 +495,22 @@ class ShardedSession:
         #: threshold under hash partitioning: a shard's top-k reaches
         #: rank ~k*num_shards globally)
         self.global_index = index
-        self.executor = ShardExecutor(
-            sharded,
-            session=session,
-            max_workers=max_workers,
-            **session_kwargs,
-        )
+        if backend == "process":
+            self.executor = ProcessShardExecutor(
+                sharded,
+                session=session,
+                start_method=start_method,
+                spill_dir=spill_dir,
+                max_workers=max_workers,
+                **session_kwargs,
+            )
+        else:
+            self.executor = ShardExecutor(
+                sharded,
+                session=session,
+                max_workers=max_workers,
+                **session_kwargs,
+            )
         self.coordinator = MergeCoordinator(
             self.executor,
             round_budget=round_budget,
@@ -476,6 +532,18 @@ class ShardedSession:
     def warm(self) -> None:
         """Build every shard's statistics catalog up front."""
         self.executor.warm()
+
+    def close(self) -> None:
+        """Release backend resources (process-backend workers, spill)."""
+        close = getattr(self.executor, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "ShardedSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def run(
         self,
@@ -587,6 +655,9 @@ _SHARED_SESSION: Optional[QuerySession] = None
 #: Guards creation/reset of the process-wide session across threads.
 _SHARED_SESSION_LOCK = threading.Lock()
 
+#: PID that owns the shared session (a forked child must not reuse it).
+_SHARED_SESSION_PID = os.getpid()
+
 #: Indexes the shared session keeps alive at most (LRU-evicted beyond).
 SHARED_SESSION_MAX_INDEXES = 8
 
@@ -599,8 +670,14 @@ def shared_session() -> QuerySession:
     limit.  Call :func:`reset_shared_session` to drop it entirely.
     Thread-safe: concurrent first calls observe the same session (the
     session's own internal lock then makes its caches safe to share).
+    Fork-safe: a forked child gets a fresh session and a fresh guard
+    lock (the inherited ones may carry parent-thread state).
     """
-    global _SHARED_SESSION
+    global _SHARED_SESSION, _SHARED_SESSION_LOCK, _SHARED_SESSION_PID
+    if os.getpid() != _SHARED_SESSION_PID:
+        _SHARED_SESSION_LOCK = threading.Lock()
+        _SHARED_SESSION = None
+        _SHARED_SESSION_PID = os.getpid()
     with _SHARED_SESSION_LOCK:
         if _SHARED_SESSION is None:
             _SHARED_SESSION = QuerySession(

@@ -11,6 +11,10 @@ bound algebra — and therefore the results — exact:
 * :mod:`repro.distrib.shard` — runs the existing
   :class:`~repro.core.executor.QueryExecutor` per shard, concurrently,
   with per-shard COST/#SA/#RA accounting and per-shard deadline budgets,
+* :mod:`repro.distrib.process` — the true-parallelism backend: one
+  persistent worker *process* per shard, each serving requests over a
+  pipe from its own mmap'd on-disk copy of the shard index (byte
+  identical to the thread backend; the GIL stops mattering),
 * :mod:`repro.distrib.coordinator` — merges shard results in rounds,
   maintaining a global top-k over shard-local worstscores and stopping
   shards early once the global ``min-k`` dominates their bestscore bound
@@ -30,14 +34,18 @@ from .coordinator import (
 )
 from .degrade import DegradePolicy, ShardFailure
 from .partition import ShardedIndex, partition_index, partition_postings
+from .process import ProcessShardExecutor, ShardWorkerDied, ShardWorkerError
 from .shard import ShardExecutor, ShardOutcome
 
 __all__ = [
     "DegradePolicy",
     "MergeCoordinator",
+    "ProcessShardExecutor",
     "ShardExecutor",
     "ShardFailure",
     "ShardOutcome",
+    "ShardWorkerDied",
+    "ShardWorkerError",
     "ShardedExecutionError",
     "ShardedIndex",
     "ShardedTopKResult",

@@ -1,0 +1,643 @@
+"""Process-parallel shard execution over mmap'd on-disk shard indexes.
+
+The thread-based :class:`~repro.distrib.shard.ShardExecutor` shares one
+in-memory index between worker threads — simple, but the GIL serializes
+the python side of every shard execution, so the scaling curve flattens
+around 4 shards.  This module is the true-parallelism backend:
+
+* every shard is **persisted** once in the v3 mmap layout
+  (:mod:`repro.storage.serialization`) and each worker *process* opens
+  its shard's file read-only via ``np.memmap`` — zero-copy, and the OS
+  page cache shares the bytes between workers on the same machine,
+* workers are **persistent**: spawned once (lazily, on first use), they
+  keep their mmap'd index, statistics catalog, and reusable
+  :class:`~repro.core.executor.QueryExecutor` warm across queries —
+  exactly the amortization the session layer does in-process,
+* the parent talks to each worker over a private duplex pipe with a
+  strict request/reply protocol; each coordinator round ships the plan
+  plus the per-round :class:`~repro.core.executor.QueryDeadline` budget
+  down and the full per-round accounting (COST/#SA/#RA, engine rounds,
+  degraded flags) **and the bound tap** (the shard's remaining bestscore
+  bound at termination) back up, so the
+  :class:`~repro.distrib.coordinator.MergeCoordinator` sees outcomes
+  that are indistinguishable from the thread backend's,
+* a worker that **dies** (crash, OOM-kill, SIGKILL chaos) is detected at
+  the pipe and reported as a captured :class:`ShardWorkerDied` error on
+  the outcome — the same shape a raising thread execution produces — so
+  the :class:`~repro.distrib.degrade.DegradePolicy` applies unchanged:
+  degraded-but-well-formed results naming the shard in
+  ``exhausted_shards`` (``degrade_reason == "dead_shard"``), or
+  :class:`~repro.distrib.coordinator.ShardedExecutionError` under
+  ``fail_fast``.  Dead workers are respawned on the next query by
+  default, so one crash degrades one query, not the executor.
+
+Determinism is the load-bearing property: a worker re-plans the query
+from the same primitive fields, runs the same executor code over the
+same bytes, and pickle round-trips floats exactly — so the process
+backend is **byte-identical** to the thread backend and to single-node
+execution (pinned by ``tests/test_process_parity.py`` for all 24
+algorithm triples under both ``fork`` and ``spawn`` start methods).
+
+Fork safety: the executor records its owner PID; when a forked child
+touches it, inherited worker handles (which belong to the parent) are
+discarded unkilled and fresh workers are spawned for the child.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import pathlib
+import shutil
+import signal
+import tempfile
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.executor import QueryDeadline
+from ..core.planner import QueryPlan
+from ..core.results import QueryStats, RankedItem, TopKResult
+from ..core.session import QuerySession
+from .partition import ShardedIndex
+from .shard import BoundTapListener, ShardAccounting, ShardOutcome
+
+#: How often the parent re-checks a silent worker's liveness while
+#: waiting for a reply (seconds).  Death is detected within one period.
+_POLL_INTERVAL = 0.05
+
+#: Grace given to a worker between the shutdown message and SIGTERM.
+_SHUTDOWN_GRACE = 2.0
+
+#: File name of one shard's persisted index inside the spill directory.
+_SHARD_FILE = "shard_%04d.idx"
+
+
+class ShardWorkerDied(RuntimeError):
+    """A shard worker process died (or its pipe broke) mid-request."""
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker reported an execution error (worker survived)."""
+
+
+# ----------------------------------------------------------------------
+# Wire format
+# ----------------------------------------------------------------------
+#
+# Requests are tuples ``(op, payload)``; replies are ``("ok", payload)``
+# or ``("error", (type_name, message))``.  Ops:
+#
+#   "execute"  -> run a plan; payload is `_plan_payload`, reply is
+#                 `_outcome_payload` (result + stats + bound tap)
+#   "warm"     -> build the worker's statistics catalog + executor
+#   "ping"     -> liveness probe, replies ("ok", pid)
+#   "sleep"    -> chaos hook: block the worker for payload seconds;
+#                 sends NO reply (keeps the parent's recv stream aligned)
+#   "shutdown" -> exit the worker loop; no reply
+
+
+def _plan_payload(plan: QueryPlan) -> Dict:
+    """Primitive fields a worker needs to rebuild ``plan`` exactly.
+
+    The plan is re-planned worker-side through the same registry
+    (:func:`repro.core.algorithms.plan`) rather than pickled: policy
+    factories may be closures, and deterministic re-resolution from the
+    canonical algorithm name is guaranteed to produce the same policies.
+    """
+    deadline = plan.deadline
+    prediction = plan.predicted_threshold
+    cost_model = plan.cost_model
+    return {
+        "algorithm": plan.algorithm,
+        "terms": tuple(plan.terms),
+        "k": int(plan.k),
+        "weights": tuple(plan.weights) if plan.weights else None,
+        "prune_epsilon": float(plan.prune_epsilon),
+        "batch_blocks": plan.batch_blocks,
+        "cost_model": (
+            (cost_model.sorted_access_cost, cost_model.random_access_cost)
+            if cost_model is not None
+            else None
+        ),
+        "deadline": (
+            (deadline.wall_clock_seconds, deadline.cost_budget)
+            if deadline is not None
+            else None
+        ),
+        "prediction": (
+            (prediction.value, prediction.method, prediction.raw,
+             prediction.safety)
+            if prediction is not None
+            else None
+        ),
+    }
+
+
+def _rebuild_plan(payload: Dict) -> QueryPlan:
+    from ..core.algorithms import plan as plan_query
+    from ..stats.threshold import PredictedThreshold
+    from ..storage.diskmodel import CostModel
+
+    plan = plan_query(
+        payload["terms"],
+        payload["k"],
+        payload["algorithm"],
+        weights=payload["weights"],
+        prune_epsilon=payload["prune_epsilon"],
+    )
+    changes: Dict = {}
+    if payload["deadline"] is not None:
+        wall, cost = payload["deadline"]
+        changes["deadline"] = QueryDeadline(
+            wall_clock_seconds=wall, cost_budget=cost
+        )
+    if payload["prediction"] is not None:
+        value, method, raw, safety = payload["prediction"]
+        changes["predicted_threshold"] = PredictedThreshold(
+            value=value, method=method, raw=raw, safety=safety
+        )
+    if payload["cost_model"] is not None:
+        sorted_cost, random_cost = payload["cost_model"]
+        changes["cost_model"] = CostModel(
+            sorted_access_cost=sorted_cost, random_access_cost=random_cost
+        )
+    if payload["batch_blocks"] is not None:
+        changes["batch_blocks"] = payload["batch_blocks"]
+    return plan.replace(**changes) if changes else plan
+
+
+def _outcome_payload(result: TopKResult, tap: BoundTapListener) -> Dict:
+    """One execution's result, accounting, and bound tap, as primitives."""
+    stats = result.stats
+    return {
+        "items": [
+            (item.doc_id, item.worstscore, item.bestscore)
+            for item in result.items
+        ],
+        "stats": {
+            "sorted_accesses": stats.sorted_accesses,
+            "random_accesses": stats.random_accesses,
+            "cost": stats.cost,
+            "rounds": stats.rounds,
+            "peak_queue_size": stats.peak_queue_size,
+            "wall_time_seconds": stats.wall_time_seconds,
+            "retries": stats.retries,
+            "simulated_io_wait_ms": stats.simulated_io_wait_ms,
+            "prediction_drops": stats.prediction_drops,
+            "prediction_fallback": stats.prediction_fallback,
+        },
+        "algorithm": result.algorithm,
+        "degraded": result.degraded,
+        "degrade_reason": result.degrade_reason,
+        "exhausted_lists": list(result.exhausted_lists),
+        "remaining_bound": tap.remaining_bound,
+        "engine_rounds": tap.rounds,
+        "reason": tap.reason,
+    }
+
+
+def _rebuild_result(payload: Dict) -> TopKResult:
+    return TopKResult(
+        items=[
+            RankedItem(doc_id=doc, worstscore=worst, bestscore=best)
+            for doc, worst, best in payload["items"]
+        ],
+        stats=QueryStats(**payload["stats"]),
+        algorithm=payload["algorithm"],
+        degraded=payload["degraded"],
+        exhausted_lists=list(payload["exhausted_lists"]),
+        degrade_reason=payload["degrade_reason"],
+    )
+
+
+def _shard_worker_main(
+    conn: multiprocessing.connection.Connection,
+    path: str,
+    shard_id: int,
+    session_kwargs: Dict,
+) -> None:
+    """Entry point of one shard worker process.
+
+    Opens the shard's v3 index file read-only (zero-copy mmap), builds a
+    private :class:`QuerySession` over it, and serves protocol requests
+    until shutdown.  Module-level so it is importable under the
+    ``spawn`` start method.
+    """
+    # The parent owns lifecycle; a Ctrl-C storm in an interactive parent
+    # must not take workers down mid-reply (shutdown is via the pipe).
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    from ..storage.serialization import load_index
+
+    index = load_index(path)
+    session = QuerySession(index, **session_kwargs)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):  # parent went away
+            break
+        op, payload = message
+        if op == "shutdown":
+            break
+        if op == "ping":
+            conn.send(("ok", os.getpid()))
+        elif op == "warm":
+            session.stats_for()
+            session.executor_for()
+            conn.send(("ok", None))
+        elif op == "sleep":  # chaos hook: no reply, by design
+            time.sleep(float(payload))
+        elif op == "execute":
+            try:
+                plan = _rebuild_plan(payload)
+                tap = BoundTapListener()
+                result = session.executor_for().execute(
+                    plan, listeners=(tap,)
+                )
+                conn.send(("ok", _outcome_payload(result, tap)))
+            except Exception as exc:  # reported, worker survives
+                conn.send(("error", (type(exc).__name__, str(exc))))
+        else:
+            conn.send(("error", ("ProtocolError", "unknown op %r" % (op,))))
+    conn.close()
+
+
+class _WorkerHandle:
+    """Parent-side state of one live worker."""
+
+    __slots__ = ("process", "conn", "shard_id")
+
+    def __init__(self, process, conn, shard_id: int) -> None:
+        self.process = process
+        self.conn = conn
+        self.shard_id = shard_id
+
+
+class ProcessShardExecutor:
+    """Drop-in :class:`~repro.distrib.shard.ShardExecutor` replacement
+    that runs each shard in its own persistent worker process.
+
+    ``sharded`` stays resident in the parent (the coordinator resolves
+    candidates and derives budgets/bounds from it); the workers execute
+    over the **persisted** copies.  ``spill_dir`` is where shard files
+    live: pass a directory to reuse existing files (saved only when
+    missing, keyed by shard count), or leave ``None`` for a private
+    temporary directory removed on :meth:`close`.
+
+    ``session`` / ``session_kwargs`` mirror the thread executor;
+    ``session_kwargs`` must be picklable — they are shipped to every
+    worker, whose private session is built from them (``listeners``
+    cannot cross a process boundary and are rejected).  The parent-side
+    session serves statistics to the coordinator (threshold prediction,
+    budget sizing) exactly as in the thread backend.
+
+    ``start_method`` is ``"fork"``/``"spawn"``/``"forkserver"`` or
+    ``None`` for the platform default.  ``restart_dead_workers`` (default
+    True) respawns a dead worker on the next query touching its shard,
+    so a crash degrades one query, not the executor.
+    """
+
+    def __init__(
+        self,
+        sharded: ShardedIndex,
+        session: Optional[QuerySession] = None,
+        start_method: Optional[str] = None,
+        spill_dir: Optional[str] = None,
+        restart_dead_workers: bool = True,
+        max_workers: Optional[int] = None,  # interface parity; unused
+        **session_kwargs,
+    ) -> None:
+        if sharded.num_shards < 1:
+            raise ValueError("a sharded index needs at least one shard")
+        if "listeners" in session_kwargs:
+            raise ValueError(
+                "listeners cannot cross the process boundary; attach "
+                "them to a thread-backend executor instead"
+            )
+        self.sharded = sharded
+        self.session = (
+            session if session is not None else QuerySession(**session_kwargs)
+        )
+        self._session_kwargs = dict(session_kwargs)
+        self._ctx = multiprocessing.get_context(start_method)
+        self.start_method = self._ctx.get_start_method()
+        self.restart_dead_workers = bool(restart_dead_workers)
+        self._owns_spill = spill_dir is None
+        self._spill_dir = pathlib.Path(
+            spill_dir
+            if spill_dir is not None
+            else tempfile.mkdtemp(prefix="repro-shards-")
+        )
+        self._spill_dir.mkdir(parents=True, exist_ok=True)
+        self._workers: Dict[int, Optional[_WorkerHandle]] = {
+            sid: None for sid in range(sharded.num_shards)
+        }
+        self._owner_pid = os.getpid()
+        self._closed = False
+        self.accounting: Dict[int, ShardAccounting] = {
+            sid: ShardAccounting() for sid in range(sharded.num_shards)
+        }
+        self._persist_shards()
+
+    # ------------------------------------------------------------------
+    # Spill files
+    # ------------------------------------------------------------------
+    def shard_path(self, shard_id: int) -> pathlib.Path:
+        """On-disk v3 index file of one shard."""
+        return self._spill_dir / (_SHARD_FILE % shard_id)
+
+    def _persist_shards(self) -> None:
+        from ..storage.serialization import save_index
+
+        for sid, shard in enumerate(self.sharded.shards):
+            path = self.shard_path(sid)
+            if not path.exists():
+                save_index(shard, path, layout="mmap")
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _check_fork(self) -> None:
+        """Drop worker handles inherited through fork() — they belong to
+        the parent process and must be neither used nor killed here."""
+        if os.getpid() != self._owner_pid:
+            self._workers = {
+                sid: None for sid in range(self.sharded.num_shards)
+            }
+            self._owner_pid = os.getpid()
+            self._closed = False
+            # The spill directory belongs to the original process; a
+            # forked child closing its copy must not delete it.
+            self._owns_spill = False
+
+    def _ensure_worker(self, shard_id: int) -> _WorkerHandle:
+        self._check_fork()
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        handle = self._workers.get(shard_id)
+        if handle is not None and handle.process.is_alive():
+            return handle
+        if handle is not None and not self.restart_dead_workers:
+            raise ShardWorkerDied(
+                "worker of shard %d is dead (restarts disabled)" % shard_id
+            )
+        return self._spawn(shard_id)
+
+    def _spawn(self, shard_id: int) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(
+                child_conn,
+                str(self.shard_path(shard_id)),
+                shard_id,
+                self._session_kwargs,
+            ),
+            name="repro-shard-%d" % shard_id,
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle = _WorkerHandle(process, parent_conn, shard_id)
+        self._workers[shard_id] = handle
+        return handle
+
+    def _discard(self, handle: _WorkerHandle) -> None:
+        """Forget a dead worker: close the pipe, reap the process."""
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        handle.process.join(timeout=0.5)
+        if self._workers.get(handle.shard_id) is handle:
+            self._workers[handle.shard_id] = None
+
+    def _recv(self, handle: _WorkerHandle) -> Tuple[str, object]:
+        """One reply from a worker, detecting death while waiting."""
+        while True:
+            try:
+                if handle.conn.poll(_POLL_INTERVAL):
+                    return handle.conn.recv()
+            except (EOFError, OSError, BrokenPipeError) as exc:
+                raise ShardWorkerDied(
+                    "worker of shard %d died mid-request (%s)"
+                    % (handle.shard_id, type(exc).__name__)
+                ) from exc
+            if not handle.process.is_alive():
+                # Drain anything flushed before death, then report it.
+                try:
+                    if handle.conn.poll(0):
+                        return handle.conn.recv()
+                except (EOFError, OSError):
+                    pass
+                raise ShardWorkerDied(
+                    "worker of shard %d (pid %s) died mid-request"
+                    % (handle.shard_id, handle.process.pid)
+                )
+
+    def _send(self, handle: _WorkerHandle, message: Tuple) -> None:
+        try:
+            handle.conn.send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardWorkerDied(
+                "worker of shard %d is gone (%s)"
+                % (handle.shard_id, type(exc).__name__)
+            ) from exc
+
+    def _request(self, handle: _WorkerHandle, message: Tuple) -> object:
+        self._send(handle, message)
+        reply, payload = self._recv(handle)
+        if reply == "error":
+            type_name, text = payload
+            raise ShardWorkerError(
+                "shard %d worker: %s: %s"
+                % (handle.shard_id, type_name, text)
+            )
+        return payload
+
+    # ------------------------------------------------------------------
+    # Warm-up
+    # ------------------------------------------------------------------
+    def warm(self) -> None:
+        """Spawn every worker and build its statistics catalog.
+
+        Broadcast first, then collect, so catalogs build in parallel
+        across worker processes.
+        """
+        handles = [
+            self._ensure_worker(sid)
+            for sid in range(self.sharded.num_shards)
+        ]
+        for handle in handles:
+            self._send(handle, ("warm", None))
+        for handle in handles:
+            reply, payload = self._recv(handle)
+            if reply == "error":
+                raise ShardWorkerError(
+                    "shard %d warm-up failed: %s" % (handle.shard_id, payload)
+                )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute_one(
+        self,
+        shard_id: int,
+        plan: QueryPlan,
+        deadline: Optional[QueryDeadline] = None,
+    ) -> ShardOutcome:
+        """Run ``plan`` on one shard worker; never raises for worker
+        errors or death (captured on the outcome for the degrade policy)."""
+        outcomes = self.execute_round(plan, [shard_id], {shard_id: deadline})
+        return outcomes[0]
+
+    def execute_round(
+        self,
+        plan: QueryPlan,
+        shard_ids: Sequence[int],
+        deadlines: Optional[Dict[int, Optional[QueryDeadline]]] = None,
+    ) -> List[ShardOutcome]:
+        """Run one coordinator round across shard workers, in parallel.
+
+        All requests are shipped before any reply is awaited, so the
+        workers — separate processes — genuinely overlap.  Outcomes come
+        back ordered by shard id; a dead or erroring worker is reported
+        through :attr:`ShardOutcome.error`, never by raising.
+        """
+        deadlines = deadlines or {}
+        ordered = sorted(shard_ids)
+        pending: List[Tuple[int, Optional[_WorkerHandle], float,
+                            Optional[BaseException]]] = []
+        for sid in ordered:
+            shard_plan = plan.replace(deadline=deadlines.get(sid))
+            started = time.perf_counter()
+            try:
+                handle = self._ensure_worker(sid)
+                self._send(
+                    handle, ("execute", _plan_payload(shard_plan))
+                )
+            except (ShardWorkerDied, OSError) as exc:
+                pending.append((sid, None, started, exc))
+            else:
+                pending.append((sid, handle, started, None))
+        outcomes = []
+        for sid, handle, started, send_error in pending:
+            outcome = ShardOutcome(shard_id=sid)
+            account = self.accounting[sid]
+            error: Optional[BaseException] = send_error
+            payload = None
+            if handle is not None:
+                try:
+                    reply, body = self._recv(handle)
+                except ShardWorkerDied as exc:
+                    error = exc
+                    self._discard(handle)
+                else:
+                    if reply == "error":
+                        type_name, text = body
+                        error = ShardWorkerError(
+                            "shard %d worker: %s: %s"
+                            % (sid, type_name, text)
+                        )
+                    else:
+                        payload = body
+            if error is not None:
+                outcome.error = error
+                account.failures += 1
+            else:
+                result = _rebuild_result(payload)
+                outcome.result = result
+                outcome.remaining_bound = payload["remaining_bound"]
+                outcome.engine_rounds = payload["engine_rounds"]
+                outcome.reason = payload["reason"]
+                account.executions += 1
+                account.sorted_accesses += result.stats.sorted_accesses
+                account.random_accesses += result.stats.random_accesses
+                account.cost += result.stats.cost
+                account.engine_rounds += payload["engine_rounds"]
+            outcome.wall_seconds = time.perf_counter() - started
+            outcomes.append(outcome)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # Chaos hooks (used by the process-death chaos suite)
+    # ------------------------------------------------------------------
+    def worker_pid(self, shard_id: int) -> Optional[int]:
+        """PID of the shard's live worker (spawning it if needed)."""
+        return self._ensure_worker(shard_id).process.pid
+
+    def inject_sleep(self, shard_id: int, seconds: float) -> None:
+        """Chaos hook: make the worker block before its next request.
+
+        Fire-and-forget (the sleep op sends no reply), so the very next
+        ``execute`` shipped to this worker queues behind the sleep —
+        the deterministic way to catch a worker "mid-query" for kill
+        tests without racing timers.
+        """
+        self._send(self._ensure_worker(shard_id), ("sleep", float(seconds)))
+
+    def kill_worker(self, shard_id: int) -> int:
+        """SIGKILL the shard's worker; returns the killed PID."""
+        handle = self._ensure_worker(shard_id)
+        pid = handle.process.pid
+        os.kill(pid, signal.SIGKILL)
+        return pid
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def live_workers(self) -> List[int]:
+        """Shard ids with a currently live worker process."""
+        self._check_fork()
+        return sorted(
+            sid
+            for sid, handle in self._workers.items()
+            if handle is not None and handle.process.is_alive()
+        )
+
+    def close(self) -> None:
+        """Shut workers down and remove an owned spill directory."""
+        self._check_fork()
+        if self._closed:
+            return
+        self._closed = True
+        handles = [h for h in self._workers.values() if h is not None]
+        for handle in handles:
+            if handle.process.is_alive():
+                try:
+                    handle.conn.send(("shutdown", None))
+                except (BrokenPipeError, OSError):
+                    pass
+        deadline = time.monotonic() + _SHUTDOWN_GRACE
+        for handle in handles:
+            handle.process.join(
+                timeout=max(deadline - time.monotonic(), 0.1)
+            )
+            if handle.process.is_alive():  # pragma: no cover - stuck
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._workers = {
+            sid: None for sid in range(self.sharded.num_shards)
+        }
+        if self._owns_spill:
+            shutil.rmtree(self._spill_dir, ignore_errors=True)
+
+    def __enter__(self) -> "ProcessShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best effort
+        try:
+            if os.getpid() == self._owner_pid:
+                self.close()
+        except Exception:
+            pass

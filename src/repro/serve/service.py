@@ -555,5 +555,9 @@ class QueryService:
                 "bookkeeping_mode": resolve_bookkeeping_mode(
                     getattr(self.session, "bookkeeping", None)
                 ),
+                # sharded sessions report their execution backend
+                # ("thread" | "process"); single-node sessions run
+                # in-process by definition
+                "backend": getattr(self.session, "backend", "in-process"),
             },
         }

@@ -116,6 +116,52 @@ class IndexList:
         self._lookup_scores = self._scores_by_rank[order]
         self._block_crcs: Dict[int, int] = {}
 
+    @classmethod
+    def from_layout(
+        cls,
+        term: str,
+        doc_ids_by_rank: np.ndarray,
+        scores_by_rank: np.ndarray,
+        block_doc_ids: np.ndarray,
+        block_scores: np.ndarray,
+        lookup_doc_ids: np.ndarray,
+        lookup_scores: np.ndarray,
+        block_size: int,
+        block_crcs: Optional[Sequence[int]] = None,
+    ) -> "IndexList":
+        """Wire a list directly from precomputed layout arrays.
+
+        The zero-copy constructor behind the mmap'd on-disk format
+        (:mod:`repro.storage.serialization` v3): the six arrays are
+        adopted as-is — typically read-only views into one
+        :class:`numpy.memmap` — with none of the sorting, blocking, or
+        validation work the regular constructor performs.  The caller
+        vouches for the layout invariants (rank order descending by
+        score, blocks doc-id-sorted, lookup columns doc-id-sorted);
+        the v3 loader enforces them transitively through the per-block
+        CRC check against checksums recorded at save time.
+
+        ``block_crcs`` pre-seeds the per-block checksum cache so an
+        integrity-verified load never recomputes them at query time.
+        """
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        lst = cls.__new__(cls)
+        lst.term = term
+        lst.block_size = int(block_size)
+        lst._doc_ids_by_rank = doc_ids_by_rank
+        lst._scores_by_rank = scores_by_rank
+        lst._block_doc_ids = block_doc_ids
+        lst._block_scores = block_scores
+        lst._lookup_doc_ids = lookup_doc_ids
+        lst._lookup_scores = lookup_scores
+        lst._block_crcs = (
+            {i: int(crc) for i, crc in enumerate(block_crcs)}
+            if block_crcs is not None
+            else {}
+        )
+        return lst
+
     # ------------------------------------------------------------------
     # Basic geometry
     # ------------------------------------------------------------------

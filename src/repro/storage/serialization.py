@@ -1,17 +1,35 @@
-"""Persist and reload inverted block-indexes (compressed .npz).
+"""Persist and reload inverted block-indexes (.npz or mmap-able v3).
 
 A production index lives on disk; this module gives the library a simple,
 dependency-free on-disk format so collections can be built once and reused
-across sessions.  The format stores each list's postings plus the global
-metadata; block layout is rebuilt deterministically on load (the layout is
-a pure function of the postings and the block size).
+across sessions.  Two layouts share one entry point:
 
-Format version 2 adds integrity: one CRC32 checksum per block (the same
-:func:`~repro.storage.block_index.compute_block_checksum` the fault layer
-uses at query time) is written next to each list and re-verified on load.
+* ``layout="npz"`` (format versions 1-2) — a compressed numpy archive
+  storing each list's postings; the blocked layout is rebuilt
+  deterministically on load (it is a pure function of the postings and
+  the block size).  Version 2 added integrity: one CRC32 checksum per
+  block (the same :func:`~repro.storage.block_index.compute_block_checksum`
+  the fault layer uses at query time) written next to each list and
+  re-verified on load,
+* ``layout="mmap"`` (format version 3) — an uncompressed, page-aligned
+  block layout designed for ``np.memmap``: every array the query path
+  touches (rank columns, the doc-id-sorted block columns, the
+  random-access lookup columns) is stored verbatim as little-endian raw
+  bytes, so loading is **zero-copy** — the arrays returned by
+  :func:`load_index` are read-only views into the file's pages, shared
+  between every process that maps it.  This is the persistent index
+  backend behind
+  :class:`~repro.distrib.process.ProcessShardExecutor`: worker processes
+  open their shard's file read-only and serve queries without ever
+  holding a private copy of the index.  The per-block CRC table is
+  stored and re-verified on load exactly like v2, and the JSON header
+  carries its own CRC32 so metadata corruption is typed too.
+
 A truncated, bit-flipped, or otherwise undecodable file raises a typed
 :class:`~repro.storage.faults.IndexCorruptionError` instead of producing
 garbage scores.  Version-1 files (no checksums) still load, unverified.
+:func:`load_index` sniffs the layout from the file's magic bytes, so
+callers never need to know which layout a path holds.
 """
 
 from __future__ import annotations
@@ -20,18 +38,38 @@ import json
 import pathlib
 import zipfile
 import zlib
-from typing import Union
+from typing import Dict, List, Tuple, Union
 
 import numpy as np
 
-from .block_index import IndexList, InvertedBlockIndex
+from .block_index import IndexList, InvertedBlockIndex, compute_block_checksum
 from .faults import IndexCorruptionError
 
-#: Format version written into every file; bump on incompatible changes.
+#: Format version written into every npz file; bump on incompatible changes.
 FORMAT_VERSION = 2
 
-#: Versions :func:`load_index` understands.
+#: Format version of the mmap-able raw layout.
+MMAP_FORMAT_VERSION = 3
+
+#: Versions the npz path of :func:`load_index` understands.
 _READABLE_VERSIONS = (1, 2)
+
+#: Magic prefix of a v3 (mmap-able) index file.
+MMAP_MAGIC = b"IOTOPK3\x00"
+
+#: Every array segment starts on a multiple of this (numpy-friendly and
+#: a divisor of the page size, so score columns stay aligned for mmap).
+_SEGMENT_ALIGN = 64
+
+#: The six layout arrays persisted per list, in file order, with dtypes.
+_LIST_COLUMNS = (
+    ("rank_docs", np.int64),
+    ("rank_scores", np.float64),
+    ("block_docs", np.int64),
+    ("block_scores", np.float64),
+    ("lookup_docs", np.int64),
+    ("lookup_scores", np.float64),
+)
 
 
 class UnsupportedFormatError(ValueError):
@@ -39,9 +77,24 @@ class UnsupportedFormatError(ValueError):
 
 
 def save_index(
-    index: InvertedBlockIndex, path: Union[str, pathlib.Path]
+    index: InvertedBlockIndex,
+    path: Union[str, pathlib.Path],
+    layout: str = "npz",
 ) -> None:
-    """Write the index to ``path`` as a compressed numpy archive."""
+    """Write the index to ``path``.
+
+    ``layout="npz"`` (default) writes the compressed v2 archive;
+    ``layout="mmap"`` writes the uncompressed v3 layout that
+    :func:`load_index` maps zero-copy.  Both are read back through the
+    same :func:`load_index` (the layout is sniffed from the file).
+    """
+    if layout == "mmap":
+        _save_index_mmap(index, pathlib.Path(path))
+        return
+    if layout != "npz":
+        raise ValueError(
+            "unknown index layout %r; valid: npz, mmap" % (layout,)
+        )
     path = pathlib.Path(path)
     terms = index.terms
     metadata = {
@@ -73,15 +126,21 @@ def save_index(
 def load_index(path: Union[str, pathlib.Path]) -> InvertedBlockIndex:
     """Load an index previously written by :func:`save_index`.
 
-    Raises :class:`FileNotFoundError` for a missing file,
-    :class:`UnsupportedFormatError` for an unknown format version, and
-    :class:`IndexCorruptionError` for anything that fails integrity
-    checks — truncated archives, undecodable metadata, bit-flipped
-    payloads, or per-block checksum mismatches.
+    The layout is sniffed from the file's magic bytes: v3 (mmap) files
+    load zero-copy as read-only :class:`numpy.memmap` views, npz files
+    decompress into fresh arrays.  Raises :class:`FileNotFoundError`
+    for a missing file, :class:`UnsupportedFormatError` for an unknown
+    format version, and :class:`IndexCorruptionError` for anything that
+    fails integrity checks — truncated archives, undecodable metadata,
+    bit-flipped payloads, or per-block checksum mismatches.
     """
     path = pathlib.Path(path)
     if not path.exists():
         raise FileNotFoundError(str(path))
+    with path.open("rb") as handle:
+        prefix = handle.read(len(MMAP_MAGIC))
+    if prefix == MMAP_MAGIC:
+        return _load_index_mmap(path)
     try:
         with np.load(path) as archive:
             metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
@@ -123,6 +182,240 @@ def load_index(path: Union[str, pathlib.Path]) -> InvertedBlockIndex:
             "index file %s is corrupted: %s" % (path, exc)
         ) from exc
     return InvertedBlockIndex(lists, num_docs=num_docs)
+
+
+# ----------------------------------------------------------------------
+# The v3 mmap-able layout
+# ----------------------------------------------------------------------
+#
+# File structure (all integers little-endian):
+#
+#   bytes 0..7    MMAP_MAGIC
+#   bytes 8..15   uint64: length of the JSON header in bytes
+#   bytes 16..19  uint32: CRC32 of the JSON header bytes
+#   bytes 20..    the JSON header (UTF-8, sorted keys — deterministic)
+#   then, each starting on a _SEGMENT_ALIGN boundary, the raw
+#   little-endian array segments in header order.
+#
+# The header records, per term: the block size, the per-block CRC table
+# (plain ints — verified against the mapped block columns on load), and
+# the byte offset + element count of each of the six layout arrays.
+# Writing is deterministic byte for byte: re-saving a loaded index
+# reproduces the identical file, which the corruption suite pins.
+
+
+def _list_layout_arrays(index_list: IndexList) -> List[np.ndarray]:
+    """The six persisted columns of one list, in `_LIST_COLUMNS` order."""
+    return [
+        index_list.doc_ids_by_rank,
+        index_list.scores_by_rank,
+        index_list._block_doc_ids,
+        index_list._block_scores,
+        index_list._lookup_doc_ids,
+        index_list._lookup_scores,
+    ]
+
+
+def _save_index_mmap(index: InvertedBlockIndex, path: pathlib.Path) -> None:
+    terms = index.terms
+    lists = [index.list_for(term) for term in terms]
+    # Lay out the segments first so the header can carry real offsets.
+    # The header length feeds back into the first offset, so compute the
+    # header with placeholder offsets of equal digit width: offsets are
+    # written as plain ints, which would change the header length — to
+    # stay deterministic, the layout is computed iteratively until the
+    # header length stabilizes (it converges in <= 3 rounds).
+    entries: List[Dict] = []
+    for term, lst in zip(terms, lists):
+        entries.append(
+            {
+                "term": term,
+                "block_size": lst.block_size,
+                "length": len(lst),
+                "block_crcs": [
+                    lst.block_checksum(block)
+                    for block in range(lst.num_blocks)
+                ],
+            }
+        )
+
+    segment_bytes: List[List[bytes]] = [
+        [
+            np.ascontiguousarray(
+                array, dtype=np.dtype(dtype).newbyteorder("<")
+            ).tobytes()
+            for (_, dtype), array in zip(
+                _LIST_COLUMNS, _list_layout_arrays(lst)
+            )
+        ]
+        for lst in lists
+    ]
+
+    def build_header(offsets: List[List[int]]) -> bytes:
+        header = {
+            "format_version": MMAP_FORMAT_VERSION,
+            "num_docs": index.num_docs,
+            "lists": [
+                {
+                    **entry,
+                    "segments": {
+                        name: {
+                            "offset": off,
+                            "count": entry["length"],
+                            "crc": zlib.crc32(raw),
+                        }
+                        for (name, _), off, raw in zip(
+                            _LIST_COLUMNS, offs, raws
+                        )
+                    },
+                }
+                for entry, offs, raws in zip(
+                    entries, offsets, segment_bytes
+                )
+            ],
+        }
+        return json.dumps(
+            header, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+
+    def layout(header_len: int) -> List[List[int]]:
+        cursor = len(MMAP_MAGIC) + 8 + 4 + header_len
+        offsets = []
+        for lst in lists:
+            offs = []
+            for _, dtype in _LIST_COLUMNS:
+                cursor = -(-cursor // _SEGMENT_ALIGN) * _SEGMENT_ALIGN
+                offs.append(cursor)
+                cursor += len(lst) * np.dtype(dtype).itemsize
+            offsets.append(offs)
+        return offsets
+
+    header_bytes = build_header(layout(0))
+    for _ in range(4):
+        rebuilt = build_header(layout(len(header_bytes)))
+        if len(rebuilt) == len(header_bytes):
+            header_bytes = rebuilt
+            break
+        header_bytes = rebuilt
+    offsets = layout(len(header_bytes))
+
+    with path.open("wb") as handle:
+        handle.write(MMAP_MAGIC)
+        handle.write(len(header_bytes).to_bytes(8, "little"))
+        handle.write(zlib.crc32(header_bytes).to_bytes(4, "little"))
+        handle.write(header_bytes)
+        for offs, raws in zip(offsets, segment_bytes):
+            for off, raw in zip(offs, raws):
+                padding = off - handle.tell()
+                if padding:
+                    handle.write(b"\x00" * padding)
+                handle.write(raw)
+
+
+def _load_index_mmap(path: pathlib.Path) -> InvertedBlockIndex:
+    """Map a v3 file read-only and build zero-copy lists over its pages."""
+    try:
+        with path.open("rb") as handle:
+            preamble = handle.read(len(MMAP_MAGIC) + 12)
+            if len(preamble) < len(MMAP_MAGIC) + 12:
+                raise IndexCorruptionError(
+                    "index file %s is corrupted: truncated preamble" % path
+                )
+            header_len = int.from_bytes(
+                preamble[len(MMAP_MAGIC):len(MMAP_MAGIC) + 8], "little"
+            )
+            header_crc = int.from_bytes(preamble[-4:], "little")
+            header_bytes = handle.read(header_len)
+        if len(header_bytes) != header_len:
+            raise IndexCorruptionError(
+                "index file %s is corrupted: truncated header" % path
+            )
+        if zlib.crc32(header_bytes) != header_crc:
+            raise IndexCorruptionError(
+                "index file %s is corrupted: header checksum mismatch"
+                % path
+            )
+        header = json.loads(header_bytes.decode("utf-8"))
+        version = header.get("format_version")
+        if version != MMAP_FORMAT_VERSION:
+            raise UnsupportedFormatError(
+                "unsupported mmap index format version %r (expected %d)"
+                % (version, MMAP_FORMAT_VERSION)
+            )
+        mapped = np.memmap(path, dtype=np.uint8, mode="r")
+        lists: Dict[str, IndexList] = {}
+        for entry in header["lists"]:
+            term = entry["term"]
+            arrays: Dict[str, np.ndarray] = {}
+            for name, dtype in _LIST_COLUMNS:
+                segment = entry["segments"][name]
+                dt = np.dtype(dtype).newbyteorder("<")
+                start = int(segment["offset"])
+                stop = start + int(segment["count"]) * dt.itemsize
+                if stop > mapped.size:
+                    raise IndexCorruptionError(
+                        "index file %s is corrupted: segment %s of list "
+                        "%r extends past end of file" % (path, name, term)
+                    )
+                view = mapped[start:stop]
+                if zlib.crc32(view.tobytes()) != int(segment["crc"]):
+                    raise IndexCorruptionError(
+                        "index file %s is corrupted: checksum mismatch "
+                        "in segment %s of list %r" % (path, name, term)
+                    )
+                arrays[name] = view.view(dt)
+            index_list = IndexList.from_layout(
+                term,
+                doc_ids_by_rank=arrays["rank_docs"],
+                scores_by_rank=arrays["rank_scores"],
+                block_doc_ids=arrays["block_docs"],
+                block_scores=arrays["block_scores"],
+                lookup_doc_ids=arrays["lookup_docs"],
+                lookup_scores=arrays["lookup_scores"],
+                block_size=entry["block_size"],
+                block_crcs=entry["block_crcs"],
+            )
+            _verify_mmap_blocks(index_list, entry["block_crcs"], term, path)
+            lists[term] = index_list
+        return InvertedBlockIndex(lists, num_docs=header["num_docs"])
+    except (IndexCorruptionError, UnsupportedFormatError):
+        raise
+    except (ValueError, KeyError, TypeError, OSError) as exc:
+        raise IndexCorruptionError(
+            "index file %s is corrupted: %s" % (path, exc)
+        ) from exc
+
+
+def _verify_mmap_blocks(
+    index_list: IndexList,
+    stored: List[int],
+    term: str,
+    path: pathlib.Path,
+) -> None:
+    """Verify every mapped block against the recorded CRC table.
+
+    Mirrors the v2 `_verify_checksums` contract exactly — a flipped bit
+    anywhere in a block's doc or score bytes is a typed corruption
+    error, never a silently wrong score.  Checksums are computed over
+    the mapped views directly, so this also faults in (and validates)
+    every page the query path will touch.
+    """
+    if len(stored) != index_list.num_blocks:
+        raise IndexCorruptionError(
+            "checksum table of list %r in %s has %d entries for %d blocks"
+            % (term, path, len(stored), index_list.num_blocks)
+        )
+    for block in range(index_list.num_blocks):
+        start, stop = index_list.block_bounds(block)
+        actual = compute_block_checksum(
+            index_list._block_doc_ids[start:stop],
+            index_list._block_scores[start:stop],
+        )
+        if int(stored[block]) != actual:
+            raise IndexCorruptionError(
+                "checksum mismatch in list %r block %d of %s"
+                % (term, block, path)
+            )
 
 
 def _verify_checksums(

@@ -1,0 +1,227 @@
+"""Cross-backend parity: process == thread == single-node, byte for byte.
+
+The process backend changes *where* shard executions run (worker
+processes over mmap'd on-disk shard files) but must change nothing
+observable: a worker re-plans the same query from the same primitive
+fields and runs the same executor code over the same bytes, and pickle
+round-trips floats exactly.  This suite pins that claim — doc ids,
+exact worstscore/bestscore intervals, #SA/#RA/COST, coordinator rounds,
+and the prune/skip bookkeeping — for every canonical algorithm triple,
+at shard counts 1/2/4/8, under both partitioning strategies, and under
+both the ``fork`` and ``spawn`` start methods.
+
+Cost control: worker processes are persistent, so one executor per
+(start method, shard count, strategy) combination is spawned lazily and
+reused across all 24 algorithms; the on-disk shard files are shared
+between the fork and spawn executors of the same partitioning (also
+pinning that the v3 files themselves are backend-agnostic).  Thread and
+single-node reference results are computed once per combination.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.core import available_algorithms
+from repro.core.session import QuerySession
+from repro.distrib import (
+    MergeCoordinator,
+    ProcessShardExecutor,
+    ShardExecutor,
+    partition_index,
+)
+from tests.helpers import COORDINATOR_K as K
+from tests.helpers import make_random_index
+
+ALGORITHMS = sorted(available_algorithms())
+SHARD_COUNTS = (1, 2, 4, 8)
+STRATEGIES = ("hash", "round-robin")
+START_METHODS = tuple(
+    method
+    for method in ("fork", "spawn")
+    if method in multiprocessing.get_all_start_methods()
+)
+
+
+def _fingerprint(result):
+    """Everything parity promises, as one comparable value."""
+    return {
+        "doc_ids": result.doc_ids,
+        "intervals": [
+            (item.doc_id, item.worstscore, item.bestscore)
+            for item in result.items
+        ],
+        "sorted_accesses": result.stats.sorted_accesses,
+        "random_accesses": result.stats.random_accesses,
+        "cost": result.stats.cost,
+        "coordinator_rounds": result.coordinator_rounds,
+        "pruned_shards": result.pruned_shards,
+        "skipped_shards": result.skipped_shards,
+        "exhausted_shards": result.exhausted_shards,
+        "degraded": result.degraded,
+    }
+
+
+@pytest.fixture(scope="module")
+def parity_setup(tmp_path_factory):
+    """Corpus, per-combination executors/coordinators, reference caches."""
+    index, terms = make_random_index(
+        num_lists=3, list_length=300, num_docs=1000, block_size=32, seed=21
+    )
+    spill_root = tmp_path_factory.mktemp("process-parity-shards")
+    sharded = {
+        (count, strategy): partition_index(index, count, strategy=strategy)
+        for count in SHARD_COUNTS
+        for strategy in STRATEGIES
+    }
+    single = QuerySession(index)
+    setup = {
+        "index": index,
+        "terms": terms,
+        "single": single,
+        "sharded": sharded,
+        "spill_root": spill_root,
+        "thread_coordinators": {},
+        "process_coordinators": {},
+        "process_executors": [],
+        "single_results": {},
+        "thread_results": {},
+    }
+    yield setup
+    for executor in setup["process_executors"]:
+        executor.close()
+
+
+def _thread_coordinator(setup, count, strategy):
+    key = (count, strategy)
+    coord = setup["thread_coordinators"].get(key)
+    if coord is None:
+        coord = MergeCoordinator(ShardExecutor(setup["sharded"][key]))
+        setup["thread_coordinators"][key] = coord
+    return coord
+
+
+def _process_coordinator(setup, method, count, strategy):
+    key = (method, count, strategy)
+    coord = setup["process_coordinators"].get(key)
+    if coord is None:
+        # fork and spawn executors of the same partitioning share one
+        # spill directory: the second one reuses the first one's files.
+        spill = setup["spill_root"] / ("%s-%d" % (strategy, count))
+        executor = ProcessShardExecutor(
+            setup["sharded"][(count, strategy)],
+            start_method=method,
+            spill_dir=str(spill),
+        )
+        setup["process_executors"].append(executor)
+        coord = MergeCoordinator(executor)
+        setup["process_coordinators"][key] = coord
+    return coord
+
+
+def _single_result(setup, algorithm):
+    result = setup["single_results"].get(algorithm)
+    if result is None:
+        result = setup["single"].run(setup["terms"], K, algorithm=algorithm)
+        setup["single_results"][algorithm] = result
+    return result
+
+
+def _thread_result(setup, count, strategy, algorithm):
+    key = (count, strategy, algorithm)
+    result = setup["thread_results"].get(key)
+    if result is None:
+        result = _thread_coordinator(setup, count, strategy).query(
+            setup["terms"], K, algorithm=algorithm
+        )
+        setup["thread_results"][key] = result
+    return result
+
+
+@pytest.mark.parametrize("method", START_METHODS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("count", SHARD_COUNTS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_process_matches_thread_and_single_node(
+    parity_setup, algorithm, count, strategy, method
+):
+    process = _process_coordinator(
+        parity_setup, method, count, strategy
+    ).query(parity_setup["terms"], K, algorithm=algorithm)
+    thread = _thread_result(parity_setup, count, strategy, algorithm)
+    # Byte-identical across backends: exact equality, no approx.
+    assert _fingerprint(process) == _fingerprint(thread)
+    single = _single_result(parity_setup, algorithm)
+    assert process.doc_ids == single.doc_ids
+    for item, reference in zip(process.items, single.items):
+        assert item.worstscore == pytest.approx(
+            reference.worstscore, abs=1e-9
+        )
+
+
+@pytest.mark.parametrize("method", START_METHODS)
+def test_gather_mode_parity(parity_setup, method):
+    process = _process_coordinator(parity_setup, method, 4, "hash").query(
+        parity_setup["terms"], K, mode="gather"
+    )
+    thread = _thread_coordinator(parity_setup, 4, "hash").query(
+        parity_setup["terms"], K, mode="gather"
+    )
+    assert _fingerprint(process) == _fingerprint(thread)
+    assert process.coordinator_rounds == 1
+
+
+@pytest.mark.parametrize("method", START_METHODS)
+def test_prediction_parity(parity_setup, method):
+    """Threshold-prediction shard skipping survives the backend swap."""
+    from repro.core.session import ShardedSession
+
+    index = parity_setup["index"]
+    spill = parity_setup["spill_root"] / "prediction"
+    with ShardedSession(
+        index,
+        num_shards=4,
+        backend="process",
+        start_method=method,
+        spill_dir=str(spill),
+        predict_threshold=True,
+    ) as process_session:
+        with ShardedSession(
+            index, num_shards=4, predict_threshold=True
+        ) as thread_session:
+            process = process_session.run(parity_setup["terms"], K)
+            thread = thread_session.run(parity_setup["terms"], K)
+    assert _fingerprint(process) == _fingerprint(thread)
+    assert process.predicted_threshold == thread.predicted_threshold
+
+
+@pytest.mark.parametrize("method", START_METHODS)
+def test_accounting_parity(parity_setup, method):
+    """Per-shard lifetime accounting matches across backends."""
+    sharded = parity_setup["sharded"][(2, "hash")]
+    spill = parity_setup["spill_root"] / "accounting"
+    thread_executor = ShardExecutor(sharded)
+    process_executor = ProcessShardExecutor(
+        sharded, start_method=method, spill_dir=str(spill)
+    )
+    parity_setup["process_executors"].append(process_executor)
+    MergeCoordinator(thread_executor).query(parity_setup["terms"], K)
+    MergeCoordinator(process_executor).query(parity_setup["terms"], K)
+    for shard_id in range(sharded.num_shards):
+        mine = process_executor.accounting[shard_id]
+        reference = thread_executor.accounting[shard_id]
+        assert (
+            mine.executions,
+            mine.sorted_accesses,
+            mine.random_accesses,
+            mine.cost,
+            mine.engine_rounds,
+            mine.failures,
+        ) == (
+            reference.executions,
+            reference.sorted_accesses,
+            reference.random_accesses,
+            reference.cost,
+            reference.engine_rounds,
+            reference.failures,
+        )

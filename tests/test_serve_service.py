@@ -150,9 +150,13 @@ class TestQueryPath:
             gather = await request(
                 service.port, {"terms": TERMS, "k": K, "mode": "gather"}
             )
-            return bounded, gather
+            metrics = await request(service.port, path="/metrics",
+                                    method="GET")
+            return bounded, gather, metrics
 
-        bounded, gather = serve(sharded, ServiceConfig(), interact)
+        bounded, gather, metrics = serve(sharded, ServiceConfig(), interact)
+        # sharded sessions expose their execution backend in /metrics
+        assert metrics[2]["engine"]["backend"] == "thread"
         for status, _, body in (bounded, gather):
             assert status == 200
             assert [i["doc_id"] for i in body["items"]] == oracle.doc_ids
@@ -396,3 +400,5 @@ class TestIntrospection:
         assert snap["service"]["completed_exact"] == 1
         assert snap["admission"]["completed"] == 1
         assert snap["shedding"]["level"] == "normal"
+        # single-node QuerySession: no shard backend to report
+        assert snap["engine"]["backend"] == "in-process"

@@ -1,0 +1,171 @@
+"""Fork-safety of the session layer (regression, beside thread-safety).
+
+``fork()`` copies the parent's session objects into the child — caches,
+the internal ``RLock`` (possibly *held* by a parent thread that does not
+exist in the child), the process-wide shared session, and, for the
+process backend, worker handles whose processes belong to the parent.
+Every one of those must be invalidated by PID on first touch in the
+child: fresh lock, empty caches, fresh shared session, no inherited
+workers — and the parent's own state must be completely unaffected.
+"""
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+import traceback
+
+import pytest
+
+from repro.core import session as session_module
+from repro.core.session import QuerySession, ShardedSession, shared_session
+from tests.helpers import make_random_index
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable on this platform",
+)
+
+K = 5
+_CHILD_TIMEOUT = 60.0
+
+
+def run_in_fork(child):
+    """Fork, run ``child()`` in the child, return its exit code.
+
+    The child leaves via ``os._exit`` so a forked pytest process never
+    runs the parent's test harness teardown.  A hung child (the
+    deadlock this suite exists to catch) is SIGKILL'd after a timeout
+    and reported as a distinct exit status.
+    """
+    pid = os.fork()
+    if pid == 0:  # child
+        code = 0
+        try:
+            child()
+        except BaseException:
+            traceback.print_exc()
+            code = 1
+        finally:
+            os._exit(code)
+    deadline = time.monotonic() + _CHILD_TIMEOUT
+    while time.monotonic() < deadline:
+        done, status = os.waitpid(pid, os.WNOHANG)
+        if done == pid:
+            return os.waitstatus_to_exitcode(status)
+        time.sleep(0.02)
+    os.kill(pid, signal.SIGKILL)
+    os.waitpid(pid, 0)
+    return "timeout"
+
+
+def test_forked_child_gets_fresh_caches():
+    index, terms = make_random_index(seed=11)
+    session = QuerySession(index)
+    parent_result = session.run(terms, K)
+    assert session.cached_indexes == 1
+
+    def child():
+        # PID invalidation: inherited caches are dropped, not reused.
+        assert session.cached_indexes == 0
+        result = session.run(terms, K)
+        assert [i.doc_id for i in result.items] == [
+            i.doc_id for i in parent_result.items
+        ]
+        assert session.cached_indexes == 1
+
+    assert run_in_fork(child) == 0
+    # The parent's caches were never touched by the child.
+    assert session.cached_indexes == 1
+    assert session.run(terms, K).doc_ids == parent_result.doc_ids
+
+
+def test_fork_while_lock_is_held_does_not_deadlock():
+    """The classic fork hazard: another thread holds the session lock
+    at fork time, so the child inherits a lock that will never be
+    released — unless the child replaces it by PID check."""
+    index, terms = make_random_index(seed=12)
+    session = QuerySession(index)
+    session.stats_for()
+    held = threading.Event()
+    release = threading.Event()
+
+    def holder():
+        with session._lock:
+            held.set()
+            release.wait(_CHILD_TIMEOUT)
+
+    thread = threading.Thread(target=holder, daemon=True)
+    thread.start()
+    assert held.wait(5.0)
+    try:
+
+        def child():
+            # Without the PID check this blocks forever on the
+            # inherited (held) RLock.
+            session.stats_for()
+            assert session.run(terms, K).items
+
+        assert run_in_fork(child) == 0
+    finally:
+        release.set()
+        thread.join(timeout=5.0)
+
+
+def test_shared_session_is_not_inherited_across_fork():
+    index, terms = make_random_index(seed=13)
+    shared = shared_session()
+    shared.run(terms, K, index=index)
+    assert shared.cached_indexes >= 1
+
+    def child():
+        fresh = shared_session()
+        assert fresh.cached_indexes == 0
+        assert session_module._SHARED_SESSION_PID == os.getpid()
+        assert fresh.run(terms, K, index=index).items
+
+    assert run_in_fork(child) == 0
+    assert shared_session() is shared
+    assert shared.cached_indexes >= 1
+
+
+def test_process_backend_drops_inherited_workers(tmp_path):
+    index, terms = make_random_index(seed=14)
+    sharded_session = ShardedSession(
+        index,
+        num_shards=2,
+        backend="process",
+        start_method="fork",
+        spill_dir=str(tmp_path),
+    )
+    try:
+        parent_result = sharded_session.run(terms, K)
+        parent_pids = {
+            sharded_session.executor._workers[sid].process.pid
+            for sid in sharded_session.executor.live_workers()
+        }
+        assert len(parent_pids) == 2
+
+        def child():
+            executor = sharded_session.executor
+            # Inherited handles are discarded, not reused or killed.
+            assert executor.live_workers() == []
+            result = sharded_session.run(terms, K)
+            assert result.doc_ids == parent_result.doc_ids
+            child_pids = {
+                executor._workers[sid].process.pid
+                for sid in executor.live_workers()
+            }
+            assert child_pids and not (child_pids & parent_pids)
+            # Child close kills only its own workers and must leave
+            # the parent's spill directory in place.
+            executor.close()
+            assert executor.shard_path(0).exists()
+
+        assert run_in_fork(child) == 0
+        # Parent workers survived the child's lifetime and still serve.
+        assert len(sharded_session.executor.live_workers()) == 2
+        assert sharded_session.run(terms, K).doc_ids == parent_result.doc_ids
+    finally:
+        sharded_session.close()

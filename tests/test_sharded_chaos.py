@@ -7,6 +7,12 @@ well-formed result with ``degraded=True`` and the dead shard named in
 ``exhausted_lists`` report.  The surviving shards' documents are still
 ranked correctly, because document partitioning keeps their evidence
 complete.
+
+Two kinds of death are pinned to the *same* contract: a shard whose
+lists all fail (thread backend, fault-injected) and a shard whose worker
+process is SIGKILL'd mid-query (process backend).  The coordinator and
+degrade policy cannot tell them apart — both surface as a captured
+error on the shard outcome — so neither can the caller.
 """
 
 import collections
@@ -17,7 +23,9 @@ from repro.core.session import ShardedSession
 from repro.distrib import (
     DegradePolicy,
     MergeCoordinator,
+    ProcessShardExecutor,
     ShardExecutor,
+    ShardWorkerDied,
     ShardedExecutionError,
     partition_index,
 )
@@ -136,5 +144,126 @@ def test_sharded_session_surfaces_degradation(corpus):
     session = ShardedSession(sharded=broken)
     result = session.run(terms, K)
     assert result.degraded
+    assert result.exhausted_shards == [DEAD_SHARD]
+    assert result.doc_ids == expected
+
+
+# ----------------------------------------------------------------------
+# Process-death chaos: SIGKILL-ing a worker process must follow the
+# exact same degradation contract as the thread-backend dead-shard path.
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def process_corpus(corpus, tmp_path_factory):
+    """The chaos corpus plus its healthy full-corpus golden answer."""
+    sharded, terms, expected = corpus
+    healthy = MergeCoordinator(ShardExecutor(sharded)).query(terms, K)
+    spill = tmp_path_factory.mktemp("chaos-shards")
+    return sharded, terms, expected, healthy.doc_ids, spill
+
+
+def _freshly_killed_executor(process_corpus, **kwargs):
+    """A process executor whose DEAD_SHARD worker was SIGKILL'd mid-query.
+
+    ``inject_sleep`` parks the worker inside a request handler (the op
+    sends no reply), so the SIGKILL lands while the worker is busy and
+    the next execute finds it dead mid-request — the deterministic
+    analogue of a crash halfway through a round.  Restarts are disabled
+    so the death is observed rather than silently healed by a respawn.
+    """
+    sharded, terms, _, _, spill = process_corpus
+    executor = ProcessShardExecutor(
+        sharded,
+        start_method="fork",
+        spill_dir=str(spill),
+        restart_dead_workers=False,
+        **kwargs,
+    )
+    executor.inject_sleep(DEAD_SHARD, 60.0)
+    pid = executor.kill_worker(DEAD_SHARD)
+    assert pid is not None
+    return executor
+
+
+def test_sigkill_mid_query_degrades_like_thread_death(process_corpus):
+    sharded, terms, expected, _, _ = process_corpus
+    executor = _freshly_killed_executor(process_corpus)
+    try:
+        result = MergeCoordinator(executor).query(terms, K)
+    finally:
+        executor.close()
+    # Identical contract to the thread-backend dead-shard path above:
+    # well-formed, degraded, dead shard named, survivor ranking exact.
+    assert result.degraded
+    assert result.degrade_reason == "dead_shard"
+    assert result.exhausted_shards == [DEAD_SHARD]
+    assert result.doc_ids == expected
+    assert executor.accounting[DEAD_SHARD].failures >= 1
+
+
+def test_sigkill_gather_mode_degrades(process_corpus):
+    sharded, terms, expected, _, _ = process_corpus
+    executor = _freshly_killed_executor(process_corpus)
+    try:
+        result = MergeCoordinator(executor).query(terms, K, mode="gather")
+    finally:
+        executor.close()
+    assert result.degraded
+    assert result.exhausted_shards == [DEAD_SHARD]
+    assert result.doc_ids == expected
+
+
+def test_sigkill_fail_fast_aborts(process_corpus):
+    sharded, terms, _, _, _ = process_corpus
+    executor = _freshly_killed_executor(process_corpus)
+    coordinator = MergeCoordinator(
+        executor, degrade=DegradePolicy(fail_fast=True)
+    )
+    try:
+        with pytest.raises(ShardedExecutionError) as excinfo:
+            coordinator.query(terms, K)
+    finally:
+        executor.close()
+    assert excinfo.value.failures[0].shard_id == DEAD_SHARD
+    assert isinstance(excinfo.value.failures[0].error, ShardWorkerDied)
+
+
+def test_respawn_heals_the_next_query(process_corpus):
+    """One crash degrades one query — not the executor."""
+    sharded, terms, _, healthy_docs, spill = process_corpus
+    executor = ProcessShardExecutor(
+        sharded, start_method="fork", spill_dir=str(spill)
+    )
+    try:
+        coordinator = MergeCoordinator(executor)
+        executor.inject_sleep(DEAD_SHARD, 60.0)
+        executor.kill_worker(DEAD_SHARD)
+        # SIGKILL delivery is asynchronous: this query observes either
+        # the mid-request death (degraded) or an already-respawned
+        # worker (healthy) — both are legal; crashing is not.
+        coordinator.query(terms, K)
+        # By the next query the worker has been respawned: full answer.
+        healed = coordinator.query(terms, K)
+    finally:
+        executor.close()
+    assert not healed.degraded
+    assert healed.doc_ids == healthy_docs
+
+
+def test_sharded_session_process_backend_surfaces_death(process_corpus):
+    sharded, terms, expected, _, spill = process_corpus
+    with ShardedSession(
+        sharded=sharded,
+        backend="process",
+        start_method="fork",
+        spill_dir=str(spill),
+    ) as session:
+        session.executor.restart_dead_workers = False
+        session.executor.inject_sleep(DEAD_SHARD, 60.0)
+        session.executor.kill_worker(DEAD_SHARD)
+        result = session.run(terms, K)
+    assert result.degraded
+    assert result.degrade_reason == "dead_shard"
     assert result.exhausted_shards == [DEAD_SHARD]
     assert result.doc_ids == expected
