@@ -41,6 +41,17 @@ Two additions on top of the family battery:
   parity-checked byte-for-byte before anything is recorded.
   ``--min-process-speedup`` gates the 8-shard wall-clock ratio — meant
   for multi-core CI runners; the ratio is meaningless on a single core.
+* a **live-index section** (``--live``, written to ``BENCH_pr10.json``)
+  — phase A applies a seeded update stream (with a seal and a
+  compaction mixed in) to a :class:`~repro.live.index.LiveIndex`, then
+  runs every family on the resulting snapshot AND on an index rebuilt
+  from scratch at the same epoch, parity-checks the two byte-for-byte
+  (items, intervals, #SA/#RA/COST), and records both wall clocks plus
+  the snapshot-vs-rebuild build-time ratio; phase B runs a writer
+  thread against a query stream with background maintenance enabled
+  and records sustained updates/sec and queries/sec (failing outright
+  if either stalls at zero).  Only the deterministic phase-A cost rows
+  are baseline-gated.
 
 Usage::
 
@@ -50,6 +61,7 @@ Usage::
     python -m repro.bench.smoke --sharded --baseline BENCH_pr5.json
     python -m repro.bench.smoke --columnar --min-columnar-speedup 2.0
     python -m repro.bench.smoke --threshold --baseline BENCH_pr8.json
+    python -m repro.bench.smoke --live --baseline BENCH_pr10.json
 """
 
 from __future__ import annotations
@@ -625,6 +637,230 @@ def run_processes(
     }
 
 
+#: Geometry of the live-index corpus.  Mid-sized: large enough that
+#: snapshot materialization amortizes real work, small enough that the
+#: from-scratch rebuild comparison stays cheap in CI.
+LIVE_CORPUS = {
+    "num_docs": 60_000,
+    "list_length": 20_000,
+    "num_lists": 3,
+    "block_size": 256,
+    "seed": 41,
+}
+
+#: Update ops applied before the phase-A parity measurement.
+LIVE_UPDATE_OPS = 4_000
+
+#: Wall-clock budget of the phase-B sustained write/query stream.
+LIVE_STREAM_SECONDS = 1.5
+
+
+def _build_live_corpus():
+    spec = LIVE_CORPUS
+    rng = np.random.default_rng(spec["seed"])
+    postings = {}
+    terms = []
+    for i in range(spec["num_lists"]):
+        term = "t%d" % i
+        terms.append(term)
+        docs = rng.choice(
+            spec["num_docs"], size=spec["list_length"], replace=False
+        )
+        scores = rng.random(spec["list_length"])
+        postings[term] = list(zip(docs.tolist(), scores.tolist()))
+    index = build_index(
+        postings, num_docs=spec["num_docs"], block_size=spec["block_size"]
+    )
+    return index, terms, rng
+
+
+def _live_fingerprint(result):
+    return (
+        tuple(
+            (item.doc_id, item.worstscore, item.bestscore)
+            for item in result.items
+        ),
+        result.stats.sorted_accesses,
+        result.stats.random_accesses,
+        result.stats.cost,
+    )
+
+
+def run_live(k: int = 10, cost_ratio: float = 1000.0) -> Dict:
+    """The live-index section: snapshot parity cost + sustained writes.
+
+    Phase A (deterministic, baseline-gated): a seeded stream of
+    :data:`LIVE_UPDATE_OPS` upserts/deletes — with a seal after the
+    first half and a forced compaction after the second — lands on a
+    live index over the :data:`LIVE_CORPUS` base.  Every family then
+    runs on the final snapshot and on an index rebuilt from scratch at
+    the same epoch; any fingerprint divergence aborts the benchmark.
+    The recorded rows carry the snapshot costs (identical to the
+    rebuild's by construction — that identity is the point), both wall
+    clocks, and the time to materialize the snapshot vs rebuild the
+    static index.
+
+    Phase B (timing only): a writer thread streams single-doc updates
+    while the main thread runs queries through a
+    :class:`~repro.live.binding.LiveBinding` with background
+    maintenance sealing and compacting underneath.  Records sustained
+    updates/sec and queries/sec over :data:`LIVE_STREAM_SECONDS`, plus
+    the maintenance counters; a stream that applies zero updates or
+    completes zero queries is a hard failure, not a slow data point.
+    """
+    import threading
+
+    from ..live import LiveIndex, MaintenanceConfig
+
+    index, terms, rng = _build_live_corpus()
+    spec = LIVE_CORPUS
+    live = LiveIndex(index)
+    session = QuerySession(cost_ratio=cost_ratio)
+
+    # ---- phase A: apply the update stream, then measure parity ----
+    def one_op():
+        doc = int(rng.integers(0, spec["num_docs"] + 2_000))
+        if rng.random() < 0.7:
+            live.upsert(doc, {
+                t: float(rng.random()) for t in terms if rng.random() < 0.8
+            } or {terms[0]: float(rng.random())})
+        else:
+            live.delete(doc)
+
+    apply_started = time.perf_counter()
+    for _ in range(LIVE_UPDATE_OPS // 2):
+        one_op()
+    live.seal()
+    for _ in range(LIVE_UPDATE_OPS - LIVE_UPDATE_OPS // 2):
+        one_op()
+    live.seal()
+    live.compact(force=True)
+    apply_ms = (time.perf_counter() - apply_started) * 1000.0
+
+    snap = live.snapshot()
+    materialize_started = time.perf_counter()
+    for term in snap.index.terms:
+        snap.index.list_for(term)
+    snapshot_materialize_ms = (
+        time.perf_counter() - materialize_started
+    ) * 1000.0
+
+    rebuild_started = time.perf_counter()
+    postings = {
+        term: list(zip(
+            snap.index.list_for(term).doc_ids_by_rank.tolist(),
+            snap.index.list_for(term).scores_by_rank.tolist(),
+        ))
+        for term in snap.index.terms
+    }
+    rebuilt = build_index(
+        postings, num_docs=snap.index.num_docs,
+        block_size=spec["block_size"],
+    )
+    rebuild_ms = (time.perf_counter() - rebuild_started) * 1000.0
+
+    session.stats_for(snap.index)
+    session.stats_for(rebuilt)
+    families = {}
+    for family, algorithm in FAMILIES.items():
+        started = time.perf_counter()
+        ours = session.run(terms, k, algorithm=algorithm, index=snap.index)
+        live_wall = (time.perf_counter() - started) * 1000.0
+        started = time.perf_counter()
+        theirs = session.run(terms, k, algorithm=algorithm, index=rebuilt)
+        static_wall = (time.perf_counter() - started) * 1000.0
+        if _live_fingerprint(ours) != _live_fingerprint(theirs):
+            raise RuntimeError(
+                "live snapshot diverged from the rebuilt index for %s"
+                % algorithm
+            )
+        families[family] = {
+            "algorithm": ours.algorithm,
+            "cost": ours.stats.cost,
+            "sorted_accesses": ours.stats.sorted_accesses,
+            "random_accesses": ours.stats.random_accesses,
+            "rounds": ours.stats.rounds,
+            "wall_ms": round(live_wall, 3),
+            "static_wall_ms": round(static_wall, 3),
+        }
+    snap.close()
+    phase_a_stats = live.stats()
+
+    # ---- phase B: sustained updates during a live query stream ----
+    live.start_maintenance(
+        MaintenanceConfig(seal_ops=1_000, max_segments=4, interval_s=0.01)
+    )
+    binding = session.open_live(live)
+    updates = 0
+    update_errors: List[BaseException] = []
+    stop = threading.Event()
+
+    def writer():
+        nonlocal updates
+        try:
+            wrng = np.random.default_rng(spec["seed"] + 1)
+            while not stop.is_set():
+                doc = int(wrng.integers(0, spec["num_docs"]))
+                live.upsert(doc, {
+                    t: float(wrng.random()) for t in terms
+                })
+                updates += 1
+        except BaseException as exc:
+            update_errors.append(exc)
+
+    thread = threading.Thread(target=writer)
+    queries = 0
+    stream_started = time.perf_counter()
+    thread.start()
+    try:
+        while time.perf_counter() - stream_started < LIVE_STREAM_SECONDS:
+            binding.run(terms, k, algorithm=FAMILIES["Ben-KSR"])
+            queries += 1
+    finally:
+        stop.set()
+        thread.join(30)
+    stream_seconds = time.perf_counter() - stream_started
+    if update_errors:
+        raise RuntimeError("writer failed: %r" % update_errors[0])
+    if updates == 0 or queries == 0:
+        raise RuntimeError(
+            "live stream stalled: %d updates, %d queries" % (updates, queries)
+        )
+    stream_stats = live.stats()
+    binding.close()
+
+    return {
+        "corpus": dict(LIVE_CORPUS),
+        "k": k,
+        "cost_ratio": cost_ratio,
+        "update_ops": LIVE_UPDATE_OPS,
+        "apply_ms": round(apply_ms, 3),
+        "snapshot_materialize_ms": round(snapshot_materialize_ms, 3),
+        "rebuild_ms": round(rebuild_ms, 3),
+        "materialize_vs_rebuild": round(
+            snapshot_materialize_ms / max(rebuild_ms, 1e-9), 4
+        ),
+        "families": families,
+        "phase_a": {
+            "epoch": phase_a_stats["epoch"],
+            "segments": phase_a_stats["segments"],
+            "reclaimed_postings": phase_a_stats["reclaimed_postings"],
+            "reclaimed_tombstones": phase_a_stats["reclaimed_tombstones"],
+        },
+        "stream": {
+            "seconds": round(stream_seconds, 3),
+            "updates": updates,
+            "queries": queries,
+            "updates_per_sec": round(updates / stream_seconds, 1),
+            "queries_per_sec": round(queries / stream_seconds, 1),
+            "seals": stream_stats["seals"] - phase_a_stats["seals"],
+            "compactions": (
+                stream_stats["compactions"] - phase_a_stats["compactions"]
+            ),
+        },
+    }
+
+
 def run_smoke(
     scale: float = 0.5,
     k: int = 10,
@@ -755,6 +991,11 @@ def main(argv=None) -> int:
                         help="run the process-backend scaling section "
                              "(thread vs process shard workers at 8/16 "
                              "shards) on the 400k-doc stress corpus")
+    parser.add_argument("--live", action="store_true",
+                        help="run the live-index section (snapshot vs "
+                             "from-scratch rebuild parity, plus a "
+                             "sustained update/query stream with "
+                             "background maintenance)")
     parser.add_argument("--scale", type=float, default=0.5)
     parser.add_argument("--k", type=int, default=10)
     parser.add_argument("--cost-ratio", type=float, default=1000.0)
@@ -810,6 +1051,15 @@ def main(argv=None) -> int:
             "numpy": np.__version__,
         }
         report.update(run_processes(k=args.k, cost_ratio=args.cost_ratio))
+    elif args.live:
+        output = args.output or "BENCH_pr10.json"
+        report = {
+            "benchmark": "smoke-live",
+            "pr": "pr10-live-index",
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        }
+        report.update(run_live(k=args.k, cost_ratio=args.cost_ratio))
     elif args.sharded:
         output = args.output or "BENCH_pr5.json"
         report = {
@@ -854,6 +1104,15 @@ def main(argv=None) -> int:
                     row["speedup"], row["columnar_speedup"],
                 )
             )
+    if args.live:
+        stream = report["stream"]
+        print(
+            "live stream: %.0f updates/s, %.0f queries/s over %.1fs "
+            "(%d seals, %d compactions); materialize/rebuild=%.2f"
+            % (stream["updates_per_sec"], stream["queries_per_sec"],
+               stream["seconds"], stream["seals"], stream["compactions"],
+               report["materialize_vs_rebuild"])
+        )
     print("wrote %s" % output)
 
     exit_code = 0

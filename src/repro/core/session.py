@@ -32,7 +32,10 @@ from __future__ import annotations
 import os
 import threading
 from collections import OrderedDict
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..live.binding import LiveBinding
 
 from ..stats.catalog import StatsCatalog
 from ..storage.accessors import RetryPolicy
@@ -251,6 +254,31 @@ class QuerySession:
         with self._lock:
             return len(self._entries)
 
+    def evict_index(self, index: InvertedBlockIndex) -> bool:
+        """Drop the cached stats/executor entry for ``index`` (if any).
+
+        The live-index path retires one immutable snapshot per epoch;
+        evicting the stale epoch's entry keeps an unbounded session from
+        growing by one catalog per write burst.  Safe at any time: a
+        query already holding the evicted executor keeps running on it.
+        """
+        self._check_fork()
+        with self._lock:
+            return self._entries.pop(id(index), None) is not None
+
+    def open_live(self, live) -> "LiveBinding":
+        """Bind a :class:`~repro.live.index.LiveIndex` to this session.
+
+        Returns a :class:`~repro.live.binding.LiveBinding` whose
+        ``run``/``run_many`` pin one immutable snapshot per call, so
+        queries never observe a torn epoch; statistics (and PR 8
+        threshold predictions) rebuild per epoch through the normal
+        per-index cache and the stale epoch's entry is evicted.
+        """
+        from ..live.binding import LiveBinding
+
+        return LiveBinding(self, live)
+
     # ------------------------------------------------------------------
     # Planning and execution
     # ------------------------------------------------------------------
@@ -439,6 +467,14 @@ class ShardedSession:
     parallelism differs.  ``start_method``/``spill_dir`` apply to the
     process backend only.  Call :meth:`close` (or use the session as a
     context manager) to release process-backend workers.
+
+    ``live`` accepts a :class:`~repro.live.index.ShardedLiveIndex`
+    (thread backend only): updates route to per-shard live indexes and
+    every query runs over a consistent per-epoch cut of pinned shard
+    snapshots.  The executor/coordinator view is rebuilt when the
+    global epoch advances; shards whose epoch is unchanged return the
+    same snapshot object, so their statistics stay cached.
+    :meth:`close` then also stops any background compaction threads.
     """
 
     BACKENDS = ("thread", "process")
@@ -459,6 +495,7 @@ class ShardedSession:
         backend: str = "thread",
         start_method: Optional[str] = None,
         spill_dir: Optional[str] = None,
+        live: Optional[object] = None,
         **session_kwargs,
     ) -> None:
         from ..distrib.coordinator import DEFAULT_MAX_ROUNDS, MergeCoordinator
@@ -479,6 +516,52 @@ class ShardedSession:
         #: parity baseline — always runs prediction-free
         self.predict_threshold = bool(predict_threshold)
         self.threshold_predictor = threshold_predictor
+
+        self.live = live
+        if live is not None:
+            from ..live.index import ShardedLiveIndex
+
+            if backend != "thread":
+                raise ValueError(
+                    "live sharded sessions require the thread backend"
+                )
+            if index is not None or sharded is not None:
+                raise ValueError(
+                    "pass either live= or a static index/sharded=, not both"
+                )
+            if not isinstance(live, ShardedLiveIndex):
+                raise TypeError("live must be a ShardedLiveIndex")
+            self.global_index = None
+            self.sharded = None
+            self.executor = None
+            self.coordinator = None
+            self._live_lock = threading.Lock()
+            self._live_pid = os.getpid()
+            self._live_epoch: Optional[int] = None
+            self._live_snaps: tuple = ()
+            # One shared session across epoch rebuilds: unchanged shards
+            # keep their statistics; the bound keeps churned epochs from
+            # accumulating (current + previous views at most).
+            self._live_session = (
+                session
+                if session is not None
+                else QuerySession(
+                    max_cached_indexes=3 * live.num_shards + 2,
+                    **session_kwargs,
+                )
+            )
+            self._live_executor_kwargs = {"max_workers": max_workers}
+            self._live_coordinator_kwargs = {
+                "round_budget": round_budget,
+                "max_rounds": (
+                    max_rounds
+                    if max_rounds is not None
+                    else DEFAULT_MAX_ROUNDS
+                ),
+                "degrade": degrade,
+            }
+            self._refresh_live()
+            return
 
         if sharded is None:
             if index is None:
@@ -522,19 +605,109 @@ class ShardedSession:
 
     @property
     def num_shards(self) -> int:
+        if self.live is not None:
+            return self.live.num_shards
         return self.sharded.num_shards
 
     @property
     def session(self) -> QuerySession:
         """The underlying (thread-safe) per-shard query session."""
+        if self.live is not None:
+            return self._live_session
         return self.executor.session
 
     def warm(self) -> None:
         """Build every shard's statistics catalog up front."""
+        if self.live is not None:
+            self._refresh_live()
         self.executor.warm()
 
+    def _check_live_fork(self) -> None:
+        """Fresh lock and an unpinned cut after a ``fork()``.
+
+        The parent's pinned snapshots (and the lock possibly held by a
+        parent thread) stay with the parent; the child re-pins its own
+        cut on the next query.
+        """
+        if os.getpid() != self._live_pid:
+            self._live_lock = threading.Lock()
+            self._live_pid = os.getpid()
+            self._live_epoch = None
+            self._live_snaps = ()
+            self.executor = None
+            self.coordinator = None
+
+    def _refresh_live(self, pin: bool = False):
+        """Rebuild the shard view when the live epoch has advanced.
+
+        Pins one snapshot per shard (a consistent cut — multi-op
+        ``apply`` batches are atomic across it), releases the previous
+        cut, and evicts session cache entries only for shards whose
+        snapshot actually changed.  Fork-safe: a child revalidates the
+        lock and re-pins its own cut.
+
+        With ``pin=True``, returns ``(coordinator, acquired_snaps)``
+        where each snapshot holds one extra handle for the caller's
+        query scope — a later refresh can then retire the cut without
+        pulling mmap segments out from under the in-flight query.
+        """
+        from ..distrib.coordinator import MergeCoordinator
+        from ..distrib.partition import ShardedIndex
+        from ..distrib.shard import ShardExecutor
+
+        self._check_live_fork()
+        with self._live_lock:
+            epoch = self.live.epoch
+            if self.executor is None or epoch != self._live_epoch:
+                previous = self._live_snaps
+                snaps = self.live.snapshot_all()
+                view = ShardedIndex(
+                    shards=tuple(snap.index for snap in snaps),
+                    strategy=self.live.strategy,
+                    assignment=self.live.assignment,
+                )
+                self.executor = ShardExecutor(
+                    view,
+                    session=self._live_session,
+                    **self._live_executor_kwargs,
+                )
+                self.coordinator = MergeCoordinator(
+                    self.executor, **self._live_coordinator_kwargs
+                )
+                self.sharded = view
+                self._live_epoch = epoch
+                self._live_snaps = snaps
+                current_ids = {id(snap) for snap in snaps}
+                for old in previous:
+                    if id(old) not in current_ids:
+                        self._live_session.evict_index(old.index)
+                    old.close()
+            if pin:
+                return (
+                    self.coordinator,
+                    tuple(snap.acquire() for snap in self._live_snaps),
+                )
+            return None
+
     def close(self) -> None:
-        """Release backend resources (process-backend workers, spill)."""
+        """Release backend resources (process-backend workers, spill).
+
+        For live sessions this also releases the pinned snapshot cut
+        and stops every shard's background compaction thread (in a
+        forked child the maintainers disown the parent's threads
+        instead of joining them).
+        """
+        if self.live is not None:
+            self._check_live_fork()
+            with self._live_lock:
+                for snap in self._live_snaps:
+                    snap.close()
+                self._live_snaps = ()
+                self._live_epoch = None
+                self.executor = None
+                self.coordinator = None
+            self.live.close()
+            return
         close = getattr(self.executor, "close", None)
         if close is not None:
             close()
@@ -556,19 +729,28 @@ class ShardedSession:
         mode: str = "bounded",
     ):
         """Run one sharded top-k query (see :class:`MergeCoordinator`)."""
-        prediction = None
-        if self.predict_threshold and mode == "bounded":
-            prediction = self.predict(terms, k, weights=weights)
-        return self.coordinator.query(
-            terms,
-            k,
-            algorithm=algorithm,
-            weights=weights,
-            prune_epsilon=prune_epsilon,
-            deadline=deadline,
-            mode=mode,
-            prediction=prediction,
-        )
+        pinned = ()
+        if self.live is not None:
+            coordinator, pinned = self._refresh_live(pin=True)
+        else:
+            coordinator = self.coordinator
+        try:
+            prediction = None
+            if self.predict_threshold and mode == "bounded":
+                prediction = self.predict(terms, k, weights=weights)
+            return coordinator.query(
+                terms,
+                k,
+                algorithm=algorithm,
+                weights=weights,
+                prune_epsilon=prune_epsilon,
+                deadline=deadline,
+                mode=mode,
+                prediction=prediction,
+            )
+        finally:
+            for snap in pinned:
+                snap.close()
 
     def predict(
         self,

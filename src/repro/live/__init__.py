@@ -1,0 +1,52 @@
+"""Live index subsystem: streaming updates over the immutable block index.
+
+The paper's engine (and everything built on it through PR 9) queries a
+*static* :class:`~repro.storage.block_index.InvertedBlockIndex`.  This
+package layers a log-structured write path on top of it without touching
+the read path at all:
+
+* :mod:`repro.live.memtable` — the in-memory delta absorbing
+  document-level upserts and deletes,
+* :mod:`repro.live.snapshot` — immutable, epoch-tagged, refcounted
+  :class:`LiveSnapshot` handles whose :attr:`~LiveSnapshot.index`
+  exposes the exact :class:`~repro.storage.block_index.IndexList`
+  sorted/random-access API, so executors, statistics, and bookkeeping
+  pools run unchanged and access-identical,
+* :mod:`repro.live.compaction` — the size-tiered merge that folds
+  frozen segments (and their tombstones) together,
+* :mod:`repro.live.maintenance` — threshold- or demand-driven seal and
+  compaction, optionally on a background thread,
+* :mod:`repro.live.index` — :class:`LiveIndex` (single node) and
+  :class:`ShardedLiveIndex` (updates routed through
+  :mod:`repro.distrib.partition`), the mutable handles tying it together,
+* :mod:`repro.live.binding` — :class:`LiveBinding`, the
+  session-facing adapter returned by
+  :meth:`repro.core.session.QuerySession.open_live`.
+
+The headline invariant (pinned by ``tests/test_live_differential.py``):
+every snapshot's top-k results — doc ids, worstscore/bestscore
+intervals, #SA/#RA/COST — are byte-identical to a from-scratch
+``build_index`` of the equivalent document set at the same epoch.  See
+``docs/LIVE.md`` for the design and the safety argument.
+"""
+
+from .binding import LiveBinding
+from .compaction import SizeTieredPolicy, merge_layers
+from .index import LiveIndex, ShardedLiveIndex
+from .maintenance import LiveMaintainer, MaintenanceConfig
+from .memtable import Memtable
+from .snapshot import LiveSnapshot, Segment, SnapshotIndex
+
+__all__ = [
+    "LiveBinding",
+    "LiveIndex",
+    "LiveMaintainer",
+    "LiveSnapshot",
+    "MaintenanceConfig",
+    "Memtable",
+    "Segment",
+    "ShardedLiveIndex",
+    "SizeTieredPolicy",
+    "SnapshotIndex",
+    "merge_layers",
+]

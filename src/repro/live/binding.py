@@ -1,0 +1,131 @@
+"""Session-facing live query handle.
+
+:class:`LiveBinding` is what :meth:`QuerySession.open_live
+<repro.core.session.QuerySession.open_live>` returns: a session-shaped
+object (``run`` / ``run_many`` with the :class:`QuerySession` signature
+minus ``index=``) that pins one
+:class:`~repro.live.snapshot.LiveSnapshot` for each query's entire
+execution.  Writers, seals, and compactions proceed concurrently; the
+executor only ever reads the immutable snapshot.
+
+Statistics lifecycle per epoch: an unchanged epoch returns the *same*
+snapshot object, so the session's ``id()``-keyed caches (StatsCatalog,
+executor, and therefore PR 8 threshold predictions) hit.  A new epoch
+yields a new snapshot index, the session builds fresh statistics for
+it, and the binding evicts the previous epoch's cache entry so an
+unbounded session does not grow by one entry per write.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Sequence
+
+from ..core.results import TopKResult
+from ..core.session import DEFAULT_ALGORITHM
+
+
+class LiveBinding:
+    """See the module docstring.
+
+    The service layer duck-types this like a :class:`QuerySession`
+    (``run``, ``bookkeeping``, ``default_index``) and detects update
+    support through the ``live`` attribute.
+    """
+
+    def __init__(self, session, live) -> None:
+        self.session = session
+        self.live = live
+        self._lock = threading.Lock()
+        self._last_index = None
+
+    # ------------------------------------------------------------------
+    # Session duck-typing
+    # ------------------------------------------------------------------
+    @property
+    def bookkeeping(self) -> Optional[str]:
+        return self.session.bookkeeping
+
+    @property
+    def default_index(self):
+        """The current epoch's snapshot index (for cost estimation)."""
+        with self.live.snapshot() as snap:
+            return snap.index
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        terms: Optional[Sequence[str]] = None,
+        k: Optional[int] = None,
+        algorithm: str = DEFAULT_ALGORITHM,
+        weights: Optional[Sequence[float]] = None,
+        trace: bool = False,
+        prune_epsilon: float = 0.0,
+        deadline=None,
+        listeners: Sequence = (),
+    ) -> TopKResult:
+        """Run one query against a snapshot pinned for its whole run."""
+        with self.live.snapshot() as snap:
+            index = snap.index
+            self._note_epoch(index)
+            return self.session.run(
+                terms,
+                k,
+                algorithm=algorithm,
+                index=index,
+                weights=weights,
+                trace=trace,
+                prune_epsilon=prune_epsilon,
+                deadline=deadline,
+                listeners=listeners,
+            )
+
+    def run_many(
+        self,
+        queries: Sequence[Sequence[str]],
+        k: int,
+        algorithm: str = DEFAULT_ALGORITHM,
+        weights: Optional[Sequence[float]] = None,
+        prune_epsilon: float = 0.0,
+        deadline=None,
+        listeners: Sequence = (),
+    ) -> List[TopKResult]:
+        """Run a batch against ONE pinned snapshot (a consistent cut)."""
+        with self.live.snapshot() as snap:
+            index = snap.index
+            self._note_epoch(index)
+            return [
+                self.session.run(
+                    terms,
+                    k,
+                    algorithm=algorithm,
+                    index=index,
+                    weights=weights,
+                    prune_epsilon=prune_epsilon,
+                    deadline=deadline,
+                    listeners=listeners,
+                )
+                for terms in queries
+            ]
+
+    def _note_epoch(self, index) -> None:
+        """Evict the previous epoch's session cache entry on change."""
+        with self._lock:
+            previous = self._last_index
+            if previous is index:
+                return
+            self._last_index = index
+        if previous is not None:
+            self.session.evict_index(previous)
+
+    def close(self) -> None:
+        """Release the live index's background resources."""
+        self.live.close()
+
+    def __enter__(self) -> "LiveBinding":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,145 @@
+"""Segment merging: size-tiered selection and tombstone folding.
+
+Compaction rewrites a run of **adjacent** sealed segments (adjacency is
+required: the shadowing relation between layers is positional) into one
+segment holding their combined effective state:
+
+* within the merged run, the newest defining layer of each document
+  wins (full version or tombstone), exactly as snapshot
+  materialization resolves it;
+* a tombstone is **folded away** iff the document has no alive version
+  in any layer *below* the run (older segments, then the base index) —
+  dropping it then changes nothing, keeping it would shadow nothing.
+  This is the invariant the reclamation tests pin: postings of
+  insert-then-delete documents physically disappear at compaction.
+
+Selection is classic size-tiered: merge the oldest adjacent window of
+at least ``min_merge`` segments whose sizes are within ``tier_ratio``
+of each other, extending the window while the next segment still fits
+the tier.  Maintenance can also force a full-run merge when the
+segment count exceeds its bound regardless of tiering.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .snapshot import Segment, in_sorted
+
+
+class SizeTieredPolicy:
+    """Pick an adjacent ``[lo, hi)`` run of segments to merge, or None."""
+
+    def __init__(self, min_merge: int = 3, tier_ratio: float = 2.0) -> None:
+        if min_merge < 2:
+            raise ValueError("min_merge must be at least 2")
+        if tier_ratio < 1.0:
+            raise ValueError("tier_ratio must be at least 1.0")
+        self.min_merge = int(min_merge)
+        self.tier_ratio = float(tier_ratio)
+
+    def select(self, sizes: Sequence[int]) -> Optional[Tuple[int, int]]:
+        count = len(sizes)
+        if count < self.min_merge:
+            return None
+        for lo in range(count - self.min_merge + 1):
+            hi = lo + self.min_merge
+            window = sizes[lo:hi]
+            smallest = max(min(window), 1)
+            if max(window) > smallest * self.tier_ratio:
+                continue
+            # Greedily extend while the next segment stays in the tier.
+            while hi < count and sizes[hi] <= smallest * self.tier_ratio:
+                hi += 1
+            return lo, hi
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SizeTieredPolicy(min_merge=%d, tier_ratio=%g)" % (
+            self.min_merge,
+            self.tier_ratio,
+        )
+
+
+def merge_layers(
+    layers: Sequence[Segment],
+    alive_below: Callable[[int], bool],
+    block_size: int,
+) -> Tuple[Dict[str, List[Tuple[int, float]]], np.ndarray]:
+    """Fold adjacent segments (oldest first) into one layer's content.
+
+    Returns ``(postings_by_term, defined_docs)`` for the merged
+    segment: per-term alive postings after newest-wins resolution, and
+    the sorted defined-doc set after tombstone folding.  ``alive_below``
+    answers whether a doc id has an alive version anywhere strictly
+    below ``layers[0]`` — when False, the merged tombstone shadows
+    nothing and is dropped.
+
+    Pure function of immutable segments: safe to run outside the live
+    index's lock (the caller swaps the result in under the lock).
+    """
+    if not layers:
+        raise ValueError("nothing to merge")
+
+    # Shadow-from-above *within* the merged run, same cumulative-union
+    # construction snapshot materialization uses across the full stack.
+    shadows: List[np.ndarray] = []
+    cumulative = np.empty(0, dtype=np.int64)
+    for segment in reversed(layers):
+        shadows.append(cumulative)
+        cumulative = np.union1d(cumulative, segment.defined_docs)
+    shadows.reverse()
+
+    postings: Dict[str, List[Tuple[int, float]]] = {}
+    for segment, shadow in zip(layers, shadows):
+        for lst in segment.index:
+            if not len(lst):
+                continue
+            keep = ~in_sorted(lst.doc_ids_by_rank, shadow)
+            if not keep.any():
+                continue
+            bucket = postings.setdefault(lst.term, [])
+            bucket.extend(
+                zip(
+                    lst.doc_ids_by_rank[keep].tolist(),
+                    lst.scores_by_rank[keep].tolist(),
+                )
+            )
+
+    # Newest-wins liveness of every defined doc within the run.
+    decided: Dict[int, bool] = {}
+    for segment in reversed(layers):
+        alive = segment.alive_docs
+        for doc in segment.defined_docs.tolist():
+            if doc not in decided:
+                decided[doc] = doc in alive
+    defined = sorted(
+        doc
+        for doc, is_alive in decided.items()
+        if is_alive or alive_below(doc)
+    )
+    return postings, np.array(defined, dtype=np.int64)
+
+
+def make_alive_below(
+    below: Sequence[Segment], base_doc_ids: np.ndarray
+) -> Callable[[int], bool]:
+    """Liveness oracle for everything under a merge run.
+
+    Walks the older segments newest-first — the first layer that
+    *defines* the doc decides (an old tombstone means dead, not
+    fall-through) — and falls back to membership in the base index.
+    """
+
+    def alive_below(doc_id: int) -> bool:
+        for segment in reversed(list(below)):
+            if segment.defines(doc_id):
+                return doc_id in segment.alive_docs
+        if base_doc_ids.size == 0:
+            return False
+        pos = int(np.searchsorted(base_doc_ids, int(doc_id)))
+        return pos < base_doc_ids.size and int(base_doc_ids[pos]) == int(doc_id)
+
+    return alive_below

@@ -1,0 +1,656 @@
+"""The mutable live-index handles: :class:`LiveIndex` and
+:class:`ShardedLiveIndex`.
+
+A :class:`LiveIndex` wraps an (optional) immutable base
+:class:`~repro.storage.block_index.InvertedBlockIndex` and absorbs
+document-level writes through a :class:`~repro.live.memtable.Memtable`.
+Its layer stack — base, sealed segments, unsealed delta — is only ever
+observed through :meth:`snapshot`, which returns an immutable,
+refcounted, epoch-tagged :class:`~repro.live.snapshot.LiveSnapshot`.
+Every write bumps the epoch; the cached snapshot is invalidated so the
+next query sees a *new object* and the session layer naturally rebuilds
+statistics (and PR 8 threshold predictions) for the new epoch, while an
+unchanged epoch keeps returning the same object and therefore keeps
+hitting the session's ``id()``-keyed caches.
+
+Thread model: one reentrant lock serializes writers, seals, snapshot
+creation/release, and segment-list swaps.  The expensive part of
+compaction (merging postings) runs *outside* that lock — compactions
+are serialized among themselves by a dedicated non-blocking lock, and
+the merged result is swapped in only after re-validating that the
+captured run is still in place.  Fork safety follows the session-layer
+idiom: every public entry point revalidates the owner PID and a forked
+child gets fresh locks and — critically — **disowns** any background
+maintenance thread, which only ever exists in the parent.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..storage.block_index import DEFAULT_BLOCK_SIZE, InvertedBlockIndex
+from ..storage.index_builder import build_index
+from .compaction import SizeTieredPolicy, make_alive_below, merge_layers
+from .memtable import Memtable, validate_update
+from .snapshot import LiveSnapshot, Segment
+
+#: Normalized update operation: ("upsert", doc_id, {term: score}) or
+#: ("delete", doc_id, None).  ``apply`` also accepts dict-shaped ops
+#: (the service's JSON form): {"op": "upsert", "doc_id": 1, "terms": {...}}.
+UpdateOp = Tuple[str, int, Optional[Mapping[str, float]]]
+
+
+def normalize_op(op: Union[UpdateOp, Mapping]) -> UpdateOp:
+    """Normalize one update op from tuple or dict form; raises ValueError."""
+    if isinstance(op, Mapping):
+        kind = op.get("op")
+        doc_id = op.get("doc_id")
+        terms = op.get("terms")
+    else:
+        if len(op) == 2:
+            kind, doc_id = op
+            terms = None
+        else:
+            kind, doc_id, terms = op
+    if kind not in ("upsert", "delete"):
+        raise ValueError("op must be 'upsert' or 'delete', got %r" % (kind,))
+    if not isinstance(doc_id, int) or isinstance(doc_id, bool):
+        raise ValueError("doc_id must be an integer, got %r" % (doc_id,))
+    if kind == "upsert":
+        if not isinstance(terms, Mapping) or not terms:
+            raise ValueError(
+                "upsert of doc %r needs a non-empty terms mapping" % (doc_id,)
+            )
+    elif terms:
+        raise ValueError("delete of doc %r takes no terms" % (doc_id,))
+    return kind, int(doc_id), terms
+
+
+class LiveIndex:
+    """A block index that accepts writes.  See the module docstring.
+
+    Parameters
+    ----------
+    base:
+        The immutable index to layer writes over (optional — a live
+        index can also grow from empty).
+    block_size:
+        Block size for every materialized/sealed list; defaults to the
+        base's (smallest) list block size, else the library default.
+        Must match the block size a differential rebuild would use.
+    collection_size:
+        Acts as a floor for every snapshot's ``num_docs``, mirroring
+        the explicit ``num_docs`` argument of ``build_index`` for
+        corpora where some documents match no indexed term.  Default
+        ``None`` tracks distinct alive documents, exactly like
+        ``build_index``'s default.
+    spill_dir:
+        When set, sealed/merged segments with postings are written
+        through the v3 mmap format and read back zero-copy; retired
+        segment files are unlinked once no snapshot pins them.
+    policy:
+        The :class:`~repro.live.compaction.SizeTieredPolicy` driving
+        :meth:`compact`.
+    """
+
+    def __init__(
+        self,
+        base: Optional[InvertedBlockIndex] = None,
+        block_size: Optional[int] = None,
+        collection_size: Optional[int] = None,
+        spill_dir: Optional[Union[str, pathlib.Path]] = None,
+        policy: Optional[SizeTieredPolicy] = None,
+    ) -> None:
+        self._base = base
+        if block_size is None:
+            sizes = (
+                {base.list_for(term).block_size for term in base.terms}
+                if base is not None and len(base)
+                else set()
+            )
+            block_size = min(sizes) if sizes else DEFAULT_BLOCK_SIZE
+        self.block_size = int(block_size)
+        self.collection_size = collection_size
+        self.spill_dir = pathlib.Path(spill_dir) if spill_dir is not None else None
+        self.policy = policy if policy is not None else SizeTieredPolicy()
+
+        self._memtable = Memtable()
+        self._segments: List[Segment] = []
+        self._epoch = 0
+        self._segment_counter = 0
+        self._current: Optional[LiveSnapshot] = None
+        self._base_docs: Optional[np.ndarray] = None
+        self._maintainer = None
+
+        self._lock = threading.RLock()
+        self._compaction_lock = threading.Lock()
+        self._owner_pid = os.getpid()
+
+        #: lifecycle counters (surfaced by :meth:`stats` and /metrics)
+        self.updates_applied = 0
+        self.seals = 0
+        self.compactions = 0
+        self.reclaimed_postings = 0
+        self.reclaimed_tombstones = 0
+
+    # ------------------------------------------------------------------
+    # Fork safety
+    # ------------------------------------------------------------------
+    def _check_fork(self) -> None:
+        """Reset process-local state after a ``fork()``.
+
+        The inherited locks may be held by parent threads that do not
+        exist here, and the background maintainer (if any) runs only in
+        the parent — the child must neither join nor double-run it, so
+        the maintainer disowns its thread handle via its own PID check.
+        """
+        if os.getpid() != self._owner_pid:
+            self._lock = threading.RLock()
+            self._compaction_lock = threading.Lock()
+            self._owner_pid = os.getpid()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def base(self) -> Optional[InvertedBlockIndex]:
+        return self._base
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic write counter; bumps once per applied op."""
+        return self._epoch
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    @property
+    def memtable_ops(self) -> int:
+        """Writes buffered in the unsealed memtable (seal signal)."""
+        return self._memtable.num_ops
+
+    @property
+    def maintainer(self):
+        return self._maintainer
+
+    def stats(self) -> dict:
+        """Counters for metrics endpoints and tests."""
+        with self._lock:
+            return {
+                "epoch": self._epoch,
+                "segments": len(self._segments),
+                "segment_postings": sum(s.num_postings for s in self._segments),
+                "memtable_ops": self._memtable.num_ops,
+                "memtable_docs": len(self._memtable),
+                "updates_applied": self.updates_applied,
+                "seals": self.seals,
+                "compactions": self.compactions,
+                "reclaimed_postings": self.reclaimed_postings,
+                "reclaimed_tombstones": self.reclaimed_tombstones,
+            }
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def upsert(self, doc_id: int, terms: Mapping[str, float]) -> None:
+        """Install a complete new version of ``doc_id``."""
+        self._check_fork()
+        with self._lock:
+            self._memtable.upsert(doc_id, terms)
+            self._bump_locked()
+
+    def delete(self, doc_id: int) -> None:
+        """Tombstone ``doc_id`` everywhere (idempotent for unknown docs)."""
+        self._check_fork()
+        with self._lock:
+            self._memtable.delete(doc_id)
+            self._bump_locked()
+
+    def apply(self, ops: Iterable[Union[UpdateOp, Mapping]]) -> int:
+        """Apply a batch of update ops atomically w.r.t. snapshots.
+
+        The whole batch lands under one lock hold, so no snapshot can
+        observe a prefix of it.  Returns the number of ops applied.
+        Validation errors raise before any op is applied.
+        """
+        self._check_fork()
+        normalized = [normalize_op(op) for op in ops]
+        # Pre-validate payloads so the batch is all-or-nothing: a bad
+        # score in op 7 must not leave ops 0..6 applied.
+        for kind, doc_id, terms in normalized:
+            if kind == "upsert":
+                validate_update(doc_id, terms)
+        with self._lock:
+            for kind, doc_id, terms in normalized:
+                if kind == "upsert":
+                    self._memtable.upsert(doc_id, terms)
+                else:
+                    self._memtable.delete(doc_id)
+                self._epoch += 1
+                self.updates_applied += 1
+            if normalized:
+                self._drop_current_locked()
+        return len(normalized)
+
+    def _bump_locked(self) -> None:
+        self._epoch += 1
+        self.updates_applied += 1
+        self._drop_current_locked()
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> LiveSnapshot:
+        """Acquire a handle on the current epoch's snapshot.
+
+        The same object is returned while the epoch (and layer
+        structure) is unchanged — that stable identity is what keeps
+        the session's statistics cache warm.  Balance every call with
+        :meth:`LiveSnapshot.close`.
+        """
+        self._check_fork()
+        with self._lock:
+            if self._current is None:
+                self._current = self._build_snapshot_locked()
+            self._current._refs += 1
+            return self._current
+
+    def _build_snapshot_locked(self) -> LiveSnapshot:
+        snap = LiveSnapshot(
+            owner=self,
+            epoch=self._epoch,
+            base=self._base,
+            segments=tuple(self._segments),
+            delta=self._memtable.freeze(),
+            block_size=self.block_size,
+            collection_size=self.collection_size,
+            base_doc_ids=self._base_doc_ids_locked(),
+        )
+        for segment in snap.segments:
+            segment.refs += 1
+        snap._refs = 1  # the live cache's own handle
+        return snap
+
+    def _acquire_snapshot(self, snap: LiveSnapshot) -> LiveSnapshot:
+        self._check_fork()
+        with self._lock:
+            if snap._refs <= 0:
+                raise RuntimeError("cannot acquire a fully released snapshot")
+            snap._refs += 1
+            return snap
+
+    def _release_snapshot(self, snap: LiveSnapshot) -> None:
+        self._check_fork()
+        with self._lock:
+            if snap._refs <= 0:
+                raise RuntimeError("snapshot released more times than acquired")
+            snap._refs -= 1
+            if snap._refs == 0:
+                for segment in snap.segments:
+                    self._unref_segment_locked(segment)
+
+    def _drop_current_locked(self) -> None:
+        current = self._current
+        self._current = None
+        if current is not None:
+            if current._refs <= 0:  # pragma: no cover - internal invariant
+                raise RuntimeError("live snapshot cache lost its reference")
+            current._refs -= 1
+            if current._refs == 0:
+                for segment in current.segments:
+                    self._unref_segment_locked(segment)
+
+    def _unref_segment_locked(self, segment: Segment) -> None:
+        segment.refs -= 1
+        if segment.refs == 0 and segment.retired and segment.path is not None:
+            try:
+                os.unlink(segment.path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            segment.path = None
+
+    def _base_doc_ids_locked(self) -> np.ndarray:
+        if self._base_docs is None:
+            if self._base is None or not len(self._base):
+                self._base_docs = np.empty(0, dtype=np.int64)
+            else:
+                self._base_docs = np.unique(
+                    np.concatenate(
+                        [lst.doc_ids_by_rank for lst in self._base]
+                    )
+                )
+        return self._base_docs
+
+    # ------------------------------------------------------------------
+    # Seal and compaction
+    # ------------------------------------------------------------------
+    def seal(self) -> bool:
+        """Freeze the memtable into an immutable segment.
+
+        A no-op (returns False) when the memtable defines nothing.
+        Sealing changes the layer structure but not the logical
+        content: a snapshot taken before the seal stays valid and
+        byte-identical to one taken after.
+        """
+        self._check_fork()
+        with self._lock:
+            memtable = self._memtable
+            if not len(memtable):
+                return False
+            postings = memtable.alive_postings()
+            index = build_index(postings, block_size=self.block_size)
+            segment = Segment(
+                index, memtable.touched_docs(), epoch=self._epoch
+            )
+            self._spill_segment(segment)
+            self._segments.append(segment)
+            self._memtable = Memtable()
+            self._drop_current_locked()
+            self.seals += 1
+            return True
+
+    def _spill_segment(self, segment: Segment) -> None:
+        """Persist a segment's postings via the v3 mmap writer."""
+        if self.spill_dir is None or not segment.num_postings:
+            return
+        from ..storage.serialization import load_index, save_index
+
+        self.spill_dir.mkdir(parents=True, exist_ok=True)
+        self._segment_counter += 1
+        path = self.spill_dir / ("segment-%08d.v3" % self._segment_counter)
+        save_index(segment.index, path, layout="mmap")
+        segment.index = load_index(path)
+        segment.path = path
+
+    def compact(self, force: bool = False) -> bool:
+        """Run one size-tiered compaction step; True when a merge landed.
+
+        ``force=True`` merges the whole segment run even when the
+        tiering policy finds no window (used by maintenance when the
+        segment count exceeds its bound).  The posting merge runs
+        outside the live lock; concurrent writers, seals, and snapshots
+        proceed.  Returns False when another compaction is in flight.
+        """
+        self._check_fork()
+        if not self._compaction_lock.acquire(blocking=False):
+            return False
+        try:
+            with self._lock:
+                segments = list(self._segments)
+                span = self.policy.select([s.size for s in segments])
+                if span is None and force and len(segments) >= 2:
+                    span = (0, len(segments))
+                if span is None:
+                    return False
+                lo, hi = span
+                captured = segments[lo:hi]
+                below = tuple(segments[:lo])
+                base_docs = self._base_doc_ids_locked()
+
+            # Heavy part, lock-free: captured layers are immutable and
+            # `below`/base cannot change while we hold _compaction_lock
+            # (seal only appends above, compactions are serialized).
+            postings, defined = merge_layers(
+                captured, make_alive_below(below, base_docs), self.block_size
+            )
+            merged: Optional[Segment] = None
+            if postings or defined.size:
+                merged = Segment(
+                    build_index(postings, block_size=self.block_size),
+                    defined,
+                    epoch=captured[-1].epoch,
+                )
+                self._spill_segment(merged)
+
+            with self._lock:
+                in_place = self._segments[lo:hi]
+                if len(in_place) != len(captured) or any(
+                    a is not b for a, b in zip(in_place, captured)
+                ):  # pragma: no cover - compactions are serialized
+                    return False
+                self._segments[lo:hi] = [merged] if merged is not None else []
+                before_postings = sum(s.num_postings for s in captured)
+                before_tombstones = sum(s.num_tombstones for s in captured)
+                after_postings = merged.num_postings if merged is not None else 0
+                after_tombstones = merged.num_tombstones if merged is not None else 0
+                self.reclaimed_postings += before_postings - after_postings
+                self.reclaimed_tombstones += max(
+                    before_tombstones - after_tombstones, 0
+                )
+                for segment in captured:
+                    segment.retired = True
+                    self._unref_segment_locked(segment)
+                self._drop_current_locked()
+                self.compactions += 1
+                return True
+        finally:
+            self._compaction_lock.release()
+
+    # ------------------------------------------------------------------
+    # Maintenance and lifecycle
+    # ------------------------------------------------------------------
+    def start_maintenance(self, config=None):
+        """Start (or return) the background seal/compact maintainer."""
+        self._check_fork()
+        from .maintenance import LiveMaintainer
+
+        if self._maintainer is None:
+            self._maintainer = LiveMaintainer(self, config)
+        self._maintainer.start()
+        return self._maintainer
+
+    def close(self) -> None:
+        """Stop background maintenance and release cached resources.
+
+        Idempotent; the index stays usable for reads and writes.  In a
+        forked child this never joins the parent's maintenance thread —
+        the maintainer's own PID check disowns it first.
+        """
+        self._check_fork()
+        maintainer = self._maintainer
+        if maintainer is not None:
+            maintainer.stop()
+        with self._lock:
+            self._drop_current_locked()
+
+    def __enter__(self) -> "LiveIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ShardedLiveIndex:
+    """Per-shard live indexes with partition-routed updates.
+
+    Wraps one :class:`LiveIndex` per shard and routes every write
+    through the same assignment logic queries use
+    (:mod:`repro.distrib.partition`): known documents go to their home
+    shard, new documents are hashed (``strategy="hash"``) or appended
+    round-robin (``strategy="round_robin"``, recorded in the shared
+    assignment table so later random accesses resolve).  Deletes of
+    never-seen documents under round-robin are no-ops.
+
+    A :class:`~repro.core.session.ShardedSession` constructed with
+    ``live=`` snapshots every shard per epoch and rebuilds its shard
+    executor view; see :meth:`snapshot_all`.
+    """
+
+    def __init__(
+        self,
+        base: Optional[object] = None,
+        num_shards: int = 4,
+        strategy: str = "hash",
+        block_size: Optional[int] = None,
+        collection_size: Optional[int] = None,
+        spill_dir: Optional[Union[str, pathlib.Path]] = None,
+        policy: Optional[SizeTieredPolicy] = None,
+    ) -> None:
+        from ..distrib.partition import STRATEGIES, ShardedIndex, partition_index
+
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                "unknown partition strategy %r; valid: %s"
+                % (strategy, list(STRATEGIES))
+            )
+        if isinstance(base, ShardedIndex):
+            sharded = base
+        elif isinstance(base, InvertedBlockIndex):
+            sharded = partition_index(base, num_shards, strategy=strategy)
+        elif base is None:
+            sharded = None
+        else:
+            raise TypeError(
+                "base must be an InvertedBlockIndex, a ShardedIndex, or None"
+            )
+        if sharded is not None:
+            num_shards = sharded.num_shards
+            strategy = sharded.strategy
+            self.assignment: Dict[int, int] = dict(sharded.assignment)
+            shard_bases: Sequence[Optional[InvertedBlockIndex]] = sharded.shards
+        else:
+            if num_shards < 1:
+                raise ValueError("num_shards must be at least 1")
+            self.assignment = {}
+            shard_bases = [None] * num_shards
+        self.strategy = strategy
+        spill_root = pathlib.Path(spill_dir) if spill_dir is not None else None
+        self.shards: Tuple[LiveIndex, ...] = tuple(
+            LiveIndex(
+                shard_base,
+                block_size=block_size,
+                collection_size=collection_size,
+                spill_dir=(
+                    spill_root / ("shard-%02d" % shard_id)
+                    if spill_root is not None
+                    else None
+                ),
+                policy=policy,
+            )
+            for shard_id, shard_base in enumerate(shard_bases)
+        )
+        self._lock = threading.RLock()
+        self._owner_pid = os.getpid()
+        self._epoch = 0
+        self._next_rr = len(self.assignment) % num_shards
+
+    def _check_fork(self) -> None:
+        if os.getpid() != self._owner_pid:
+            self._lock = threading.RLock()
+            self._owner_pid = os.getpid()
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def epoch(self) -> int:
+        """Global write counter across all shards."""
+        return self._epoch
+
+    def shard_of(self, doc_id: int, create: bool = False) -> Optional[int]:
+        """Home shard of ``doc_id``; assigns one when ``create`` and new."""
+        from ..distrib.partition import hash_shard
+
+        doc = int(doc_id)
+        known = self.assignment.get(doc)
+        if known is not None:
+            return known
+        if self.strategy == "hash":
+            return hash_shard(doc, self.num_shards)
+        if not create:
+            return None
+        shard = self._next_rr
+        self._next_rr = (shard + 1) % self.num_shards
+        self.assignment[doc] = shard
+        return shard
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def upsert(self, doc_id: int, terms: Mapping[str, float]) -> None:
+        self._check_fork()
+        with self._lock:
+            shard = self.shard_of(doc_id, create=True)
+            self.shards[shard].upsert(doc_id, terms)
+            self._epoch += 1
+
+    def delete(self, doc_id: int) -> bool:
+        """Tombstone ``doc_id`` on its home shard; False when unroutable."""
+        self._check_fork()
+        with self._lock:
+            shard = self.shard_of(doc_id, create=False)
+            if shard is None:
+                return False
+            self.shards[shard].delete(doc_id)
+            self._epoch += 1
+            return True
+
+    def apply(self, ops: Iterable[Union[UpdateOp, Mapping]]) -> int:
+        """Route a batch of ops; atomic w.r.t. :meth:`snapshot_all`."""
+        self._check_fork()
+        normalized = [normalize_op(op) for op in ops]
+        for kind, doc_id, terms in normalized:
+            if kind == "upsert":
+                validate_update(doc_id, terms)
+        applied = 0
+        with self._lock:
+            for kind, doc_id, terms in normalized:
+                if kind == "upsert":
+                    shard = self.shard_of(doc_id, create=True)
+                    self.shards[shard].upsert(doc_id, terms)
+                else:
+                    shard = self.shard_of(doc_id, create=False)
+                    if shard is None:
+                        continue
+                    self.shards[shard].delete(doc_id)
+                self._epoch += 1
+                applied += 1
+        return applied
+
+    # ------------------------------------------------------------------
+    # Snapshots and lifecycle
+    # ------------------------------------------------------------------
+    def snapshot_all(self) -> Tuple[LiveSnapshot, ...]:
+        """One consistent cut: a pinned snapshot of every shard.
+
+        Taken under the routing lock, so a multi-op :meth:`apply` batch
+        is either fully visible or fully invisible.  Close every handle.
+        """
+        self._check_fork()
+        with self._lock:
+            return tuple(shard.snapshot() for shard in self.shards)
+
+    def stats(self) -> dict:
+        per_shard = [shard.stats() for shard in self.shards]
+        return {
+            "epoch": self._epoch,
+            "num_shards": self.num_shards,
+            "segments": sum(s["segments"] for s in per_shard),
+            "memtable_ops": sum(s["memtable_ops"] for s in per_shard),
+            "updates_applied": sum(s["updates_applied"] for s in per_shard),
+            "seals": sum(s["seals"] for s in per_shard),
+            "compactions": sum(s["compactions"] for s in per_shard),
+            "reclaimed_postings": sum(s["reclaimed_postings"] for s in per_shard),
+        }
+
+    def start_maintenance(self, config=None) -> None:
+        for shard in self.shards:
+            shard.start_maintenance(config)
+
+    def close(self) -> None:
+        """Stop every shard's background maintenance (fork-safe)."""
+        for shard in self.shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardedLiveIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

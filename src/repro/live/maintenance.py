@@ -1,0 +1,132 @@
+"""Threshold- and demand-driven seal/compaction for a live index.
+
+:class:`LiveMaintainer` watches one :class:`~repro.live.index.LiveIndex`
+and keeps its layer stack bounded: when the unsealed memtable exceeds
+``seal_ops`` buffered writes it is sealed into a segment, and the
+segment run is compacted — by the size-tiered policy normally, or
+force-merged when the run exceeds ``max_segments``.  :meth:`run_once`
+performs one deterministic pass (what tests drive); :meth:`start` runs
+the same pass on a polling daemon thread.
+
+Fork safety: the background thread exists only in the process that
+started it.  Every public entry point revalidates the owner PID and a
+forked child **disowns** the inherited thread handle — it neither joins
+the parent's compactor (the thread object is not running here and
+joining it could hang) nor double-runs it (``running`` reports False,
+``stop`` is a no-op until the child starts its own).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class MaintenanceConfig:
+    """Thresholds and cadence for background maintenance."""
+
+    #: seal the memtable once it buffers this many write ops
+    seal_ops: int = 4096
+    #: force-compact the whole run above this many segments
+    max_segments: int = 6
+    #: polling interval of the background thread, seconds
+    interval_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.seal_ops < 1:
+            raise ValueError("seal_ops must be at least 1")
+        if self.max_segments < 1:
+            raise ValueError("max_segments must be at least 1")
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+
+
+class LiveMaintainer:
+    """See the module docstring."""
+
+    def __init__(self, live, config: Optional[MaintenanceConfig] = None) -> None:
+        self.live = live
+        self.config = config if config is not None else MaintenanceConfig()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._owner_pid = os.getpid()
+        #: passes/actions performed (test and metrics instrumentation)
+        self.passes = 0
+        self.seals = 0
+        self.compactions = 0
+        self.errors = 0
+        self.last_error: Optional[BaseException] = None
+
+    def _check_fork(self) -> None:
+        """Disown the parent's thread after a ``fork()``.
+
+        The inherited ``Thread`` object describes a thread that only
+        exists in the parent; the child must treat it as not running
+        and never join it.
+        """
+        if os.getpid() != self._owner_pid:
+            self._thread = None
+            self._stop = threading.Event()
+            self._owner_pid = os.getpid()
+
+    @property
+    def running(self) -> bool:
+        self._check_fork()
+        return self._thread is not None and self._thread.is_alive()
+
+    # ------------------------------------------------------------------
+    # One deterministic pass
+    # ------------------------------------------------------------------
+    def run_once(self) -> dict:
+        """Seal/compact according to thresholds; returns what happened."""
+        self._check_fork()
+        actions = {"sealed": False, "compacted": False}
+        self.passes += 1
+        if self.live.memtable_ops >= self.config.seal_ops:
+            if self.live.seal():
+                actions["sealed"] = True
+                self.seals += 1
+        force = self.live.num_segments > self.config.max_segments
+        if self.live.compact(force=force):
+            actions["compacted"] = True
+            self.compactions += 1
+        return actions
+
+    # ------------------------------------------------------------------
+    # Background thread
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the polling daemon thread (idempotent)."""
+        self._check_fork()
+        if self.running:
+            return
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-live-maintenance", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop and join the background thread (no-op if not running).
+
+        In a forked child this is always a no-op for the parent's
+        thread: :meth:`_check_fork` dropped the handle first.
+        """
+        self._check_fork()
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout)
+        self._thread = None
+
+    def _loop(self) -> None:
+        stop = self._stop
+        while not stop.wait(self.config.interval_s):
+            try:
+                self.run_once()
+            except Exception as exc:  # keep maintaining; surface via counters
+                self.errors += 1
+                self.last_error = exc

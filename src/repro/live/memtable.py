@@ -1,0 +1,174 @@
+"""In-memory write delta: the mutable tip of a live index.
+
+A :class:`Memtable` absorbs document-level writes — whole-document
+upserts and deletes — until it is sealed into an immutable segment
+(:meth:`repro.live.index.LiveIndex.seal`).  It keeps two synchronized
+views:
+
+* the **forward view** ``doc_id -> version``, where a version is either
+  the document's complete ``{term: score}`` map or ``None`` (a
+  tombstone that shadows every older occurrence of the doc id in
+  deeper layers), and
+* an **inverted view** ``term -> {doc_id: score}`` over the *alive*
+  versions only, staged on demand into sorted numpy columns
+  (:meth:`Memtable.postings_for`) so sealing and snapshot
+  materialization work on columnar data, consistent with the PR 7
+  hot path.
+
+Updates are **document-granular**: an upsert replaces the previous
+version of the document wholesale (there is no per-term patch), which
+is what keeps "the equivalent document set at this epoch" well defined
+for the differential rebuild check.
+
+The memtable itself takes no locks: the owning
+:class:`~repro.live.index.LiveIndex` serializes writers, seals, and
+snapshot creation under its own lock.  Version dicts stored in the
+forward view are never mutated after insertion — an upsert installs a
+fresh dict — which is what makes the shallow copy returned by
+:meth:`freeze` a correct point-in-time snapshot.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+#: A document version: its complete term->score map, or None (tombstone).
+Version = Optional[Dict[str, float]]
+
+
+def validate_update(doc_id: int, terms: Mapping[str, float]) -> Tuple[int, Dict[str, float]]:
+    """Validate and normalize one upsert's payload.
+
+    Mirrors the invariants :class:`~repro.storage.block_index.IndexList`
+    enforces at build time (non-negative finite scores, string terms),
+    so a bad write fails at the memtable instead of poisoning a later
+    seal or snapshot materialization.
+    """
+    doc = int(doc_id)
+    if not terms:
+        # an alive doc with zero postings has no rebuild equivalent
+        # (build_index only counts posting-bearing docs), so it would
+        # silently break snapshot/rebuild num_docs parity
+        raise ValueError("upsert of doc %d needs a non-empty terms mapping" % doc)
+    version: Dict[str, float] = {}
+    for term, score in terms.items():
+        if not isinstance(term, str) or not term:
+            raise ValueError("terms must be non-empty strings, got %r" % (term,))
+        value = float(score)
+        if not math.isfinite(value) or value < 0.0:
+            raise ValueError(
+                "score for term %r of doc %d must be finite and non-negative, got %r"
+                % (term, doc, score)
+            )
+        version[term] = value
+    return doc, version
+
+
+class Memtable:
+    """See the module docstring.  One instance per unsealed delta."""
+
+    def __init__(self) -> None:
+        #: forward view: every doc id this delta defines (tombstones too)
+        self._doc_state: Dict[int, Version] = {}
+        #: inverted view over alive versions only
+        self._term_postings: Dict[str, Dict[int, float]] = {}
+        #: per-term staged columns (sorted by doc id); invalidated on write
+        self._staged: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        #: writes absorbed since construction (seal-threshold signal)
+        self.num_ops = 0
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def upsert(self, doc_id: int, terms: Mapping[str, float]) -> None:
+        """Install a new complete version of ``doc_id``."""
+        doc, version = validate_update(doc_id, terms)
+        self._unlink(doc)
+        self._doc_state[doc] = version
+        for term, score in version.items():
+            self._term_postings.setdefault(term, {})[doc] = score
+            self._staged.pop(term, None)
+        self.num_ops += 1
+
+    def delete(self, doc_id: int) -> None:
+        """Tombstone ``doc_id`` (shadowing any version in deeper layers)."""
+        doc = int(doc_id)
+        self._unlink(doc)
+        self._doc_state[doc] = None
+        self.num_ops += 1
+
+    def _unlink(self, doc: int) -> None:
+        """Remove ``doc`` from the inverted view of its previous version."""
+        previous = self._doc_state.get(doc)
+        if not previous:
+            return
+        for term in previous:
+            postings = self._term_postings.get(term)
+            if postings is not None:
+                postings.pop(doc, None)
+                if not postings:
+                    del self._term_postings[term]
+            self._staged.pop(term, None)
+
+    # ------------------------------------------------------------------
+    # Reads (used by seal and snapshot materialization)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of distinct documents this delta defines."""
+        return len(self._doc_state)
+
+    @property
+    def num_postings(self) -> int:
+        """Alive postings currently buffered (sizing signal)."""
+        return sum(len(p) for p in self._term_postings.values())
+
+    @property
+    def terms(self) -> List[str]:
+        """Terms with at least one alive posting in this delta."""
+        return list(self._term_postings)
+
+    def version_of(self, doc_id: int) -> Version:
+        """The buffered version of ``doc_id`` (KeyError when untouched)."""
+        return self._doc_state[int(doc_id)]
+
+    def __contains__(self, doc_id: int) -> bool:
+        return int(doc_id) in self._doc_state
+
+    def postings_for(self, term: str) -> Tuple[np.ndarray, np.ndarray]:
+        """Alive postings of ``term`` as doc-id-sorted numpy columns.
+
+        Staged once per term and reused until a write touches the term
+        again — seal and snapshot paths both consume this columnar form.
+        """
+        staged = self._staged.get(term)
+        if staged is None:
+            postings = self._term_postings.get(term, {})
+            docs = np.fromiter(postings.keys(), dtype=np.int64, count=len(postings))
+            scores = np.fromiter(postings.values(), dtype=np.float64, count=len(postings))
+            order = np.argsort(docs)
+            staged = (docs[order], scores[order])
+            self._staged[term] = staged
+        return staged
+
+    def touched_docs(self) -> np.ndarray:
+        """Sorted array of every doc id this delta defines (incl. tombstones)."""
+        return np.array(sorted(self._doc_state), dtype=np.int64)
+
+    def alive_postings(self) -> Dict[str, List[Tuple[int, float]]]:
+        """Per-term alive postings in builder form (for sealing)."""
+        return {
+            term: list(postings.items())
+            for term, postings in self._term_postings.items()
+        }
+
+    def freeze(self) -> Dict[int, Version]:
+        """Point-in-time copy of the forward view for a snapshot.
+
+        Shallow by design: versions are immutable after insertion, so
+        sharing them between the live memtable and frozen snapshots is
+        safe.
+        """
+        return dict(self._doc_state)

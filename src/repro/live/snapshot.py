@@ -1,0 +1,372 @@
+"""Immutable, epoch-tagged snapshots of a live index.
+
+A :class:`LiveSnapshot` is a consistent point-in-time view over the
+layer stack of a :class:`~repro.live.index.LiveIndex`:
+
+    base index   (oldest — the immutable block index the live index wraps)
+    segment 0..N (sealed memtables, oldest first)
+    delta        (a frozen copy of the unsealed memtable's forward view)
+
+Newer layers **shadow** older ones at document granularity: a doc id
+defined by layer ``i`` (as a full version or a tombstone) erases every
+occurrence of that doc in layers ``< i``.  The effective posting set of
+a term is therefore the base list minus shadowed docs, plus each
+segment's list minus docs shadowed above it, plus the delta's alive
+postings.
+
+**Why results are byte-identical to a rebuild.**  The effective posting
+set per term is a plain multiset of ``(doc_id, score)`` pairs, and
+:class:`~repro.storage.block_index.IndexList`'s constructor is a pure
+function of that multiset (canonical sort: score descending, doc id
+ascending on ties; deterministic blocked layout; binary-search lookup
+columns).  :meth:`LiveSnapshot.index` materializes every *touched* term
+through that same constructor with the same block size, and reproduces
+``build_index``'s ``num_docs`` default (distinct alive documents), so
+the resulting :class:`SnapshotIndex` is indistinguishable — layout,
+statistics, access schedule, costs — from ``build_index`` over the
+equivalent document set.  Untouched terms reuse the frozen base
+:class:`IndexList` objects zero-copy.
+
+Snapshots are refcounted by their owning live index: every
+``live.snapshot()`` call must be balanced by :meth:`LiveSnapshot.close`
+(or use the snapshot as a context manager).  While any snapshot pins a
+segment, compaction may retire the segment but will not unlink its
+spilled file.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..storage.block_index import IndexList, InvertedBlockIndex
+from .memtable import Version
+
+
+def in_sorted(values: np.ndarray, sorted_arr: np.ndarray) -> np.ndarray:
+    """Boolean membership mask of ``values`` in a sorted int64 array."""
+    if sorted_arr.size == 0:
+        return np.zeros(values.shape, dtype=bool)
+    pos = np.searchsorted(sorted_arr, values)
+    pos = np.minimum(pos, sorted_arr.size - 1)
+    return sorted_arr[pos] == values
+
+
+class Segment:
+    """One sealed, immutable layer: a block index plus its defined-doc set.
+
+    ``index`` holds the layer's own alive postings (built through the
+    canonical constructor at seal/merge time, possibly mmap-backed);
+    ``defined_docs`` is the sorted set of every doc id the layer
+    defines — alive versions *and* tombstones — which is what shadows
+    deeper layers.  ``refs`` counts the owning live index's structure
+    plus every snapshot pinning the segment; a segment ``retired`` by
+    compaction has its spilled file unlinked once the count drains.
+    """
+
+    __slots__ = ("index", "defined_docs", "epoch", "path", "refs", "retired", "_alive")
+
+    def __init__(
+        self,
+        index: InvertedBlockIndex,
+        defined_docs: np.ndarray,
+        epoch: int,
+        path=None,
+    ) -> None:
+        self.index = index
+        self.defined_docs = np.asarray(defined_docs, dtype=np.int64)
+        self.epoch = int(epoch)
+        self.path = path
+        self.refs = 1  # the owning LiveIndex's structural reference
+        self.retired = False
+        self._alive: Optional[frozenset] = None
+
+    @property
+    def alive_docs(self) -> frozenset:
+        """Doc ids with at least one posting in this segment (cached)."""
+        if self._alive is None:
+            docs: set = set()
+            for lst in self.index:
+                docs.update(lst.doc_ids_by_rank.tolist())
+            self._alive = frozenset(docs)
+        return self._alive
+
+    def defines(self, doc_id: int) -> bool:
+        """Does this layer define ``doc_id`` (version or tombstone)?"""
+        arr = self.defined_docs
+        pos = int(np.searchsorted(arr, int(doc_id)))
+        return pos < arr.size and int(arr[pos]) == int(doc_id)
+
+    @property
+    def num_postings(self) -> int:
+        return sum(len(lst) for lst in self.index)
+
+    @property
+    def num_tombstones(self) -> int:
+        """Defined docs with no postings here (pure shadows)."""
+        return int(self.defined_docs.size) - len(self.alive_docs)
+
+    @property
+    def size(self) -> int:
+        """Size signal for the tiering policy: postings + defined docs."""
+        return self.num_postings + int(self.defined_docs.size)
+
+
+class SnapshotIndex(InvertedBlockIndex):
+    """A lazily materialized index view over one :class:`LiveSnapshot`.
+
+    Subclasses :class:`InvertedBlockIndex` so every consumer — the
+    executor, :class:`~repro.stats.catalog.StatsCatalog`, serialization,
+    sharding — works unchanged.  Term lists materialize on first access
+    (untouched terms come back as the base's own ``IndexList`` objects,
+    zero-copy) and are cached for the snapshot's lifetime; the cache is
+    what gives one snapshot a stable ``id()``-keyed statistics entry in
+    :class:`~repro.core.session.QuerySession`.
+    """
+
+    def __init__(self, snapshot: "LiveSnapshot", num_docs: int, term_order: Tuple[str, ...]) -> None:
+        super().__init__({}, num_docs=num_docs)
+        self._snapshot = snapshot
+        self._term_order = term_order
+        self._term_set = frozenset(term_order)
+
+    @property
+    def epoch(self) -> int:
+        return self._snapshot.epoch
+
+    @property
+    def terms(self) -> List[str]:
+        return list(self._term_order)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._term_set
+
+    def __len__(self) -> int:
+        return len(self._term_order)
+
+    def list_for(self, term: str) -> IndexList:
+        lst = self._lists.get(term)
+        if lst is None:
+            if term not in self._term_set:
+                raise KeyError("no index list for term %r" % term)
+            with self._snapshot._lock:
+                lst = self._lists.get(term)
+                if lst is None:
+                    lst = self._snapshot._materialize_list(term)
+                    self._lists[term] = lst
+        return lst
+
+    def __iter__(self):
+        return iter(self.list_for(term) for term in self._term_order)
+
+
+class LiveSnapshot:
+    """One immutable epoch of a live index.  See the module docstring.
+
+    Create through :meth:`repro.live.index.LiveIndex.snapshot` only;
+    every handle must be closed exactly once (context-manager friendly).
+    The same object is returned to every caller while the epoch is
+    unchanged, so per-index session caches (statistics, executors) hit
+    across queries against the same epoch.
+    """
+
+    def __init__(
+        self,
+        owner,
+        epoch: int,
+        base: Optional[InvertedBlockIndex],
+        segments: Tuple[Segment, ...],
+        delta: Dict[int, Version],
+        block_size: int,
+        collection_size: Optional[int],
+        base_doc_ids: np.ndarray,
+    ) -> None:
+        self._owner = owner
+        self.epoch = int(epoch)
+        self.base = base
+        self.segments = tuple(segments)
+        self._delta = delta
+        self.block_size = int(block_size)
+        self._collection_size = collection_size
+        self._base_doc_ids = base_doc_ids
+
+        # Shadow sets: for each layer, the sorted union of doc ids
+        # defined by every layer *above* it.  Computed top-down once;
+        # every per-term materialization masks against them.
+        delta_defined = np.array(sorted(delta), dtype=np.int64)
+        shadows: List[np.ndarray] = []
+        cumulative = delta_defined
+        for segment in reversed(self.segments):
+            shadows.append(cumulative)
+            cumulative = np.union1d(cumulative, segment.defined_docs)
+        shadows.reverse()
+        self._segment_shadows = shadows
+        #: every doc id defined above the base (segments + delta)
+        self._base_shadow = cumulative
+
+        self._delta_by_term: Optional[Dict[str, Tuple[np.ndarray, np.ndarray]]] = None
+        self._index: Optional[SnapshotIndex] = None
+        self._lock = threading.Lock()
+        #: handle count, managed by the owner under the owner's lock
+        self._refs = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def acquire(self) -> "LiveSnapshot":
+        """Take one more handle on this snapshot (pair with close).
+
+        Used by holders of an existing handle to extend the pin to
+        another scope (e.g. one per in-flight query); acquiring a fully
+        released snapshot raises.
+        """
+        return self._owner._acquire_snapshot(self)
+
+    def close(self) -> None:
+        """Release this handle (each ``snapshot()`` call needs one close)."""
+        self._owner._release_snapshot(self)
+
+    def __enter__(self) -> "LiveSnapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # The index view
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> SnapshotIndex:
+        """The queryable index view (built lazily, cached per snapshot)."""
+        view = self._index
+        if view is None:
+            with self._lock:
+                view = self._index
+                if view is None:
+                    view = SnapshotIndex(
+                        self, self._compute_num_docs(), self._compute_term_order()
+                    )
+                    self._index = view
+        return view
+
+    def _compute_term_order(self) -> Tuple[str, ...]:
+        """Base vocabulary in base order, then new terms sorted.
+
+        A term whose postings are all deleted stays in the vocabulary
+        with an empty list — mirroring sharded execution, where a term
+        may legitimately have zero postings in one partition.
+        """
+        order: List[str] = list(self.base.terms) if self.base is not None else []
+        known = set(order)
+        extra: set = set()
+        for segment in self.segments:
+            for term in segment.index.terms:
+                if term not in known:
+                    extra.add(term)
+        for version in self._delta.values():
+            if version:
+                for term in version:
+                    if term not in known:
+                        extra.add(term)
+        order.extend(sorted(extra))
+        return tuple(order)
+
+    def _compute_num_docs(self) -> int:
+        """Distinct alive documents (matching ``build_index``'s default).
+
+        A document is alive when its newest defining layer gives it at
+        least one posting; base docs count unless shadowed.  When the
+        live index was given an explicit ``collection_size`` (documents
+        matching no indexed term), it acts as a floor, mirroring the
+        explicit ``num_docs`` argument of ``build_index``.
+        """
+        base_alive = 0
+        if self._base_doc_ids.size:
+            shadowed = in_sorted(self._base_doc_ids, self._base_shadow)
+            base_alive = int(self._base_doc_ids.size - np.count_nonzero(shadowed))
+        decided: Dict[int, bool] = {}
+        for doc, version in self._delta.items():
+            decided[doc] = bool(version)
+        for segment in reversed(self.segments):
+            alive = segment.alive_docs
+            for doc in segment.defined_docs.tolist():
+                if doc not in decided:
+                    decided[doc] = doc in alive
+        alive_count = base_alive + sum(1 for alive in decided.values() if alive)
+        floor = self._collection_size if self._collection_size is not None else 1
+        return max(alive_count, floor, 1)
+
+    # ------------------------------------------------------------------
+    # Per-term materialization
+    # ------------------------------------------------------------------
+    def _delta_postings(self) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+        """The delta's alive postings per term, as sorted columns.
+
+        Built once per snapshot (callers hold ``self._lock``), touching
+        only the documents the delta defines.
+        """
+        staged = self._delta_by_term
+        if staged is None:
+            per_term: Dict[str, Dict[int, float]] = {}
+            for doc, version in self._delta.items():
+                if version:
+                    for term, score in version.items():
+                        per_term.setdefault(term, {})[doc] = score
+            staged = {}
+            for term, postings in per_term.items():
+                docs = np.fromiter(postings.keys(), dtype=np.int64, count=len(postings))
+                scores = np.fromiter(postings.values(), dtype=np.float64, count=len(postings))
+                order = np.argsort(docs)
+                staged[term] = (docs[order], scores[order])
+            self._delta_by_term = staged
+        return staged
+
+    def _materialize_list(self, term: str) -> IndexList:
+        """Effective list of ``term``: canonical rebuild or zero-copy reuse.
+
+        Callers hold ``self._lock`` (see :meth:`SnapshotIndex.list_for`).
+        """
+        base_list: Optional[IndexList] = None
+        if self.base is not None and term in self.base:
+            base_list = self.base.list_for(term)
+        delta = self._delta_postings().get(term)
+        segment_hits = [
+            (segment, shadow)
+            for segment, shadow in zip(self.segments, self._segment_shadows)
+            if term in segment.index and len(segment.index.list_for(term))
+        ]
+
+        if delta is None and not segment_hits and base_list is not None:
+            # Untouched fast path: no layer adds postings for the term and
+            # no base posting is shadowed — the frozen list is the answer.
+            touched = in_sorted(base_list.doc_ids_by_rank, self._base_shadow)
+            if not touched.any():
+                return base_list
+
+        docs_parts: List[np.ndarray] = []
+        score_parts: List[np.ndarray] = []
+        if base_list is not None and len(base_list):
+            keep = ~in_sorted(base_list.doc_ids_by_rank, self._base_shadow)
+            docs_parts.append(base_list.doc_ids_by_rank[keep])
+            score_parts.append(base_list.scores_by_rank[keep])
+        for segment, shadow in segment_hits:
+            lst = segment.index.list_for(term)
+            keep = ~in_sorted(lst.doc_ids_by_rank, shadow)
+            docs_parts.append(lst.doc_ids_by_rank[keep])
+            score_parts.append(lst.scores_by_rank[keep])
+        if delta is not None:
+            docs_parts.append(delta[0])
+            score_parts.append(delta[1])
+
+        docs = (
+            np.concatenate(docs_parts) if docs_parts else np.empty(0, dtype=np.int64)
+        )
+        scores = (
+            np.concatenate(score_parts) if score_parts else np.empty(0, dtype=np.float64)
+        )
+        # The canonical constructor makes layout, lookup columns, and
+        # hence every downstream statistic a pure function of the
+        # posting multiset — the whole byte-identity argument.
+        return IndexList(term, docs, scores, block_size=self.block_size)

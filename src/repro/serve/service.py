@@ -13,6 +13,16 @@ or :class:`~repro.core.session.ShardedSession` — anything with a
   ``unfinished_shards`` in the body), 400 (typed validation error),
   429 (admission rejection, with ``Retry-After``), 503 (dead shards /
   storage faults), 500 (bugs only),
+* ``POST /update`` — body ``{"ops": [{"op": "upsert", "doc_id": ...,
+  "terms": {...}}, {"op": "delete", "doc_id": ...}, ...]}``; applies
+  the batch atomically to the session's live index (sessions opened
+  over a :class:`~repro.live.index.LiveIndex` or
+  :class:`~repro.live.index.ShardedLiveIndex`) and answers with the
+  new epoch.  Writes go through the same admission control as queries
+  — they are classed by estimated cost and shed under pressure
+  (heavy write batches are rejected at the *degrade* level, where
+  queries would merely be tightened).  501 when the engine has no
+  live index,
 * ``GET /healthz`` — liveness plus the pressure gauges; answers even
   while queries are being rejected (shedding is not an outage),
 * ``GET /metrics`` — counters from the service, the admission
@@ -75,6 +85,11 @@ class ServiceConfig:
     heavy_cost_threshold: float = 50_000.0
     algorithm: str = DEFAULT_ALGORITHM
     shed: ShedConfig = field(default_factory=ShedConfig)
+    #: admission cost units charged per written posting (one op counts
+    #: ``1 + len(terms)`` postings); tuned so a large batch classes heavy
+    update_cost_weight: float = 8.0
+    #: hard cap on ops per /update request (beyond it is a 400)
+    max_update_ops: int = 1024
 
     def __post_init__(self) -> None:
         if self.max_concurrency < 1:
@@ -83,6 +98,10 @@ class ServiceConfig:
             raise ValueError("max_queue must be non-negative")
         if self.default_k < 1 or self.default_k > self.max_k:
             raise ValueError("default_k must be within [1, max_k]")
+        if self.max_update_ops < 1:
+            raise ValueError("max_update_ops must be at least 1")
+        if self.update_cost_weight < 0:
+            raise ValueError("update_cost_weight must be non-negative")
 
 
 @dataclass
@@ -95,6 +114,8 @@ class ServiceMetrics:
     completed_degraded: int = 0
     shed_tightened: int = 0
     shed_rejected: int = 0
+    updates: int = 0
+    update_ops_applied: int = 0
     responses_by_status: Dict[int, int] = field(default_factory=dict)
 
     def count_status(self, status: int) -> None:
@@ -110,6 +131,8 @@ class ServiceMetrics:
             "completed_degraded": self.completed_degraded,
             "shed_tightened": self.shed_tightened,
             "shed_rejected": self.shed_rejected,
+            "updates": self.updates,
+            "update_ops_applied": self.update_ops_applied,
             "responses_by_status": {
                 str(k): v
                 for k, v in sorted(self.responses_by_status.items())
@@ -224,6 +247,11 @@ class QueryService:
                     raise ServiceError(405, "method_not_allowed",
                                        "use POST /query")
                 status, body, headers = await self._handle_query(request)
+            elif request.path == "/update":
+                if request.method != "POST":
+                    raise ServiceError(405, "method_not_allowed",
+                                       "use POST /update")
+                status, body, headers = await self._handle_update(request)
             elif request.path == "/healthz":
                 status, body, headers = 200, self._health_body(), ()
             elif request.path == "/metrics":
@@ -331,6 +359,121 @@ class QueryService:
             queue_wait_ms=(started - enqueued) * 1000.0,
             service_ms=(now - started) * 1000.0,
         )
+
+    # ------------------------------------------------------------------
+    # The update path
+    # ------------------------------------------------------------------
+    async def _handle_update(
+        self, request: HttpRequest
+    ) -> Tuple[int, dict, list]:
+        live = getattr(self.session, "live", None)
+        if live is None:
+            raise ServiceError(
+                501, "not_supported",
+                "this service has no live index; open the session with "
+                "QuerySession.open_live() or ShardedSession(live=...)",
+            )
+        ops, cost_estimate = self._parse_update_body(request.body)
+        cost_class = self.admission.classify(cost_estimate)
+
+        # Writes shed harder than queries: a query at the degrade level
+        # can be tightened into a partial result, but a write batch has
+        # no partial form — heavy batches are rejected outright there.
+        level = self.shedder.observe(self.admission.pressure())
+        if level == LEVEL_REJECT or (
+            level == LEVEL_DEGRADE and cost_class == CLASS_HEAVY
+        ):
+            self.metrics.shed_rejected += 1
+            raise ServiceError(
+                429,
+                "overloaded",
+                "service is shedding writes",
+                retry_after_s=self.admission.retry_after_hint(),
+                details={"reason": "shed_reject", "cost_class": cost_class},
+            )
+        decision = self.admission.admit(cost_estimate)
+        if not decision.admitted:
+            raise ServiceError(
+                429,
+                "overloaded",
+                "admission rejected: %s" % decision.reason,
+                retry_after_s=decision.retry_after_s,
+                details={
+                    "reason": decision.reason,
+                    "cost_class": decision.cost_class,
+                },
+            )
+        self.metrics.admitted += 1
+
+        loop = asyncio.get_running_loop()
+        enqueued = time.perf_counter()
+        self.admission.note_enqueued()
+        started = None
+        try:
+            assert self._semaphore is not None and self._pool is not None
+            async with self._semaphore:
+                self.admission.note_started()
+                started = time.perf_counter()
+                applied = await loop.run_in_executor(
+                    self._pool, partial(live.apply, ops)
+                )
+        finally:
+            now = time.perf_counter()
+            if started is None:
+                self.admission.note_abandoned()
+            else:
+                self.admission.note_finished((now - started) * 1000.0)
+        self.metrics.updates += 1
+        self.metrics.update_ops_applied += applied
+        body = {
+            "applied": applied,
+            "epoch": live.epoch,
+            "service": {
+                "queue_wait_ms": round((started - enqueued) * 1000.0, 3),
+                "service_ms": round((now - started) * 1000.0, 3),
+                "cost_class": cost_class,
+            },
+        }
+        return 200, body, []
+
+    def _parse_update_body(self, body: bytes) -> Tuple[list, float]:
+        """Validate ``{"ops": [...]}``; returns (ops, admission cost)."""
+        from ..live.index import normalize_op
+        from ..live.memtable import validate_update
+
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+        except (ValueError, UnicodeDecodeError):
+            raise ServiceError(400, "invalid_json",
+                               "request body is not valid JSON")
+        if not isinstance(payload, dict):
+            raise ServiceError(400, "invalid_json",
+                               "request body must be a JSON object")
+        ops = payload.get("ops")
+        if not isinstance(ops, list) or not ops:
+            raise ServiceError(400, "invalid_update",
+                               "ops must be a non-empty list")
+        if len(ops) > self.config.max_update_ops:
+            raise ServiceError(
+                400, "invalid_update",
+                "too many ops (%d > max %d)"
+                % (len(ops), self.config.max_update_ops),
+            )
+        normalized = []
+        postings = 0
+        for position, op in enumerate(ops):
+            try:
+                kind, doc_id, terms = normalize_op(op)
+                if kind == "upsert":
+                    validate_update(doc_id, terms)
+            except (TypeError, ValueError) as exc:
+                raise ServiceError(
+                    400, "invalid_update",
+                    "ops[%d]: %s" % (position, exc),
+                )
+            normalized.append((kind, doc_id, terms))
+            postings += 1 + (len(terms) if terms else 0)
+        return normalized, postings * self.config.update_cost_weight
 
     def _parse_query_body(self, body: bytes) -> dict:
         try:
@@ -544,7 +687,8 @@ class QueryService:
         }
 
     def _metrics_body(self) -> dict:
-        return {
+        live = getattr(self.session, "live", None)
+        body = {
             "service": self.metrics.snapshot(),
             "admission": self.admission.snapshot(),
             "shedding": {
@@ -561,3 +705,6 @@ class QueryService:
                 "backend": getattr(self.session, "backend", "in-process"),
             },
         }
+        if live is not None:
+            body["live"] = live.stats()
+        return body

@@ -1,0 +1,219 @@
+"""Writer-vs-reader hammers and fork safety for the live index.
+
+The central claim: queries never observe a *torn epoch*.  A writer
+continuously replaces one sentinel document whose two term scores are
+always written equal; any reader that resolved the sentinel must
+therefore see ``score(a) == score(b)`` — a mixed view (term 'a' from
+one version, term 'b' from another) is exactly what snapshot isolation
+forbids.  The hammer runs that writer against query threads and a
+background maintainer (so seals and compactions interleave with both),
+then closes with a full differential check against a from-scratch
+rebuild of the final state.
+
+Fork safety mirrors ``test_session_forksafety.py``: a child forked
+while a maintainer thread runs must neither join nor double-run the
+parent's compactor, and a ``ShardedSession.close()`` in the parent must
+stop every shard's maintainer (satellite: the PR 4 fork/close sweep now
+covers live compaction threads).
+"""
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+import traceback
+
+import numpy as np
+import pytest
+
+from repro.core.session import QuerySession, ShardedSession
+from repro.live import LiveIndex, MaintenanceConfig, ShardedLiveIndex
+from repro.storage.index_builder import build_index
+
+TERMS = ["a", "b"]
+BLOCK = 16
+SENTINEL = 77_000
+_CHILD_TIMEOUT = 60.0
+
+
+def _base(num_docs=120, seed=5):
+    rng = np.random.default_rng(seed)
+    postings = {t: [] for t in TERMS}
+    for doc in range(num_docs):
+        for t in TERMS:
+            postings[t].append((doc, round(float(rng.random()), 6)))
+    return build_index(postings, block_size=BLOCK)
+
+
+def run_in_fork(child):
+    """Fork, run ``child()``, return its exit code (or "timeout")."""
+    pid = os.fork()
+    if pid == 0:  # child
+        code = 0
+        try:
+            child()
+        except BaseException:
+            traceback.print_exc()
+            code = 1
+        finally:
+            os._exit(code)
+    deadline = time.monotonic() + _CHILD_TIMEOUT
+    while time.monotonic() < deadline:
+        done, status = os.waitpid(pid, os.WNOHANG)
+        if done == pid:
+            return os.waitstatus_to_exitcode(status)
+        time.sleep(0.02)
+    os.kill(pid, signal.SIGKILL)
+    os.waitpid(pid, 0)
+    return "timeout"
+
+
+fork_available = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable on this platform",
+)
+
+
+def test_writer_reader_maintainer_hammer():
+    """No errors, no torn epoch, and the end state is rebuild-identical."""
+    live = LiveIndex(_base(), block_size=BLOCK)
+    live.start_maintenance(
+        MaintenanceConfig(seal_ops=40, max_segments=3, interval_s=0.002)
+    )
+    session = QuerySession(cost_ratio=100.0)
+    binding = session.open_live(live)
+
+    written = []  # sentinel scores, append-only, read by the checker
+    errors = []
+    stop = threading.Event()
+
+    def writer():
+        try:
+            rng = np.random.default_rng(11)
+            i = 0
+            while not stop.is_set():
+                score = 2.0 + (i % 97) * 0.01  # always top-1, both terms
+                live.upsert(SENTINEL, {"a": score, "b": score})
+                written.append(score)
+                doc = int(rng.integers(0, 160))
+                if rng.random() < 0.6:
+                    live.upsert(doc, {
+                        "a": round(float(rng.random()), 6),
+                        "b": round(float(rng.random()), 6),
+                    })
+                else:
+                    live.delete(doc)
+                i += 1
+        except BaseException as exc:
+            errors.append(exc)
+
+    def reader():
+        try:
+            while not stop.is_set():
+                # RR-All resolves every met doc by random access, so the
+                # sentinel's worstscore is its true aggregate a+b = 2s.
+                result = binding.run(TERMS, 1, algorithm="RR-All")
+                (item,) = result.items
+                if item.doc_id == SENTINEL:
+                    half = item.worstscore / 2.0
+                    assert any(
+                        abs(half - s) < 1e-12 for s in written
+                    ), "torn epoch: %r not a written sentinel score" % half
+        except BaseException as exc:
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer)] + [
+        threading.Thread(target=reader) for _ in range(3)
+    ]
+    for t in threads:
+        t.start()
+    time.sleep(1.5)
+    stop.set()
+    for t in threads:
+        t.join(30)
+    assert not errors, errors
+    stats = live.stats()
+    assert stats["seals"] > 0  # the maintainer actually ran
+
+    # final differential: live content == from-scratch rebuild
+    with live.snapshot() as snap:
+        postings = {t: [] for t in snap.index.terms}
+        for term in snap.index.terms:
+            lst = snap.index.list_for(term)
+            postings[term] = list(
+                zip(lst.doc_ids_by_rank.tolist(), lst.scores_by_rank.tolist())
+            )
+        rebuilt = build_index(postings, block_size=BLOCK)
+        got = session.run(TERMS, 5, index=snap.index)
+        want = session.run(TERMS, 5, index=rebuilt)
+        assert [
+            (i.doc_id, i.worstscore, i.bestscore) for i in got.items
+        ] == [(i.doc_id, i.worstscore, i.bestscore) for i in want.items]
+        assert got.stats.cost == want.stats.cost
+    binding.close()
+    assert live.maintainer is not None and not live.maintainer.running
+
+
+def test_concurrent_snapshots_pin_retired_segments(tmp_path):
+    """Compaction must defer spilled-file unlinks until readers let go."""
+    live = LiveIndex(_base(), block_size=BLOCK, spill_dir=tmp_path)
+    for doc in range(40):
+        live.upsert(1000 + doc, {"a": 0.5, "b": 0.5})
+    assert live.seal()
+    for doc in range(40):
+        live.upsert(2000 + doc, {"a": 0.4, "b": 0.4})
+    assert live.seal()
+    pinned = live.snapshot()
+    assert live.compact(force=True)
+    # the pre-compaction segment files are retired but still on disk
+    assert len(list(tmp_path.glob("segment-*.v3"))) >= 3
+    before = pinned.index.list_for("a").doc_ids_by_rank.copy()
+    pinned.close()
+    live.close()
+    # ...and now only the merged segment survives
+    remaining = list(tmp_path.glob("segment-*.v3"))
+    assert len(remaining) == 1
+    assert before.size == 80 + 120
+
+
+@fork_available
+def test_forked_child_disowns_maintainer():
+    """The child neither joins nor double-runs the parent's compactor."""
+    live = LiveIndex(_base(), block_size=BLOCK)
+    live.start_maintenance(MaintenanceConfig(interval_s=0.01))
+    assert live.maintainer.running
+
+    def child():
+        assert not live.maintainer.running  # thread exists only in parent
+        live.maintainer.stop()  # must be a fast no-op, not a join
+        live.upsert(5, {"a": 0.9})  # fresh locks: writes still work
+        assert live.seal()
+        live.close()
+
+    assert run_in_fork(child) == 0
+    assert live.maintainer.running  # parent's thread is untouched
+    live.close()
+    assert not live.maintainer.running
+
+
+@fork_available
+def test_sharded_close_stops_every_maintainer():
+    sharded = ShardedLiveIndex(_base(), num_shards=3, block_size=BLOCK)
+    sharded.start_maintenance(MaintenanceConfig(interval_s=0.01))
+    session = ShardedSession(live=sharded, cost_ratio=100.0)
+    for doc in range(20):
+        sharded.upsert(500 + doc, {"a": 0.3, "b": 0.3})
+    assert session.run(TERMS, 3).items
+
+    def child():
+        # fork while maintainers run: close() in the child must not
+        # hang joining parent-only threads
+        session.close()
+
+    assert run_in_fork(child) == 0
+    for shard in sharded.shards:
+        assert shard.maintainer.running  # child didn't stop the parent's
+    session.close()
+    for shard in sharded.shards:
+        assert not shard.maintainer.running

@@ -1,0 +1,174 @@
+"""The live-index headline correctness harness.
+
+A :class:`~repro.live.index.LiveIndex` promises that a snapshot is
+*access-identical* to an index rebuilt from scratch at the same epoch:
+not just the same top-k answers, but byte-identical execution — same
+item tuples (ids and [worstscore, bestscore] intervals), same #SA, same
+#RA, same abstract COST — for every registered algorithm triple and
+every bookkeeping mode.  That property is what makes the rest of the
+stack (sessions, threshold prediction, sharded coordination, serving)
+correct over a live index *without modification*: the executor cannot
+tell the layered snapshot from a freshly built index.
+
+This suite pins that promise.  One seeded op script drives a live index
+through its whole lifecycle — delta-only, sealed segment + delta,
+compacted, compacted + fresh delta — and at every checkpoint a second
+index is built from scratch (``build_index``) from the model state.
+Each parametrized case then executes the same query on both indexes and
+requires identical fingerprints.
+
+Vocabulary note: a live snapshot keeps terms whose postings were all
+deleted in the vocabulary (with empty lists), mirroring the sharded
+builder's every-term guarantee, so rebuilds construct from a fixed
+term-ordered postings dict with possibly-empty lists.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import available_algorithms
+from repro.core.bookkeeping import BOOKKEEPING_MODES
+from repro.core.session import QuerySession
+from repro.live import LiveIndex
+from repro.storage.index_builder import build_index
+
+BLOCK = 32
+K = 5
+TERMS = ["t0", "t1", "t2"]
+SEED = 1701
+
+
+def _random_version(rng, terms=TERMS, density=0.75):
+    version = {
+        t: round(float(rng.random()), 6) for t in terms if rng.random() < density
+    }
+    return version or {terms[0]: round(float(rng.random()), 6)}
+
+
+def _apply_ops(rng, live, model, count, doc_space=400):
+    """Drive `count` random ops into the live index AND the dict model."""
+    for _ in range(count):
+        doc = int(rng.integers(0, doc_space))
+        if rng.random() < 0.65:
+            version = _random_version(rng)
+            live.upsert(doc, version)
+            model[doc] = version
+        else:
+            live.delete(doc)
+            model.pop(doc, None)
+
+
+def _rebuild(model, term_order):
+    """From-scratch index over the model, matching snapshot term order."""
+    postings = {term: [] for term in term_order}
+    for doc, version in model.items():
+        for term, score in version.items():
+            postings[term].append((doc, score))
+    return build_index(postings, block_size=BLOCK)
+
+
+@pytest.fixture(scope="module")
+def checkpoints():
+    """(label, pinned snapshot, rebuilt index) at five lifecycle stages."""
+    rng = np.random.default_rng(SEED)
+    model = {d: _random_version(rng) for d in range(240)}
+    base = _rebuild(model, TERMS)
+    live = LiveIndex(base, block_size=BLOCK)
+
+    stages = []
+
+    def capture(label):
+        snap = live.snapshot()  # held (not closed) until module teardown
+        term_order = snap.index.terms
+        rebuilt = _rebuild(model, term_order)
+        assert rebuilt.terms == term_order, label
+        assert rebuilt.num_docs == snap.index.num_docs, label
+        stages.append((label, snap, rebuilt))
+
+    capture("base")
+    _apply_ops(rng, live, model, 50)
+    capture("delta")
+    assert live.seal()
+    _apply_ops(rng, live, model, 40)
+    capture("segment+delta")
+    assert live.seal()
+    assert live.compact(force=True)
+    capture("compacted")
+    _apply_ops(rng, live, model, 30)
+    capture("compacted+delta")
+
+    yield stages
+    for _label, snap, _rebuilt in stages:
+        snap.close()
+    live.close()
+
+
+@pytest.fixture(scope="module")
+def sessions():
+    return {
+        mode: QuerySession(cost_ratio=100.0, bookkeeping=mode)
+        for mode in BOOKKEEPING_MODES
+    }
+
+
+def _fingerprint(session, index, algorithm, weights=None):
+    result = session.run(TERMS, K, algorithm=algorithm, index=index,
+                         weights=weights)
+    assert not result.degraded
+    return (
+        tuple(
+            (item.doc_id, item.worstscore, item.bestscore)
+            for item in result.items
+        ),
+        result.stats.sorted_accesses,
+        result.stats.random_accesses,
+        result.stats.cost,
+    )
+
+
+@pytest.mark.parametrize("mode", BOOKKEEPING_MODES)
+@pytest.mark.parametrize("algorithm", sorted(available_algorithms()))
+def test_snapshot_access_identical_to_rebuild(checkpoints, sessions,
+                                              algorithm, mode):
+    """Items, intervals, #SA, #RA and COST all match, at every stage."""
+    session = sessions[mode]
+    for label, snap, rebuilt in checkpoints:
+        got = _fingerprint(session, snap.index, algorithm)
+        want = _fingerprint(session, rebuilt, algorithm)
+        assert got == want, "diverged at checkpoint %r" % label
+
+
+def test_weighted_queries_match(checkpoints, sessions):
+    session = sessions["columnar"]
+    weights = [0.2, 1.0, 0.6]
+    for label, snap, rebuilt in checkpoints:
+        got = _fingerprint(session, snap.index, "KSR-Last-Ben", weights)
+        want = _fingerprint(session, rebuilt, "KSR-Last-Ben", weights)
+        assert got == want, "diverged at checkpoint %r" % label
+
+
+def test_snapshot_lists_bytes_equal_rebuild(checkpoints):
+    """Structural identity below the engine: the posting arrays match."""
+    for label, snap, rebuilt in checkpoints:
+        assert snap.index.terms == rebuilt.terms, label
+        for term in rebuilt.terms:
+            ours = snap.index.list_for(term)
+            theirs = rebuilt.list_for(term)
+            assert np.array_equal(
+                ours.doc_ids_by_rank, theirs.doc_ids_by_rank
+            ), (label, term)
+            assert np.array_equal(
+                ours.scores_by_rank, theirs.scores_by_rank
+            ), (label, term)
+            assert ours.block_size == theirs.block_size
+
+
+def test_full_merge_matches_rebuild(checkpoints, sessions):
+    """The exact-scan baseline agrees too (independent of the engine)."""
+    session = sessions["reference"]
+    for label, snap, rebuilt in checkpoints:
+        ours = session.full_merge(TERMS, K, index=snap.index)
+        theirs = session.full_merge(TERMS, K, index=rebuilt)
+        assert [
+            (i.doc_id, i.worstscore) for i in ours.items
+        ] == [(i.doc_id, i.worstscore) for i in theirs.items], label

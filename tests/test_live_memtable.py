@@ -1,0 +1,91 @@
+"""Unit pins for the in-memory write buffer."""
+
+import numpy as np
+import pytest
+
+from repro.live.memtable import Memtable, validate_update
+
+
+def test_upsert_replaces_whole_version():
+    mt = Memtable()
+    mt.upsert(1, {"a": 0.5, "b": 0.4})
+    mt.upsert(1, {"c": 0.9})  # complete replacement, not a merge
+    assert mt.version_of(1) == {"c": 0.9}
+    docs, scores = mt.postings_for("a")
+    assert docs.size == 0 and scores.size == 0
+    docs, scores = mt.postings_for("c")
+    assert docs.tolist() == [1] and scores.tolist() == [0.9]
+
+
+def test_delete_tombstones_and_counts():
+    mt = Memtable()
+    mt.upsert(1, {"a": 0.5})
+    mt.upsert(2, {"a": 0.6})
+    mt.delete(1)
+    mt.delete(9)  # unknown docs tombstone too (they may live below)
+    assert len(mt) == 3  # distinct touched docs: 1, 2, 9
+    assert mt.num_postings == 1
+    assert mt.version_of(1) is None and mt.version_of(9) is None
+    assert 1 in mt and 9 in mt and 5 not in mt
+    assert mt.touched_docs().tolist() == [1, 2, 9]
+
+
+def test_postings_are_doc_sorted_and_cached():
+    mt = Memtable()
+    for doc in (5, 1, 9, 3):
+        mt.upsert(doc, {"t": 0.1 * doc})
+    docs, scores = mt.postings_for("t")
+    assert docs.tolist() == [1, 3, 5, 9]
+    assert docs.dtype == np.int64 and scores.dtype == np.float64
+    again, _ = mt.postings_for("t")
+    assert again is docs  # staged arrays are reused until invalidated
+    mt.upsert(2, {"t": 0.7})
+    rebuilt, _ = mt.postings_for("t")
+    assert rebuilt is not docs and rebuilt.tolist() == [1, 2, 3, 5, 9]
+
+
+def test_num_ops_counts_every_write():
+    mt = Memtable()
+    mt.upsert(1, {"a": 0.5})
+    mt.upsert(1, {"a": 0.6})
+    mt.delete(1)
+    assert mt.num_ops == 3
+    assert len(mt) == 1
+
+
+def test_freeze_is_immune_to_later_writes():
+    mt = Memtable()
+    mt.upsert(1, {"a": 0.5})
+    frozen = mt.freeze()
+    mt.upsert(1, {"a": 0.9})
+    mt.upsert(2, {"b": 0.1})
+    assert frozen == {1: {"a": 0.5}}
+
+
+def test_validate_update_rejects_bad_payloads():
+    with pytest.raises(ValueError):
+        validate_update(1, {})
+    with pytest.raises(ValueError):
+        validate_update(1, {"a": float("nan")})
+    with pytest.raises(ValueError):
+        validate_update(1, {"a": float("inf")})
+    with pytest.raises(ValueError):
+        validate_update(1, {"a": -0.1})
+    with pytest.raises(ValueError):
+        validate_update(1, {"": 0.5})
+    with pytest.raises(ValueError):
+        validate_update(1, {3: 0.5})
+    doc, version = validate_update(np.int64(4), {"a": 1})
+    assert doc == 4 and isinstance(doc, int)
+    assert version == {"a": 1.0} and isinstance(version["a"], float)
+
+
+def test_alive_postings_excludes_tombstones():
+    mt = Memtable()
+    mt.upsert(1, {"a": 0.5, "b": 0.2})
+    mt.upsert(2, {"a": 0.6})
+    mt.delete(2)
+    alive = mt.alive_postings()
+    assert sorted(alive) == ["a", "b"]
+    assert alive["a"] == [(1, 0.5)]
+    assert alive["b"] == [(1, 0.2)]

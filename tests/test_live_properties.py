@@ -1,0 +1,188 @@
+"""Property-based op-script tests for the live index.
+
+Hypothesis drives random interleavings of ``upsert`` / ``delete`` /
+``seal`` / ``compact`` against a live index and a trivially-correct
+model (a dict of doc → version), and requires the snapshot's observable
+content — vocabulary, per-term posting arrays, ``num_docs`` — to equal
+an oracle computed from the model after every maintenance event.  On
+top of the content oracle the scripts pin the structural invariants the
+subsystem promises:
+
+* snapshot isolation — a snapshot taken mid-script never changes, no
+  matter how many writes/seals/compactions follow,
+* epoch identity — the snapshot object is reused while the epoch is
+  unchanged and replaced when it advances,
+* compaction reclaims — force-compacting a fully-deleted corpus leaves
+  zero segments and accounts every reclaimed posting/tombstone.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.live import LiveIndex
+from repro.storage.index_builder import build_index
+
+TERMS = ["a", "b", "c"]
+BLOCK = 8
+
+SCORES = st.floats(min_value=0.0, max_value=1.0, allow_nan=False,
+                   allow_infinity=False, width=32)
+DOC_IDS = st.integers(min_value=0, max_value=40)
+VERSIONS = st.dictionaries(st.sampled_from(TERMS), SCORES, min_size=1)
+
+OPS = st.one_of(
+    st.tuples(st.just("upsert"), DOC_IDS, VERSIONS),
+    st.tuples(st.just("delete"), DOC_IDS),
+    st.just(("seal",)),
+    st.just(("compact",)),
+)
+
+
+def _model_lists(model):
+    """term -> (doc_ids_by_rank, scores_by_rank) oracle from the model."""
+    out = {}
+    for term in TERMS:
+        postings = sorted(
+            ((doc, version[term]) for doc, version in model.items()
+             if term in version),
+            key=lambda p: (-p[1], p[0]),
+        )
+        out[term] = (
+            np.array([p[0] for p in postings], dtype=np.int64),
+            np.array([p[1] for p in postings], dtype=np.float64),
+        )
+    return out
+
+
+def _check_content(snap, model):
+    oracle = _model_lists(model)
+    for term in TERMS:
+        lst = snap.index.list_for(term)
+        want_docs, want_scores = oracle[term]
+        assert np.array_equal(lst.doc_ids_by_rank, want_docs), term
+        assert np.array_equal(lst.scores_by_rank, want_scores), term
+    assert snap.index.num_docs == max(len(model), 1)
+
+
+def _base():
+    postings = {t: [] for t in TERMS}
+    model = {}
+    rng = np.random.default_rng(99)
+    for doc in range(12):
+        version = {t: round(float(rng.random()), 6) for t in TERMS[:2]}
+        model[doc] = version
+        for t, s in version.items():
+            postings[t].append((doc, s))
+    return build_index(postings, block_size=BLOCK), model
+
+
+@settings(max_examples=60, deadline=None)
+@given(script=st.lists(OPS, max_size=30))
+def test_snapshot_content_tracks_model(script):
+    base, model = _base()
+    with LiveIndex(base, block_size=BLOCK) as live:
+        for op in script:
+            if op[0] == "upsert":
+                version = {t: float(s) for t, s in op[2].items()}
+                live.upsert(op[1], version)
+                model[op[1]] = version
+            elif op[0] == "delete":
+                live.delete(op[1])
+                model.pop(op[1], None)
+            elif op[0] == "seal":
+                live.seal()
+            else:
+                live.compact(force=True)
+        with live.snapshot() as snap:
+            _check_content(snap, model)
+
+
+@settings(max_examples=25, deadline=None)
+@given(script=st.lists(OPS, max_size=20))
+def test_snapshot_isolation_survives_any_suffix(script):
+    """A pinned snapshot is frozen at its epoch, whatever happens next."""
+    base, model = _base()
+    with LiveIndex(base, block_size=BLOCK) as live:
+        live.upsert(100, {"a": 0.5})
+        model[100] = {"a": 0.5}
+        pinned = live.snapshot()
+        frozen_model = {d: dict(v) for d, v in model.items()}
+        try:
+            for op in script:
+                if op[0] == "upsert":
+                    live.upsert(op[1], dict(op[2]))
+                elif op[0] == "delete":
+                    live.delete(op[1])
+                elif op[0] == "seal":
+                    live.seal()
+                else:
+                    live.compact(force=True)
+            _check_content(pinned, frozen_model)
+        finally:
+            pinned.close()
+
+
+def test_epoch_identity_and_advance():
+    base, model = _base()
+    with LiveIndex(base, block_size=BLOCK) as live:
+        with live.snapshot() as one, live.snapshot() as two:
+            assert one is two  # unchanged epoch: stable identity
+        live.upsert(7, {"b": 0.9})
+        with live.snapshot() as three:
+            assert three is not one
+            assert three.epoch > one.epoch
+
+
+def test_compaction_reclaims_fully_deleted_corpus(tmp_path):
+    with LiveIndex(spill_dir=tmp_path, block_size=BLOCK) as live:
+        for doc in range(30):
+            live.upsert(doc, {"a": 0.1 + doc * 0.01, "b": 0.2})
+        assert live.seal()
+        for doc in range(30):
+            live.delete(doc)
+        assert live.seal()
+        assert live.compact(force=True)
+        stats = live.stats()
+        assert stats["segments"] == 0
+        assert stats["reclaimed_postings"] == 60
+        assert stats["reclaimed_tombstones"] == 30
+        with live.snapshot() as snap:
+            # no base and no surviving layer: the vocabulary is empty,
+            # exactly like an index built from nothing
+            assert snap.index.terms == []
+            assert "a" not in snap.index
+        # nothing left on disk once no snapshot pins the old segments
+        assert list(tmp_path.glob("segment-*.v3")) == []
+
+
+def test_tombstone_kept_while_doc_alive_below():
+    """A delete of a base doc must survive compaction of the segments."""
+    postings = {"a": [(1, 0.9), (2, 0.8)], "b": [], "c": []}
+    base = build_index(postings, block_size=BLOCK)
+    with LiveIndex(base, block_size=BLOCK) as live:
+        live.delete(1)
+        assert live.seal()
+        live.upsert(3, {"a": 0.7})
+        assert live.seal()
+        assert live.compact(force=True)
+        with live.snapshot() as snap:
+            docs = snap.index.list_for("a").doc_ids_by_rank.tolist()
+            assert docs == [2, 3]  # doc 1 stays dead
+
+
+def test_invalid_writes_rejected_atomically():
+    base, _model = _base()
+    with LiveIndex(base, block_size=BLOCK) as live:
+        before = live.epoch
+        with pytest.raises(ValueError):
+            live.apply([
+                ("upsert", 1, {"a": 0.5}),
+                ("upsert", 2, {"a": -3.0}),  # bad score: nothing applies
+            ])
+        assert live.epoch == before
+        with pytest.raises(ValueError):
+            live.upsert(4, {})
+        with pytest.raises(ValueError):
+            live.apply([("replace", 1, None)])

@@ -1,0 +1,245 @@
+"""End-to-end tests for ``POST /update`` on the query service.
+
+Same harness as ``test_serve_service.py``: a real service on an
+ephemeral port, raw HTTP in/out, so write admission, validation, and
+the visibility of applied updates to subsequent queries are exercised
+exactly as a client sees them.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.session import QuerySession, ShardedSession
+from repro.live import LiveIndex, ShardedLiveIndex
+from repro.serve.loadgen import _read_response
+from repro.serve.service import QueryService, ServiceConfig
+from repro.serve.shedding import ShedConfig
+from repro.storage.index_builder import build_index
+
+TERMS = ["t0", "t1"]
+BLOCK = 16
+
+NO_SHED = ShedConfig(
+    enter_degrade=50.0, exit_degrade=25.0,
+    enter_reject=100.0, exit_reject=50.0,
+)
+
+
+async def raw_request(port, data: bytes):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(data)
+    await writer.drain()
+    status, headers, body = await _read_response(reader)
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    return status, headers, json.loads(body.decode())
+
+
+async def request(port, payload=None, method="POST", path="/update"):
+    body = json.dumps(payload).encode() if payload is not None else b""
+    head = (
+        "%s %s HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n"
+        "Connection: close\r\n\r\n" % (method, path, len(body))
+    )
+    return await raw_request(port, head.encode() + body)
+
+
+def serve(session, config, interact):
+    async def go():
+        async with QueryService(session, config) as service:
+            return await interact(service)
+
+    return asyncio.run(go())
+
+
+def _base():
+    rng = np.random.default_rng(21)
+    postings = {
+        t: [(d, round(float(rng.random()), 6)) for d in range(80)]
+        for t in TERMS
+    }
+    return build_index(postings, block_size=BLOCK)
+
+
+@pytest.fixture()
+def binding():
+    live = LiveIndex(_base(), block_size=BLOCK)
+    handle = QuerySession(cost_ratio=100.0).open_live(live)
+    yield handle
+    handle.close()
+
+
+class TestUpdatePath:
+    def test_update_roundtrip_visible_to_queries(self, binding):
+        async def interact(service):
+            status, _h, body = await request(service.port, {
+                "ops": [
+                    {"op": "upsert", "doc_id": 900,
+                     "terms": {"t0": 7.0, "t1": 7.0}},
+                    {"op": "delete", "doc_id": 0},
+                ]
+            })
+            assert status == 200
+            assert body["applied"] == 2
+            assert body["epoch"] == 2
+            assert body["service"]["cost_class"] == "light"
+            status, _h, result = await request(
+                service.port, {"terms": TERMS, "k": 3}, path="/query"
+            )
+            assert status == 200
+            assert result["items"][0]["doc_id"] == 900
+            assert all(i["doc_id"] != 0 for i in result["items"])
+
+        serve(binding, ServiceConfig(shed=NO_SHED), interact)
+
+    def test_update_metrics_and_live_block(self, binding):
+        async def interact(service):
+            await request(service.port, {
+                "ops": [{"op": "upsert", "doc_id": 1,
+                         "terms": {"t0": 0.5}}]
+            })
+            status, _h, metrics = await request(
+                service.port, method="GET", path="/metrics"
+            )
+            assert status == 200
+            assert metrics["service"]["updates"] == 1
+            assert metrics["service"]["update_ops_applied"] == 1
+            assert metrics["live"]["updates_applied"] == 1
+            assert metrics["live"]["epoch"] == 1
+
+        serve(binding, ServiceConfig(shed=NO_SHED), interact)
+
+    def test_validation_failures_are_400(self, binding):
+        cases = [
+            None,
+            {"ops": []},
+            {"ops": "nope"},
+            {"ops": [{"op": "replace", "doc_id": 1}]},
+            {"ops": [{"op": "upsert", "doc_id": 1, "terms": {}}]},
+            {"ops": [{"op": "upsert", "doc_id": 1, "terms": {"a": -1}}]},
+            {"ops": [{"op": "upsert", "doc_id": "x", "terms": {"a": 1}}]},
+            {"ops": [{"op": "delete", "doc_id": 1, "terms": {"a": 1}}]},
+        ]
+
+        async def interact(service):
+            for payload in cases:
+                status, _h, body = await request(service.port, payload)
+                assert status == 400, payload
+                assert body["error"]["code"] in (
+                    "invalid_json", "invalid_update"
+                ), payload
+            # nothing was applied by any rejected batch
+            status, _h, metrics = await request(
+                service.port, method="GET", path="/metrics"
+            )
+            assert metrics["live"]["updates_applied"] == 0
+
+        serve(binding, ServiceConfig(shed=NO_SHED), interact)
+
+    def test_oversized_batch_is_400(self, binding):
+        async def interact(service):
+            ops = [{"op": "delete", "doc_id": d} for d in range(5)]
+            status, _h, body = await request(service.port, {"ops": ops})
+            assert status == 400
+            assert "too many ops" in body["error"]["message"]
+
+        serve(binding, ServiceConfig(shed=NO_SHED, max_update_ops=4),
+              interact)
+
+    def test_non_live_session_is_501(self):
+        session = QuerySession(_base(), cost_ratio=100.0)
+
+        async def interact(service):
+            status, _h, body = await request(
+                service.port, {"ops": [{"op": "delete", "doc_id": 1}]}
+            )
+            assert status == 501
+            assert body["error"]["code"] == "not_supported"
+
+        serve(session, ServiceConfig(shed=NO_SHED), interact)
+
+    def test_get_update_is_405(self, binding):
+        async def interact(service):
+            status, _h, _b = await request(service.port, method="GET")
+            assert status == 405
+
+        serve(binding, ServiceConfig(shed=NO_SHED), interact)
+
+    def test_update_cost_classing(self, binding):
+        """A large batch classes heavy via update_cost_weight."""
+
+        async def interact(service):
+            status, _h, body = await request(service.port, {
+                "ops": [
+                    {"op": "upsert", "doc_id": d,
+                     "terms": {"t0": 0.1, "t1": 0.2}}
+                    for d in range(10)
+                ]
+            })
+            assert status == 200
+            assert body["service"]["cost_class"] == "heavy"
+
+        config = ServiceConfig(
+            shed=NO_SHED, update_cost_weight=8.0, heavy_cost_threshold=100.0
+        )
+        serve(binding, config, interact)
+
+    def test_degrade_level_rejects_heavy_writes(self, binding):
+        """Where queries get tightened, heavy write batches get a 429."""
+
+        async def interact(service):
+            # pin the pressure gauge inside the degrade band
+            service.admission.pressure = lambda: 10.0
+            status, _h, body = await request(service.port, {
+                "ops": [
+                    {"op": "upsert", "doc_id": d,
+                     "terms": {"t0": 0.1, "t1": 0.2}}
+                    for d in range(10)
+                ]
+            })
+            assert status == 429
+            assert body["error"]["details"]["cost_class"] == "heavy"
+            # a light write still lands
+            status, _h, body = await request(service.port, {
+                "ops": [{"op": "delete", "doc_id": 1}]
+            })
+            assert status == 200
+
+        config = ServiceConfig(
+            shed=ShedConfig(enter_degrade=5.0, exit_degrade=2.0,
+                            enter_reject=50.0, exit_reject=25.0),
+            update_cost_weight=8.0,
+            heavy_cost_threshold=100.0,
+        )
+        serve(binding, config, interact)
+
+    def test_sharded_live_service(self):
+        sharded = ShardedLiveIndex(_base(), num_shards=2, block_size=BLOCK)
+        session = ShardedSession(live=sharded, cost_ratio=100.0)
+
+        async def interact(service):
+            status, _h, body = await request(service.port, {
+                "ops": [{"op": "upsert", "doc_id": 700,
+                         "terms": {"t0": 9.0, "t1": 9.0}}]
+            })
+            assert status == 200 and body["applied"] == 1
+            status, _h, result = await request(
+                service.port, {"terms": TERMS, "k": 2}, path="/query"
+            )
+            assert status == 200
+            assert result["items"][0]["doc_id"] == 700
+            status, _h, metrics = await request(
+                service.port, method="GET", path="/metrics"
+            )
+            assert metrics["live"]["num_shards"] == 2
+
+        try:
+            serve(session, ServiceConfig(shed=NO_SHED), interact)
+        finally:
+            session.close()

@@ -1,0 +1,189 @@
+"""Sharded live indexes: routed writes, consistent cuts, session parity.
+
+The invariant chain: a sharded live session over N shards must return
+exactly what a single-node live index returns, which in turn (by the
+differential harness) equals a from-scratch rebuild.  So the same op
+stream is driven into all three and the query fingerprints compared.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.session import QuerySession, ShardedSession
+from repro.live import LiveIndex, ShardedLiveIndex
+from repro.storage.index_builder import build_index
+
+TERMS = ["t0", "t1", "t2"]
+BLOCK = 16
+K = 5
+
+
+def _base(seed=13, num_docs=250):
+    rng = np.random.default_rng(seed)
+    postings = {t: [] for t in TERMS}
+    model = {}
+    for doc in range(num_docs):
+        version = {
+            t: round(float(rng.random()), 6)
+            for t in TERMS if rng.random() < 0.8
+        }
+        if not version:
+            continue
+        model[doc] = version
+        for t, s in version.items():
+            postings[t].append((doc, s))
+    return build_index(postings, block_size=BLOCK), model
+
+
+def _drive(rng, targets, model, count):
+    for _ in range(count):
+        doc = int(rng.integers(0, 320))
+        if rng.random() < 0.65:
+            version = {
+                t: round(float(rng.random()), 6)
+                for t in TERMS if rng.random() < 0.8
+            } or {"t1": 0.5}
+            for target in targets:
+                target.upsert(doc, version)
+            model[doc] = version
+        else:
+            for target in targets:
+                target.delete(doc)
+            model.pop(doc, None)
+
+
+@pytest.mark.parametrize("strategy", ["hash", "round-robin"])
+@pytest.mark.parametrize("num_shards", [1, 3])
+def test_sharded_live_matches_single_live_and_rebuild(strategy, num_shards):
+    base, model = _base()
+    sharded = ShardedLiveIndex(
+        base, num_shards=num_shards, strategy=strategy, block_size=BLOCK
+    )
+    single = LiveIndex(base, block_size=BLOCK)
+    rng = np.random.default_rng(31)
+
+    sharded_session = ShardedSession(live=sharded, cost_ratio=100.0)
+    plain = QuerySession(cost_ratio=100.0)
+    try:
+        for phase in range(3):
+            _drive(rng, [sharded, single], model, 40)
+            if phase == 1:  # mix in maintenance mid-stream
+                for shard in sharded.shards:
+                    shard.seal()
+                single.seal()
+            if phase == 2:
+                for shard in sharded.shards:
+                    shard.compact(force=True)
+                single.compact(force=True)
+
+            postings = {t: [] for t in TERMS}
+            for doc, version in model.items():
+                for t, s in version.items():
+                    postings[t].append((doc, s))
+            rebuilt = build_index(postings, block_size=BLOCK)
+
+            got = sharded_session.run(TERMS, K)
+            with single.snapshot() as snap:
+                mid = plain.run(TERMS, K, index=snap.index)
+            want = plain.run(TERMS, K, index=rebuilt)
+            def fingerprint(r):
+                return [
+                    (i.doc_id, i.worstscore, i.bestscore) for i in r.items
+                ]
+            # single-node live is *bitwise* identical to the rebuild...
+            assert fingerprint(mid) == fingerprint(want), (phase, strategy)
+            # ...while the coordinator legitimately sums per-doc scores
+            # in a different discovery order, so floats compare approx
+            # (same tolerance as the coordinator parity suite)
+            assert [i.doc_id for i in got.items] == [
+                i.doc_id for i in want.items
+            ], (phase, strategy)
+            for left, right in zip(got.items, want.items):
+                assert left.worstscore == pytest.approx(
+                    right.worstscore, abs=1e-9
+                )
+    finally:
+        sharded_session.close()
+        single.close()
+
+
+def test_apply_batch_is_one_consistent_cut():
+    base, _model = _base()
+    sharded = ShardedLiveIndex(base, num_shards=3, block_size=BLOCK)
+    session = ShardedSession(live=sharded, cost_ratio=100.0)
+    try:
+        # two sentinel docs that land on different shards, written in
+        # one batch: a query sees both or neither
+        applied = sharded.apply([
+            ("upsert", 9001, {"t0": 9.0, "t1": 9.0, "t2": 9.0}),
+            ("upsert", 9002, {"t0": 8.9, "t1": 8.9, "t2": 8.9}),
+        ])
+        assert applied == 2
+        result = session.run(TERMS, 2)
+        assert [i.doc_id for i in result.items] == [9001, 9002]
+    finally:
+        session.close()
+
+
+def test_round_robin_allocates_and_remembers_new_docs():
+    sharded = ShardedLiveIndex(num_shards=3, strategy="round-robin",
+                               block_size=BLOCK)
+    homes = {}
+    for doc in range(9):
+        sharded.upsert(doc, {"t0": 0.5})
+        homes[doc] = sharded.shard_of(doc, create=False)
+    assert sorted(set(homes.values())) == [0, 1, 2]
+    # re-upsert goes to the remembered home, not a new allocation
+    sharded.upsert(0, {"t0": 0.9})
+    assert sharded.shard_of(0, create=False) == homes[0]
+    # deleting a never-seen doc under round-robin is unroutable
+    assert sharded.delete(12345) is False
+    sharded.close()
+
+
+def test_epoch_refresh_reuses_unchanged_shard_snapshots():
+    base, _model = _base()
+    sharded = ShardedLiveIndex(base, num_shards=2, strategy="hash",
+                               block_size=BLOCK)
+    session = ShardedSession(live=sharded, cost_ratio=100.0)
+    try:
+        session.run(TERMS, K)
+        before = session._live_snaps
+        # route one write to exactly one shard
+        target = sharded.shard_of(0, create=True)
+        sharded.upsert(0, {"t0": 0.123})
+        session.run(TERMS, K)
+        after = session._live_snaps
+        for shard_id, (old, new) in enumerate(zip(before, after)):
+            if shard_id == target:
+                assert old is not new
+            else:
+                assert old is new  # untouched shard: stats cache stays warm
+    finally:
+        session.close()
+
+
+def test_sharded_session_rejects_bad_live_configs():
+    base, _model = _base()
+    sharded = ShardedLiveIndex(base, num_shards=2, block_size=BLOCK)
+    with pytest.raises(ValueError):
+        ShardedSession(live=sharded, backend="process")
+    with pytest.raises(ValueError):
+        ShardedSession(live=sharded, index=base)
+    with pytest.raises(TypeError):
+        ShardedSession(live=LiveIndex(base))
+    sharded.close()
+
+
+def test_warm_builds_stats_for_every_shard():
+    base, _model = _base()
+    sharded = ShardedLiveIndex(base, num_shards=2, block_size=BLOCK)
+    session = ShardedSession(live=sharded, cost_ratio=100.0)
+    try:
+        session.warm()
+        builds = session.session.stats_builds
+        assert builds >= 2
+        session.run(TERMS, K)
+        assert session.session.stats_builds == builds  # warm() did the work
+    finally:
+        session.close()

@@ -1,0 +1,145 @@
+"""Unit pins for snapshot identity, sharing, and lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.live import LiveIndex
+from repro.storage.index_builder import build_index
+
+TERMS = ["a", "b"]
+BLOCK = 8
+
+
+def _base():
+    postings = {
+        "a": [(d, 0.9 - d * 0.01) for d in range(20)],
+        "b": [(d, 0.8 - d * 0.01) for d in range(10)],
+    }
+    return build_index(postings, block_size=BLOCK)
+
+
+def test_untouched_lists_are_shared_zero_copy():
+    """A term with no delta postings and no shadowed doc reuses the
+    base ``IndexList`` object outright — no rebuild, no copy."""
+    base = _base()
+    with LiveIndex(base, block_size=BLOCK) as live:
+        live.upsert(100, {"a": 0.95})  # touches 'a' only
+        with live.snapshot() as snap:
+            assert snap.index.list_for("b") is base.list_for("b")
+            assert snap.index.list_for("a") is not base.list_for("a")
+
+
+def test_shadowed_doc_breaks_sharing_only_where_it_appears():
+    base = _base()
+    with LiveIndex(base, block_size=BLOCK) as live:
+        live.delete(15)  # doc 15 has an 'a' posting but no 'b' posting
+        with live.snapshot() as snap:
+            assert snap.index.list_for("b") is base.list_for("b")
+            docs = snap.index.list_for("a").doc_ids_by_rank.tolist()
+            assert 15 not in docs and len(docs) == 19
+
+
+def test_snapshot_num_docs_matches_build_index_semantics():
+    base = _base()
+    with LiveIndex(base, block_size=BLOCK) as live:
+        with live.snapshot() as snap:
+            assert snap.index.num_docs == base.num_docs == 20
+        live.upsert(50, {"b": 0.5})
+        with live.snapshot() as snap:
+            assert snap.index.num_docs == 21
+        live.delete(0)
+        with live.snapshot() as snap:
+            assert snap.index.num_docs == 20
+
+
+def test_collection_size_floors_num_docs():
+    base = _base()
+    with LiveIndex(base, block_size=BLOCK, collection_size=500) as live:
+        with live.snapshot() as snap:
+            assert snap.index.num_docs == 500
+        live.upsert(1000, {"a": 0.1})
+        with live.snapshot() as snap:
+            assert snap.index.num_docs == 500
+
+
+def test_refcounts_and_deferred_release(tmp_path):
+    live = LiveIndex(_base(), block_size=BLOCK, spill_dir=tmp_path)
+    live.upsert(30, {"a": 0.5})
+    assert live.seal()
+    snap = live.snapshot()
+    again = live.snapshot()
+    assert snap is again  # same epoch: one object, two handles
+    snap.close()
+    live.upsert(31, {"b": 0.6})  # epoch advance drops the cache handle
+    again.close()
+    with pytest.raises(RuntimeError):
+        snap.acquire()  # fully released snapshots cannot be revived
+    live.close()
+
+
+def test_close_is_idempotent_and_index_survives():
+    live = LiveIndex(_base(), block_size=BLOCK)
+    live.upsert(1, {"a": 0.99})
+    live.close()
+    live.close()
+    with live.snapshot() as snap:  # closing releases caches, not data
+        assert snap.index.list_for("a").doc_ids_by_rank[0] == 1
+    live.close()
+
+
+def test_new_terms_enter_vocabulary_sorted_after_base():
+    base = _base()
+    with LiveIndex(base, block_size=BLOCK) as live:
+        live.upsert(1, {"z": 0.5, "c": 0.4, "a": 0.3})
+        with live.snapshot() as snap:
+            assert snap.index.terms == ["a", "b", "c", "z"]
+            rebuilt = build_index(
+                {
+                    "a": list(zip(
+                        snap.index.list_for("a").doc_ids_by_rank.tolist(),
+                        snap.index.list_for("a").scores_by_rank.tolist(),
+                    )),
+                    "b": list(zip(
+                        snap.index.list_for("b").doc_ids_by_rank.tolist(),
+                        snap.index.list_for("b").scores_by_rank.tolist(),
+                    )),
+                    "c": [(1, 0.4)],
+                    "z": [(1, 0.5)],
+                },
+                block_size=BLOCK,
+            )
+            for term in snap.index.terms:
+                assert np.array_equal(
+                    snap.index.list_for(term).doc_ids_by_rank,
+                    rebuilt.list_for(term).doc_ids_by_rank,
+                )
+
+
+def test_materialization_is_lazy_and_cached():
+    base = _base()
+    with LiveIndex(base, block_size=BLOCK) as live:
+        live.upsert(40, {"a": 0.7})
+        with live.snapshot() as snap:
+            first = snap.index.list_for("a")
+            assert snap.index.list_for("a") is first  # cached
+
+
+def test_segment_stack_preserves_order_of_versions():
+    """Newest layer wins: segment versions shadow base, delta shadows
+    segments — even for the same doc rewritten at every layer."""
+    base = _base()
+    with LiveIndex(base, block_size=BLOCK) as live:
+        live.upsert(3, {"a": 0.11})
+        assert live.seal()
+        live.upsert(3, {"a": 0.22})
+        assert live.seal()
+        live.upsert(3, {"a": 0.33})  # delta
+        with live.snapshot() as snap:
+            lst = snap.index.list_for("a")
+            pos = lst.doc_ids_by_rank.tolist().index(3)
+            assert lst.scores_by_rank[pos] == pytest.approx(0.33)
+        assert live.compact(force=True)
+        with live.snapshot() as snap:
+            lst = snap.index.list_for("a")
+            pos = lst.doc_ids_by_rank.tolist().index(3)
+            assert lst.scores_by_rank[pos] == pytest.approx(0.33)

@@ -143,3 +143,70 @@ class TestRefreshValidation:
             ScorePredictor(
                 [ScoreHistogram(np.array([0.5]))], [1, 2], num_docs=10
             )
+
+
+class TestBehaviorPins:
+    """Pins for properties the planner and threshold harness rely on."""
+
+    def test_mask_distributions_are_cached_per_refresh(self):
+        rng = np.random.default_rng(7)
+        predictor = make_predictor([rng.random(100), rng.random(100)])
+        predictor.score_exceedance(0b11, 0.5)
+        dist = predictor._mask_cache.get(0b11)
+        assert dist is not None
+        predictor.score_exceedance(0b11, 0.9)
+        assert predictor._mask_cache[0b11] is dist  # reused, not rebuilt
+        predictor.refresh([10, 10])
+        assert 0b11 not in predictor._mask_cache  # invalidated
+
+    def test_exceedance_monotone_in_scan_position(self):
+        """Deeper scans can only shrink the tail's score mass."""
+        scores = np.linspace(1.0, 0.01, 200)
+        predictor = make_predictor([scores, scores])
+        threshold = 0.8
+        last = 1.0
+        for pos in (0, 50, 100, 150, 200):
+            predictor.refresh([pos, pos])
+            value = predictor.score_exceedance(0b11, threshold)
+            assert value <= last + 1e-9, pos
+            last = value
+
+    def test_any_occurrence_of_no_remainder_is_zero(self):
+        predictor = make_predictor([[0.5] * 10, [0.4] * 10], num_docs=100)
+        assert predictor.any_occurrence(0b11) == 0.0
+
+    def test_any_occurrence_grows_with_more_remainder_lists(self):
+        predictor = make_predictor(
+            [[0.5] * 50, [0.4] * 50, [0.3] * 50], num_docs=200
+        )
+        one = predictor.any_occurrence(0b110)   # only list 0 remains
+        two = predictor.any_occurrence(0b100)   # lists 0 and 1 remain
+        three = predictor.any_occurrence(0b000)  # all three remain
+        assert one <= two <= three
+        assert three <= 1.0
+
+    def test_covariance_changes_occurrence_only_when_seen(self):
+        # perfect overlap: seeing a doc in list 0 implies list 1
+        pair = np.array([[50.0, 50.0], [50.0, 50.0]])
+        table = CovarianceTable([50, 50], pair, num_docs=500)
+        scores = [[0.5] * 50, [0.4] * 50]
+        with_cov = make_predictor(scores, num_docs=500, covariance=table)
+        without = make_predictor(scores, num_docs=500)
+        # nothing seen: both fall back to independence
+        assert with_cov.remainder_occurrence(1, 0b00) == pytest.approx(
+            without.remainder_occurrence(1, 0b00)
+        )
+        # doc seen in list 0: overlap lifts the conditional to ~1
+        assert with_cov.remainder_occurrence(1, 0b01) == pytest.approx(1.0)
+        assert without.remainder_occurrence(1, 0b01) == pytest.approx(0.1)
+
+    def test_qualify_probability_monotone_in_worstscore(self):
+        rng = np.random.default_rng(23)
+        predictor = make_predictor(
+            [rng.random(300), rng.random(300)], num_docs=600
+        )
+        values = [
+            predictor.qualify_probability(0b01, w, 1.2)
+            for w in np.linspace(0.0, 1.2, 10)
+        ]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))

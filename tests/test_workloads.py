@@ -65,3 +65,67 @@ class TestLoadDataset:
         processor = TopKProcessor(dataset.index, cost_ratio=100)
         result = processor.query(dataset.queries[0], 5)
         assert 0 < len(result.items) <= 5
+
+
+class TestDatasetBehaviorPins:
+    """Behavior pins: properties downstream layers rely on."""
+
+    def test_seed_changes_the_draw(self):
+        a = load_dataset("uniform", scale=SCALE, seed=1)
+        b = load_dataset("uniform", scale=SCALE, seed=2)
+        assert a is not b
+        term = a.queries[0][0]
+        assert term in b.index  # same vocabulary layout...
+        assert not (
+            a.index.list_for(term).scores_by_rank[:10].tolist()
+            == b.index.list_for(term).scores_by_rank[:10].tolist()
+        )  # ...different scores
+
+    def test_same_key_is_cached_not_rebuilt(self):
+        a = load_dataset("zipf", scale=SCALE, seed=9)
+        b = load_dataset("zipf", scale=SCALE, seed=9)
+        assert a is b
+
+    def test_synthetic_queries_partition_the_lists(self):
+        dataset = load_dataset("uniform", scale=SCALE)
+        seen = [t for q in dataset.queries for t in q]
+        assert len(seen) == len(set(seen))  # disjoint triples
+        assert len(dataset.queries) == 5
+        assert all(len(q) == 3 for q in dataset.queries)
+
+    def test_zipf_scores_are_more_skewed_than_uniform(self):
+        zipf = load_dataset("zipf", scale=SCALE)
+        uniform = load_dataset("uniform", scale=SCALE)
+
+        def drop(dataset):
+            lst = dataset.index.list_for(dataset.queries[0][0])
+            scores = lst.scores_by_rank
+            mid = scores[len(scores) // 2]
+            return float(scores[0]) / max(float(mid), 1e-12)
+
+        assert drop(zipf) > drop(uniform)
+
+    def test_num_docs_property_mirrors_index(self):
+        dataset = load_dataset("httplog", scale=SCALE)
+        assert dataset.num_docs == dataset.index.num_docs
+
+    def test_dataset_index_works_as_live_base(self):
+        """A dataset drops straight into the live subsystem."""
+        from repro.core.session import QuerySession
+        from repro.live import LiveIndex
+
+        dataset = load_dataset("uniform", scale=SCALE)
+        session = QuerySession(cost_ratio=100.0)
+        terms = dataset.queries[0]
+        with LiveIndex(dataset.index) as live:
+            with live.snapshot() as snap:
+                before = session.run(terms, 5, index=snap.index)
+                baseline = session.run(terms, 5, index=dataset.index)
+                assert [i.doc_id for i in before.items] == [
+                    i.doc_id for i in baseline.items
+                ]
+                assert before.stats.cost == baseline.stats.cost
+            live.upsert(dataset.num_docs + 7, {t: 1e9 for t in terms})
+            with live.snapshot() as snap:
+                after = session.run(terms, 1, index=snap.index)
+                assert after.items[0].doc_id == dataset.num_docs + 7
